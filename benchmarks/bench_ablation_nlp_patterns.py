@@ -1,0 +1,153 @@
+"""Ablation (I2, §II-C) — NLP sparse patterns vs the topology pattern.
+
+The paper's second issue with prior work: sparse-attention patterns
+designed for language (BigBird's window+random+global, sliding windows)
+"fail to consider the inherent graph structure information when
+approximating attention, thus resulting in subpar model performance."
+
+This ablation makes that claim measurable.  All patterns get a
+*comparable entry budget* (the NLP builders are parameterized to roughly
+match the topology pattern's average degree), so the only variable is
+where the entries sit: on real edges, or on positional neighbours and
+random pairs.  The kernelized Performer approximation joins as the
+no-pattern-at-all contender.
+
+Expected shape: topology ≥ {bigbird, window, performer} in final test
+accuracy on a community-structured node task.
+"""
+
+import numpy as np
+
+from repro.attention import (
+    bigbird_pattern,
+    exphormer_pattern,
+    longformer_pattern,
+    topology_pattern,
+)
+from repro.bench import TableReport
+from repro.core import FixedPatternEngine, GPSparseEngine
+from repro.graph import load_node_dataset
+from repro.models import NODEFORMER_BASE, Graphormer, NodeFormer
+from repro.train import train_node_classification
+
+from conftest import small_graphormer_config
+
+EPOCHS = 18
+
+
+def _budget_matched_builders(avg_degree: int):
+    """NLP pattern builders tuned to ≈ the topology pattern's entry count."""
+    half = max(avg_degree // 2, 1)
+    return {
+        "window (NLP)": lambda g: longformer_pattern(g.num_nodes, window=half),
+        "bigbird (NLP)": lambda g: bigbird_pattern(
+            g.num_nodes, window=max(half // 2, 1),
+            random_per_row=max(half // 2, 1), num_global=1,
+            rng=np.random.default_rng(0)),
+    }
+
+
+def _shuffle_node_ids(ds, seed=0):
+    """Randomize node ids in place.
+
+    The synthetic stand-ins emit planted communities as contiguous id
+    ranges, which would let a *positional* sliding window accidentally
+    align with the community structure — an artifact real-world node ids
+    (arbitrary insertion order) do not have.  Shuffling restores the
+    honest setting the paper's argument assumes.
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(ds.num_nodes)
+    ds.graph = ds.graph.permute(perm)
+    inverse = np.argsort(perm)
+    ds.features = ds.features[inverse]
+    ds.labels = ds.labels[inverse]
+    ds.train_mask = ds.train_mask[inverse]
+    ds.val_mask = ds.val_mask[inverse]
+    ds.test_mask = ds.test_mask[inverse]
+    if ds.blocks is not None:
+        ds.blocks = ds.blocks[inverse]
+
+
+def _run():
+    ds = load_node_dataset("ogbn-products", scale=0.25, seed=1)
+    _shuffle_node_ids(ds, seed=3)
+    avg_degree = int(ds.graph.num_edges / ds.num_nodes)
+
+    rows = []
+    # topology pattern (GP-Sparse: pure structure, no interleave)
+    rec = train_node_classification(
+        Graphormer(small_graphormer_config(ds.features.shape[1],
+                                           ds.num_classes), seed=0),
+        ds, GPSparseEngine(num_layers=3), epochs=EPOCHS, lr=3e-3)
+    topo_pattern = topology_pattern(ds.graph)
+    rows.append(("topology (graph)", topo_pattern.num_entries, rec.best_test))
+
+    # Exphormer: topology + expander overlay + global token — graph-aware
+    # sparse attention should track (or beat) the pure topology pattern
+    exphormer_builder = lambda g: exphormer_pattern(
+        g, expander_degree=4, num_global=1, rng=np.random.default_rng(0))
+    builders = dict(_budget_matched_builders(avg_degree))
+    builders["exphormer (graph+expander)"] = exphormer_builder
+
+    for name, builder in builders.items():
+        eng = FixedPatternEngine(builder, num_layers=3, name=name)
+        rec = train_node_classification(
+            Graphormer(small_graphormer_config(ds.features.shape[1],
+                                               ds.num_classes), seed=0),
+            ds, eng, epochs=EPOCHS, lr=3e-3)
+        rows.append((name, builder(ds.graph).num_entries, rec.best_test))
+
+    # kernelized approximation (Performer inside NodeFormer, bias off)
+    from repro.tensor import AdamW
+    from repro.tensor import functional as F
+    cfg = NODEFORMER_BASE(ds.features.shape[1], ds.num_classes,
+                          num_layers=3, hidden_dim=32, num_heads=4,
+                          relational_bias=False, dropout=0.0)
+    model = NodeFormer(cfg, seed=0)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    labels = np.where(ds.train_mask, ds.labels, -1)
+    best = 0.0
+    for _ in range(EPOCHS):
+        model.train()
+        loss = F.cross_entropy(model(ds.features, None), labels,
+                               ignore_index=-1)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        model.eval()
+        pred = model(ds.features, None).data.argmax(1)
+        best = max(best, float((pred == ds.labels)[ds.test_mask].mean()))
+    rows.append(("performer (kernel)", 0, best))
+    return rows
+
+
+def test_nlp_patterns_lose_to_topology(benchmark, save_report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = TableReport(
+        title="Ablation I2 — pattern placement vs accuracy "
+              "(GPH_slim on ogbn-products-like)",
+        columns=["pattern", "entries", "best test acc"])
+    for name, entries, acc in rows:
+        report.add_row(name, entries if entries else "—", f"{acc * 100:.2f}%")
+    report.add_note("paper: NLP sparse patterns drop connectivity and lose "
+                    "accuracy; structure-free kernels lose the most")
+    save_report("ablation_nlp_patterns", report)
+
+    accs = {name: acc for name, _, acc in rows}
+    topo = accs["topology (graph)"]
+    # topology must beat every structure-ignorant pattern
+    assert topo > accs["bigbird (NLP)"] - 0.02
+    assert topo > accs["window (NLP)"] - 0.02
+    assert topo > accs["performer (kernel)"] - 0.02
+    # and at least one NLP pattern must lose clearly (the paper's claim)
+    assert topo > min(accs["bigbird (NLP)"], accs["window (NLP)"],
+                      accs["performer (kernel)"]) + 0.03
+    # the graph-aware sparse alternative (Exphormer) clearly beats the
+    # structure-free patterns and approaches topology — structure, not
+    # sparsity, is the deciding variable (its expander/global extras add
+    # some off-topology edges, so a small gap to pure topology remains)
+    exph = accs["exphormer (graph+expander)"]
+    assert exph > max(accs["bigbird (NLP)"], accs["window (NLP)"],
+                      accs["performer (kernel)"]) + 0.03
+    assert exph > topo - 0.10

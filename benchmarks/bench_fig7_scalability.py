@@ -1,0 +1,66 @@
+"""Figure 7 — multi-server scalability on A100s.
+
+Paper: (a) at fixed S=1024K, doubling GPUs raises throughput ~1.7×;
+(b) with fixed computational load per GPU (S² ∝ P), per-GPU throughput
+stays roughly flat.  Both reproduced through the cost model on the A100
+server spec (NVLink intra, 200G IB inter).
+"""
+
+from repro.bench import SeriesReport
+from repro.hardware import A100_SERVER, AttentionKind, TrainingCostModel, WorkloadSpec
+
+
+def _fixed_seq_scaling():
+    model = TrainingCostModel(A100_SERVER)
+    gpus = [8, 16, 32, 64]
+    times, speedups = [], []
+    for P in gpus:
+        w = WorkloadSpec(seq_len=1_024_000, hidden_dim=64, num_heads=64,
+                         num_layers=4, avg_degree=25, num_gpus=P,
+                         dense_interleave_period=8)
+        t = model.iteration_cost(AttentionKind.CLUSTER_SPARSE, w).total_s
+        times.append(t)
+    speedups = [times[0] / t for t in times]
+    return gpus, times, speedups
+
+
+def _fixed_load_scaling():
+    # attention work ∝ S²/P for the dense interleave; paper doubles S with
+    # 4× GPUs to hold per-GPU load constant
+    model = TrainingCostModel(A100_SERVER)
+    configs = [(256_000, 8), (512_000, 32)]
+    times = []
+    for S, P in configs:
+        w = WorkloadSpec(seq_len=S, hidden_dim=64, num_heads=max(P, 8),
+                         num_layers=4, avg_degree=25, num_gpus=P,
+                         dense_interleave_period=8)
+        times.append(model.iteration_cost(AttentionKind.CLUSTER_SPARSE, w).total_s)
+    return configs, times
+
+
+def test_fig7a_fixed_sequence_scaling(benchmark, save_report):
+    gpus, times, speedups = benchmark.pedantic(_fixed_seq_scaling,
+                                               rounds=1, iterations=1)
+    rep = SeriesReport(title="Fig. 7(a) — iteration time & speedup vs #GPUs "
+                             "(S=1024K, modeled A100 servers)",
+                       x_label="GPUs", x_values=gpus)
+    rep.add_series("iteration_s", times)
+    rep.add_series("speedup", speedups)
+    rep.add_note("paper: ~1.7× throughput per GPU doubling")
+    save_report("fig7", rep)
+    # each doubling gains 1.2–2.0×
+    for a, b in zip(speedups, speedups[1:]):
+        assert 1.1 < b / a <= 2.05
+
+
+def test_fig7b_fixed_load_throughput(benchmark, save_report):
+    configs, times = benchmark.pedantic(_fixed_load_scaling, rounds=1,
+                                        iterations=1)
+    rep = SeriesReport(title="Fig. 7(b) — iteration time at fixed per-GPU load",
+                       x_label="(S, GPUs)",
+                       x_values=[f"{s // 1000}K/{p}" for s, p in configs])
+    rep.add_series("iteration_s", times)
+    rep.add_note("paper: per-GPU throughput approximately constant")
+    save_report("fig7", rep)
+    # weak-scaling: time within 2.5× across the sweep
+    assert max(times) / min(times) < 2.5

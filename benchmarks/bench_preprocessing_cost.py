@@ -1,0 +1,55 @@
+"""§IV-E — preprocessing cost vs model convergence time.
+
+Paper: TorchGT's preprocessing (METIS reordering + encodings + pattern
+reformation) is 5.2s vs 91.2s of training on ogbn-arxiv (5.4%) and
+239.7s vs 11732.4s on MalNet (2.0%).  Measured end to end on the scaled
+datasets; the ratio — not the absolute seconds — is the claim.
+"""
+
+from repro.bench import TableReport, fmt_time
+from repro.core import make_engine
+from repro.graph import load_graph_dataset, load_node_dataset
+from repro.models import Graphormer
+from repro.train import train_graph_task, train_node_classification
+
+from conftest import small_graphormer_config
+
+
+def _run():
+    rows = []
+    # node-level: arxiv-like
+    ds = load_node_dataset("ogbn-arxiv", scale=0.4, seed=0)
+    eng = make_engine("torchgt", num_layers=3, hidden_dim=32)
+    cfg = small_graphormer_config(ds.features.shape[1], ds.num_classes)
+    rec = train_node_classification(Graphormer(cfg, seed=0), ds, eng,
+                                    epochs=25, lr=3e-3)
+    rows.append(("ogbn-arxiv-like", rec.preprocess_seconds,
+                 float(sum(rec.epoch_times))))
+    # graph-level: malnet-like
+    gds = load_graph_dataset("malnet", scale=0.15, seed=0)
+    eng = make_engine("torchgt", num_layers=3, hidden_dim=32,
+                      reorder_min_nodes=64)
+    cfg = small_graphormer_config(gds.features[0].shape[1], gds.num_classes,
+                                  task="graph-classification")
+    # Preprocessing is a one-time cost amortised over the full training run;
+    # the paper trains MalNet to convergence (hundreds of epochs), so use
+    # enough epochs here that the amortisation effect is visible.
+    rec = train_graph_task(Graphormer(cfg, seed=0), gds, eng, epochs=10, lr=3e-3)
+    rows.append(("malnet-like", rec.preprocess_seconds,
+                 float(sum(rec.epoch_times))))
+    return rows
+
+
+def test_preprocessing_cost_fraction(benchmark, save_report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = TableReport(
+        title="§IV-E — preprocessing cost vs training time (measured)",
+        columns=["dataset", "preprocessing", "training", "preproc share"])
+    for name, pre, train in rows:
+        share = pre / (pre + train)
+        report.add_row(name, fmt_time(pre), fmt_time(train),
+                       f"{share * 100:.1f}%")
+    report.add_note("paper: 5.4% on ogbn-arxiv, 2.0% on MalNet")
+    save_report("preprocessing", report)
+    for name, pre, train in rows:
+        assert pre / (pre + train) < 0.30  # preprocessing stays minor

@@ -1,0 +1,138 @@
+"""Table V — end-to-end training: epoch time and test accuracy.
+
+Paper (one 8×3090 server): GP-Raw OOMs everywhere; TorchGT beats GP-Flash
+by 3.3–62.7× in epoch time while matching or beating its accuracy.
+
+Reproduction strategy: epoch *times* at the paper's true scale come from
+the roofline cost model (S=256K for GPH_slim/GT, 32K for GPH_large, 64K on
+ogbn-arxiv — the paper's settings); *accuracy* comes from real training on
+the scaled synthetic datasets with the same engines.
+"""
+
+import numpy as np
+
+from repro.bench import TableReport, fmt_time
+from repro.core import make_engine
+from repro.graph import NODE_DATASET_SPECS, GRAPH_DATASET_SPECS, load_node_dataset
+from repro.hardware import (
+    RTX3090_SERVER,
+    OutOfMemoryError,
+    TrainingCostModel,
+    WorkloadSpec,
+)
+from repro.models import Graphormer
+from repro.train import train_node_classification
+
+from conftest import small_graphormer_config
+
+# (model name, hidden, heads, layers, default S)
+MODELS = [
+    ("GPHslim", 64, 8, 4, 256_000),
+    ("GPHlarge", 768, 32, 12, 32_000),
+    ("GT", 128, 8, 4, 256_000),
+]
+
+DATASETS = ["malnet", "ogbn-papers100M", "ogbn-products", "ogbn-arxiv", "amazon"]
+
+ENGINES = ["gp-raw", "gp-flash", "torchgt"]
+
+
+def _tokens_per_epoch(name: str) -> int:
+    if name == "malnet":
+        p = GRAPH_DATASET_SPECS["malnet"]["paper"]
+        return 10_833 * p.num_nodes  # graphs × avg nodes
+    return NODE_DATASET_SPECS[name]["paper"].num_nodes
+
+
+def _avg_degree(name: str) -> float:
+    if name == "malnet":
+        p = GRAPH_DATASET_SPECS["malnet"]["paper"]
+        return 2.0 * p.num_edges / p.num_nodes
+    return NODE_DATASET_SPECS[name]["paper"].avg_degree
+
+
+def _modeled_times():
+    model = TrainingCostModel(RTX3090_SERVER)
+    out = {}
+    for mname, hidden, heads, layers, s_default in MODELS:
+        for ds in DATASETS:
+            S = 64_000 if ds == "ogbn-arxiv" and mname != "GPHlarge" else s_default
+            w = WorkloadSpec(
+                seq_len=S, hidden_dim=hidden, num_heads=heads,
+                num_layers=layers, avg_degree=_avg_degree(ds), num_gpus=8,
+                tokens_per_epoch=_tokens_per_epoch(ds),
+                # at paper scale the fully-connected interleave fires a
+                # few times per epoch, not every 8th iteration
+                dense_interleave_period=50,
+            )
+            for engine in ENGINES:
+                kind = make_engine(engine).attention_kind
+                try:
+                    out[(mname, ds, engine)] = model.epoch_time(kind, w)
+                except OutOfMemoryError:
+                    out[(mname, ds, engine)] = float("nan")
+    return out
+
+
+def _measured_accuracies():
+    """Real short-budget training (scaled datasets, shrunk GPH_slim)."""
+    out = {}
+    for ds_name in ("ogbn-arxiv", "ogbn-products"):
+        ds = load_node_dataset(ds_name, scale=0.25, seed=0)
+        for engine in ENGINES:
+            eng = make_engine(engine, num_layers=3, hidden_dim=32)
+            cfg = small_graphormer_config(ds.features.shape[1], ds.num_classes)
+            rec = train_node_classification(Graphormer(cfg, seed=0), ds, eng,
+                                            epochs=15, lr=3e-3)
+            out[(ds_name, engine)] = rec.best_test
+    return out
+
+
+def test_table5_modeled_epoch_times(benchmark, save_report):
+    times = benchmark.pedantic(_modeled_times, rounds=1, iterations=1)
+    for mname, *_ in MODELS:
+        report = TableReport(
+            title=f"Table V — modeled epoch time, {mname} on 8×RTX3090",
+            columns=["Method"] + DATASETS)
+        for engine in ENGINES:
+            row = [engine]
+            for ds in DATASETS:
+                t = times[(mname, ds, engine)]
+                row.append("OOM" if np.isnan(t) else fmt_time(t))
+            report.add_row(*row)
+        speedups = []
+        for ds in DATASETS:
+            f = times[(mname, ds, "gp-flash")]
+            t = times[(mname, ds, "torchgt")]
+            if np.isfinite(f) and np.isfinite(t):
+                speedups.append(f / t)
+        report.add_note(f"TorchGT speedup over GP-Flash: "
+                        f"{min(speedups):.1f}×–{max(speedups):.1f}× "
+                        "(paper: 3.0×–62.7×)")
+        save_report("table5", report)
+        # Table V shape: raw OOMs, torchgt fastest
+        for ds in DATASETS:
+            assert np.isnan(times[(mname, ds, "gp-raw")])
+            assert (times[(mname, ds, "torchgt")]
+                    < times[(mname, ds, "gp-flash")])
+        if mname == "GPHlarge":
+            # paper: 3.0–3.8× on the FFN-heavy large model (Amdahl)
+            assert max(speedups) > 2
+        else:
+            assert max(speedups) > 8  # the big-sparse-graph regime
+
+
+def test_table5_measured_accuracy(benchmark, save_report):
+    accs = benchmark.pedantic(_measured_accuracies, rounds=1, iterations=1)
+    report = TableReport(
+        title="Table V — measured test accuracy (scaled datasets, GPH_slim)",
+        columns=["Method", "ogbn-arxiv-like", "ogbn-products-like"])
+    for engine in ENGINES:
+        report.add_row(engine,
+                       f"{accs[('ogbn-arxiv', engine)]:.3f}",
+                       f"{accs[('ogbn-products', engine)]:.3f}")
+    report.add_note("paper: TorchGT matches/beats GP-Flash accuracy on "
+                    "every dataset (e.g. arxiv 53.81 vs 48.25)")
+    save_report("table5", report)
+    for ds in ("ogbn-arxiv", "ogbn-products"):
+        assert accs[(ds, "torchgt")] >= accs[(ds, "gp-flash")] - 0.06

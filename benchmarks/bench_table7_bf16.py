@@ -1,0 +1,59 @@
+"""Table VII — BF16 vs FP32: FlashAttention's accuracy drop is precision.
+
+Paper (ogbn-arxiv / Amazon): TorchGT-BF16 matches GP-Flash accuracy while
+TorchGT-FP32 is clearly higher — pinning GP-Flash's accuracy deficit on
+its FP16/BF16-only kernel, not on the system design.  TorchGT-BF16 is
+also the fastest configuration, but the paper ships FP32 for quality.
+"""
+
+from repro.bench import TableReport
+from repro.core import GPFlashEngine, TorchGTEngine
+from repro.graph import load_node_dataset
+from repro.models import Graphormer
+from repro.train import train_node_classification
+
+from conftest import small_graphormer_config
+
+EPOCHS = 18
+
+
+def _run_table7():
+    out = {}
+    for ds_name in ("ogbn-arxiv", "amazon"):
+        ds = load_node_dataset(ds_name, scale=0.25, seed=1)
+        cfg = small_graphormer_config(ds.features.shape[1], ds.num_classes)
+        engines = {
+            "gp-flash": GPFlashEngine(num_layers=cfg.num_layers),  # bf16
+            "torchgt-bf16": TorchGTEngine(num_layers=cfg.num_layers,
+                                          hidden_dim=cfg.hidden_dim,
+                                          precision="bf16"),
+            "torchgt-fp32": TorchGTEngine(num_layers=cfg.num_layers,
+                                          hidden_dim=cfg.hidden_dim,
+                                          precision="fp32"),
+        }
+        for name, eng in engines.items():
+            rec = train_node_classification(Graphormer(cfg, seed=0), ds, eng,
+                                            epochs=EPOCHS, lr=3e-3)
+            out[(ds_name, name)] = (rec.mean_epoch_time, rec.best_test)
+    return out
+
+
+def test_table7_precision_study(benchmark, save_report):
+    out = benchmark.pedantic(_run_table7, rounds=1, iterations=1)
+    report = TableReport(
+        title="Table VII — throughput & accuracy vs precision (measured)",
+        columns=["dataset", "method", "epoch time (s)", "test acc"])
+    for ds_name in ("ogbn-arxiv", "amazon"):
+        for name in ("gp-flash", "torchgt-bf16", "torchgt-fp32"):
+            t, a = out[(ds_name, name)]
+            report.add_row(ds_name, name, f"{t:.3f}", f"{a:.3f}")
+    report.add_note("paper: TorchGT-BF16 ≈ GP-Flash accuracy; "
+                    "TorchGT-FP32 higher (53.81 vs 48.25 on arxiv)")
+    save_report("table7", report)
+    for ds_name in ("ogbn-arxiv", "amazon"):
+        flash_acc = out[(ds_name, "gp-flash")][1]
+        bf16_acc = out[(ds_name, "torchgt-bf16")][1]
+        fp32_acc = out[(ds_name, "torchgt-fp32")][1]
+        # fp32 TorchGT at least matches the bf16 variants (tolerance for
+        # small-scale training noise)
+        assert fp32_acc >= min(flash_acc, bf16_acc) - 0.05

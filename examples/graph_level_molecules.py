@@ -1,0 +1,60 @@
+"""Graph-level task: molecule property regression (ZINC-style).
+
+The paper's second task family — each input sequence is one whole graph.
+This example trains Graphormer-slim on the ZINC stand-in with the full
+TorchGT engine and contrasts the three attention variants of Fig. 11
+(full / sparse / interleaved) on final test MAE.
+
+Run:  python examples/graph_level_molecules.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import GPRawEngine, GPSparseEngine, TorchGTEngine
+from repro.graph import load_graph_dataset
+from repro.models import GRAPHORMER_SLIM, Graphormer
+from repro.train import train_graph_task
+
+EPOCHS = 8
+
+
+def main() -> None:
+    ds = load_graph_dataset("zinc", scale=0.2, seed=0)
+    sizes = [g.num_nodes for g in ds.graphs]
+    print(f"dataset: {ds.name}  graphs={ds.num_graphs}  "
+          f"avg nodes={np.mean(sizes):.1f}  "
+          f"(paper ZINC: 12,000 graphs, 23.2 avg nodes)")
+
+    cfg = replace(GRAPHORMER_SLIM(ds.features[0].shape[1], 0, task="regression"),
+                  num_layers=3, hidden_dim=32, num_heads=4, dropout=0.0)
+
+    engines = {
+        "full attention": GPRawEngine(num_layers=cfg.num_layers),
+        "sparse attention": GPSparseEngine(num_layers=cfg.num_layers),
+        "interleaved (TorchGT)": TorchGTEngine(
+            num_layers=cfg.num_layers, hidden_dim=cfg.hidden_dim,
+            interleave_period=4),
+    }
+    results = {}
+    for name, engine in engines.items():
+        model = Graphormer(cfg, seed=0)
+        rec = train_graph_task(model, ds, engine, epochs=EPOCHS, lr=3e-3)
+        results[name] = rec
+        curve = " ".join(f"{m:.3f}" for m in rec.test_metric)
+        print(f"\n[{name}]")
+        print(f"  test MAE per epoch: {curve}")
+        print(f"  best: {rec.best_test:.3f}   "
+              f"mean epoch: {rec.mean_epoch_time:.2f}s")
+
+    print("\n=== Fig. 11 shape check ===")
+    full = results["full attention"].best_test
+    sparse = results["sparse attention"].best_test
+    inter = results["interleaved (TorchGT)"].best_test
+    print(f"full {full:.3f}  |  interleaved {inter:.3f}  |  sparse {sparse:.3f}")
+    print("paper: interleaved ≈ full, both better than pure sparse")
+
+
+if __name__ == "__main__":
+    main()

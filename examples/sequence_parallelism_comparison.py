@@ -1,0 +1,102 @@
+"""Sequence-parallelism shootout — Cluster-aware Graph Parallelism vs the
+LLM baselines (all-gather SP and Ring Attention).
+
+Reproduces §III-C's communication argument end to end on the simulated
+P-rank runtime:
+
+1. all three schemes compute the *same* attention output (verified here
+   against the single-device kernel);
+2. their per-GPU wire volume differs asymptotically — 4·S·d/P for the
+   two all-to-alls vs O(S·d) for all-gather and ring;
+3. priced on the paper's actual links (PCIe 4.0 / 1 Gb Ethernet for the
+   3090 testbed, NVLink / 200 Gb InfiniBand for the A100 testbed), the
+   gap is the difference between scaling and stalling.
+
+Run:  python examples/sequence_parallelism_comparison.py
+"""
+
+import numpy as np
+
+from repro.attention import dense_attention, sparse_attention, topology_pattern
+from repro.distributed import (
+    Communicator,
+    ShardPlan,
+    cluster_aware_attention,
+    naive_sequence_parallel_attention,
+    ring_attention,
+)
+from repro.graph import dc_sbm
+from repro.hardware import ETHERNET_1G, INFINIBAND_200G, NVLINK3, PCIE4_X16
+from repro.tensor import Tensor
+
+
+def shard(arr, plan):
+    return [arr[:, s].copy() for s in plan.row_slices()]
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    H, S, dh, P = 8, 512, 8, 8
+    g, _ = dc_sbm(S, 8, 8.0, rng)
+    pattern = topology_pattern(g)
+    q, k, v = (rng.standard_normal((H, S, dh)) for _ in range(3))
+    plan = ShardPlan(S, H, P)
+
+    # -- 1. correctness: all schemes agree with the local kernel --------
+    print(f"=== correctness on S={S}, H={H}, P={P} ===")
+    ref_sparse = sparse_attention(Tensor(q), Tensor(k), Tensor(v), pattern).data
+    ref_dense = dense_attention(Tensor(q), Tensor(k), Tensor(v)).data
+
+    comms = {name: Communicator(P) for name in ("cluster-aware", "all-gather", "ring")}
+    out_ca = np.concatenate(cluster_aware_attention(
+        comms["cluster-aware"], plan, shard(q, plan), shard(k, plan),
+        shard(v, plan), pattern), axis=1)
+    out_ag = np.concatenate(naive_sequence_parallel_attention(
+        comms["all-gather"], plan, shard(q, plan), shard(k, plan),
+        shard(v, plan), pattern), axis=1)
+    out_ring = np.concatenate(ring_attention(
+        comms["ring"], plan, shard(q, plan), shard(k, plan),
+        shard(v, plan)), axis=1)
+
+    print(f"  cluster-aware vs local sparse kernel: "
+          f"max |Δ| = {np.abs(out_ca - ref_sparse).max():.2e}")
+    print(f"  all-gather    vs local sparse kernel: "
+          f"max |Δ| = {np.abs(out_ag - ref_sparse).max():.2e}")
+    print(f"  ring          vs local dense  kernel: "
+          f"max |Δ| = {np.abs(out_ring - ref_dense).max():.2e}")
+    print("  (ring computes dense attention — the graph pattern cannot be")
+    print("   applied across time-sliced K/V blocks; see repro.distributed.ring)")
+
+    # -- 2. measured wire volume per GPU ---------------------------------
+    print("\n=== measured wire bytes per GPU (one attention call) ===")
+    print(f"{'P':>4} {'cluster-aware':>15} {'all-gather':>12} {'ring':>12}")
+    for p_sweep in (2, 4, 8, 16):
+        plan_p = ShardPlan(S, 16, p_sweep)
+        local = {name: Communicator(p_sweep)
+                 for name in ("cluster-aware", "all-gather", "ring")}
+        qs, ks, vs = (shard(a, plan_p) for a in (q, k, v))
+        cluster_aware_attention(local["cluster-aware"], plan_p, qs, ks, vs, pattern)
+        naive_sequence_parallel_attention(local["all-gather"], plan_p, qs, ks, vs,
+                                          pattern)
+        ring_attention(local["ring"], plan_p, qs, ks, vs)
+        row = [local[n].log.per_rank_bytes()
+               for n in ("cluster-aware", "all-gather", "ring")]
+        print(f"{p_sweep:>4} {row[0]:>15,} {row[1]:>12,} {row[2]:>12,}")
+    print("  cluster-aware shrinks ∝ 1/P; the baselines saturate at O(S·d)")
+
+    # -- 3. modeled time at paper scale on paper links --------------------
+    print("\n=== modeled wire time, paper scale (S=1M, d=768, P=16) ===")
+    S_paper, d_paper, P_paper = 1_000_000, 768, 16
+    vol_ca = 4 * S_paper * d_paper * 4 / P_paper
+    vol_ag = 2 * S_paper * d_paper * 4 * (P_paper - 1) / P_paper
+    print(f"{'link':<22} {'cluster-aware':>15} {'all-gather/ring':>16}")
+    for link in (NVLINK3, INFINIBAND_200G, PCIE4_X16, ETHERNET_1G):
+        t_ca = vol_ca / link.bandwidth
+        t_ag = vol_ag / link.bandwidth
+        print(f"{link.name:<22} {t_ca * 1e3:>13.1f}ms {t_ag * 1e3:>14.1f}ms")
+    print("\nper layer per iteration — ×L layers ×epochs, the all-to-all's "
+          "O(S/P) is what keeps Fig. 7's scaling near-linear.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup script.
+
+This offline environment has no ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail; keeping a classic setup.py lets
+``pip install -e .`` take the legacy ``setup.py develop`` path.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "TorchGT reproduction: a holistic system for large-scale graph "
+        "transformer training (SC 2024), rebuilt in pure numpy"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

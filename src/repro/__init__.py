@@ -1,0 +1,45 @@
+"""TorchGT reproduction — a holistic system for large-scale graph
+transformer training (SC 2024), rebuilt from scratch in numpy.
+
+Subpackages
+-----------
+``repro.tensor``
+    Numpy autograd substrate (Tensor, nn modules, optimizers, bf16 sim).
+``repro.graph``
+    CSR graphs, synthetic dataset stand-ins, structural algorithms.
+``repro.partition``
+    METIS-substitute multilevel partitioner + cluster reordering.
+``repro.attention``
+    Dense / flash / topology-sparse / cluster-sparse attention kernels.
+``repro.hardware``
+    Analytic GPU model (3090, A100): roofline pricing, caches, OOM.
+``repro.distributed``
+    Simulated collectives and Cluster-aware Graph Parallelism.
+``repro.models``
+    Graphormer (slim/large), GT, plus GCN/GAT baselines.
+``repro.core``
+    The paper's contribution: Dual-interleaved Attention, Elastic
+    Computation Reformation, Auto Tuner, and the training engines
+    (TorchGT vs GP-Raw / GP-Flash / GP-Sparse).
+``repro.train``
+    Engine-agnostic training loops and metrics.
+``repro.bench``
+    Table/figure harness used by the ``benchmarks/`` suite.
+"""
+
+__version__ = "1.0.0"
+
+from . import attention, core, distributed, graph, hardware, models, partition, tensor, train
+
+__all__ = [
+    "tensor",
+    "graph",
+    "partition",
+    "attention",
+    "hardware",
+    "distributed",
+    "models",
+    "core",
+    "train",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Attention kernels: dense (GP-Raw), flash (GP-Flash), topology-sparse
+(GP-Sparse) and block/cluster-sparse (ECR execution path)."""
+
+from .stats import AttentionStats, StatsCollector, collector
+from .patterns import AttentionPattern, full_pattern, topology_pattern, window_pattern
+from .dense import dense_attention
+from .flash import flash_attention
+from .sparse import segment_softmax, sparse_attention
+from .block import BlockLayout, Rect, block_attention_forward, layout_from_pattern
+from .performer import performer_attention, performer_features, random_feature_matrix
+from .expander import (
+    expander_pattern,
+    exphormer_pattern,
+    random_regular_expander,
+)
+from .nlp_patterns import (
+    bigbird_pattern,
+    global_token_pattern,
+    longformer_pattern,
+    random_pattern,
+)
+
+__all__ = [
+    "AttentionStats",
+    "StatsCollector",
+    "collector",
+    "AttentionPattern",
+    "topology_pattern",
+    "full_pattern",
+    "window_pattern",
+    "dense_attention",
+    "flash_attention",
+    "sparse_attention",
+    "segment_softmax",
+    "BlockLayout",
+    "Rect",
+    "block_attention_forward",
+    "layout_from_pattern",
+    "performer_attention",
+    "performer_features",
+    "random_feature_matrix",
+    "random_pattern",
+    "global_token_pattern",
+    "longformer_pattern",
+    "bigbird_pattern",
+    "random_regular_expander",
+    "expander_pattern",
+    "exphormer_pattern",
+]

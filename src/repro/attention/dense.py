@@ -1,0 +1,88 @@
+"""Standard (fully-connected) multi-head attention — the GP-Raw kernel.
+
+Materializes the full S×S score matrix, exactly as the vanilla graph
+transformer implementations the paper calls GP-Raw do.  This is the
+O(N²)-memory baseline that OOMs on every large dataset in Table V.
+
+Implemented as a single fused autograd op: forward keeps the probability
+matrix, backward applies the standard attention gradient identities
+(dV = Pᵀ dO, dP = dO Vᵀ, dS = P ∘ (dP − rowsum(dP ∘ P)), dQ = dS K,
+dK = dSᵀ Q).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .stats import AttentionStats, collector
+
+__all__ = ["dense_attention"]
+
+
+def dense_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    bias: Tensor | None = None,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+) -> Tensor:
+    """Softmax(Q Kᵀ · scale + bias) V over shape ``(H, S, dh)`` inputs.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(H, S, dh)`` tensors.
+    bias:
+        Optional additive attention bias, ``(H, S, S)`` or ``(1, S, S)``
+        (Graphormer's SPD bias).  Gradients flow into it.
+    mask:
+        Optional boolean ``(S, S)``; False entries are excluded from the
+        softmax (used to emulate pattern attention with the dense kernel).
+    scale:
+        Defaults to ``1/sqrt(dh)``.
+    """
+    H, S, dh = q.shape
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+
+    parents: list[Tensor] = [q, k, v]
+    scores = np.einsum("hid,hjd->hij", q.data, k.data) * scale
+    if bias is not None:
+        scores = scores + bias.data
+        parents.append(bias)
+    if mask is not None:
+        scores = np.where(mask[None, :, :], scores, -1e30)
+
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    p = np.exp(shifted)
+    if mask is not None:
+        p = p * mask[None, :, :]
+    denom = np.maximum(p.sum(axis=-1, keepdims=True), 1e-30)
+    p = p / denom
+    out_data = np.einsum("hij,hjd->hid", p, v.data)
+
+    def backward(g):
+        dp = np.einsum("hid,hjd->hij", g, v.data)
+        ds = p * (dp - np.einsum("hij,hij->hi", dp, p)[:, :, None])
+        if v.requires_grad:
+            v._accumulate(np.einsum("hij,hid->hjd", p, g))
+        if q.requires_grad:
+            q._accumulate(np.einsum("hij,hjd->hid", ds, k.data) * scale)
+        if k.requires_grad:
+            k._accumulate(np.einsum("hij,hid->hjd", ds, q.data) * scale)
+        if bias is not None and bias.requires_grad:
+            gb = ds if bias.data.shape[0] == H else ds.sum(axis=0, keepdims=True)
+            bias._accumulate(gb)
+
+    itemsize = q.data.itemsize
+    collector.add(AttentionStats(
+        kind="dense", seq_len=S, num_heads=H, head_dim=dh,
+        scores_computed=H * S * S,
+        flops=4 * H * S * S * dh,
+        # naive kernel round-trips the S×S scores through memory ~3 times
+        regular_bytes=itemsize * H * S * (3 * S + 3 * dh),
+        irregular_bytes=0,
+    ))
+    return Tensor._make(out_data, parents, backward)

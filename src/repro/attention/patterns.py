@@ -1,0 +1,152 @@
+"""Attention patterns: which (query, key) pairs a sparse kernel evaluates.
+
+An :class:`AttentionPattern` is a fixed edge set in CSR order (row = query
+node, col = key node).  Builders construct the patterns the paper uses:
+
+* :func:`topology_pattern` — the local topology-induced pattern of §III-B:
+  the input graph's edges, plus mandatory self-loops (condition C1), plus
+  optional global-token edges;
+* :func:`full_pattern` — all pairs (the dense pattern, for testing kernel
+  equivalence);
+* :func:`window_pattern` — a sliding-window NLP-style pattern used as an
+  ablation control (a sparse pattern that *ignores* graph structure).
+
+Patterns also expose a cluster view (given cluster boundaries) that the
+Elastic Computation Reformation operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["AttentionPattern", "topology_pattern", "full_pattern", "window_pattern"]
+
+
+@dataclass
+class AttentionPattern:
+    """A fixed sparse attention pattern in CSR row order.
+
+    Attributes
+    ----------
+    indptr, cols:
+        CSR arrays: row ``i`` attends to ``cols[indptr[i]:indptr[i+1]]``.
+    seq_len:
+        Number of query rows (== number of key columns).
+    """
+
+    indptr: np.ndarray
+    cols: np.ndarray
+    seq_len: int
+
+    @property
+    def num_entries(self) -> int:
+        return int(len(self.cols))
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Expanded row index per entry (same length as ``cols``)."""
+        return np.repeat(np.arange(self.seq_len, dtype=np.int64),
+                         np.diff(self.indptr))
+
+    def sparsity(self) -> float:
+        """β: fraction of nonzero score entries in the S×S layout."""
+        s = self.seq_len
+        return self.num_entries / float(s * s) if s else 0.0
+
+    def to_mask(self) -> np.ndarray:
+        """Dense boolean (S, S) mask; small sequences only."""
+        if self.seq_len > 20_000:
+            raise MemoryError("refusing to densify a huge pattern")
+        m = np.zeros((self.seq_len, self.seq_len), dtype=bool)
+        m[self.rows, self.cols] = True
+        return m
+
+    def to_graph(self) -> CSRGraph:
+        """Interpret the pattern as a graph (for the C1–C3 checks)."""
+        edges = np.stack([self.rows, self.cols], axis=1)
+        return CSRGraph.from_edges(self.seq_len, edges, symmetrize=False)
+
+    def has_self_loops(self) -> bool:
+        """Condition C1: every row attends to itself."""
+        rows, cols = self.rows, self.cols
+        diag = rows[rows == cols]
+        return len(np.unique(diag)) == self.seq_len
+
+    @staticmethod
+    def from_entries(seq_len: int, rows: np.ndarray, cols: np.ndarray) -> "AttentionPattern":
+        """Build from unordered entry lists (deduplicated, CSR-sorted)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if len(rows) != len(cols):
+            raise ValueError("rows and cols must have equal length")
+        if len(rows) and (rows.min() < 0 or rows.max() >= seq_len
+                          or cols.min() < 0 or cols.max() >= seq_len):
+            raise ValueError("entry index out of range")
+        # dedupe via linear index
+        lin = rows * seq_len + cols
+        lin = np.unique(lin)
+        rows = lin // seq_len
+        cols = lin % seq_len
+        counts = np.bincount(rows, minlength=seq_len)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return AttentionPattern(indptr=indptr, cols=cols, seq_len=seq_len)
+
+    def cluster_entry_counts(self, bounds: np.ndarray) -> np.ndarray:
+        """Entry count per (cluster_i, cluster_j) cell of the k×k grid.
+
+        ``bounds`` are the cluster boundary offsets (length k+1) from the
+        cluster reordering; rows/cols are assumed already in the clustered
+        layout.
+        """
+        k = len(bounds) - 1
+        ri = np.searchsorted(bounds, self.rows, side="right") - 1
+        ci = np.searchsorted(bounds, self.cols, side="right") - 1
+        counts = np.zeros((k, k), dtype=np.int64)
+        np.add.at(counts, (ri, ci), 1)
+        return counts
+
+
+def topology_pattern(g: CSRGraph, global_tokens: int = 0) -> AttentionPattern:
+    """The local topology-induced pattern of §III-B.
+
+    Rows/cols follow the node ids of ``g``; self-loops are always added
+    (condition C1).  If ``global_tokens`` > 0, the *first* that many nodes
+    are treated as global tokens: they attend to, and are attended by,
+    every node — the paper augments Ẽ with the global token's edges.
+    """
+    rows = [g.edge_array()[:, 0], np.arange(g.num_nodes, dtype=np.int64)]
+    cols = [g.edge_array()[:, 1], np.arange(g.num_nodes, dtype=np.int64)]
+    if global_tokens > 0:
+        gt = np.arange(global_tokens, dtype=np.int64)
+        allv = np.arange(g.num_nodes, dtype=np.int64)
+        # global token g attends to all; all attend to g
+        rows.append(np.repeat(gt, g.num_nodes))
+        cols.append(np.tile(allv, global_tokens))
+        rows.append(np.tile(allv, global_tokens))
+        cols.append(np.repeat(gt, g.num_nodes))
+    return AttentionPattern.from_entries(
+        g.num_nodes, np.concatenate(rows), np.concatenate(cols))
+
+
+def full_pattern(seq_len: int) -> AttentionPattern:
+    """All-pairs pattern (dense attention expressed as a pattern)."""
+    rows = np.repeat(np.arange(seq_len, dtype=np.int64), seq_len)
+    cols = np.tile(np.arange(seq_len, dtype=np.int64), seq_len)
+    return AttentionPattern.from_entries(seq_len, rows, cols)
+
+
+def window_pattern(seq_len: int, window: int) -> AttentionPattern:
+    """Sliding-window pattern (±window), the NLP-style sparse control.
+
+    Ignores graph structure entirely — used in ablations to show *why*
+    grafting NLP sparse patterns onto graph transformers hurts accuracy.
+    """
+    offs = np.arange(-window, window + 1)
+    rows = np.repeat(np.arange(seq_len, dtype=np.int64), len(offs))
+    cols = rows + np.tile(offs, seq_len)
+    keep = (cols >= 0) & (cols < seq_len)
+    return AttentionPattern.from_entries(seq_len, rows[keep], cols[keep])

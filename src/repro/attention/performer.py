@@ -1,0 +1,131 @@
+"""Performer-style kernelized linear attention (Choromanski et al., the
+paper's ref [35]).
+
+One of the two NLP answers to quadratic attention the paper surveys in
+§II-C (I2): approximate ``softmax(QKᵀ)V`` by a low-rank feature map,
+
+    Attn(Q, K, V) ≈ φ(Q) (φ(K)ᵀ V) / (φ(Q) (φ(K)ᵀ 1)),
+
+with the FAVOR+ positive random features
+
+    φ(x) = exp(Wx − ‖x‖²/2) / √m,   W ∼ N(0, I)^{m×dh}  (optionally
+    orthogonalized), giving E[φ(q)·φ(k)] = exp(q·k).
+
+Complexity is O(S·m·dh) — linear in sequence length — but the kernel is an
+*approximation* with no notion of graph structure, which is exactly the
+paper's argument for topology-induced attention instead: the graph is the
+true interaction set, not a statistical surrogate.  The convergence
+ablation benchmark pits this kernel against the topology pattern.
+
+Built from composed autograd ops (matmul/exp/sum), so gradients flow into
+Q, K, V with no bespoke backward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .stats import AttentionStats, collector
+
+__all__ = ["random_feature_matrix", "performer_features", "performer_attention"]
+
+
+def random_feature_matrix(num_features: int, head_dim: int,
+                          rng: np.random.Generator,
+                          orthogonal: bool = True) -> np.ndarray:
+    """Draw the (m, dh) projection W for FAVOR+.
+
+    ``orthogonal=True`` orthogonalizes each dh-sized block of rows (QR on
+    a square Gaussian, rescaled to chi-distributed norms), which lowers
+    the estimator variance — the trick from the Performer paper.
+    """
+    if num_features <= 0 or head_dim <= 0:
+        raise ValueError("num_features and head_dim must be positive")
+    if not orthogonal:
+        return rng.standard_normal((num_features, head_dim))
+    blocks = []
+    remaining = num_features
+    while remaining > 0:
+        gaussian = rng.standard_normal((head_dim, head_dim))
+        qmat, _ = np.linalg.qr(gaussian)
+        # restore Gaussian row norms (QR rows are unit length)
+        norms = np.sqrt(rng.chisquare(head_dim, size=head_dim))
+        block = qmat * norms[:, None]
+        take = min(remaining, head_dim)
+        blocks.append(block[:take])
+        remaining -= take
+    return np.concatenate(blocks, axis=0)
+
+
+def performer_features(x: Tensor, w: np.ndarray, stabilizer: bool = True) -> Tensor:
+    """FAVOR+ positive features φ(x) for ``x`` of shape (H, S, dh).
+
+    Returns (H, S, m).  ``stabilizer`` subtracts the per-head max of the
+    projection before exp.  The shift must be constant across the whole
+    head — a per-row shift would rescale each key's feature row by a
+    different factor, which does *not* cancel in the attention ratio and
+    silently distorts the softmax weights.
+    """
+    m = w.shape[0]
+    proj = x @ Tensor(w.T)  # (H, S, m)
+    sq = (x * x).sum(axis=-1, keepdims=True) * 0.5  # ‖x‖²/2, (H, S, 1)
+    logits = proj - sq
+    if stabilizer:
+        shift = logits.data.max(axis=(-2, -1), keepdims=True)  # per head
+        logits = logits - Tensor(shift)
+    return logits.exp() * (1.0 / np.sqrt(m))
+
+
+def performer_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    num_features: int = 64,
+    rng: np.random.Generator | None = None,
+    w: np.ndarray | None = None,
+    scale: float | None = None,
+    eps: float = 1e-6,
+) -> Tensor:
+    """Linear-complexity attention over ``(H, S, dh)`` tensors.
+
+    Parameters
+    ----------
+    num_features:
+        m, the random-feature count; approximation error ~ O(1/√m).
+    rng / w:
+        Either a generator to draw W from, or a pre-drawn W (m, dh) —
+        models keep W fixed across steps, so they pass ``w``.
+    scale:
+        Score temperature; defaults to 1/√dh, folded into Q and K
+        symmetrically (each scaled by scale^(1/2)).
+    """
+    H, S, dh = q.shape
+    if w is None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        w = random_feature_matrix(num_features, dh, rng)
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+    root = float(np.sqrt(scale))
+
+    phi_q = performer_features(q * root, w)  # (H, S, m)
+    phi_k = performer_features(k * root, w)  # (H, S, m)
+
+    # numerator: φ(Q) (φ(K)ᵀ V)  — O(S·m·dh), never S×S
+    kv = phi_k.swapaxes(1, 2) @ v  # (H, m, dh)
+    num = phi_q @ kv  # (H, S, dh)
+    # denominator: φ(Q) (φ(K)ᵀ 1)
+    ksum = phi_k.sum(axis=1, keepdims=True)  # (H, 1, m)
+    den = (phi_q * ksum).sum(axis=-1, keepdims=True) + eps  # (H, S, 1)
+    out = num / den
+
+    m = w.shape[0]
+    itemsize = q.data.itemsize
+    collector.add(AttentionStats(
+        kind="performer", seq_len=S, num_heads=H, head_dim=dh,
+        scores_computed=H * S * m,
+        flops=4 * H * S * m * dh,
+        regular_bytes=itemsize * H * S * (4 * m + 4 * dh),
+        irregular_bytes=0,
+    ))
+    return out

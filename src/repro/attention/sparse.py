@@ -1,0 +1,149 @@
+"""Topology-induced sparse attention (the GP-Sparse kernel).
+
+Evaluates attention scores only at the entries of an
+:class:`~repro.attention.patterns.AttentionPattern`: complexity O(Ẽ·d)
+instead of O(S²·d).  The per-edge gathers this requires are exactly the
+irregular memory accesses §II-C's Table II measures; the kernel reports
+them as ``irregular_bytes`` so the hardware model can price them.
+
+Vectorization strategy (no Python loop over edges):
+
+* scores per entry via a gathered einsum over (src, dst) index arrays;
+* row-wise softmax via ``np.maximum.reduceat`` / segment sums over the CSR
+  row pointer;
+* the weighted aggregation and all matrix-shaped backward products via
+  per-head ``scipy.sparse`` CSR matmuls, which are C-speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import Tensor
+from .patterns import AttentionPattern
+from .stats import AttentionStats, collector
+
+__all__ = ["sparse_attention", "segment_softmax"]
+
+
+def _segment_reduce(values: np.ndarray, indptr: np.ndarray, ufunc,
+                    empty_val: float) -> np.ndarray:
+    """Per-row ``ufunc`` reduction of CSR-ordered ``values``.
+
+    Empty rows get ``empty_val``.  Reduceat is applied only at the starts
+    of *non-empty* segments: consecutive non-empty starts are exactly each
+    segment's boundaries (empty segments collapse onto the next start), so
+    no index clamping is needed — clamping would silently truncate the
+    last non-empty segment when trailing rows are empty.
+    """
+    counts = np.diff(indptr)
+    nonempty = counts > 0
+    out = np.full(values.shape[:-1] + (len(counts),), empty_val)
+    if values.shape[-1] and nonempty.any():
+        starts_ne = indptr[:-1][nonempty]
+        seg = ufunc.reduceat(values, starts_ne, axis=-1)
+        out[..., nonempty] = seg
+    return out
+
+
+def _segment_max(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row max of CSR-ordered ``values`` (last axis = entries)."""
+    return _segment_reduce(values, indptr, np.maximum, -np.inf)
+
+
+def _segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row sum of CSR-ordered ``values``."""
+    return _segment_reduce(values, indptr, np.add, 0.0)
+
+
+def segment_softmax(scores: np.ndarray, indptr: np.ndarray,
+                    rows: np.ndarray) -> np.ndarray:
+    """Softmax over CSR row segments; ``scores`` shape (..., E)."""
+    row_max = _segment_max(scores, indptr)
+    shifted = scores - row_max[..., rows]
+    e = np.exp(shifted)
+    denom = _segment_sum(e, indptr)
+    return e / np.maximum(denom[..., rows], 1e-30)
+
+
+def sparse_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    pattern: AttentionPattern,
+    bias: Tensor | None = None,
+    scale: float | None = None,
+) -> Tensor:
+    """Pattern-restricted attention over ``(H, S, dh)`` inputs.
+
+    ``bias`` may be a per-entry tensor of shape ``(H, E)`` or ``(1, E)``
+    (Graphormer's SPD bias gathered at the pattern entries); gradients flow
+    into it.  Rows with no pattern entries produce zero output.
+    """
+    H, S, dh = q.shape
+    if S != pattern.seq_len:
+        raise ValueError(f"pattern is for seq_len={pattern.seq_len}, inputs have S={S}")
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+
+    rows = pattern.rows
+    cols = pattern.cols
+    indptr = pattern.indptr
+    E = pattern.num_entries
+
+    parents: list[Tensor] = [q, k, v]
+    # gathered score per entry: (H, E)
+    scores = np.einsum("hed,hed->he", q.data[:, rows, :], k.data[:, cols, :]) * scale
+    if bias is not None:
+        scores = scores + bias.data
+        parents.append(bias)
+    p = segment_softmax(scores, indptr, rows)  # (H, E)
+
+    # aggregation out[h] = A_h @ V_h with A_h the S×S CSR of probabilities
+    out_data = np.empty_like(q.data)
+    mats = []
+    for h in range(H):
+        a = sp.csr_matrix((p[h], cols, indptr), shape=(S, S))
+        mats.append(a)
+        out_data[h] = a @ v.data[h]
+
+    def backward(g):
+        # dV_h = A_hᵀ dO_h
+        if v.requires_grad:
+            dv = np.empty_like(v.data)
+            for h in range(H):
+                dv[h] = mats[h].T @ g[h]
+            v._accumulate(dv)
+        # d p_e = dO[row_e] · V[col_e]
+        dp = np.einsum("hed,hed->he", g[:, rows, :], v.data[:, cols, :])
+        # softmax backward per row segment
+        dot = _segment_sum(dp * p, indptr)  # (H, S)
+        ds = p * (dp - dot[:, rows])  # (H, E)
+        if bias is not None and bias.requires_grad:
+            gb = ds if bias.data.shape[0] == H else ds.sum(axis=0, keepdims=True)
+            bias._accumulate(gb)
+        if q.requires_grad or k.requires_grad:
+            dq = np.zeros_like(q.data) if q.requires_grad else None
+            dk = np.zeros_like(k.data) if k.requires_grad else None
+            for h in range(H):
+                s_mat = sp.csr_matrix((ds[h], cols, indptr), shape=(S, S))
+                if dq is not None:
+                    dq[h] = (s_mat @ k.data[h]) * scale
+                if dk is not None:
+                    dk[h] = (s_mat.T @ q.data[h]) * scale
+            if dq is not None:
+                q._accumulate(dq)
+            if dk is not None:
+                k._accumulate(dk)
+
+    itemsize = q.data.itemsize
+    collector.add(AttentionStats(
+        kind="sparse", seq_len=S, num_heads=H, head_dim=dh,
+        scores_computed=H * E,
+        flops=4 * H * E * dh,
+        regular_bytes=itemsize * H * S * dh * 2,  # streaming Q and O
+        # every entry gathers a K row and a V row at an arbitrary address
+        irregular_bytes=itemsize * H * E * dh * 2,
+    ))
+    return Tensor._make(out_data, parents, backward)

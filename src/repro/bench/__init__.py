@@ -1,0 +1,5 @@
+"""Benchmark harness: paper table/figure rendering utilities."""
+
+from .harness import SeriesReport, TableReport, fmt_ratio, fmt_time
+
+__all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio"]

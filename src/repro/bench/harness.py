@@ -1,0 +1,97 @@
+"""Table/figure rendering harness for the benchmark suite.
+
+Every ``benchmarks/bench_*.py`` regenerates one table or figure of the
+paper; this module gives them a uniform way to print rows/series in the
+paper's format and to record paper-vs-measured comparisons that
+EXPERIMENTS.md summarizes.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+__all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio"]
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-scaled time: µs/ms/s."""
+    if seconds != seconds:  # NaN
+        return "OOM"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.1f}×"
+
+
+@dataclass
+class TableReport:
+    """A paper table: header row + data rows, pretty-printed aligned."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append([str(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self, file=None) -> None:
+        print("\n" + self.render() + "\n", file=file or sys.stdout)
+
+
+@dataclass
+class SeriesReport:
+    """A paper figure: named series over a shared x-axis."""
+
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list[float]] = field(default_factory=dict)
+    y_label: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        if len(values) != len(self.x_values):
+            raise ValueError(f"series {name!r} length {len(values)} != x length")
+        self.series[name] = list(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        lines = [f"== {self.title} =="]
+        header = [self.x_label] + list(self.series)
+        table = TableReport(title="", columns=header)
+        for i, x in enumerate(self.x_values):
+            row = [x] + [f"{self.series[s][i]:.4g}" for s in self.series]
+            table.add_row(*row)
+        lines.extend(table.render().splitlines()[1:])
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self, file=None) -> None:
+        print("\n" + self.render() + "\n", file=file or sys.stdout)

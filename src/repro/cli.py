@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the workflows a user reaches for before writing code:
+
+* ``info`` — version, engines, modeled devices and dataset registry;
+* ``datasets`` — per-dataset statistics at a chosen scale (what the
+  synthetic stand-ins actually generate, next to the paper's Table III
+  numbers);
+* ``train`` — a quick training run: any dataset × model × engine, with
+  per-epoch loss/metric lines and the TorchGT-vs-baseline speed summary;
+* ``cost`` — price a paper-scale workload on the analytic hardware model
+  (epoch time per engine, max trainable sequence length, OOM boundaries)
+  without training anything.
+
+Every command writes plain text to stdout and returns a process exit
+code, so the CLI is scriptable and the functions are unit-testable by
+calling :func:`main` with an argv list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+# ------------------------------------------------------------------ #
+# command implementations
+# ------------------------------------------------------------------ #
+def cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.graph import available_datasets
+    from repro.hardware import A100_80G, RTX3090
+
+    print(f"repro {repro.__version__} — TorchGT reproduction (SC 2024)")
+    print()
+    print("engines:   gp-raw  gp-flash  gp-sparse  torchgt")
+    print("models:    graphormer-slim  graphormer-large  gt  nodeformer  "
+          "gcn  gat  graphsage")
+    print("devices:")
+    for dev in (RTX3090, A100_80G):
+        print(f"  {dev.name:<12} {dev.memory_bytes / 2**30:.0f} GiB, "
+              f"L2 {dev.l2_bytes / 2**20:.0f} MiB, "
+              f"{dev.peak_flops_fp32 / 1e12:.0f} fp32 TFLOP/s")
+    print("datasets:")
+    for task, names in available_datasets().items():
+        print(f"  {task}: {', '.join(names)}")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.graph import (
+        available_datasets,
+        degree_gini,
+        load_graph_dataset,
+        load_node_dataset,
+        modularity,
+    )
+
+    names = available_datasets()
+    print(f"{'dataset':<18} {'nodes':>9} {'edges':>11} {'feats':>6} "
+          f"{'classes':>8} {'gini':>6} {'modularity':>11}")
+    for name in names["node"]:
+        ds = load_node_dataset(name, scale=args.scale, seed=args.seed)
+        gini = degree_gini(ds.graph)
+        mod = (modularity(ds.graph, ds.blocks)
+               if ds.blocks is not None else float("nan"))
+        print(f"{name:<18} {ds.num_nodes:>9} {ds.graph.num_edges:>11} "
+              f"{ds.features.shape[1]:>6} {ds.num_classes:>8} "
+              f"{gini:>6.2f} {mod:>11.2f}")
+    for name in names["graph"]:
+        ds = load_graph_dataset(name, scale=args.scale, seed=args.seed)
+        sizes = [g.num_nodes for g in ds.graphs]
+        print(f"{name:<18} {int(np.mean(sizes)):>9} "
+              f"{int(np.mean([g.num_edges for g in ds.graphs])):>11} "
+              f"{ds.features[0].shape[1]:>6} {ds.num_classes:>8} "
+              f"{'—':>6} {'—':>11}  ({ds.num_graphs} graphs)")
+    return 0
+
+
+def _build_model(name: str, feature_dim: int, num_classes: int, task: str,
+                 seed: int):
+    from repro.models import (
+        GRAPHORMER_LARGE,
+        GRAPHORMER_SLIM,
+        GT_BASE,
+        Graphormer,
+        GT,
+    )
+
+    name = name.lower()
+    if name in ("graphormer", "graphormer-slim", "gph-slim"):
+        return Graphormer(GRAPHORMER_SLIM(feature_dim, num_classes, task=task),
+                          seed=seed)
+    if name in ("graphormer-large", "gph-large"):
+        return Graphormer(GRAPHORMER_LARGE(feature_dim, num_classes, task=task),
+                          seed=seed)
+    if name == "gt":
+        return GT(GT_BASE(feature_dim, num_classes, task=task), seed=seed)
+    raise ValueError(
+        f"unknown model {name!r} (choose graphormer-slim, graphormer-large, gt)")
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import make_engine
+    from repro.graph import available_datasets, load_graph_dataset, load_node_dataset
+    from repro.train import train_graph_task, train_node_classification
+
+    names = available_datasets()
+    t0 = time.perf_counter()
+    if args.dataset in names["node"]:
+        ds = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        task = "node-classification"
+        feature_dim, num_classes = ds.features.shape[1], ds.num_classes
+    elif args.dataset in names["graph"]:
+        ds = load_graph_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        task = "regression" if ds.num_classes == 0 else "graph-classification"
+        feature_dim, num_classes = ds.features[0].shape[1], ds.num_classes
+    else:
+        print(f"error: unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+
+    model = _build_model(args.model, feature_dim, num_classes, task, args.seed)
+    engine = make_engine(args.engine, num_layers=model.config.num_layers,
+                         hidden_dim=model.config.hidden_dim)
+    print(f"dataset={args.dataset} scale={args.scale} task={task} "
+          f"model={args.model} engine={args.engine} "
+          f"params={model.num_parameters():,}")
+    if task == "node-classification":
+        rec = train_node_classification(model, ds, engine, epochs=args.epochs,
+                                        lr=args.lr, seed=args.seed)
+    else:
+        rec = train_graph_task(model, ds, engine, epochs=args.epochs,
+                               lr=args.lr, seed=args.seed)
+    for i, (loss, metric) in enumerate(zip(rec.train_loss, rec.test_metric)):
+        print(f"epoch {i + 1:>3}  loss {loss:>8.4f}  "
+              f"test {rec.metric_name} {metric:.4f}")
+    print(f"best test {rec.metric_name}: {rec.best_test:.4f}   "
+          f"mean epoch: {rec.mean_epoch_time * 1e3:.1f} ms   "
+          f"preprocess: {rec.preprocess_seconds * 1e3:.1f} ms   "
+          f"wall: {time.perf_counter() - t0:.1f} s")
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    from repro.hardware import (
+        A100_SERVER,
+        AttentionKind,
+        OutOfMemoryError,
+        RTX3090_SERVER,
+        TrainingCostModel,
+        WorkloadSpec,
+    )
+
+    server = A100_SERVER if args.device == "a100" else RTX3090_SERVER
+    model = TrainingCostModel(server)
+    w = WorkloadSpec(seq_len=args.seq_len, hidden_dim=args.hidden_dim,
+                     num_heads=args.heads, num_layers=args.layers,
+                     avg_degree=args.avg_degree, num_gpus=args.gpus,
+                     tokens_per_epoch=args.tokens or args.seq_len)
+    kinds = {
+        "gp-raw": AttentionKind.DENSE,
+        "gp-flash": AttentionKind.FLASH,
+        "gp-sparse": AttentionKind.SPARSE,
+        "torchgt": AttentionKind.CLUSTER_SPARSE,
+    }
+    print(f"workload: S={w.seq_len:,} d={w.hidden_dim} H={w.num_heads} "
+          f"L={w.num_layers} deg={w.avg_degree} on {args.gpus}×{server.device.name}")
+    for name, kind in kinds.items():
+        try:
+            t = model.epoch_time(kind, w)
+            print(f"  {name:<10} epoch {t:>10.2f} s")
+        except OutOfMemoryError as e:
+            print(f"  {name:<10} OOM ({e})")
+    for name, kind in kinds.items():
+        s_max = model.max_sequence_length(kind, w)
+        print(f"  max trainable S with {name:<10}: {s_max:>12,}")
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# parser
+# ------------------------------------------------------------------ #
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="TorchGT reproduction — training, datasets and cost model")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="versions, engines, devices, datasets")
+
+    d = sub.add_parser("datasets", help="dataset statistics at a given scale")
+    d.add_argument("--scale", type=float, default=0.2,
+                   help="fraction of the full synthetic size (default 0.2)")
+    d.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("train", help="run a quick training job")
+    t.add_argument("--dataset", default="ogbn-arxiv")
+    t.add_argument("--model", default="graphormer-slim")
+    t.add_argument("--engine", default="torchgt",
+                   choices=["gp-raw", "gp-flash", "gp-sparse", "torchgt"])
+    t.add_argument("--epochs", type=int, default=10)
+    t.add_argument("--lr", type=float, default=3e-3)
+    t.add_argument("--scale", type=float, default=0.2)
+    t.add_argument("--seed", type=int, default=0)
+
+    c = sub.add_parser("cost", help="price a paper-scale workload (no training)")
+    c.add_argument("--seq-len", type=int, default=256_000)
+    c.add_argument("--hidden-dim", type=int, default=64)
+    c.add_argument("--heads", type=int, default=8)
+    c.add_argument("--layers", type=int, default=4)
+    c.add_argument("--avg-degree", type=float, default=29.0)
+    c.add_argument("--gpus", type=int, default=8)
+    c.add_argument("--tokens", type=int, default=0,
+                   help="tokens per epoch (defaults to one sequence)")
+    c.add_argument("--device", choices=["3090", "a100"], default="3090")
+    return p
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "datasets": cmd_datasets,
+    "train": cmd_train,
+    "cost": cmd_cost,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""TorchGT's core techniques: Dual-interleaved Attention, Cluster-aware
+parallelism hooks, Elastic Computation Reformation and the Auto Tuner."""
+
+from .dual_interleaved import ConditionReport, InterleaveScheduler, check_conditions
+from .ecr import ClusterGridStats, ReformationResult, analyze_clusters, reform_pattern
+from .autotuner import (
+    AutoTuner,
+    BetaThreSchedule,
+    select_cluster_dim,
+    select_subblock_dim,
+)
+from .planner import DeploymentPlan, EnginePlan, plan_deployment
+from .engine import (
+    Engine,
+    ExecutionPlan,
+    GPFlashEngine,
+    GPRawEngine,
+    FixedPatternEngine,
+    GPSparseEngine,
+    SequenceContext,
+    TorchGTEngine,
+    make_engine,
+)
+
+__all__ = [
+    "ConditionReport",
+    "InterleaveScheduler",
+    "check_conditions",
+    "ClusterGridStats",
+    "ReformationResult",
+    "analyze_clusters",
+    "reform_pattern",
+    "AutoTuner",
+    "BetaThreSchedule",
+    "select_cluster_dim",
+    "select_subblock_dim",
+    "Engine",
+    "ExecutionPlan",
+    "GPRawEngine",
+    "GPFlashEngine",
+    "GPSparseEngine",
+    "FixedPatternEngine",
+    "TorchGTEngine",
+    "SequenceContext",
+    "make_engine",
+    "DeploymentPlan",
+    "EnginePlan",
+    "plan_deployment",
+]

@@ -1,0 +1,124 @@
+"""Auto Tuner (§III-D "Hyperparameter Modeling").
+
+Selects the three ECR hyperparameters at runtime:
+
+* **k** (cluster dimensionality): largest power of two such that one
+  cluster's K/V working set (2 · S/k · d · itemsize bytes) fits the L2
+  cache — the paper's ``k = ⌊√(Q_L2 / (i·d))⌋`` cache-fitting rule made
+  operational.  For an RTX 3090 (6 MB L2) at S=64K, d=64 this yields k=8,
+  matching the paper's fitted value.
+* **db** (sub-block dimension): argmax of the cache model's indexing
+  throughput — the occupancy-vs-hit-rate trade-off of Fig. 6 (db=16 for
+  the 3090 at d=64).
+* **β_thre** (transfer threshold): starts at β_G and walks the schedule
+  {0, β_G, 1.5β_G, 5β_G, 7β_G, 10β_G, 1} guided by the Loss Descent Rate:
+  an EMA of the loss F_t = 0.9·F_{t−1} + 0.1·L_t defines
+  LDR_t = (F_t − F_{t−1}) / epoch_time_t; if loss descent has not
+  degraded over the last δ epochs, the tuner moves β_thre up (more
+  transfers, faster epochs); if descent slowed, it steps back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hardware.cache import CacheModel
+from ..hardware.device import DeviceSpec
+
+__all__ = ["select_cluster_dim", "select_subblock_dim", "BetaThreSchedule", "AutoTuner"]
+
+
+def select_cluster_dim(device: DeviceSpec, seq_len: int, hidden_dim: int,
+                       itemsize: int = 4, k_min: int = 2, k_max: int = 256) -> int:
+    """Cluster dimensionality k: one cluster's K/V rows must fit L2."""
+    k = k_min
+    while k < k_max:
+        working = 2 * (seq_len / k) * hidden_dim * itemsize
+        if working <= device.l2_bytes:
+            break
+        k *= 2
+    return int(min(k, k_max))
+
+
+def select_subblock_dim(device: DeviceSpec, hidden_dim: int, total_entries: int,
+                        cluster_dim: int = 0, itemsize: int = 4) -> int:
+    """Sub-block dimension db maximizing modeled indexing throughput."""
+    cache = CacheModel(device, hidden_dim, itemsize)
+    return cache.best_db(total_entries, cluster_dim)
+
+
+@dataclass
+class BetaThreSchedule:
+    """The β_thre value ladder derived from the graph sparsity β_G."""
+
+    beta_g: float
+    values: np.ndarray = field(init=False)
+    index: int = field(init=False)
+
+    def __post_init__(self):
+        bg = self.beta_g
+        self.values = np.array([0.0, bg, 1.5 * bg, 5 * bg, 7 * bg, 10 * bg, 1.0])
+        self.index = 1  # initialized to β_G, per the paper
+
+    @property
+    def current(self) -> float:
+        return float(self.values[self.index])
+
+    def up(self) -> float:
+        """More transfers / higher speed."""
+        self.index = min(self.index + 1, len(self.values) - 1)
+        return self.current
+
+    def down(self) -> float:
+        """Fewer transfers / more stable, accurate training."""
+        self.index = max(self.index - 1, 0)
+        return self.current
+
+
+@dataclass
+class AutoTuner:
+    """Runtime controller for β_thre driven by the Loss Descent Rate."""
+
+    beta_g: float
+    delta: int = 10  # δ: epoch window for LDR comparison
+    ema_decay: float = 0.9
+    schedule: BetaThreSchedule = field(init=False)
+    _ema: float | None = field(default=None, init=False)
+    _ldr_history: list[float] = field(default_factory=list, init=False)
+    history: list[float] = field(default_factory=list, init=False)
+
+    def __post_init__(self):
+        self.schedule = BetaThreSchedule(self.beta_g)
+
+    @property
+    def beta_thre(self) -> float:
+        return self.schedule.current
+
+    def observe(self, loss: float, epoch_time_s: float) -> float:
+        """Feed one epoch's loss and duration; returns the new β_thre.
+
+        LDR_t = (F_t − F_{t−1}) / et_t.  Loss descent means LDR < 0, and
+        *more negative is better*; so "LDR_t ≥ LDR_{t−δ}" — descent did
+        not accelerate — reads as the current threshold sufficing, and the
+        tuner moves up the ladder for speed.  If descent degraded
+        (LDR_t < LDR_{t−δ} is the paper's stated branch for stepping
+        down), it retreats to the previous value.
+        """
+        prev_ema = self._ema
+        if prev_ema is None:
+            self._ema = loss
+            self.history.append(self.beta_thre)
+            return self.beta_thre
+        self._ema = self.ema_decay * prev_ema + (1 - self.ema_decay) * loss
+        ldr = (self._ema - prev_ema) / max(epoch_time_s, 1e-9)
+        self._ldr_history.append(ldr)
+        if len(self._ldr_history) > self.delta:
+            old = self._ldr_history[-1 - self.delta]
+            if ldr >= old:
+                self.schedule.up()
+            else:
+                self.schedule.down()
+        self.history.append(self.beta_thre)
+        return self.beta_thre

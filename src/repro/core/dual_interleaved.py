@@ -1,0 +1,99 @@
+"""Dual-interleaved Attention (§III-B).
+
+The algorithm-level technique: attention normally runs over the local
+topology-induced pattern (the input graph's edges + self-loops), and a
+fully-connected pass is *interleaved* periodically so high-order
+neighbour information still reaches the model — closing the convergence
+gap pure sparse attention suffers (Fig. 10/11).
+
+The sparse pattern is only trusted when three conditions hold (borrowed
+from sparse-transformer universality theory [Yun et al. 2020]):
+
+* **C1** — every node attends to itself (self-loops present);
+* **C2** — the pattern graph plausibly contains a Hamiltonian path,
+  checked with Dirac's theorem plus a cheap connectivity/degree screen
+  (the paper's "heuristic approach ... so the overhead is negligible");
+* **C3** — all node pairs can interact within L attention layers
+  (diameter ≤ L).
+
+If any condition fails the scheduler falls back to fully-connected
+attention for that sequence, "heuristically determin[ing] the current
+sparse pattern may introduce more errors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attention.patterns import AttentionPattern
+from ..graph.algorithms import has_hamiltonian_heuristic, reachable_within_l_hops
+
+__all__ = ["ConditionReport", "check_conditions", "InterleaveScheduler"]
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Outcome of the C1–C3 checks on a pattern graph."""
+
+    c1_self_loops: bool
+    c2_hamiltonian: bool
+    c3_l_reachable: bool
+
+    @property
+    def all_hold(self) -> bool:
+        return self.c1_self_loops and self.c2_hamiltonian and self.c3_l_reachable
+
+
+def check_conditions(pattern: AttentionPattern, num_layers: int,
+                     strict_hamiltonian: bool = False) -> ConditionReport:
+    """Evaluate C1–C3 for a sparse attention pattern.
+
+    C3 uses the number of transformer layers L: information propagates one
+    pattern hop per attention layer.
+    """
+    c1 = pattern.has_self_loops()
+    pg = pattern.to_graph()
+    c2 = has_hamiltonian_heuristic(pg, strict=strict_hamiltonian)
+    c3 = reachable_within_l_hops(pg, num_layers)
+    return ConditionReport(c1_self_loops=c1, c2_hamiltonian=c2, c3_l_reachable=c3)
+
+
+@dataclass
+class InterleaveScheduler:
+    """Decides, per iteration, sparse-pattern vs fully-connected attention.
+
+    ``period`` = T means one in every T iterations runs fully-connected
+    (the "interleave").  ``conditions_ok=False`` (C1–C3 failed) forces
+    fully-connected always, per §III-B's fallback rule.
+
+    The first iteration of training runs fully-connected as well: it
+    anchors the global all-pair statistics the sparse iterations then
+    refine — this mirrors "empirically interleave a fully-connected
+    attention on the local graph-induced attention".
+    """
+
+    period: int = 8
+    conditions_ok: bool = True
+    _step: int = 0
+
+    def use_sparse(self) -> bool:
+        """True → run the topology/reformed pattern; False → dense pass."""
+        step = self._step
+        self._step += 1
+        if not self.conditions_ok:
+            return False
+        if self.period <= 0:
+            return True  # interleaving disabled (pure sparse ablation)
+        return step % self.period != 0
+
+    @property
+    def steps_taken(self) -> int:
+        return self._step
+
+    def dense_fraction(self) -> float:
+        """Long-run fraction of iterations that run fully-connected."""
+        if not self.conditions_ok:
+            return 1.0
+        if self.period <= 0:
+            return 0.0
+        return 1.0 / self.period

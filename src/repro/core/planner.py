@@ -1,0 +1,136 @@
+"""Paper-scale deployment planner.
+
+A user-facing convenience that answers, for a given dataset / model /
+server combination, the questions the paper's evaluation answers:
+
+* does each engine fit in device memory (GP-Raw's OOM column)?
+* what epoch time does the cost model predict for each engine?
+* what is the maximum trainable sequence length per engine?
+* which k / db would the Auto Tuner pick?
+
+Used by ``examples/`` and the Table V/VI benches; returns plain
+dataclasses so downstream code can render or assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.datasets import GRAPH_DATASET_SPECS, NODE_DATASET_SPECS, PaperStats
+from ..hardware.device import ServerSpec
+from ..hardware.perf_model import (
+    AttentionKind,
+    OutOfMemoryError,
+    TrainingCostModel,
+    WorkloadSpec,
+)
+from .autotuner import select_cluster_dim, select_subblock_dim
+
+__all__ = ["EnginePlan", "DeploymentPlan", "plan_deployment"]
+
+_ENGINE_KINDS = {
+    "gp-raw": AttentionKind.DENSE,
+    "gp-flash": AttentionKind.FLASH,
+    "gp-sparse": AttentionKind.SPARSE,
+    "torchgt": AttentionKind.CLUSTER_SPARSE,
+}
+
+
+@dataclass
+class EnginePlan:
+    """One engine's modeled feasibility and cost on the target workload."""
+
+    engine: str
+    fits_memory: bool
+    memory_gib: float
+    epoch_seconds: float | None  # None when OOM
+    max_seq_len: int
+
+
+@dataclass
+class DeploymentPlan:
+    """Full paper-scale plan for one dataset/model/server combination."""
+
+    dataset: str
+    server: str
+    seq_len: int
+    num_gpus: int
+    paper: PaperStats
+    engines: dict[str, EnginePlan] = field(default_factory=dict)
+    cluster_dim: int = 0  # k the Auto Tuner would pick
+    subblock_dim: int = 0  # db the Auto Tuner would pick
+
+    def speedup(self, baseline: str = "gp-flash", target: str = "torchgt") -> float:
+        """Modeled epoch-time ratio baseline/target (inf if baseline OOMs)."""
+        b = self.engines[baseline].epoch_seconds
+        t = self.engines[target].epoch_seconds
+        if t is None:
+            return 0.0
+        if b is None:
+            return float("inf")
+        return b / t
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"deployment plan: {self.dataset} on {self.num_gpus}× "
+                 f"{self.server} at S={self.seq_len:,}"]
+        lines.append(f"  auto-tuned k={self.cluster_dim}, db={self.subblock_dim}")
+        for name, ep in self.engines.items():
+            t = "OOM" if ep.epoch_seconds is None else f"{ep.epoch_seconds:.2f}s"
+            lines.append(f"  {name:>9}: mem {ep.memory_gib:7.1f} GiB "
+                         f"({'fits' if ep.fits_memory else 'OOM '}), "
+                         f"epoch {t:>8}, max S {ep.max_seq_len:,}")
+        return lines
+
+
+def _paper_stats(dataset: str) -> tuple[PaperStats, int, float]:
+    """(stats, tokens_per_epoch, avg_degree) for a registered dataset."""
+    if dataset in NODE_DATASET_SPECS:
+        p = NODE_DATASET_SPECS[dataset]["paper"]
+        return p, p.num_nodes, p.avg_degree
+    if dataset in GRAPH_DATASET_SPECS:
+        p = GRAPH_DATASET_SPECS[dataset]["paper"]
+        if dataset == "malnet":
+            return p, 10_833 * p.num_nodes, 2.0 * p.num_edges / p.num_nodes
+        return p, 437_929 * p.num_nodes, 2.0 * p.num_edges / p.num_nodes
+    raise KeyError(f"unknown dataset {dataset!r}")
+
+
+def plan_deployment(
+    dataset: str,
+    server: ServerSpec,
+    seq_len: int = 256_000,
+    num_gpus: int = 8,
+    hidden_dim: int = 64,
+    num_heads: int = 8,
+    num_layers: int = 4,
+    dense_interleave_period: int = 50,
+) -> DeploymentPlan:
+    """Build the modeled feasibility/cost plan for every engine."""
+    paper, tokens, deg = _paper_stats(dataset)
+    model = TrainingCostModel(server)
+    k = select_cluster_dim(server.device, seq_len, hidden_dim)
+    db = select_subblock_dim(server.device, hidden_dim,
+                             int(seq_len * (deg + 1)), cluster_dim=seq_len // k)
+    plan = DeploymentPlan(dataset=dataset, server=server.name, seq_len=seq_len,
+                          num_gpus=num_gpus, paper=paper,
+                          cluster_dim=k, subblock_dim=db)
+    for engine, kind in _ENGINE_KINDS.items():
+        w = WorkloadSpec(
+            seq_len=seq_len, hidden_dim=hidden_dim, num_heads=num_heads,
+            num_layers=num_layers, avg_degree=deg, num_gpus=num_gpus,
+            tokens_per_epoch=tokens, db=db, cluster_dim=seq_len // k,
+            dense_interleave_period=(dense_interleave_period
+                                     if kind == AttentionKind.CLUSTER_SPARSE
+                                     else 0),
+        )
+        mem = model.memory_required(kind, w)
+        fits = model.fits_memory(kind, w)
+        try:
+            epoch = model.epoch_time(kind, w)
+        except OutOfMemoryError:
+            epoch = None
+        plan.engines[engine] = EnginePlan(
+            engine=engine, fits_memory=fits, memory_gib=mem / 1024**3,
+            epoch_seconds=epoch,
+            max_seq_len=model.max_sequence_length(kind, w))
+    return plan

@@ -1,0 +1,26 @@
+"""Simulated distributed runtime: collectives and graph parallelism."""
+
+from .comm import CommLog, CommRecord, Communicator
+from .graph_parallel import (
+    ShardPlan,
+    allgather_volume_per_gpu,
+    alltoall_volume_per_gpu,
+    cluster_aware_attention,
+    naive_sequence_parallel_attention,
+)
+from .ring import ring_attention, ring_volume_per_gpu
+from .backward import cluster_aware_attention_fwd_bwd
+
+__all__ = [
+    "Communicator",
+    "CommLog",
+    "CommRecord",
+    "ShardPlan",
+    "cluster_aware_attention",
+    "naive_sequence_parallel_attention",
+    "alltoall_volume_per_gpu",
+    "allgather_volume_per_gpu",
+    "ring_attention",
+    "ring_volume_per_gpu",
+    "cluster_aware_attention_fwd_bwd",
+]

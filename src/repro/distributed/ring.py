@@ -1,0 +1,84 @@
+"""Ring Attention (Liu et al. — the paper's ref [40]): the blockwise
+LLM sequence-parallelism baseline.
+
+Each rank keeps its own query rows and a rotating K/V block; over P ring
+steps every rank sees the full key/value sequence while holding only
+S/P of it at a time.  Numerical exactness comes from the online-softmax
+accumulator (running max ``m``, normalizer ``l``, weighted sum ``acc``) —
+the same trick FlashAttention uses across tiles, here across ranks.
+
+Why it is the *baseline* and not the proposal: the rotation moves each
+K/V block P−1 times, so per-GPU wire volume is 2·S·d·(P−1)/P — O(S),
+independent of P — while Cluster-aware Graph Parallelism's two
+all-to-alls move 4·S·d/P — O(S/P).  And because the K/V visibility is
+time-sliced, the *graph topology pattern cannot be applied globally*:
+entries of the sparse pattern crossing block boundaries are only visible
+in the step their key block is resident, which forces either dense
+computation (done here, like the LLM systems) or expensive pattern
+re-sharding every step.  Both costs are what §III-C's design avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .comm import Communicator
+from .graph_parallel import ShardPlan
+
+__all__ = ["ring_attention", "ring_volume_per_gpu"]
+
+
+def ring_attention(
+    comm: Communicator,
+    plan: ShardPlan,
+    q_shards: list[np.ndarray],
+    k_shards: list[np.ndarray],
+    v_shards: list[np.ndarray],
+    scale: float | None = None,
+) -> list[np.ndarray]:
+    """Blockwise-exact dense attention over row shards (forward).
+
+    Inputs are row-sharded ``(H, S_r, dh)`` per rank — the same sharding
+    :func:`~repro.distributed.graph_parallel.cluster_aware_attention`
+    takes — and the output is row-sharded identically, numerically equal
+    to single-device dense attention.
+    """
+    P = plan.world_size
+    if len(q_shards) != P or len(k_shards) != P or len(v_shards) != P:
+        raise ValueError("need one shard per rank")
+    H, _, dh = q_shards[0].shape
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+
+    # per-rank online-softmax state
+    run_max = [np.full((H, q.shape[1]), -np.inf) for q in q_shards]
+    run_sum = [np.zeros((H, q.shape[1])) for q in q_shards]
+    acc = [np.zeros_like(q) for q in q_shards]
+    k_cur = [k.copy() for k in k_shards]
+    v_cur = [v.copy() for v in v_shards]
+
+    for step in range(P):
+        for r in range(P):
+            scores = np.einsum("hid,hjd->hij", q_shards[r], k_cur[r]) * scale
+            block_max = scores.max(axis=-1)
+            new_max = np.maximum(run_max[r], block_max)
+            correction = np.exp(run_max[r] - new_max)
+            p = np.exp(scores - new_max[:, :, None])
+            run_sum[r] = run_sum[r] * correction + p.sum(axis=-1)
+            acc[r] = acc[r] * correction[:, :, None] + np.einsum(
+                "hij,hjd->hid", p, v_cur[r])
+            run_max[r] = new_max
+        if step < P - 1:
+            k_cur = comm.send_recv(k_cur)
+            v_cur = comm.send_recv(v_cur)
+
+    return [a / np.maximum(s[:, :, None], 1e-30) for a, s in zip(acc, run_sum)]
+
+
+def ring_volume_per_gpu(seq_len: int, hidden: int, world_size: int,
+                        itemsize: int = 4) -> int:
+    """Ring Attention wire bytes per GPU per layer: K and V blocks of
+    S/P·d each travel P−1 hops → 2·S·d·(P−1)/P — O(S) as P grows.
+    """
+    P = world_size
+    return int(2 * seq_len * hidden * itemsize * (P - 1) / P)

@@ -1,0 +1,187 @@
+"""Compressed-sparse-row graph structure.
+
+The CSR layout is the backbone of every sparse component in the repro: the
+topology-induced attention pattern (§III-B), the METIS-substitute
+partitioner, and the cluster-sparse reformation (§III-D) all operate on
+``indptr`` / ``indices`` arrays directly, which keeps memory contiguous and
+lets every traversal be a vectorized numpy slice instead of a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An (optionally weighted) graph in CSR form.
+
+    Stored undirected-as-symmetric: builders always insert both edge
+    directions, so ``indptr``/``indices`` describe a symmetric adjacency.
+    Self-loops are allowed and tracked (condition C1 of Dual-interleaved
+    Attention requires each node to attend to itself).
+
+    Attributes
+    ----------
+    indptr, indices:
+        Standard CSR row pointers and column indices (sorted per row).
+    num_nodes, num_edges:
+        ``num_edges`` counts *directed* entries, i.e. twice the number of
+        undirected edges plus the number of self-loops.
+    """
+
+    __slots__ = ("indptr", "indices", "num_nodes")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, num_nodes: int):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.num_nodes = int(num_nodes)
+        if len(self.indptr) != self.num_nodes + 1:
+            raise ValueError("indptr length must be num_nodes + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_edges(num_nodes: int, edges: np.ndarray, symmetrize: bool = True,
+                   add_self_loops: bool = False) -> "CSRGraph":
+        """Build from an ``(E, 2)`` array of endpoints.
+
+        Duplicate edges are merged. With ``symmetrize`` both directions are
+        inserted (the standard form used throughout the repro).
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        src, dst = edges[:, 0], edges[:, 1]
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if add_self_loops:
+            loop = np.arange(num_nodes, dtype=np.int64)
+            src, dst = np.concatenate([src, loop]), np.concatenate([dst, loop])
+        if len(src) and (src.max() >= num_nodes or dst.max() >= num_nodes):
+            raise ValueError("edge endpoint out of range")
+        if len(src) and (src.min() < 0 or dst.min() < 0):
+            raise ValueError("negative edge endpoint")
+        mat = sp.csr_matrix(
+            (np.ones(len(src), dtype=np.int8), (src, dst)),
+            shape=(num_nodes, num_nodes),
+        )
+        mat.sum_duplicates()
+        mat.sort_indices()
+        return CSRGraph(mat.indptr.astype(np.int64), mat.indices.astype(np.int64), num_nodes)
+
+    @staticmethod
+    def from_scipy(mat: sp.spmatrix) -> "CSRGraph":
+        """Wrap a scipy sparse matrix (made symmetric & binary)."""
+        m = sp.csr_matrix(mat)
+        m = ((m + m.T) > 0).astype(np.int8).tocsr()
+        m.sort_indices()
+        return CSRGraph(m.indptr.astype(np.int64), m.indices.astype(np.int64), m.shape[0])
+
+    @staticmethod
+    def from_dense(adj: np.ndarray) -> "CSRGraph":
+        """Build from a dense boolean adjacency matrix (symmetrized)."""
+        adj = np.asarray(adj)
+        adj = (adj != 0) | (adj.T != 0)
+        return CSRGraph.from_scipy(sp.csr_matrix(adj))
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of directed CSR entries (2 × undirected + self-loops)."""
+        return int(len(self.indices))
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node (== in-degree for symmetric graphs)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of ``node`` (zero-copy CSR slice)."""
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < len(nbrs) and nbrs[pos] == v)
+
+    def has_all_self_loops(self) -> bool:
+        """Whether every node has a self-loop (condition C1)."""
+        for v in range(self.num_nodes):
+            if not self.has_edge(v, v):
+                return False
+        return True
+
+    def sparsity(self) -> float:
+        """Proportion of nonzero entries in the N×N adjacency (β_G)."""
+        n = self.num_nodes
+        return self.num_edges / float(n * n) if n else 0.0
+
+    def edge_array(self) -> np.ndarray:
+        """Return directed edges as an ``(E, 2)`` array."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees())
+        return np.stack([src, self.indices], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # conversions & transforms
+    # ------------------------------------------------------------------ #
+    def to_scipy(self) -> sp.csr_matrix:
+        """View as a binary scipy CSR matrix."""
+        return sp.csr_matrix(
+            (np.ones(self.num_edges, dtype=np.int8), self.indices, self.indptr),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense boolean adjacency; only sensible for small graphs."""
+        if self.num_nodes > 20_000:
+            raise MemoryError(
+                f"refusing to densify a {self.num_nodes}-node graph")
+        out = np.zeros((self.num_nodes, self.num_nodes), dtype=bool)
+        src = np.repeat(np.arange(self.num_nodes), self.degrees())
+        out[src, self.indices] = True
+        return out
+
+    def with_self_loops(self) -> "CSRGraph":
+        """Return a copy with a self-loop on every node."""
+        return CSRGraph.from_edges(
+            self.num_nodes, self.edge_array(), symmetrize=False, add_self_loops=True)
+
+    def permute(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel nodes: new id of old node ``v`` is ``perm[v]``.
+
+        This is the reordering hook used by cluster-locality layout
+        (§III-C): METIS-style cluster ids become contiguous node ranges.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.num_nodes,) or not np.array_equal(
+                np.sort(perm), np.arange(self.num_nodes)):
+            raise ValueError("perm must be a permutation of range(num_nodes)")
+        edges = self.edge_array()
+        new_edges = perm[edges]
+        return CSRGraph.from_edges(self.num_nodes, new_edges, symmetrize=False)
+
+    def subgraph(self, nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (nodes relabeled 0..len-1 in the given order)
+        and the original node ids, i.e. the inverse mapping.  Used to build
+        the per-sequence local attention graph G̃ for node-level tasks.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(np.unique(nodes)) != len(nodes):
+            raise ValueError("subgraph nodes must be unique")
+        mapping = -np.ones(self.num_nodes, dtype=np.int64)
+        mapping[nodes] = np.arange(len(nodes))
+        sub = self.to_scipy()[nodes][:, nodes].tocsr()
+        sub.sort_indices()
+        g = CSRGraph(sub.indptr.astype(np.int64), sub.indices.astype(np.int64), len(nodes))
+        return g, nodes
+
+    def __repr__(self) -> str:
+        return (f"CSRGraph(nodes={self.num_nodes}, directed_edges={self.num_edges}, "
+                f"sparsity={self.sparsity():.2e})")

@@ -1,0 +1,62 @@
+"""Laplacian positional encodings (GT / Dwivedi–Bresson style).
+
+The GT model adds the first k non-trivial eigenvectors of the symmetric
+normalized Laplacian to node features as positional encodings.  Eigen-
+vectors are sign-ambiguous, so training randomly flips signs per epoch —
+the helper here exposes that as an explicit option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .csr import CSRGraph
+
+__all__ = ["laplacian_positional_encoding"]
+
+
+def laplacian_positional_encoding(
+    g: CSRGraph,
+    k: int,
+    rng: np.random.Generator | None = None,
+    random_sign: bool = False,
+) -> np.ndarray:
+    """First ``k`` non-trivial eigenvectors of the normalized Laplacian.
+
+    Returns an ``(N, k)`` float64 array, zero-padded when the graph has
+    fewer than ``k + 1`` nodes.  ``random_sign`` applies the per-vector
+    sign flip augmentation used during GT training.
+    """
+    n = g.num_nodes
+    out = np.zeros((n, k), dtype=np.float64)
+    if n <= 1 or k == 0:
+        return out
+    adj = g.to_scipy().astype(np.float64)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    d_half = sp.diags(inv_sqrt)
+    lap = sp.identity(n, format="csr") - d_half @ adj @ d_half
+
+    want = min(k + 1, n - 1)
+    if want < 1:
+        return out
+    if n <= 64 or want >= n - 1:
+        # dense path for tiny graphs where ARPACK is unreliable
+        vals, vecs = np.linalg.eigh(lap.toarray())
+    else:
+        try:
+            vals, vecs = spla.eigsh(lap, k=want + 1, which="SM", tol=1e-4)
+        except Exception:
+            vals, vecs = np.linalg.eigh(lap.toarray())
+    order = np.argsort(vals)
+    vecs = vecs[:, order]
+    # drop the trivial (constant) eigenvector, take the next k
+    usable = vecs[:, 1:1 + k]
+    out[:, : usable.shape[1]] = usable
+    if random_sign:
+        rng = rng if rng is not None else np.random.default_rng()
+        signs = rng.choice([-1.0, 1.0], size=k)
+        out *= signs
+    return out

@@ -1,0 +1,45 @@
+"""Analytic GPU hardware model: devices, caches and the roofline pricer."""
+
+from .device import (
+    A100_80G,
+    A100_SERVER,
+    ETHERNET_1G,
+    INFINIBAND_200G,
+    NVLINK3,
+    PCIE4_X16,
+    RTX3090,
+    RTX3090_SERVER,
+    DeviceSpec,
+    LinkSpec,
+    ServerSpec,
+)
+from .cache import CacheModel
+from .perf_model import (
+    AttentionKind,
+    IterationCost,
+    KernelCost,
+    OutOfMemoryError,
+    TrainingCostModel,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "ServerSpec",
+    "RTX3090",
+    "A100_80G",
+    "RTX3090_SERVER",
+    "A100_SERVER",
+    "PCIE4_X16",
+    "ETHERNET_1G",
+    "NVLINK3",
+    "INFINIBAND_200G",
+    "CacheModel",
+    "AttentionKind",
+    "KernelCost",
+    "IterationCost",
+    "WorkloadSpec",
+    "TrainingCostModel",
+    "OutOfMemoryError",
+]

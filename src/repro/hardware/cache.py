@@ -1,0 +1,114 @@
+"""L1/L2 cache and warp-occupancy model for the sub-block indexing kernel.
+
+Section III-D picks the sub-block dimension ``db`` by profiling warp
+occupancy and cache hit rates (Fig. 6): larger sub-blocks reuse more data
+per block (hit rates rise) but leave fewer independent blocks to schedule
+(occupancy falls), so throughput peaks at a mid-range ``db``.  This module
+reproduces those curves from first principles:
+
+* **L1 hit rate** — a db×db sub-block touches ``db`` K-rows and ``db``
+  V-rows of ``d`` floats; reuse per loaded row grows with ``db`` until the
+  working set (``2·db·d·4`` bytes) spills the per-SM L1;
+* **L2 hit rate** — same saturation against the (much larger) shared L2,
+  with cluster-level reuse: within a cluster of dimension ``S/k`` the
+  K/V rows are shared across sub-blocks;
+* **warp occupancy** — with ``B`` independent sub-blocks and ``num_sms``
+  SMs each needing several resident blocks to hide latency, occupancy
+  saturates when ``B ≫ SMs`` and degrades as ``db`` grows (B ∝ 1/db²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec
+
+__all__ = ["CacheModel"]
+
+
+class CacheModel:
+    """Cache-hit and occupancy estimates for sub-block execution."""
+
+    # latency-hiding target: resident blocks per SM for full occupancy
+    BLOCKS_PER_SM_FULL = 8.0
+    # relative bandwidths of the memory levels (vs HBM = 1)
+    L1_SPEEDUP = 10.0
+    L2_SPEEDUP = 3.0
+
+    def __init__(self, device: DeviceSpec, hidden_dim: int, itemsize: int = 4):
+        self.device = device
+        self.d = int(hidden_dim)
+        self.itemsize = itemsize
+
+    # -- hit rates ------------------------------------------------------ #
+    def l1_hit_rate(self, db: int) -> float:
+        """Fraction of sub-block K/V accesses served from L1.
+
+        Within a sub-block each of the ``db`` K-rows is reused by ``db``
+        query rows, so the *ideal* hit fraction is ``1 - 1/db``; it decays
+        once the working set exceeds L1.
+        """
+        working = 2 * db * self.d * self.itemsize
+        fit = min(1.0, self.device.l1_bytes_per_sm / max(working, 1))
+        ideal = 1.0 - 1.0 / max(db, 1)
+        return float(ideal * fit)
+
+    def l2_hit_rate(self, db: int, cluster_dim: int = 0) -> float:
+        """Fraction of L1 misses served from L2.
+
+        Grows with ``db`` (row reuse across warps of the same block) and
+        with cluster locality: sub-blocks of one cluster share the
+        cluster's K/V rows, which fit in L2 for reasonable cluster sizes.
+        """
+        working = 2 * max(cluster_dim, db) * self.d * self.itemsize
+        fit = min(1.0, self.device.l2_bytes / max(working, 1))
+        ideal = 1.0 - 1.0 / max(db, 2) ** 0.5
+        return float(min(0.98, (0.5 + 0.5 * ideal) * fit))
+
+    # -- occupancy ------------------------------------------------------ #
+    def warp_occupancy(self, db: int, total_entries: int) -> float:
+        """Achieved occupancy when covering ``total_entries`` score entries.
+
+        ``total_entries / db²`` independent sub-blocks are distributed over
+        the SMs; occupancy saturates at ~0.95 with ≥BLOCKS_PER_SM_FULL
+        resident blocks per SM and falls off as blocks become scarce.
+        Larger db also increases per-block register/SMEM pressure, which
+        caps occupancy — modeled as a mild log penalty.
+        """
+        blocks = max(total_entries / float(db * db), 1.0)
+        per_sm = blocks / self.device.num_sms
+        saturation = min(1.0, per_sm / self.BLOCKS_PER_SM_FULL)
+        pressure = 1.0 / (1.0 + 0.08 * np.log2(max(db, 1)))
+        return float(np.clip(0.95 * saturation * pressure, 0.02, 0.95))
+
+    # -- derived throughput ---------------------------------------------- #
+    def effective_bandwidth(self, db: int, cluster_dim: int = 0) -> float:
+        """Average bytes/s for sub-block K/V traffic given the hit mix."""
+        h1 = self.l1_hit_rate(db)
+        h2 = self.l2_hit_rate(db, cluster_dim) * (1 - h1)
+        miss = 1.0 - h1 - h2
+        bw = self.device.hbm_bandwidth
+        # harmonic blend of level bandwidths weighted by access share
+        denom = (h1 / (bw * self.L1_SPEEDUP)
+                 + h2 / (bw * self.L2_SPEEDUP)
+                 + miss / bw)
+        return 1.0 / max(denom, 1e-18)
+
+    def indexing_throughput(self, db: int, total_entries: int,
+                            cluster_dim: int = 0) -> float:
+        """Relative throughput of the indexing kernel at sub-block size db.
+
+        The product of occupancy (compute-side) and effective bandwidth
+        (memory-side) — the two opposing curves of Fig. 6(a) — normalized
+        to HBM bandwidth so values are comparable across db.
+        """
+        occ = self.warp_occupancy(db, total_entries)
+        bw = self.effective_bandwidth(db, cluster_dim) / self.device.hbm_bandwidth
+        return float(occ * bw)
+
+    def best_db(self, total_entries: int, cluster_dim: int = 0,
+                candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> int:
+        """The db maximizing modeled indexing throughput (Auto Tuner hook)."""
+        scores = [self.indexing_throughput(db, total_entries, cluster_dim)
+                  for db in candidates]
+        return int(candidates[int(np.argmax(scores))])

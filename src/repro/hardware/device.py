@@ -1,0 +1,116 @@
+"""Analytic GPU device model.
+
+No GPUs exist in this environment, so device behaviour is modeled: each
+:class:`DeviceSpec` carries the published capacity/throughput numbers of
+the two GPUs in the paper's testbeds (RTX 3090, A100-80G) plus the
+interconnects.  The perf model (:mod:`repro.hardware.perf_model`) prices
+kernels with a roofline over these numbers; the *shape* of every paper
+result (who wins, OOM boundaries, crossovers) comes out of arithmetic
+intensity and access regularity, which the roofline captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "LinkSpec", "RTX3090", "A100_80G",
+           "PCIE4_X16", "ETHERNET_1G", "NVLINK3", "INFINIBAND_200G",
+           "ServerSpec", "RTX3090_SERVER", "A100_SERVER"]
+
+GB = 1024**3
+TFLOP = 1e12
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Published characteristics of one GPU."""
+
+    name: str
+    memory_bytes: int
+    peak_flops_fp32: float  # FLOP/s
+    hbm_bandwidth: float  # bytes/s
+    l1_bytes_per_sm: int
+    l2_bytes: int
+    num_sms: int
+    # fraction of stream bandwidth achieved by fully random gathers —
+    # published microbenchmarks put GPU random 4–32B access at 2–8% of
+    # streaming bandwidth; this is the knob behind Table II's 33× gap
+    random_access_efficiency: float = 0.04
+    # sustained fraction of peak FLOPs for large dense GEMMs
+    gemm_efficiency: float = 0.65
+    # tensor-core throughput (FP16/BF16/TF32 GEMM) — what FlashAttention
+    # and cuBLAS GEMMs actually run on; sparse/gather kernels cannot use it
+    tensor_core_flops: float = 0.0
+
+    @property
+    def gemm_flops(self) -> float:
+        """Throughput dense GEMM kernels achieve (tensor cores if present)."""
+        return self.tensor_core_flops or self.peak_flops_fp32
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link with bandwidth and per-message latency."""
+
+    name: str
+    bandwidth: float  # bytes/s
+    latency_s: float  # per collective-phase latency
+
+
+RTX3090 = DeviceSpec(
+    name="RTX3090",
+    memory_bytes=24 * GB,
+    peak_flops_fp32=35.6 * TFLOP,
+    hbm_bandwidth=936e9,
+    l1_bytes_per_sm=128 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    num_sms=82,
+    tensor_core_flops=71 * TFLOP,
+)
+
+A100_80G = DeviceSpec(
+    name="A100-80G",
+    memory_bytes=80 * GB,
+    peak_flops_fp32=19.5 * TFLOP,
+    hbm_bandwidth=2039e9,
+    l1_bytes_per_sm=192 * 1024,
+    l2_bytes=40 * 1024 * 1024,
+    num_sms=108,
+    tensor_core_flops=312 * TFLOP,
+)
+
+PCIE4_X16 = LinkSpec(name="PCIe4.0x16", bandwidth=32e9, latency_s=5e-6)
+ETHERNET_1G = LinkSpec(name="1GbE", bandwidth=0.125e9, latency_s=50e-6)
+NVLINK3 = LinkSpec(name="NVLink3", bandwidth=300e9, latency_s=2e-6)
+INFINIBAND_200G = LinkSpec(name="IB-200G", bandwidth=25e9, latency_s=3e-6)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A GPU server: devices plus intra/inter-server links.
+
+    The paper's two testbeds:
+    ❶ 3 servers × 8 RTX 3090, PCIe 4.0 x16 inside, 1 Gbps Ethernet across;
+    ❷ 2 servers × 8 A100-80G, NVLink inside, 200 Gbps InfiniBand across.
+    """
+
+    name: str
+    device: DeviceSpec
+    gpus_per_server: int
+    intra_link: LinkSpec
+    inter_link: LinkSpec
+
+    def link_for(self, num_gpus: int) -> LinkSpec:
+        """Bottleneck link for a collective spanning ``num_gpus``."""
+        return self.intra_link if num_gpus <= self.gpus_per_server else self.inter_link
+
+
+RTX3090_SERVER = ServerSpec(
+    name="3090-server", device=RTX3090, gpus_per_server=8,
+    intra_link=PCIE4_X16, inter_link=ETHERNET_1G,
+)
+
+A100_SERVER = ServerSpec(
+    name="a100-server", device=A100_80G, gpus_per_server=8,
+    intra_link=NVLINK3, inter_link=INFINIBAND_200G,
+)

@@ -1,0 +1,38 @@
+"""Graph transformer models (Graphormer, GT) and GNN baselines (GCN, GAT)."""
+
+from .layers import (
+    AttentionBackend,
+    FeedForward,
+    GraphTransformerLayer,
+    MultiHeadAttention,
+)
+from .encodings import GraphEncodings, compute_encodings
+from .graphormer import GRAPHORMER_LARGE, GRAPHORMER_SLIM, Graphormer, GraphormerConfig
+from .gt import GT, GT_BASE, GTConfig
+from .gnn import GAT, GCN, GraphSAGE, mean_adjacency, normalized_adjacency, spmm
+from .nodeformer import NODEFORMER_BASE, NodeFormer, NodeFormerConfig
+
+__all__ = [
+    "AttentionBackend",
+    "MultiHeadAttention",
+    "FeedForward",
+    "GraphTransformerLayer",
+    "GraphEncodings",
+    "compute_encodings",
+    "GraphormerConfig",
+    "Graphormer",
+    "GRAPHORMER_SLIM",
+    "GRAPHORMER_LARGE",
+    "GTConfig",
+    "GT",
+    "GT_BASE",
+    "GCN",
+    "GAT",
+    "GraphSAGE",
+    "normalized_adjacency",
+    "mean_adjacency",
+    "spmm",
+    "NodeFormerConfig",
+    "NodeFormer",
+    "NODEFORMER_BASE",
+]

@@ -1,0 +1,192 @@
+"""Classical message-passing GNN baselines: GCN and GAT.
+
+Table I of the paper motivates graph transformers by comparing against
+GCN (Kipf & Welling) and GAT (Veličković et al.); both are implemented
+here on the same autograd substrate so the comparison is apples-to-apples.
+
+The sparse aggregation Â·X is a fused autograd op over scipy CSR matmuls
+(forward Â X, backward Âᵀ g), and GAT's additive edge attention reuses the
+segment-softmax machinery of the sparse attention kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..attention.sparse import segment_softmax, _segment_sum
+from ..graph.csr import CSRGraph
+from ..tensor import Dropout, Linear, Module, ModuleList, Parameter, Tensor
+from ..tensor import functional as F
+
+__all__ = ["normalized_adjacency", "mean_adjacency", "spmm", "GCN", "GAT", "GraphSAGE"]
+
+
+def normalized_adjacency(g: CSRGraph) -> sp.csr_matrix:
+    """Symmetric GCN normalization D̂^{-1/2} (A + I) D̂^{-1/2}."""
+    adj = g.with_self_loops().to_scipy().astype(np.float64)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+    d = sp.diags(inv_sqrt)
+    out = (d @ adj @ d).tocsr()
+    out.sort_indices()
+    return out
+
+
+def mean_adjacency(g: CSRGraph) -> sp.csr_matrix:
+    """Row-normalized adjacency D⁻¹A — GraphSAGE's mean aggregator."""
+    adj = g.to_scipy().astype(np.float64)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv = 1.0 / np.maximum(deg, 1.0)
+    out = (sp.diags(inv) @ adj).tocsr()
+    out.sort_indices()
+    return out
+
+
+def spmm(mat: sp.csr_matrix, x: Tensor) -> Tensor:
+    """Differentiable sparse–dense product ``mat @ x`` (mat is constant)."""
+    t = x
+
+    def backward(g):
+        if t.requires_grad:
+            t._accumulate(mat.T @ g)
+
+    return Tensor._make(mat @ t.data, (t,), backward)
+
+
+class GCN(Module):
+    """Multi-layer GCN for node classification."""
+
+    def __init__(self, feature_dim: int, hidden_dim: int, num_classes: int,
+                 num_layers: int = 2, dropout: float = 0.3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        self.linears = ModuleList([
+            Linear(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)])
+        self.drop = Dropout(dropout, rng=rng)
+        self.num_layers = num_layers
+
+    def forward(self, features: np.ndarray, adj_norm: sp.csr_matrix) -> Tensor:
+        h = Tensor(features)
+        for i, lin in enumerate(self.linears):
+            h = spmm(adj_norm, lin(h))
+            if i < self.num_layers - 1:
+                h = self.drop(h.relu())
+        return h
+
+
+def _gat_edge_attention(scores_src: Tensor, scores_dst: Tensor,
+                        values: Tensor, g: CSRGraph,
+                        negative_slope: float = 0.2) -> Tensor:
+    """Fused GAT aggregation: softmax_j LeakyReLU(s_i + s_j) · v_j.
+
+    ``scores_src``/``scores_dst`` are per-node scalars ``(N, Hd→1)`` from
+    the learnable attention vectors; ``values`` is ``(N, d)``.  Uses the
+    self-loop-augmented topology of ``g`` as the edge set.
+    """
+    gl = g.with_self_loops()
+    rows = np.repeat(np.arange(gl.num_nodes, dtype=np.int64), gl.degrees())
+    cols = gl.indices
+    indptr = gl.indptr
+    s, d, v = scores_src, scores_dst, values
+
+    raw = s.data[rows, 0] + d.data[cols, 0]
+    leaky = np.where(raw > 0, raw, negative_slope * raw)
+    alpha = segment_softmax(leaky[None, :], indptr, rows)[0]  # (E,)
+    n = gl.num_nodes
+    a_mat = sp.csr_matrix((alpha, cols, indptr), shape=(n, n))
+    out_data = a_mat @ v.data
+    dleaky_draw = np.where(raw > 0, 1.0, negative_slope)
+
+    def backward(grad):
+        if v.requires_grad:
+            v._accumulate(a_mat.T @ grad)
+        # d alpha_e = grad[row_e] · v[col_e]
+        dalpha = np.einsum("ed,ed->e", grad[rows], v.data[cols])
+        dot = _segment_sum((dalpha * alpha)[None, :], indptr)[0]
+        dleaky = alpha * (dalpha - dot[rows])
+        draw = dleaky * dleaky_draw
+        if s.requires_grad:
+            buf = np.zeros_like(s.data)
+            np.add.at(buf[:, 0], rows, draw)
+            s._accumulate(buf)
+        if d.requires_grad:
+            buf = np.zeros_like(d.data)
+            np.add.at(buf[:, 0], cols, draw)
+            d._accumulate(buf)
+
+    return Tensor._make(out_data, (s, d, v), backward)
+
+
+class GATLayer(Module):
+    """Single-head GAT layer (multi-head handled by concatenation above)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.lin = Linear(in_dim, out_dim, bias=False, rng=rng)
+        self.att_src = Linear(out_dim, 1, bias=False, rng=rng)
+        self.att_dst = Linear(out_dim, 1, bias=False, rng=rng)
+
+    def forward(self, h: Tensor, g: CSRGraph) -> Tensor:
+        z = self.lin(h)
+        return _gat_edge_attention(self.att_src(z), self.att_dst(z), z, g)
+
+
+class GAT(Module):
+    """Two-layer multi-head GAT for node classification."""
+
+    def __init__(self, feature_dim: int, hidden_dim: int, num_classes: int,
+                 num_heads: int = 4, dropout: float = 0.3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.heads = ModuleList([
+            GATLayer(feature_dim, hidden_dim, rng) for _ in range(num_heads)])
+        self.out_layer = GATLayer(hidden_dim * num_heads, num_classes, rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, features: np.ndarray, g: CSRGraph) -> Tensor:
+        h = Tensor(features)
+        from ..tensor import concat
+        hidden = concat([head(h, g) for head in self.heads], axis=1)
+        hidden = self.drop(F.gelu(hidden))
+        return self.out_layer(hidden, g)
+
+
+class SAGELayer(Module):
+    """One GraphSAGE-mean layer: W_self·h ∥-free sum with W_neigh·mean(h_N)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.lin_self = Linear(in_dim, out_dim, rng=rng)
+        self.lin_neigh = Linear(in_dim, out_dim, bias=False, rng=rng)
+
+    def forward(self, h: Tensor, agg: sp.csr_matrix) -> Tensor:
+        return self.lin_self(h) + self.lin_neigh(spmm(agg, h))
+
+
+class GraphSAGE(Module):
+    """GraphSAGE with mean aggregation (Hamilton et al., NeurIPS'17).
+
+    The inductive-GNN baseline the paper's Table VIII discussion refers
+    to; full-neighbourhood aggregation here (the sampling variant only
+    changes which rows of ``agg`` are nonzero, not the model).
+    """
+
+    def __init__(self, feature_dim: int, hidden_dim: int, num_classes: int,
+                 num_layers: int = 2, dropout: float = 0.3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        self.sage_layers = ModuleList([
+            SAGELayer(dims[i], dims[i + 1], rng) for i in range(num_layers)])
+        self.drop = Dropout(dropout, rng=rng)
+        self.num_layers = num_layers
+
+    def forward(self, features: np.ndarray, agg: sp.csr_matrix) -> Tensor:
+        h = Tensor(features)
+        for i, layer in enumerate(self.sage_layers):
+            h = layer(h, agg)
+            if i < self.num_layers - 1:
+                h = self.drop(h.relu())
+        return h

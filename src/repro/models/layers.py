@@ -1,0 +1,122 @@
+"""Transformer building blocks with pluggable attention backends.
+
+The same :class:`GraphTransformerLayer` runs under every engine in the
+paper's evaluation — the backend choice (dense / flash / sparse pattern)
+is a per-forward argument, because Dual-interleaved Attention switches
+pattern per iteration at runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attention import (
+    AttentionPattern,
+    dense_attention,
+    flash_attention,
+    sparse_attention,
+)
+from ..tensor import Dropout, LayerNorm, Linear, Module, Tensor
+from ..tensor import functional as F
+
+__all__ = ["AttentionBackend", "MultiHeadAttention", "FeedForward",
+           "GraphTransformerLayer"]
+
+
+class AttentionBackend:
+    """Names for the per-forward attention execution choice."""
+
+    DENSE = "dense"
+    FLASH = "flash"
+    SPARSE = "sparse"  # requires a pattern
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention over a node sequence ``(S, d)``.
+
+    ``forward`` selects the kernel: ``backend="dense"|"flash"`` for
+    fully-connected attention, ``backend="sparse"`` with an
+    :class:`AttentionPattern` for topology/reformed attention.  ``bias``
+    is the graph encoding added to scores — a dense ``(H|1, S, S)`` tensor
+    for dense attention or per-entry ``(H|1, E)`` for sparse.  Flash
+    (faithfully to the real kernel) rejects bias.
+    """
+
+    def __init__(self, hidden_dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if hidden_dim % num_heads != 0:
+            raise ValueError("hidden_dim must divide num_heads")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.wq = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.wk = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.wv = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.wo = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        S = x.shape[0]
+        return x.reshape(S, self.num_heads, self.head_dim).transpose(1, 0, 2)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        H, S, dh = x.shape
+        return x.transpose(1, 0, 2).reshape(S, H * dh)
+
+    def forward(self, x: Tensor, backend: str = AttentionBackend.DENSE,
+                pattern: AttentionPattern | None = None,
+                bias: Tensor | None = None) -> Tensor:
+        q = self._split_heads(self.wq(x))
+        k = self._split_heads(self.wk(x))
+        v = self._split_heads(self.wv(x))
+        if backend == AttentionBackend.DENSE:
+            out = dense_attention(q, k, v, bias=bias)
+        elif backend == AttentionBackend.FLASH:
+            if bias is not None:
+                raise ValueError(
+                    "flash attention does not support additive bias "
+                    "(matching the real FlashAttention limitation)")
+            out = flash_attention(q, k, v)
+        elif backend == AttentionBackend.SPARSE:
+            if pattern is None:
+                raise ValueError("sparse backend requires a pattern")
+            out = sparse_attention(q, k, v, pattern, bias=bias)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        return self.drop(self.wo(self._merge_heads(out)))
+
+
+class FeedForward(Module):
+    """Position-wise FFN (d → ratio·d → d) with GELU."""
+
+    def __init__(self, hidden_dim: int, ratio: int = 4, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.fc1 = Linear(hidden_dim, ratio * hidden_dim, rng=rng)
+        self.fc2 = Linear(ratio * hidden_dim, hidden_dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(F.gelu(self.fc1(x))))
+
+
+class GraphTransformerLayer(Module):
+    """Pre-LN transformer layer: x + MHA(LN(x)); x + FFN(LN(x))."""
+
+    def __init__(self, hidden_dim: int, num_heads: int, dropout: float = 0.0,
+                 ffn_ratio: int = 4, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.ln1 = LayerNorm(hidden_dim)
+        self.ln2 = LayerNorm(hidden_dim)
+        self.attn = MultiHeadAttention(hidden_dim, num_heads, dropout, rng=rng)
+        self.ffn = FeedForward(hidden_dim, ffn_ratio, dropout, rng=rng)
+
+    def forward(self, x: Tensor, backend: str = AttentionBackend.DENSE,
+                pattern: AttentionPattern | None = None,
+                bias: Tensor | None = None) -> Tensor:
+        x = x + self.attn(self.ln1(x), backend=backend, pattern=pattern, bias=bias)
+        x = x + self.ffn(self.ln2(x))
+        return x

@@ -1,0 +1,139 @@
+"""NodeFormer (Wu et al., NeurIPS'22) — the kernelized, sampling-based
+graph transformer the paper uses for the Pokec panel of Figure 1.
+
+NodeFormer sidesteps quadratic attention with two ingredients:
+
+* **kernelized all-pair attention** — the Performer positive random
+  feature map (our :mod:`repro.attention.performer`) turns
+  ``softmax(QKᵀ)V`` into two linear-complexity matmuls, so every node
+  attends to every other node in O(S·m·d);
+* **Gumbel noise on the keys** during training — the stochastic relaxation
+  of NodeFormer's differentiable sampling of latent interaction graphs
+  (temperature ``tau``; evaluation runs noise-free);
+
+plus a **relational-bias** term that re-injects the observed edges: each
+layer adds ``σ(b_l) · mean_{j∈N(i)} v_j``, a learnable per-layer gate on
+one hop of real graph structure.  This mirrors NodeFormer's edge-level
+regularization: the kernel sees all pairs, while the true topology keeps
+a privileged, learned weight.
+
+The paper's §II-B characterization — "sampling-based NodeFormer with 100K
+sequence length outperforms the 10K case by 12%" — is about exactly this
+model class: its attention is an *approximation*, so the more nodes in the
+batch, the more of the real interaction structure each step observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..attention.performer import performer_attention, random_feature_matrix
+from ..graph.csr import CSRGraph
+from ..tensor import Dropout, LayerNorm, Linear, Module, ModuleList, Parameter, Tensor
+from ..tensor import functional as F
+from .gnn import mean_adjacency, spmm
+
+__all__ = ["NodeFormerConfig", "NodeFormerLayer", "NodeFormer", "NODEFORMER_BASE"]
+
+
+@dataclass(frozen=True)
+class NodeFormerConfig:
+    """NodeFormer hyperparameters."""
+
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    feature_dim: int
+    num_classes: int
+    num_features: int = 32  # m, random-feature count of the kernel
+    tau: float = 0.25  # Gumbel temperature
+    use_gumbel: bool = True
+    relational_bias: bool = True
+    dropout: float = 0.1
+
+
+def NODEFORMER_BASE(feature_dim: int, num_classes: int,
+                    **overrides) -> NodeFormerConfig:
+    """The configuration used in the original paper's large-graph runs."""
+    defaults = dict(num_layers=3, hidden_dim=64, num_heads=4,
+                    feature_dim=feature_dim, num_classes=num_classes)
+    defaults.update(overrides)
+    return NodeFormerConfig(**defaults)
+
+
+class NodeFormerLayer(Module):
+    """One kernelized-attention layer with a gated relational-bias hop."""
+
+    def __init__(self, cfg: NodeFormerConfig, rng: np.random.Generator):
+        super().__init__()
+        c = cfg
+        if c.hidden_dim % c.num_heads != 0:
+            raise ValueError(
+                f"hidden_dim={c.hidden_dim} must divide num_heads={c.num_heads}")
+        self.cfg = c
+        self.head_dim = c.hidden_dim // c.num_heads
+        self.q_proj = Linear(c.hidden_dim, c.hidden_dim, rng=rng)
+        self.k_proj = Linear(c.hidden_dim, c.hidden_dim, rng=rng)
+        self.v_proj = Linear(c.hidden_dim, c.hidden_dim, rng=rng)
+        self.out_proj = Linear(c.hidden_dim, c.hidden_dim, rng=rng)
+        # fixed random-feature projection, shared across steps (re-drawing
+        # every call would make the loss surface stochastic even in eval)
+        self.feature_map = random_feature_matrix(c.num_features, self.head_dim, rng)
+        if c.relational_bias:
+            self.edge_gate = Parameter(np.zeros(1))
+        self.norm = LayerNorm(c.hidden_dim)
+        self.drop = Dropout(c.dropout, rng=rng)
+        self._gumbel_rng = np.random.default_rng(rng.integers(2**31))
+
+    def _split_heads(self, t: Tensor, S: int) -> Tensor:
+        H, dh = self.cfg.num_heads, self.head_dim
+        return t.reshape(S, H, dh).transpose(1, 0, 2)
+
+    def forward(self, h: Tensor, agg: sp.csr_matrix | None) -> Tensor:
+        c = self.cfg
+        S = h.shape[0]
+        q = self._split_heads(self.q_proj(h), S)
+        k = self._split_heads(self.k_proj(h), S)
+        if c.use_gumbel and self.training:
+            # differentiable-sampling relaxation: Gumbel(0,1)·tau on keys
+            u = self._gumbel_rng.uniform(1e-9, 1.0 - 1e-9, size=k.shape)
+            k = k + Tensor(-np.log(-np.log(u)) * c.tau)
+        v = self._split_heads(self.v_proj(h), S)
+        attn = performer_attention(q, k, v, w=self.feature_map)
+        merged = attn.transpose(1, 0, 2).reshape(S, c.hidden_dim)
+        if c.relational_bias and agg is not None:
+            gate = self.edge_gate.sigmoid()
+            merged = merged + spmm(agg, self.v_proj(h)) * gate
+        out = self.out_proj(merged)
+        return self.norm(h + self.drop(F.gelu(out)))
+
+
+class NodeFormer(Module):
+    """NodeFormer for node classification.
+
+    ``forward(features, graph)`` — unlike Graphormer there is no SPD bias
+    or degree encoding to precompute; the graph enters only through the
+    relational-bias hop, so the model runs on arbitrary node mini-batches
+    (the paper's "sampling-based" mode) by passing the induced subgraph.
+    """
+
+    def __init__(self, config: NodeFormerConfig, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = config
+        self.config = c
+        self.input_proj = Linear(c.feature_dim, c.hidden_dim, rng=rng)
+        self.layers = ModuleList([NodeFormerLayer(c, rng) for _ in range(c.num_layers)])
+        self.head = Linear(c.hidden_dim, c.num_classes, rng=rng)
+
+    def forward(self, features: np.ndarray, graph: CSRGraph | None = None) -> Tensor:
+        agg = None
+        if graph is not None and self.config.relational_bias:
+            agg = mean_adjacency(graph)
+        h = self.input_proj(Tensor(features))
+        for layer in self.layers:
+            h = layer(h, agg)
+        return self.head(h)

@@ -1,0 +1,19 @@
+"""METIS-substitute multilevel partitioning and cluster reordering."""
+
+from .multilevel import PartitionResult, balance_ratio, edge_cut, partition
+from .reorder import Reordering, cluster_reorder, locality_score, reorder_dataset_arrays
+from .spectral import fiedler_vector, spectral_bisect, spectral_partition
+
+__all__ = [
+    "partition",
+    "edge_cut",
+    "balance_ratio",
+    "PartitionResult",
+    "fiedler_vector",
+    "spectral_bisect",
+    "spectral_partition",
+    "Reordering",
+    "cluster_reorder",
+    "reorder_dataset_arrays",
+    "locality_score",
+]

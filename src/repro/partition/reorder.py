@@ -1,0 +1,87 @@
+"""Cluster-locality node reordering (§III-C).
+
+TorchGT's "lightweight node reordering" relabels nodes so members of the
+same cluster get contiguous ids — the proximity of node IDs then maps to
+adjacency of GPU computing units, turning the attention layout of Fig. 5(a)
+into the clustered layout of Fig. 5(b).  Reordering never changes
+connectivity, only labels; :func:`cluster_reorder` returns both the
+permutation and its inverse so features/labels can be carried along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .multilevel import PartitionResult, partition
+
+__all__ = ["Reordering", "cluster_reorder", "reorder_dataset_arrays", "locality_score"]
+
+
+@dataclass
+class Reordering:
+    """A node relabeling derived from a clustering.
+
+    ``perm[old_id] = new_id``; ``inverse[new_id] = old_id``.  ``bounds``
+    gives the half-open new-id range of each cluster, i.e. cluster ``c``
+    occupies new ids ``bounds[c] : bounds[c+1]``.
+    """
+
+    graph: CSRGraph
+    perm: np.ndarray
+    inverse: np.ndarray
+    labels_new: np.ndarray  # cluster label per *new* node id
+    bounds: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.bounds) - 1
+
+    def cluster_slice(self, c: int) -> slice:
+        return slice(int(self.bounds[c]), int(self.bounds[c + 1]))
+
+
+def cluster_reorder(g: CSRGraph, num_clusters: int, seed: int = 0,
+                    precomputed: PartitionResult | None = None) -> Reordering:
+    """Partition ``g`` and relabel nodes so clusters are contiguous.
+
+    Within a cluster, original id order is preserved (stable sort), which
+    keeps any pre-existing locality.  Returns the reordered graph plus the
+    mapping metadata.
+    """
+    result = precomputed if precomputed is not None else partition(g, num_clusters, seed)
+    labels = result.labels
+    order = np.argsort(labels, kind="stable")  # old ids grouped by cluster
+    inverse = order.astype(np.int64)
+    perm = np.empty_like(inverse)
+    perm[inverse] = np.arange(g.num_nodes)
+    new_graph = g.permute(perm)
+    labels_new = labels[inverse]
+    counts = np.bincount(labels, minlength=result.num_parts)
+    bounds = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return Reordering(graph=new_graph, perm=perm, inverse=inverse,
+                      labels_new=labels_new, bounds=bounds)
+
+
+def reorder_dataset_arrays(reordering: Reordering, *arrays: np.ndarray) -> tuple:
+    """Apply the node relabeling to per-node arrays (features, labels, masks)."""
+    return tuple(np.asarray(a)[reordering.inverse] for a in arrays)
+
+
+def locality_score(g: CSRGraph, window: int | None = None) -> float:
+    """Fraction of edges whose endpoint ids are within ``window`` of each other.
+
+    A cheap proxy for memory-access locality of the CSR attention kernel:
+    after cluster reordering this score rises sharply, which is exactly the
+    effect the reordering is meant to produce.  Default window is
+    N / 16 (roughly one cluster of a 16-way partition).
+    """
+    if g.num_edges == 0:
+        return 1.0
+    if window is None:
+        window = max(g.num_nodes // 16, 1)
+    src = np.repeat(np.arange(g.num_nodes, dtype=np.int64), g.degrees())
+    near = np.abs(src - g.indices) <= window
+    return float(near.mean())

@@ -1,0 +1,76 @@
+"""Numpy autograd substrate replacing PyTorch for the TorchGT repro.
+
+Public surface: :class:`Tensor` with reverse-mode AD, fused functional ops,
+``nn``-style modules, optimizers, and the simulated-bf16 precision policy
+used by the Table VII experiment.
+"""
+
+from .precision import Precision, apply_precision, quantize_bf16
+from .tensor import (
+    Tensor,
+    concat,
+    get_precision,
+    is_grad_enabled,
+    no_grad,
+    set_precision,
+    stack,
+    where,
+)
+from . import functional
+from .module import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+)
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .schedulers import (
+    ConstantSchedule,
+    LRSchedule,
+    PolynomialDecaySchedule,
+    StepDecaySchedule,
+    WarmupCosineSchedule,
+    WarmupLinearSchedule,
+)
+from .checkpoint import checkpoint, checkpoint_sequential, live_graph_size
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "set_precision",
+    "get_precision",
+    "Precision",
+    "apply_precision",
+    "quantize_bf16",
+    "functional",
+    "Parameter",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRSchedule",
+    "ConstantSchedule",
+    "WarmupCosineSchedule",
+    "WarmupLinearSchedule",
+    "PolynomialDecaySchedule",
+    "StepDecaySchedule",
+    "clip_grad_norm",
+    "checkpoint",
+    "checkpoint_sequential",
+    "live_graph_size",
+]

@@ -1,0 +1,141 @@
+"""Gradient checkpointing (activation recomputation) for the autograd engine.
+
+Korthikanti et al. (MLSys'23, the paper's ref [39]) cut transformer
+activation memory by re-running the forward of selected blocks during the
+backward pass instead of keeping their intermediate tensors alive.  With
+million-token graph sequences, activation memory — not weights — is what
+forces OOM (Table V), so TorchGT-style systems lean on this technique to
+push the maximum trainable sequence length.
+
+Implementation on the closure-based engine: :func:`checkpoint` runs ``fn``
+under :class:`~repro.tensor.tensor.no_grad` (recording *nothing*), then
+emits a single output node whose backward closure re-runs ``fn`` with
+recording enabled, backpropagates through the fresh subgraph, and forwards
+the input gradients to the original parents.  Parameters referenced inside
+``fn`` receive their gradients directly during the replay.
+
+Requirements mirror torch.utils.checkpoint:
+
+* ``fn`` must be deterministic between the two invocations.  Stochastic
+  modules (Dropout) draw from per-module ``numpy`` Generators, so pass
+  them via ``rngs=`` and their bit-generator state is snapshotted at
+  forward and restored before the replay.
+* ``fn``'s output must be a single Tensor.
+
+:func:`live_graph_size` is the measurement hook used by the tests and the
+long-sequence example: it walks the recorded graph from a loss tensor and
+returns how many intermediate tensors (and bytes) the graph keeps alive —
+the quantity checkpointing exists to reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = ["checkpoint", "checkpoint_sequential", "live_graph_size"]
+
+
+def _snapshot_rng_states(rngs: Sequence[np.random.Generator]) -> list[dict]:
+    return [rng.bit_generator.state for rng in rngs]
+
+
+def _restore_rng_states(rngs: Sequence[np.random.Generator],
+                        states: Sequence[dict]) -> None:
+    for rng, state in zip(rngs, states):
+        rng.bit_generator.state = state
+
+
+def checkpoint(fn: Callable[..., Tensor], *inputs,
+               rngs: Sequence[np.random.Generator] = ()) -> Tensor:
+    """Run ``fn(*inputs)`` without recording; recompute it on backward.
+
+    Parameters
+    ----------
+    fn:
+        A deterministic function of its tensor inputs (it may also close
+        over module parameters — they get gradients during the replay).
+    inputs:
+        Positional arguments; ``Tensor`` arguments participate in the
+        autograd graph, everything else is passed through untouched.
+    rngs:
+        Generators consumed inside ``fn`` (e.g. Dropout modules' rngs);
+        their states are restored before the replay so the recomputed
+        forward is bit-identical.
+    """
+    tensor_inputs = [t for t in inputs if isinstance(t, Tensor)]
+    rng_states = _snapshot_rng_states(rngs)
+
+    with no_grad():
+        out = fn(*inputs)
+    if not isinstance(out, Tensor):
+        raise TypeError(f"checkpointed fn must return a Tensor, got {type(out)!r}")
+    out_data = out.data
+
+    def backward(g):
+        _restore_rng_states(rngs, rng_states)
+        # fresh leaves so the replayed graph is private to this closure
+        replay_args = []
+        leaves: list[tuple[Tensor, Tensor]] = []
+        for arg in inputs:
+            if isinstance(arg, Tensor):
+                leaf = Tensor(arg.data, requires_grad=arg.requires_grad)
+                leaves.append((arg, leaf))
+                replay_args.append(leaf)
+            else:
+                replay_args.append(arg)
+        replay_out = fn(*replay_args)
+        if replay_out.requires_grad:
+            replay_out.backward(g)
+        for original, leaf in leaves:
+            if original.requires_grad and leaf.grad is not None:
+                original._accumulate(leaf.grad)
+
+    out_t = Tensor._make(out_data, tensor_inputs, backward)
+    if is_grad_enabled() and not out_t.requires_grad:
+        # fn may close over parameters the inputs know nothing about (the
+        # usual case: x is data, fn is a module).  Record the closure
+        # anyway; if the replay finds no trainable tensors either, its
+        # backward is a no-op.
+        out_t.requires_grad = True
+        out_t._parents = tuple(tensor_inputs)
+        out_t._backward = backward
+    return out_t
+
+
+def checkpoint_sequential(blocks: Sequence[Callable[[Tensor], Tensor]],
+                          x: Tensor,
+                          rngs: Sequence[np.random.Generator] = ()) -> Tensor:
+    """Checkpoint each block of a layer stack in turn.
+
+    The transformer use case: pass the model's layer list and only one
+    layer's activations are ever live during backward instead of all L.
+    """
+    for block in blocks:
+        x = checkpoint(block, x, rngs=rngs)
+    return x
+
+
+def live_graph_size(root: Tensor) -> tuple[int, int]:
+    """(number of tensors, bytes) the autograd graph from ``root`` keeps.
+
+    Walks ``_parents`` recursively — exactly the set of arrays that cannot
+    be freed until backward runs, i.e. activation memory.  Checkpointed
+    graphs collapse each block to one node, which is the point.
+    """
+    seen: set[int] = set()
+    stack = [root]
+    count = 0
+    nbytes = 0
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        count += 1
+        nbytes += node.data.nbytes
+        stack.extend(node._parents)
+    return count, nbytes

@@ -1,0 +1,154 @@
+"""Learning-rate schedules for the numpy substrate.
+
+Graphormer's original recipe is linear warmup followed by **polynomial
+decay** (Ying et al., NeurIPS'21 — appendix hyperparameters); GT and the
+GNN baselines typically use a constant rate or cosine decay.  All schedules
+here share one protocol: construct around an :class:`~repro.tensor.optim.
+Optimizer`, call :meth:`~LRSchedule.step` once per optimizer step, and the
+schedule writes the new rate into ``optimizer.lr`` and returns it.
+
+Schedules are deliberately stateful-but-tiny objects (a step counter), so
+they serialize trivially alongside a training checkpoint via
+:meth:`LRSchedule.state_dict` / :meth:`LRSchedule.load_state_dict`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Optimizer
+
+__all__ = [
+    "LRSchedule",
+    "ConstantSchedule",
+    "WarmupCosineSchedule",
+    "WarmupLinearSchedule",
+    "PolynomialDecaySchedule",
+    "StepDecaySchedule",
+]
+
+
+class LRSchedule:
+    """Base schedule: warmup handling, step counting, checkpoint state.
+
+    Subclasses implement :meth:`_decay_factor`, mapping post-warmup
+    progress ``∈ [0, 1]`` to a multiplier on the base learning rate.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int = 0,
+                 total_steps: int = 1):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be >= 0")
+        if warmup_steps >= total_steps:
+            raise ValueError(
+                f"warmup_steps={warmup_steps} must be < total_steps={total_steps}")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step = 0
+
+    # -- protocol -------------------------------------------------------- #
+    def step(self) -> float:
+        """Advance one step; write and return the new learning rate."""
+        self._step += 1
+        lr = self.lr_at(self._step)
+        self.optimizer.lr = lr
+        return lr
+
+    def lr_at(self, t: int) -> float:
+        """The learning rate the schedule assigns to step ``t`` (1-based)."""
+        if t <= self.warmup_steps and self.warmup_steps > 0:
+            return self.base_lr * t / self.warmup_steps
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        progress = min((t - self.warmup_steps) / denom, 1.0)
+        return self.base_lr * self._decay_factor(progress)
+
+    def _decay_factor(self, progress: float) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- checkpointing ----------------------------------------------------- #
+    def state_dict(self) -> dict:
+        return {"step": self._step, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state["step"])
+        self.base_lr = float(state["base_lr"])
+        if self._step > 0:
+            self.optimizer.lr = self.lr_at(self._step)
+
+
+class ConstantSchedule(LRSchedule):
+    """Warmup then a flat rate — the no-decay control for ablations."""
+
+    def _decay_factor(self, progress: float) -> float:
+        return 1.0
+
+
+class WarmupCosineSchedule(LRSchedule):
+    """Linear warmup followed by cosine decay to ``min_lr_ratio · base``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int,
+                 min_lr_ratio: float = 0.01):
+        super().__init__(optimizer, warmup_steps, total_steps)
+        self.min_lr_ratio = min_lr_ratio
+
+    def _decay_factor(self, progress: float) -> float:
+        cos = 0.5 * (1.0 + float(np.cos(np.pi * progress)))
+        return self.min_lr_ratio + (1.0 - self.min_lr_ratio) * cos
+
+
+class WarmupLinearSchedule(LRSchedule):
+    """Linear warmup then linear decay to ``min_lr_ratio · base``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int,
+                 min_lr_ratio: float = 0.0):
+        super().__init__(optimizer, warmup_steps, total_steps)
+        self.min_lr_ratio = min_lr_ratio
+
+    def _decay_factor(self, progress: float) -> float:
+        return self.min_lr_ratio + (1.0 - self.min_lr_ratio) * (1.0 - progress)
+
+
+class PolynomialDecaySchedule(LRSchedule):
+    """Graphormer's schedule: warmup, then ``(1 - progress)^power`` decay
+    from the base rate down to ``end_lr``.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int,
+                 end_lr: float = 1e-9, power: float = 1.0):
+        super().__init__(optimizer, warmup_steps, total_steps)
+        if end_lr < 0:
+            raise ValueError("end_lr must be >= 0")
+        self.end_lr = end_lr
+        self.power = power
+
+    def _decay_factor(self, progress: float) -> float:
+        end_ratio = self.end_lr / self.base_lr if self.base_lr > 0 else 0.0
+        return end_ratio + (1.0 - end_ratio) * (1.0 - progress) ** self.power
+
+
+class StepDecaySchedule(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps (after
+    warmup) — torch's ``StepLR``, used by the GNN baselines.
+    """
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5,
+                 warmup_steps: int = 0):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        # total_steps is irrelevant for step decay; pick something > warmup
+        super().__init__(optimizer, warmup_steps, max(warmup_steps + 1, 2))
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, t: int) -> float:
+        if t <= self.warmup_steps and self.warmup_steps > 0:
+            return self.base_lr * t / self.warmup_steps
+        n_drops = (t - self.warmup_steps) // self.step_size
+        return self.base_lr * self.gamma**n_drops
+
+    def _decay_factor(self, progress: float) -> float:  # pragma: no cover
+        raise NotImplementedError("StepDecaySchedule overrides lr_at directly")

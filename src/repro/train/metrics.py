@@ -1,0 +1,113 @@
+"""Evaluation metrics used across the paper's tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "mae", "macro_f1", "running_average", "EarlyStopping"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray,
+             mask: np.ndarray | None = None) -> float:
+    """Top-1 accuracy of row-wise logits vs integer labels, optionally masked."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    pred = logits.argmax(axis=-1)
+    correct = pred == labels
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.sum() == 0:
+            return 0.0
+        return float(correct[mask].mean())
+    return float(correct.mean())
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error (ZINC / PCQM4M metric)."""
+    return float(np.abs(np.asarray(pred) - np.asarray(target)).mean())
+
+
+def running_average(values: list[float], decay: float = 0.9) -> list[float]:
+    """EMA curve F_t = decay·F_{t−1} + (1−decay)·x_t (Auto Tuner's tracker)."""
+    out: list[float] = []
+    cur: float | None = None
+    for v in values:
+        cur = v if cur is None else decay * cur + (1 - decay) * v
+        out.append(cur)
+    return out
+
+
+def macro_f1(logits: np.ndarray, labels: np.ndarray,
+             mask: np.ndarray | None = None) -> float:
+    """Macro-averaged F1 over the classes present in ``labels``.
+
+    The class-imbalance-robust companion to accuracy — on skewed label
+    distributions (Amazon's 107 classes, MalNet's 5) accuracy can hide a
+    collapsed minority class that macro-F1 exposes.  Classes absent from
+    the (masked) labels are excluded from the average; a class predicted
+    never/always contributes its honest 0.
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    pred = logits.argmax(axis=-1)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        pred, labels = pred[mask], labels[mask]
+    if len(labels) == 0:
+        return 0.0
+    scores = []
+    for cls in np.unique(labels):
+        tp = float(((pred == cls) & (labels == cls)).sum())
+        fp = float(((pred == cls) & (labels != cls)).sum())
+        fn = float(((pred != cls) & (labels == cls)).sum())
+        denom = 2 * tp + fp + fn
+        scores.append(2 * tp / denom if denom else 0.0)
+    return float(np.mean(scores))
+
+
+class EarlyStopping:
+    """Patience-based stopper on a validation metric.
+
+    ``mode="max"`` for accuracy-like metrics, ``"min"`` for losses/MAE.
+    Call :meth:`update` once per epoch; it returns True when training
+    should stop (no improvement beyond ``min_delta`` for ``patience``
+    consecutive epochs).  ``best`` and ``best_epoch`` record the
+    checkpoint worth keeping.
+    """
+
+    def __init__(self, patience: int = 10, mode: str = "max",
+                 min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best: float | None = None
+        self.best_epoch = -1
+        self._bad_epochs = 0
+        self._epoch = -1
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def update(self, value: float) -> bool:
+        """Record an epoch's metric; returns True when patience ran out."""
+        self._epoch += 1
+        if np.isnan(value):
+            # a NaN metric is never an improvement, but counts against
+            # patience — a diverged run should stop, not spin
+            self._bad_epochs += 1
+            return self._bad_epochs >= self.patience
+        if self._improved(value):
+            self.best = value
+            self.best_epoch = self._epoch
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        return self._bad_epochs >= self.patience

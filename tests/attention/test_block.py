@@ -1,0 +1,138 @@
+"""Block-rectangular (cluster-sparse) attention kernel."""
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    BlockLayout,
+    Rect,
+    block_attention_forward,
+    layout_from_pattern,
+    sparse_attention,
+    topology_pattern,
+)
+from repro.graph import dc_sbm
+from repro.partition import cluster_reorder
+from repro.tensor import Tensor
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 4, 2, 8).area == 24
+
+    def test_layout_density(self):
+        layout = BlockLayout(seq_len=10, rects=[Rect(0, 5, 0, 5)])
+        assert layout.density() == pytest.approx(0.25)
+        assert layout.covered_entries == 25
+
+
+class TestLayoutToPattern:
+    def test_expands_rectangles(self):
+        layout = BlockLayout(seq_len=6, rects=[Rect(0, 2, 0, 2), Rect(4, 6, 4, 6)])
+        p = layout.to_pattern()
+        assert p.num_entries == 8
+        m = p.to_mask()
+        assert m[0, 1] and m[5, 4]
+        assert not m[0, 4]
+
+    def test_overlapping_rects_dedupe(self):
+        layout = BlockLayout(seq_len=4, rects=[Rect(0, 2, 0, 2), Rect(1, 3, 1, 3)])
+        p = layout.to_pattern()
+        assert p.num_entries == 4 + 4 - 1  # one overlapping entry
+
+    def test_empty_layout(self):
+        p = BlockLayout(seq_len=5, rects=[]).to_pattern()
+        assert p.num_entries == 0
+
+
+class TestBlockKernel:
+    def _inputs(self, rng, S=64, H=2, dh=8):
+        return tuple(rng.standard_normal((H, S, dh)) for _ in range(3))
+
+    def test_matches_sparse_on_same_pattern(self, rng):
+        S = 64
+        g, _ = dc_sbm(S, 4, 6.0, rng)
+        ro = cluster_reorder(g, 4)
+        pat = topology_pattern(ro.graph)
+        layout = layout_from_pattern(pat, ro.bounds, dense_threshold=0.3)
+        q, k, v = self._inputs(rng, S)
+        out_block = block_attention_forward(q, k, v, layout)
+        ref = sparse_attention(Tensor(q), Tensor(k), Tensor(v),
+                               layout.to_pattern()).data
+        np.testing.assert_allclose(out_block, ref, atol=1e-5)
+
+    def test_single_full_rect_matches_dense(self, rng):
+        from repro.attention import dense_attention
+        S = 32
+        layout = BlockLayout(seq_len=S, rects=[Rect(0, S, 0, S)])
+        q, k, v = self._inputs(rng, S)
+        out = block_attention_forward(q, k, v, layout)
+        ref = dense_attention(Tensor(q), Tensor(k), Tensor(v)).data
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_disjoint_row_blocks_independent(self, rng):
+        S = 16
+        layout = BlockLayout(seq_len=S, rects=[Rect(0, 8, 0, 8), Rect(8, 16, 8, 16)])
+        q, k, v = self._inputs(rng, S)
+        out = block_attention_forward(q, k, v, layout)
+        # block 1 output must not depend on block 2's values
+        v2 = v.copy()
+        v2[:, 8:] += 100.0
+        out2 = block_attention_forward(q, k, v2, layout)
+        np.testing.assert_allclose(out[:, :8], out2[:, :8], atol=1e-6)
+        assert np.abs(out[:, 8:] - out2[:, 8:]).max() > 1.0
+
+    def test_uncovered_rows_zero(self, rng):
+        S = 12
+        layout = BlockLayout(seq_len=S, rects=[Rect(0, 6, 0, 6)])
+        q, k, v = self._inputs(rng, S)
+        out = block_attention_forward(q, k, v, layout)
+        np.testing.assert_allclose(out[:, 6:], np.zeros_like(out[:, 6:]))
+
+    def test_multi_rect_row_online_merge(self, rng):
+        # one row covered by two separate column rects: online-softmax merge
+        from repro.attention import dense_attention
+        S = 10
+        layout = BlockLayout(seq_len=S, rects=[Rect(0, 10, 0, 4), Rect(0, 10, 6, 10)])
+        q, k, v = self._inputs(rng, S)
+        out = block_attention_forward(q, k, v, layout)
+        mask = np.zeros((S, S), dtype=bool)
+        mask[:, 0:4] = True
+        mask[:, 6:10] = True
+        ref = dense_attention(Tensor(q), Tensor(k), Tensor(v), mask=mask).data
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_stats_recorded_regular(self, rng):
+        from repro.attention import collector
+        collector.clear()
+        S = 16
+        layout = BlockLayout(seq_len=S, rects=[Rect(0, 8, 0, 8)])
+        q, k, v = self._inputs(rng, S)
+        block_attention_forward(q, k, v, layout)
+        st = collector.last()
+        assert st.kind == "cluster-sparse"
+        assert st.irregular_bytes == 0
+        assert st.scores_computed == 2 * 64
+
+
+class TestLayoutFromPattern:
+    def test_dense_cells_become_full_rects(self, rng):
+        S = 32
+        g, _ = dc_sbm(S, 2, 10.0, rng, p_in_over_p_out=50.0)
+        ro = cluster_reorder(g, 2)
+        pat = topology_pattern(ro.graph)
+        layout = layout_from_pattern(pat, ro.bounds, dense_threshold=0.05)
+        big = [r for r in layout.rects if r.area > 1]
+        assert len(big) >= 1
+
+    def test_pattern_coverage_superset(self, rng):
+        # the layout's pattern must include every original entry
+        S = 48
+        g, _ = dc_sbm(S, 3, 5.0, rng)
+        ro = cluster_reorder(g, 3)
+        pat = topology_pattern(ro.graph)
+        layout = layout_from_pattern(pat, ro.bounds, dense_threshold=0.4)
+        cover = layout.to_pattern()
+        lin_orig = set((pat.rows * S + pat.cols).tolist())
+        lin_cover = set((cover.rows * S + cover.cols).tolist())
+        assert lin_orig <= lin_cover

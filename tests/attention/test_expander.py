@@ -1,0 +1,91 @@
+"""Expander overlays: regularity, diameter, Exphormer pattern composition."""
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    expander_pattern,
+    exphormer_pattern,
+    random_regular_expander,
+    topology_pattern,
+)
+from repro.graph import bfs_distances, dc_sbm, is_connected, path_graph
+
+
+class TestRandomRegularExpander:
+    def test_degree_concentrated(self):
+        g = random_regular_expander(100, 4, np.random.default_rng(0))
+        deg = g.degrees()
+        # merged duplicates can shave a little, never add
+        assert deg.max() <= 4
+        assert deg.mean() > 3.5
+
+    def test_connected(self):
+        for seed in range(5):
+            g = random_regular_expander(80, 4, np.random.default_rng(seed))
+            assert is_connected(g)
+
+    def test_logarithmic_diameter(self):
+        # expander on n nodes: diameter O(log n) ≪ n
+        g = random_regular_expander(256, 4, np.random.default_rng(1))
+        dist = bfs_distances(g, 0)
+        assert dist.max() <= 3 * int(np.ceil(np.log2(256)))
+
+    def test_odd_degree_adds_matching(self):
+        g3 = random_regular_expander(100, 3, np.random.default_rng(2))
+        g2 = random_regular_expander(100, 2, np.random.default_rng(2))
+        assert g3.num_edges > g2.num_edges
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            random_regular_expander(2, 4)
+        with pytest.raises(ValueError):
+            random_regular_expander(10, 1)
+
+    def test_deterministic_by_seed(self):
+        a = random_regular_expander(50, 4, np.random.default_rng(7))
+        b = random_regular_expander(50, 4, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+
+class TestExpanderPattern:
+    def test_has_self_loops(self):
+        assert expander_pattern(40, 4, np.random.default_rng(0)).has_self_loops()
+
+    def test_entry_budget_linear(self):
+        p = expander_pattern(200, 4, np.random.default_rng(0))
+        assert p.num_entries <= 200 * (4 + 1)
+
+
+class TestExphormerPattern:
+    def test_contains_topology(self, rng):
+        g, _ = dc_sbm(60, 3, 5.0, rng)
+        p = exphormer_pattern(g, expander_degree=4, num_global=0,
+                              rng=np.random.default_rng(0))
+        topo_mask = topology_pattern(g).to_mask()
+        assert (p.to_mask() >= topo_mask).all()  # superset
+
+    def test_global_token_present(self, rng):
+        g, _ = dc_sbm(40, 2, 4.0, rng)
+        p = exphormer_pattern(g, num_global=1, rng=np.random.default_rng(0))
+        mask = p.to_mask()
+        assert mask[0, :].all() and mask[:, 0].all()
+
+    def test_restores_reachability_on_deep_path(self):
+        # a path has diameter n−1; the expander overlay collapses it so
+        # condition C3 holds for small L — the static alternative to
+        # TorchGT's dense interleave
+        from repro.graph import reachable_within_l_hops
+        g = path_graph(120)
+        topo = topology_pattern(g)
+        exp = exphormer_pattern(g, expander_degree=4, num_global=0,
+                                rng=np.random.default_rng(0))
+        L = 6
+        assert not reachable_within_l_hops(topo.to_graph(), L)
+        assert reachable_within_l_hops(exp.to_graph(), L)
+
+    def test_still_sparse(self, rng):
+        g, _ = dc_sbm(100, 4, 6.0, rng)
+        p = exphormer_pattern(g, expander_degree=4, num_global=1,
+                              rng=np.random.default_rng(0))
+        assert p.sparsity() < 0.15

@@ -1,0 +1,109 @@
+"""NLP sparse patterns (BigBird/Longformer style): structure and budgets."""
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    bigbird_pattern,
+    global_token_pattern,
+    longformer_pattern,
+    random_pattern,
+)
+
+
+class TestRandomPattern:
+    def test_has_self_loops(self):
+        assert random_pattern(30, 3, np.random.default_rng(0)).has_self_loops()
+
+    def test_symmetric_by_default(self):
+        p = random_pattern(25, 4, np.random.default_rng(1))
+        mask = p.to_mask()
+        assert (mask == mask.T).all()
+
+    def test_asymmetric_option(self):
+        p = random_pattern(40, 3, np.random.default_rng(2), symmetric=False)
+        mask = p.to_mask()
+        assert not (mask == mask.T).all()
+
+    def test_deterministic_by_seed(self):
+        a = random_pattern(30, 3, np.random.default_rng(5))
+        b = random_pattern(30, 3, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.cols, b.cols)
+
+    def test_entry_budget(self):
+        # at most 2·S·e + S entries (mirroring + self-loops), fewer after dedupe
+        p = random_pattern(50, 4, np.random.default_rng(3))
+        assert p.num_entries <= 2 * 50 * 4 + 50
+
+    def test_zero_entries_is_identity(self):
+        p = random_pattern(10, 0)
+        np.testing.assert_array_equal(p.to_mask(), np.eye(10, dtype=bool))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_pattern(10, -1)
+
+
+class TestGlobalTokenPattern:
+    def test_global_rows_and_cols_dense(self):
+        p = global_token_pattern(20, 2)
+        mask = p.to_mask()
+        assert mask[:2, :].all() and mask[:, :2].all()
+
+    def test_non_global_block_is_diagonal(self):
+        p = global_token_pattern(20, 2)
+        sub = p.to_mask()[2:, 2:]
+        np.testing.assert_array_equal(sub, np.eye(18, dtype=bool))
+
+    def test_zero_globals_is_identity(self):
+        np.testing.assert_array_equal(
+            global_token_pattern(8, 0).to_mask(), np.eye(8, dtype=bool))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            global_token_pattern(5, 6)
+
+
+class TestLongformerPattern:
+    def test_window_band(self):
+        p = longformer_pattern(30, window=2)
+        mask = p.to_mask()
+        i, j = np.nonzero(mask)
+        assert (np.abs(i - j) <= 2).all()
+
+    def test_band_is_complete(self):
+        p = longformer_pattern(30, window=2)
+        mask = p.to_mask()
+        for d in (-2, -1, 0, 1, 2):
+            assert np.diagonal(mask, offset=d).all()
+
+    def test_globals_added(self):
+        p = longformer_pattern(30, window=1, num_global=1)
+        mask = p.to_mask()
+        assert mask[0, :].all() and mask[:, 0].all()
+
+    def test_self_loops_always(self):
+        assert longformer_pattern(15, window=0).has_self_loops()
+
+
+class TestBigBirdPattern:
+    def test_contains_all_three_components(self):
+        p = bigbird_pattern(40, window=1, random_per_row=2, num_global=1,
+                            rng=np.random.default_rng(0))
+        mask = p.to_mask()
+        assert mask[0, :].all()                      # global
+        assert np.diagonal(mask, offset=1).all()     # window
+        far = mask[np.abs(np.subtract.outer(np.arange(40), np.arange(40))) > 1]
+        assert far.sum() > 40                        # random entries beyond band+global
+
+    def test_sparser_than_full(self):
+        p = bigbird_pattern(60, 2, 2, 1, np.random.default_rng(1))
+        assert p.sparsity() < 0.5
+
+    def test_ignores_graph_structure(self):
+        # same builder output regardless of any graph — the whole point:
+        # the pattern is positional, and two different graphs with the
+        # same size get identical patterns
+        a = bigbird_pattern(30, 1, 2, 1, np.random.default_rng(4))
+        b = bigbird_pattern(30, 1, 2, 1, np.random.default_rng(4))
+        np.testing.assert_array_equal(a.cols, b.cols)

@@ -1,0 +1,121 @@
+"""Attention pattern builders."""
+
+import numpy as np
+import pytest
+
+from repro.attention import AttentionPattern, full_pattern, topology_pattern, window_pattern
+from repro.graph import dc_sbm, path_graph, star_graph
+
+
+class TestFromEntries:
+    def test_dedupes(self):
+        p = AttentionPattern.from_entries(3, np.array([0, 0, 1]), np.array([1, 1, 2]))
+        assert p.num_entries == 2
+
+    def test_csr_sorted(self):
+        p = AttentionPattern.from_entries(4, np.array([2, 0, 2]), np.array([1, 3, 0]))
+        np.testing.assert_array_equal(p.rows, [0, 2, 2])
+        np.testing.assert_array_equal(p.cols, [3, 0, 1])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            AttentionPattern.from_entries(3, np.array([0]), np.array([5]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            AttentionPattern.from_entries(3, np.array([0, 1]), np.array([1]))
+
+    def test_empty_pattern(self):
+        p = AttentionPattern.from_entries(4, np.array([]), np.array([]))
+        assert p.num_entries == 0
+        assert p.sparsity() == 0.0
+
+
+class TestTopologyPattern:
+    def test_self_loops_always_added(self, rng):
+        g, _ = dc_sbm(50, 2, 6.0, rng)
+        p = topology_pattern(g)
+        assert p.has_self_loops()
+
+    def test_entries_are_edges_plus_loops(self):
+        g = path_graph(4)
+        p = topology_pattern(g)
+        assert p.num_entries == g.num_edges + 4
+
+    def test_mask_matches_graph(self):
+        g = path_graph(5)
+        m = topology_pattern(g).to_mask()
+        assert m[0, 1] and m[1, 0] and m[2, 2]
+        assert not m[0, 4]
+
+    def test_global_tokens_attend_everywhere(self):
+        g = path_graph(6)
+        p = topology_pattern(g, global_tokens=1)
+        m = p.to_mask()
+        assert m[0, :].all() and m[:, 0].all()
+        assert not m[2, 5]
+
+    def test_sparsity_value(self):
+        g = star_graph(10)
+        p = topology_pattern(g)
+        expected = (g.num_edges + 10) / 100.0
+        assert p.sparsity() == pytest.approx(expected)
+
+    def test_to_graph_round_trip(self, rng):
+        g, _ = dc_sbm(40, 2, 5.0, rng)
+        pg = topology_pattern(g).to_graph()
+        assert pg.has_all_self_loops()
+        for u, v in g.edge_array()[:30]:
+            assert pg.has_edge(u, v)
+
+
+class TestFullAndWindow:
+    def test_full_pattern_covers_all(self):
+        p = full_pattern(7)
+        assert p.num_entries == 49
+        assert p.sparsity() == 1.0
+        assert p.has_self_loops()
+
+    def test_window_pattern_band(self):
+        p = window_pattern(10, 2)
+        m = p.to_mask()
+        assert m[5, 3] and m[5, 7] and m[5, 5]
+        assert not m[5, 2] and not m[5, 8]
+
+    def test_window_edges_clipped(self):
+        p = window_pattern(5, 3)
+        m = p.to_mask()
+        assert m[0, 3] and not m[0, 4]
+
+
+class TestClusterCounts:
+    def test_counts_sum_to_entries(self, rng):
+        g, _ = dc_sbm(64, 4, 6.0, rng)
+        p = topology_pattern(g)
+        bounds = np.array([0, 16, 32, 48, 64])
+        counts = p.cluster_entry_counts(bounds)
+        assert counts.sum() == p.num_entries
+
+    def test_diagonal_heavy_after_reorder(self, rng):
+        from repro.partition import cluster_reorder
+        g, _ = dc_sbm(400, 4, 10.0, rng, p_in_over_p_out=30.0)
+        shuffled = g.permute(rng.permutation(400))
+        ro = cluster_reorder(shuffled, 4)
+        p = topology_pattern(ro.graph)
+        counts = p.cluster_entry_counts(ro.bounds)
+        diag = np.trace(counts)
+        assert diag > 0.5 * counts.sum()
+
+    def test_rows_property_matches_indptr(self, rng):
+        g, _ = dc_sbm(30, 2, 4.0, rng)
+        p = topology_pattern(g)
+        rows = p.rows
+        for i in range(30):
+            seg = rows[p.indptr[i]:p.indptr[i + 1]]
+            assert (seg == i).all()
+
+    def test_huge_pattern_mask_guard(self):
+        p = AttentionPattern(indptr=np.zeros(30_001, dtype=np.int64),
+                             cols=np.array([], dtype=np.int64), seq_len=30_000)
+        with pytest.raises(MemoryError):
+            p.to_mask()

@@ -1,0 +1,130 @@
+"""Performer kernel attention: approximation quality, gradients, stats."""
+
+import numpy as np
+import pytest
+
+from repro.attention import dense_attention, performer_attention, random_feature_matrix
+from repro.attention.performer import performer_features
+from repro.tensor import Tensor
+
+
+def qkv(seed=0, H=2, S=12, dh=8, requires_grad=False):
+    rng = np.random.default_rng(seed)
+    return tuple(
+        Tensor(rng.standard_normal((H, S, dh)) * 0.5, requires_grad=requires_grad)
+        for _ in range(3))
+
+
+class TestRandomFeatureMatrix:
+    def test_shape(self):
+        w = random_feature_matrix(20, 8, np.random.default_rng(0))
+        assert w.shape == (20, 8)
+
+    def test_orthogonal_blocks(self):
+        w = random_feature_matrix(8, 8, np.random.default_rng(0), orthogonal=True)
+        # rows within the block are mutually orthogonal
+        gram = w @ w.T
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() < 1e-8
+
+    def test_plain_gaussian_not_orthogonal(self):
+        w = random_feature_matrix(8, 8, np.random.default_rng(0), orthogonal=False)
+        gram = w @ w.T
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() > 1e-3
+
+    def test_more_features_than_dim(self):
+        w = random_feature_matrix(20, 6, np.random.default_rng(1))
+        assert w.shape == (20, 6)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            random_feature_matrix(0, 4, np.random.default_rng(0))
+
+
+class TestFeatures:
+    def test_positive(self):
+        q, _, _ = qkv()
+        w = random_feature_matrix(16, 8, np.random.default_rng(0))
+        phi = performer_features(q, w)
+        assert (phi.data > 0).all()
+
+    def test_kernel_estimates_exp_dot(self):
+        # E[φ(q)·φ(k)] ≈ exp(q·k), up to the shared stabilizer shift
+        rng = np.random.default_rng(3)
+        q = Tensor(rng.standard_normal((1, 1, 8)) * 0.3)
+        k = Tensor(rng.standard_normal((1, 1, 8)) * 0.3)
+        w = random_feature_matrix(4096, 8, rng)
+        pq = performer_features(q, w, stabilizer=False)
+        pk = performer_features(k, w, stabilizer=False)
+        est = float((pq.data * pk.data).sum())
+        true = float(np.exp(q.data.reshape(-1) @ k.data.reshape(-1)))
+        assert est == pytest.approx(true, rel=0.15)
+
+
+class TestPerformerAttention:
+    def test_output_shape(self):
+        q, k, v = qkv()
+        out = performer_attention(q, k, v, num_features=32,
+                                  rng=np.random.default_rng(0))
+        assert out.shape == q.shape
+
+    def test_rows_are_convex_combinations(self):
+        # positive weights summing to 1 → each output coordinate lies
+        # within the value range of that coordinate
+        q, k, v = qkv(seed=5)
+        out = performer_attention(q, k, v, num_features=64,
+                                  rng=np.random.default_rng(0))
+        lo = v.data.min(axis=1, keepdims=True) - 1e-4
+        hi = v.data.max(axis=1, keepdims=True) + 1e-4
+        assert (out.data >= lo).all() and (out.data <= hi).all()
+
+    def test_approximates_dense_softmax(self):
+        q, k, v = qkv(seed=7)
+        ref = dense_attention(q, k, v).data
+        out = performer_attention(q, k, v, num_features=2048,
+                                  rng=np.random.default_rng(1))
+        err = np.abs(out.data - ref).mean() / (np.abs(ref).mean() + 1e-12)
+        assert err < 0.15
+
+    def test_error_decreases_with_features(self):
+        q, k, v = qkv(seed=11)
+        ref = dense_attention(q, k, v).data
+
+        def err(m, trials=6):
+            es = []
+            for t in range(trials):
+                out = performer_attention(q, k, v, num_features=m,
+                                          rng=np.random.default_rng(100 + t))
+                es.append(np.abs(out.data - ref).mean())
+            return float(np.mean(es))
+
+        assert err(1024) < err(8)
+
+    def test_gradients_flow(self):
+        q, k, v = qkv(requires_grad=True)
+        out = performer_attention(q, k, v, num_features=16,
+                                  rng=np.random.default_rng(0))
+        (out * out).sum().backward()
+        for t in (q, k, v):
+            assert t.grad is not None
+            assert np.isfinite(t.grad).all()
+            assert np.abs(t.grad).max() > 0
+
+    def test_fixed_w_is_deterministic(self):
+        q, k, v = qkv()
+        w = random_feature_matrix(32, 8, np.random.default_rng(0))
+        a = performer_attention(q, k, v, w=w)
+        b = performer_attention(q, k, v, w=w)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_linear_cost_recorded(self):
+        from repro.attention import collector
+        q, k, v = qkv(S=20)
+        collector.clear()
+        performer_attention(q, k, v, num_features=8,
+                            rng=np.random.default_rng(0))
+        stats = collector.records[-1]
+        assert stats.kind == "performer"
+        # S·m scores, not S²
+        assert stats.scores_computed == 2 * 20 * 8

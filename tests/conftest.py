@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def reset_precision():
+    """Every test starts and ends in fp32 (some tests switch to bf16)."""
+    from repro.tensor import set_precision
+    set_precision("fp32")
+    yield
+    set_precision("fp32")
+
+
+def numerical_grad(f, x, eps=1e-5):
+    """Central-difference gradient of scalar-valued f at array x."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return g

@@ -1,0 +1,129 @@
+"""Elastic Computation Reformation."""
+
+import numpy as np
+import pytest
+
+from repro.attention import topology_pattern
+from repro.core import analyze_clusters, reform_pattern
+from repro.graph import dc_sbm
+from repro.partition import cluster_reorder
+
+
+@pytest.fixture
+def clustered(rng):
+    g, _ = dc_sbm(256, 8, 10.0, rng, p_in_over_p_out=25.0)
+    ro = cluster_reorder(g.permute(rng.permutation(256)), 8)
+    pat = topology_pattern(ro.graph)
+    return pat, ro.bounds
+
+
+class TestAnalyzeClusters:
+    def test_counts_sum(self, clustered):
+        pat, bounds = clustered
+        stats = analyze_clusters(pat, bounds)
+        assert stats.entry_counts.sum() == pat.num_entries
+        assert stats.k == 8
+
+    def test_diagonal_denser_than_offdiagonal(self, clustered):
+        pat, bounds = clustered
+        stats = analyze_clusters(pat, bounds)
+        diag = np.diag(stats.sparsity).mean()
+        off = stats.sparsity[~np.eye(8, dtype=bool)]
+        assert diag > off.mean() * 3  # Fig. 5(b): diagonal clusters dense
+
+    def test_cells_below_threshold(self, clustered):
+        pat, bounds = clustered
+        stats = analyze_clusters(pat, bounds)
+        none = stats.cells_below(0.0)
+        assert none.sum() == 0
+        everything = stats.cells_below(1.1)
+        assert everything.sum() == (stats.entry_counts > 0).sum()
+
+    def test_graph_sparsity_is_beta_g(self, clustered):
+        pat, bounds = clustered
+        stats = analyze_clusters(pat, bounds)
+        assert stats.graph_sparsity == pytest.approx(pat.sparsity())
+
+
+class TestReformPattern:
+    def test_beta_zero_no_transfer(self, clustered):
+        pat, bounds = clustered
+        res = reform_pattern(pat, bounds, beta_thre=0.0, db=8)
+        assert res.transferred_cells == 0
+        # nothing transferred → every original entry survives
+        assert res.edges_preserved == pytest.approx(1.0)
+
+    def test_beta_one_transfers_all_sparse_cells(self, clustered):
+        pat, bounds = clustered
+        res = reform_pattern(pat, bounds, beta_thre=1.0, db=8)
+        stats = analyze_clusters(pat, bounds)
+        dense_cells = int((stats.sparsity >= 0.5).sum())
+        assert res.transferred_cells == res.total_cells - dense_cells
+
+    def test_transfer_monotone_in_beta(self, clustered):
+        pat, bounds = clustered
+        beta_g = pat.sparsity()
+        transfers = [reform_pattern(pat, bounds, beta_thre=b, db=8).transferred_cells
+                     for b in (0.0, beta_g, 5 * beta_g, 1.0)]
+        assert all(a <= b for a, b in zip(transfers, transfers[1:]))
+
+    def test_preservation_decreases_with_beta(self, clustered):
+        pat, bounds = clustered
+        beta_g = pat.sparsity()
+        p_low = reform_pattern(pat, bounds, beta_thre=beta_g, db=8).edges_preserved
+        p_high = reform_pattern(pat, bounds, beta_thre=1.0, db=8).edges_preserved
+        assert p_high <= p_low
+
+    def test_subblock_count_rule(self, clustered):
+        """⌈E_c/db²⌉ sub-blocks per transferred cell bounds reformed entries."""
+        pat, bounds = clustered
+        db = 8
+        res = reform_pattern(pat, bounds, beta_thre=1.0, db=db)
+        # reformed size can't exceed original + n_sub·db² for all cells
+        assert res.entries_after <= res.entries_before + \
+            res.transferred_cells * db * db + res.entries_before
+        assert res.entries_after > 0
+
+    def test_reformed_pattern_still_mostly_real_edges(self, clustered):
+        """Indolent transfer keeps the majority of true edges (the
+        accuracy-preservation property §III-D claims)."""
+        pat, bounds = clustered
+        beta_g = pat.sparsity()
+        res = reform_pattern(pat, bounds, beta_thre=beta_g, db=8)
+        assert res.edges_preserved > 0.5
+
+    def test_layout_consistent_with_pattern(self, clustered):
+        pat, bounds = clustered
+        res = reform_pattern(pat, bounds, beta_thre=1.0, db=8)
+        lay_pat = res.layout.to_pattern()
+        assert lay_pat.num_entries == res.pattern.num_entries
+
+    def test_transfer_fraction(self, clustered):
+        pat, bounds = clustered
+        res = reform_pattern(pat, bounds, beta_thre=1.0, db=8)
+        assert 0 < res.transfer_fraction <= 1.0
+
+    def test_dense_cells_kept_fully(self, rng):
+        # two tight cliques: diagonal cells dense → full rectangles
+        from repro.graph import ring_of_cliques
+        g, _ = ring_of_cliques(2, 16)
+        bounds = np.array([0, 16, 32])
+        pat = topology_pattern(g)
+        res = reform_pattern(pat, bounds, beta_thre=1.0, db=4,
+                             dense_cell_threshold=0.5)
+        m = res.pattern.to_mask()
+        assert m[:16, :16].all()  # clique 0 cell fully dense
+        assert m[16:, 16:].all()
+
+    def test_sub_blocks_prefer_dense_tiles(self, rng):
+        """Transferred sub-blocks land on the tiles holding most edges."""
+        from repro.attention import AttentionPattern
+        S, db = 32, 8
+        # cell (0:32, 0:32): cram 20 entries into tile (0:8, 0:8), 1 outside
+        rows = list(rng.integers(0, 8, 20)) + [20]
+        cols = list(rng.integers(0, 8, 20)) + [20]
+        pat = AttentionPattern.from_entries(S, np.array(rows), np.array(cols))
+        bounds = np.array([0, 32])
+        res = reform_pattern(pat, bounds, beta_thre=1.0, db=db)
+        m = res.pattern.to_mask()
+        assert m[:8, :8].all()  # the dense tile became a full sub-block

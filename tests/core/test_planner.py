@@ -1,0 +1,56 @@
+"""Paper-scale deployment planner."""
+
+import pytest
+
+from repro.core import plan_deployment
+from repro.hardware import A100_SERVER, RTX3090_SERVER
+
+
+class TestPlanDeployment:
+    def test_papers100m_table5_shape(self):
+        plan = plan_deployment("ogbn-papers100M", RTX3090_SERVER)
+        assert not plan.engines["gp-raw"].fits_memory
+        assert plan.engines["gp-raw"].epoch_seconds is None
+        assert plan.engines["torchgt"].fits_memory
+        assert plan.speedup() > 8  # paper: 62.7× on this dataset
+
+    def test_engine_ordering(self):
+        plan = plan_deployment("ogbn-products", RTX3090_SERVER)
+        t = plan.engines
+        assert (t["torchgt"].epoch_seconds < t["gp-sparse"].epoch_seconds
+                < t["gp-flash"].epoch_seconds)
+
+    def test_max_seq_lengths_ordered(self):
+        plan = plan_deployment("ogbn-products", RTX3090_SERVER)
+        assert (plan.engines["gp-raw"].max_seq_len
+                < plan.engines["gp-flash"].max_seq_len)
+        assert (plan.engines["gp-raw"].max_seq_len
+                < plan.engines["torchgt"].max_seq_len)
+
+    def test_a100_speedup_smaller(self):
+        p39 = plan_deployment("amazon", RTX3090_SERVER)
+        pa1 = plan_deployment("amazon", A100_SERVER)
+        assert pa1.speedup() < p39.speedup()  # Table VI vs Table V
+
+    def test_graph_level_dataset(self):
+        plan = plan_deployment("malnet", RTX3090_SERVER)
+        assert plan.paper.num_nodes == 15_378
+        assert plan.engines["torchgt"].epoch_seconds is not None
+
+    def test_autotuned_hyperparams_present(self):
+        plan = plan_deployment("ogbn-arxiv", RTX3090_SERVER, seq_len=64_000)
+        assert plan.cluster_dim >= 2
+        assert plan.subblock_dim in (2, 4, 8, 16, 32, 64)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            plan_deployment("imagenet", RTX3090_SERVER)
+
+    def test_summary_renders(self):
+        plan = plan_deployment("ogbn-arxiv", RTX3090_SERVER)
+        text = "\n".join(plan.summary_lines())
+        assert "gp-raw" in text and "torchgt" in text
+
+    def test_speedup_inf_when_baseline_ooms(self):
+        plan = plan_deployment("ogbn-papers100M", RTX3090_SERVER)
+        assert plan.speedup(baseline="gp-raw") == float("inf")

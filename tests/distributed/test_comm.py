@@ -1,0 +1,125 @@
+"""Simulated collectives: semantics and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import CommLog, Communicator
+from repro.hardware import ETHERNET_1G, PCIE4_X16
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self, rng):
+        P = 3
+        comm = Communicator(P)
+        send = [[rng.standard_normal(2) for _ in range(P)] for _ in range(P)]
+        recv = comm.all_to_all(send)
+        for i in range(P):
+            for j in range(P):
+                np.testing.assert_array_equal(recv[j][i], send[i][j])
+
+    def test_bytes_exclude_diagonal(self):
+        P = 2
+        comm = Communicator(P)
+        chunk = np.zeros(100, dtype=np.float32)  # 400 bytes
+        comm.all_to_all([[chunk, chunk], [chunk, chunk]])
+        rec = comm.log.records[-1]
+        assert rec.wire_bytes_per_rank == 400  # one off-diagonal chunk each
+        assert rec.total_bytes == 800
+
+    def test_shape_validation(self):
+        comm = Communicator(2)
+        with pytest.raises(ValueError):
+            comm.all_to_all([[np.zeros(1)]])
+
+
+class TestAllGather:
+    def test_everyone_gets_concat(self, rng):
+        P = 4
+        comm = Communicator(P)
+        bufs = [np.full((2, 3), r, dtype=float) for r in range(P)]
+        out = comm.all_gather(bufs, axis=0)
+        assert all(o.shape == (8, 3) for o in out)
+        np.testing.assert_array_equal(out[0], out[3])
+        assert (out[0][:2] == 0).all() and (out[0][6:] == 3).all()
+
+    def test_bytes_scale_with_p_minus_1(self):
+        buf = np.zeros(256, dtype=np.float32)  # 1 KiB
+        for P in (2, 4, 8):
+            comm = Communicator(P)
+            comm.all_gather([buf] * P)
+            assert comm.log.records[-1].wire_bytes_per_rank == 1024 * (P - 1)
+
+    def test_wrong_buffer_count(self):
+        with pytest.raises(ValueError):
+            Communicator(3).all_gather([np.zeros(1)])
+
+
+class TestReduceScatter:
+    def test_sums_and_scatters(self):
+        P = 2
+        comm = Communicator(P)
+        bufs = [np.arange(4, dtype=float), np.arange(4, dtype=float)]
+        out = comm.reduce_scatter(bufs)
+        np.testing.assert_array_equal(out[0], [0, 2])
+        np.testing.assert_array_equal(out[1], [4, 6])
+
+
+class TestAllReduce:
+    def test_everyone_gets_sum(self):
+        P = 3
+        comm = Communicator(P)
+        out = comm.all_reduce([np.full(4, r, dtype=float) for r in range(P)])
+        for o in out:
+            np.testing.assert_array_equal(o, np.full(4, 3.0))
+
+    def test_ring_traffic_2x(self):
+        buf = np.zeros(512, dtype=np.float32)  # 2 KiB
+        comm = Communicator(4)
+        comm.all_reduce([buf] * 4)
+        rec = comm.log.records[-1]
+        assert rec.wire_bytes_per_rank == 2 * 2048 * 3 // 4
+
+
+class TestBroadcast:
+    def test_copies_root(self):
+        comm = Communicator(3)
+        out = comm.broadcast(np.array([1.0, 2.0]))
+        for o in out:
+            np.testing.assert_array_equal(o, [1.0, 2.0])
+        # mutating one copy must not affect others (real network semantics)
+        out[0][0] = 99
+        assert out[1][0] == 1.0
+
+
+class TestCommLog:
+    def test_accumulates_and_clears(self):
+        comm = Communicator(2)
+        buf = np.zeros(10, dtype=np.float32)
+        comm.all_gather([buf, buf])
+        comm.all_gather([buf, buf])
+        assert len(comm.log.records) == 2
+        # each all_gather: both ranks send their 40B buffer once → 80B total
+        assert comm.log.total_wire_bytes() == 2 * 80
+        comm.log.clear()
+        assert comm.log.total_wire_bytes() == 0
+
+    def test_per_op_filter(self):
+        comm = Communicator(2)
+        buf = np.zeros(10, dtype=np.float32)
+        comm.all_gather([buf, buf])
+        comm.all_to_all([[buf, buf], [buf, buf]])
+        assert comm.log.per_rank_bytes("all_gather") == 40
+        assert comm.log.per_rank_bytes("all_to_all") == 40
+        assert comm.log.per_rank_bytes() == 80
+
+    def test_modeled_time_uses_link(self):
+        log = CommLog()
+        log.add("all_to_all", per_rank=32_000_000_000, total=0)  # 32 GB
+        fast = log.modeled_time(PCIE4_X16, 2)
+        slow = log.modeled_time(ETHERNET_1G, 2)
+        assert fast == pytest.approx(1.0, rel=0.01)
+        assert slow > 100 * fast
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(0)

@@ -1,0 +1,133 @@
+"""Cluster-aware Graph Parallelism: exactness and communication volume."""
+
+import numpy as np
+import pytest
+
+from repro.attention import sparse_attention, topology_pattern
+from repro.distributed import (
+    Communicator,
+    ShardPlan,
+    allgather_volume_per_gpu,
+    alltoall_volume_per_gpu,
+    cluster_aware_attention,
+    naive_sequence_parallel_attention,
+)
+from repro.graph import dc_sbm
+from repro.tensor import Tensor
+
+
+def setup_shards(rng, H=8, S=96, dh=4, P=4):
+    g, _ = dc_sbm(S, 4, 6.0, rng)
+    pat = topology_pattern(g)
+    q, k, v = (rng.standard_normal((H, S, dh)) for _ in range(3))
+    plan = ShardPlan(S, H, P)
+    slices = plan.row_slices()
+    shards = tuple([a[:, s].copy() for s in slices] for a in (q, k, v))
+    return pat, (q, k, v), plan, shards
+
+
+class TestShardPlan:
+    def test_row_slices_cover_sequence(self):
+        plan = ShardPlan(100, 8, 4)
+        sl = plan.row_slices()
+        assert sl[0].start == 0 and sl[-1].stop == 100
+        total = sum(s.stop - s.start for s in sl)
+        assert total == 100
+
+    def test_uneven_rows_allowed(self):
+        plan = ShardPlan(10, 4, 4)
+        lens = [s.stop - s.start for s in plan.row_slices()]
+        assert sum(lens) == 10 and max(lens) - min(lens) <= 1
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            ShardPlan(64, 6, 4)
+
+    def test_head_slices(self):
+        plan = ShardPlan(64, 8, 2)
+        hs = plan.head_slices()
+        assert hs[0] == slice(0, 4) and hs[1] == slice(4, 8)
+
+
+class TestClusterAwareAttention:
+    def test_matches_single_device(self, rng):
+        pat, (q, k, v), plan, (qs, ks, vs) = setup_shards(rng)
+        ref = sparse_attention(Tensor(q), Tensor(k), Tensor(v), pat).data
+        comm = Communicator(plan.world_size)
+        out = np.concatenate(
+            cluster_aware_attention(comm, plan, qs, ks, vs, pat), axis=1)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_two_alltoalls_per_call(self, rng):
+        pat, _, plan, (qs, ks, vs) = setup_shards(rng)
+        comm = Communicator(plan.world_size)
+        cluster_aware_attention(comm, plan, qs, ks, vs, pat)
+        ops = [r.op for r in comm.log.records]
+        # 3 gathers (Q,K,V) + 1 return scatter — all all-to-all
+        assert ops == ["all_to_all"] * 4
+
+    def test_wire_volume_scales_inverse_p(self, rng):
+        vols = {}
+        for P in (2, 4):
+            rng2 = np.random.default_rng(0)
+            pat, _, plan, (qs, ks, vs) = setup_shards(rng2, P=P, S=96)
+            comm = Communicator(P)
+            cluster_aware_attention(comm, plan, qs, ks, vs, pat)
+            vols[P] = comm.log.per_rank_bytes()
+        # §III-C: per-GPU volume is O(S/P) → P=4 moves less than P=2... per
+        # GPU wire = 4Sd/P · (P-1)/P; ratio(P=4 / P=2) = (3/16)/(1/4) = 0.75
+        assert vols[4] < vols[2]
+
+    def test_works_with_world_size_one(self, rng):
+        pat, (q, k, v), _, _ = setup_shards(rng, P=4)
+        plan1 = ShardPlan(96, 8, 1)
+        comm = Communicator(1)
+        out = cluster_aware_attention(comm, plan1, [q], [k], [v], pat)
+        ref = sparse_attention(Tensor(q), Tensor(k), Tensor(v), pat).data
+        np.testing.assert_allclose(out[0], ref, atol=1e-5)
+
+
+class TestNaiveBaseline:
+    def test_matches_single_device(self, rng):
+        pat, (q, k, v), plan, (qs, ks, vs) = setup_shards(rng)
+        ref = sparse_attention(Tensor(q), Tensor(k), Tensor(v), pat).data
+        comm = Communicator(plan.world_size)
+        out = np.concatenate(
+            naive_sequence_parallel_attention(comm, plan, qs, ks, vs, pat), axis=1)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_allgather_heavier_than_alltoall(self, rng):
+        pat, _, plan, (qs, ks, vs) = setup_shards(rng, P=4)
+        c1 = Communicator(4)
+        cluster_aware_attention(c1, plan, qs, ks, vs, pat)
+        c2 = Communicator(4)
+        naive_sequence_parallel_attention(c2, plan, qs, ks, vs, pat)
+        assert c2.log.per_rank_bytes() > c1.log.per_rank_bytes()
+
+    def test_gap_grows_with_p(self, rng):
+        ratios = []
+        for P in (2, 8):
+            rng2 = np.random.default_rng(0)
+            pat, _, plan, (qs, ks, vs) = setup_shards(rng2, P=P, S=128)
+            c1, c2 = Communicator(P), Communicator(P)
+            cluster_aware_attention(c1, plan, qs, ks, vs, pat)
+            naive_sequence_parallel_attention(c2, plan, qs, ks, vs, pat)
+            ratios.append(c2.log.per_rank_bytes() / c1.log.per_rank_bytes())
+        assert ratios[1] > ratios[0]
+
+
+class TestAnalyticVolumes:
+    def test_alltoall_formula(self):
+        # 4·S·d/P bytes per GPU (fp32)
+        assert alltoall_volume_per_gpu(1000, 64, 4) == 4 * 1000 * 64 * 4 // 4
+
+    def test_allgather_formula(self):
+        v = allgather_volume_per_gpu(1000, 64, 4)
+        assert v == int(2 * 1000 * 64 * 4 * 3 / 4)
+
+    def test_complexity_claim(self):
+        """§III-C: all-to-all is O(S/P), all-gather is O(S)."""
+        a2a = [alltoall_volume_per_gpu(10_000, 64, P) for P in (2, 4, 8, 16)]
+        ag = [allgather_volume_per_gpu(10_000, 64, P) for P in (2, 4, 8, 16)]
+        assert a2a[0] > a2a[-1] * 4  # shrinks ~linearly
+        assert ag[-1] > ag[0]  # does not shrink

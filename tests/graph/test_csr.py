@@ -1,0 +1,141 @@
+"""CSR graph structure."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import CSRGraph, complete_graph, path_graph, star_graph
+
+
+class TestConstruction:
+    def test_from_edges_symmetrizes(self):
+        g = CSRGraph.from_edges(3, [[0, 1]])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_edges == 2
+
+    def test_from_edges_dedupes(self):
+        g = CSRGraph.from_edges(3, [[0, 1], [0, 1], [1, 0]])
+        assert g.num_edges == 2
+
+    def test_self_loops_optional(self):
+        g = CSRGraph.from_edges(3, [[0, 1]], add_self_loops=True)
+        assert all(g.has_edge(v, v) for v in range(3))
+        assert g.has_all_self_loops()
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [[0, 5]])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [[-1, 0]])
+
+    def test_bad_indptr_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]), 3)
+
+    def test_from_dense_round_trip(self, rng):
+        adj = rng.random((10, 10)) < 0.3
+        g = CSRGraph.from_dense(adj)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)  # symmetric
+        assert (dense | dense.T == (adj | adj.T)).all()
+
+    def test_from_scipy(self):
+        mat = sp.csr_matrix(np.array([[0, 1], [0, 0]]))
+        g = CSRGraph.from_scipy(mat)
+        assert g.has_edge(1, 0)  # symmetrized
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, np.empty((0, 2)))
+        assert g.num_edges == 0
+        assert g.degrees().tolist() == [0] * 5
+
+
+class TestAccessors:
+    def test_degrees_path(self):
+        g = path_graph(4)
+        assert g.degrees().tolist() == [1, 2, 2, 1]
+
+    def test_degrees_star(self):
+        g = star_graph(5)
+        assert g.degrees()[0] == 4
+        assert (g.degrees()[1:] == 1).all()
+
+    def test_neighbors_sorted(self):
+        g = CSRGraph.from_edges(5, [[2, 4], [2, 0], [2, 3]])
+        np.testing.assert_array_equal(g.neighbors(2), [0, 3, 4])
+
+    def test_has_edge(self):
+        g = path_graph(3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_sparsity_complete(self):
+        g = complete_graph(4)  # 12 directed edges of 16 slots
+        assert g.sparsity() == pytest.approx(12 / 16)
+
+    def test_edge_array_shape(self):
+        g = path_graph(4)
+        ea = g.edge_array()
+        assert ea.shape == (6, 2)
+
+
+class TestTransforms:
+    def test_permute_preserves_structure(self, rng):
+        g = CSRGraph.from_edges(6, [[0, 1], [1, 2], [3, 4]])
+        perm = rng.permutation(6)
+        g2 = g.permute(perm)
+        assert g2.num_edges == g.num_edges
+        for u, v in g.edge_array():
+            assert g2.has_edge(perm[u], perm[v])
+
+    def test_permute_identity(self):
+        g = path_graph(5)
+        g2 = g.permute(np.arange(5))
+        np.testing.assert_array_equal(g2.indptr, g.indptr)
+        np.testing.assert_array_equal(g2.indices, g.indices)
+
+    def test_permute_invalid_raises(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            g.permute(np.array([0, 0, 1]))
+
+    def test_permute_involution(self, rng):
+        g = CSRGraph.from_edges(8, rng.integers(0, 8, (12, 2)))
+        perm = rng.permutation(8)
+        inv = np.empty(8, dtype=np.int64)
+        inv[perm] = np.arange(8)
+        g2 = g.permute(perm).permute(inv)
+        np.testing.assert_array_equal(g2.indices, g.indices)
+
+    def test_subgraph_induced_edges(self):
+        g = CSRGraph.from_edges(5, [[0, 1], [1, 2], [2, 3], [3, 4]])
+        sub, orig = g.subgraph(np.array([1, 2, 3]))
+        assert sub.num_nodes == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 2)
+        np.testing.assert_array_equal(orig, [1, 2, 3])
+
+    def test_subgraph_duplicate_raises(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            g.subgraph(np.array([0, 0]))
+
+    def test_with_self_loops(self):
+        g = path_graph(3).with_self_loops()
+        assert g.has_all_self_loops()
+        assert g.num_edges == 4 + 3
+
+    def test_to_dense_guard(self):
+        g = CSRGraph(np.zeros(30_001, dtype=np.int64), np.array([], dtype=np.int64), 30_000)
+        with pytest.raises(MemoryError):
+            g.to_dense()
+
+    def test_to_scipy_round_trip(self):
+        g = path_graph(5)
+        g2 = CSRGraph.from_scipy(g.to_scipy())
+        np.testing.assert_array_equal(g2.indices, g.indices)
+
+    def test_repr(self):
+        assert "nodes=3" in repr(path_graph(3))

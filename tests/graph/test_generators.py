@@ -1,0 +1,144 @@
+"""Synthetic graph generators: structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    dc_sbm,
+    erdos_renyi,
+    grid_graph,
+    is_connected,
+    molecule_like,
+    path_graph,
+    ring_of_cliques,
+    star_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self, rng):
+        n, p = 300, 0.05
+        g = erdos_renyi(n, p, rng)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges / 2 - expected) < 4 * np.sqrt(expected)
+
+    def test_p_zero_empty(self, rng):
+        assert erdos_renyi(50, 0.0, rng).num_edges == 0
+
+    def test_p_one_complete(self, rng):
+        g = erdos_renyi(20, 1.0, rng)
+        assert g.num_edges == 20 * 19
+
+    def test_tiny_n(self, rng):
+        assert erdos_renyi(1, 0.5, rng).num_nodes == 1
+        assert erdos_renyi(0, 0.5, rng).num_nodes == 0
+
+    def test_no_self_loops(self, rng):
+        g = erdos_renyi(50, 0.2, rng)
+        assert not any(g.has_edge(v, v) for v in range(50))
+
+
+class TestBarabasiAlbert:
+    def test_power_law_skew(self, rng):
+        g = barabasi_albert(2000, 3, rng)
+        deg = g.degrees()
+        # heavy tail: max degree far above mean
+        assert deg.max() > 8 * deg.mean()
+
+    def test_connected(self, rng):
+        assert is_connected(barabasi_albert(500, 2, rng))
+
+    def test_edge_count(self, rng):
+        g = barabasi_albert(100, 3, rng)
+        # ~ (n - m) * m undirected edges (minus duplicate target collisions)
+        assert g.num_edges / 2 <= 97 * 3
+        assert g.num_edges / 2 >= 97 * 2
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, rng)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0, rng)
+
+
+class TestDcSbm:
+    def test_planted_communities_dominate(self, rng):
+        g, blocks = dc_sbm(800, 8, 12.0, rng, p_in_over_p_out=20.0)
+        src = np.repeat(np.arange(g.num_nodes), g.degrees())
+        intra = (blocks[src] == blocks[g.indices]).mean()
+        assert intra > 0.6  # most edges stay inside their block
+
+    def test_avg_degree_controlled(self, rng):
+        g, _ = dc_sbm(1000, 4, 10.0, rng)
+        assert abs(g.degrees().mean() - 10.0) < 3.0
+
+    def test_degree_skew(self, rng):
+        g, _ = dc_sbm(1000, 4, 12.0, rng, power_law_exponent=2.1)
+        deg = g.degrees()
+        assert deg.max() > 4 * deg.mean()
+
+    def test_block_sizes_respected(self, rng):
+        sizes = np.array([50, 150])
+        _, blocks = dc_sbm(200, 2, 8.0, rng, block_sizes=sizes)
+        assert (blocks == 0).sum() == 50
+
+    def test_bad_block_sizes_raise(self, rng):
+        with pytest.raises(ValueError):
+            dc_sbm(100, 2, 8.0, rng, block_sizes=np.array([10, 20]))
+
+    def test_single_block(self, rng):
+        g, blocks = dc_sbm(100, 1, 8.0, rng)
+        assert (blocks == 0).all()
+        assert g.num_edges > 0
+
+
+class TestStructuredGraphs:
+    def test_ring_of_cliques_structure(self):
+        g, labels = ring_of_cliques(4, 5)
+        assert g.num_nodes == 20
+        # each clique contributes C(5,2)=10 edges, ring adds 4
+        assert g.num_edges / 2 == 4 * 10 + 4
+        assert (np.bincount(labels) == 5).all()
+
+    def test_grid_degrees(self):
+        g = grid_graph(3, 4)
+        deg = g.degrees()
+        assert deg.max() == 4 and deg.min() == 2
+        assert g.num_edges / 2 == 3 * 3 + 2 * 4  # rows*(c-1) + (r-1)*cols
+
+    def test_path_and_star_and_complete(self):
+        assert path_graph(5).num_edges == 8
+        assert star_graph(6).num_edges == 10
+        assert complete_graph(5).num_edges == 20
+
+
+class TestMoleculeLike:
+    def test_connected_tree_core(self, rng):
+        for _ in range(5):
+            g = molecule_like(25, rng)
+            assert is_connected(g)
+
+    def test_sparse_like_zinc(self, rng):
+        gs = [molecule_like(23, rng) for _ in range(50)]
+        avg_edges = np.mean([g.num_edges / 2 for g in gs])
+        assert 22 <= avg_edges <= 30  # ZINC: 24.9 edges at 23.2 nodes
+
+    def test_tiny_molecule(self, rng):
+        assert molecule_like(1, rng).num_nodes == 1
+        assert molecule_like(2, rng).num_edges == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        g1, b1 = dc_sbm(200, 4, 8.0, np.random.default_rng(42))
+        g2, b2 = dc_sbm(200, 4, 8.0, np.random.default_rng(42))
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_different_seed_different_graph(self):
+        g1, _ = dc_sbm(200, 4, 8.0, np.random.default_rng(1))
+        g2, _ = dc_sbm(200, 4, 8.0, np.random.default_rng(2))
+        assert g1.num_edges != g2.num_edges or \
+            not np.array_equal(g1.indices, g2.indices)

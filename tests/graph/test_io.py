@@ -1,0 +1,110 @@
+"""Graph/dataset persistence: npz and edge-list round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    dc_sbm,
+    load_graph,
+    load_node_dataset,
+    load_node_dataset_npz,
+    path_graph,
+    read_edgelist,
+    save_graph,
+    save_node_dataset,
+    write_edgelist,
+)
+from repro.graph.csr import CSRGraph
+
+
+def graphs_equal(a: CSRGraph, b: CSRGraph) -> bool:
+    return (a.num_nodes == b.num_nodes
+            and np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices))
+
+
+class TestGraphNpz:
+    def test_round_trip(self, rng, tmp_path):
+        g, _ = dc_sbm(60, 3, 5.0, rng)
+        p = tmp_path / "g.npz"
+        save_graph(p, g)
+        assert graphs_equal(load_graph(p), g)
+
+    def test_empty_graph(self, tmp_path):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64), 0)
+        p = tmp_path / "empty.npz"
+        save_graph(p, g)
+        assert load_graph(p).num_nodes == 0
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        p = tmp_path / "bogus.npz"
+        np.savez(p, format="something-else", x=np.arange(3))
+        with pytest.raises(ValueError):
+            load_graph(p)
+
+
+class TestEdgelist:
+    def test_round_trip(self, rng, tmp_path):
+        g, _ = dc_sbm(40, 2, 4.0, rng)
+        p = tmp_path / "g.txt"
+        write_edgelist(p, g)
+        assert graphs_equal(read_edgelist(p), g)
+
+    def test_header_preserves_isolated_tail_nodes(self, tmp_path):
+        # node 9 is isolated; without the header it would be dropped
+        g = CSRGraph.from_edges(10, np.array([[0, 1], [1, 2]]))
+        p = tmp_path / "iso.txt"
+        write_edgelist(p, g)
+        assert read_edgelist(p).num_nodes == 10
+
+    def test_explicit_num_nodes_overrides(self, tmp_path):
+        p = tmp_path / "small.txt"
+        p.write_text("0 1\n1 2\n")
+        assert read_edgelist(p, num_nodes=7).num_nodes == 7
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "c.txt"
+        p.write_text("# a comment\n0 1\n# another\n1 2\n")
+        g = read_edgelist(p)
+        assert g.has_edge(0, 1) and g.has_edge(2, 1)
+
+    def test_dedup_halves_line_count(self, rng, tmp_path):
+        g = path_graph(5)  # 4 undirected edges = 8 directed entries
+        p = tmp_path / "p.txt"
+        n = write_edgelist(p, g)
+        assert n == 4
+
+    def test_self_loops_survive(self, tmp_path):
+        g = CSRGraph.from_edges(3, np.array([[0, 0], [0, 1]]), symmetrize=True)
+        p = tmp_path / "l.txt"
+        write_edgelist(p, g)
+        assert read_edgelist(p).has_edge(0, 0)
+
+
+class TestDatasetNpz:
+    def test_round_trip(self, tmp_path):
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        p = tmp_path / "ds.npz"
+        save_node_dataset(p, ds)
+        back = load_node_dataset_npz(p)
+        assert back.name == ds.name
+        assert graphs_equal(back.graph, ds.graph)
+        np.testing.assert_array_equal(back.features, ds.features)
+        np.testing.assert_array_equal(back.labels, ds.labels)
+        np.testing.assert_array_equal(back.train_mask, ds.train_mask)
+        assert back.num_classes == ds.num_classes
+
+    def test_blocks_optional(self, tmp_path):
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        ds.blocks = None
+        p = tmp_path / "nb.npz"
+        save_node_dataset(p, ds)
+        assert load_node_dataset_npz(p).blocks is None
+
+    def test_blocks_preserved(self, tmp_path):
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        if ds.blocks is None:
+            pytest.skip("loader did not attach blocks")
+        p = tmp_path / "b.npz"
+        save_node_dataset(p, ds)
+        np.testing.assert_array_equal(load_node_dataset_npz(p).blocks, ds.blocks)

@@ -1,0 +1,67 @@
+"""Laplacian positional encodings."""
+
+import numpy as np
+
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    dc_sbm,
+    grid_graph,
+    laplacian_positional_encoding,
+    path_graph,
+)
+
+
+class TestLaplacianPE:
+    def test_shape(self, rng):
+        g, _ = dc_sbm(100, 4, 8.0, rng)
+        pe = laplacian_positional_encoding(g, 8)
+        assert pe.shape == (100, 8)
+
+    def test_tiny_graph_zero_padded(self):
+        g = path_graph(2)
+        pe = laplacian_positional_encoding(g, 5)
+        assert pe.shape == (2, 5)
+        # only 1 nontrivial eigenvector exists; rest zero
+        assert (pe[:, 1:] == 0).all()
+
+    def test_empty_and_single(self):
+        assert laplacian_positional_encoding(
+            CSRGraph.from_edges(1, np.empty((0, 2))), 4).shape == (1, 4)
+        assert laplacian_positional_encoding(
+            CSRGraph.from_edges(0, np.empty((0, 2))), 4).shape == (0, 4)
+
+    def test_k_zero(self, rng):
+        g, _ = dc_sbm(50, 2, 6.0, rng)
+        assert laplacian_positional_encoding(g, 0).shape == (50, 0)
+
+    def test_eigenvectors_nontrivial(self, rng):
+        g = grid_graph(6, 6)
+        pe = laplacian_positional_encoding(g, 4)
+        # each column has unit-ish norm and nonzero variation
+        for j in range(4):
+            assert np.std(pe[:, j]) > 1e-3
+
+    def test_fiedler_separates_communities(self, rng):
+        # the first nontrivial eigenvector should split two well-separated
+        # blocks by sign — the classic spectral bisection property
+        g, blocks = dc_sbm(200, 2, 10.0, rng, p_in_over_p_out=50.0)
+        pe = laplacian_positional_encoding(g, 1)
+        side = pe[:, 0] > 0
+        agree = max((side == (blocks == 0)).mean(), (side == (blocks == 1)).mean())
+        assert agree > 0.8
+
+    def test_random_sign_flips_columns(self, rng):
+        g = grid_graph(5, 5)
+        base = laplacian_positional_encoding(g, 4)
+        flipped = laplacian_positional_encoding(
+            g, 4, rng=np.random.default_rng(1), random_sign=True)
+        # every column equals ±base column
+        for j in range(4):
+            same = np.allclose(flipped[:, j], base[:, j], atol=1e-8)
+            neg = np.allclose(flipped[:, j], -base[:, j], atol=1e-8)
+            assert same or neg
+
+    def test_complete_graph_defined(self):
+        pe = laplacian_positional_encoding(complete_graph(10), 3)
+        assert np.isfinite(pe).all()

@@ -1,0 +1,115 @@
+"""Structural metrics: modularity, conductance, degree skew estimators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    conductance,
+    dc_sbm,
+    degree_gini,
+    erdos_renyi,
+    modularity,
+    path_graph,
+    power_law_exponent,
+    ring_of_cliques,
+)
+
+
+class TestModularity:
+    def test_planted_communities_score_high(self, rng):
+        g, blocks = dc_sbm(120, 4, 8.0, rng, p_in_over_p_out=30.0)
+        q = modularity(g, blocks)
+        assert q > 0.3
+
+    def test_random_assignment_scores_near_zero(self, rng):
+        g, blocks = dc_sbm(120, 4, 8.0, rng, p_in_over_p_out=30.0)
+        shuffled = rng.permutation(blocks)
+        assert modularity(g, shuffled) < modularity(g, blocks) / 3
+
+    def test_single_community_is_zero(self, rng):
+        g = erdos_renyi(50, 0.1, rng)
+        q = modularity(g, np.zeros(50, dtype=np.int64))
+        assert q == pytest.approx(0.0, abs=1e-12)
+
+    def test_disconnected_cliques_perfect_partition(self):
+        g, membership = ring_of_cliques(4, 6)
+        q = modularity(g, membership)
+        assert q > 0.5
+
+    def test_er_graph_low_modularity_any_split(self, rng):
+        g = erdos_renyi(80, 0.15, rng)
+        halves = np.repeat([0, 1], 40)
+        assert abs(modularity(g, halves)) < 0.1
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            modularity(path_graph(5), np.zeros(4, dtype=np.int64))
+
+
+class TestConductance:
+    def test_clique_cut_is_low(self):
+        g, membership = ring_of_cliques(3, 8)
+        mask = membership == 0
+        assert conductance(g, mask) < 0.2
+
+    def test_random_cut_is_higher(self, rng):
+        g, membership = ring_of_cliques(3, 8)
+        good = conductance(g, membership == 0)
+        random_mask = rng.random(g.num_nodes) < 0.33
+        assert conductance(g, random_mask) > good
+
+    def test_everything_on_one_side(self):
+        g = path_graph(6)
+        assert conductance(g, np.ones(6, dtype=bool)) == 0.0
+
+    def test_path_middle_cut(self):
+        # cutting a path in half crosses exactly one undirected edge
+        g = path_graph(10)
+        mask = np.arange(10) < 5
+        # cut counted per direction = 2; vol each side = 2·4+1 = 9
+        assert conductance(g, mask) == pytest.approx(2 / 9)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            conductance(path_graph(5), np.ones(4, dtype=bool))
+
+
+class TestDegreeGini:
+    def test_regular_graph_is_zero(self):
+        g = complete_graph(10)
+        assert degree_gini(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_skewed(self):
+        from repro.graph import star_graph
+        assert degree_gini(star_graph(50)) > 0.4
+
+    def test_skewed_generator_beats_uniform(self, rng):
+        er = erdos_renyi(200, 0.05, rng)
+        sbm, _ = dc_sbm(200, 4, 10.0, rng, power_law_exponent=2.1)
+        assert degree_gini(sbm) > degree_gini(er)
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64), 0)
+        assert degree_gini(g) == 0.0
+
+
+class TestPowerLawExponent:
+    def test_rmat_tail_in_social_range(self, rng):
+        from repro.graph import rmat
+        g = rmat(10, 8, rng)
+        alpha = power_law_exponent(g, d_min=4)
+        assert 1.5 < alpha < 3.5
+
+    def test_regular_graph_has_huge_alpha_at_its_degree(self):
+        # every node has degree 29; with d_min at that degree there is no
+        # tail decay at all, so the MLE α blows up — clearly
+        # distinguishable from the 2–3 of genuinely heavy-tailed graphs
+        g = complete_graph(30)
+        assert power_law_exponent(g, d_min=29) > 10
+
+    def test_raises_without_tail(self):
+        g = CSRGraph(np.zeros(4, dtype=np.int64), np.zeros(0, dtype=np.int64), 3)
+        with pytest.raises(ValueError):
+            power_law_exponent(g)

@@ -1,0 +1,41 @@
+"""R-MAT generator: size, skew, determinism, parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import degree_gini, rmat
+
+
+class TestRmat:
+    def test_node_count_is_power_of_two(self, rng):
+        g = rmat(8, 4, rng)
+        assert g.num_nodes == 256
+
+    def test_edge_budget_respected(self, rng):
+        g = rmat(8, 4, rng)
+        # ≤ 2·n·edge_factor directed entries (dedupe and loop-drop shrink it)
+        assert 0 < g.num_edges <= 2 * 256 * 4
+
+    def test_symmetric(self, rng):
+        g = rmat(7, 3, rng)
+        dense = g.to_dense()
+        assert (dense == dense.T).all()
+
+    def test_no_self_loops_by_default(self, rng):
+        g = rmat(7, 3, rng)
+        assert not any(g.has_edge(v, v) for v in range(g.num_nodes))
+
+    def test_skewed_parameters_give_skewed_degrees(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        skewed = rmat(9, 8, rng1)  # default a=0.57
+        uniform = rmat(9, 8, rng2, a=0.25, b=0.25, c=0.25)
+        assert degree_gini(skewed) > degree_gini(uniform) + 0.1
+
+    def test_deterministic_by_seed(self):
+        a = rmat(7, 4, np.random.default_rng(42))
+        b = rmat(7, 4, np.random.default_rng(42))
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_rejects_invalid_probabilities(self, rng):
+        with pytest.raises(ValueError):
+            rmat(6, 2, rng, a=0.6, b=0.3, c=0.3)  # d < 0

@@ -1,0 +1,89 @@
+"""Cache/occupancy model — must reproduce the Fig. 6 trade-off shape."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import A100_80G, RTX3090, CacheModel
+
+DBS = (2, 4, 8, 16, 32, 64)
+
+
+class TestHitRates:
+    def test_l1_hit_increases_then_spills(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        hits = [cm.l1_hit_rate(db) for db in DBS]
+        # rises for small db
+        assert hits[1] > hits[0]
+        assert hits[2] > hits[1]
+        # all within [0, 1]
+        assert all(0 <= h <= 1 for h in hits)
+
+    def test_l1_spills_for_huge_blocks(self):
+        cm = CacheModel(RTX3090, hidden_dim=1024)
+        # working set of db=512 blocks at d=1024 vastly exceeds 128KB L1
+        assert cm.l1_hit_rate(512) < cm.l1_hit_rate(16)
+
+    def test_l2_hit_increases_with_db(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        hits = [cm.l2_hit_rate(db) for db in DBS]
+        assert hits[-1] > hits[0]
+        assert all(0 <= h <= 0.98 for h in hits)
+
+    def test_l2_benefits_from_cluster_locality(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        assert cm.l2_hit_rate(8, cluster_dim=4096) >= cm.l2_hit_rate(8, cluster_dim=0)
+
+    def test_a100_larger_l2_helps(self):
+        c39 = CacheModel(RTX3090, hidden_dim=256)
+        ca1 = CacheModel(A100_80G, hidden_dim=256)
+        assert ca1.l2_hit_rate(16, cluster_dim=50_000) >= \
+            c39.l2_hit_rate(16, cluster_dim=50_000)
+
+
+class TestOccupancy:
+    def test_decreases_with_db(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        occ = [cm.warp_occupancy(db, total_entries=1_000_000) for db in DBS]
+        assert all(a >= b for a, b in zip(occ, occ[1:]))
+
+    def test_saturates_with_many_blocks(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        assert cm.warp_occupancy(4, 10_000_000) > 0.8
+
+    def test_starves_with_few_blocks(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        assert cm.warp_occupancy(64, 10_000) < 0.2
+
+    def test_bounded(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        for db in DBS:
+            for e in (100, 1_000_000):
+                assert 0.02 <= cm.warp_occupancy(db, e) <= 0.95
+
+
+class TestThroughputTradeoff:
+    def test_fig6_mid_range_peak(self):
+        """Fig. 6(b): the throughput-optimal db is neither tiny nor huge."""
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        entries = 2_000_000  # S=64K topology pattern scale
+        thr = {db: cm.indexing_throughput(db, entries, cluster_dim=8192)
+               for db in DBS}
+        best = max(thr, key=thr.get)
+        assert best in (8, 16, 32)
+        assert thr[best] > thr[2]
+        assert thr[best] > thr[64]
+
+    def test_paper_fitted_value(self):
+        """§III-D: for RTX 3090 and d=64 the paper fits db=16."""
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        best = cm.best_db(total_entries=2_000_000, cluster_dim=8192)
+        assert best in (8, 16, 32)  # mid-range, bracketing the paper's 16
+
+    def test_effective_bandwidth_exceeds_hbm_with_hits(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        assert cm.effective_bandwidth(16, cluster_dim=8192) > RTX3090.hbm_bandwidth
+
+    def test_effective_bandwidth_positive(self):
+        cm = CacheModel(RTX3090, hidden_dim=64)
+        for db in DBS:
+            assert cm.effective_bandwidth(db) > 0

@@ -1,0 +1,67 @@
+"""Graph structural encodings for the models."""
+
+import numpy as np
+
+from repro.attention import topology_pattern
+from repro.graph import dc_sbm, path_graph, star_graph
+from repro.models import compute_encodings
+
+
+class TestComputeEncodings:
+    def test_degree_buckets_clipped(self):
+        g = star_graph(100)  # hub degree 99
+        enc = compute_encodings(g, max_degree=16, with_spd=False)
+        assert enc.degree_buckets[0] == 15
+        assert enc.degree_buckets[1] == 1
+
+    def test_spd_computed_when_small(self):
+        g = path_graph(6)
+        enc = compute_encodings(g, max_spd=3)
+        assert enc.spd_buckets is not None
+        assert enc.spd_buckets[0, 3] == 3
+        assert enc.spd_buckets[0, 5] == 4  # far bucket = max_spd + 1
+
+    def test_spd_skipped_above_limit(self, rng):
+        g, _ = dc_sbm(60, 2, 5.0, rng)
+        enc = compute_encodings(g, spd_node_limit=50)
+        assert enc.spd_buckets is None
+
+    def test_spd_skipped_when_disabled(self):
+        enc = compute_encodings(path_graph(5), with_spd=False)
+        assert enc.spd_buckets is None
+
+    def test_lap_pe_optional(self, rng):
+        g, _ = dc_sbm(40, 2, 5.0, rng)
+        assert compute_encodings(g).lap_pe is None
+        enc = compute_encodings(g, lap_pe_dim=6)
+        assert enc.lap_pe.shape == (40, 6)
+
+
+class TestSpdForPattern:
+    def test_gathers_from_matrix(self):
+        g = path_graph(5)
+        enc = compute_encodings(g, max_spd=3)
+        pat = topology_pattern(g)
+        buckets = enc.spd_for_pattern(pat)
+        assert buckets.shape == (pat.num_entries,)
+        # self-loops → 0, edges → 1
+        self_mask = pat.rows == pat.cols
+        assert (buckets[self_mask] == 0).all()
+        assert (buckets[~self_mask] == 1).all()
+
+    def test_structural_fallback(self, rng):
+        g, _ = dc_sbm(80, 2, 5.0, rng)
+        enc = compute_encodings(g, spd_node_limit=10)  # force fallback
+        pat = topology_pattern(g)
+        buckets = enc.spd_for_pattern(pat)
+        self_mask = pat.rows == pat.cols
+        assert (buckets[self_mask] == 0).all()
+        assert (buckets[~self_mask] == 1).all()
+
+    def test_fallback_matches_exact_for_topology_patterns(self, rng):
+        # for a topology pattern the structural bucketing IS exact
+        g, _ = dc_sbm(40, 2, 5.0, rng)
+        pat = topology_pattern(g)
+        exact = compute_encodings(g, max_spd=4).spd_for_pattern(pat)
+        fallback = compute_encodings(g, spd_node_limit=1).spd_for_pattern(pat)
+        np.testing.assert_array_equal(exact, fallback)

@@ -1,0 +1,142 @@
+"""Graphormer model."""
+
+import numpy as np
+import pytest
+
+from repro.attention import topology_pattern
+from repro.graph import dc_sbm, load_graph_dataset
+from repro.models import GRAPHORMER_LARGE, GRAPHORMER_SLIM, Graphormer, compute_encodings
+from repro.tensor import AdamW
+from repro.tensor import functional as F
+
+
+@pytest.fixture
+def small_task(rng):
+    g, blocks = dc_sbm(60, 3, 6.0, rng)
+    feats = rng.standard_normal((60, 12))
+    enc = compute_encodings(g)
+    return g, feats, enc, blocks
+
+
+class TestConfigs:
+    def test_slim_matches_table4(self):
+        c = GRAPHORMER_SLIM(16, 4)
+        assert (c.num_layers, c.hidden_dim, c.num_heads) == (4, 64, 8)
+
+    def test_large_matches_table4(self):
+        c = GRAPHORMER_LARGE(16, 4)
+        assert (c.num_layers, c.hidden_dim, c.num_heads) == (12, 768, 32)
+
+
+class TestForward:
+    def test_node_classification_shape(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        out = m(feats, enc)
+        assert out.shape == (60, 5)
+
+    def test_graph_classification_pooled(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 3, task="graph-classification"))
+        out = m(feats, enc)
+        assert out.shape == (1, 3)
+
+    def test_regression_scalar(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 0, task="regression"))
+        out = m(feats, enc)
+        assert out.shape == (1,)
+
+    def test_sparse_backend(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        out = m(feats, enc, backend="sparse", pattern=topology_pattern(g))
+        assert out.shape == (60, 5)
+
+    def test_flash_backend_no_bias(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        out = m(feats, enc, backend="flash", use_bias=False)
+        assert out.shape == (60, 5)
+
+
+class TestEncodingsMatter:
+    def test_degree_encoding_changes_output(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        m.eval()
+        base = m(feats, enc).data.copy()
+        # uniform shifts are erased by LayerNorm; perturb non-uniformly
+        rng = np.random.default_rng(0)
+        m.in_degree_emb.weight.data += rng.standard_normal(
+            m.in_degree_emb.weight.data.shape).astype(np.float32)
+        changed = m(feats, enc).data
+        assert np.abs(base - changed).max() > 1e-4
+
+    def test_spd_bias_changes_dense_output(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        m.eval()
+        with_bias = m(feats, enc, use_bias=True).data.copy()
+        without = m(feats, enc, use_bias=False).data
+        assert np.abs(with_bias - without).max() > 1e-6
+
+    def test_bias_gradient_reaches_table(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        out = m(feats, enc, use_bias=True)
+        loss = F.cross_entropy(out, np.zeros(60, dtype=int))
+        loss.backward()
+        assert m.spd_bias_table.grad is not None
+        assert np.abs(m.spd_bias_table.grad).sum() > 0
+
+    def test_sparse_bias_gradient_reaches_table(self, small_task):
+        g, feats, enc, _ = small_task
+        m = Graphormer(GRAPHORMER_SLIM(12, 5))
+        out = m(feats, enc, backend="sparse", pattern=topology_pattern(g))
+        F.cross_entropy(out, np.zeros(60, dtype=int)).backward()
+        assert np.abs(m.spd_bias_table.grad).sum() > 0
+
+
+class TestTraining:
+    def test_loss_decreases(self, small_task):
+        g, feats, enc, blocks = small_task
+        labels = blocks % 3
+        m = Graphormer(GRAPHORMER_SLIM(12, 3, dropout=0.0))
+        opt = AdamW(m.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(15):
+            loss = F.cross_entropy(m(feats, enc), labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.7 * losses[0]
+
+    def test_graph_regression_trains(self, rng):
+        ds = load_graph_dataset("zinc", scale=0.1, seed=0)
+        m = Graphormer(GRAPHORMER_SLIM(ds.features[0].shape[1], 0,
+                                       task="regression", dropout=0.0))
+        opt = AdamW(m.parameters(), lr=3e-3)
+        encs = [compute_encodings(g) for g in ds.graphs[:6]]
+        first, last = None, None
+        for epoch in range(10):
+            total = 0.0
+            for i in range(6):
+                out = m(ds.features[i], encs[i])
+                loss = F.l1_loss(out, np.array([ds.targets[i]]))
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                total += loss.item()
+            if epoch == 0:
+                first = total
+        last = total
+        assert last < first
+
+    def test_deterministic_by_seed(self, small_task):
+        g, feats, enc, _ = small_task
+        m1 = Graphormer(GRAPHORMER_SLIM(12, 5), seed=3)
+        m2 = Graphormer(GRAPHORMER_SLIM(12, 5), seed=3)
+        m1.eval(), m2.eval()
+        np.testing.assert_array_equal(m1(feats, enc).data, m2(feats, enc).data)

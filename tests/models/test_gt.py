@@ -1,0 +1,85 @@
+"""GT (Dwivedi–Bresson) model."""
+
+import numpy as np
+import pytest
+
+from repro.attention import topology_pattern
+from repro.graph import dc_sbm
+from repro.models import GT, GT_BASE, compute_encodings
+from repro.tensor import AdamW
+from repro.tensor import functional as F
+
+
+@pytest.fixture
+def task(rng):
+    g, blocks = dc_sbm(50, 2, 6.0, rng)
+    feats = rng.standard_normal((50, 10))
+    enc = compute_encodings(g, lap_pe_dim=8)
+    return g, feats, enc, blocks
+
+
+class TestConfig:
+    def test_table4_hyperparams(self):
+        c = GT_BASE(10, 4)
+        assert (c.num_layers, c.hidden_dim, c.num_heads) == (4, 128, 8)
+
+
+class TestForward:
+    def test_node_shape(self, task):
+        g, feats, enc, _ = task
+        m = GT(GT_BASE(10, 4))
+        assert m(feats, enc).shape == (50, 4)
+
+    def test_uses_lap_pe(self, task):
+        g, feats, enc, _ = task
+        m = GT(GT_BASE(10, 4))
+        m.eval()
+        base = m(feats, enc).data.copy()
+        enc_no_pe = compute_encodings(g, lap_pe_dim=0)
+        no_pe = m(feats, enc_no_pe).data
+        assert np.abs(base - no_pe).max() > 1e-5
+
+    def test_short_pe_zero_padded(self, rng):
+        # tiny graph with fewer eigenvectors than lap_pe_dim
+        g, _ = dc_sbm(6, 1, 2.0, rng)
+        feats = rng.standard_normal((6, 10))
+        enc = compute_encodings(g, lap_pe_dim=4)
+        m = GT(GT_BASE(10, 3, lap_pe_dim=8))  # asks for more than enc has
+        out = m(feats, enc)
+        assert out.shape == (6, 3)
+
+    def test_graph_task_and_regression(self, task):
+        g, feats, enc, _ = task
+        m = GT(GT_BASE(10, 3, task="graph-classification"))
+        assert m(feats, enc).shape == (1, 3)
+        m = GT(GT_BASE(10, 0, task="regression"))
+        assert m(feats, enc).shape == (1,)
+
+    def test_sparse_backend(self, task):
+        g, feats, enc, _ = task
+        m = GT(GT_BASE(10, 4))
+        out = m(feats, enc, backend="sparse", pattern=topology_pattern(g))
+        assert out.shape == (50, 4)
+
+    def test_use_bias_ignored(self, task):
+        g, feats, enc, _ = task
+        m = GT(GT_BASE(10, 4))
+        m.eval()
+        a = m(feats, enc, use_bias=True).data
+        b = m(feats, enc, use_bias=False).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTraining:
+    def test_loss_decreases(self, task):
+        g, feats, enc, blocks = task
+        m = GT(GT_BASE(10, 2, dropout=0.0))
+        opt = AdamW(m.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(15):
+            loss = F.cross_entropy(m(feats, enc), blocks)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.7 * losses[0]

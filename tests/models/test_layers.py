@@ -1,0 +1,115 @@
+"""Transformer building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.attention import full_pattern, topology_pattern
+from repro.graph import dc_sbm
+from repro.models import AttentionBackend, FeedForward, GraphTransformerLayer, MultiHeadAttention
+from repro.tensor import Tensor
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(32, 4)
+        out = mha(Tensor(rng.standard_normal((10, 32))))
+        assert out.shape == (10, 32)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(30, 4)
+
+    def test_backends_agree_full_pattern(self, rng):
+        mha = MultiHeadAttention(16, 2, rng=np.random.default_rng(0))
+        mha.eval()
+        x = Tensor(rng.standard_normal((12, 16)))
+        o_dense = mha(x, backend=AttentionBackend.DENSE)
+        o_flash = mha(x, backend=AttentionBackend.FLASH)
+        o_sparse = mha(x, backend=AttentionBackend.SPARSE, pattern=full_pattern(12))
+        np.testing.assert_allclose(o_dense.data, o_flash.data, atol=1e-5)
+        np.testing.assert_allclose(o_dense.data, o_sparse.data, atol=1e-5)
+
+    def test_sparse_requires_pattern(self, rng):
+        mha = MultiHeadAttention(16, 2)
+        with pytest.raises(ValueError):
+            mha(Tensor(rng.standard_normal((4, 16))), backend=AttentionBackend.SPARSE)
+
+    def test_flash_rejects_bias(self, rng):
+        mha = MultiHeadAttention(16, 2)
+        bias = Tensor(np.zeros((1, 4, 4)))
+        with pytest.raises(ValueError):
+            mha(Tensor(rng.standard_normal((4, 16))),
+                backend=AttentionBackend.FLASH, bias=bias)
+
+    def test_unknown_backend(self, rng):
+        mha = MultiHeadAttention(16, 2)
+        with pytest.raises(ValueError):
+            mha(Tensor(rng.standard_normal((4, 16))), backend="bogus")
+
+    def test_pattern_restricts_information_flow(self, rng):
+        # with a topology pattern, node i's output must not depend on
+        # values of non-neighbors
+        g, _ = dc_sbm(16, 2, 3.0, rng)
+        pat = topology_pattern(g)
+        mha = MultiHeadAttention(8, 1, rng=np.random.default_rng(0))
+        mha.eval()
+        x = rng.standard_normal((16, 8))
+        out1 = mha(Tensor(x), backend="sparse", pattern=pat).data.copy()
+        # find a non-neighbor pair
+        nbrs = set(g.neighbors(0).tolist()) | {0}
+        far = next(v for v in range(16) if v not in nbrs)
+        x2 = x.copy()
+        x2[far] += 10.0
+        out2 = mha(Tensor(x2), backend="sparse", pattern=pat).data
+        np.testing.assert_allclose(out1[0], out2[0], atol=1e-5)
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        mha = MultiHeadAttention(16, 4)
+        out = mha(Tensor(rng.standard_normal((6, 16))))
+        (out * out).sum().backward()
+        for lin in (mha.wq, mha.wk, mha.wv, mha.wo):
+            assert lin.weight.grad is not None
+            assert np.abs(lin.weight.grad).sum() > 0
+
+
+class TestFeedForward:
+    def test_shape_and_ratio(self, rng):
+        ffn = FeedForward(24, ratio=4)
+        assert ffn.fc1.out_features == 96
+        out = ffn(Tensor(rng.standard_normal((5, 24))))
+        assert out.shape == (5, 24)
+
+    def test_gradient_flows(self, rng):
+        ffn = FeedForward(8)
+        out = ffn(Tensor(rng.standard_normal((3, 8))))
+        out.sum().backward()
+        assert ffn.fc1.weight.grad is not None
+
+
+class TestGraphTransformerLayer:
+    def test_residual_structure(self, rng):
+        layer = GraphTransformerLayer(16, 2, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(rng.standard_normal((8, 16)))
+        out = layer(x)
+        assert out.shape == (8, 16)
+        # residuals keep output correlated with input
+        corr = np.corrcoef(x.data.ravel(), out.data.ravel())[0, 1]
+        assert corr > 0.3
+
+    def test_runs_all_backends(self, rng):
+        layer = GraphTransformerLayer(16, 2)
+        layer.eval()
+        x = Tensor(rng.standard_normal((8, 16)))
+        g, _ = dc_sbm(8, 2, 3.0, rng)
+        layer(x, backend="dense")
+        layer(x, backend="flash")
+        layer(x, backend="sparse", pattern=topology_pattern(g))
+
+    def test_dropout_off_in_eval(self, rng):
+        layer = GraphTransformerLayer(16, 2, dropout=0.5)
+        layer.eval()
+        x = Tensor(rng.standard_normal((8, 16)))
+        o1 = layer(x)
+        o2 = layer(x)
+        np.testing.assert_allclose(o1.data, o2.data)

@@ -1,0 +1,122 @@
+"""NodeFormer: shapes, gradients, Gumbel/eval behaviour, learnability."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import dc_sbm
+from repro.models import NODEFORMER_BASE, NodeFormer, NodeFormerConfig
+from repro.tensor import AdamW
+from repro.tensor import functional as F
+
+
+def small_graph(n=24, seed=0):
+    g, _ = dc_sbm(n, num_blocks=3, avg_degree=6,
+                  rng=np.random.default_rng(seed))
+    return g
+
+
+def small_model(n_feat=6, n_cls=3, **overrides):
+    cfg = NODEFORMER_BASE(n_feat, n_cls, num_layers=2, hidden_dim=16,
+                          num_heads=2, **overrides)
+    return NodeFormer(cfg, seed=0)
+
+
+class TestConfig:
+    def test_base_defaults(self):
+        cfg = NODEFORMER_BASE(10, 4)
+        assert cfg.num_layers == 3 and cfg.hidden_dim == 64
+
+    def test_rejects_indivisible_heads(self):
+        cfg = NodeFormerConfig(num_layers=1, hidden_dim=10, num_heads=3,
+                               feature_dim=4, num_classes=2)
+        with pytest.raises(ValueError):
+            NodeFormer(cfg)
+
+
+class TestForward:
+    def test_output_shape(self):
+        g = small_graph()
+        m = small_model()
+        x = np.random.default_rng(0).standard_normal((g.num_nodes, 6))
+        out = m(x, g)
+        assert out.shape == (g.num_nodes, 3)
+
+    def test_runs_without_graph(self):
+        # pure kernelized attention, no relational bias hop
+        m = small_model()
+        x = np.random.default_rng(1).standard_normal((10, 6))
+        out = m(x, None)
+        assert out.shape == (10, 3)
+
+    def test_eval_is_deterministic(self):
+        g = small_graph()
+        m = small_model().eval()
+        x = np.random.default_rng(2).standard_normal((g.num_nodes, 6))
+        np.testing.assert_array_equal(m(x, g).data, m(x, g).data)
+
+    def test_training_gumbel_is_stochastic(self):
+        g = small_graph()
+        m = small_model().train()
+        x = np.random.default_rng(3).standard_normal((g.num_nodes, 6))
+        a, b = m(x, g).data, m(x, g).data
+        assert not np.array_equal(a, b)
+
+    def test_gumbel_disabled_is_deterministic_in_train(self):
+        g = small_graph()
+        m = small_model(use_gumbel=False, dropout=0.0).train()
+        x = np.random.default_rng(4).standard_normal((g.num_nodes, 6))
+        np.testing.assert_array_equal(m(x, g).data, m(x, g).data)
+
+
+class TestGradients:
+    def test_all_parameters_receive_grads(self):
+        g = small_graph()
+        m = small_model()
+        x = np.random.default_rng(5).standard_normal((g.num_nodes, 6))
+        labels = np.random.default_rng(6).integers(0, 3, g.num_nodes)
+        loss = F.cross_entropy(m(x, g), labels)
+        loss.backward()
+        missing = [p for p in m.parameters() if p.grad is None]
+        assert not missing
+
+    def test_edge_gate_gets_grad(self):
+        g = small_graph()
+        m = small_model()
+        x = np.random.default_rng(7).standard_normal((g.num_nodes, 6))
+        loss = (m(x, g) ** 2).sum()
+        loss.backward()
+        gate = m.layers[0].edge_gate
+        assert gate.grad is not None
+
+
+class TestLearning:
+    def test_fits_community_labels(self):
+        # labels = planted SBM block; relational bias + kernel attention
+        # should separate them quickly
+        g, labels = dc_sbm(45, num_blocks=3, avg_degree=8,
+                           rng=np.random.default_rng(1))
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((45, 6)) * 0.1
+        m = small_model(dropout=0.0)
+        opt = AdamW(m.parameters(), lr=1e-2)
+        m.train()
+        for _ in range(60):
+            loss = F.cross_entropy(m(x, g), labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        m.eval()
+        acc = float((m(x, g).data.argmax(1) == labels).mean())
+        assert acc > 0.8
+
+
+class TestMiniBatchMode:
+    def test_subgraph_batches_run(self):
+        # the "sampling-based" operation of Fig. 1: induced subgraphs
+        g = small_graph(n=40, seed=2)
+        m = small_model().eval()
+        x = np.random.default_rng(9).standard_normal((40, 6))
+        nodes = np.arange(13)
+        sub, _ = g.subgraph(nodes)
+        out = m(x[nodes], sub)
+        assert out.shape == (13, 3)

@@ -1,0 +1,86 @@
+"""Cluster-locality node reordering."""
+
+import numpy as np
+
+from repro.graph import dc_sbm, ring_of_cliques
+from repro.partition import cluster_reorder, locality_score, reorder_dataset_arrays
+
+
+class TestClusterReorder:
+    def test_perm_is_valid_permutation(self, rng):
+        g, _ = dc_sbm(200, 4, 8.0, rng)
+        ro = cluster_reorder(g, 4)
+        np.testing.assert_array_equal(np.sort(ro.perm), np.arange(200))
+        np.testing.assert_array_equal(ro.perm[ro.inverse], np.arange(200))
+
+    def test_structure_preserved(self, rng):
+        g, _ = dc_sbm(150, 4, 8.0, rng)
+        ro = cluster_reorder(g, 4)
+        assert ro.graph.num_edges == g.num_edges
+        for u, v in g.edge_array()[:50]:
+            assert ro.graph.has_edge(ro.perm[u], ro.perm[v])
+
+    def test_clusters_contiguous(self, rng):
+        g, _ = dc_sbm(200, 4, 8.0, rng)
+        ro = cluster_reorder(g, 4)
+        # labels_new must be sorted (cluster c occupies bounds[c]:bounds[c+1])
+        assert (np.diff(ro.labels_new) >= 0).all()
+        assert ro.bounds[0] == 0 and ro.bounds[-1] == 200
+        for c in range(ro.num_clusters):
+            sl = ro.cluster_slice(c)
+            assert (ro.labels_new[sl] == c).all()
+
+    def test_improves_locality_on_shuffled_graph(self, rng):
+        g, _ = dc_sbm(500, 8, 12.0, rng)
+        shuffled = g.permute(rng.permutation(500))
+        before = locality_score(shuffled)
+        ro = cluster_reorder(shuffled, 8)
+        after = locality_score(ro.graph)
+        assert after > before + 0.1
+
+    def test_recovers_clique_blocks(self):
+        g, truth = ring_of_cliques(6, 10)
+        shuffled_perm = np.random.default_rng(0).permutation(60)
+        g2 = g.permute(shuffled_perm)
+        ro = cluster_reorder(g2, 6, seed=1)
+        # each new contiguous block should be dominated by one clique
+        truth_shuffled = np.empty(60, dtype=int)
+        truth_shuffled[shuffled_perm] = truth
+        for c in range(6):
+            members = truth_shuffled[ro.inverse[ro.cluster_slice(c)]]
+            dominant = np.bincount(members).max() / len(members)
+            assert dominant > 0.7
+
+    def test_reorder_dataset_arrays(self, rng):
+        g, _ = dc_sbm(100, 4, 8.0, rng)
+        ro = cluster_reorder(g, 4)
+        feats = rng.standard_normal((100, 5))
+        labels = rng.integers(0, 3, 100)
+        f2, l2 = reorder_dataset_arrays(ro, feats, labels)
+        # node with old id i moved to new id perm[i]
+        for old in range(0, 100, 13):
+            new = ro.perm[old]
+            np.testing.assert_array_equal(f2[new], feats[old])
+            assert l2[new] == labels[old]
+
+    def test_precomputed_partition_used(self, rng):
+        from repro.partition import partition
+        g, _ = dc_sbm(150, 4, 8.0, rng)
+        res = partition(g, 4, seed=3)
+        ro = cluster_reorder(g, 4, precomputed=res)
+        np.testing.assert_array_equal(np.sort(ro.labels_new), np.sort(res.labels))
+
+
+class TestLocalityScore:
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+        g = CSRGraph.from_edges(3, np.empty((0, 2)))
+        assert locality_score(g) == 1.0
+
+    def test_path_fully_local(self):
+        from repro.graph import path_graph
+        assert locality_score(path_graph(100), window=1) == 1.0
+
+    def test_window_monotone(self, rng):
+        g, _ = dc_sbm(300, 4, 10.0, rng)
+        assert locality_score(g, window=5) <= locality_score(g, window=50)

@@ -1,0 +1,96 @@
+"""Spectral partitioning: Fiedler structure, planted recovery, balance."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dc_sbm, modularity, path_graph, ring_of_cliques
+from repro.partition import (
+    balance_ratio,
+    edge_cut,
+    fiedler_vector,
+    partition,
+    spectral_bisect,
+    spectral_partition,
+)
+
+
+class TestFiedlerVector:
+    def test_path_graph_is_monotone(self):
+        # the path's Fiedler vector is a cosine: strictly monotone signs
+        f = fiedler_vector(path_graph(12))
+        order = np.argsort(f)
+        diffs = np.abs(np.diff(order))
+        assert (diffs == 1).all()  # sorted Fiedler = path order
+
+    def test_disconnected_components_separate(self):
+        from repro.graph import CSRGraph
+        # two triangles, no connection
+        edges = [[0, 1], [1, 2], [2, 0], [3, 4], [4, 5], [5, 3]]
+        g = CSRGraph.from_edges(6, np.array(edges))
+        f = fiedler_vector(g)
+        signs_a = set(np.sign(f[:3]).astype(int))
+        signs_b = set(np.sign(f[3:]).astype(int))
+        assert signs_a.isdisjoint(signs_b)
+
+    def test_tiny_graph_returns_zeros(self):
+        assert fiedler_vector(path_graph(2)).tolist() == [0.0, 0.0]
+
+
+class TestSpectralBisect:
+    def test_balanced_halves(self):
+        g, _ = ring_of_cliques(4, 5)
+        side = spectral_bisect(g)
+        assert abs(side.sum() - g.num_nodes // 2) <= 1
+
+    def test_respects_clique_boundaries(self):
+        g, membership = ring_of_cliques(2, 8)
+        side = spectral_bisect(g)
+        # each clique should land (almost) entirely on one side
+        agreement = max((side == (membership == 1)).mean(),
+                        (side == (membership == 0)).mean())
+        assert agreement > 0.9
+
+
+class TestSpectralPartition:
+    def test_recovers_planted_blocks(self, rng):
+        g, blocks = dc_sbm(96, 4, 8.0, rng, p_in_over_p_out=40.0)
+        res = spectral_partition(g, 4)
+        # partition should have modularity close to the planted one
+        assert modularity(g, res.labels) > 0.8 * modularity(g, blocks)
+
+    def test_num_parts_respected(self, rng):
+        g, _ = dc_sbm(60, 3, 6.0, rng)
+        for k in (2, 3, 5):
+            res = spectral_partition(g, k)
+            assert res.num_parts == k
+            assert len(np.unique(res.labels)) == k
+
+    def test_balance_bounded(self, rng):
+        g, _ = dc_sbm(90, 3, 6.0, rng)
+        res = spectral_partition(g, 3)
+        assert res.balance <= 1.25
+
+    def test_cut_comparable_to_multilevel(self, rng):
+        # neither method should be catastrophically worse than the other
+        g, _ = dc_sbm(120, 4, 8.0, rng, p_in_over_p_out=25.0)
+        spec = spectral_partition(g, 4)
+        multi = partition(g, 4)
+        assert spec.edge_cut <= 3 * max(multi.edge_cut, 1)
+        assert multi.edge_cut <= 3 * max(spec.edge_cut, 1)
+
+    def test_both_beat_random_cut(self, rng):
+        g, _ = dc_sbm(120, 4, 8.0, rng, p_in_over_p_out=25.0)
+        random_labels = rng.integers(0, 4, g.num_nodes)
+        rand_cut = edge_cut(g, random_labels)
+        assert spectral_partition(g, 4).edge_cut < rand_cut
+        assert partition(g, 4).edge_cut < rand_cut
+
+    def test_single_part(self, rng):
+        g, _ = dc_sbm(30, 2, 4.0, rng)
+        res = spectral_partition(g, 1)
+        assert res.edge_cut == 0
+        assert res.num_parts == 1
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            spectral_partition(path_graph(4), 0)

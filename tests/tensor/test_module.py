@@ -1,0 +1,179 @@
+"""nn.Module system: traversal, modes, state dict, building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+)
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+        self.extra = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestTraversal:
+    def test_parameters_found(self):
+        m = TwoLayer()
+        params = list(m.parameters())
+        # fc1 (w+b), fc2 (w+b), extra
+        assert len(params) == 5
+
+    def test_num_parameters(self):
+        m = TwoLayer()
+        assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 3
+
+    def test_shared_parameter_counted_once(self):
+        m = TwoLayer()
+        m.alias = m.extra  # second reference to the same Parameter
+        assert len(list(m.parameters())) == 5
+
+    def test_parameters_in_lists(self):
+        m = Module()
+        m.stack = [Linear(2, 2), Linear(2, 2)]
+        assert len(list(m.parameters())) == 4
+
+    def test_modules_iteration(self):
+        m = TwoLayer()
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_modulelist(self):
+        ml = ModuleList([Linear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        assert isinstance(ml[1], Linear)
+        assert len(list(ml.parameters())) == 6
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = TwoLayer()
+        m.eval()
+        assert all(not x.training for x in m.modules())
+        m.train()
+        assert all(x.training for x in m.modules())
+
+    def test_zero_grad(self):
+        m = TwoLayer()
+        out = m(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        m1, m2 = TwoLayer(), TwoLayer()
+        m1.fc1.weight.data[:] = 7.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m2.fc1.weight.data, m1.fc1.weight.data)
+
+    def test_unknown_key_raises(self):
+        m = TwoLayer()
+        with pytest.raises(KeyError):
+            m.load_state_dict({"nonexistent": np.zeros(1)})
+
+    def test_shape_mismatch_raises(self):
+        m = TwoLayer()
+        state = m.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        m = TwoLayer()
+        state = m.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not (m.fc1.weight.data == 99.0).any()
+
+
+class TestLinear:
+    def test_shape(self):
+        lin = Linear(3, 5)
+        out = lin(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 5)
+
+    def test_no_bias(self):
+        lin = Linear(3, 5, bias=False)
+        assert lin.bias is None
+        out = lin(Tensor(np.zeros((2, 3))))
+        np.testing.assert_allclose(out.data, np.zeros((2, 5)))
+
+    def test_xavier_scale(self):
+        lin = Linear(100, 100, rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(lin.weight.data).max() <= bound + 1e-9
+
+    def test_trains(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(2, 1, rng=rng)
+        x = rng.standard_normal((32, 2))
+        y = x @ np.array([[2.0], [-1.0]])
+        from repro.tensor import SGD
+        from repro.tensor import functional as F
+        opt = SGD(lin.parameters(), lr=0.1)
+        for _ in range(200):
+            loss = F.mse_loss(lin(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(lin.weight.data, [[2.0], [-1.0]], atol=0.05)
+
+
+class TestEmbeddingModule:
+    def test_lookup(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([1, 2, 3]))
+        assert out.shape == (3, 4)
+
+    def test_gradient_flows(self):
+        emb = Embedding(5, 2)
+        out = emb(np.array([0, 0, 1]))
+        out.sum().backward()
+        assert emb.weight.grad is not None
+        assert np.abs(emb.weight.grad[0]).sum() > 0
+        assert np.abs(emb.weight.grad[4]).sum() == 0
+
+
+class TestLayerNormModule:
+    def test_output_normalized(self, rng):
+        ln = LayerNorm(16)
+        out = ln(Tensor(rng.standard_normal((8, 16)) * 10))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(8), atol=1e-5)
+
+
+class TestDropoutModule:
+    def test_respects_training_flag(self, rng):
+        d = Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((20, 20)))
+        d.eval()
+        np.testing.assert_allclose(d(x).data, x.data)
+        d.train()
+        assert (d(x).data == 0).any()
+
+
+class TestSequential:
+    def test_chains(self):
+        seq = Sequential(Linear(2, 4), Linear(4, 3))
+        out = seq(Tensor(np.ones((5, 2))))
+        assert out.shape == (5, 3)
+
+    def test_parameters_collected(self):
+        seq = Sequential(Linear(2, 4), Linear(4, 3))
+        assert len(list(seq.parameters())) == 4

@@ -1,0 +1,126 @@
+"""Optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import SGD, Adam, AdamW, Tensor, WarmupCosineSchedule, clip_grad_norm
+
+
+def quadratic_descends(opt_cls, steps=150, **kw):
+    """Minimize ||x - target||² and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0])
+    x = Tensor(np.zeros(3), requires_grad=True)
+    opt = opt_cls([x], **kw)
+    for _ in range(steps):
+        diff = x - Tensor(target)
+        loss = (diff * diff).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(np.abs(x.data - target).max())
+
+
+class TestSGD:
+    def test_converges(self):
+        assert quadratic_descends(SGD, lr=0.1) < 1e-3
+
+    def test_momentum_converges(self):
+        assert quadratic_descends(SGD, lr=0.05, momentum=0.9) < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        (x * 0).sum().backward()  # zero task gradient
+        opt.step()
+        assert x.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no grad yet — must not crash or move
+        assert x.data[0] == 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self):
+        assert quadratic_descends(Adam, lr=0.1) < 1e-3
+
+    def test_bias_correction_first_step_size(self):
+        # first Adam step ≈ lr regardless of gradient magnitude
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([x], lr=0.01)
+        x.grad = np.array([1e-4])
+        opt.step()
+        assert abs(abs(x.data[0]) - 0.01) < 1e-3
+
+
+class TestAdamW:
+    def test_converges(self):
+        assert quadratic_descends(AdamW, lr=0.1) < 1e-3
+
+    def test_decoupled_decay_independent_of_grad_scale(self):
+        # AdamW decay applies to the weight directly, not through ∇
+        x1 = Tensor(np.array([5.0]), requires_grad=True)
+        x2 = Tensor(np.array([5.0]), requires_grad=True)
+        o1 = AdamW([x1], lr=0.1, weight_decay=0.1)
+        o2 = AdamW([x2], lr=0.1, weight_decay=0.0)
+        for o, x in ((o1, x1), (o2, x2)):
+            x.grad = np.array([0.0])
+            o.step()
+        assert x1.data[0] < x2.data[0]  # decay moved x1, not x2
+        assert x2.data[0] == 5.0
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        x.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_max(self):
+        x = Tensor(np.zeros(2), requires_grad=True)
+        x.grad = np.array([0.3, 0.4])
+        clip_grad_norm([x], max_norm=1.0)
+        np.testing.assert_allclose(x.grad, [0.3, 0.4])
+
+    def test_ignores_none_grads(self):
+        x = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([x], 1.0) == 0.0
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_linearly(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([x], lr=1.0)
+        sched = WarmupCosineSchedule(opt, warmup_steps=10, total_steps=100)
+        lrs = [sched.step() for _ in range(10)]
+        np.testing.assert_allclose(lrs, np.arange(1, 11) / 10)
+
+    def test_decays_after_warmup(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([x], lr=1.0)
+        sched = WarmupCosineSchedule(opt, warmup_steps=0, total_steps=100,
+                                     min_lr_ratio=0.0)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] > lrs[50] > lrs[99]
+        assert lrs[99] == pytest.approx(0.0, abs=1e-3)
+
+    def test_floor_respected(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        opt = SGD([x], lr=1.0)
+        sched = WarmupCosineSchedule(opt, warmup_steps=0, total_steps=10,
+                                     min_lr_ratio=0.1)
+        for _ in range(50):
+            lr = sched.step()
+        assert lr == pytest.approx(0.1, rel=1e-6)
+
+    def test_invalid_total_steps(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(SGD([x], lr=1.0), 0, 0)

@@ -1,0 +1,112 @@
+"""Simulated bfloat16 precision policy."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Precision,
+    Tensor,
+    apply_precision,
+    get_precision,
+    quantize_bf16,
+    set_precision,
+)
+
+
+class TestQuantizeBf16:
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        once = quantize_bf16(x)
+        np.testing.assert_array_equal(quantize_bf16(once), once)
+
+    def test_exact_for_powers_of_two(self):
+        x = np.array([1.0, 2.0, 0.5, 4096.0, 2**-10], dtype=np.float32)
+        np.testing.assert_array_equal(quantize_bf16(x), x)
+
+    def test_exact_for_small_integers(self):
+        x = np.arange(0, 256, dtype=np.float32)
+        np.testing.assert_array_equal(quantize_bf16(x), x)
+
+    def test_relative_error_bounded(self, rng):
+        # bf16 has 8 mantissa bits total → relative error ≤ 2^-8
+        x = (rng.standard_normal(10_000) * 100).astype(np.float32)
+        x = x[np.abs(x) > 1e-3]
+        q = quantize_bf16(x)
+        rel = np.abs(q - x) / np.abs(x)
+        assert rel.max() <= 2.0**-8
+
+    def test_loses_precision_somewhere(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        assert (quantize_bf16(x) != x).any()
+
+    def test_preserves_sign_and_zero(self):
+        x = np.array([0.0, -3.3, 3.3], dtype=np.float32)
+        q = quantize_bf16(x)
+        assert q[0] == 0.0
+        assert q[1] < 0 < q[2]
+
+    def test_nan_preserved(self):
+        q = quantize_bf16(np.array([np.nan, 1.0], dtype=np.float32))
+        assert np.isnan(q[0]) and q[1] == 1.0
+
+    def test_known_value(self):
+        # 3.14159265 rounds to 3.140625 in bf16
+        q = quantize_bf16(np.array([np.pi], dtype=np.float32))
+        assert q[0] == pytest.approx(3.140625)
+
+
+class TestPrecisionPolicy:
+    def test_dtype_mapping(self):
+        assert Precision.dtype("fp64") == np.float64
+        assert Precision.dtype("fp32") == np.float32
+        assert Precision.dtype("bf16") == np.float32  # storage is fp32
+
+    def test_bytes_per_element(self):
+        assert Precision.bytes_per_element("fp64") == 8
+        assert Precision.bytes_per_element("fp32") == 4
+        assert Precision.bytes_per_element("bf16") == 2
+
+    def test_unknown_precision_raises(self):
+        with pytest.raises(ValueError):
+            Precision.dtype("fp8")
+        with pytest.raises(ValueError):
+            set_precision("fp8")
+
+    def test_set_get_roundtrip(self):
+        set_precision("bf16")
+        assert get_precision() == "bf16"
+        set_precision("fp32")
+        assert get_precision() == "fp32"
+
+    def test_apply_precision_bf16_rounds(self):
+        out = apply_precision(np.array([np.pi]), "bf16")
+        assert out[0] == pytest.approx(3.140625)
+
+    def test_ops_round_under_bf16(self):
+        set_precision("bf16")
+        x = Tensor(np.array([1.0]))
+        y = x * float(np.pi)
+        assert y.data[0] == pytest.approx(3.140625)
+
+    def test_bf16_training_still_descends(self):
+        # reduced precision degrades but does not break optimization
+        set_precision("bf16")
+        from repro.tensor import SGD
+        target = np.array([1.0, -2.0])
+        x = Tensor(np.zeros(2), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        for _ in range(100):
+            diff = x - Tensor(target)
+            loss = (diff * diff).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(x.data - target).max() < 0.05
+
+    def test_bf16_diverges_from_fp32_numerically(self, rng):
+        data = rng.standard_normal((16, 16))
+        set_precision("fp32")
+        a32 = (Tensor(data) @ Tensor(data.T)).data.copy()
+        set_precision("bf16")
+        a16 = (Tensor(data) @ Tensor(data.T)).data.copy()
+        assert np.abs(a32 - a16).max() > 0

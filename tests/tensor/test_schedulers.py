@@ -1,0 +1,169 @@
+"""Learning-rate schedules: warmup shape, decay laws, checkpoint state."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SGD,
+    ConstantSchedule,
+    PolynomialDecaySchedule,
+    StepDecaySchedule,
+    Tensor,
+    WarmupCosineSchedule,
+    WarmupLinearSchedule,
+)
+
+
+def make_opt(lr=0.1):
+    return SGD([Tensor(np.zeros(3), requires_grad=True)], lr=lr)
+
+
+def run_schedule(sched, steps):
+    return [sched.step() for _ in range(steps)]
+
+
+class TestWarmup:
+    """All warmup-capable schedules share the linear ramp."""
+
+    @pytest.mark.parametrize("cls", [ConstantSchedule, WarmupCosineSchedule,
+                                     WarmupLinearSchedule, PolynomialDecaySchedule])
+    def test_linear_ramp(self, cls):
+        opt = make_opt(lr=1.0)
+        sched = cls(opt, warmup_steps=4, total_steps=20)
+        lrs = run_schedule(sched, 4)
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_no_warmup_starts_at_base(self):
+        opt = make_opt(lr=0.5)
+        sched = ConstantSchedule(opt, warmup_steps=0, total_steps=10)
+        assert sched.step() == pytest.approx(0.5)
+
+    def test_step_writes_optimizer_lr(self):
+        opt = make_opt(lr=1.0)
+        sched = WarmupLinearSchedule(opt, warmup_steps=2, total_steps=10)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(make_opt(), warmup_steps=0, total_steps=0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(make_opt(), warmup_steps=-1, total_steps=10)
+
+    def test_rejects_warmup_beyond_total(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(make_opt(), warmup_steps=10, total_steps=10)
+
+    def test_polynomial_rejects_negative_end_lr(self):
+        with pytest.raises(ValueError):
+            PolynomialDecaySchedule(make_opt(), 0, 10, end_lr=-1.0)
+
+    def test_step_decay_rejects_bad_step_size(self):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(make_opt(), step_size=0)
+
+
+class TestConstant:
+    def test_flat_after_warmup(self):
+        sched = ConstantSchedule(make_opt(lr=0.3), warmup_steps=2, total_steps=50)
+        lrs = run_schedule(sched, 10)
+        assert all(lr == pytest.approx(0.3) for lr in lrs[2:])
+
+
+class TestCosine:
+    def test_monotone_decreasing_after_warmup(self):
+        sched = WarmupCosineSchedule(make_opt(1.0), warmup_steps=0, total_steps=30)
+        lrs = run_schedule(sched, 30)
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_reaches_min_ratio(self):
+        sched = WarmupCosineSchedule(make_opt(1.0), warmup_steps=0, total_steps=20,
+                                     min_lr_ratio=0.1)
+        lrs = run_schedule(sched, 20)
+        assert lrs[-1] == pytest.approx(0.1)
+
+    def test_halfway_is_midpoint(self):
+        # cos decay at progress 0.5 gives factor (1 + min_ratio)/2
+        sched = WarmupCosineSchedule(make_opt(1.0), warmup_steps=0, total_steps=20,
+                                     min_lr_ratio=0.0)
+        assert sched.lr_at(10) == pytest.approx(0.5)
+
+    def test_clamps_past_total(self):
+        sched = WarmupCosineSchedule(make_opt(1.0), warmup_steps=0, total_steps=5,
+                                     min_lr_ratio=0.2)
+        lrs = run_schedule(sched, 10)
+        assert lrs[-1] == pytest.approx(0.2)
+
+
+class TestLinear:
+    def test_decays_to_min_ratio(self):
+        sched = WarmupLinearSchedule(make_opt(1.0), warmup_steps=0, total_steps=10,
+                                     min_lr_ratio=0.0)
+        lrs = run_schedule(sched, 10)
+        assert lrs[-1] == pytest.approx(0.0)
+        # exactly linear in between
+        diffs = np.diff(lrs)
+        assert np.allclose(diffs, diffs[0])
+
+
+class TestPolynomial:
+    def test_power_one_is_linear(self):
+        opt = make_opt(1.0)
+        sched = PolynomialDecaySchedule(opt, warmup_steps=0, total_steps=10,
+                                        end_lr=0.0, power=1.0)
+        lrs = run_schedule(sched, 10)
+        assert np.allclose(np.diff(lrs), np.diff(lrs)[0])
+
+    def test_ends_at_end_lr(self):
+        sched = PolynomialDecaySchedule(make_opt(1.0), warmup_steps=2,
+                                        total_steps=12, end_lr=1e-3, power=2.0)
+        lrs = run_schedule(sched, 12)
+        assert lrs[-1] == pytest.approx(1e-3)
+
+    def test_higher_power_decays_faster_early(self):
+        s1 = PolynomialDecaySchedule(make_opt(1.0), 0, 100, end_lr=0.0, power=1.0)
+        s2 = PolynomialDecaySchedule(make_opt(1.0), 0, 100, end_lr=0.0, power=3.0)
+        assert s2.lr_at(30) < s1.lr_at(30)
+
+
+class TestStepDecay:
+    def test_drops_by_gamma(self):
+        sched = StepDecaySchedule(make_opt(1.0), step_size=3, gamma=0.5)
+        lrs = run_schedule(sched, 9)
+        # steps 1,2: pre-drop; step 3 completes the first window
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.5)
+        assert lrs[5] == pytest.approx(0.25)
+        assert lrs[8] == pytest.approx(0.125)
+
+    def test_with_warmup(self):
+        sched = StepDecaySchedule(make_opt(1.0), step_size=2, gamma=0.1,
+                                  warmup_steps=2)
+        lrs = run_schedule(sched, 4)
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[3] == pytest.approx(0.1)
+
+
+class TestStateDict:
+    def test_round_trip_resumes_same_lr(self):
+        opt_a = make_opt(1.0)
+        a = WarmupCosineSchedule(opt_a, warmup_steps=5, total_steps=50)
+        for _ in range(17):
+            a.step()
+        state = a.state_dict()
+
+        opt_b = make_opt(1.0)
+        b = WarmupCosineSchedule(opt_b, warmup_steps=5, total_steps=50)
+        b.load_state_dict(state)
+        assert opt_b.lr == pytest.approx(opt_a.lr)
+        # next steps match too
+        assert b.step() == pytest.approx(a.step())
+
+    def test_fresh_schedule_state_is_zero(self):
+        sched = ConstantSchedule(make_opt(), 0, 10)
+        assert sched.state_dict()["step"] == 0

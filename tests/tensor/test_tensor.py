@@ -1,0 +1,302 @@
+"""Autograd engine: op correctness and gradient checks.
+
+Every differentiable op is validated against central-difference numerical
+gradients in float64 — the foundation everything above rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concat, no_grad, set_precision, stack, where
+from repro.tensor.tensor import unbroadcast
+
+from ..conftest import numerical_grad
+
+
+def check_grad(op, *shapes, rng=None, tol=1e-4, nonneg=False):
+    """Gradient-check ``op`` (Tensor...) -> Tensor over random inputs."""
+    rng = rng or np.random.default_rng(0)
+    set_precision("fp64")
+    arrays = [rng.standard_normal(s) for s in shapes]
+    if nonneg:
+        arrays = [np.abs(a) + 0.5 for a in arrays]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    seed_grad = rng.standard_normal(out.shape)
+    out.backward(seed_grad)
+    for i, (arr, t) in enumerate(zip(arrays, tensors)):
+        def scalar_f(x, i=i):
+            args = [Tensor(a) for a in arrays]
+            args[i] = Tensor(x)
+            return float((op(*args).data * seed_grad).sum())
+        num = numerical_grad(scalar_f, arr)
+        assert t.grad is not None, f"missing grad for input {i}"
+        np.testing.assert_allclose(t.grad, num, rtol=tol, atol=tol)
+
+
+class TestArithmetic:
+    def test_add_grad(self):
+        check_grad(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast_grad(self):
+        check_grad(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_sub_grad(self):
+        check_grad(lambda a, b: a - b, (2, 5), (2, 5))
+
+    def test_rsub_scalar(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = 10.0 - x
+        y.backward(np.ones(2))
+        np.testing.assert_allclose(y.data, [9.0, 8.0])
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_mul_grad(self):
+        check_grad(lambda a, b: a * b, (4, 3), (4, 3))
+
+    def test_mul_broadcast_scalar_shape(self):
+        check_grad(lambda a, b: a * b, (4, 3), (1,))
+
+    def test_div_grad(self):
+        check_grad(lambda a, b: a / b, (3, 3), (3, 3), nonneg=True)
+
+    def test_neg_grad(self):
+        check_grad(lambda a: -a, (5,))
+
+    def test_pow_grad(self):
+        check_grad(lambda a: a ** 3, (4,))
+
+    def test_pow_fractional(self):
+        check_grad(lambda a: a ** 0.5, (4,), nonneg=True)
+
+    def test_matmul_grad(self):
+        check_grad(lambda a, b: a @ b, (3, 4), (4, 2))
+
+    def test_matmul_batched_grad(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (2, 4, 2))
+
+    def test_matmul_broadcast_batch(self):
+        check_grad(lambda a, b: a @ b, (2, 3, 4), (4, 2))
+
+    def test_radd_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = 2.0 + x
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, np.ones(3))
+
+    def test_comparison_returns_array(self):
+        x = Tensor(np.array([1.0, 3.0]))
+        assert (x > 2.0).tolist() == [False, True]
+        assert (x <= 3.0).all()
+
+
+class TestElementwise:
+    def test_exp_grad(self):
+        check_grad(lambda a: a.exp(), (3, 3))
+
+    def test_log_grad(self):
+        check_grad(lambda a: a.log(), (4,), nonneg=True)
+
+    def test_sqrt_grad(self):
+        check_grad(lambda a: a.sqrt(), (4,), nonneg=True)
+
+    def test_tanh_grad(self):
+        check_grad(lambda a: a.tanh(), (3, 2))
+
+    def test_sigmoid_grad(self):
+        check_grad(lambda a: a.sigmoid(), (3, 2))
+
+    def test_relu_grad(self):
+        x = Tensor(np.array([-1.0, 2.0, -3.0, 4.0]), requires_grad=True)
+        y = x.relu()
+        y.backward(np.ones(4))
+        np.testing.assert_allclose(y.data, [0, 2, 0, 4])
+        np.testing.assert_allclose(x.grad, [0, 1, 0, 1])
+
+    def test_abs_grad(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        y = x.abs()
+        y.backward(np.ones(2))
+        np.testing.assert_allclose(x.grad, [-1, 1])
+
+    def test_clip_grad_masks_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        y = x.clip(-1.0, 1.0)
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(y.data, [-1.0, 0.5, 1.0])
+        np.testing.assert_allclose(x.grad, [0, 1, 0])
+
+
+class TestReductions:
+    def test_sum_all_grad(self):
+        check_grad(lambda a: a.sum(), (3, 4))
+
+    def test_sum_axis_grad(self):
+        check_grad(lambda a: a.sum(axis=1), (3, 4))
+
+    def test_sum_keepdims(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        y = x.sum(axis=0, keepdims=True)
+        assert y.shape == (1, 3)
+        y.backward(np.ones((1, 3)))
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_all_grad(self):
+        check_grad(lambda a: a.mean(), (4, 2))
+
+    def test_mean_axis_grad(self):
+        check_grad(lambda a: a.mean(axis=0), (4, 2))
+
+    def test_max_axis_value(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        y = x.max(axis=1)
+        np.testing.assert_allclose(y.data, [5.0, 7.0])
+
+    def test_max_grad_routes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        y = x.max(axis=1)
+        y.backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(x.grad, [[0, 1], [1, 0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        y = x.max(axis=1)
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        check_grad(lambda a: (a.reshape(6, 2) ** 2), (3, 4))
+
+    def test_transpose_default_grad(self):
+        check_grad(lambda a: a.transpose(), (3, 4))
+
+    def test_transpose_perm_grad(self):
+        check_grad(lambda a: a.transpose(2, 0, 1), (2, 3, 4))
+
+    def test_swapaxes_grad(self):
+        check_grad(lambda a: a.swapaxes(0, 1), (3, 4))
+
+    def test_T_property(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        y = x[np.array([0, 0, 2])]
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2, 0, 1, 0, 0])
+
+    def test_getitem_slice(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x[0]
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_concat_grad(self):
+        check_grad(lambda a, b: concat([a, b], axis=0), (2, 3), (4, 3))
+
+    def test_concat_axis1_grad(self):
+        check_grad(lambda a, b: concat([a, b], axis=1), (2, 3), (2, 2))
+
+    def test_stack_grad(self):
+        check_grad(lambda a, b: stack([a, b], axis=0), (2, 3), (2, 3))
+
+    def test_where_grad(self):
+        cond = np.array([True, False, True])
+        check_grad(lambda a, b: where(cond, a, b), (3,), (3,))
+
+
+class TestGraphMechanics:
+    def test_backward_requires_grad(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x * 2 + x * 3  # x used twice
+        y.backward(np.ones(2))
+        np.testing.assert_allclose(x.grad, [5, 5])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3
+        b = x * 4
+        y = a * b  # y = 12 x^2, dy/dx = 24x = 48
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [48.0])
+
+    def test_no_grad_blocks_recording(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores(self):
+        from repro.tensor import is_grad_enabled
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).backward(np.ones(2))
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_iterative_topo(self):
+        # 5000-op chain would blow recursion; our topo sort is iterative
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_factories(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones((4,)).data.sum() == 4
+        r = Tensor.randn(3, 2, rng=np.random.default_rng(0))
+        assert r.shape == (3, 2)
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(1), requires_grad=True))
+
+
+class TestUnbroadcast:
+    def test_noop_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sum_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 4.0))
+
+    def test_sum_size_one_axis(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 6.0

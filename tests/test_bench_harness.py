@@ -1,0 +1,88 @@
+"""The table/figure rendering harness the benchmark suite builds on."""
+
+import io
+
+import pytest
+
+from repro.bench import SeriesReport, TableReport, fmt_ratio, fmt_time
+
+
+class TestFmtTime:
+    def test_microseconds(self):
+        assert fmt_time(3.2e-5) == "32.0µs"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.0452) == "45.2ms"
+
+    def test_seconds(self):
+        assert fmt_time(12.345) == "12.35s"
+
+    def test_nan_renders_oom(self):
+        assert fmt_time(float("nan")) == "OOM"
+
+    def test_boundaries(self):
+        assert fmt_time(1e-3).endswith("ms")
+        assert fmt_time(1.0).endswith("s")
+
+
+class TestFmtRatio:
+    def test_format(self):
+        assert fmt_ratio(3.27) == "3.3×"
+
+
+class TestTableReport:
+    def make(self):
+        t = TableReport(title="T", columns=["a", "bbbb"])
+        t.add_row("x", 1)
+        t.add_row("longer", 22)
+        t.add_note("a note")
+        return t
+
+    def test_render_contains_all_cells(self):
+        out = self.make().render()
+        for token in ("== T ==", "a", "bbbb", "x", "longer", "22", "note: a note"):
+            assert token in out
+
+    def test_columns_aligned(self):
+        lines = self.make().render().splitlines()
+        header, sep, row1, row2 = lines[1:5]
+        # the separator matches the widest cell of each column
+        assert len(sep) == len(header) == len(row2)
+
+    def test_print_to_stream(self):
+        buf = io.StringIO()
+        self.make().print(file=buf)
+        assert "== T ==" in buf.getvalue()
+
+    def test_values_coerced_to_str(self):
+        t = TableReport(title="n", columns=["v"])
+        t.add_row(3.14159)
+        assert "3.14159" in t.render()
+
+
+class TestSeriesReport:
+    def make(self):
+        s = SeriesReport(title="F", x_label="x", x_values=[1, 2, 4])
+        s.add_series("alpha", [0.1, 0.2, 0.3])
+        s.add_series("beta", [1.0, 2.0, 3.0])
+        return s
+
+    def test_render_has_series_columns(self):
+        out = self.make().render()
+        for token in ("== F ==", "x", "alpha", "beta", "0.1", "3"):
+            assert token in out
+
+    def test_length_mismatch_rejected(self):
+        s = SeriesReport(title="F", x_label="x", x_values=[1, 2])
+        with pytest.raises(ValueError):
+            s.add_series("bad", [1.0])
+
+    def test_four_sig_figs(self):
+        s = SeriesReport(title="F", x_label="x", x_values=[1])
+        s.add_series("v", [0.123456789])
+        assert "0.1235" in s.render()
+
+    def test_notes_rendered(self):
+        s = self.make()
+        s.add_note("shape holds")
+        assert "note: shape holds" in s.render()

@@ -1,0 +1,101 @@
+"""CLI: every command runs, prints what it promises, and exits cleanly."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "ogbn-arxiv"
+        assert args.engine == "torchgt"
+
+    def test_engine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--engine", "bogus"])
+
+
+class TestInfo:
+    def test_lists_engines_and_devices(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for token in ("torchgt", "gp-flash", "RTX3090", "A100", "datasets"):
+            assert token in out
+
+
+class TestDatasets:
+    def test_table_includes_every_registered_dataset(self, capsys):
+        from repro.graph import available_datasets
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        names = available_datasets()
+        for name in names["node"] + names["graph"]:
+            assert name in out
+
+    def test_modularity_column_is_populated(self, capsys):
+        main(["datasets", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        row = next(l for l in out.splitlines() if l.startswith("ogbn-products"))
+        assert "nan" not in row
+
+
+class TestTrain:
+    def test_node_level_run(self, capsys):
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "2",
+                   "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epoch   1" in out and "best test accuracy" in out
+
+    def test_graph_level_regression(self, capsys):
+        rc = main(["train", "--dataset", "zinc", "--epochs", "1",
+                   "--scale", "0.05", "--model", "gt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "task=regression" in out and "mae" in out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["train", "--dataset", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_unknown_model_fails_cleanly(self, capsys):
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--model", "nope",
+                   "--scale", "0.1"])
+        assert rc == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_gp_flash_engine_runs(self, capsys):
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "1",
+                   "--scale", "0.1", "--engine", "gp-flash"])
+        assert rc == 0
+
+
+class TestCost:
+    def test_paper_scale_oom_and_speedup(self, capsys):
+        rc = main(["cost", "--seq-len", "256000", "--gpus", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OOM" in out  # gp-raw cannot hold 256K dense
+        assert "torchgt" in out
+
+    def test_max_seq_len_ordering(self, capsys):
+        main(["cost", "--seq-len", "64000", "--gpus", "8"])
+        out = capsys.readouterr().out
+        import re
+        caps = {m[0].strip(): int(m[1].replace(",", ""))
+                for m in re.findall(r"max trainable S with (\S+)\s*:\s+([\d,]+)", out)}
+        assert caps["gp-raw"] < caps["torchgt"]
+
+    def test_a100_device(self, capsys):
+        rc = main(["cost", "--seq-len", "32000", "--device", "a100"])
+        assert rc == 0
+        assert "A100" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Cross-module integration tests: the full TorchGT pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.attention import sparse_attention, topology_pattern
+from repro.core import TorchGTEngine, make_engine
+from repro.distributed import Communicator, ShardPlan, cluster_aware_attention
+from repro.graph import load_graph_dataset, load_node_dataset
+from repro.hardware import (
+    RTX3090_SERVER,
+    AttentionKind,
+    OutOfMemoryError,
+    TrainingCostModel,
+    WorkloadSpec,
+)
+from repro.models import GRAPHORMER_SLIM, Graphormer, compute_encodings
+from repro.tensor import Tensor
+from repro.train import train_node_classification
+
+
+class TestFullPipeline:
+    def test_torchgt_trains_to_useful_accuracy(self):
+        """The headline integration: TorchGT end-to-end on a products-like
+        graph reaches accuracy far above chance."""
+        ds = load_node_dataset("ogbn-products", scale=0.15, seed=0)
+        eng = make_engine("torchgt", num_layers=2, hidden_dim=32)
+        from dataclasses import replace
+        cfg = replace(GRAPHORMER_SLIM(ds.features.shape[1], ds.num_classes),
+                      num_layers=2, hidden_dim=32, num_heads=4, dropout=0.0)
+        rec = train_node_classification(Graphormer(cfg), ds, eng,
+                                        epochs=12, lr=3e-3)
+        chance = 1.0 / ds.num_classes
+        assert rec.best_test > 2.5 * chance
+
+    def test_engine_reordering_keeps_labels_aligned(self):
+        """Reordered features/labels must stay aligned: training accuracy
+        should be the same ballpark whether or not reordering happened."""
+        ds = load_node_dataset("ogbn-arxiv", scale=0.12, seed=1)
+        from dataclasses import replace
+        cfg = replace(GRAPHORMER_SLIM(ds.features.shape[1], ds.num_classes),
+                      num_layers=2, hidden_dim=32, num_heads=4, dropout=0.0)
+        recs = {}
+        for name in ("gp-sparse", "torchgt"):  # torchgt reorders, gp-sparse not
+            eng = make_engine(name, num_layers=2, hidden_dim=32)
+            rec = train_node_classification(Graphormer(cfg, seed=0), ds, eng,
+                                            epochs=10, lr=3e-3)
+            recs[name] = rec.best_test
+        assert abs(recs["torchgt"] - recs["gp-sparse"]) < 0.25
+
+    def test_distributed_attention_inside_model_context(self, rng):
+        """The distributed kernel agrees with the single-device kernel on a
+        real engine-produced (reformed) pattern."""
+        ds = load_node_dataset("ogbn-arxiv", scale=0.3, seed=0)
+        eng = TorchGTEngine(num_layers=2, hidden_dim=32)
+        ctx = eng.prepare_graph(ds.graph)
+        pattern = (ctx.reformed.pattern if ctx.reformed is not None
+                   else ctx.pattern)
+        H, S, dh = 4, ctx.graph.num_nodes, 8
+        q, k, v = (rng.standard_normal((H, S, dh)) for _ in range(3))
+        ref = sparse_attention(Tensor(q), Tensor(k), Tensor(v), pattern).data
+        plan = ShardPlan(S, H, 2)
+        comm = Communicator(2)
+        shards = [[a[:, s].copy() for s in plan.row_slices()] for a in (q, k, v)]
+        out = np.concatenate(
+            cluster_aware_attention(comm, plan, *shards, pattern), axis=1)
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_graph_level_pipeline(self):
+        ds = load_graph_dataset("malnet", scale=0.1, seed=0)
+        eng = make_engine("torchgt", num_layers=2, hidden_dim=32,
+                          reorder_min_nodes=64)
+        from dataclasses import replace
+        from repro.train import train_graph_task
+        cfg = replace(GRAPHORMER_SLIM(ds.features[0].shape[1], ds.num_classes,
+                                      task="graph-classification"),
+                      num_layers=2, hidden_dim=32, num_heads=4)
+        rec = train_graph_task(Graphormer(cfg), ds, eng, epochs=2)
+        assert len(rec.test_metric) == 2
+
+
+class TestPaperScaleCostIntegration:
+    """Engines mapped through the analytic cost model reproduce Table V's
+    qualitative outcome at the paper's true scale."""
+
+    def test_table5_ordering(self):
+        model = TrainingCostModel(RTX3090_SERVER)
+        ds_paper = load_node_dataset("ogbn-products", scale=0.1).paper
+        w = WorkloadSpec(seq_len=256_000, hidden_dim=64, num_heads=8,
+                         num_layers=4, avg_degree=ds_paper.avg_degree,
+                         num_gpus=8, tokens_per_epoch=ds_paper.num_nodes)
+        engines = {name: make_engine(name) for name in
+                   ("gp-raw", "gp-flash", "gp-sparse", "torchgt")}
+        times = {}
+        for name, eng in engines.items():
+            try:
+                times[name] = model.epoch_time(eng.attention_kind, w)
+            except OutOfMemoryError:
+                times[name] = float("inf")
+        assert times["gp-raw"] == float("inf")  # OOM, as in Table V
+        assert times["torchgt"] < times["gp-sparse"] < times["gp-flash"]
+
+    def test_preprocessing_under_training_budget(self):
+        """§IV-E: preprocessing ≤ ~5% of total convergence time."""
+        ds = load_node_dataset("ogbn-arxiv", scale=0.3, seed=0)
+        eng = make_engine("torchgt", num_layers=2, hidden_dim=32)
+        from dataclasses import replace
+        cfg = replace(GRAPHORMER_SLIM(ds.features.shape[1], ds.num_classes),
+                      num_layers=2, hidden_dim=32, num_heads=4)
+        rec = train_node_classification(Graphormer(cfg), ds, eng,
+                                        epochs=20, lr=3e-3)
+        total_train = sum(rec.epoch_times)
+        assert rec.preprocess_seconds < 0.5 * total_train
+
+
+class TestAttentionComplexityIntegration:
+    def test_sparse_scores_match_graph_size(self):
+        """Attention op counts track Ẽ, not S² — the §III-B complexity
+        claim measured on a real dataset."""
+        from repro.attention import collector
+        ds = load_node_dataset("ogbn-arxiv", scale=0.3, seed=0)
+        pat = topology_pattern(ds.graph)
+        rng = np.random.default_rng(0)
+        S = ds.num_nodes
+        q, k, v = (Tensor(rng.standard_normal((2, S, 8))) for _ in range(3))
+        collector.clear()
+        sparse_attention(q, k, v, pat)
+        st = collector.last()
+        assert st.scores_computed == 2 * pat.num_entries
+        assert st.scores_computed < 0.2 * 2 * S * S  # ≥80% reduction here
+
+    def test_90_percent_compute_reduction_at_paper_sparsity(self):
+        """'TORCHGT reduces over 90% computation required by standard
+        attention' — at real dataset sparsity the reduction is massive."""
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1).paper
+        dense_scores = float(ds.num_nodes) ** 2
+        sparse_scores = 2.0 * ds.num_edges + ds.num_nodes
+        assert sparse_scores / dense_scores < 0.001

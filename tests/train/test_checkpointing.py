@@ -1,0 +1,124 @@
+"""Training checkpoints: bit-compatible resume of model/optimizer/schedule."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SGD,
+    AdamW,
+    Linear,
+    Sequential,
+    Tensor,
+    WarmupCosineSchedule,
+)
+from repro.train import load_checkpoint, save_checkpoint
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 8, rng=rng), Linear(8, 3, rng=rng))
+
+
+def train_steps(model, opt, sched, x, y, steps):
+    losses = []
+    for _ in range(steps):
+        diff = model(Tensor(x)) - Tensor(y)
+        loss = (diff * diff).mean()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        if sched is not None:
+            sched.step()
+        losses.append(loss.item())
+    return losses
+
+
+class TestRoundTrip:
+    def test_model_only(self, tmp_path):
+        m = make_model(seed=1)
+        p = tmp_path / "m.npz"
+        save_checkpoint(p, m)
+        m2 = make_model(seed=99)  # different init
+        load_checkpoint(p, m2)
+        for a, b in zip(m.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_epoch_and_metadata(self, tmp_path):
+        m = make_model()
+        p = tmp_path / "meta.npz"
+        save_checkpoint(p, m, epoch=17, metadata={"dataset": "zinc", "lr": 0.01})
+        info = load_checkpoint(p, make_model())
+        assert info["epoch"] == 17
+        assert info["metadata"]["dataset"] == "zinc"
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        p = tmp_path / "x.npz"
+        np.savez(p, format="other")
+        with pytest.raises(ValueError):
+            load_checkpoint(p, make_model())
+
+
+class TestResumeExactness:
+    def _resume_matches(self, tmp_path, opt_cls, **opt_kw):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((12, 6))
+        y = rng.standard_normal((12, 3))
+
+        # uninterrupted run: 10 steps
+        m_ref = make_model()
+        opt_ref = opt_cls(m_ref.parameters(), **opt_kw)
+        sched_ref = WarmupCosineSchedule(opt_ref, 2, 10)
+        ref = train_steps(m_ref, opt_ref, sched_ref, x, y, 10)
+
+        # interrupted run: 5 steps, checkpoint, fresh objects, 5 more
+        m_a = make_model()
+        opt_a = opt_cls(m_a.parameters(), **opt_kw)
+        sched_a = WarmupCosineSchedule(opt_a, 2, 10)
+        train_steps(m_a, opt_a, sched_a, x, y, 5)
+        p = tmp_path / "ck.npz"
+        save_checkpoint(p, m_a, opt_a, sched_a, epoch=5)
+
+        m_b = make_model(seed=1234)
+        opt_b = opt_cls(m_b.parameters(), **opt_kw)
+        sched_b = WarmupCosineSchedule(opt_b, 2, 10)
+        info = load_checkpoint(p, m_b, opt_b, sched_b)
+        assert info["epoch"] == 5
+        resumed = train_steps(m_b, opt_b, sched_b, x, y, 5)
+
+        np.testing.assert_allclose(resumed, ref[5:], rtol=1e-6, atol=1e-8)
+        for a, b in zip(m_ref.parameters(), m_b.parameters()):
+            np.testing.assert_allclose(b.data, a.data, rtol=1e-6, atol=1e-8)
+
+    def test_adamw_resume_bit_compatible(self, tmp_path):
+        self._resume_matches(tmp_path, AdamW, lr=1e-2)
+
+    def test_sgd_momentum_resume(self, tmp_path):
+        self._resume_matches(tmp_path, SGD, lr=1e-2, momentum=0.9)
+
+
+class TestOptimizerStateValidation:
+    def test_missing_optimizer_state_raises(self, tmp_path):
+        m = make_model()
+        p = tmp_path / "no_opt.npz"
+        save_checkpoint(p, m)  # model only
+        with pytest.raises(ValueError):
+            load_checkpoint(p, make_model(), AdamW(make_model().parameters()))
+
+    def test_missing_schedule_state_raises(self, tmp_path):
+        m = make_model()
+        opt = AdamW(m.parameters())
+        p = tmp_path / "no_sched.npz"
+        save_checkpoint(p, m, opt)
+        opt2 = AdamW(make_model().parameters())
+        with pytest.raises(ValueError):
+            load_checkpoint(p, make_model(), opt2,
+                            WarmupCosineSchedule(opt2, 1, 10))
+
+    def test_wrong_parameter_count_raises(self, tmp_path):
+        m = make_model()
+        opt = AdamW(m.parameters(), lr=1e-3)
+        p = tmp_path / "ck.npz"
+        save_checkpoint(p, m, opt)
+        small = Sequential(Linear(6, 8, rng=np.random.default_rng(0)))
+        with pytest.raises((ValueError, KeyError)):
+            load_checkpoint(p, small, AdamW(small.parameters()))

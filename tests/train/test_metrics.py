@@ -1,0 +1,96 @@
+"""Metrics: accuracy/F1 behaviour and early stopping."""
+
+import numpy as np
+import pytest
+
+class TestMacroF1:
+    def test_perfect_predictions(self):
+        from repro.train import macro_f1
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        logits = np.eye(3)[labels] * 10
+        assert macro_f1(logits, labels) == pytest.approx(1.0)
+
+    def test_collapsed_classifier_low_f1_high_accuracy(self):
+        from repro.train import accuracy, macro_f1
+        # 90% of labels are class 0; predicting 0 always looks accurate
+        labels = np.array([0] * 90 + [1] * 10)
+        logits = np.zeros((100, 2))
+        logits[:, 0] = 1.0
+        assert accuracy(logits, labels) == pytest.approx(0.9)
+        # F1(class 0) = 2·90/(180+10) ≈ 0.947, F1(class 1) = 0
+        assert macro_f1(logits, labels) == pytest.approx(0.4737, abs=1e-3)
+
+    def test_mask_applied(self):
+        from repro.train import macro_f1
+        labels = np.array([0, 0, 1, 1])
+        logits = np.eye(2)[np.array([0, 1, 1, 0])] * 5
+        mask = np.array([True, False, True, False])
+        assert macro_f1(logits, labels, mask) == pytest.approx(1.0)
+
+    def test_empty_mask(self):
+        from repro.train import macro_f1
+        assert macro_f1(np.zeros((3, 2)), np.zeros(3, dtype=int),
+                        np.zeros(3, dtype=bool)) == 0.0
+
+    def test_absent_class_excluded(self):
+        from repro.train import macro_f1
+        # class 2 never appears in labels — averaging over {0, 1} only
+        labels = np.array([0, 1, 0, 1])
+        logits = np.eye(3)[labels] * 5
+        assert macro_f1(logits, labels) == pytest.approx(1.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        from repro.train import EarlyStopping
+        es = EarlyStopping(patience=3, mode="max")
+        assert not es.update(0.5)
+        assert not es.update(0.4)
+        assert not es.update(0.4)
+        assert es.update(0.3)  # third bad epoch
+
+    def test_improvement_resets_patience(self):
+        from repro.train import EarlyStopping
+        es = EarlyStopping(patience=2, mode="max")
+        es.update(0.5)
+        es.update(0.4)
+        assert not es.update(0.6)  # improvement
+        assert not es.update(0.5)
+        assert es.update(0.5)
+
+    def test_min_mode(self):
+        from repro.train import EarlyStopping
+        es = EarlyStopping(patience=2, mode="min")
+        es.update(1.0)
+        assert not es.update(0.8)
+        assert not es.update(0.9)
+        assert es.update(0.85)
+
+    def test_min_delta_requires_real_improvement(self):
+        from repro.train import EarlyStopping
+        es = EarlyStopping(patience=1, mode="max", min_delta=0.05)
+        es.update(0.5)
+        assert es.update(0.52)  # within delta — not an improvement
+
+    def test_best_epoch_tracked(self):
+        from repro.train import EarlyStopping
+        es = EarlyStopping(patience=10, mode="max")
+        for i, v in enumerate([0.2, 0.7, 0.5, 0.6]):
+            es.update(v)
+        assert es.best == pytest.approx(0.7)
+        assert es.best_epoch == 1
+
+    def test_nan_counts_against_patience(self):
+        from repro.train import EarlyStopping
+        es = EarlyStopping(patience=2, mode="max")
+        es.update(0.5)
+        assert not es.update(float("nan"))
+        assert es.update(float("nan"))
+        assert es.best == pytest.approx(0.5)
+
+    def test_validation(self):
+        from repro.train import EarlyStopping
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
