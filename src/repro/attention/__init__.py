@@ -1,8 +1,42 @@
 """Attention kernels: dense (GP-Raw), flash (GP-Flash), topology-sparse
-(GP-Sparse) and block/cluster-sparse (ECR execution path)."""
+(GP-Sparse) and block/cluster-sparse (ECR execution path).
 
+Every kernel self-registers in :mod:`repro.attention.registry` at import;
+dispatch anywhere in the system goes through :func:`resolve_kernel`.
+Pattern-derived state on the sparse hot path is memoized per pattern by
+:mod:`repro.attention.workspace`.
+"""
+
+from .registry import (
+    AttentionBackend,
+    KernelSpec,
+    PatternBuilderSpec,
+    UnknownKernelError,
+    UnknownPatternBuilderError,
+    find_kernels,
+    get_kernel,
+    get_pattern_builder,
+    iter_kernels,
+    iter_pattern_builders,
+    kernel_names,
+    pattern_builder_names,
+    register_kernel,
+    register_pattern_builder,
+    resolve_kernel,
+)
 from .stats import AttentionStats, StatsCollector, collector
 from .patterns import AttentionPattern, full_pattern, topology_pattern, window_pattern
+from .workspace import (
+    PatternWorkspace,
+    WorkspaceCacheStats,
+    clear_workspace_stats,
+    get_workspace,
+    invalidate_workspace,
+    set_workspace_caching,
+    workspace_cache_stats,
+    workspace_caching,
+    workspace_caching_enabled,
+)
 from .dense import dense_attention
 from .flash import flash_attention
 from .sparse import segment_softmax, sparse_attention
@@ -21,6 +55,21 @@ from .nlp_patterns import (
 )
 
 __all__ = [
+    "AttentionBackend",
+    "KernelSpec",
+    "PatternBuilderSpec",
+    "UnknownKernelError",
+    "UnknownPatternBuilderError",
+    "find_kernels",
+    "get_kernel",
+    "get_pattern_builder",
+    "iter_kernels",
+    "iter_pattern_builders",
+    "kernel_names",
+    "pattern_builder_names",
+    "register_kernel",
+    "register_pattern_builder",
+    "resolve_kernel",
     "AttentionStats",
     "StatsCollector",
     "collector",
@@ -28,6 +77,15 @@ __all__ = [
     "topology_pattern",
     "full_pattern",
     "window_pattern",
+    "PatternWorkspace",
+    "WorkspaceCacheStats",
+    "clear_workspace_stats",
+    "get_workspace",
+    "invalidate_workspace",
+    "set_workspace_caching",
+    "workspace_cache_stats",
+    "workspace_caching",
+    "workspace_caching_enabled",
     "dense_attention",
     "flash_attention",
     "sparse_attention",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .patterns import AttentionPattern
+from .registry import register_kernel
 from .stats import AttentionStats, collector
 
 __all__ = ["Rect", "BlockLayout", "block_attention_forward", "layout_from_pattern"]
@@ -151,3 +152,30 @@ def block_attention_forward(
         irregular_bytes=0,
     ))
     return out
+
+
+def _block_kernel(q, k, v, *, pattern=None, bias=None, layout=None,
+                  bounds=None, **kw):
+    """Registry adapter: run the rectangle kernel from a pattern or layout.
+
+    Without an explicit ``layout``/``bounds``, the pattern is covered as a
+    single cluster cell (dense cells → rectangles, the rest 1×1) — correct
+    for any pattern, fast only for reformed ones.  Returns a grad-less
+    Tensor: this kernel is a forward-only measurement path.
+    """
+    from ..tensor import Tensor
+    if layout is None:
+        if bounds is None:
+            bounds = np.array([0, pattern.seq_len], dtype=np.int64)
+        layout = layout_from_pattern(pattern, bounds)
+    out = block_attention_forward(q.data, k.data, v.data, layout, **kw)
+    return Tensor(out)
+
+
+register_kernel(
+    "block", _block_kernel,
+    supports_bias=False, needs_pattern=True, trainable=False, exact=True,
+    complexity="O(covered·d), contiguous", attention_kind="cluster-sparse",
+    bias_format=None,
+    description="Forward-only rectangle-union kernel measuring the "
+                "regular-access cluster-sparse path (ECR execution)")

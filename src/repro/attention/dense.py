@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from .registry import register_kernel
 from .stats import AttentionStats, collector
 
 __all__ = ["dense_attention"]
@@ -86,3 +87,13 @@ def dense_attention(
         irregular_bytes=0,
     ))
     return Tensor._make(out_data, parents, backward)
+
+
+register_kernel(
+    "dense",
+    lambda q, k, v, *, pattern=None, bias=None, **kw:
+        dense_attention(q, k, v, bias=bias, **kw),
+    supports_bias=True, needs_pattern=False, trainable=True, exact=True,
+    complexity="O(S²·d)", attention_kind="dense", bias_format="dense",
+    description="Fully-connected attention with materialized S×S scores "
+                "(GP-Raw)")

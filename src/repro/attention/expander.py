@@ -24,6 +24,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from .patterns import AttentionPattern, topology_pattern
+from .registry import register_pattern_builder
 
 __all__ = ["random_regular_expander", "expander_pattern", "exphormer_pattern"]
 
@@ -82,3 +83,13 @@ def exphormer_pattern(g: CSRGraph, expander_degree: int = 4,
         g.num_nodes,
         np.concatenate([topo.rows, exp.rows]),
         np.concatenate([topo.cols, exp.cols]))
+
+
+register_pattern_builder(
+    "expander", lambda seq_len, degree=4, **kw:
+        expander_pattern(seq_len, degree, **kw),
+    needs_graph=False,
+    description="Random regular expander overlay + self-loops")
+register_pattern_builder(
+    "exphormer", exphormer_pattern, needs_graph=True,
+    description="Topology ∪ expander ∪ global tokens (Exphormer)")

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from .registry import register_kernel
 from .stats import AttentionStats, collector
 
 __all__ = ["flash_attention"]
@@ -106,3 +107,14 @@ def _accumulate_slice_flash(self: Tensor, j0: int, j1: int, grad_slice: np.ndarr
 # attach as a lightweight method (kept out of tensor.py because only the
 # flash backward needs slice-level accumulation)
 Tensor._accumulate_slice_flash = _accumulate_slice_flash
+
+
+register_kernel(
+    "flash",
+    lambda q, k, v, *, pattern=None, bias=None, **kw:
+        flash_attention(q, k, v, **kw),
+    supports_bias=False, needs_pattern=False, trainable=True, exact=True,
+    complexity="O(S²·d), O(S·d) mem", attention_kind="flash",
+    bias_format=None,
+    description="Tiled online-softmax attention; rejects bias like the "
+                "real FlashAttention kernel (GP-Flash)")

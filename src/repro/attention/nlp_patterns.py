@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from .patterns import AttentionPattern
+from .registry import register_pattern_builder
 
 __all__ = [
     "random_pattern",
@@ -93,3 +94,26 @@ def bigbird_pattern(seq_len: int, window: int, random_per_row: int,
         seq_len,
         np.concatenate([win.rows, rnd.rows]),
         np.concatenate([win.cols, rnd.cols]))
+
+
+register_pattern_builder(
+    "random", lambda seq_len, entries_per_row=8, **kw:
+        random_pattern(seq_len, entries_per_row, **kw),
+    needs_graph=False,
+    description="Uniform random entries per row + self-loops (BigBird's "
+                "random block)")
+register_pattern_builder(
+    "global", lambda seq_len, num_global=1, **kw:
+        global_token_pattern(seq_len, num_global),
+    needs_graph=False,
+    description="Dense global tokens only + self-loops")
+register_pattern_builder(
+    "longformer", lambda seq_len, window=8, num_global=0, **kw:
+        longformer_pattern(seq_len, window, num_global),
+    needs_graph=False,
+    description="Sliding window + global tokens (Longformer)")
+register_pattern_builder(
+    "bigbird", lambda seq_len, window=4, random_per_row=4, num_global=1, **kw:
+        bigbird_pattern(seq_len, window, random_per_row, num_global, **kw),
+    needs_graph=False,
+    description="Window + random + global components (BigBird)")

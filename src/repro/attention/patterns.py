@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from .registry import register_pattern_builder
 
 __all__ = ["AttentionPattern", "topology_pattern", "full_pattern", "window_pattern"]
 
@@ -150,3 +151,15 @@ def window_pattern(seq_len: int, window: int) -> AttentionPattern:
     cols = rows + np.tile(offs, seq_len)
     keep = (cols >= 0) & (cols < seq_len)
     return AttentionPattern.from_entries(seq_len, rows[keep], cols[keep])
+
+
+register_pattern_builder(
+    "topology", topology_pattern, needs_graph=True,
+    description="Graph edges + self-loops (+ optional global tokens), §III-B")
+register_pattern_builder(
+    "full", full_pattern, needs_graph=False,
+    description="All-pairs pattern (dense attention as a pattern)")
+register_pattern_builder(
+    "window", lambda seq_len, window=8, **kw: window_pattern(seq_len, window),
+    needs_graph=False,
+    description="Sliding-window ±w ablation control (ignores topology)")

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from .registry import register_kernel
 from .stats import AttentionStats, collector
 
 __all__ = ["random_feature_matrix", "performer_features", "performer_attention"]
@@ -129,3 +130,13 @@ def performer_attention(
         irregular_bytes=0,
     ))
     return out
+
+
+register_kernel(
+    "performer",
+    lambda q, k, v, *, pattern=None, bias=None, **kw:
+        performer_attention(q, k, v, **kw),
+    supports_bias=False, needs_pattern=False, trainable=True, exact=False,
+    complexity="O(S·m·d)", attention_kind="linear", bias_format=None,
+    description="FAVOR+ kernelized linear attention — the NLP low-rank "
+                "approximation the paper argues against for graphs")

@@ -1,0 +1,277 @@
+"""Unified attention-kernel registry — the single dispatch point.
+
+Every attention kernel in the system (dense, flash, topology-sparse,
+block/cluster-sparse, performer, …) registers itself here with capability
+metadata, in the spirit of tinygrad's one-dispatch-point kernel design:
+
+* models call :func:`resolve_kernel` once and invoke the returned
+  :class:`KernelSpec` — no string ``if/elif`` chains anywhere;
+* engines put a :class:`KernelSpec` into their execution plans;
+* the autotuner enumerates candidate kernels by capability
+  (:func:`find_kernels`);
+* the hardware cost model prices a kernel through its
+  ``attention_kind`` metadata;
+* CLIs and benchmarks derive their ``--backend`` choices from
+  :func:`kernel_names`.
+
+Adding a new backend is a one-file drop-in: define the kernel, call
+:func:`register_kernel` at module bottom, import the module from
+``repro.attention`` — every dispatch site picks it up automatically.
+
+A parallel registry holds the *pattern builders* (topology, sliding
+window, BigBird, Longformer, expander, …) so sparse-pattern ablations are
+addressable by name as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "AttentionBackend",
+    "KernelSpec",
+    "PatternBuilderSpec",
+    "UnknownKernelError",
+    "UnknownPatternBuilderError",
+    "register_kernel",
+    "get_kernel",
+    "resolve_kernel",
+    "kernel_names",
+    "iter_kernels",
+    "find_kernels",
+    "register_pattern_builder",
+    "get_pattern_builder",
+    "pattern_builder_names",
+    "iter_pattern_builders",
+]
+
+
+class AttentionBackend:
+    """Canonical names for the registered kernels (back-compat constants)."""
+
+    DENSE = "dense"
+    FLASH = "flash"
+    SPARSE = "sparse"  # requires a pattern
+    BLOCK = "block"  # forward-only cluster-sparse measurement kernel
+    PERFORMER = "performer"
+
+
+class UnknownKernelError(ValueError, KeyError):
+    """Lookup of a kernel name that was never registered."""
+
+
+class UnknownPatternBuilderError(ValueError, KeyError):
+    """Lookup of a pattern-builder name that was never registered."""
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered attention kernel plus its capability metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI ``--backend`` choice).
+    fn:
+        Unified entry point ``fn(q, k, v, *, pattern, bias, **kw)`` over
+        ``(H, S, dh)`` tensors.  Registration wraps the underlying kernel
+        so every kernel is callable the same way.
+    supports_bias:
+        Whether an additive attention bias (graph encoding) is accepted.
+        Flash does not — faithfully to the real FlashAttention kernel.
+    needs_pattern:
+        Whether an :class:`~repro.attention.patterns.AttentionPattern`
+        must be supplied.
+    trainable:
+        Whether the kernel participates in autograd (the block kernel is
+        a forward-only measurement kernel).
+    exact:
+        Whether the kernel computes exact softmax attention over its
+        support (performer is a low-rank approximation).
+    complexity:
+        Human-readable complexity class, e.g. ``"O(S²·d)"``.
+    attention_kind:
+        The :class:`~repro.hardware.perf_model.AttentionKind` the cost
+        model prices this kernel as.
+    bias_format:
+        Shape convention for the bias: ``"dense"`` = ``(H|1, S, S)``,
+        ``"entries"`` = per-pattern-entry ``(H|1, E)``, ``None`` = no
+        bias support.
+    """
+
+    name: str
+    fn: Callable = field(repr=False)
+    supports_bias: bool
+    needs_pattern: bool
+    trainable: bool
+    exact: bool
+    complexity: str
+    attention_kind: str
+    bias_format: str | None = None
+    description: str = ""
+
+    def __call__(self, q, k, v, *, pattern=None, bias=None, **kwargs):
+        """Run the kernel after validating inputs against the metadata."""
+        if self.needs_pattern and pattern is None:
+            raise ValueError(f"{self.name} backend requires a pattern")
+        if bias is not None and not self.supports_bias:
+            raise ValueError(
+                f"{self.name} attention does not support additive bias "
+                "(matching the real kernel's limitation)")
+        return self.fn(q, k, v, pattern=pattern, bias=bias, **kwargs)
+
+
+_KERNELS: dict[str, KernelSpec] = {}
+
+
+def register_kernel(
+    name: str,
+    fn: Callable,
+    *,
+    supports_bias: bool,
+    needs_pattern: bool,
+    trainable: bool = True,
+    exact: bool = True,
+    complexity: str = "",
+    attention_kind: str = "dense",
+    bias_format: str | None = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> KernelSpec:
+    """Register an attention kernel under ``name`` and return its spec.
+
+    Kernels self-register at import time from their defining modules;
+    third-party backends call this directly.  Re-registering an existing
+    name requires ``overwrite=True`` (guards against accidental clashes).
+    """
+    if name in _KERNELS and not overwrite:
+        raise ValueError(f"kernel {name!r} is already registered "
+                         "(pass overwrite=True to replace it)")
+    spec = KernelSpec(
+        name=name, fn=fn, supports_bias=supports_bias,
+        needs_pattern=needs_pattern, trainable=trainable, exact=exact,
+        complexity=complexity, attention_kind=attention_kind,
+        bias_format=bias_format, description=description)
+    _KERNELS[name] = spec
+    return spec
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a registered kernel (primarily for tests)."""
+    _KERNELS.pop(name, None)
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a kernel by name; raises :class:`UnknownKernelError`."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise UnknownKernelError(
+            f"unknown attention backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_KERNELS))}") from None
+
+
+def resolve_kernel(backend: "str | KernelSpec") -> KernelSpec:
+    """Coerce a backend name or spec to a :class:`KernelSpec`."""
+    if isinstance(backend, KernelSpec):
+        return backend
+    return get_kernel(backend)
+
+
+def kernel_names(trainable_only: bool = False) -> list[str]:
+    """Registered backend names (sorted; the CLI choice list)."""
+    return sorted(name for name, spec in _KERNELS.items()
+                  if not trainable_only or spec.trainable)
+
+
+def iter_kernels() -> list[KernelSpec]:
+    """All registered kernel specs, sorted by name."""
+    return [_KERNELS[n] for n in sorted(_KERNELS)]
+
+
+def find_kernels(
+    *,
+    needs_pattern: bool | None = None,
+    supports_bias: bool | None = None,
+    trainable: bool | None = None,
+    exact: bool | None = None,
+    attention_kind: str | None = None,
+) -> list[KernelSpec]:
+    """Capability query over the registry (the autotuner's candidate set).
+
+    ``None`` means "don't care"; other values must match exactly.
+    """
+    out = []
+    for spec in iter_kernels():
+        if needs_pattern is not None and spec.needs_pattern != needs_pattern:
+            continue
+        if supports_bias is not None and spec.supports_bias != supports_bias:
+            continue
+        if trainable is not None and spec.trainable != trainable:
+            continue
+        if exact is not None and spec.exact != exact:
+            continue
+        if attention_kind is not None and spec.attention_kind != attention_kind:
+            continue
+        out.append(spec)
+    return out
+
+
+# ------------------------------------------------------------------ #
+# pattern-builder registry
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class PatternBuilderSpec:
+    """A named sparse-pattern constructor.
+
+    ``needs_graph`` distinguishes topology-aware builders (called with a
+    :class:`~repro.graph.csr.CSRGraph`) from the NLP-style builders that
+    only see ``seq_len`` — the distinction at the heart of the paper's I2
+    argument.
+    """
+
+    name: str
+    fn: Callable = field(repr=False)
+    needs_graph: bool
+    description: str = ""
+
+    def build(self, graph, **kwargs):
+        """Build the pattern for ``graph`` (NLP builders use its size)."""
+        if self.needs_graph:
+            return self.fn(graph, **kwargs)
+        return self.fn(graph.num_nodes, **kwargs)
+
+
+_PATTERN_BUILDERS: dict[str, PatternBuilderSpec] = {}
+
+
+def register_pattern_builder(name: str, fn: Callable, *, needs_graph: bool,
+                             description: str = "",
+                             overwrite: bool = False) -> PatternBuilderSpec:
+    """Register a pattern builder under ``name``."""
+    if name in _PATTERN_BUILDERS and not overwrite:
+        raise ValueError(f"pattern builder {name!r} is already registered "
+                         "(pass overwrite=True to replace it)")
+    spec = PatternBuilderSpec(name=name, fn=fn, needs_graph=needs_graph,
+                              description=description)
+    _PATTERN_BUILDERS[name] = spec
+    return spec
+
+
+def get_pattern_builder(name: str) -> PatternBuilderSpec:
+    """Look up a builder; raises :class:`UnknownPatternBuilderError`."""
+    try:
+        return _PATTERN_BUILDERS[name]
+    except KeyError:
+        raise UnknownPatternBuilderError(
+            f"unknown pattern builder {name!r}; registered builders: "
+            f"{', '.join(sorted(_PATTERN_BUILDERS))}") from None
+
+
+def pattern_builder_names() -> list[str]:
+    return sorted(_PATTERN_BUILDERS)
+
+
+def iter_pattern_builders() -> list[PatternBuilderSpec]:
+    return [_PATTERN_BUILDERS[n] for n in sorted(_PATTERN_BUILDERS)]

@@ -13,16 +13,23 @@ Vectorization strategy (no Python loop over edges):
   row pointer;
 * the weighted aggregation and all matrix-shaped backward products via
   per-head ``scipy.sparse`` CSR matmuls, which are C-speed.
+
+All pattern-derived state — the expanded row index, segment boundaries,
+int32 CSR index arrays, the transpose permutation — comes from a
+:class:`~repro.attention.workspace.PatternWorkspace`, memoized per pattern
+so repeated forwards across layers/iterations skip the reconstruction
+entirely (see :mod:`repro.attention.workspace`).
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..tensor import Tensor
 from .patterns import AttentionPattern
+from .registry import register_kernel
 from .stats import AttentionStats, collector
+from .workspace import PatternWorkspace, get_workspace, segment_reduce_core
 
 __all__ = ["sparse_attention", "segment_softmax"]
 
@@ -31,20 +38,16 @@ def _segment_reduce(values: np.ndarray, indptr: np.ndarray, ufunc,
                     empty_val: float) -> np.ndarray:
     """Per-row ``ufunc`` reduction of CSR-ordered ``values``.
 
-    Empty rows get ``empty_val``.  Reduceat is applied only at the starts
-    of *non-empty* segments: consecutive non-empty starts are exactly each
-    segment's boundaries (empty segments collapse onto the next start), so
-    no index clamping is needed — clamping would silently truncate the
-    last non-empty segment when trailing rows are empty.
+    Standalone entry point: derives the segment descriptors from
+    ``indptr`` and defers to the shared
+    :func:`~repro.attention.workspace.segment_reduce_core` (which a
+    :class:`~repro.attention.workspace.PatternWorkspace` calls with its
+    cached descriptors) so the two paths cannot diverge.
     """
     counts = np.diff(indptr)
     nonempty = counts > 0
-    out = np.full(values.shape[:-1] + (len(counts),), empty_val)
-    if values.shape[-1] and nonempty.any():
-        starts_ne = indptr[:-1][nonempty]
-        seg = ufunc.reduceat(values, starts_ne, axis=-1)
-        out[..., nonempty] = seg
-    return out
+    return segment_reduce_core(values, ufunc, empty_val,
+                               counts, nonempty, indptr[:-1][nonempty])
 
 
 def _segment_max(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
@@ -59,7 +62,13 @@ def _segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
 
 def segment_softmax(scores: np.ndarray, indptr: np.ndarray,
                     rows: np.ndarray) -> np.ndarray:
-    """Softmax over CSR row segments; ``scores`` shape (..., E)."""
+    """Softmax over CSR row segments; ``scores`` shape (..., E).
+
+    Standalone (workspace-free) variant for callers that bring their own
+    indptr/rows — the GNN message passing and the distributed kernels.
+    The attention hot path uses the cached
+    :meth:`~repro.attention.workspace.PatternWorkspace.segment_softmax`.
+    """
     row_max = _segment_max(scores, indptr)
     shifted = scores - row_max[..., rows]
     e = np.exp(shifted)
@@ -74,12 +83,15 @@ def sparse_attention(
     pattern: AttentionPattern,
     bias: Tensor | None = None,
     scale: float | None = None,
+    workspace: PatternWorkspace | None = None,
 ) -> Tensor:
     """Pattern-restricted attention over ``(H, S, dh)`` inputs.
 
     ``bias`` may be a per-entry tensor of shape ``(H, E)`` or ``(1, E)``
     (Graphormer's SPD bias gathered at the pattern entries); gradients flow
     into it.  Rows with no pattern entries produce zero output.
+    ``workspace`` overrides the cached pattern workspace (rarely needed —
+    the default consults the global cache).
     """
     H, S, dh = q.shape
     if S != pattern.seq_len:
@@ -87,10 +99,10 @@ def sparse_attention(
     if scale is None:
         scale = 1.0 / float(np.sqrt(dh))
 
-    rows = pattern.rows
-    cols = pattern.cols
-    indptr = pattern.indptr
-    E = pattern.num_entries
+    ws = workspace if workspace is not None else get_workspace(pattern)
+    rows = ws.rows
+    cols = ws.cols
+    E = ws.num_entries
 
     parents: list[Tensor] = [q, k, v]
     # gathered score per entry: (H, E)
@@ -98,27 +110,24 @@ def sparse_attention(
     if bias is not None:
         scores = scores + bias.data
         parents.append(bias)
-    p = segment_softmax(scores, indptr, rows)  # (H, E)
+    p = ws.segment_softmax(scores)  # (H, E)
 
     # aggregation out[h] = A_h @ V_h with A_h the S×S CSR of probabilities
     out_data = np.empty_like(q.data)
-    mats = []
     for h in range(H):
-        a = sp.csr_matrix((p[h], cols, indptr), shape=(S, S))
-        mats.append(a)
-        out_data[h] = a @ v.data[h]
+        out_data[h] = ws.matmul(p[h], v.data[h])
 
     def backward(g):
         # dV_h = A_hᵀ dO_h
         if v.requires_grad:
             dv = np.empty_like(v.data)
             for h in range(H):
-                dv[h] = mats[h].T @ g[h]
+                dv[h] = ws.matmul_t(p[h], g[h])
             v._accumulate(dv)
         # d p_e = dO[row_e] · V[col_e]
         dp = np.einsum("hed,hed->he", g[:, rows, :], v.data[:, cols, :])
         # softmax backward per row segment
-        dot = _segment_sum(dp * p, indptr)  # (H, S)
+        dot = ws.segment_sum(dp * p)  # (H, S)
         ds = p * (dp - dot[:, rows])  # (H, E)
         if bias is not None and bias.requires_grad:
             gb = ds if bias.data.shape[0] == H else ds.sum(axis=0, keepdims=True)
@@ -127,11 +136,10 @@ def sparse_attention(
             dq = np.zeros_like(q.data) if q.requires_grad else None
             dk = np.zeros_like(k.data) if k.requires_grad else None
             for h in range(H):
-                s_mat = sp.csr_matrix((ds[h], cols, indptr), shape=(S, S))
                 if dq is not None:
-                    dq[h] = (s_mat @ k.data[h]) * scale
+                    dq[h] = ws.matmul(ds[h], k.data[h]) * scale
                 if dk is not None:
-                    dk[h] = (s_mat.T @ q.data[h]) * scale
+                    dk[h] = ws.matmul_t(ds[h], q.data[h]) * scale
             if dq is not None:
                 q._accumulate(dq)
             if dk is not None:
@@ -147,3 +155,13 @@ def sparse_attention(
         irregular_bytes=itemsize * H * E * dh * 2,
     ))
     return Tensor._make(out_data, parents, backward)
+
+
+register_kernel(
+    "sparse",
+    lambda q, k, v, *, pattern=None, bias=None, **kw:
+        sparse_attention(q, k, v, pattern, bias=bias, **kw),
+    supports_bias=True, needs_pattern=True, trainable=True, exact=True,
+    complexity="O(Ẽ·d)", attention_kind="sparse", bias_format="entries",
+    description="Pattern-restricted attention with irregular per-edge "
+                "gathers (GP-Sparse)")

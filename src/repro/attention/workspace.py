@@ -1,0 +1,246 @@
+"""Cached per-pattern workspaces for the sparse attention hot path.
+
+The sparse kernel needs several arrays *derived* from an
+:class:`~repro.attention.patterns.AttentionPattern` that do not depend on
+Q/K/V at all:
+
+* the expanded per-entry row index (``np.repeat`` over the CSR indptr);
+* the non-empty segment starts the ``reduceat``-based row softmax uses;
+* ``int32`` copies of the CSR index arrays (scipy's native index dtype —
+  passing int64 makes every ``csr_matrix`` construction downcast-copy
+  O(E) per head per call);
+* the transpose structure (indptr/indices of Aᵀ plus the entry
+  permutation) used by the backward pass's ``Aᵀ @ G`` products.
+
+Before this module existed, every forward of every layer rebuilt all of
+that from scratch, every iteration.  A :class:`PatternWorkspace` computes
+each piece once and memoizes itself on the pattern instance, so repeated
+forwards across layers and iterations reuse it.  Keying by pattern
+*identity* gives automatic invalidation under Elastic Computation
+Reformation: ECR emits a fresh ``AttentionPattern`` object, whose
+workspace is built anew, and the stale workspace dies with the old
+pattern.  :func:`invalidate_workspace` drops a workspace explicitly (for
+callers that mutate a pattern in place — none in-tree do).
+
+Caching is process-global and can be toggled (``set_workspace_caching`` /
+the ``workspace_caching`` context manager) — the disabled path builds a
+fresh workspace per call and runs the *identical* code, so outputs are
+bitwise identical with the cache on or off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .patterns import AttentionPattern
+
+__all__ = [
+    "PatternWorkspace",
+    "WorkspaceCacheStats",
+    "get_workspace",
+    "invalidate_workspace",
+    "clear_workspace_stats",
+    "workspace_cache_stats",
+    "set_workspace_caching",
+    "workspace_caching_enabled",
+    "workspace_caching",
+]
+
+_WORKSPACE_ATTR = "_cached_workspace"
+
+
+@dataclass
+class WorkspaceCacheStats:
+    """Global hit/miss counters for the workspace cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def builds(self) -> int:
+        return self.misses
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = 0
+
+
+_stats = WorkspaceCacheStats()
+_caching_enabled = True
+
+
+def segment_reduce_core(values: np.ndarray, ufunc, empty_val: float,
+                        counts: np.ndarray, nonempty: np.ndarray,
+                        starts_ne: np.ndarray) -> np.ndarray:
+    """Per-row ``ufunc`` reduction of CSR-ordered ``values`` (shared core).
+
+    ``counts``/``nonempty``/``starts_ne`` are the segment descriptors a
+    workspace caches (or a standalone caller derives from an indptr).
+    Reduceat is applied only at the starts of *non-empty* segments:
+    consecutive non-empty starts are exactly each segment's boundaries
+    (empty segments collapse onto the next start), so no index clamping
+    is needed — clamping would silently truncate the last non-empty
+    segment when trailing rows are empty.  Empty rows get ``empty_val``.
+    """
+    out = np.full(values.shape[:-1] + (len(counts),), empty_val)
+    if values.shape[-1] and len(starts_ne):
+        out[..., nonempty] = ufunc.reduceat(values, starts_ne, axis=-1)
+    return out
+
+
+class PatternWorkspace:
+    """All pattern-derived state the sparse kernel needs, computed once.
+
+    The transpose structure is built lazily (first backward pass) so
+    forward-only uses — evaluation, benchmarking — never pay for it.
+    """
+
+    __slots__ = ("seq_len", "num_entries", "indptr", "cols", "rows",
+                 "indptr_ix", "cols_ix", "counts", "nonempty", "starts_ne",
+                 "_shape", "_t_struct")
+
+    def __init__(self, pattern: AttentionPattern):
+        indptr = np.asarray(pattern.indptr)
+        cols = np.asarray(pattern.cols)
+        S = pattern.seq_len
+        self.seq_len = S
+        self.num_entries = int(len(cols))
+        self.indptr = indptr
+        self.cols = cols
+        self.counts = np.diff(indptr)
+        self.rows = np.repeat(np.arange(S, dtype=np.int64), self.counts)
+        self.nonempty = self.counts > 0
+        self.starts_ne = indptr[:-1][self.nonempty]
+        # scipy's native index dtype: int32 unless the pattern overflows it
+        ix = np.int32 if max(S, self.num_entries) < np.iinfo(np.int32).max \
+            else np.int64
+        self.indptr_ix = indptr.astype(ix, copy=False)
+        self.cols_ix = cols.astype(ix, copy=False)
+        self._shape = (S, S)
+        self._t_struct = None
+
+    # ------------------------------------------------------------------ #
+    # segment (per-CSR-row) reductions over entry-shaped arrays
+    # ------------------------------------------------------------------ #
+    def segment_reduce(self, values: np.ndarray, ufunc,
+                       empty_val: float) -> np.ndarray:
+        """Per-row reduction using the cached segment descriptors."""
+        return segment_reduce_core(values, ufunc, empty_val,
+                                   self.counts, self.nonempty, self.starts_ne)
+
+    def segment_max(self, values: np.ndarray) -> np.ndarray:
+        return self.segment_reduce(values, np.maximum, -np.inf)
+
+    def segment_sum(self, values: np.ndarray) -> np.ndarray:
+        return self.segment_reduce(values, np.add, 0.0)
+
+    def segment_softmax(self, scores: np.ndarray) -> np.ndarray:
+        """Row-segment softmax of entry scores shaped ``(..., E)``."""
+        rows = self.rows
+        row_max = self.segment_max(scores)
+        e = np.exp(scores - row_max[..., rows])
+        denom = self.segment_sum(e)
+        return e / np.maximum(denom[..., rows], 1e-30)
+
+    # ------------------------------------------------------------------ #
+    # CSR matmuls with cached structure
+    # ------------------------------------------------------------------ #
+    def matrix(self, data: np.ndarray) -> sp.csr_matrix:
+        """The S×S CSR matrix with this pattern's structure and ``data``."""
+        return sp.csr_matrix((data, self.cols_ix, self.indptr_ix),
+                             shape=self._shape, copy=False)
+
+    def matmul(self, data: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """``A @ dense`` for A = CSR(pattern structure, data)."""
+        return self.matrix(data) @ dense
+
+    @property
+    def transpose_struct(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(t_indptr, t_cols, perm)`` such that Aᵀ = CSR(data[perm], …).
+
+        ``perm`` is the stable order of entries by column — the CSC/
+        transpose index permutation.  Computed once per pattern (it costs
+        an O(E log E) argsort, the single most expensive derived piece).
+        """
+        if self._t_struct is None:
+            ix = self.indptr_ix.dtype
+            perm = np.argsort(self.cols, kind="stable")
+            t_cols = self.rows[perm].astype(ix, copy=False)
+            col_counts = np.bincount(self.cols, minlength=self.seq_len)
+            t_indptr = np.concatenate(
+                [[0], np.cumsum(col_counts)]).astype(ix, copy=False)
+            self._t_struct = (t_indptr, t_cols, perm)
+        return self._t_struct
+
+    def matmul_t(self, data: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """``Aᵀ @ dense`` via the cached transpose permutation."""
+        t_indptr, t_cols, perm = self.transpose_struct
+        at = sp.csr_matrix((data[perm], t_cols, t_indptr),
+                           shape=self._shape, copy=False)
+        return at @ dense
+
+
+# ------------------------------------------------------------------ #
+# the cache
+# ------------------------------------------------------------------ #
+def get_workspace(pattern: AttentionPattern) -> PatternWorkspace:
+    """The (possibly cached) workspace for ``pattern``.
+
+    With caching enabled the workspace memoizes on the pattern instance,
+    so every layer/iteration touching the same pattern object shares one
+    workspace; with caching disabled a fresh workspace is built per call
+    (identical math, so outputs are bitwise identical either way).
+    """
+    if not _caching_enabled:
+        _stats.misses += 1
+        return PatternWorkspace(pattern)
+    ws = pattern.__dict__.get(_WORKSPACE_ATTR)
+    if ws is None:
+        _stats.misses += 1
+        ws = PatternWorkspace(pattern)
+        pattern.__dict__[_WORKSPACE_ATTR] = ws
+    else:
+        _stats.hits += 1
+    return ws
+
+
+def invalidate_workspace(pattern: AttentionPattern) -> bool:
+    """Drop ``pattern``'s cached workspace; True if one existed."""
+    existed = pattern.__dict__.pop(_WORKSPACE_ATTR, None) is not None
+    if existed:
+        _stats.invalidations += 1
+    return existed
+
+
+def workspace_cache_stats() -> WorkspaceCacheStats:
+    """The global hit/miss counters (live object; see ``reset()``)."""
+    return _stats
+
+
+def clear_workspace_stats() -> None:
+    _stats.reset()
+
+
+def set_workspace_caching(enabled: bool) -> None:
+    """Globally enable/disable workspace reuse (numerics are unaffected)."""
+    global _caching_enabled
+    _caching_enabled = bool(enabled)
+
+
+def workspace_caching_enabled() -> bool:
+    return _caching_enabled
+
+
+@contextmanager
+def workspace_caching(enabled: bool):
+    """Temporarily force workspace caching on or off (tests, benchmarks)."""
+    prev = _caching_enabled
+    set_workspace_caching(enabled)
+    try:
+        yield
+    finally:
+        set_workspace_caching(prev)

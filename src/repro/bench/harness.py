@@ -4,6 +4,11 @@ Every ``benchmarks/bench_*.py`` regenerates one table or figure of the
 paper; this module gives them a uniform way to print rows/series in the
 paper's format and to record paper-vs-measured comparisons that
 EXPERIMENTS.md summarizes.
+
+Backend enumeration helpers (:func:`backend_choices`,
+:func:`engine_choices`, :func:`kernel_table`) come straight from the
+attention-kernel registry, so benchmarks sweeping "every backend" pick up
+new drop-in kernels without edits.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field
 
-__all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio"]
+__all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio",
+           "backend_choices", "engine_choices", "kernel_table",
+           "pattern_builder_table"]
 
 
 def fmt_time(seconds: float) -> str:
@@ -60,6 +67,47 @@ class TableReport:
 
     def print(self, file=None) -> None:
         print("\n" + self.render() + "\n", file=file or sys.stdout)
+
+
+def backend_choices(trainable_only: bool = False) -> list[str]:
+    """Registered attention-backend names (for ``--backend`` options)."""
+    from ..attention import kernel_names
+    return kernel_names(trainable_only=trainable_only)
+
+
+def engine_choices() -> list[str]:
+    """Registered engine names (for ``--engine`` options)."""
+    from ..core.engine import engine_names
+    return engine_names()
+
+
+def kernel_table(specs=None) -> TableReport:
+    """The kernel registry rendered as a capability table."""
+    from ..attention import iter_kernels
+    table = TableReport(
+        title="attention-kernel registry",
+        columns=["backend", "complexity", "bias", "pattern", "trainable",
+                 "exact", "cost-model kind"])
+    for s in (specs if specs is not None else iter_kernels()):
+        table.add_row(s.name, s.complexity or "—",
+                      "yes" if s.supports_bias else "no",
+                      "required" if s.needs_pattern else "—",
+                      "yes" if s.trainable else "fwd-only",
+                      "yes" if s.exact else "approx",
+                      s.attention_kind)
+    return table
+
+
+def pattern_builder_table(specs=None) -> TableReport:
+    """The pattern-builder registry rendered as a table."""
+    from ..attention import iter_pattern_builders
+    table = TableReport(
+        title="pattern-builder registry",
+        columns=["pattern", "input", "description"])
+    for s in (specs if specs is not None else iter_pattern_builders()):
+        table.add_row(s.name, "graph" if s.needs_graph else "seq_len",
+                      s.description)
+    return table
 
 
 @dataclass

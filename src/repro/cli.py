@@ -1,8 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows a user reaches for before writing code:
+Five commands cover the workflows a user reaches for before writing code:
 
-* ``info`` — version, engines, modeled devices and dataset registry;
+* ``info`` — version, engines, kernels, modeled devices and datasets;
+* ``kernels`` — the attention-kernel registry with capability metadata
+  (which backends support bias, need a pattern, train, and how the
+  hardware model prices them);
 * ``datasets`` — per-dataset statistics at a chosen scale (what the
   synthetic stand-ins actually generate, next to the paper's Table III
   numbers);
@@ -34,12 +37,16 @@ __all__ = ["main", "build_parser"]
 # ------------------------------------------------------------------ #
 def cmd_info(args: argparse.Namespace) -> int:
     import repro
+    from repro.attention import kernel_names, pattern_builder_names
+    from repro.core import engine_names
     from repro.graph import available_datasets
     from repro.hardware import A100_80G, RTX3090
 
     print(f"repro {repro.__version__} — TorchGT reproduction (SC 2024)")
     print()
-    print("engines:   gp-raw  gp-flash  gp-sparse  torchgt")
+    print(f"engines:   {'  '.join(engine_names())}")
+    print(f"kernels:   {'  '.join(kernel_names())}  (see `repro kernels`)")
+    print(f"patterns:  {'  '.join(pattern_builder_names())}")
     print("models:    graphormer-slim  graphormer-large  gt  nodeformer  "
           "gcn  gat  graphsage")
     print("devices:")
@@ -126,8 +133,15 @@ def cmd_train(args: argparse.Namespace) -> int:
         return 2
 
     model = _build_model(args.model, feature_dim, num_classes, task, args.seed)
+    engine_kwargs = {}
+    if args.pattern:
+        if args.engine != "fixed-pattern":
+            print("error: --pattern only applies to --engine fixed-pattern",
+                  file=sys.stderr)
+            return 2
+        engine_kwargs["pattern"] = args.pattern
     engine = make_engine(args.engine, num_layers=model.config.num_layers,
-                         hidden_dim=model.config.hidden_dim)
+                         hidden_dim=model.config.hidden_dim, **engine_kwargs)
     print(f"dataset={args.dataset} scale={args.scale} task={task} "
           f"model={args.model} engine={args.engine} "
           f"params={model.num_parameters():,}")
@@ -148,9 +162,9 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
+    from repro.core.planner import deployable_engine_kinds
     from repro.hardware import (
         A100_SERVER,
-        AttentionKind,
         OutOfMemoryError,
         RTX3090_SERVER,
         TrainingCostModel,
@@ -163,12 +177,7 @@ def cmd_cost(args: argparse.Namespace) -> int:
                      num_heads=args.heads, num_layers=args.layers,
                      avg_degree=args.avg_degree, num_gpus=args.gpus,
                      tokens_per_epoch=args.tokens or args.seq_len)
-    kinds = {
-        "gp-raw": AttentionKind.DENSE,
-        "gp-flash": AttentionKind.FLASH,
-        "gp-sparse": AttentionKind.SPARSE,
-        "torchgt": AttentionKind.CLUSTER_SPARSE,
-    }
+    kinds = deployable_engine_kinds()
     print(f"workload: S={w.seq_len:,} d={w.hidden_dim} H={w.num_heads} "
           f"L={w.num_layers} deg={w.avg_degree} on {args.gpus}×{server.device.name}")
     for name, kind in kinds.items():
@@ -183,16 +192,31 @@ def cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_kernels(args: argparse.Namespace) -> int:
+    """Print the attention-kernel registry with capability metadata."""
+    from repro.attention import iter_kernels, iter_pattern_builders
+    from repro.bench.harness import kernel_table, pattern_builder_table
+
+    kernel_table(iter_kernels()).print()
+    pattern_builder_table(iter_pattern_builders()).print()
+    return 0
+
+
 # ------------------------------------------------------------------ #
 # parser
 # ------------------------------------------------------------------ #
 def build_parser() -> argparse.ArgumentParser:
+    from repro.attention import pattern_builder_names
+    from repro.core import engine_names
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="TorchGT reproduction — training, datasets and cost model")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="versions, engines, devices, datasets")
+    sub.add_parser("kernels",
+                   help="the attention-kernel registry and its metadata")
 
     d = sub.add_parser("datasets", help="dataset statistics at a given scale")
     d.add_argument("--scale", type=float, default=0.2,
@@ -202,8 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     t = sub.add_parser("train", help="run a quick training job")
     t.add_argument("--dataset", default="ogbn-arxiv")
     t.add_argument("--model", default="graphormer-slim")
-    t.add_argument("--engine", default="torchgt",
-                   choices=["gp-raw", "gp-flash", "gp-sparse", "torchgt"])
+    t.add_argument("--engine", default="torchgt", choices=engine_names(),
+                   help="training engine (registered engine names)")
+    t.add_argument("--pattern", default=None, choices=pattern_builder_names(),
+                   help="pattern builder for --engine fixed-pattern")
     t.add_argument("--epochs", type=int, default=10)
     t.add_argument("--lr", type=float, default=3e-3)
     t.add_argument("--scale", type=float, default=0.2)
@@ -224,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "info": cmd_info,
+    "kernels": cmd_kernels,
     "datasets": cmd_datasets,
     "train": cmd_train,
     "cost": cmd_cost,

@@ -6,6 +6,8 @@ from .ecr import ClusterGridStats, ReformationResult, analyze_clusters, reform_p
 from .autotuner import (
     AutoTuner,
     BetaThreSchedule,
+    kernel_candidates,
+    rank_kernels,
     select_cluster_dim,
     select_subblock_dim,
 )
@@ -19,7 +21,10 @@ from .engine import (
     GPSparseEngine,
     SequenceContext,
     TorchGTEngine,
+    engine_names,
+    engine_registry,
     make_engine,
+    register_engine,
 )
 
 __all__ = [
@@ -32,6 +37,8 @@ __all__ = [
     "reform_pattern",
     "AutoTuner",
     "BetaThreSchedule",
+    "kernel_candidates",
+    "rank_kernels",
     "select_cluster_dim",
     "select_subblock_dim",
     "Engine",
@@ -42,7 +49,10 @@ __all__ = [
     "FixedPatternEngine",
     "TorchGTEngine",
     "SequenceContext",
+    "engine_names",
+    "engine_registry",
     "make_engine",
+    "register_engine",
     "DeploymentPlan",
     "EnginePlan",
     "plan_deployment",

@@ -24,10 +24,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..attention.registry import KernelSpec, find_kernels
 from ..hardware.cache import CacheModel
 from ..hardware.device import DeviceSpec
 
-__all__ = ["select_cluster_dim", "select_subblock_dim", "BetaThreSchedule", "AutoTuner"]
+__all__ = ["select_cluster_dim", "select_subblock_dim", "BetaThreSchedule",
+           "AutoTuner", "kernel_candidates", "rank_kernels"]
 
 
 def select_cluster_dim(device: DeviceSpec, seq_len: int, hidden_dim: int,
@@ -47,6 +49,48 @@ def select_subblock_dim(device: DeviceSpec, hidden_dim: int, total_entries: int,
     """Sub-block dimension db maximizing modeled indexing throughput."""
     cache = CacheModel(device, hidden_dim, itemsize)
     return cache.best_db(total_entries, cluster_dim)
+
+
+def kernel_candidates(pattern_available: bool = True, needs_bias: bool = False,
+                      trainable_only: bool = True,
+                      exact_only: bool = False) -> list[KernelSpec]:
+    """Kernels from the registry that can run the current configuration.
+
+    The tuner never hard-codes backend names: any kernel whose capability
+    metadata satisfies the constraints — a pattern exists (or the kernel
+    doesn't need one), bias support if the model insists on its graph
+    encodings, autograd support for training — is a candidate.
+    """
+    out = []
+    for spec in find_kernels(trainable=True if trainable_only else None,
+                             exact=True if exact_only else None):
+        if spec.needs_pattern and not pattern_available:
+            continue
+        if needs_bias and not spec.supports_bias:
+            continue
+        out.append(spec)
+    return out
+
+
+def rank_kernels(server, workload, pattern_available: bool = True,
+                 needs_bias: bool = False, trainable_only: bool = True,
+                 exact_only: bool = False,
+                 backward: bool = True) -> list[tuple[KernelSpec, float]]:
+    """Candidate kernels priced by the hardware model, fastest first.
+
+    Each candidate is priced through its ``attention_kind`` metadata by
+    :class:`~repro.hardware.perf_model.TrainingCostModel` — registry in,
+    modeled seconds out, no per-backend special cases.
+    """
+    from ..hardware.perf_model import TrainingCostModel
+    model = TrainingCostModel(server)
+    ranked = [
+        (spec, model.attention_kernel(spec, workload, backward=backward).time_s)
+        for spec in kernel_candidates(pattern_available, needs_bias,
+                                      trainable_only, exact_only)
+    ]
+    ranked.sort(key=lambda pair: pair[1])
+    return ranked
 
 
 @dataclass

@@ -19,15 +19,20 @@ so the cost model can price it at paper scale.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..attention.patterns import AttentionPattern, topology_pattern
+from ..attention.registry import (
+    KernelSpec,
+    get_pattern_builder,
+    resolve_kernel,
+)
+from ..attention.workspace import invalidate_workspace
 from ..graph.csr import CSRGraph
 from ..hardware.device import DeviceSpec, RTX3090
 from ..hardware.perf_model import AttentionKind
-from ..models.layers import AttentionBackend
 from ..partition.reorder import Reordering, cluster_reorder
 from .autotuner import AutoTuner, select_cluster_dim, select_subblock_dim
 from .dual_interleaved import ConditionReport, InterleaveScheduler, check_conditions
@@ -42,17 +47,34 @@ __all__ = [
     "GPSparseEngine",
     "FixedPatternEngine",
     "TorchGTEngine",
+    "register_engine",
+    "engine_names",
+    "engine_registry",
     "make_engine",
 ]
 
 
 @dataclass
 class ExecutionPlan:
-    """One iteration's attention execution choice."""
+    """One iteration's attention execution choice.
 
-    backend: str  # AttentionBackend value
+    Carries the registered :class:`~repro.attention.KernelSpec` itself —
+    a registry name is accepted for convenience and resolved immediately,
+    so downstream consumers (trainer, models, cost model) never string-
+    match on backends.
+    """
+
+    kernel: KernelSpec | str
     pattern: AttentionPattern | None
     use_bias: bool
+
+    def __post_init__(self):
+        self.kernel = resolve_kernel(self.kernel)
+
+    @property
+    def backend(self) -> str:
+        """The kernel's registry name (back-compat accessor)."""
+        return self.kernel.name
 
 
 @dataclass
@@ -89,6 +111,18 @@ class Engine:
     def __init__(self, num_layers: int = 4):
         self.num_layers = num_layers
 
+    @classmethod
+    def build(cls, num_layers: int = 4, hidden_dim: int = 64,
+              **kwargs) -> "Engine":
+        """Factory hook for :func:`make_engine`.
+
+        The default ignores ``hidden_dim`` (most engines don't model the
+        GPU working set); engines that need more construction context
+        override this.
+        """
+        del hidden_dim
+        return cls(num_layers, **kwargs)
+
     def prepare_graph(self, g: CSRGraph) -> SequenceContext:
         return SequenceContext(graph=g, reordering=None, pattern=None,
                                reformed=None, conditions=None,
@@ -121,7 +155,7 @@ class GPRawEngine(Engine):
     attention_kind = AttentionKind.DENSE
 
     def plan(self, ctx: SequenceContext) -> ExecutionPlan:
-        return ExecutionPlan(AttentionBackend.DENSE, None, use_bias=True)
+        return ExecutionPlan("dense", None, use_bias=True)
 
 
 class GPFlashEngine(Engine):
@@ -141,7 +175,7 @@ class GPFlashEngine(Engine):
         self.precision = precision
 
     def plan(self, ctx: SequenceContext) -> ExecutionPlan:
-        return ExecutionPlan(AttentionBackend.FLASH, None, use_bias=False)
+        return ExecutionPlan("flash", None, use_bias=False)
 
 
 class GPSparseEngine(Engine):
@@ -159,7 +193,7 @@ class GPSparseEngine(Engine):
                                preprocess_seconds=time.perf_counter() - t0)
 
     def plan(self, ctx: SequenceContext) -> ExecutionPlan:
-        return ExecutionPlan(AttentionBackend.SPARSE, ctx.pattern, use_bias=True)
+        return ExecutionPlan("sparse", ctx.pattern, use_bias=True)
 
 
 class FixedPatternEngine(Engine):
@@ -177,12 +211,28 @@ class FixedPatternEngine(Engine):
 
     name = "fixed-pattern"
     attention_kind = AttentionKind.SPARSE
+    deployable = False  # needs a concrete builder; not a paper baseline
 
     def __init__(self, builder, num_layers: int = 4, name: str | None = None):
         super().__init__(num_layers)
         self.builder = builder
         if name is not None:
             self.name = name
+
+    @classmethod
+    def build(cls, num_layers: int = 4, hidden_dim: int = 64, builder=None,
+              pattern: str | None = None, **kwargs) -> "FixedPatternEngine":
+        """Accept a builder callable or a registered pattern-builder name."""
+        del hidden_dim
+        if builder is None:
+            if pattern is None:
+                raise ValueError(
+                    "fixed-pattern engine needs builder=<callable> or "
+                    "pattern=<registered builder name>")
+            spec = get_pattern_builder(pattern)
+            builder = lambda g, _spec=spec, _kw=dict(kwargs): _spec.build(g, **_kw)
+            return cls(builder, num_layers, name=f"fixed-{pattern}")
+        return cls(builder, num_layers, **kwargs)
 
     def prepare_graph(self, g: CSRGraph) -> SequenceContext:
         t0 = time.perf_counter()
@@ -197,7 +247,7 @@ class FixedPatternEngine(Engine):
                                preprocess_seconds=time.perf_counter() - t0)
 
     def plan(self, ctx: SequenceContext) -> ExecutionPlan:
-        return ExecutionPlan(AttentionBackend.SPARSE, ctx.pattern, use_bias=True)
+        return ExecutionPlan("sparse", ctx.pattern, use_bias=True)
 
 
 class TorchGTEngine(Engine):
@@ -239,6 +289,11 @@ class TorchGTEngine(Engine):
         self.scheduler: InterleaveScheduler | None = None
         self.autotuner: AutoTuner | None = None
         self._beta_in_use: float | None = None
+
+    @classmethod
+    def build(cls, num_layers: int = 4, hidden_dim: int = 64,
+              **kwargs) -> "TorchGTEngine":
+        return cls(num_layers=num_layers, hidden_dim=hidden_dim, **kwargs)
 
     # -- preprocessing --------------------------------------------------- #
     def prepare_graph(self, g: CSRGraph) -> SequenceContext:
@@ -304,17 +359,17 @@ class TorchGTEngine(Engine):
             self.scheduler = scheduler
         if not scheduler.use_sparse() or ctx.pattern is None:
             # fully-connected interleave pass (FP32, bias supported)
-            return ExecutionPlan(AttentionBackend.DENSE, None, use_bias=True)
+            return ExecutionPlan("dense", None, use_bias=True)
         pattern = ctx.reformed.pattern if ctx.reformed is not None else ctx.pattern
-        return ExecutionPlan(AttentionBackend.SPARSE, pattern, use_bias=True)
+        return ExecutionPlan("sparse", pattern, use_bias=True)
 
     def eval_plan(self, ctx: SequenceContext) -> ExecutionPlan:
         """Evaluation always runs the (cheap) sparse pattern, statelessly."""
         if ctx.pattern is None or (self.scheduler is not None
                                    and not self.scheduler.conditions_ok):
-            return ExecutionPlan(AttentionBackend.DENSE, None, use_bias=True)
+            return ExecutionPlan("dense", None, use_bias=True)
         pattern = ctx.reformed.pattern if ctx.reformed is not None else ctx.pattern
-        return ExecutionPlan(AttentionBackend.SPARSE, pattern, use_bias=True)
+        return ExecutionPlan("sparse", pattern, use_bias=True)
 
     # -- runtime feedback -------------------------------------------------- #
     def observe_epoch(self, loss: float, epoch_time_s: float) -> None:
@@ -322,7 +377,12 @@ class TorchGTEngine(Engine):
             self.autotuner.observe(loss, epoch_time_s)
 
     def refresh(self, ctx: SequenceContext) -> SequenceContext:
-        """Re-reform the pattern if the Auto Tuner moved β_thre."""
+        """Re-reform the pattern if the Auto Tuner moved β_thre.
+
+        The superseded reformed pattern's cached workspace is dropped
+        eagerly — ECR reformation is the one runtime event that
+        invalidates pattern-derived state.
+        """
         if (self.autotuner is None or ctx.reordering is None
                 or ctx.pattern is None or self.fixed_beta_thre is not None):
             return ctx
@@ -330,21 +390,53 @@ class TorchGTEngine(Engine):
         if self._beta_in_use is not None and np.isclose(beta, self._beta_in_use):
             return ctx
         self._beta_in_use = beta
+        if ctx.reformed is not None:
+            invalidate_workspace(ctx.reformed.pattern)
         ctx.reformed = reform_pattern(ctx.pattern, ctx.reordering.bounds,
                                       beta_thre=beta, db=max(ctx.subblock_dim, 2))
         return ctx
 
 
+# ------------------------------------------------------------------ #
+# engine registry / factory
+# ------------------------------------------------------------------ #
+_ENGINES: dict[str, type[Engine]] = {}
+
+
+def register_engine(cls: type[Engine]) -> type[Engine]:
+    """Class decorator: register an engine under its ``name`` attribute."""
+    _ENGINES[cls.name] = cls
+    return cls
+
+
+def engine_names() -> list[str]:
+    """Registered engine names (the CLI ``--engine`` choice list)."""
+    return sorted(_ENGINES)
+
+
+def engine_registry() -> dict[str, type[Engine]]:
+    """Name → engine class mapping (copy; mutate via register_engine)."""
+    return dict(_ENGINES)
+
+
+for _cls in (GPRawEngine, GPFlashEngine, GPSparseEngine, FixedPatternEngine,
+             TorchGTEngine):
+    register_engine(_cls)
+
+
 def make_engine(name: str, num_layers: int = 4, hidden_dim: int = 64,
                 **kwargs) -> Engine:
-    """Engine factory by paper name: gp-raw / gp-flash / gp-sparse / torchgt."""
+    """Engine factory by registered name (gp-raw / gp-flash / gp-sparse /
+    fixed-pattern / torchgt / any plugin).
+
+    ``fixed-pattern`` accepts either an explicit ``builder`` callable or a
+    ``pattern`` name resolved through the pattern-builder registry (e.g.
+    ``make_engine("fixed-pattern", pattern="bigbird")``).
+    """
     name = name.lower()
-    if name == "gp-raw":
-        return GPRawEngine(num_layers)
-    if name == "gp-flash":
-        return GPFlashEngine(num_layers, **kwargs)
-    if name == "gp-sparse":
-        return GPSparseEngine(num_layers)
-    if name == "torchgt":
-        return TorchGTEngine(num_layers=num_layers, hidden_dim=hidden_dim, **kwargs)
-    raise ValueError(f"unknown engine {name!r}")
+    try:
+        cls = _ENGINES[name]
+    except KeyError:
+        raise ValueError(f"unknown engine {name!r}; registered engines: "
+                         f"{', '.join(engine_names())}") from None
+    return cls.build(num_layers=num_layers, hidden_dim=hidden_dim, **kwargs)

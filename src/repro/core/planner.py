@@ -26,14 +26,19 @@ from ..hardware.perf_model import (
 )
 from .autotuner import select_cluster_dim, select_subblock_dim
 
-__all__ = ["EnginePlan", "DeploymentPlan", "plan_deployment"]
+__all__ = ["EnginePlan", "DeploymentPlan", "plan_deployment", "deployable_engine_kinds"]
 
-_ENGINE_KINDS = {
-    "gp-raw": AttentionKind.DENSE,
-    "gp-flash": AttentionKind.FLASH,
-    "gp-sparse": AttentionKind.SPARSE,
-    "torchgt": AttentionKind.CLUSTER_SPARSE,
-}
+
+def deployable_engine_kinds() -> dict[str, str]:
+    """Engine name → attention kind, derived from the engine registry.
+
+    Engines flagged ``deployable = False`` (e.g. fixed-pattern, which
+    needs a concrete builder) are excluded from paper-scale planning.
+    """
+    from .engine import engine_registry
+    return {name: cls.attention_kind
+            for name, cls in sorted(engine_registry().items())
+            if getattr(cls, "deployable", True)}
 
 
 @dataclass
@@ -114,7 +119,7 @@ def plan_deployment(
     plan = DeploymentPlan(dataset=dataset, server=server.name, seq_len=seq_len,
                           num_gpus=num_gpus, paper=paper,
                           cluster_dim=k, subblock_dim=db)
-    for engine, kind in _ENGINE_KINDS.items():
+    for engine, kind in deployable_engine_kinds().items():
         w = WorkloadSpec(
             seq_len=seq_len, hidden_dim=hidden_dim, num_heads=num_heads,
             num_layers=num_layers, avg_degree=deg, num_gpus=num_gpus,

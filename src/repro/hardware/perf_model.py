@@ -62,7 +62,15 @@ class AttentionKind:
     FLASH = "flash"  # GP-Flash
     SPARSE = "sparse"  # GP-Sparse (topology pattern, irregular access)
     CLUSTER_SPARSE = "cluster-sparse"  # TorchGT's ECR execution
-    ALL = (DENSE, FLASH, SPARSE, CLUSTER_SPARSE)
+    LINEAR = "linear"  # kernelized low-rank attention (performer)
+    ALL = (DENSE, FLASH, SPARSE, CLUSTER_SPARSE, LINEAR)
+
+
+def _coerce_kind(kind) -> str:
+    """Accept an AttentionKind string or any registered
+    :class:`~repro.attention.registry.KernelSpec` (priced through its
+    ``attention_kind`` metadata)."""
+    return getattr(kind, "attention_kind", kind)
 
 
 @dataclass
@@ -113,6 +121,7 @@ class WorkloadSpec:
     cluster_dim: int = 0  # rows per cluster (0 = derive as S/8)
     dense_interleave_period: int = 0  # every T-th iteration runs dense (0 = never)
     tokens_per_epoch: int = 0  # defaults to seq_len (one full-graph iteration)
+    feature_rank: int = 64  # m: random-feature count of linear attention
 
     @property
     def head_dim(self) -> int:
@@ -146,6 +155,7 @@ class TrainingCostModel:
         Sequence parallelism splits heads across GPUs after the all-to-all
         (§III-C), so per-GPU work is the full-S kernel over H/P heads.
         """
+        kind = _coerce_kind(kind)
         dev = self.device
         S, dh = w.seq_len, w.head_dim
         heads_local = max(w.num_heads / w.num_gpus, 1.0)
@@ -153,6 +163,8 @@ class TrainingCostModel:
 
         if kind in (AttentionKind.DENSE, AttentionKind.FLASH):
             scores = float(S) * S * heads_local
+        elif kind == AttentionKind.LINEAR:
+            scores = float(S) * w.feature_rank * heads_local
         else:
             scores = w.pattern_entries * heads_local
         flops = 4.0 * scores * dh
@@ -191,6 +203,13 @@ class TrainingCostModel:
             memory = regular / eff_bw
             n_subblocks = entries / float(w.db * w.db)
             compute += n_subblocks * SUBBLOCK_OVERHEAD_S
+        elif kind == AttentionKind.LINEAR:
+            # two skinny GEMMs (phi_K^T V then phi_Q @ KV), all streaming
+            m_rank = w.feature_rank
+            regular = itemsize * heads_local * S * (4.0 * m_rank + 4.0 * dh)
+            irregular = 0.0
+            compute = flops / (dev.gemm_flops * dev.gemm_efficiency)
+            memory = regular / dev.hbm_bandwidth
         else:
             raise ValueError(f"unknown attention kind {kind!r}")
 
@@ -269,6 +288,7 @@ class TrainingCostModel:
     # ------------------------------------------------------------------ #
     def memory_required(self, kind: str, w: WorkloadSpec) -> float:
         """Peak per-GPU training memory (bytes) for one iteration."""
+        kind = _coerce_kind(kind)
         S, d, L = w.seq_len, w.hidden_dim, w.num_layers
         H, P = w.num_heads, w.num_gpus
         itemsize = w.itemsize
@@ -286,6 +306,9 @@ class TrainingCostModel:
             attn = L * H * S * (S / P) * itemsize * 2.0
         elif kind == AttentionKind.FLASH:
             attn = L * (H / P) * S * 8.0 * itemsize  # row stats only
+        elif kind == AttentionKind.LINEAR:
+            # the phi feature matrices (S x m per head) saved for backward
+            attn = L * (H / P) * S * w.feature_rank * itemsize
         else:
             # probabilities saved per pattern entry (topology or reformed)
             attn = L * (H / P) * w.pattern_entries * itemsize
@@ -316,6 +339,7 @@ class TrainingCostModel:
     def iteration_cost(self, kind: str, w: WorkloadSpec,
                        check_memory: bool = True) -> IterationCost:
         """Full fwd+bwd iteration cost per GPU for attention ``kind``."""
+        kind = _coerce_kind(kind)
         if check_memory and not self.fits_memory(kind, w):
             need = self.memory_required(kind, w) / 1024**3
             raise OutOfMemoryError(

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..attention import KernelSpec, resolve_kernel
 from ..attention.patterns import AttentionPattern
 from ..tensor import Embedding, LayerNorm, Linear, Module, ModuleList, Parameter, Tensor
 from ..tensor import functional as F
@@ -104,27 +105,30 @@ class Graphormer(Module):
 
     # ------------------------------------------------------------------ #
     def encode(self, features: np.ndarray, enc: GraphEncodings,
-               backend: str = AttentionBackend.DENSE,
+               backend: str | KernelSpec = AttentionBackend.DENSE,
                pattern: AttentionPattern | None = None,
                use_bias: bool = True) -> Tensor:
         """Node embeddings ``(S, d)`` under the chosen attention backend.
 
+        The SPD bias is built in whichever format the kernel's registry
+        metadata declares (dense ``(H, S, S)`` or per-entry ``(H, E)``).
         ``use_bias=False`` reproduces the GP-Flash configuration: the
         paper disables the bias encoding because FlashAttention cannot
-        apply it (§II-C).
+        apply it (§II-C) — kernels with no bias support simply get none.
         """
+        kernel = resolve_kernel(backend)
         h = self._input_embedding(features, enc)
         bias = None
-        if use_bias and backend == AttentionBackend.DENSE:
+        if use_bias and kernel.bias_format == "dense":
             bias = self._dense_bias(enc)
-        elif use_bias and backend == AttentionBackend.SPARSE and pattern is not None:
+        elif use_bias and kernel.bias_format == "entries" and pattern is not None:
             bias = self._sparse_bias(enc, pattern)
         for layer in self.layers:
-            h = layer(h, backend=backend, pattern=pattern, bias=bias)
+            h = layer(h, backend=kernel, pattern=pattern, bias=bias)
         return self.final_ln(h)
 
     def forward(self, features: np.ndarray, enc: GraphEncodings,
-                backend: str = AttentionBackend.DENSE,
+                backend: str | KernelSpec = AttentionBackend.DENSE,
                 pattern: AttentionPattern | None = None,
                 use_bias: bool = True) -> Tensor:
         """Task output: per-node logits, or pooled graph logits/score."""

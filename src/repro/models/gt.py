@@ -15,6 +15,7 @@ import numpy as np
 from ..attention.patterns import AttentionPattern
 from ..tensor import LayerNorm, Linear, Module, ModuleList, Tensor
 from .encodings import GraphEncodings
+from ..attention import KernelSpec
 from .layers import AttentionBackend, GraphTransformerLayer
 
 __all__ = ["GTConfig", "GT", "GT_BASE"]
@@ -59,7 +60,7 @@ class GT(Module):
         self.head = Linear(c.hidden_dim, out_dim, rng=rng)
 
     def encode(self, features: np.ndarray, enc: GraphEncodings,
-               backend: str = AttentionBackend.DENSE,
+               backend: str | KernelSpec = AttentionBackend.DENSE,
                pattern: AttentionPattern | None = None) -> Tensor:
         """Node embeddings under the chosen attention backend."""
         h = self.input_proj(Tensor(features))
@@ -74,7 +75,7 @@ class GT(Module):
         return self.final_ln(h)
 
     def forward(self, features: np.ndarray, enc: GraphEncodings,
-                backend: str = AttentionBackend.DENSE,
+                backend: str | KernelSpec = AttentionBackend.DENSE,
                 pattern: AttentionPattern | None = None,
                 use_bias: bool = True) -> Tensor:
         """Task output (``use_bias`` accepted for API parity; GT has none)."""

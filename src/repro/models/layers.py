@@ -1,21 +1,20 @@
 """Transformer building blocks with pluggable attention backends.
 
 The same :class:`GraphTransformerLayer` runs under every engine in the
-paper's evaluation — the backend choice (dense / flash / sparse pattern)
-is a per-forward argument, because Dual-interleaved Attention switches
-pattern per iteration at runtime.
+paper's evaluation — the backend choice (any kernel registered in
+:mod:`repro.attention.registry`) is a per-forward argument, because
+Dual-interleaved Attention switches pattern per iteration at runtime.
+Dispatch is a registry lookup, never a string ``if/elif`` chain: pattern
+and bias requirements are validated against the kernel's capability
+metadata, so a new backend dropped into the registry works here with no
+code change.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..attention import (
-    AttentionPattern,
-    dense_attention,
-    flash_attention,
-    sparse_attention,
-)
+from ..attention import AttentionBackend, AttentionPattern, KernelSpec, resolve_kernel
 from ..tensor import Dropout, LayerNorm, Linear, Module, Tensor
 from ..tensor import functional as F
 
@@ -23,23 +22,17 @@ __all__ = ["AttentionBackend", "MultiHeadAttention", "FeedForward",
            "GraphTransformerLayer"]
 
 
-class AttentionBackend:
-    """Names for the per-forward attention execution choice."""
-
-    DENSE = "dense"
-    FLASH = "flash"
-    SPARSE = "sparse"  # requires a pattern
-
-
 class MultiHeadAttention(Module):
     """Multi-head attention over a node sequence ``(S, d)``.
 
-    ``forward`` selects the kernel: ``backend="dense"|"flash"`` for
-    fully-connected attention, ``backend="sparse"`` with an
-    :class:`AttentionPattern` for topology/reformed attention.  ``bias``
-    is the graph encoding added to scores — a dense ``(H|1, S, S)`` tensor
-    for dense attention or per-entry ``(H|1, E)`` for sparse.  Flash
-    (faithfully to the real kernel) rejects bias.
+    ``forward`` selects the kernel by registry name (or an explicit
+    :class:`~repro.attention.KernelSpec`): ``"dense"``/``"flash"`` for
+    fully-connected attention, ``"sparse"`` with an
+    :class:`AttentionPattern` for topology/reformed attention, or any
+    other registered backend.  ``bias`` is the graph encoding added to
+    scores — a dense ``(H|1, S, S)`` tensor or per-entry ``(H|1, E)``,
+    per the kernel's ``bias_format``.  Kernels that don't support bias
+    (flash, faithfully to the real kernel) reject it.
     """
 
     def __init__(self, hidden_dim: int, num_heads: int, dropout: float = 0.0,
@@ -65,26 +58,15 @@ class MultiHeadAttention(Module):
         H, S, dh = x.shape
         return x.transpose(1, 0, 2).reshape(S, H * dh)
 
-    def forward(self, x: Tensor, backend: str = AttentionBackend.DENSE,
+    def forward(self, x: Tensor,
+                backend: str | KernelSpec = AttentionBackend.DENSE,
                 pattern: AttentionPattern | None = None,
                 bias: Tensor | None = None) -> Tensor:
+        kernel = resolve_kernel(backend)
         q = self._split_heads(self.wq(x))
         k = self._split_heads(self.wk(x))
         v = self._split_heads(self.wv(x))
-        if backend == AttentionBackend.DENSE:
-            out = dense_attention(q, k, v, bias=bias)
-        elif backend == AttentionBackend.FLASH:
-            if bias is not None:
-                raise ValueError(
-                    "flash attention does not support additive bias "
-                    "(matching the real FlashAttention limitation)")
-            out = flash_attention(q, k, v)
-        elif backend == AttentionBackend.SPARSE:
-            if pattern is None:
-                raise ValueError("sparse backend requires a pattern")
-            out = sparse_attention(q, k, v, pattern, bias=bias)
-        else:
-            raise ValueError(f"unknown backend {backend!r}")
+        out = kernel(q, k, v, pattern=pattern, bias=bias)
         return self.drop(self.wo(self._merge_heads(out)))
 
 
@@ -114,7 +96,8 @@ class GraphTransformerLayer(Module):
         self.attn = MultiHeadAttention(hidden_dim, num_heads, dropout, rng=rng)
         self.ffn = FeedForward(hidden_dim, ffn_ratio, dropout, rng=rng)
 
-    def forward(self, x: Tensor, backend: str = AttentionBackend.DENSE,
+    def forward(self, x: Tensor,
+                backend: str | KernelSpec = AttentionBackend.DENSE,
                 pattern: AttentionPattern | None = None,
                 bias: Tensor | None = None) -> Tensor:
         x = x + self.attn(self.ln1(x), backend=backend, pattern=pattern, bias=bias)

@@ -60,7 +60,7 @@ def batched_node_predictions(model, dataset: NodeDataset, engine: Engine,
             if inv is not None:
                 feats = feats[inv]
             plan = engine.eval_plan(ctx)
-            out = model(feats, enc, backend=plan.backend,
+            out = model(feats, enc, backend=plan.kernel,
                         pattern=plan.pattern, use_bias=plan.use_bias)
             logits[batch_to_orig] = out.data
     return logits
@@ -113,7 +113,7 @@ def train_node_classification_batched(
             if inv is not None:
                 feats, labels = feats[inv], labels[inv]
             plan = engine.plan(ctx)
-            logits = model(feats, enc, backend=plan.backend,
+            logits = model(feats, enc, backend=plan.kernel,
                            pattern=plan.pattern, use_bias=plan.use_bias)
             loss = F.cross_entropy(logits, labels, ignore_index=-1)
             opt.zero_grad()

@@ -109,7 +109,7 @@ def train_node_classification(
         t0 = time.perf_counter()
         model.train()
         plan = engine.plan(ctx)
-        logits = model(feats, enc, backend=plan.backend, pattern=plan.pattern,
+        logits = model(feats, enc, backend=plan.kernel, pattern=plan.pattern,
                        use_bias=plan.use_bias)
         loss = F.cross_entropy(logits, masked_labels, ignore_index=-1)
         opt.zero_grad()
@@ -127,7 +127,7 @@ def train_node_classification(
             from ..tensor import no_grad
             with no_grad():
                 eval_plan = engine.eval_plan(ctx)
-                out = model(feats, enc, backend=eval_plan.backend,
+                out = model(feats, enc, backend=eval_plan.kernel,
                             pattern=eval_plan.pattern, use_bias=eval_plan.use_bias)
             record.val_metric.append(accuracy(out.data, labels, val_m))
             record.test_metric.append(accuracy(out.data, labels, test_m))
@@ -188,7 +188,7 @@ def train_graph_task(
         with no_grad():
             for i in idx:
                 plan = engine.eval_plan(contexts[i])
-                out = model(graph_features(i), encodings[i], backend=plan.backend,
+                out = model(graph_features(i), encodings[i], backend=plan.kernel,
                             pattern=plan.pattern, use_bias=plan.use_bias)
                 preds.append(out.data.reshape(-1))
         if is_regression:
@@ -202,7 +202,7 @@ def train_graph_task(
         epoch_loss = 0.0
         for i in dataset.train_idx:
             plan = engine.plan(contexts[i])
-            out = model(graph_features(i), encodings[i], backend=plan.backend,
+            out = model(graph_features(i), encodings[i], backend=plan.kernel,
                         pattern=plan.pattern, use_bias=plan.use_bias)
             if is_regression:
                 loss = F.l1_loss(out, np.array([dataset.targets[i]]))

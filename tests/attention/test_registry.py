@@ -1,0 +1,165 @@
+"""Attention-kernel registry: registration, lookup, capability metadata."""
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    AttentionBackend,
+    KernelSpec,
+    UnknownKernelError,
+    UnknownPatternBuilderError,
+    find_kernels,
+    full_pattern,
+    get_kernel,
+    get_pattern_builder,
+    iter_kernels,
+    kernel_names,
+    pattern_builder_names,
+    register_kernel,
+    resolve_kernel,
+)
+from repro.attention.registry import unregister_kernel
+from repro.graph import dc_sbm
+from repro.tensor import Tensor
+
+
+class TestLookup:
+    def test_builtin_kernels_registered(self):
+        assert {"dense", "flash", "sparse", "block", "performer"} <= set(kernel_names())
+
+    def test_get_returns_spec(self):
+        spec = get_kernel("dense")
+        assert isinstance(spec, KernelSpec)
+        assert spec.name == "dense"
+        assert spec.supports_bias and not spec.needs_pattern
+
+    def test_unknown_kernel_error(self):
+        with pytest.raises(UnknownKernelError) as e:
+            get_kernel("bogus")
+        # the error names the registered backends, and is catchable both
+        # as ValueError (CLI) and KeyError (dict-style callers)
+        assert "dense" in str(e.value)
+        assert isinstance(e.value, ValueError) and isinstance(e.value, KeyError)
+
+    def test_resolve_accepts_spec_and_name(self):
+        spec = get_kernel("sparse")
+        assert resolve_kernel(spec) is spec
+        assert resolve_kernel("sparse") is spec
+
+    def test_backend_constants_are_registered_names(self):
+        for name in (AttentionBackend.DENSE, AttentionBackend.FLASH,
+                     AttentionBackend.SPARSE, AttentionBackend.BLOCK,
+                     AttentionBackend.PERFORMER):
+            assert get_kernel(name).name == name
+
+
+class TestMetadata:
+    def test_flash_rejects_bias_via_metadata(self, rng):
+        spec = get_kernel("flash")
+        assert not spec.supports_bias
+        q = k = v = Tensor(rng.standard_normal((2, 6, 4)))
+        with pytest.raises(ValueError, match="bias"):
+            spec(q, k, v, bias=Tensor(np.zeros((1, 6, 6))))
+
+    def test_pattern_required_via_metadata(self, rng):
+        spec = get_kernel("sparse")
+        assert spec.needs_pattern
+        q = k = v = Tensor(rng.standard_normal((2, 6, 4)))
+        with pytest.raises(ValueError, match="pattern"):
+            spec(q, k, v)
+
+    def test_find_kernels_filters(self):
+        trainable = find_kernels(trainable=True)
+        assert all(s.trainable for s in trainable)
+        assert "block" not in [s.name for s in trainable]
+        with_bias = find_kernels(supports_bias=True)
+        assert {"dense", "sparse"} <= {s.name for s in with_bias}
+        assert "flash" not in [s.name for s in with_bias]
+        approx = find_kernels(exact=False)
+        assert [s.name for s in approx] == ["performer"]
+
+    def test_attention_kind_metadata(self):
+        kinds = {s.name: s.attention_kind for s in iter_kernels()}
+        assert kinds["dense"] == "dense"
+        assert kinds["flash"] == "flash"
+        assert kinds["sparse"] == "sparse"
+        assert kinds["block"] == "cluster-sparse"
+        assert kinds["performer"] == "linear"
+
+
+class TestRegistration:
+    def test_drop_in_kernel_reaches_every_dispatch_site(self, rng):
+        """A newly registered backend works in MHA with zero other edits."""
+        from repro.models import MultiHeadAttention
+
+        def zeros_kernel(q, k, v, *, pattern=None, bias=None, **kw):
+            return Tensor(np.zeros_like(q.data))
+
+        register_kernel("test-zeros", zeros_kernel, supports_bias=False,
+                        needs_pattern=False, trainable=False,
+                        attention_kind="dense")
+        try:
+            mha = MultiHeadAttention(8, 2, rng=rng)
+            out = mha(Tensor(rng.standard_normal((5, 8))), backend="test-zeros")
+            assert out.shape == (5, 8)
+        finally:
+            unregister_kernel("test-zeros")
+        with pytest.raises(UnknownKernelError):
+            get_kernel("test-zeros")
+
+    def test_duplicate_registration_guard(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("dense", lambda *a, **k: None,
+                            supports_bias=True, needs_pattern=False)
+
+
+class TestPatternBuilders:
+    def test_builtin_builders_registered(self):
+        assert {"topology", "full", "window", "bigbird", "longformer",
+                "expander", "exphormer"} <= set(pattern_builder_names())
+
+    def test_unknown_builder_error(self):
+        with pytest.raises(UnknownPatternBuilderError, match="topology"):
+            get_pattern_builder("mystery")
+
+    def test_build_dispatches_on_needs_graph(self, rng):
+        g, _ = dc_sbm(60, 4, 6.0, rng)
+        topo = get_pattern_builder("topology").build(g)
+        assert topo.seq_len == g.num_nodes and topo.has_self_loops()
+        win = get_pattern_builder("window").build(g, window=2)
+        assert win.seq_len == g.num_nodes
+
+    def test_full_builder_matches_function(self, rng):
+        g, _ = dc_sbm(20, 2, 4.0, rng)
+        built = get_pattern_builder("full").build(g)
+        ref = full_pattern(g.num_nodes)
+        assert np.array_equal(built.cols, ref.cols)
+        assert np.array_equal(built.indptr, ref.indptr)
+
+
+class TestEngineIntegration:
+    def test_execution_plan_carries_spec(self):
+        from repro.core import ExecutionPlan
+        plan = ExecutionPlan("dense", None, use_bias=True)
+        assert isinstance(plan.kernel, KernelSpec)
+        assert plan.backend == "dense"
+
+    def test_execution_plan_unknown_kernel(self):
+        from repro.core import ExecutionPlan
+        with pytest.raises(UnknownKernelError):
+            ExecutionPlan("bogus", None, use_bias=False)
+
+    def test_fixed_pattern_engine_from_builder_name(self, rng):
+        from repro.core import make_engine
+        g, _ = dc_sbm(80, 4, 6.0, rng)
+        eng = make_engine("fixed-pattern", num_layers=2, pattern="window",
+                          window=3)
+        ctx = eng.prepare_graph(g)
+        assert eng.name == "fixed-window"
+        assert ctx.pattern.seq_len == g.num_nodes
+        assert eng.plan(ctx).backend == "sparse"
+
+    def test_engine_names_cover_paper_baselines(self):
+        from repro.core import engine_names
+        assert {"gp-raw", "gp-flash", "gp-sparse", "torchgt",
+                "fixed-pattern"} <= set(engine_names())

@@ -1,4 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Helper *functions* live in :mod:`tests.helpers`; this file holds only
+fixtures so test modules never need to import conftest directly.
+"""
 import numpy as np
 import pytest
 
@@ -15,17 +19,3 @@ def reset_precision():
     set_precision("fp32")
     yield
     set_precision("fp32")
-
-
-def numerical_grad(f, x, eps=1e-5):
-    """Central-difference gradient of scalar-valued f at array x."""
-    x = np.asarray(x, dtype=np.float64)
-    g = np.zeros_like(x)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        xp = x.copy(); xp[idx] += eps
-        xm = x.copy(); xm[idx] -= eps
-        g[idx] = (f(xp) - f(xm)) / (2 * eps)
-        it.iternext()
-    return g

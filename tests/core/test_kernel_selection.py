@@ -1,0 +1,62 @@
+"""Registry-driven kernel candidate enumeration and cost-model ranking."""
+
+import pytest
+
+from repro.core import kernel_candidates, rank_kernels
+from repro.hardware import RTX3090_SERVER, WorkloadSpec
+
+
+@pytest.fixture
+def workload():
+    return WorkloadSpec(seq_len=64_000, hidden_dim=64, num_heads=8,
+                        num_layers=4, avg_degree=25.0, num_gpus=1)
+
+
+class TestCandidates:
+    def test_no_pattern_excludes_pattern_kernels(self):
+        names = {s.name for s in kernel_candidates(pattern_available=False)}
+        assert "sparse" not in names and "block" not in names
+        assert {"dense", "flash"} <= names
+
+    def test_bias_requirement_excludes_flash(self):
+        names = {s.name for s in kernel_candidates(needs_bias=True)}
+        assert "flash" not in names
+        assert {"dense", "sparse"} <= names
+
+    def test_trainable_only_excludes_block(self):
+        assert "block" not in {s.name for s in kernel_candidates()}
+        assert "block" in {s.name
+                           for s in kernel_candidates(trainable_only=False)}
+
+    def test_exact_only_excludes_performer(self):
+        assert "performer" not in {s.name
+                                   for s in kernel_candidates(exact_only=True)}
+
+
+class TestRanking:
+    def test_ranked_fastest_first(self, workload):
+        ranked = rank_kernels(RTX3090_SERVER, workload)
+        times = [t for _, t in ranked]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_sparse_beats_dense_at_paper_scale(self, workload):
+        ranked = dict((s.name, t)
+                      for s, t in rank_kernels(RTX3090_SERVER, workload))
+        # topology attention touches Ẽ ≪ S² entries; even priced with the
+        # irregular-access penalty it beats materializing S×S scores
+        assert ranked["sparse"] < ranked["dense"]
+
+    def test_constraints_propagate(self, workload):
+        ranked = rank_kernels(RTX3090_SERVER, workload,
+                              pattern_available=False, needs_bias=True)
+        assert [s.name for s, _ in ranked] == ["dense"]
+
+    def test_specs_priced_via_metadata(self, workload):
+        """Pricing accepts the KernelSpec itself (attention_kind metadata)."""
+        from repro.attention import get_kernel
+        from repro.hardware import TrainingCostModel
+        model = TrainingCostModel(RTX3090_SERVER)
+        by_spec = model.attention_kernel(get_kernel("flash"), workload).time_s
+        by_kind = model.attention_kernel("flash", workload).time_s
+        assert by_spec == by_kind

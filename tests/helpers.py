@@ -1,0 +1,22 @@
+"""Shared test helpers (importable as ``tests.helpers``).
+
+Kept separate from ``conftest.py`` so test modules can import utilities
+explicitly — conftest stays fixtures-only, and ``python -m pytest``
+collects cleanly without relying on conftest's import side effects.
+"""
+
+import numpy as np
+
+
+def numerical_grad(f, x, eps=1e-5):
+    """Central-difference gradient of scalar-valued f at array x."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return g

@@ -6,7 +6,7 @@ import pytest
 from repro.tensor import Tensor, set_precision
 from repro.tensor import functional as F
 
-from ..conftest import numerical_grad
+from tests.helpers import numerical_grad
 
 
 def fused_grad_check(op, *shapes, tol=1e-4, rng=None):

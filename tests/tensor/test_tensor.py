@@ -10,7 +10,7 @@ import pytest
 from repro.tensor import Tensor, concat, no_grad, set_precision, stack, where
 from repro.tensor.tensor import unbroadcast
 
-from ..conftest import numerical_grad
+from tests.helpers import numerical_grad
 
 
 def check_grad(op, *shapes, rng=None, tol=1e-4, nonneg=False):
