@@ -6,15 +6,9 @@ GP-Flash drops the graph-encoding bias and runs reduced precision.
 Measured on the scaled synthetic datasets.
 """
 
-import numpy as np
-
 from repro.bench import SeriesReport
-from repro.core import make_engine
-from repro.graph import load_node_dataset
-from repro.models import GT, Graphormer
-from repro.train import train_node_classification
 
-from conftest import small_gt_config, small_graphormer_config
+from conftest import api_session
 
 EPOCHS = 18
 PANELS = [
@@ -23,22 +17,15 @@ PANELS = [
     ("GT", "amazon"),
     ("GT", "ogbn-arxiv"),
 ]
+MODEL_NAMES = {"GPHslim": "graphormer-slim", "GT": "gt"}
 
 
 def _run_panel(model_name: str, ds_name: str):
-    ds = load_node_dataset(ds_name, scale=0.25, seed=0)
-    curves = {}
-    for eng_name in ("gp-flash", "torchgt"):
-        eng = make_engine(eng_name, num_layers=3, hidden_dim=32)
-        if model_name == "GPHslim":
-            model = Graphormer(small_graphormer_config(
-                ds.features.shape[1], ds.num_classes), seed=0)
-        else:
-            model = GT(small_gt_config(
-                ds.features.shape[1], ds.num_classes), seed=0)
-        rec = train_node_classification(model, ds, eng, epochs=EPOCHS, lr=3e-3)
-        curves[eng_name] = rec
-    return curves
+    return {
+        eng_name: api_session(ds_name, model=MODEL_NAMES[model_name],
+                              engine=eng_name, epochs=EPOCHS).fit()
+        for eng_name in ("gp-flash", "torchgt")
+    }
 
 
 def _run_fig8():

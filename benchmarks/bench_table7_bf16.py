@@ -7,33 +7,22 @@ also the fastest configuration, but the paper ships FP32 for quality.
 """
 
 from repro.bench import TableReport
-from repro.core import GPFlashEngine, TorchGTEngine
-from repro.graph import load_node_dataset
-from repro.models import Graphormer
-from repro.train import train_node_classification
 
-from conftest import small_graphormer_config
+from conftest import api_session
 
 EPOCHS = 18
 
 
 def _run_table7():
     out = {}
+    variants = {
+        "gp-flash": dict(engine="gp-flash"),  # pinned to bf16
+        "torchgt-bf16": dict(engine="torchgt", precision="bf16"),
+        "torchgt-fp32": dict(engine="torchgt", precision="fp32"),
+    }
     for ds_name in ("ogbn-arxiv", "amazon"):
-        ds = load_node_dataset(ds_name, scale=0.25, seed=1)
-        cfg = small_graphormer_config(ds.features.shape[1], ds.num_classes)
-        engines = {
-            "gp-flash": GPFlashEngine(num_layers=cfg.num_layers),  # bf16
-            "torchgt-bf16": TorchGTEngine(num_layers=cfg.num_layers,
-                                          hidden_dim=cfg.hidden_dim,
-                                          precision="bf16"),
-            "torchgt-fp32": TorchGTEngine(num_layers=cfg.num_layers,
-                                          hidden_dim=cfg.hidden_dim,
-                                          precision="fp32"),
-        }
-        for name, eng in engines.items():
-            rec = train_node_classification(Graphormer(cfg, seed=0), ds, eng,
-                                            epochs=EPOCHS, lr=3e-3)
+        for name, kw in variants.items():
+            rec = api_session(ds_name, epochs=EPOCHS, data_seed=1, **kw).fit()
             out[(ds_name, name)] = (rec.mean_epoch_time, rec.best_test)
     return out
 

@@ -6,19 +6,16 @@ Tuner's dynamic choice lands near the balanced β≈5β_G operating point.
 Measured end-to-end with fixed thresholds plus the elastic (auto) mode.
 """
 
-import numpy as np
-
 from repro.bench import TableReport
 from repro.attention import topology_pattern
-from repro.core import TorchGTEngine, reform_pattern
+from repro.core import reform_pattern
 from repro.graph import load_node_dataset
-from repro.models import GT, Graphormer
 from repro.partition import cluster_reorder
-from repro.train import train_node_classification
 
-from conftest import small_gt_config, small_graphormer_config
+from conftest import api_session
 
 EPOCHS = 15
+MODEL_NAMES = {"GPHslim": "graphormer-slim", "GT": "gt"}
 
 
 def _run_model(model_name: str):
@@ -28,16 +25,13 @@ def _run_model(model_name: str):
                 ("7βG", 7 * beta_g), ("10βG", 10 * beta_g), ("auto", None)]
     rows = []
     for label, beta in settings:
-        eng = TorchGTEngine(num_layers=3, hidden_dim=32, beta_thre=beta,
-                            use_elastic=beta is None)
-        if model_name == "GPHslim":
-            m = Graphormer(small_graphormer_config(
-                ds.features.shape[1], ds.num_classes), seed=0)
-        else:
-            m = GT(small_gt_config(ds.features.shape[1], ds.num_classes), seed=0)
-        rec = train_node_classification(m, ds, eng, epochs=EPOCHS, lr=3e-3)
+        session = api_session(
+            "ogbn-arxiv", model=MODEL_NAMES[model_name], epochs=EPOCHS,
+            data_seed=3, loaded_dataset=ds,
+            engine_options=dict(beta_thre=beta, use_elastic=beta is None))
+        rec = session.fit()
         # proxy for modeled speed: entries in the reformed pattern
-        ctx = eng.prepare_graph(ds.graph)
+        ctx = session.engine.prepare_graph(ds.graph)
         entries = (ctx.reformed.pattern.num_entries
                    if ctx.reformed is not None else ctx.pattern.num_entries)
         rows.append((label, rec.mean_epoch_time, rec.best_test, entries))

@@ -20,6 +20,14 @@ from dataclasses import replace
 
 import pytest
 
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
 from repro.models import GRAPHORMER_SLIM, GT_BASE
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -69,3 +77,30 @@ def small_gt_config(feature_dim: int, num_classes: int,
     return replace(GT_BASE(feature_dim, num_classes, task=task),
                    num_layers=layers, hidden_dim=hidden, num_heads=heads,
                    dropout=0.0)
+
+
+def api_session(dataset: str, *, model: str = "graphormer-slim",
+                engine: str = "torchgt", epochs: int, lr: float = 3e-3,
+                scale: float = 0.25, seed: int = 0, data_seed: int | None = None,
+                layers: int = 3, hidden: int = 32, heads: int = 4,
+                precision: str | None = None, pattern: str | None = None,
+                engine_options: dict | None = None,
+                loaded_dataset=None) -> Session:
+    """One benchmark training run described through the public API.
+
+    The convergence benchmarks share the same shrunk-model defaults as
+    :func:`small_graphormer_config`; anything engine-specific (β_thre,
+    interleave period, …) goes through ``engine_options``.
+    ``loaded_dataset`` shares one dataset instance across a sweep of
+    engine variants instead of re-synthesizing it per session.
+    """
+    config = RunConfig(
+        data=DataConfig(dataset, scale=scale, seed=data_seed),
+        model=ModelConfig(model, num_layers=layers, hidden_dim=hidden,
+                          num_heads=heads, dropout=0.0),
+        engine=EngineConfig(engine, pattern=pattern, precision=precision,
+                            options=dict(engine_options or {})),
+        train=TrainConfig(epochs=epochs, lr=lr),
+        seed=seed,
+    )
+    return Session(config, dataset=loaded_dataset)

@@ -1,47 +1,61 @@
 """Graph-level task: molecule property regression (ZINC-style).
 
 The paper's second task family — each input sequence is one whole graph.
-This example trains Graphormer-slim on the ZINC stand-in with the full
-TorchGT engine and contrasts the three attention variants of Fig. 11
-(full / sparse / interleaved) on final test MAE.
+This example trains Graphormer-slim on the ZINC stand-in through the
+public :class:`repro.api.Session` and contrasts the three attention
+variants of Fig. 11 (full / sparse / interleaved) on final test MAE —
+each variant is just a different :class:`EngineConfig` on the same run
+config, plus one ``Session.predict()`` call for per-graph inference.
 
 Run:  python examples/graph_level_molecules.py
 """
 
-from dataclasses import replace
+import dataclasses
 
 import numpy as np
 
-from repro.core import GPRawEngine, GPSparseEngine, TorchGTEngine
-from repro.graph import load_graph_dataset
-from repro.models import GRAPHORMER_SLIM, Graphormer
-from repro.train import train_graph_task
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
 
 EPOCHS = 8
 
 
 def main() -> None:
-    ds = load_graph_dataset("zinc", scale=0.2, seed=0)
-    sizes = [g.num_nodes for g in ds.graphs]
-    print(f"dataset: {ds.name}  graphs={ds.num_graphs}  "
-          f"avg nodes={np.mean(sizes):.1f}  "
-          f"(paper ZINC: 12,000 graphs, 23.2 avg nodes)")
-
-    cfg = replace(GRAPHORMER_SLIM(ds.features[0].shape[1], 0, task="regression"),
-                  num_layers=3, hidden_dim=32, num_heads=4, dropout=0.0)
-
+    base = RunConfig(
+        data=DataConfig("zinc", scale=0.2),
+        model=ModelConfig("graphormer-slim", num_layers=3, hidden_dim=32,
+                          num_heads=4, dropout=0.0),
+        train=TrainConfig(epochs=EPOCHS, lr=3e-3),
+        seed=0,
+    )
     engines = {
-        "full attention": GPRawEngine(num_layers=cfg.num_layers),
-        "sparse attention": GPSparseEngine(num_layers=cfg.num_layers),
-        "interleaved (TorchGT)": TorchGTEngine(
-            num_layers=cfg.num_layers, hidden_dim=cfg.hidden_dim,
-            interleave_period=4),
+        "full attention": EngineConfig("gp-raw"),
+        "sparse attention": EngineConfig("gp-sparse"),
+        "interleaved (TorchGT)": EngineConfig("torchgt", interleave_period=4),
     }
+
     results = {}
-    for name, engine in engines.items():
-        model = Graphormer(cfg, seed=0)
-        rec = train_graph_task(model, ds, engine, epochs=EPOCHS, lr=3e-3)
+    last_session = None
+    shared_ds = None
+    for name, engine_cfg in engines.items():
+        session = Session(dataclasses.replace(base, engine=engine_cfg),
+                          dataset=shared_ds)
+        shared_ds = session.dataset
+        if not results:
+            ds = session.dataset
+            sizes = [g.num_nodes for g in ds.graphs]
+            print(f"dataset: {ds.name}  graphs={ds.num_graphs}  "
+                  f"avg nodes={np.mean(sizes):.1f}  "
+                  f"(paper ZINC: 12,000 graphs, 23.2 avg nodes)")
+        rec = session.fit()
         results[name] = rec
+        last_session = session
         curve = " ".join(f"{m:.3f}" for m in rec.test_metric)
         print(f"\n[{name}]")
         print(f"  test MAE per epoch: {curve}")
@@ -54,6 +68,12 @@ def main() -> None:
     inter = results["interleaved (TorchGT)"].best_test
     print(f"full {full:.3f}  |  interleaved {inter:.3f}  |  sparse {sparse:.3f}")
     print("paper: interleaved ≈ full, both better than pure sparse")
+
+    # per-graph batched inference over the test split
+    ds = last_session.dataset
+    preds = last_session.predict(indices=ds.test_idx)
+    print(f"\nSession.predict(indices=test_idx) -> {preds.shape[0]} "
+          f"graph predictions, e.g. {preds.reshape(-1)[:3].round(3).tolist()}")
 
 
 if __name__ == "__main__":

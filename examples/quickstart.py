@@ -1,58 +1,77 @@
 """Quickstart — train a graph transformer with TorchGT in ~30 seconds.
 
-Loads the ogbn-arxiv stand-in dataset, builds a Graphormer-slim, and
-trains it twice: once under the GP-Flash baseline and once under the full
-TorchGT engine (cluster reordering + dual-interleaved attention + elastic
-computation reformation).  Prints per-epoch loss/accuracy and the final
-comparison.
+Everything goes through the public API (:mod:`repro.api`): a typed,
+JSON-serializable :class:`RunConfig` describes the run and a
+:class:`Session` owns the lifecycle — ``fit()``, ``evaluate()``,
+``predict()``, ``save_config()``.  We train the same slim Graphormer on
+the ogbn-arxiv stand-in twice, once under the GP-Flash baseline and once
+under the full TorchGT engine (cluster reordering + dual-interleaved
+attention + elastic computation reformation), then compare, run batched
+inference, and save a replayable ``run.json``.
 
 Run:  python examples/quickstart.py
 """
 
-from dataclasses import replace
+import dataclasses
 
-from repro.core import make_engine
-from repro.graph import load_node_dataset
-from repro.models import GRAPHORMER_SLIM, Graphormer
-from repro.train import train_node_classification
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
 
 
 def main() -> None:
-    # 1. data: a scaled synthetic stand-in with ogbn-arxiv's shape
-    ds = load_node_dataset("ogbn-arxiv", scale=0.4, seed=0)
-    print(f"dataset: {ds.name}  nodes={ds.num_nodes}  "
-          f"edges={ds.graph.num_edges // 2}  classes={ds.num_classes}")
-    print(f"paper-scale original: {ds.paper.num_nodes:,} nodes / "
-          f"{ds.paper.num_edges:,} edges  (β_G = {ds.paper.sparsity:.1e})")
+    # 1. one typed config describes the whole run (validated up front)
+    base = RunConfig(
+        data=DataConfig("ogbn-arxiv", scale=0.4),
+        model=ModelConfig("graphormer-slim", num_layers=3, hidden_dim=32,
+                          num_heads=4, dropout=0.0),
+        train=TrainConfig(epochs=15, lr=3e-3),
+        seed=0,
+    )
 
-    # 2. model: GPH_slim shrunk for laptop wall-clock
-    cfg = replace(GRAPHORMER_SLIM(ds.features.shape[1], ds.num_classes),
-                  num_layers=3, hidden_dim=32, num_heads=4, dropout=0.0)
-
-    # 3. train under both engines
+    # 2. train under both engines — only the engine section changes
+    # (the loaded dataset is shared across sessions instead of re-made)
     results = {}
+    shared_ds = None
     for engine_name in ("gp-flash", "torchgt"):
-        engine = make_engine(engine_name, num_layers=cfg.num_layers,
-                             hidden_dim=cfg.hidden_dim)
-        model = Graphormer(cfg, seed=0)
-        record = train_node_classification(model, ds, engine,
-                                           epochs=15, lr=3e-3)
-        results[engine_name] = record
-        print(f"\n[{engine_name}]  precision={engine.precision}  "
+        config = dataclasses.replace(base, engine=EngineConfig(engine_name))
+        session = Session(config, dataset=shared_ds)
+        ds = shared_ds = session.dataset
+        if not results:  # print the data card once
+            print(f"dataset: {ds.name}  nodes={ds.num_nodes}  "
+                  f"edges={ds.graph.num_edges // 2}  classes={ds.num_classes}")
+            print(f"paper-scale original: {ds.paper.num_nodes:,} nodes / "
+                  f"{ds.paper.num_edges:,} edges  (β_G = {ds.paper.sparsity:.1e})")
+        record = session.fit()
+        results[engine_name] = (session, record)
+        print(f"\n[{engine_name}]  precision={session.engine.precision}  "
               f"preprocess={record.preprocess_seconds:.2f}s")
         for ep in (0, 4, 9, 14):
             print(f"  epoch {ep + 1:>2}: loss={record.train_loss[ep]:.3f}  "
                   f"test_acc={record.test_metric[ep]:.3f}  "
                   f"({record.epoch_times[ep] * 1e3:.0f} ms)")
 
-    # 4. compare
+    # 3. compare
     print("\n=== summary ===")
-    for name, rec in results.items():
+    for name, (session, rec) in results.items():
         print(f"{name:>9}: best test acc {rec.best_test:.3f}, "
               f"mean epoch {rec.mean_epoch_time * 1e3:.0f} ms")
-    flash, tgt = results["gp-flash"], results["torchgt"]
+    (_, flash), (tgt_session, tgt) = results["gp-flash"], results["torchgt"]
     print(f"TorchGT epoch speedup over GP-Flash (wall-clock, this scale): "
           f"{flash.mean_epoch_time / tgt.mean_epoch_time:.1f}×")
+
+    # 4. the serving-shaped entry points
+    metrics = tgt_session.evaluate("test")
+    logits = tgt_session.predict()  # all-node logits, original order
+    print(f"\nSession.evaluate('test') = {metrics}")
+    print(f"Session.predict() -> logits {logits.shape}")
+    tgt_session.save_config("run.json")
+    print("saved run.json — replay with: python -m repro run --config run.json")
     print("(paper-scale speedups are reproduced by "
           "benchmarks/bench_table5_end2end.py via the hardware model)")
 

@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "TorchGT reproduction: a holistic system for large-scale graph "
         "transformer training (SC 2024), rebuilt in pure numpy"

@@ -22,14 +22,18 @@ Subpackages
     Computation Reformation, Auto Tuner, and the training engines
     (TorchGT vs GP-Raw / GP-Flash / GP-Sparse).
 ``repro.train``
-    Engine-agnostic training loops and metrics.
+    Engine-agnostic training loops, callbacks and metrics.
+``repro.api``
+    The public facade: typed ``RunConfig`` + ``Session`` lifecycle
+    (fit / evaluate / predict / save_config).
 ``repro.bench``
     Table/figure harness used by the ``benchmarks/`` suite.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import attention, core, distributed, graph, hardware, models, partition, tensor, train
+from . import api, attention, core, distributed, graph, hardware, models, partition, tensor, train
+from .api import DataConfig, EngineConfig, ModelConfig, RunConfig, Session, TrainConfig
 
 __all__ = [
     "tensor",
@@ -41,5 +45,12 @@ __all__ = [
     "models",
     "core",
     "train",
+    "api",
+    "DataConfig",
+    "ModelConfig",
+    "EngineConfig",
+    "TrainConfig",
+    "RunConfig",
+    "Session",
     "__version__",
 ]

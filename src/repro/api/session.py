@@ -1,0 +1,292 @@
+"""The :class:`Session` — one object that owns a run's full lifecycle.
+
+Callers used to hand-wire dataset→reorder→engine→model→trainer through
+free functions with long keyword lists.  A ``Session`` takes one
+:class:`~repro.api.config.RunConfig` and owns everything behind it:
+
+>>> from repro.api import RunConfig, DataConfig, Session
+>>> s = Session(RunConfig(data=DataConfig("ogbn-arxiv", scale=0.2)))
+>>> record = s.fit()
+>>> logits = s.predict()            # serving-shaped batched inference
+>>> s.save_config("run.json")       # replay later: Session.from_config_file
+
+Dataset, model and engine are built lazily (and exactly once) from the
+config; ``fit()`` runs the matching trainer (full-graph, sampled-sequence
+or graph-level) with the config's seed threaded through model init,
+engine randomness and training noise; ``evaluate()`` scores a split;
+``predict()`` is the inference entry point — batched logits over node
+subsets or per-graph outputs.  Callbacks passed to ``fit()`` receive the
+:mod:`repro.train.callbacks` hooks (``on_epoch_end``, ``on_reform``, …).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Sequence
+
+import numpy as np
+
+from ..core import make_engine
+from ..graph import load_graph_dataset, load_node_dataset
+from ..models import build_model
+from ..models.encodings import compute_encodings
+from ..tensor import no_grad, precision_scope
+from ..train import (
+    Callback,
+    TrainingRecord,
+    batched_node_predictions,
+    planned_forward,
+    train_graph_task,
+    train_node_classification,
+    train_node_classification_batched,
+)
+from ..train.metrics import accuracy, mae
+from .config import RunConfig
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Owns one run: config → dataset/model/engine → fit/evaluate/predict."""
+
+    def __init__(self, config: RunConfig, dataset=None):
+        """``dataset`` (optional) injects an already-loaded dataset that
+        matches ``config.data`` — sweeps over many engine/model variants
+        of the same data can share one loaded instance instead of
+        re-synthesizing it per session."""
+        if not isinstance(config, RunConfig):
+            raise TypeError(f"Session takes a RunConfig, got {type(config).__name__}")
+        if dataset is not None and dataset.name != config.data.name:
+            raise ValueError(
+                f"injected dataset {dataset.name!r} does not match "
+                f"config.data.name {config.data.name!r}")
+        self.config = config
+        self.record: TrainingRecord | None = None
+        self._dataset = dataset
+        self._model = None
+        self._engine = None
+        self._fitting = False
+        # memoized full-graph (context, encodings) for repeated inference;
+        # dropped whenever fit() may have moved engine runtime state
+        self._infer_cache = None
+
+    @classmethod
+    def from_config_file(cls, path: str) -> "Session":
+        """Rebuild a session from a ``save_config`` JSON file."""
+        return cls(RunConfig.load(path))
+
+    # -- lazily-built components ---------------------------------------- #
+    @property
+    def task(self) -> str:
+        """The model-level task string derived from the dataset."""
+        ds, c = self.dataset, self.config
+        if c.data.task_kind == "node":
+            return "node-classification"
+        return "regression" if ds.num_classes == 0 else "graph-classification"
+
+    @property
+    def dataset(self):
+        if self._dataset is None:
+            c = self.config
+            loader = (load_node_dataset if c.data.task_kind == "node"
+                      else load_graph_dataset)
+            data_seed = c.data.seed if c.data.seed is not None else c.seed
+            self._dataset = loader(c.data.name, scale=c.data.scale,
+                                   seed=data_seed)
+        return self._dataset
+
+    @property
+    def model(self):
+        if self._model is None:
+            ds, c = self.dataset, self.config
+            if c.data.task_kind == "node":
+                feature_dim, num_classes = ds.features.shape[1], ds.num_classes
+            else:
+                feature_dim, num_classes = ds.features[0].shape[1], ds.num_classes
+            self._model = build_model(
+                c.model.name, feature_dim, num_classes, task=self.task,
+                seed=c.seed, **c.model.overrides())
+        return self._model
+
+    @property
+    def model_config(self):
+        """The resolved architecture config (registry defaults + overrides)."""
+        return self.model.config
+
+    @property
+    def engine(self):
+        if self._engine is None:
+            self._engine = self._build_engine()
+        return self._engine
+
+    def _build_engine(self):
+        from ..core import engine_registry
+
+        c = self.config
+        mc = self.model_config
+        kwargs = dict(c.engine.options)
+        if c.engine.pattern is not None:
+            kwargs["pattern"] = c.engine.pattern
+        # thread the cross-cutting knobs only into engines whose
+        # constructor accepts them (TorchGT: all three; GP-Flash: precision)
+        cls = engine_registry()[c.engine.name.lower()]
+        accepted = set(inspect.signature(cls.__init__).parameters)
+        for key, value in (("precision", c.engine.precision),
+                           ("interleave_period", c.engine.interleave_period),
+                           ("seed", c.seed)):
+            if value is not None and key in accepted:
+                kwargs[key] = value
+        return make_engine(c.engine.name, num_layers=mc.num_layers,
+                           hidden_dim=mc.hidden_dim, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------- #
+    def fit(self, callbacks: Sequence[Callback] | Callback | None = None,
+            ) -> TrainingRecord:
+        """Train per the config; returns (and stores) the TrainingRecord."""
+        c, t = self.config, self.config.train
+        ds, model, engine = self.dataset, self.model, self.engine
+        # engine runtime state (β_thre, …) moves during training, so any
+        # cached inference context — including one built by a callback
+        # calling predict() mid-fit — is stale on both sides of the run;
+        # _fitting additionally disables caching *between* epochs, where
+        # an Auto-Tuner re-reform can invalidate a context at any time
+        self._infer_cache = None
+        self._fitting = True
+        try:
+            if c.data.task_kind == "graph":
+                self.record = train_graph_task(
+                    model, ds, engine, epochs=t.epochs, lr=t.lr,
+                    weight_decay=t.weight_decay, grad_clip=t.grad_clip,
+                    lap_pe_dim=t.lap_pe_dim, seed=c.seed, patience=t.patience,
+                    callbacks=callbacks)
+            elif t.seq_len is not None:
+                self.record = train_node_classification_batched(
+                    model, ds, engine, seq_len=t.seq_len, epochs=t.epochs,
+                    lr=t.lr, weight_decay=t.weight_decay, grad_clip=t.grad_clip,
+                    lap_pe_dim=t.lap_pe_dim, seed=c.seed, patience=t.patience,
+                    callbacks=callbacks)
+            else:
+                self.record = train_node_classification(
+                    model, ds, engine, epochs=t.epochs, lr=t.lr,
+                    weight_decay=t.weight_decay, grad_clip=t.grad_clip,
+                    lap_pe_dim=t.lap_pe_dim, eval_every=t.eval_every,
+                    seed=c.seed, patience=t.patience, callbacks=callbacks)
+        finally:
+            self._infer_cache = None
+            self._fitting = False
+        return self.record
+
+    def evaluate(self, split: str = "test") -> dict[str, float]:
+        """Score one split (``train`` / ``val`` / ``test``) with the task metric."""
+        if split not in ("train", "val", "test"):
+            raise ValueError(f"unknown split {split!r} (train/val/test)")
+        ds = self.dataset
+        if self.config.data.task_kind == "node":
+            logits = self.predict()
+            mask = getattr(ds, f"{split}_mask")
+            return {"accuracy": accuracy(logits, ds.labels, mask)}
+        idx = getattr(ds, f"{split}_idx")
+        preds = self.predict(indices=idx)
+        if ds.num_classes == 0:
+            return {"mae": mae(preds.reshape(-1), ds.targets[idx])}
+        return {"accuracy": accuracy(preds, ds.targets[idx])}
+
+    # -- inference ------------------------------------------------------- #
+    def predict(self, nodes: np.ndarray | None = None,
+                indices: np.ndarray | None = None,
+                batch_size: int | None = None) -> np.ndarray:
+        """Batched inference — the serving-shaped entry point.
+
+        Node-level tasks return logits in **original node order**:
+        all nodes by default, or the induced subgraph of ``nodes`` (a
+        node-id array); ``batch_size`` splits inference into sampled
+        sequences of that length (deployment-matched to ``seq_len``
+        training).  Graph-level tasks return stacked per-graph outputs
+        for ``indices`` (default: every graph in the dataset).
+        """
+        if self.config.data.task_kind == "graph":
+            if nodes is not None or batch_size is not None:
+                raise ValueError("nodes=/batch_size= apply to node-level "
+                                 "datasets; use indices= for graph tasks")
+            return self._predict_graphs(indices)
+        if indices is not None:
+            raise ValueError("indices= applies to graph-level datasets; "
+                             "use nodes= for node tasks")
+        return self._predict_nodes(nodes, batch_size)
+
+    def _predict_nodes(self, nodes, batch_size) -> np.ndarray:
+        ds, engine, model = self.dataset, self.engine, self.model
+        t = self.config.train
+        with precision_scope(engine.precision):
+            if batch_size is not None:
+                if nodes is not None:
+                    raise ValueError("pass either nodes= or batch_size=, not both")
+                rng = np.random.default_rng(self.config.seed)
+                return batched_node_predictions(model, ds, engine, batch_size,
+                                                rng, lap_pe_dim=t.lap_pe_dim)
+            if nodes is None:
+                # repeated full-graph inference reuses one prepared context:
+                # cluster reordering + pattern + ECR reformation dominate
+                # small-model inference cost and are identical across calls
+                # while the engine is idle (mid-fit, a re-reform can land
+                # between calls, so caching is suspended)
+                if self._infer_cache is not None:
+                    ctx, enc = self._infer_cache
+                else:
+                    ctx = engine.prepare_inference(ds.graph)
+                    enc = compute_encodings(ctx.graph, lap_pe_dim=t.lap_pe_dim)
+                    if not self._fitting:
+                        self._infer_cache = (ctx, enc)
+                feats = ds.features
+            else:
+                nodes = np.asarray(nodes)
+                graph, _ = ds.graph.subgraph(np.sort(nodes))
+                feats = ds.features[np.sort(nodes)]
+                ctx = engine.prepare_inference(graph)
+                enc = compute_encodings(ctx.graph, lap_pe_dim=t.lap_pe_dim)
+            inv = ctx.node_permutation_inverse()
+            model.eval()
+            with no_grad():
+                out = planned_forward(
+                    model, engine, ctx,
+                    feats[inv] if inv is not None else feats, enc,
+                    train=False)
+            logits = out.data
+            if inv is not None:  # undo the cluster reordering
+                restored = np.empty_like(logits)
+                restored[inv] = logits
+                logits = restored
+            if nodes is not None:  # back to the caller's node order
+                order = np.argsort(np.argsort(nodes))
+                logits = logits[order]
+            return logits
+
+    def _predict_graphs(self, indices) -> np.ndarray:
+        ds, engine, model = self.dataset, self.engine, self.model
+        t = self.config.train
+        idx = np.arange(ds.num_graphs) if indices is None else np.asarray(indices)
+        outs = []
+        model.eval()
+        with precision_scope(engine.precision), no_grad():
+            for i in idx:
+                ctx = engine.prepare_inference(ds.graphs[i])
+                enc = compute_encodings(ctx.graph, lap_pe_dim=t.lap_pe_dim)
+                feats = ds.features[i]
+                inv = ctx.node_permutation_inverse()
+                if inv is not None:
+                    feats = feats[inv]
+                out = planned_forward(model, engine, ctx, feats, enc,
+                                      train=False)
+                outs.append(out.data.reshape(-1))
+        return np.stack(outs)
+
+    # -- persistence ----------------------------------------------------- #
+    def save_config(self, path: str) -> None:
+        """Write the run's JSON config for exact replay via ``repro run``."""
+        self.config.save(path)
+
+    def __repr__(self) -> str:
+        c = self.config
+        return (f"Session(dataset={c.data.name!r}, model={c.model.name!r}, "
+                f"engine={c.engine.name!r}, seed={c.seed}, "
+                f"fitted={self.record is not None})")

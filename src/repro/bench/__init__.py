@@ -1,5 +1,27 @@
 """Benchmark harness: paper table/figure rendering utilities."""
 
-from .harness import SeriesReport, TableReport, fmt_ratio, fmt_time
+from .harness import (
+    SeriesReport,
+    TableReport,
+    backend_choices,
+    engine_choices,
+    fmt_ratio,
+    fmt_time,
+    kernel_table,
+    model_choices,
+    model_table,
+    pattern_builder_table,
+)
 
-__all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio"]
+__all__ = [
+    "TableReport",
+    "SeriesReport",
+    "fmt_time",
+    "fmt_ratio",
+    "backend_choices",
+    "engine_choices",
+    "model_choices",
+    "kernel_table",
+    "model_table",
+    "pattern_builder_table",
+]

@@ -98,6 +98,25 @@ def kernel_table(specs=None) -> TableReport:
     return table
 
 
+def model_choices(engine_protocol_only: bool = False) -> list[str]:
+    """Registered model names (for ``--model`` options)."""
+    from ..models import model_names
+    return model_names(engine_protocol_only=engine_protocol_only)
+
+
+def model_table(specs=None) -> TableReport:
+    """The model registry rendered as a capability table."""
+    from ..models import iter_models
+    table = TableReport(
+        title="model registry",
+        columns=["model", "aliases", "engine protocol", "description"])
+    for s in (specs if specs is not None else iter_models()):
+        table.add_row(s.name, ", ".join(s.aliases) or "—",
+                      "yes" if s.engine_protocol else "no",
+                      s.description)
+    return table
+
+
 def pattern_builder_table(specs=None) -> TableReport:
     """The pattern-builder registry rendered as a table."""
     from ..attention import iter_pattern_builders

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the workflows a user reaches for before writing code:
+Six commands cover the workflows a user reaches for before writing code:
 
 * ``info`` — version, engines, kernels, modeled devices and datasets;
 * ``kernels`` — the attention-kernel registry with capability metadata
@@ -10,14 +10,20 @@ Five commands cover the workflows a user reaches for before writing code:
   synthetic stand-ins actually generate, next to the paper's Table III
   numbers);
 * ``train`` — a quick training run: any dataset × model × engine, with
-  per-epoch loss/metric lines and the TorchGT-vs-baseline speed summary;
+  per-epoch loss/metric lines; ``--save-config run.json`` writes the
+  run's :class:`~repro.api.RunConfig` for exact replay;
+* ``run`` — replay a saved ``run.json`` through the same
+  :class:`~repro.api.Session` path (``repro run --config run.json``);
 * ``cost`` — price a paper-scale workload on the analytic hardware model
   (epoch time per engine, max trainable sequence length, OOM boundaries)
   without training anything.
 
-Every command writes plain text to stdout and returns a process exit
-code, so the CLI is scriptable and the functions are unit-testable by
-calling :func:`main` with an argv list.
+``train`` and ``run`` are thin shells over :mod:`repro.api`: they build a
+``RunConfig`` (CLI flags ↔ config fields map one-to-one) and drive a
+``Session``, so scripts and the CLI share one code path.  Every command
+writes plain text to stdout and returns a process exit code, so the CLI
+is scriptable and the functions are unit-testable by calling :func:`main`
+with an argv list.
 """
 
 from __future__ import annotations
@@ -41,14 +47,15 @@ def cmd_info(args: argparse.Namespace) -> int:
     from repro.core import engine_names
     from repro.graph import available_datasets
     from repro.hardware import A100_80G, RTX3090
+    from repro.models import model_names
 
     print(f"repro {repro.__version__} — TorchGT reproduction (SC 2024)")
     print()
     print(f"engines:   {'  '.join(engine_names())}")
     print(f"kernels:   {'  '.join(kernel_names())}  (see `repro kernels`)")
     print(f"patterns:  {'  '.join(pattern_builder_names())}")
-    print("models:    graphormer-slim  graphormer-large  gt  nodeformer  "
-          "gcn  gat  graphsage")
+    print(f"models:    {'  '.join(model_names())}  "
+          "(+ gcn  gat  graphsage baselines)")
     print("devices:")
     for dev in (RTX3090, A100_80G):
         print(f"  {dev.name:<12} {dev.memory_bytes / 2**30:.0f} GiB, "
@@ -90,75 +97,67 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_model(name: str, feature_dim: int, num_classes: int, task: str,
-                 seed: int):
-    from repro.models import (
-        GRAPHORMER_LARGE,
-        GRAPHORMER_SLIM,
-        GT_BASE,
-        Graphormer,
-        GT,
-    )
+def _run_session(session, save_config: str | None = None) -> int:
+    """Drive one Session run, printing per-epoch progress live."""
+    from repro.api import EpochLogger
 
-    name = name.lower()
-    if name in ("graphormer", "graphormer-slim", "gph-slim"):
-        return Graphormer(GRAPHORMER_SLIM(feature_dim, num_classes, task=task),
-                          seed=seed)
-    if name in ("graphormer-large", "gph-large"):
-        return Graphormer(GRAPHORMER_LARGE(feature_dim, num_classes, task=task),
-                          seed=seed)
-    if name == "gt":
-        return GT(GT_BASE(feature_dim, num_classes, task=task), seed=seed)
-    raise ValueError(
-        f"unknown model {name!r} (choose graphormer-slim, graphormer-large, gt)")
-
-
-def cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import make_engine
-    from repro.graph import available_datasets, load_graph_dataset, load_node_dataset
-    from repro.train import train_graph_task, train_node_classification
-
-    names = available_datasets()
     t0 = time.perf_counter()
-    if args.dataset in names["node"]:
-        ds = load_node_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        task = "node-classification"
-        feature_dim, num_classes = ds.features.shape[1], ds.num_classes
-    elif args.dataset in names["graph"]:
-        ds = load_graph_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        task = "regression" if ds.num_classes == 0 else "graph-classification"
-        feature_dim, num_classes = ds.features[0].shape[1], ds.num_classes
-    else:
-        print(f"error: unknown dataset {args.dataset!r}", file=sys.stderr)
-        return 2
-
-    model = _build_model(args.model, feature_dim, num_classes, task, args.seed)
-    engine_kwargs = {}
-    if args.pattern:
-        if args.engine != "fixed-pattern":
-            print("error: --pattern only applies to --engine fixed-pattern",
-                  file=sys.stderr)
-            return 2
-        engine_kwargs["pattern"] = args.pattern
-    engine = make_engine(args.engine, num_layers=model.config.num_layers,
-                         hidden_dim=model.config.hidden_dim, **engine_kwargs)
-    print(f"dataset={args.dataset} scale={args.scale} task={task} "
-          f"model={args.model} engine={args.engine} "
-          f"params={model.num_parameters():,}")
-    if task == "node-classification":
-        rec = train_node_classification(model, ds, engine, epochs=args.epochs,
-                                        lr=args.lr, seed=args.seed)
-    else:
-        rec = train_graph_task(model, ds, engine, epochs=args.epochs,
-                               lr=args.lr, seed=args.seed)
-    for i, (loss, metric) in enumerate(zip(rec.train_loss, rec.test_metric)):
-        print(f"epoch {i + 1:>3}  loss {loss:>8.4f}  "
-              f"test {rec.metric_name} {metric:.4f}")
+    cfg = session.config
+    print(f"dataset={cfg.data.name} scale={cfg.data.scale} "
+          f"task={session.task} model={cfg.model.name} "
+          f"engine={cfg.engine.name} "
+          f"params={session.model.num_parameters():,}")
+    if save_config:
+        session.save_config(save_config)
+        print(f"run config saved to {save_config}  (replay: "
+              f"repro run --config {save_config})")
+    rec = session.fit(callbacks=[EpochLogger()])
     print(f"best test {rec.metric_name}: {rec.best_test:.4f}   "
           f"mean epoch: {rec.mean_epoch_time * 1e3:.1f} ms   "
           f"preprocess: {rec.preprocess_seconds * 1e3:.1f} ms   "
           f"wall: {time.perf_counter() - t0:.1f} s")
     return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.api import (
+        DataConfig,
+        EngineConfig,
+        ModelConfig,
+        RunConfig,
+        Session,
+    )
+
+    if args.pattern and args.engine != "fixed-pattern":
+        print("error: --pattern only applies to --engine fixed-pattern",
+              file=sys.stderr)
+        return 2
+    config = RunConfig(
+        data=DataConfig(args.dataset, scale=args.scale),
+        model=ModelConfig(args.model),
+        engine=EngineConfig(args.engine, pattern=args.pattern),
+        train=_train_config_from_args(args),
+        seed=args.seed,
+    )
+    return _run_session(Session(config), save_config=args.save_config)
+
+
+def _train_config_from_args(args: argparse.Namespace):
+    from repro.api import TrainConfig
+
+    return TrainConfig(epochs=args.epochs, lr=args.lr,
+                       patience=args.patience, seq_len=args.seq_len)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import Session
+
+    try:
+        session = Session.from_config_file(args.config)
+    except FileNotFoundError:
+        print(f"error: no such config file: {args.config}", file=sys.stderr)
+        return 2
+    return _run_session(session, save_config=None)
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -225,7 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("train", help="run a quick training job")
     t.add_argument("--dataset", default="ogbn-arxiv")
-    t.add_argument("--model", default="graphormer-slim")
+    t.add_argument("--model", default="graphormer-slim",
+                   help="registered model name (see `repro info`)")
     t.add_argument("--engine", default="torchgt", choices=engine_names(),
                    help="training engine (registered engine names)")
     t.add_argument("--pattern", default=None, choices=pattern_builder_names(),
@@ -234,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--lr", type=float, default=3e-3)
     t.add_argument("--scale", type=float, default=0.2)
     t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--patience", type=int, default=None,
+                   help="early-stop after N epochs without val improvement")
+    t.add_argument("--seq-len", type=int, default=None, dest="seq_len",
+                   help="train on sampled sequences of this length "
+                        "(node-level datasets)")
+    t.add_argument("--save-config", default=None, metavar="PATH",
+                   dest="save_config",
+                   help="write the run's RunConfig JSON for `repro run`")
+
+    r = sub.add_parser("run", help="replay a saved run configuration")
+    r.add_argument("--config", required=True, metavar="PATH",
+                   help="run.json written by `repro train --save-config` "
+                        "or RunConfig.save()")
 
     c = sub.add_parser("cost", help="price a paper-scale workload (no training)")
     c.add_argument("--seq-len", type=int, default=256_000)
@@ -253,6 +266,7 @@ _COMMANDS = {
     "kernels": cmd_kernels,
     "datasets": cmd_datasets,
     "train": cmd_train,
+    "run": cmd_run,
     "cost": cmd_cost,
 }
 

@@ -89,6 +89,10 @@ class SequenceContext:
     cluster_dim: int  # k
     subblock_dim: int  # db
     preprocess_seconds: float = 0.0
+    # may this sequence run sparse attention at all?  (C1–C3, with the
+    # interleave-leniency relaxation applied) — context-local so eval
+    # planning never depends on engine-global scheduler state
+    sparse_ok: bool = True
 
     def node_permutation_inverse(self) -> np.ndarray | None:
         """old ids in new order, for carrying features/labels along."""
@@ -127,6 +131,15 @@ class Engine:
         return SequenceContext(graph=g, reordering=None, pattern=None,
                                reformed=None, conditions=None,
                                cluster_dim=0, subblock_dim=0)
+
+    def prepare_inference(self, g: CSRGraph) -> SequenceContext:
+        """Like :meth:`prepare_graph`, but must not advance runtime state.
+
+        Inference paths (``Session.predict``, batched eval) may run
+        between training epochs; engines whose preprocessing records
+        runtime tuner state override this to leave that state untouched.
+        """
+        return self.prepare_graph(g)
 
     def plan(self, ctx: SequenceContext) -> ExecutionPlan:  # pragma: no cover
         raise NotImplementedError
@@ -349,7 +362,26 @@ class TorchGTEngine(Engine):
             graph=graph, reordering=reordering, pattern=pattern,
             reformed=reformed, conditions=conditions,
             cluster_dim=k, subblock_dim=db,
-            preprocess_seconds=time.perf_counter() - t0)
+            preprocess_seconds=time.perf_counter() - t0,
+            sparse_ok=sparse_ok)
+
+    def prepare_inference(self, g: CSRGraph) -> SequenceContext:
+        """Preprocess for inference without moving any runtime state.
+
+        ``prepare_graph`` records the β_thre it reformed with in
+        ``_beta_in_use`` (what lets :meth:`refresh` detect an Auto-Tuner
+        move) and lazily creates the interleave scheduler and Auto Tuner
+        from the *prepared graph's* conditions and sparsity.  An
+        inference call — between epochs, or on a subgraph before
+        training ever starts — must leave all three exactly as they
+        were, or the training run would interleave and tune against the
+        inference input's statistics.
+        """
+        prev = (self._beta_in_use, self.scheduler, self.autotuner)
+        try:
+            return self.prepare_graph(g)
+        finally:
+            self._beta_in_use, self.scheduler, self.autotuner = prev
 
     # -- per-iteration plan ------------------------------------------------ #
     def plan(self, ctx: SequenceContext) -> ExecutionPlan:
@@ -364,9 +396,13 @@ class TorchGTEngine(Engine):
         return ExecutionPlan("sparse", pattern, use_bias=True)
 
     def eval_plan(self, ctx: SequenceContext) -> ExecutionPlan:
-        """Evaluation always runs the (cheap) sparse pattern, statelessly."""
-        if ctx.pattern is None or (self.scheduler is not None
-                                   and not self.scheduler.conditions_ok):
+        """Evaluation always runs the (cheap) sparse pattern, statelessly.
+
+        Consults only the context's own ``sparse_ok`` (recorded at
+        preprocessing) — never the engine-global scheduler, which may
+        reflect a different graph than the one being evaluated.
+        """
+        if ctx.pattern is None or not ctx.sparse_ok:
             return ExecutionPlan("dense", None, use_bias=True)
         pattern = ctx.reformed.pattern if ctx.reformed is not None else ctx.pattern
         return ExecutionPlan("sparse", pattern, use_bias=True)

@@ -1,4 +1,10 @@
-"""Graph transformer models (Graphormer, GT) and GNN baselines (GCN, GAT)."""
+"""Graph transformer models (Graphormer, GT) and GNN baselines (GCN, GAT).
+
+Model construction is registry-driven: :func:`build_model` resolves a
+name (or alias) through the :mod:`repro.models.registry` and applies
+config-field overrides, so callers never hand-wire ``CONFIG(...)`` +
+``Model(cfg, seed)`` pairs.
+"""
 
 from .layers import (
     AttentionBackend,
@@ -11,8 +17,26 @@ from .graphormer import GRAPHORMER_LARGE, GRAPHORMER_SLIM, Graphormer, Graphorme
 from .gt import GT, GT_BASE, GTConfig
 from .gnn import GAT, GCN, GraphSAGE, mean_adjacency, normalized_adjacency, spmm
 from .nodeformer import NODEFORMER_BASE, NodeFormer, NodeFormerConfig
+from .registry import (
+    ModelSpec,
+    UnknownModelError,
+    build_model,
+    build_model_config,
+    get_model_spec,
+    iter_models,
+    model_names,
+    register_model,
+)
 
 __all__ = [
+    "ModelSpec",
+    "UnknownModelError",
+    "build_model",
+    "build_model_config",
+    "get_model_spec",
+    "iter_models",
+    "model_names",
+    "register_model",
     "AttentionBackend",
     "MultiHeadAttention",
     "FeedForward",

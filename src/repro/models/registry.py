@@ -1,0 +1,180 @@
+"""Public model registry and factory.
+
+The CLI used to hide model construction inside a private ``_build_model``
+helper; every other caller (examples, benchmarks, tests) re-spelled the
+``CONFIG(...)`` + ``Model(cfg, seed)`` pair by hand.  This module makes
+model construction a first-class registry, mirroring the attention-kernel
+and engine registries: each entry carries the canonical name, its CLI
+aliases, a config factory, the model class, and capability metadata
+(``engine_protocol`` — whether the model's forward accepts the
+``(features, encodings, backend=, pattern=, use_bias=)`` engine-driven
+call signature the trainers and :class:`repro.api.Session` use).
+
+Architecture hyperparameters are overridable at build time: any field of
+the registered config dataclass (``num_layers``, ``hidden_dim``, …) can
+be passed to :func:`build_model` and is applied with
+:func:`dataclasses.replace`, so shrunk laptop-scale variants no longer
+need to import the config constructors directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "ModelSpec",
+    "UnknownModelError",
+    "register_model",
+    "get_model_spec",
+    "model_names",
+    "iter_models",
+    "build_model",
+    "build_model_config",
+]
+
+
+class UnknownModelError(ValueError):
+    """Raised when a model name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Registry entry: how to build one model family.
+
+    ``config_factory(feature_dim, num_classes, task=...)`` returns the
+    frozen config dataclass; ``model_factory(config, seed)`` builds the
+    module.  ``engine_protocol`` marks models whose forward pass takes the
+    engine-planned attention arguments — only those are trainable through
+    the generic trainers and :class:`repro.api.Session`.
+    """
+
+    name: str
+    aliases: tuple[str, ...]
+    config_factory: Callable[..., Any]
+    model_factory: Callable[[Any, int], Any]
+    description: str = ""
+    engine_protocol: bool = True
+
+    def build_config(self, feature_dim: int, num_classes: int,
+                     task: str = "node-classification", **overrides):
+        """Construct the config, applying dataclass-field overrides."""
+        cfg = self.config_factory(feature_dim, num_classes, task=task)
+        if overrides:
+            valid = {f.name for f in dataclasses.fields(cfg)}
+            unknown = sorted(set(overrides) - valid)
+            if unknown:
+                raise ValueError(
+                    f"unknown config overrides for model {self.name!r}: "
+                    f"{', '.join(unknown)} (valid: {', '.join(sorted(valid))})")
+            cfg = dataclasses.replace(cfg, **overrides)
+        return cfg
+
+    def build(self, feature_dim: int, num_classes: int,
+              task: str = "node-classification", seed: int = 0, **overrides):
+        cfg = self.build_config(feature_dim, num_classes, task=task, **overrides)
+        return self.model_factory(cfg, seed)
+
+
+_MODELS: dict[str, ModelSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Register a model spec under its name and aliases."""
+    _MODELS[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a spec by canonical name or alias (case-insensitive)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _MODELS[key]
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown model {name!r}; registered models: "
+            f"{', '.join(model_names())}") from None
+
+
+def model_names(engine_protocol_only: bool = False) -> list[str]:
+    """Canonical registered model names."""
+    return sorted(n for n, s in _MODELS.items()
+                  if s.engine_protocol or not engine_protocol_only)
+
+
+def iter_models() -> Iterator[ModelSpec]:
+    """All registered specs, sorted by name."""
+    for name in model_names():
+        yield _MODELS[name]
+
+
+def build_model_config(name: str, feature_dim: int, num_classes: int,
+                       task: str = "node-classification", **overrides):
+    """The config a :func:`build_model` call would construct."""
+    return get_model_spec(name).build_config(feature_dim, num_classes,
+                                             task=task, **overrides)
+
+
+def build_model(name: str, feature_dim: int, num_classes: int,
+                task: str = "node-classification", seed: int = 0,
+                **overrides):
+    """Build a registered model by name (the public factory).
+
+    ``overrides`` are config dataclass fields (``num_layers=3``,
+    ``hidden_dim=32``, …) applied over the registered defaults.
+    """
+    return get_model_spec(name).build(feature_dim, num_classes, task=task,
+                                      seed=seed, **overrides)
+
+
+# ------------------------------------------------------------------ #
+# built-in registrations
+# ------------------------------------------------------------------ #
+def _register_builtins() -> None:
+    from .graphormer import GRAPHORMER_LARGE, GRAPHORMER_SLIM, Graphormer
+    from .gt import GT, GT_BASE
+    from .nodeformer import NODEFORMER_BASE, NodeFormer
+
+    register_model(ModelSpec(
+        name="graphormer-slim",
+        aliases=("graphormer", "gph-slim"),
+        config_factory=GRAPHORMER_SLIM,
+        model_factory=lambda cfg, seed: Graphormer(cfg, seed=seed),
+        description="GPH_slim: 4 layers, hidden 64, 8 heads (Table IV)",
+    ))
+    register_model(ModelSpec(
+        name="graphormer-large",
+        aliases=("gph-large",),
+        config_factory=GRAPHORMER_LARGE,
+        model_factory=lambda cfg, seed: Graphormer(cfg, seed=seed),
+        description="GPH_large: 12 layers, hidden 768, 32 heads (Table IV)",
+    ))
+    register_model(ModelSpec(
+        name="gt",
+        aliases=(),
+        config_factory=GT_BASE,
+        model_factory=lambda cfg, seed: GT(cfg, seed=seed),
+        description="Dwivedi-Bresson GT: 4 layers, hidden 128, 8 heads",
+    ))
+
+    def _nodeformer_config(feature_dim, num_classes, task="node-classification"):
+        if task != "node-classification":
+            raise ValueError("nodeformer supports node-classification only")
+        return NODEFORMER_BASE(feature_dim, num_classes)
+
+    register_model(ModelSpec(
+        name="nodeformer",
+        aliases=(),
+        config_factory=_nodeformer_config,
+        model_factory=lambda cfg, seed: NodeFormer(cfg, seed=seed),
+        description="NodeFormer: kernelized all-pair attention (Fig. 1)",
+        engine_protocol=False,  # forward(features, graph) — no engine plan
+    ))
+
+
+_register_builtins()

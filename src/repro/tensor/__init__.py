@@ -12,6 +12,7 @@ from .tensor import (
     get_precision,
     is_grad_enabled,
     no_grad,
+    precision_scope,
     set_precision,
     stack,
     where,
@@ -47,6 +48,7 @@ __all__ = [
     "is_grad_enabled",
     "set_precision",
     "get_precision",
+    "precision_scope",
     "Precision",
     "apply_precision",
     "quantize_bf16",

@@ -22,11 +22,14 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from .precision import Precision, apply_precision
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_precision", "get_precision"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_precision",
+           "get_precision", "precision_scope"]
 
 _GRAD_ENABLED = True
 _PRECISION = Precision.FP32
@@ -43,6 +46,18 @@ def set_precision(precision: str) -> None:
 def get_precision() -> str:
     """Return the current global compute precision."""
     return _PRECISION
+
+
+@contextmanager
+def precision_scope(precision: str):
+    """Run a block under ``precision``, restoring the previous setting
+    even if the block raises (trainers run user callbacks inside it)."""
+    prev = get_precision()
+    set_precision(precision)
+    try:
+        yield
+    finally:
+        set_precision(prev)
 
 
 class no_grad:

@@ -1,7 +1,19 @@
-"""Training loops, metrics and convergence recording."""
+"""Training loops, metrics, callbacks and convergence recording."""
 
 from .metrics import EarlyStopping, accuracy, macro_f1, mae, running_average
-from .trainer import TrainingRecord, train_graph_task, train_node_classification
+from .callbacks import (
+    Callback,
+    CallbackList,
+    EarlyStoppingCallback,
+    EpochLogger,
+)
+from .trainer import (
+    TrainingRecord,
+    planned_forward,
+    seed_stochastic_modules,
+    train_graph_task,
+    train_node_classification,
+)
 from .batching import batched_node_predictions, train_node_classification_batched
 from .checkpointing import load_checkpoint, save_checkpoint
 
@@ -11,7 +23,13 @@ __all__ = [
     "macro_f1",
     "EarlyStopping",
     "running_average",
+    "Callback",
+    "CallbackList",
+    "EarlyStoppingCallback",
+    "EpochLogger",
     "TrainingRecord",
+    "planned_forward",
+    "seed_stochastic_modules",
     "train_node_classification",
     "train_graph_task",
     "train_node_classification_batched",

@@ -17,16 +17,18 @@ into the record like the full-graph trainer does.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
 from ..core.engine import Engine
 from ..graph.datasets import NodeDataset
 from ..models.encodings import compute_encodings
-from ..tensor import AdamW, clip_grad_norm, get_precision, no_grad, set_precision
+from ..tensor import AdamW, clip_grad_norm, no_grad, precision_scope
 from ..tensor import functional as F
+from .callbacks import Callback, EarlyStoppingCallback, as_callback_list
 from .metrics import accuracy
-from .trainer import TrainingRecord
+from .trainer import TrainingRecord, planned_forward, seed_stochastic_modules
 
 __all__ = ["batched_node_predictions", "train_node_classification_batched"]
 
@@ -52,16 +54,15 @@ def batched_node_predictions(model, dataset: NodeDataset, engine: Engine,
     with no_grad():
         for nodes in _batches(dataset.num_nodes, seq_len, rng, min_batch=1):
             sub, _ = dataset.graph.subgraph(nodes)
-            ctx = engine.prepare_graph(sub)
+            ctx = engine.prepare_inference(sub)
             enc = compute_encodings(ctx.graph, lap_pe_dim=lap_pe_dim)
             feats = dataset.features[nodes]
             inv = ctx.node_permutation_inverse()
             batch_to_orig = nodes[inv] if inv is not None else nodes
             if inv is not None:
                 feats = feats[inv]
-            plan = engine.eval_plan(ctx)
-            out = model(feats, enc, backend=plan.kernel,
-                        pattern=plan.pattern, use_bias=plan.use_bias)
+            out = planned_forward(model, engine, ctx, feats, enc,
+                                  train=False)
             logits[batch_to_orig] = out.data
     return logits
 
@@ -77,6 +78,8 @@ def train_node_classification_batched(
     grad_clip: float = 5.0,
     lap_pe_dim: int = 8,
     seed: int = 0,
+    patience: int | None = None,
+    callbacks: Sequence[Callback] | Callback | None = None,
 ) -> TrainingRecord:
     """Node classification with sampled sequences of length ``seq_len``.
 
@@ -84,54 +87,61 @@ def train_node_classification_batched(
     optimizer step per batch containing training nodes.  Returns the
     same :class:`~repro.train.trainer.TrainingRecord` as the full-graph
     trainer, with ``seq_len`` stamped into the dataset name.
+    ``patience`` / ``callbacks`` behave exactly as in the full-graph
+    trainer.
     """
     if seq_len < 2:
         raise ValueError("seq_len must be >= 2")
-    prev_precision = get_precision()
-    set_precision(engine.precision)
-    rng = np.random.default_rng(seed)
-    record = TrainingRecord(engine=engine.name,
-                            dataset=f"{dataset.name}[S={seq_len}]")
-    opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+    seed_stochastic_modules(model, seed)
+    with precision_scope(engine.precision):
+        rng = np.random.default_rng(seed)
+        record = TrainingRecord(engine=engine.name,
+                                dataset=f"{dataset.name}[S={seq_len}]")
+        opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+        cbs = as_callback_list(callbacks)
+        if patience:
+            cbs.append(EarlyStoppingCallback(patience, mode="max"))
+        cbs.on_fit_start(record)
 
-    for _ in range(epochs):
-        t0 = time.perf_counter()
-        model.train()
-        epoch_loss, steps = 0.0, 0
-        for nodes in _batches(dataset.num_nodes, seq_len, rng):
-            labels = np.where(dataset.train_mask[nodes],
-                              dataset.labels[nodes], -1)
-            if (labels != -1).sum() == 0:
-                continue
-            sub, _ = dataset.graph.subgraph(nodes)
-            p0 = time.perf_counter()
-            ctx = engine.prepare_graph(sub)
-            enc = compute_encodings(ctx.graph, lap_pe_dim=lap_pe_dim)
-            record.preprocess_seconds += time.perf_counter() - p0
-            feats = dataset.features[nodes]
-            inv = ctx.node_permutation_inverse()
-            if inv is not None:
-                feats, labels = feats[inv], labels[inv]
-            plan = engine.plan(ctx)
-            logits = model(feats, enc, backend=plan.kernel,
-                           pattern=plan.pattern, use_bias=plan.use_bias)
-            loss = F.cross_entropy(logits, labels, ignore_index=-1)
-            opt.zero_grad()
-            loss.backward()
-            clip_grad_norm(opt.params, grad_clip)
-            opt.step()
-            epoch_loss += loss.item()
-            steps += 1
-        epoch_time = time.perf_counter() - t0
-        record.train_loss.append(epoch_loss / max(steps, 1))
-        record.epoch_times.append(epoch_time)
-        engine.observe_epoch(record.train_loss[-1], epoch_time)
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            model.train()
+            epoch_loss, steps = 0.0, 0
+            for nodes in _batches(dataset.num_nodes, seq_len, rng):
+                labels = np.where(dataset.train_mask[nodes],
+                                  dataset.labels[nodes], -1)
+                if (labels != -1).sum() == 0:
+                    continue
+                sub, _ = dataset.graph.subgraph(nodes)
+                p0 = time.perf_counter()
+                ctx = engine.prepare_graph(sub)
+                enc = compute_encodings(ctx.graph, lap_pe_dim=lap_pe_dim)
+                record.preprocess_seconds += time.perf_counter() - p0
+                feats = dataset.features[nodes]
+                inv = ctx.node_permutation_inverse()
+                if inv is not None:
+                    feats, labels = feats[inv], labels[inv]
+                logits = planned_forward(model, engine, ctx, feats, enc,
+                                         train=True)
+                loss = F.cross_entropy(logits, labels, ignore_index=-1)
+                opt.zero_grad()
+                loss.backward()
+                clip_grad_norm(opt.params, grad_clip)
+                opt.step()
+                epoch_loss += loss.item()
+                steps += 1
+            epoch_time = time.perf_counter() - t0
+            record.train_loss.append(epoch_loss / max(steps, 1))
+            record.epoch_times.append(epoch_time)
+            engine.observe_epoch(record.train_loss[-1], epoch_time)
 
-        logits = batched_node_predictions(model, dataset, engine, seq_len,
-                                          rng, lap_pe_dim)
-        record.val_metric.append(
-            accuracy(logits, dataset.labels, dataset.val_mask))
-        record.test_metric.append(
-            accuracy(logits, dataset.labels, dataset.test_mask))
-    set_precision(prev_precision)
-    return record
+            logits = batched_node_predictions(model, dataset, engine, seq_len,
+                                              rng, lap_pe_dim)
+            record.val_metric.append(
+                accuracy(logits, dataset.labels, dataset.val_mask))
+            record.test_metric.append(
+                accuracy(logits, dataset.labels, dataset.test_mask))
+            if cbs.on_epoch_end(epoch, record):
+                break
+        cbs.on_fit_end(record)
+        return record

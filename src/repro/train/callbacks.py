@@ -1,0 +1,153 @@
+"""Training callbacks — the hook protocol the trainers fire during a run.
+
+A callback observes one training run: the trainer calls ``on_fit_start``
+once, ``on_epoch_end`` after every optimizer epoch (returning a truthy
+value stops training), ``on_reform`` whenever the engine's runtime
+feedback actually re-reformed the attention pattern (the TorchGT Auto
+Tuner moving β_thre), and ``on_fit_end`` after the loop.  The
+:class:`~repro.train.trainer.TrainingRecord` being built is passed to
+every hook, so callbacks read metrics without private state.
+
+Early stopping is implemented as a callback
+(:class:`EarlyStoppingCallback`) rather than trainer-internal logic; the
+legacy ``patience=`` trainer argument now just installs one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .metrics import EarlyStopping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .trainer import TrainingRecord
+
+__all__ = ["Callback", "CallbackList", "EarlyStoppingCallback",
+           "EpochLogger"]
+
+
+class Callback:
+    """Base class: every hook is a no-op; override what you need."""
+
+    def on_fit_start(self, record: "TrainingRecord") -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, epoch: int, record: "TrainingRecord") -> bool | None:
+        """Called after each epoch; return truthy to stop training."""
+
+    def on_reform(self, epoch: int, record: "TrainingRecord") -> None:
+        """Called when the engine re-reformed its attention pattern."""
+
+    def on_fit_end(self, record: "TrainingRecord") -> None:
+        """Called once after the final epoch (even on early stop)."""
+
+
+class CallbackList(Callback):
+    """Fan a hook call out to several callbacks (stop if any asks)."""
+
+    def __init__(self, callbacks: Iterable[Callback] | None = None):
+        self.callbacks: list[Callback] = list(callbacks or ())
+
+    def append(self, cb: Callback) -> None:
+        self.callbacks.append(cb)
+
+    def on_fit_start(self, record) -> None:
+        for cb in self.callbacks:
+            cb.on_fit_start(record)
+
+    def on_epoch_end(self, epoch, record) -> bool:
+        stop = False
+        for cb in self.callbacks:
+            stop = bool(cb.on_epoch_end(epoch, record)) or stop
+        return stop
+
+    def on_reform(self, epoch, record) -> None:
+        for cb in self.callbacks:
+            cb.on_reform(epoch, record)
+
+    def on_fit_end(self, record) -> None:
+        for cb in self.callbacks:
+            cb.on_fit_end(record)
+
+
+class EarlyStoppingCallback(Callback):
+    """Stop after ``patience`` epochs without validation improvement.
+
+    Wraps :class:`~repro.train.metrics.EarlyStopping`; only consumes
+    *new* validation points, so trainers with ``eval_every > 1`` (epochs
+    without an eval) don't count against patience.
+    """
+
+    def __init__(self, patience: int, mode: str = "max",
+                 min_delta: float = 0.0):
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.stopper = EarlyStopping(patience, mode=mode, min_delta=min_delta)
+        self._seen = 0
+        self.stopped_epoch: int | None = None
+
+    def on_fit_start(self, record) -> None:
+        # fresh stopper per run: a reused callback instance must not
+        # judge the new run against the previous run's best metric
+        self.stopper = EarlyStopping(self.patience, mode=self.mode,
+                                     min_delta=self.min_delta)
+        self.stopped_epoch = None
+        self._seen = len(record.val_metric)
+
+    def on_epoch_end(self, epoch, record) -> bool:
+        stop = False
+        while self._seen < len(record.val_metric):
+            stop = self.stopper.update(record.val_metric[self._seen]) or stop
+            self._seen += 1
+        if stop:
+            self.stopped_epoch = epoch
+        return stop
+
+
+class EpochLogger(Callback):
+    """Print one line per epoch — ``repro train``'s live progress output."""
+
+    def __init__(self, stream=None, every: int = 1):
+        self.stream = stream
+        self.every = max(every, 1)
+        self._metrics_seen = 0
+
+    def on_fit_start(self, record) -> None:
+        self._metrics_seen = len(record.test_metric)
+
+    def on_epoch_end(self, epoch, record) -> None:
+        fresh_metric = len(record.test_metric) > self._metrics_seen
+        self._metrics_seen = len(record.test_metric)
+        if (epoch + 1) % self.every:
+            return
+        loss = record.train_loss[-1] if record.train_loss else float("nan")
+        line = f"epoch {epoch + 1:>3}  loss {loss:>8.4f}"
+        # only report a test metric produced *this* epoch — on epochs the
+        # trainer skipped evaluation, repeating the old value would read
+        # as a current result
+        if fresh_metric:
+            line += f"  test {record.metric_name} {record.test_metric[-1]:.4f}"
+        print(line, file=self.stream)
+
+    def on_reform(self, epoch, record) -> None:
+        if (epoch + 1) % self.every:  # honor the same throttle as epochs
+            return
+        print(f"epoch {epoch + 1:>3}  [pattern re-reformed]", file=self.stream)
+
+
+def as_callback_list(callbacks: Sequence[Callback] | Callback | None,
+                     ) -> CallbackList:
+    """Normalize the trainers' ``callbacks=`` argument.
+
+    Always returns a *fresh* ``CallbackList`` — trainers append run-local
+    callbacks (the ``patience`` stopper) to it, which must never mutate a
+    list object the caller plans to reuse across runs.
+    """
+    if callbacks is None:
+        return CallbackList()
+    if isinstance(callbacks, CallbackList):
+        return CallbackList(callbacks.callbacks)
+    if isinstance(callbacks, Callback):
+        return CallbackList([callbacks])
+    return CallbackList(callbacks)

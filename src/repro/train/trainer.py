@@ -10,17 +10,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..core.engine import Engine, SequenceContext
 from ..graph.datasets import GraphDataset, NodeDataset
 from ..models.encodings import GraphEncodings, compute_encodings
-from ..tensor import AdamW, clip_grad_norm, get_precision, set_precision
+from ..tensor import AdamW, Dropout, clip_grad_norm, precision_scope
 from ..tensor import functional as F
-from .metrics import EarlyStopping, accuracy, mae
+from .callbacks import Callback, EarlyStoppingCallback, as_callback_list
+from .metrics import accuracy, mae
 
-__all__ = ["TrainingRecord", "train_node_classification", "train_graph_task"]
+__all__ = ["TrainingRecord", "planned_forward", "seed_stochastic_modules",
+           "train_node_classification", "train_graph_task"]
 
 
 @dataclass
@@ -57,6 +60,35 @@ class TrainingRecord:
         return np.cumsum(self.epoch_times)
 
 
+def seed_stochastic_modules(model, seed: int) -> None:
+    """Re-seed every stochastic submodule (dropout, gumbel noise) of ``model``.
+
+    Model *initialization* is already deterministic (each model seeds its
+    weight RNG at construction); this pins the *training-time* noise
+    streams, so two runs with the same trainer ``seed`` are bitwise
+    identical — and two runs with different seeds actually differ.  Each
+    module's stream is keyed by ``(seed, traversal index)`` alone, so a
+    module keeps its stream as long as its position does not move.
+    """
+    for i, m in enumerate(model.modules()):
+        if isinstance(m, Dropout):
+            m.rng = np.random.default_rng([seed, i, 0])
+        if hasattr(m, "_gumbel_rng"):
+            m._gumbel_rng = np.random.default_rng([seed, i, 1])
+
+
+def planned_forward(model, engine: Engine, ctx: SequenceContext,
+                    feats: np.ndarray, enc: GraphEncodings, train: bool):
+    """One planned forward pass — the single train/eval call site.
+
+    Asks the engine for its training plan (which advances interleave
+    state) or its stateless eval plan, and applies it to the model call.
+    """
+    plan = engine.plan(ctx) if train else engine.eval_plan(ctx)
+    return model(feats, enc, backend=plan.kernel, pattern=plan.pattern,
+                 use_bias=plan.use_bias)
+
+
 def _prepare_node_inputs(dataset: NodeDataset, engine: Engine,
                          lap_pe_dim: int) -> tuple[SequenceContext, GraphEncodings,
                                                    np.ndarray, np.ndarray,
@@ -87,54 +119,61 @@ def train_node_classification(
     eval_every: int = 1,
     seed: int = 0,
     patience: int | None = None,
+    callbacks: Sequence[Callback] | Callback | None = None,
 ) -> TrainingRecord:
     """Full-graph node classification (the sequence is all N nodes).
 
-    ``patience`` (optional) enables early stopping on validation accuracy:
-    training halts after ``patience`` consecutive epochs with no
-    improvement, and the record holds only the epochs actually run.
+    ``seed`` pins the training-time noise streams (dropout) via
+    :func:`seed_stochastic_modules`, so a run is reproducible end to end
+    given the same model-init seed.  ``patience`` (optional) enables
+    early stopping on validation accuracy: training halts after
+    ``patience`` consecutive epochs with no improvement, and the record
+    holds only the epochs actually run.  ``callbacks`` receive
+    ``on_epoch_end`` / ``on_reform`` hooks (see
+    :mod:`repro.train.callbacks`).
     """
-    del seed  # reserved for future mini-batch sampling
-    prev_precision = get_precision()
-    set_precision(engine.precision)
-    ctx, enc, feats, labels, train_m, val_m, test_m = _prepare_node_inputs(
-        dataset, engine, lap_pe_dim)
-    record = TrainingRecord(engine=engine.name, dataset=dataset.name,
-                            preprocess_seconds=ctx.preprocess_seconds)
-    opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
-    masked_labels = np.where(train_m, labels, -1)
-    stopper = EarlyStopping(patience, mode="max") if patience else None
+    seed_stochastic_modules(model, seed)
+    with precision_scope(engine.precision):
+        ctx, enc, feats, labels, train_m, val_m, test_m = _prepare_node_inputs(
+            dataset, engine, lap_pe_dim)
+        record = TrainingRecord(engine=engine.name, dataset=dataset.name,
+                                preprocess_seconds=ctx.preprocess_seconds)
+        opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+        masked_labels = np.where(train_m, labels, -1)
+        cbs = as_callback_list(callbacks)
+        if patience:
+            cbs.append(EarlyStoppingCallback(patience, mode="max"))
+        cbs.on_fit_start(record)
 
-    for _ in range(epochs):
-        t0 = time.perf_counter()
-        model.train()
-        plan = engine.plan(ctx)
-        logits = model(feats, enc, backend=plan.kernel, pattern=plan.pattern,
-                       use_bias=plan.use_bias)
-        loss = F.cross_entropy(logits, masked_labels, ignore_index=-1)
-        opt.zero_grad()
-        loss.backward()
-        clip_grad_norm(opt.params, grad_clip)
-        opt.step()
-        epoch_time = time.perf_counter() - t0
-        record.train_loss.append(loss.item())
-        record.epoch_times.append(epoch_time)
-        engine.observe_epoch(loss.item(), epoch_time)
-        ctx = engine.refresh(ctx)
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            model.train()
+            logits = planned_forward(model, engine, ctx, feats, enc, train=True)
+            loss = F.cross_entropy(logits, masked_labels, ignore_index=-1)
+            opt.zero_grad()
+            loss.backward()
+            clip_grad_norm(opt.params, grad_clip)
+            opt.step()
+            epoch_time = time.perf_counter() - t0
+            record.train_loss.append(loss.item())
+            record.epoch_times.append(epoch_time)
+            engine.observe_epoch(loss.item(), epoch_time)
+            reformed_before = ctx.reformed
+            ctx = engine.refresh(ctx)
+            if ctx.reformed is not reformed_before:
+                cbs.on_reform(epoch, record)
 
-        if len(record.train_loss) % eval_every == 0:
-            model.eval()
-            from ..tensor import no_grad
-            with no_grad():
-                eval_plan = engine.eval_plan(ctx)
-                out = model(feats, enc, backend=eval_plan.kernel,
-                            pattern=eval_plan.pattern, use_bias=eval_plan.use_bias)
-            record.val_metric.append(accuracy(out.data, labels, val_m))
-            record.test_metric.append(accuracy(out.data, labels, test_m))
-            if stopper is not None and stopper.update(record.val_metric[-1]):
+            if len(record.train_loss) % eval_every == 0:
+                model.eval()
+                from ..tensor import no_grad
+                with no_grad():
+                    out = planned_forward(model, engine, ctx, feats, enc, train=False)
+                record.val_metric.append(accuracy(out.data, labels, val_m))
+                record.test_metric.append(accuracy(out.data, labels, test_m))
+            if cbs.on_epoch_end(epoch, record):
                 break
-    set_precision(prev_precision)
-    return record
+        cbs.on_fit_end(record)
+        return record
 
 
 def train_graph_task(
@@ -147,77 +186,86 @@ def train_graph_task(
     grad_clip: float = 5.0,
     lap_pe_dim: int = 8,
     seed: int = 0,
+    patience: int | None = None,
+    callbacks: Sequence[Callback] | Callback | None = None,
 ) -> TrainingRecord:
     """Graph-level classification or regression (one graph per step).
 
     Each graph is one input sequence; gradients are applied per graph
     (batch size 1), matching the long-sequence regime the paper targets
-    for MalNet-scale graphs.
+    for MalNet-scale graphs.  ``seed`` pins training-time noise streams;
+    ``patience`` early-stops on the validation metric (minimized for
+    regression MAE, maximized for accuracy); ``callbacks`` receive the
+    :mod:`repro.train.callbacks` hooks.
     """
-    del seed
-    prev_precision = get_precision()
-    set_precision(engine.precision)
-    is_regression = dataset.num_classes == 0
-    metric_name = "mae" if is_regression else "accuracy"
+    seed_stochastic_modules(model, seed)
+    with precision_scope(engine.precision):
+        is_regression = dataset.num_classes == 0
+        metric_name = "mae" if is_regression else "accuracy"
 
-    # preprocessing: one context + encodings per graph
-    contexts: list[SequenceContext] = []
-    encodings: list[GraphEncodings] = []
-    preproc = 0.0
-    for g in dataset.graphs:
-        ctx = engine.prepare_graph(g)
-        t0 = time.perf_counter()
-        enc = compute_encodings(ctx.graph, lap_pe_dim=lap_pe_dim)
-        preproc += time.perf_counter() - t0 + ctx.preprocess_seconds
-        contexts.append(ctx)
-        encodings.append(enc)
+        # preprocessing: one context + encodings per graph
+        contexts: list[SequenceContext] = []
+        encodings: list[GraphEncodings] = []
+        preproc = 0.0
+        for g in dataset.graphs:
+            ctx = engine.prepare_graph(g)
+            t0 = time.perf_counter()
+            enc = compute_encodings(ctx.graph, lap_pe_dim=lap_pe_dim)
+            preproc += time.perf_counter() - t0 + ctx.preprocess_seconds
+            contexts.append(ctx)
+            encodings.append(enc)
 
-    record = TrainingRecord(engine=engine.name, dataset=dataset.name,
-                            preprocess_seconds=preproc, metric_name=metric_name)
-    opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+        record = TrainingRecord(engine=engine.name, dataset=dataset.name,
+                                preprocess_seconds=preproc, metric_name=metric_name)
+        opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
 
-    def graph_features(i: int) -> np.ndarray:
-        feats = dataset.features[i]
-        inv = contexts[i].node_permutation_inverse()
-        return feats[inv] if inv is not None else feats
+        def graph_features(i: int) -> np.ndarray:
+            feats = dataset.features[i]
+            inv = contexts[i].node_permutation_inverse()
+            return feats[inv] if inv is not None else feats
 
-    def evaluate(idx: np.ndarray) -> float:
-        from ..tensor import no_grad
-        model.eval()
-        preds = []
-        with no_grad():
-            for i in idx:
-                plan = engine.eval_plan(contexts[i])
-                out = model(graph_features(i), encodings[i], backend=plan.kernel,
-                            pattern=plan.pattern, use_bias=plan.use_bias)
-                preds.append(out.data.reshape(-1))
-        if is_regression:
-            return mae(np.array([p[0] for p in preds]), dataset.targets[idx])
-        logits = np.stack([p for p in preds])
-        return accuracy(logits, dataset.targets[idx])
-
-    for _ in range(epochs):
-        t0 = time.perf_counter()
-        model.train()
-        epoch_loss = 0.0
-        for i in dataset.train_idx:
-            plan = engine.plan(contexts[i])
-            out = model(graph_features(i), encodings[i], backend=plan.kernel,
-                        pattern=plan.pattern, use_bias=plan.use_bias)
+        def evaluate(idx: np.ndarray) -> float:
+            from ..tensor import no_grad
+            model.eval()
+            preds = []
+            with no_grad():
+                for i in idx:
+                    out = planned_forward(model, engine, contexts[i], graph_features(i),
+                                   encodings[i], train=False)
+                    preds.append(out.data.reshape(-1))
             if is_regression:
-                loss = F.l1_loss(out, np.array([dataset.targets[i]]))
-            else:
-                loss = F.cross_entropy(out, np.array([dataset.targets[i]]))
-            opt.zero_grad()
-            loss.backward()
-            clip_grad_norm(opt.params, grad_clip)
-            opt.step()
-            epoch_loss += loss.item()
-        epoch_time = time.perf_counter() - t0
-        record.train_loss.append(epoch_loss / max(len(dataset.train_idx), 1))
-        record.epoch_times.append(epoch_time)
-        engine.observe_epoch(record.train_loss[-1], epoch_time)
-        record.val_metric.append(evaluate(dataset.val_idx))
-        record.test_metric.append(evaluate(dataset.test_idx))
-    set_precision(prev_precision)
-    return record
+                return mae(np.array([p[0] for p in preds]), dataset.targets[idx])
+            logits = np.stack([p for p in preds])
+            return accuracy(logits, dataset.targets[idx])
+
+        cbs = as_callback_list(callbacks)
+        if patience:
+            cbs.append(EarlyStoppingCallback(
+                patience, mode="min" if is_regression else "max"))
+        cbs.on_fit_start(record)
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            model.train()
+            epoch_loss = 0.0
+            for i in dataset.train_idx:
+                out = planned_forward(model, engine, contexts[i], graph_features(i),
+                               encodings[i], train=True)
+                if is_regression:
+                    loss = F.l1_loss(out, np.array([dataset.targets[i]]))
+                else:
+                    loss = F.cross_entropy(out, np.array([dataset.targets[i]]))
+                opt.zero_grad()
+                loss.backward()
+                clip_grad_norm(opt.params, grad_clip)
+                opt.step()
+                epoch_loss += loss.item()
+            epoch_time = time.perf_counter() - t0
+            record.train_loss.append(epoch_loss / max(len(dataset.train_idx), 1))
+            record.epoch_times.append(epoch_time)
+            engine.observe_epoch(record.train_loss[-1], epoch_time)
+            record.val_metric.append(evaluate(dataset.val_idx))
+            record.test_metric.append(evaluate(dataset.test_idx))
+            if cbs.on_epoch_end(epoch, record):
+                break
+        cbs.on_fit_end(record)
+        return record

@@ -1,0 +1,164 @@
+"""RunConfig: JSON round-trip, registry validation, construction errors."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    TrainConfig,
+)
+
+
+def make_config(**kw):
+    defaults = dict(
+        data=DataConfig("ogbn-arxiv", scale=0.1),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig("torchgt", interleave_period=4),
+        train=TrainConfig(epochs=3, lr=2e-3, patience=5),
+        seed=7,
+    )
+    defaults.update(kw)
+    return RunConfig(**defaults)
+
+
+class TestRoundTrip:
+    def test_to_dict_is_plain_json_types(self):
+        d = make_config().to_dict()
+        json.dumps(d)  # raises if anything non-serializable leaks through
+
+    def test_dict_round_trip(self):
+        cfg = make_config()
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_round_trip(self):
+        cfg = make_config()
+        assert RunConfig.from_json(cfg.to_json()) == cfg
+
+    def test_file_round_trip(self, tmp_path):
+        cfg = make_config()
+        path = str(tmp_path / "run.json")
+        cfg.save(path)
+        assert RunConfig.load(path) == cfg
+
+    def test_round_trip_preserves_engine_options(self):
+        cfg = make_config(engine=EngineConfig(
+            "fixed-pattern", pattern="bigbird", options={"window": 3}))
+        back = RunConfig.from_dict(json.loads(cfg.to_json()))
+        assert back.engine.options == {"window": 3}
+
+    def test_defaults_fill_missing_sections(self):
+        cfg = RunConfig.from_dict({"data": {"name": "ogbn-arxiv"}})
+        assert cfg.model.name == "graphormer-slim"
+        assert cfg.engine.name == "torchgt"
+        assert cfg.train.epochs == 30
+        assert cfg.seed == 0
+
+
+class TestValidation:
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            DataConfig("imagenet")
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            ModelConfig("bert")
+
+    def test_model_alias_resolves(self):
+        assert ModelConfig("gph-slim").name == "gph-slim"  # validated via alias
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            EngineConfig("tensorflow")
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown pattern builder"):
+            EngineConfig("fixed-pattern", pattern="nope")
+
+    def test_pattern_requires_fixed_pattern_engine(self):
+        with pytest.raises(ValueError, match="fixed-pattern"):
+            EngineConfig("torchgt", pattern="bigbird")
+
+    def test_fixed_pattern_requires_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            EngineConfig("fixed-pattern")
+
+    def test_engine_name_case_insensitive(self):
+        assert EngineConfig("TorchGT").name == "torchgt"
+        # the fixed-pattern constraint applies regardless of case
+        with pytest.raises(ValueError, match="pattern"):
+            EngineConfig("Fixed-Pattern")
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            EngineConfig("torchgt", precision="int4")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            DataConfig("ogbn-arxiv", scale=0.0)
+
+    def test_bad_epochs(self):
+        with pytest.raises(ValueError, match="epochs"):
+            TrainConfig(epochs=0)
+
+    def test_non_engine_protocol_model_rejected(self):
+        with pytest.raises(ValueError, match="engine protocol"):
+            make_config(model=ModelConfig("nodeformer"))
+
+    def test_seq_len_rejected_for_graph_datasets(self):
+        with pytest.raises(ValueError, match="seq_len"):
+            make_config(data=DataConfig("zinc", scale=0.05),
+                        train=TrainConfig(epochs=1, seq_len=64))
+
+    def test_unknown_section_in_dict(self):
+        with pytest.raises(ValueError, match="unknown RunConfig sections"):
+            RunConfig.from_dict({"data": {"name": "ogbn-arxiv"}, "optimizer": {}})
+
+    def test_unknown_field_in_section(self):
+        with pytest.raises(ValueError, match="unknown train config fields"):
+            RunConfig.from_dict({"data": {"name": "ogbn-arxiv"},
+                                 "train": {"epohcs": 3}})
+
+    def test_missing_data_section(self):
+        with pytest.raises(ValueError, match="missing 'data'"):
+            RunConfig.from_dict({"seed": 1})
+
+    def test_null_seed_raises_value_error(self):
+        with pytest.raises(ValueError, match="invalid seed"):
+            RunConfig.from_dict({"data": {"name": "ogbn-arxiv"},
+                                 "seed": "not-a-number"})
+        # a JSON null seed falls back to the default rather than crashing
+        cfg = RunConfig.from_dict({"data": {"name": "ogbn-arxiv"},
+                                   "seed": None})
+        assert cfg.seed == 0
+
+    def test_missing_required_field_raises_value_error(self):
+        # TypeError from the dataclass constructor must surface as
+        # ValueError so the CLI's error net prints it cleanly
+        with pytest.raises(ValueError, match="invalid data config"):
+            RunConfig.from_dict({"data": {}})
+
+    def test_unknown_model_override_name_rejected(self):
+        # ModelConfig fields are fixed, but a frozen-dataclass replace with
+        # a bad value type should still fail loudly at construction
+        with pytest.raises(ValueError, match="unknown config overrides"):
+            from repro.models import get_model_spec
+            get_model_spec("gt").build_config(4, 2, head_count=9)
+
+
+class TestDataConfig:
+    def test_task_kind(self):
+        assert DataConfig("ogbn-arxiv").task_kind == "node"
+        assert DataConfig("zinc").task_kind == "graph"
+
+    def test_frozen(self):
+        cfg = make_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.seed = 9
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.data.name = "pokec"

@@ -1,0 +1,83 @@
+"""Model registry: name/alias resolution, overrides, capability metadata."""
+
+import pytest
+
+from repro.models import (
+    GT,
+    Graphormer,
+    UnknownModelError,
+    build_model,
+    build_model_config,
+    get_model_spec,
+    iter_models,
+    model_names,
+)
+
+
+class TestLookup:
+    def test_builtin_names(self):
+        names = model_names()
+        for expected in ("graphormer-slim", "graphormer-large", "gt",
+                         "nodeformer"):
+            assert expected in names
+
+    def test_engine_protocol_filter(self):
+        trainable = model_names(engine_protocol_only=True)
+        assert "nodeformer" not in trainable
+        assert "graphormer-slim" in trainable
+
+    def test_aliases_resolve(self):
+        assert get_model_spec("graphormer").name == "graphormer-slim"
+        assert get_model_spec("gph-large").name == "graphormer-large"
+        assert get_model_spec("GPH-SLIM").name == "graphormer-slim"
+
+    def test_unknown_model_error(self):
+        with pytest.raises(UnknownModelError, match="unknown model"):
+            get_model_spec("resnet")
+        assert issubclass(UnknownModelError, ValueError)
+
+    def test_iter_models_sorted(self):
+        names = [s.name for s in iter_models()]
+        assert names == sorted(names)
+
+
+class TestBuild:
+    def test_build_graphormer(self):
+        m = build_model("graphormer-slim", 16, 4, seed=1)
+        assert isinstance(m, Graphormer)
+        assert m.config.feature_dim == 16
+        assert m.config.num_classes == 4
+
+    def test_build_with_overrides(self):
+        m = build_model("gt", 16, 4, num_layers=2, hidden_dim=32, num_heads=4)
+        assert isinstance(m, GT)
+        assert m.config.num_layers == 2
+        assert m.config.hidden_dim == 32
+
+    def test_build_is_seed_deterministic(self):
+        import numpy as np
+        a = build_model("graphormer-slim", 8, 3, seed=5)
+        b = build_model("graphormer-slim", 8, 3, seed=5)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown config overrides"):
+            build_model("gt", 16, 4, attention_heads=8)
+
+    def test_build_model_config_matches_build(self):
+        cfg = build_model_config("graphormer-slim", 16, 4, num_layers=2)
+        m = build_model("graphormer-slim", 16, 4, num_layers=2)
+        assert m.config == cfg
+
+    def test_task_threads_through(self):
+        m = build_model("graphormer-slim", 16, 0, task="regression")
+        assert m.config.task == "regression"
+
+
+class TestHarnessTable:
+    def test_model_table_renders_registry(self):
+        from repro.bench import model_table
+        text = model_table().render()
+        for name in model_names():
+            assert name in text

@@ -99,3 +99,66 @@ class TestCost:
         rc = main(["cost", "--seq-len", "32000", "--device", "a100"])
         assert rc == 0
         assert "A100" in capsys.readouterr().out
+
+
+class TestRun:
+    """`repro train --save-config` + `repro run --config` round trip."""
+
+    def _final_line(self, out: str) -> str:
+        return next(l for l in out.splitlines() if l.startswith("best test"))
+
+    def test_save_config_then_replay_reproduces_metrics(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "2",
+                   "--scale", "0.1", "--save-config", path])
+        assert rc == 0
+        train_out = capsys.readouterr().out
+        assert f"run config saved to {path}" in train_out
+
+        rc = main(["run", "--config", path])
+        assert rc == 0
+        run_out = capsys.readouterr().out
+        # identical training trajectory, epoch by epoch
+        train_epochs = [l for l in train_out.splitlines() if l.startswith("epoch")]
+        run_epochs = [l for l in run_out.splitlines() if l.startswith("epoch")]
+        assert train_epochs == run_epochs
+        assert (self._final_line(train_out).split("mean epoch")[0]
+                == self._final_line(run_out).split("mean epoch")[0])
+
+    def test_saved_config_is_a_runconfig_json(self, tmp_path, capsys):
+        from repro.api import RunConfig
+        path = str(tmp_path / "run.json")
+        main(["train", "--dataset", "ogbn-arxiv", "--epochs", "1",
+              "--scale", "0.1", "--seed", "4", "--save-config", path])
+        capsys.readouterr()
+        cfg = RunConfig.load(path)
+        assert cfg.data.name == "ogbn-arxiv"
+        assert cfg.seed == 4
+        assert cfg.train.epochs == 1
+
+    def test_missing_config_file_fails_cleanly(self, capsys):
+        assert main(["run", "--config", "/nonexistent/run.json"]) == 2
+        assert "no such config file" in capsys.readouterr().err
+
+    def test_run_requires_config_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_invalid_config_contents_fail_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"data": {"name": "not-a-dataset"}}')
+        assert main(["run", "--config", str(path)]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_pattern_engine_through_session(self, capsys):
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "1",
+                   "--scale", "0.1", "--engine", "fixed-pattern",
+                   "--pattern", "bigbird"])
+        assert rc == 0
+        assert "engine=fixed-pattern" in capsys.readouterr().out
+
+    def test_pattern_without_fixed_pattern_engine_rejected(self, capsys):
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--pattern", "bigbird",
+                   "--scale", "0.1"])
+        assert rc == 2
+        assert "--pattern only applies" in capsys.readouterr().err

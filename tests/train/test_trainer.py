@@ -186,3 +186,90 @@ class TestEarlyStoppingIntegration:
             Graphormer(cfg, seed=0), ds, GPSparseEngine(num_layers=2),
             epochs=6, lr=3e-3)
         assert len(rec.train_loss) == 6
+
+
+class TestSeedThreading:
+    """The trainer ``seed`` pins training-time noise (it used to be
+    silently discarded)."""
+
+    def _run(self, trainer_seed):
+        from dataclasses import replace
+
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        # dropout > 0 so training actually consumes noise streams
+        cfg = replace(GRAPHORMER_SLIM(ds.features.shape[1], ds.num_classes),
+                      num_layers=2, hidden_dim=16, num_heads=2, dropout=0.2)
+        model = Graphormer(cfg, seed=0)
+        eng = make_engine("gp-raw", num_layers=2, hidden_dim=16)
+        return train_node_classification(model, ds, eng, epochs=3, lr=2e-3,
+                                         seed=trainer_seed)
+
+    def test_same_seed_is_bitwise_reproducible(self):
+        a, b = self._run(4), self._run(4)
+        assert a.train_loss == b.train_loss
+        assert a.test_metric == b.test_metric
+
+    def test_different_seed_changes_trajectory(self):
+        a, b = self._run(4), self._run(5)
+        assert a.train_loss != b.train_loss
+
+    def test_seed_stochastic_modules_reseeds_dropout(self):
+        from dataclasses import replace
+
+        from repro.tensor import Dropout
+        from repro.train import seed_stochastic_modules
+
+        cfg = replace(GRAPHORMER_SLIM(8, 4), num_layers=2, hidden_dim=16,
+                      num_heads=2, dropout=0.5)
+        model = Graphormer(cfg, seed=0)
+        seed_stochastic_modules(model, 1)
+        first = [m.rng.integers(2**31)
+                 for m in model.modules() if isinstance(m, Dropout)]
+        seed_stochastic_modules(model, 1)
+        again = [m.rng.integers(2**31)
+                 for m in model.modules() if isinstance(m, Dropout)]
+        assert first == again
+        # streams are per-module independent, not one shared generator
+        assert len(set(first)) > 1
+
+
+class TestTrainerCallbacks:
+    def test_graph_task_callbacks_fire(self):
+        from dataclasses import replace
+
+        from repro.train import Callback
+
+        ds = load_graph_dataset("zinc", scale=0.05, seed=0)
+        cfg = replace(GRAPHORMER_SLIM(ds.features[0].shape[1], 0,
+                                      task="regression"),
+                      num_layers=2, hidden_dim=16, num_heads=2, dropout=0.0)
+        epochs_seen = []
+
+        class Spy(Callback):
+            def on_epoch_end(self, epoch, record):
+                epochs_seen.append(epoch)
+                return epoch >= 1  # stop after the second epoch
+
+        rec = train_graph_task(Graphormer(cfg, seed=0), ds,
+                               make_engine("gp-sparse", num_layers=2),
+                               epochs=5, lr=3e-3, callbacks=Spy())
+        assert epochs_seen == [0, 1]
+        assert len(rec.train_loss) == 2
+
+    def test_epoch_logger_reports_only_fresh_metrics(self, capsys):
+        from dataclasses import replace
+
+        from repro.train import EpochLogger
+
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        cfg = replace(GRAPHORMER_SLIM(ds.features.shape[1], ds.num_classes),
+                      num_layers=2, hidden_dim=16, num_heads=2, dropout=0.0)
+        train_node_classification(Graphormer(cfg, seed=0), ds,
+                                  make_engine("gp-raw", num_layers=2),
+                                  epochs=2, lr=2e-3, eval_every=2,
+                                  callbacks=EpochLogger())
+        lines = [l for l in capsys.readouterr().out.splitlines()
+                 if l.startswith("epoch")]
+        assert len(lines) == 2
+        assert "test" not in lines[0]  # epoch 1: no eval ran
+        assert "test accuracy" in lines[1]  # epoch 2: fresh metric
