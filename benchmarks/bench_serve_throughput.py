@@ -1,0 +1,80 @@
+"""Serving throughput — batched micro-batching vs naive per-request predict.
+
+Not a paper table: this benchmark guards the :mod:`repro.serve`
+subsystem.  A seeded repeated-query workload (the request stream a
+serving tier actually sees: a few hot node sets, each queried many
+times) runs twice over identically-seeded weights:
+
+* **naive** — one persistent :class:`~repro.api.Session` answering each
+  request with its own ``predict(nodes=…)`` call, serving batch size 1;
+* **batched** — the same request stream through
+  :class:`~repro.serve.InferenceServer` in closed loop: requests
+  coalesce by (config hash, graph identity) and each distinct query is
+  computed once per flush, fanning out to every waiting future.
+
+Two claims are asserted:
+
+* every per-request result is **bitwise identical** between the paths
+  (micro-batching is a scheduling optimization, never a numerics one);
+* batched serving sustains **≥ 2×** the naive requests/sec on the
+  repeated-node workload.
+
+Besides the table, the comparison is written to
+``benchmarks/results/BENCH_serve.json`` — the start of the serving perf
+trajectory CI tracks.
+"""
+
+import json
+import os
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    TrainConfig,
+)
+from repro.bench import serve_throughput_table
+from repro.serve import compare_with_naive
+
+NUM_REQUESTS = 64
+DISTINCT = 4
+NODES_PER_REQUEST = 48
+CONCURRENCY = 16
+
+
+def serve_config() -> RunConfig:
+    return RunConfig(
+        data=DataConfig("ogbn-arxiv", scale=0.1),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig("gp-raw"),
+        train=TrainConfig(epochs=1),
+        seed=0,
+    )
+
+
+def _run():
+    return compare_with_naive(
+        serve_config(), num_requests=NUM_REQUESTS, distinct=DISTINCT,
+        nodes_per_request=NODES_PER_REQUEST, concurrency=CONCURRENCY, seed=0)
+
+
+def test_serve_throughput(benchmark, save_report, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rep = serve_throughput_table(
+        result, title=f"batched serving vs naive per-request predict "
+                      f"({NUM_REQUESTS} requests, {DISTINCT} distinct "
+                      f"queries, window {CONCURRENCY})")
+    save_report("serve_throughput", rep)
+
+    with open(os.path.join(results_dir, "BENCH_serve.json"), "w") as f:
+        json.dump(dict(result), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    assert result["identical"], \
+        "batched serving changed per-request numerics"
+    assert result["speedup"] >= 2.0, (
+        f"batched serving only {result['speedup']:.2f}× naive on the "
+        f"repeated-node workload (expected ≥2×)")

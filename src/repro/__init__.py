@@ -26,13 +26,16 @@ Subpackages
 ``repro.api``
     The public facade: typed ``RunConfig`` + ``Session`` lifecycle
     (fit / evaluate / predict / save_config).
+``repro.serve``
+    Batched inference serving: request queue with futures/deadlines,
+    dynamic micro-batching, warm ``SessionPool``, seeded load generator.
 ``repro.bench``
     Table/figure harness used by the ``benchmarks/`` suite.
 """
 
 __version__ = "1.1.0"
 
-from . import api, attention, core, distributed, graph, hardware, models, partition, tensor, train
+from . import api, attention, core, distributed, graph, hardware, models, partition, serve, tensor, train
 from .api import DataConfig, EngineConfig, ModelConfig, RunConfig, Session, TrainConfig
 
 __all__ = [
@@ -46,6 +49,7 @@ __all__ = [
     "core",
     "train",
     "api",
+    "serve",
     "DataConfig",
     "ModelConfig",
     "EngineConfig",

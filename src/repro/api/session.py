@@ -66,8 +66,11 @@ class Session:
         self._model = None
         self._engine = None
         self._fitting = False
-        # memoized full-graph (context, encodings) for repeated inference;
-        # dropped whenever fit() may have moved engine runtime state
+        # memoized (dataset, context, encodings) for repeated full-graph
+        # inference; keyed by dataset identity — a session whose dataset
+        # object is swapped (shared-dataset sweeps, pool admission) must
+        # never serve a context built for different data — and dropped
+        # whenever fit() may have moved engine runtime state
         self._infer_cache = None
 
     @classmethod
@@ -141,8 +144,15 @@ class Session:
 
     # -- lifecycle ------------------------------------------------------- #
     def fit(self, callbacks: Sequence[Callback] | Callback | None = None,
-            ) -> TrainingRecord:
-        """Train per the config; returns (and stores) the TrainingRecord."""
+            checkpoint_path: str | None = None,
+            resume_path: str | None = None) -> TrainingRecord:
+        """Train per the config; returns (and stores) the TrainingRecord.
+
+        ``checkpoint_path`` writes a full training checkpoint (model +
+        optimizer + noise-stream positions + epoch) after every epoch;
+        ``resume_path`` restores one and continues from its epoch to
+        ``config.train.epochs`` (see :meth:`resume`).
+        """
         c, t = self.config, self.config.train
         ds, model, engine = self.dataset, self.model, self.engine
         # engine runtime state (β_thre, …) moves during training, so any
@@ -153,24 +163,27 @@ class Session:
         self._infer_cache = None
         self._fitting = True
         try:
+            persist = dict(checkpoint_path=checkpoint_path,
+                           resume_path=resume_path)
             if c.data.task_kind == "graph":
                 self.record = train_graph_task(
                     model, ds, engine, epochs=t.epochs, lr=t.lr,
                     weight_decay=t.weight_decay, grad_clip=t.grad_clip,
                     lap_pe_dim=t.lap_pe_dim, seed=c.seed, patience=t.patience,
-                    callbacks=callbacks)
+                    callbacks=callbacks, **persist)
             elif t.seq_len is not None:
                 self.record = train_node_classification_batched(
                     model, ds, engine, seq_len=t.seq_len, epochs=t.epochs,
                     lr=t.lr, weight_decay=t.weight_decay, grad_clip=t.grad_clip,
                     lap_pe_dim=t.lap_pe_dim, seed=c.seed, patience=t.patience,
-                    callbacks=callbacks)
+                    callbacks=callbacks, **persist)
             else:
                 self.record = train_node_classification(
                     model, ds, engine, epochs=t.epochs, lr=t.lr,
                     weight_decay=t.weight_decay, grad_clip=t.grad_clip,
                     lap_pe_dim=t.lap_pe_dim, eval_every=t.eval_every,
-                    seed=c.seed, patience=t.patience, callbacks=callbacks)
+                    seed=c.seed, patience=t.patience, callbacks=callbacks,
+                    **persist)
         finally:
             self._infer_cache = None
             self._fitting = False
@@ -230,13 +243,14 @@ class Session:
                 # small-model inference cost and are identical across calls
                 # while the engine is idle (mid-fit, a re-reform can land
                 # between calls, so caching is suspended)
-                if self._infer_cache is not None:
-                    ctx, enc = self._infer_cache
+                if (self._infer_cache is not None
+                        and self._infer_cache[0] is ds):
+                    _, ctx, enc = self._infer_cache
                 else:
                     ctx = engine.prepare_inference(ds.graph)
                     enc = compute_encodings(ctx.graph, lap_pe_dim=t.lap_pe_dim)
                     if not self._fitting:
-                        self._infer_cache = (ctx, enc)
+                        self._infer_cache = (ds, ctx, enc)
                 feats = ds.features
             else:
                 nodes = np.asarray(nodes)
@@ -284,6 +298,39 @@ class Session:
     def save_config(self, path: str) -> None:
         """Write the run's JSON config for exact replay via ``repro run``."""
         self.config.save(path)
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write the session's model weights as a checkpoint archive.
+
+        The archive embeds the run config and the number of epochs
+        trained as metadata; it is what a
+        :class:`~repro.serve.pool.SessionPool` loads on admission, and
+        :func:`~repro.train.checkpointing.load_checkpoint` reads it.
+        For a *resumable* mid-training checkpoint (optimizer state
+        included), pass ``checkpoint_path=`` to :meth:`fit` instead.
+        """
+        from ..train import save_checkpoint
+        # epochs_trained counts pre-resume epochs too, so a checkpoint
+        # saved after resume() reports the model's full training history
+        epochs_done = self.record.epochs_trained if self.record else 0
+        save_checkpoint(path, self.model, epoch=epochs_done,
+                        metadata={"config": self.config.to_dict(),
+                                  "task": self.task})
+
+    def resume(self, path: str,
+               callbacks: Sequence[Callback] | Callback | None = None,
+               checkpoint_path: str | None = None) -> TrainingRecord:
+        """Continue training from a mid-fit checkpoint to the config's epochs.
+
+        ``path`` must be a per-epoch training checkpoint written by
+        ``fit(checkpoint_path=…)`` (it holds optimizer state and
+        noise-stream positions, so the continued run is bit-compatible
+        with the uninterrupted one for engines without runtime tuner
+        state).  The returned record covers only the resumed epochs.
+        ``checkpoint_path`` keeps checkpointing the continued run.
+        """
+        return self.fit(callbacks=callbacks, checkpoint_path=checkpoint_path,
+                        resume_path=path)
 
     def __repr__(self) -> str:
         c = self.config

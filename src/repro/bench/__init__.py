@@ -11,6 +11,7 @@ from .harness import (
     model_choices,
     model_table,
     pattern_builder_table,
+    serve_throughput_table,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "kernel_table",
     "model_table",
     "pattern_builder_table",
+    "serve_throughput_table",
 ]

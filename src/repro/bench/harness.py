@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio",
            "backend_choices", "engine_choices", "kernel_table",
-           "pattern_builder_table"]
+           "pattern_builder_table", "serve_throughput_table"]
 
 
 def fmt_time(seconds: float) -> str:
@@ -126,6 +126,33 @@ def pattern_builder_table(specs=None) -> TableReport:
     for s in (specs if specs is not None else iter_pattern_builders()):
         table.add_row(s.name, "graph" if s.needs_graph else "seq_len",
                       s.description)
+    return table
+
+
+def serve_throughput_table(result: dict, title: str | None = None) -> TableReport:
+    """A :func:`repro.serve.compare_with_naive` result as a paper table.
+
+    Shared by ``repro bench-serve`` and
+    ``benchmarks/bench_serve_throughput.py`` so the two surfaces render
+    the comparison identically.
+    """
+    table = TableReport(
+        title=title or (
+            f"serving throughput — {result['num_requests']} requests, "
+            f"{result['distinct_queries']} distinct queries, "
+            f"window {result['concurrency']}"),
+        columns=["path", "total", "req/s", "speedup", "batch occupancy"])
+    table.add_row("naive per-request", fmt_time(result["naive_s"]),
+                  f"{result['naive_rps']:.1f}", "1.0×", "1.0")
+    table.add_row("batched serving", fmt_time(result["batched_s"]),
+                  f"{result['batched_rps']:.1f}",
+                  f"{result['speedup']:.2f}×",
+                  f"{result['mean_batch_occupancy']:.1f}")
+    table.add_note("bitwise-identical per-request results: "
+                   + ("yes" if result["identical"] else "NO"))
+    table.add_note(f"{result['shared_computes']} of "
+                   f"{result['num_requests']} requests answered from a "
+                   "coalesced forward pass")
     return table
 
 

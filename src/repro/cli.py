@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the workflows a user reaches for before writing code:
+Eight commands cover the workflows a user reaches for before writing code:
 
 * ``info`` — version, engines, kernels, modeled devices and datasets;
 * ``kernels`` — the attention-kernel registry with capability metadata
@@ -14,6 +14,12 @@ Six commands cover the workflows a user reaches for before writing code:
   run's :class:`~repro.api.RunConfig` for exact replay;
 * ``run`` — replay a saved ``run.json`` through the same
   :class:`~repro.api.Session` path (``repro run --config run.json``);
+* ``serve`` — a stdin-driven :class:`~repro.serve.InferenceServer` REPL
+  over a saved run config (``predict …`` / ``stats`` / ``quit``), with
+  the batching, pool and queue knobs exposed as flags;
+* ``bench-serve`` — batched serving vs naive per-request prediction on
+  a seeded repeated-query workload (throughput/latency table, optional
+  JSON artifact);
 * ``cost`` — price a paper-scale workload on the analytic hardware model
   (epoch time per engine, max trainable sequence length, OOM boundaries)
   without training anything.
@@ -97,7 +103,9 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_session(session, save_config: str | None = None) -> int:
+def _run_session(session, save_config: str | None = None,
+                 checkpoint: str | None = None,
+                 resume: str | None = None) -> int:
     """Drive one Session run, printing per-epoch progress live."""
     from repro.api import EpochLogger
 
@@ -111,7 +119,13 @@ def _run_session(session, save_config: str | None = None) -> int:
         session.save_config(save_config)
         print(f"run config saved to {save_config}  (replay: "
               f"repro run --config {save_config})")
-    rec = session.fit(callbacks=[EpochLogger()])
+    if resume:
+        print(f"resuming from {resume}")
+    rec = session.fit(callbacks=[EpochLogger()], checkpoint_path=checkpoint,
+                      resume_path=resume)
+    if checkpoint:
+        print(f"training checkpoint saved to {checkpoint}  (continue: "
+              f"repro train --resume {checkpoint})")
     print(f"best test {rec.metric_name}: {rec.best_test:.4f}   "
           f"mean epoch: {rec.mean_epoch_time * 1e3:.1f} ms   "
           f"preprocess: {rec.preprocess_seconds * 1e3:.1f} ms   "
@@ -139,7 +153,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         train=_train_config_from_args(args),
         seed=args.seed,
     )
-    return _run_session(Session(config), save_config=args.save_config)
+    return _run_session(Session(config), save_config=args.save_config,
+                        checkpoint=args.checkpoint, resume=args.resume)
 
 
 def _train_config_from_args(args: argparse.Namespace):
@@ -158,6 +173,97 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: no such config file: {args.config}", file=sys.stderr)
         return 2
     return _run_session(session, save_config=None)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stdin-driven inference serving loop over a saved run config."""
+    from repro.api import EpochLogger, RunConfig
+    from repro.serve import BatchPolicy, InferenceServer, SessionPool
+
+    try:
+        config = RunConfig.load(args.config)
+    except FileNotFoundError:
+        print(f"error: no such config file: {args.config}", file=sys.stderr)
+        return 2
+    pool = SessionPool(max_sessions=args.pool_size)
+    if args.checkpoint:
+        pool.add_checkpoint(config, args.checkpoint)
+    server = InferenceServer(
+        pool=pool,
+        policy=BatchPolicy(max_batch_size=args.max_batch,
+                           max_wait_s=args.max_wait_ms / 1e3),
+        max_queue_depth=args.queue_depth)
+    session = pool.acquire(config)  # warm the pool before taking requests
+    if args.fit:
+        session.fit(callbacks=[EpochLogger()])
+    kind = config.data.task_kind
+    print(f"serving {config.data.name} ({kind}-level) with "
+          f"{config.model.name} / {config.engine.name} — "
+          f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
+          f"queue_depth={args.queue_depth}")
+    print("commands: predict [id …] | stats | quit")
+    for line in sys.stdin:
+        parts = line.split()
+        if not parts:
+            continue
+        cmd, ids = parts[0].lower(), parts[1:]
+        if cmd in ("quit", "exit"):
+            break
+        if cmd == "stats":
+            for key, value in server.stats_snapshot().items():
+                print(f"  {key}: {value}")
+            continue
+        if cmd != "predict":
+            print(f"unknown command {cmd!r} (predict/stats/quit)",
+                  file=sys.stderr)
+            continue
+        try:
+            subset = np.array([int(i) for i in ids]) if ids else None
+            future = (server.submit(config, nodes=subset) if kind == "node"
+                      else server.submit(config, indices=subset))
+            server.run_until_idle()
+            out = future.result(timeout=60.0)
+        except Exception as e:
+            print(f"request failed: {e}", file=sys.stderr)
+            continue
+        target = (f"{len(subset)} {'nodes' if kind == 'node' else 'graphs'}"
+                  if subset is not None else f"full {kind} set")
+        print(f"ok: {target} -> output shape {out.shape}")
+    server.close()
+    print("server closed")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Batched serving vs naive per-request predict (seeded workload)."""
+    import json
+
+    from repro.api import DataConfig, EngineConfig, ModelConfig, RunConfig, TrainConfig
+    from repro.bench import serve_throughput_table
+    from repro.serve import compare_with_naive
+
+    config = RunConfig(
+        data=DataConfig(args.dataset, scale=args.scale),
+        model=ModelConfig(args.model, num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig(args.engine),
+        train=TrainConfig(epochs=1),
+        seed=args.seed,
+    )
+    result = compare_with_naive(
+        config, num_requests=args.requests, distinct=args.distinct,
+        nodes_per_request=args.nodes_per_request,
+        concurrency=args.concurrency, seed=args.seed)
+    serve_throughput_table(
+        result, title=f"serving throughput — {args.dataset} "
+                      f"({args.requests} requests, {args.distinct} distinct "
+                      f"queries)").print()
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(dict(result), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"results written to {args.json}")
+    return 0 if result["identical"] else 1
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -242,11 +348,52 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--save-config", default=None, metavar="PATH",
                    dest="save_config",
                    help="write the run's RunConfig JSON for `repro run`")
+    t.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write a resumable training checkpoint every epoch")
+    t.add_argument("--resume", default=None, metavar="PATH",
+                   help="continue training from a --checkpoint file")
 
     r = sub.add_parser("run", help="replay a saved run configuration")
     r.add_argument("--config", required=True, metavar="PATH",
                    help="run.json written by `repro train --save-config` "
                         "or RunConfig.save()")
+
+    s = sub.add_parser("serve",
+                       help="serve batched inference for a saved run config")
+    s.add_argument("--config", required=True, metavar="PATH",
+                   help="run.json describing the served model")
+    s.add_argument("--fit", action="store_true",
+                   help="train per the config before serving")
+    s.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="load model weights from a checkpoint on admission")
+    s.add_argument("--pool-size", type=int, default=4, dest="pool_size",
+                   help="warm sessions kept (LRU beyond this)")
+    s.add_argument("--max-batch", type=int, default=32, dest="max_batch",
+                   help="flush a micro-batch at this many requests")
+    s.add_argument("--max-wait-ms", type=float, default=2.0,
+                   dest="max_wait_ms",
+                   help="flush a micro-batch once its oldest request "
+                        "waited this long")
+    s.add_argument("--queue-depth", type=int, default=256, dest="queue_depth",
+                   help="bounded request queue depth (backpressure)")
+
+    b = sub.add_parser("bench-serve",
+                       help="batched serving vs naive per-request predict")
+    b.add_argument("--dataset", default="ogbn-arxiv")
+    b.add_argument("--model", default="graphormer-slim")
+    b.add_argument("--engine", default="gp-raw", choices=engine_names())
+    b.add_argument("--scale", type=float, default=0.1)
+    b.add_argument("--requests", type=int, default=64)
+    b.add_argument("--distinct", type=int, default=4,
+                   help="distinct hot queries the requests cycle through")
+    b.add_argument("--nodes-per-request", type=int, default=48,
+                   dest="nodes_per_request")
+    b.add_argument("--concurrency", type=int, default=16,
+                   help="closed-loop in-flight request window")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the comparison as JSON "
+                        "(e.g. BENCH_serve.json)")
 
     c = sub.add_parser("cost", help="price a paper-scale workload (no training)")
     c.add_argument("--seq-len", type=int, default=256_000)
@@ -267,6 +414,8 @@ _COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
     "run": cmd_run,
+    "serve": cmd_serve,
+    "bench-serve": cmd_bench_serve,
     "cost": cmd_cost,
 }
 
@@ -276,7 +425,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, KeyError) as e:
+    except (ValueError, KeyError, FileNotFoundError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
 

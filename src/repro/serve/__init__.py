@@ -1,0 +1,58 @@
+"""Batched inference serving: queue → micro-batcher → warm pool → Session.
+
+The request layer over :mod:`repro.api`: an :class:`InferenceServer`
+accepts asynchronous per-request submissions (futures, deadlines,
+bounded-queue backpressure), coalesces them into micro-batches keyed by
+(config hash, graph identity), and executes them on warm
+:class:`~repro.api.Session` objects cached in an LRU
+:class:`SessionPool` — so a stream of requests pays engine planning,
+pattern construction and dataset synthesis once per config instead of
+once per call.  :mod:`repro.serve.loadgen` drives it with seeded
+closed-/open-loop load for benchmarking (``repro bench-serve``).
+"""
+
+from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
+from .loadgen import (
+    LoadReport,
+    compare_with_naive,
+    make_graph_workload,
+    make_node_workload,
+    run_closed_loop,
+    run_open_loop,
+)
+from .pool import PoolStats, SessionPool, config_key
+from .queue import (
+    DeadlineExceededError,
+    QueueFullError,
+    Request,
+    RequestQueue,
+    ServeError,
+    ServeFuture,
+    ServerClosedError,
+)
+from .server import InferenceServer, ServerStats
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatch",
+    "MicroBatcher",
+    "seq_len_bucket",
+    "SessionPool",
+    "PoolStats",
+    "config_key",
+    "RequestQueue",
+    "Request",
+    "ServeFuture",
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerClosedError",
+    "InferenceServer",
+    "ServerStats",
+    "LoadReport",
+    "make_node_workload",
+    "make_graph_workload",
+    "run_closed_loop",
+    "run_open_loop",
+    "compare_with_naive",
+]

@@ -1,0 +1,218 @@
+"""Deterministic load generation for the serving layer.
+
+Two canonical load shapes, both fully seeded:
+
+* **closed loop** — a fixed window of in-flight requests; the next
+  window is submitted when the previous one resolves.  Measures
+  sustainable throughput (requests/sec) under a concurrency bound, on
+  the real clock.
+* **open loop** — requests arrive on a Poisson schedule at a target
+  rate, independent of completions.  Driven on a *virtual* clock
+  (``now`` is threaded through ``submit``/``step``), so queue growth,
+  deadline expiry and backpressure behavior replay identically for a
+  given seed — the mode that exercises overload.
+
+Workload payloads model what a serving tier actually sees: a small set
+of *distinct* queries, each requested many times (``distinct`` node sets
+spread over ``num_requests`` requests).  That repetition is what
+micro-batching converts into shared forward passes.
+
+:func:`compare_with_naive` is the benchmark core shared by
+``repro bench-serve`` and ``benchmarks/bench_serve_throughput.py``:
+the same workload through the batched server and through naive
+per-request ``Session.predict`` (batch size 1, no coalescing), with a
+bitwise identity check on every per-request result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .batcher import BatchPolicy
+from .pool import SessionPool
+from .queue import DeadlineExceededError, QueueFullError
+from .server import InferenceServer
+
+__all__ = [
+    "make_node_workload",
+    "make_graph_workload",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "compare_with_naive",
+]
+
+
+def make_node_workload(dataset, num_requests: int, distinct: int = 4,
+                       nodes_per_request: int = 48,
+                       seed: int = 0) -> list[np.ndarray]:
+    """``num_requests`` node-set queries drawn from ``distinct`` hot sets.
+
+    Each distinct set is a sorted sample of the dataset's nodes; the
+    request sequence cycles through them pseudo-randomly (seeded), so
+    repeats are spread in time the way hot queries are.
+    """
+    if distinct < 1:
+        raise ValueError("distinct must be >= 1")
+    rng = np.random.default_rng(seed)
+    size = min(nodes_per_request, dataset.num_nodes)
+    sets = [np.sort(rng.choice(dataset.num_nodes, size=size, replace=False))
+            for _ in range(distinct)]
+    picks = rng.integers(0, distinct, size=num_requests)
+    return [sets[i] for i in picks]
+
+
+def make_graph_workload(dataset, num_requests: int, distinct: int = 4,
+                        graphs_per_request: int = 4,
+                        seed: int = 0) -> list[np.ndarray]:
+    """Graph-index queries from ``distinct`` hot index tuples."""
+    rng = np.random.default_rng(seed)
+    size = min(graphs_per_request, dataset.num_graphs)
+    sets = [np.sort(rng.choice(dataset.num_graphs, size=size, replace=False))
+            for _ in range(distinct)]
+    picks = rng.integers(0, distinct, size=num_requests)
+    return [sets[i] for i in picks]
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced and how fast."""
+
+    mode: str
+    num_requests: int
+    duration_s: float
+    completed: int
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0  # non-deadline errors (bad indices, admission, …)
+    results: list = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+
+def _payload_kwargs(config, payload) -> dict:
+    """Route a workload payload to the submit() argument its config takes."""
+    if config.data.task_kind == "node":
+        return {"nodes": payload}
+    return {"indices": payload}
+
+
+def run_closed_loop(server: InferenceServer, config, payloads,
+                    concurrency: int = 8) -> LoadReport:
+    """Windows of ``concurrency`` in-flight requests, wall-clock timed."""
+    results = []
+    t0 = time.perf_counter()
+    for lo in range(0, len(payloads), concurrency):
+        futures = [server.submit(config, **_payload_kwargs(config, p))
+                   for p in payloads[lo:lo + concurrency]]
+        server.run_until_idle()
+        results.extend(f.result(timeout=60.0) for f in futures)
+    duration = time.perf_counter() - t0
+    return LoadReport(mode="closed", num_requests=len(payloads),
+                      duration_s=duration, completed=len(results),
+                      results=results)
+
+
+def run_open_loop(server: InferenceServer, config, payloads,
+                  rate_rps: float, seed: int = 0,
+                  timeout: float | None = None) -> LoadReport:
+    """Poisson arrivals at ``rate_rps`` on a virtual clock (deterministic).
+
+    Arrival times come from a seeded exponential stream; the server is
+    stepped at each arrival instant, so batch composition, deadline
+    expiry and queue rejections are a pure function of (seed, rate,
+    policy).  ``timeout`` is the per-request deadline in virtual
+    seconds.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    rng = np.random.default_rng(seed)
+    now = 0.0
+    futures = []
+    rejected = 0
+    for payload in payloads:
+        now += float(rng.exponential(1.0 / rate_rps))
+        try:
+            futures.append(server.submit(config, timeout=timeout, now=now,
+                                         **_payload_kwargs(config, payload)))
+        except QueueFullError:
+            rejected += 1
+        server.step(now=now)
+    server.run_until_idle(now=now)
+    results, expired, failed = [], 0, 0
+    for f in futures:
+        exc = f.exception(timeout=60.0)
+        if exc is None:
+            results.append(f.result())
+        elif isinstance(exc, DeadlineExceededError):
+            expired += 1
+        else:
+            failed += 1
+    return LoadReport(mode="open", num_requests=len(payloads),
+                      duration_s=now, completed=len(results),
+                      rejected=rejected, expired=expired, failed=failed,
+                      results=results)
+
+
+def compare_with_naive(config, num_requests: int = 64, distinct: int = 4,
+                       nodes_per_request: int = 48, concurrency: int = 16,
+                       policy: BatchPolicy | None = None, seed: int = 0,
+                       dataset=None) -> dict:
+    """Batched serving vs naive per-request prediction, same workload.
+
+    *Naive* is the strongest sequential baseline: one persistent
+    ``Session`` (model/engine already built) answering each request with
+    its own ``predict(nodes=…)`` call — serving batch size 1.  *Batched*
+    pushes the identical request stream through an
+    :class:`InferenceServer` in closed loop.  Both sides share one
+    loaded dataset and build identically-seeded weights, so per-request
+    results must be — and are asserted upstream to be — bitwise equal.
+    """
+    from ..api import Session
+
+    if config.data.task_kind != "node":
+        raise ValueError(
+            "compare_with_naive measures the node-level serving path; "
+            f"dataset {config.data.name!r} is graph-level (drive graph "
+            "configs with make_graph_workload + run_closed_loop instead)")
+    naive_session = Session(config, dataset=dataset)
+    ds = naive_session.dataset
+    payloads = make_node_workload(ds, num_requests, distinct=distinct,
+                                  nodes_per_request=nodes_per_request,
+                                  seed=seed)
+
+    t0 = time.perf_counter()
+    naive_results = [naive_session.predict(nodes=p) for p in payloads]
+    naive_s = time.perf_counter() - t0
+
+    pool = SessionPool(max_sessions=2)
+    pool.put(Session(config, dataset=ds))
+    server = InferenceServer(pool=pool, policy=policy
+                             or BatchPolicy(max_batch_size=concurrency))
+    report = run_closed_loop(server, config, payloads,
+                             concurrency=concurrency)
+
+    identical = (len(report.results) == len(naive_results)
+                 and all(np.array_equal(a, b) for a, b in
+                         zip(naive_results, report.results)))
+    return {
+        "num_requests": num_requests,
+        "distinct_queries": distinct,
+        "nodes_per_request": int(min(nodes_per_request, ds.num_nodes)),
+        "concurrency": concurrency,
+        "naive_s": naive_s,
+        "batched_s": report.duration_s,
+        "naive_rps": num_requests / naive_s if naive_s > 0 else 0.0,
+        "batched_rps": report.throughput_rps,
+        "speedup": (naive_s / report.duration_s
+                    if report.duration_s > 0 else float("inf")),
+        "identical": identical,
+        "mean_batch_occupancy": server.stats.mean_occupancy,
+        "shared_computes": server.stats.shared_computes,
+        "stats": server.stats_snapshot(),
+    }

@@ -1,0 +1,196 @@
+"""Request intake for the serving layer: futures, deadlines, backpressure.
+
+A serving request is *asynchronous by contract*: ``InferenceServer.submit``
+returns a :class:`ServeFuture` immediately and the answer materializes when
+the batcher flushes the batch containing the request.  The queue between
+``submit`` and the batcher is where a production system meets overload, so
+it is bounded: once ``max_depth`` requests are pending, further submissions
+are rejected *with a reason* (:class:`QueueFullError` carries the depth and
+the configured bound) instead of growing without limit — callers can shed
+load or retry rather than watch latency climb.
+
+Deadlines are absolute :func:`time.perf_counter` timestamps.  An expired
+request is never executed: ``drain`` completes its future with
+:class:`DeadlineExceededError` and reports it so the server's stats count
+it.  All operations are thread-safe — the queue is the hand-off point
+between caller threads and the server's worker loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerClosedError",
+    "ServeFuture",
+    "Request",
+    "RequestQueue",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer errors."""
+
+
+class QueueFullError(ServeError):
+    """Submission rejected: the request queue is at its bound.
+
+    ``reason`` spells out the rejection (depth vs. bound) so callers and
+    logs never see a bare "queue full".
+    """
+
+    def __init__(self, depth: int, max_depth: int):
+        self.depth = depth
+        self.max_depth = max_depth
+        self.reason = (f"queue holds {depth} pending requests, "
+                       f"bounded at max_depth={max_depth}")
+        super().__init__(f"rejected: {self.reason}")
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before it could be executed."""
+
+
+class ServerClosedError(ServeError):
+    """Submission rejected: the server has been closed."""
+
+
+class ServeFuture:
+    """Write-once result slot for one request.
+
+    The consumer half of the contract: ``done()`` polls, ``result(timeout)``
+    blocks until the server resolves the request (returning the value or
+    raising the recorded exception).  The producer half (``set_result`` /
+    ``set_exception``) is called exactly once by the serving loop.
+    """
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value: Any = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, value: Any) -> None:
+        if self._event.is_set():
+            raise ServeError("future already resolved")
+        self._value = value
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._event.is_set():
+            raise ServeError("future already resolved")
+        self._exception = exc
+        self._event.set()
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        return self._exception
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+
+@dataclass
+class Request:
+    """One enqueued inference request.
+
+    ``config_key`` is the :func:`~repro.serve.pool.config_key` hash of the
+    request's :class:`~repro.api.RunConfig`; ``graph_key`` identifies the
+    graph being queried (the whole dataset graph, or the hash of the
+    requested node set) — together they form the micro-batcher's
+    coalescing key.  ``kind`` is ``"nodes"`` (node-level logits) or
+    ``"graphs"`` (per-graph outputs for ``indices``).  ``deadline`` is an
+    absolute ``perf_counter`` timestamp or ``None``.
+    """
+
+    id: int
+    config: Any  # RunConfig (kept untyped to avoid an api import cycle)
+    config_key: str
+    kind: str
+    nodes: np.ndarray | None = None
+    indices: np.ndarray | None = None
+    graph_key: str = "full-graph"
+    enqueued_at: float = 0.0
+    deadline: float | None = None
+    future: ServeFuture = field(default_factory=ServeFuture)
+
+    @property
+    def batch_key(self) -> tuple[str, str, str]:
+        """The micro-batching coalescing key (config × kind × graph)."""
+        return (self.config_key, self.kind, self.graph_key)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+class RequestQueue:
+    """Bounded, thread-safe FIFO of :class:`Request` with deadline culling."""
+
+    def __init__(self, max_depth: int = 256):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._items: deque[Request] = deque()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def push(self, request: Request, now: float | None = None) -> None:
+        """Enqueue or reject-with-reason (:class:`QueueFullError`)."""
+        now = time.perf_counter() if now is None else now
+        with self._cond:
+            if len(self._items) >= self.max_depth:
+                raise QueueFullError(len(self._items), self.max_depth)
+            request.enqueued_at = now
+            self._items.append(request)
+            self._cond.notify()
+
+    def drain(self, now: float | None = None,
+              max_items: int | None = None,
+              on_expired: Callable[[Request], None] | None = None,
+              ) -> list[Request]:
+        """Pop up to ``max_items`` live requests, resolving expired ones.
+
+        Expired requests get :class:`DeadlineExceededError` set on their
+        future and are handed to ``on_expired`` (for stats) instead of
+        being returned.
+        """
+        now = time.perf_counter() if now is None else now
+        out: list[Request] = []
+        with self._cond:
+            while self._items and (max_items is None or len(out) < max_items):
+                req = self._items.popleft()
+                if req.expired(now):
+                    req.future.set_exception(DeadlineExceededError(
+                        f"request {req.id} missed its deadline by "
+                        f"{now - req.deadline:.4f}s before execution"))
+                    if on_expired is not None:
+                        on_expired(req)
+                    continue
+                out.append(req)
+        return out
+
+    def wait_nonempty(self, timeout: float | None = None) -> bool:
+        """Block until a request is queued (worker-loop idle wait)."""
+        with self._cond:
+            if self._items:
+                return True
+            return self._cond.wait(timeout)

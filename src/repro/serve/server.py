@@ -1,0 +1,389 @@
+"""The :class:`InferenceServer` — queue → batcher → warm pool → Session.
+
+The serving pipeline in one object::
+
+    submit(config, nodes=…)          # returns a ServeFuture immediately
+      └─ RequestQueue                # bounded; rejects-with-reason when full
+           └─ MicroBatcher           # coalesce by (config-hash, graph identity)
+                └─ SessionPool       # warm Session per config (LRU)
+                     └─ Session._predict_nodes / _predict_graphs
+
+Node-level requests with the same config and the same queried graph
+(the full dataset graph, or one exact node set) coalesce into a single
+forward pass whose result fans out to every waiting future — the
+repeated-query workload a serving tier actually sees.  Graph-level
+requests are exploded into per-graph work units, deduplicated, and
+bucketed by sequence length so one batch never pads small graphs to a
+pathological length.
+
+The server runs in two modes: *driven* (call :meth:`step` /
+:meth:`run_until_idle` yourself — deterministic, what the tests, the
+load generator and the benchmarks use) and *threaded*
+(:meth:`start` / :meth:`stop` — a background worker drains the queue
+with ``max_wait_s``-bounded sleeps).  Every request's latency and every
+batch's occupancy land in :class:`ServerStats`, exposed as a
+:meth:`stats` snapshot dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
+from .pool import SessionPool, config_key
+from .queue import (
+    DeadlineExceededError,
+    Request,
+    RequestQueue,
+    ServeFuture,
+    ServerClosedError,
+)
+
+__all__ = ["ServerStats", "InferenceServer"]
+
+
+@dataclass
+class ServerStats:
+    """Counters + sliding latency window for one server lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    batches: int = 0
+    batched_requests: int = 0  # sum of batch occupancies
+    shared_computes: int = 0   # requests answered from another's forward
+    latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    # the deque is written by the worker thread and read by snapshot()
+    # callers; iteration during append raises, so both sides lock
+    _latency_lock: threading.Lock = field(default_factory=threading.Lock,
+                                          repr=False)
+
+    def record_batch(self, occupancy: int) -> None:
+        self.batches += 1
+        self.batched_requests += occupancy
+
+    def record_latency(self, seconds: float) -> None:
+        with self._latency_lock:
+            self.latencies.append(seconds)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (what ``repro serve``'s ``stats`` prints)."""
+        with self._latency_lock:
+            lat = np.asarray(self.latencies, dtype=np.float64)
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "batches": self.batches,
+            "mean_batch_occupancy": round(self.mean_occupancy, 3),
+            "shared_computes": self.shared_computes,
+            "latency_mean_s": float(lat.mean()) if lat.size else float("nan"),
+            "latency_p50_s": float(np.percentile(lat, 50)) if lat.size else float("nan"),
+            "latency_p95_s": float(np.percentile(lat, 95)) if lat.size else float("nan"),
+        }
+
+
+class _GraphScatter:
+    """Reassembly state for one graph-level request split across batches."""
+
+    def __init__(self, request: Request, num_slots: int):
+        self.request = request
+        self.outputs: list[np.ndarray | None] = [None] * num_slots
+        self.remaining = num_slots
+
+    def fill(self, slot: int, value: np.ndarray) -> bool:
+        self.outputs[slot] = value
+        self.remaining -= 1
+        return self.remaining == 0
+
+
+class InferenceServer:
+    """Batched inference serving over warm :class:`~repro.api.Session`\\ s."""
+
+    def __init__(self, pool: SessionPool | None = None,
+                 policy: BatchPolicy | None = None,
+                 max_queue_depth: int = 256):
+        self.pool = pool or SessionPool()
+        self.policy = policy or BatchPolicy()
+        self.queue = RequestQueue(max_depth=max_queue_depth)
+        self.batcher = MicroBatcher(self.policy)
+        self.stats = ServerStats()
+        self._next_id = 0
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._submit_lock = threading.Lock()
+
+    # -- intake ----------------------------------------------------------- #
+    def submit(self, config, nodes: np.ndarray | None = None,
+               indices: np.ndarray | None = None,
+               timeout: float | None = None,
+               now: float | None = None) -> ServeFuture:
+        """Enqueue one inference request; returns its future immediately.
+
+        Node-level configs take ``nodes`` (a node-id array; ``None`` =
+        full-graph logits), graph-level configs take ``indices`` (graph
+        ids; ``None`` = every graph) — the same contract as
+        :meth:`repro.api.Session.predict`.  ``timeout`` (seconds from
+        submission) sets the request deadline: a request still queued
+        past it resolves with :class:`DeadlineExceededError` instead of
+        executing.  Raises :class:`~repro.serve.queue.QueueFullError`
+        (backpressure) or :class:`ServerClosedError` synchronously.
+        """
+        now = time.perf_counter() if now is None else now
+        kind = "nodes" if config.data.task_kind == "node" else "graphs"
+        if kind == "nodes" and indices is not None:
+            raise ValueError("indices= applies to graph-level configs; "
+                             "use nodes= for node-level configs")
+        if kind == "graphs" and nodes is not None:
+            raise ValueError("nodes= applies to node-level configs; "
+                             "use indices= for graph-level configs")
+        if nodes is not None:
+            nodes = np.asarray(nodes, dtype=np.int64)
+        if indices is not None:
+            indices = np.asarray(indices, dtype=np.int64)
+        # the closed check and the push are one atomic step: close() sets
+        # _closed under this lock and then drains, so a request can never
+        # slip into the queue after the final drain and hang its future
+        with self._submit_lock:
+            if self._closed:
+                raise ServerClosedError(
+                    "server is closed; submissions rejected")
+            request = Request(
+                id=self._next_id, config=config,
+                config_key=config_key(config),
+                kind=kind, nodes=nodes, indices=indices,
+                graph_key=self._graph_key(nodes),
+                deadline=None if timeout is None else now + timeout,
+            )
+            self._next_id += 1
+            try:
+                self.queue.push(request, now=now)
+            except Exception:
+                self.stats.rejected += 1
+                raise
+        self.stats.submitted += 1
+        return request.future
+
+    @staticmethod
+    def _graph_key(nodes: np.ndarray | None) -> str:
+        """Identity of the queried graph: full graph, or this node set.
+
+        The exact array (values *and* order) is hashed — requests
+        coalesce only when their answers are bitwise interchangeable.
+        """
+        if nodes is None:
+            return "full-graph"
+        return hashlib.sha1(nodes.tobytes()).hexdigest()[:16]
+
+    # -- scheduling ------------------------------------------------------- #
+    def step(self, now: float | None = None, force_flush: bool = False) -> int:
+        """One scheduling round: drain → coalesce → execute ready batches.
+
+        Returns the number of requests completed (including failures).
+        ``now`` threads a virtual clock through for deterministic
+        open-loop simulation; default is wall-clock.
+        """
+        now = time.perf_counter() if now is None else now
+        for request in self.queue.drain(now=now, on_expired=self._on_expired):
+            if request.kind == "nodes":
+                self.batcher.add(request.batch_key, request,
+                                 enqueued_at=request.enqueued_at)
+            else:
+                self._expand_graph_request(request)
+        done = 0
+        # a node group larger than max_batch_size flushes as several
+        # chunks, but its items are identical queries by construction —
+        # memoize the forward within this round so each key computes once
+        node_results: dict = {}
+        for batch in self.batcher.ready(now=now, force=force_flush):
+            done += self._execute(batch, now, node_results)
+        return done
+
+    def run_until_idle(self, now: float | None = None) -> int:
+        """Drain and execute everything pending; returns completions."""
+        done = 0
+        while len(self.queue) or len(self.batcher):
+            done += self.step(now=now, force_flush=True)
+        return done
+
+    def _on_expired(self, request: Request) -> None:
+        self.stats.expired += 1
+
+    def _expand_graph_request(self, request: Request) -> None:
+        """Split a graph-level request into bucketed per-graph work units."""
+        try:
+            session = self.pool.acquire(request.config, key=request.config_key)
+            ds = session.dataset
+            idx = (np.arange(ds.num_graphs, dtype=np.int64)
+                   if request.indices is None else request.indices)
+            sizes = [ds.graphs[int(i)].num_nodes for i in idx]
+        except Exception as exc:  # bad indices, dataset mismatch, …
+            request.future.set_exception(exc)
+            self.stats.failed += 1
+            return
+        scatter = _GraphScatter(request, num_slots=len(idx))
+        if not len(idx):
+            request.future.set_result(
+                np.empty((0, 0), dtype=np.float64))
+            self.stats.completed += 1
+            return
+        for slot, (i, size) in enumerate(zip(idx, sizes)):
+            key = (request.config_key, "graphs", seq_len_bucket(size))
+            self.batcher.add(key, (scatter, slot, int(i)),
+                             enqueued_at=request.enqueued_at)
+
+    # -- execution -------------------------------------------------------- #
+    def _execute(self, batch: MicroBatch, now: float,
+                 node_results: dict | None = None) -> int:
+        if batch.key[1] == "nodes":
+            return self._execute_nodes(batch, now,
+                                       {} if node_results is None
+                                       else node_results)
+        return self._execute_graphs(batch, now)
+
+    def _execute_nodes(self, batch: MicroBatch, now: float,
+                       node_results: dict) -> int:
+        """One forward for the whole group, fanned out to every future."""
+        requests: list[Request] = batch.items
+        self.stats.record_batch(len(requests))
+        first = requests[0]
+        shared = batch.key in node_results
+        if shared:
+            logits = node_results[batch.key]
+        else:
+            try:
+                session = self.pool.acquire(first.config,
+                                            key=first.config_key)
+                logits = session.predict(nodes=first.nodes)
+            except Exception as exc:
+                return self._fail_all(requests, exc)
+            node_results[batch.key] = logits
+        done = 0
+        for request in requests:
+            # fan-out: every future owns its own copy — the pristine
+            # original stays in the memo, immune to client mutation
+            done += self._complete(request, logits.copy(), now)
+        self.stats.shared_computes += len(requests) - (0 if shared else 1)
+        return done
+
+    def _execute_graphs(self, batch: MicroBatch, now: float) -> int:
+        """Dedup graph indices, run one predict, scatter to requests."""
+        items: list[tuple[_GraphScatter, int, int]] = batch.items
+        self.stats.record_batch(len(items))
+        first = items[0][0].request
+        unique = sorted({i for _, _, i in items})
+        try:
+            session = self.pool.acquire(first.config, key=first.config_key)
+            outs = session.predict(indices=np.asarray(unique, dtype=np.int64))
+        except Exception as exc:
+            seen: set[int] = set()
+            failed = 0
+            for scatter, _, _ in items:
+                if id(scatter) in seen:
+                    continue
+                seen.add(id(scatter))
+                if not scatter.request.future.done():
+                    scatter.request.future.set_exception(exc)
+                    self.stats.failed += 1
+                    failed += 1
+            return failed
+        by_index = {i: outs[pos] for pos, i in enumerate(unique)}
+        self.stats.shared_computes += len(items) - len(unique)
+        done = 0
+        for scatter, slot, i in items:
+            if scatter.fill(slot, by_index[i].copy()):
+                done += self._complete(
+                    scatter.request, np.stack(scatter.outputs), now)
+        return done
+
+    def _complete(self, request: Request, value: np.ndarray,
+                  now: float) -> int:
+        if request.future.done():  # e.g. already expired elsewhere
+            return 0
+        if request.expired(now):
+            request.future.set_exception(DeadlineExceededError(
+                f"request {request.id} completed after its deadline; "
+                "result dropped"))
+            self.stats.expired += 1
+            return 1
+        request.future.set_result(value)
+        self.stats.completed += 1
+        self.stats.record_latency(now - request.enqueued_at)
+        return 1
+
+    def _fail_all(self, requests: list[Request], exc: Exception) -> int:
+        for request in requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+                self.stats.failed += 1
+        return len(requests)
+
+    # -- threaded mode ---------------------------------------------------- #
+    def start(self) -> "InferenceServer":
+        """Run the scheduling loop on a background worker thread."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._stop_event.clear()
+        self._thread = threading.Thread(target=self._worker_loop,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def _worker_loop(self) -> None:
+        while not self._stop_event.is_set():
+            self.step()
+            due = self.batcher.next_flush_due()
+            if due is not None:
+                if due > 0:
+                    self._stop_event.wait(min(due, 0.05))
+            else:
+                self.queue.wait_nonempty(timeout=0.05)
+        self.run_until_idle()
+
+    def stop(self) -> None:
+        """Stop the worker thread, draining everything still pending."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+
+    def close(self) -> None:
+        """Reject new submissions, drain pending work, stop the worker."""
+        with self._submit_lock:
+            self._closed = True
+        if self._thread is not None:
+            self.stop()
+        # catch anything enqueued between the worker's final drain and
+        # the _closed flag taking effect
+        self.run_until_idle()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------- #
+    def stats_snapshot(self) -> dict:
+        """Counters + occupancy + latency percentiles + pool stats."""
+        snap = self.stats.snapshot()
+        snap["pool_sessions"] = len(self.pool)
+        snap["pool_hit_rate"] = round(self.pool.stats.hit_rate, 4)
+        snap["pool_evictions"] = self.pool.stats.evictions
+        return snap

@@ -27,6 +27,7 @@ from ..models.encodings import compute_encodings
 from ..tensor import AdamW, clip_grad_norm, no_grad, precision_scope
 from ..tensor import functional as F
 from .callbacks import Callback, EarlyStoppingCallback, as_callback_list
+from .checkpointing import load_checkpoint, save_checkpoint
 from .metrics import accuracy
 from .trainer import TrainingRecord, planned_forward, seed_stochastic_modules
 
@@ -80,6 +81,8 @@ def train_node_classification_batched(
     seed: int = 0,
     patience: int | None = None,
     callbacks: Sequence[Callback] | Callback | None = None,
+    checkpoint_path: str | None = None,
+    resume_path: str | None = None,
 ) -> TrainingRecord:
     """Node classification with sampled sequences of length ``seq_len``.
 
@@ -88,7 +91,10 @@ def train_node_classification_batched(
     same :class:`~repro.train.trainer.TrainingRecord` as the full-graph
     trainer, with ``seq_len`` stamped into the dataset name.
     ``patience`` / ``callbacks`` behave exactly as in the full-graph
-    trainer.
+    trainer.  ``checkpoint_path`` / ``resume_path`` save/restore
+    per-epoch training state; on resume the batch-sampling stream is
+    fast-forwarded past the completed epochs, so the resumed run draws
+    the same node partitions the uninterrupted run would have.
     """
     if seq_len < 2:
         raise ValueError("seq_len must be >= 2")
@@ -98,12 +104,21 @@ def train_node_classification_batched(
         record = TrainingRecord(engine=engine.name,
                                 dataset=f"{dataset.name}[S={seq_len}]")
         opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+        start_epoch = 0
+        if resume_path is not None:
+            start_epoch = load_checkpoint(resume_path, model, opt)["epoch"]
+            record.start_epoch = start_epoch
+            for _ in range(start_epoch):
+                # each completed epoch consumed two permutations: one for
+                # the training partition, one for batched eval
+                rng.permutation(dataset.num_nodes)
+                rng.permutation(dataset.num_nodes)
         cbs = as_callback_list(callbacks)
         if patience:
             cbs.append(EarlyStoppingCallback(patience, mode="max"))
         cbs.on_fit_start(record)
 
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             t0 = time.perf_counter()
             model.train()
             epoch_loss, steps = 0.0, 0
@@ -141,6 +156,11 @@ def train_node_classification_batched(
                 accuracy(logits, dataset.labels, dataset.val_mask))
             record.test_metric.append(
                 accuracy(logits, dataset.labels, dataset.test_mask))
+            if checkpoint_path is not None:
+                save_checkpoint(checkpoint_path, model, opt, epoch=epoch + 1,
+                                metadata={"dataset": dataset.name,
+                                          "engine": engine.name,
+                                          "seq_len": seq_len})
             if cbs.on_epoch_end(epoch, record):
                 break
         cbs.on_fit_end(record)

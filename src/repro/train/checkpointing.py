@@ -6,6 +6,9 @@ A checkpoint bundles everything a resumed run needs to continue
 * model parameters (:meth:`~repro.tensor.module.Module.state_dict`),
 * optimizer buffers (Adam moments, momentum, step count),
 * learning-rate schedule position,
+* the positions of the model's stochastic streams (dropout, gumbel
+  noise generators), so a resumed run draws the *same* noise the
+  uninterrupted run would have drawn from that epoch on,
 * the epoch counter and any user metadata (dataset name, engine config).
 
 Storage is a single compressed ``.npz``: arrays are stored natively and
@@ -38,6 +41,39 @@ def _flatten_optimizer(state: dict, out: dict) -> None:
                 out[f"opt/buf/{name}/{i}"] = arr
         else:
             out[f"opt/scalar/{name}"] = np.asarray(values)
+
+
+def _capture_rng(model: Module) -> str:
+    """JSON-encode the bit-generator state of every stochastic module.
+
+    Keyed by (module traversal index, kind) — the same addressing
+    :func:`~repro.train.trainer.seed_stochastic_modules` uses, so the
+    states land back on the modules they came from.
+    """
+    from ..tensor import Dropout
+
+    states = []
+    for i, m in enumerate(model.modules()):
+        if isinstance(m, Dropout):
+            states.append([i, "dropout", m.rng.bit_generator.state])
+        if hasattr(m, "_gumbel_rng"):
+            states.append([i, "gumbel", m._gumbel_rng.bit_generator.state])
+    return json.dumps(states)
+
+
+def _restore_rng(model: Module, payload: str) -> None:
+    from ..tensor import Dropout
+
+    states = {(int(i), kind): st for i, kind, st in json.loads(payload)}
+    for i, m in enumerate(model.modules()):
+        if isinstance(m, Dropout) and (i, "dropout") in states:
+            rng = np.random.default_rng()
+            rng.bit_generator.state = states[(i, "dropout")]
+            m.rng = rng
+        if hasattr(m, "_gumbel_rng") and (i, "gumbel") in states:
+            rng = np.random.default_rng()
+            rng.bit_generator.state = states[(i, "gumbel")]
+            m._gumbel_rng = rng
 
 
 def _unflatten_optimizer(z) -> dict:
@@ -74,6 +110,7 @@ def save_checkpoint(path: str | os.PathLike, model: Module,
         arrays["sched/base_lr"] = np.float64(sched["base_lr"])
     if metadata:
         arrays["metadata"] = np.str_(json.dumps(metadata))
+    arrays["rng"] = np.str_(_capture_rng(model))
     np.savez_compressed(path, **arrays)
 
 
@@ -91,6 +128,8 @@ def load_checkpoint(path: str | os.PathLike, model: Module,
         model_state = {key.split("/", 1)[1]: z[key]
                        for key in z.files if key.startswith("model/")}
         model.load_state_dict(model_state)
+        if "rng" in z.files:  # absent in pre-v1.2 archives
+            _restore_rng(model, str(z["rng"]))
         if optimizer is not None:
             if "opt/lr" not in z.files:
                 raise ValueError("checkpoint holds no optimizer state")

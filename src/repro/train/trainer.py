@@ -20,6 +20,7 @@ from ..models.encodings import GraphEncodings, compute_encodings
 from ..tensor import AdamW, Dropout, clip_grad_norm, precision_scope
 from ..tensor import functional as F
 from .callbacks import Callback, EarlyStoppingCallback, as_callback_list
+from .checkpointing import load_checkpoint, save_checkpoint
 from .metrics import accuracy, mae
 
 __all__ = ["TrainingRecord", "planned_forward", "seed_stochastic_modules",
@@ -38,6 +39,12 @@ class TrainingRecord:
     epoch_times: list[float] = field(default_factory=list)
     preprocess_seconds: float = 0.0
     metric_name: str = "accuracy"
+    start_epoch: int = 0  # >0 when the run resumed from a checkpoint
+
+    @property
+    def epochs_trained(self) -> int:
+        """Total epochs the model has seen, counting pre-resume ones."""
+        return self.start_epoch + len(self.train_loss)
 
     @property
     def final_test(self) -> float:
@@ -120,6 +127,8 @@ def train_node_classification(
     seed: int = 0,
     patience: int | None = None,
     callbacks: Sequence[Callback] | Callback | None = None,
+    checkpoint_path: str | None = None,
+    resume_path: str | None = None,
 ) -> TrainingRecord:
     """Full-graph node classification (the sequence is all N nodes).
 
@@ -131,6 +140,12 @@ def train_node_classification(
     holds only the epochs actually run.  ``callbacks`` receive
     ``on_epoch_end`` / ``on_reform`` hooks (see
     :mod:`repro.train.callbacks`).
+
+    ``checkpoint_path`` writes a full training checkpoint (model +
+    optimizer + noise-stream positions + epoch counter) after every
+    epoch; ``resume_path`` restores one and continues from its epoch —
+    bit-compatible with the uninterrupted run for engines without
+    runtime tuner state (the record then holds only the resumed epochs).
     """
     seed_stochastic_modules(model, seed)
     with precision_scope(engine.precision):
@@ -139,13 +154,17 @@ def train_node_classification(
         record = TrainingRecord(engine=engine.name, dataset=dataset.name,
                                 preprocess_seconds=ctx.preprocess_seconds)
         opt = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+        start_epoch = 0
+        if resume_path is not None:
+            start_epoch = load_checkpoint(resume_path, model, opt)["epoch"]
+            record.start_epoch = start_epoch
         masked_labels = np.where(train_m, labels, -1)
         cbs = as_callback_list(callbacks)
         if patience:
             cbs.append(EarlyStoppingCallback(patience, mode="max"))
         cbs.on_fit_start(record)
 
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             t0 = time.perf_counter()
             model.train()
             logits = planned_forward(model, engine, ctx, feats, enc, train=True)
@@ -170,6 +189,10 @@ def train_node_classification(
                     out = planned_forward(model, engine, ctx, feats, enc, train=False)
                 record.val_metric.append(accuracy(out.data, labels, val_m))
                 record.test_metric.append(accuracy(out.data, labels, test_m))
+            if checkpoint_path is not None:
+                save_checkpoint(checkpoint_path, model, opt, epoch=epoch + 1,
+                                metadata={"dataset": dataset.name,
+                                          "engine": engine.name})
             if cbs.on_epoch_end(epoch, record):
                 break
         cbs.on_fit_end(record)
@@ -188,6 +211,8 @@ def train_graph_task(
     seed: int = 0,
     patience: int | None = None,
     callbacks: Sequence[Callback] | Callback | None = None,
+    checkpoint_path: str | None = None,
+    resume_path: str | None = None,
 ) -> TrainingRecord:
     """Graph-level classification or regression (one graph per step).
 
@@ -196,7 +221,9 @@ def train_graph_task(
     for MalNet-scale graphs.  ``seed`` pins training-time noise streams;
     ``patience`` early-stops on the validation metric (minimized for
     regression MAE, maximized for accuracy); ``callbacks`` receive the
-    :mod:`repro.train.callbacks` hooks.
+    :mod:`repro.train.callbacks` hooks.  ``checkpoint_path`` /
+    ``resume_path`` save/restore per-epoch training state exactly as in
+    :func:`train_node_classification`.
     """
     seed_stochastic_modules(model, seed)
     with precision_scope(engine.precision):
@@ -238,12 +265,16 @@ def train_graph_task(
             logits = np.stack([p for p in preds])
             return accuracy(logits, dataset.targets[idx])
 
+        start_epoch = 0
+        if resume_path is not None:
+            start_epoch = load_checkpoint(resume_path, model, opt)["epoch"]
+            record.start_epoch = start_epoch
         cbs = as_callback_list(callbacks)
         if patience:
             cbs.append(EarlyStoppingCallback(
                 patience, mode="min" if is_regression else "max"))
         cbs.on_fit_start(record)
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             t0 = time.perf_counter()
             model.train()
             epoch_loss = 0.0
@@ -265,6 +296,10 @@ def train_graph_task(
             engine.observe_epoch(record.train_loss[-1], epoch_time)
             record.val_metric.append(evaluate(dataset.val_idx))
             record.test_metric.append(evaluate(dataset.test_idx))
+            if checkpoint_path is not None:
+                save_checkpoint(checkpoint_path, model, opt, epoch=epoch + 1,
+                                metadata={"dataset": dataset.name,
+                                          "engine": engine.name})
             if cbs.on_epoch_end(epoch, record):
                 break
         cbs.on_fit_end(record)

@@ -340,3 +340,37 @@ class TestCallbacks:
 
         Session(node_config()).fit(callbacks=[Spy()])
         assert events == ["start", "end"]
+
+
+class TestInferCacheDatasetIdentity:
+    """The inference cache is keyed by dataset identity, not just lifecycle:
+    a session whose dataset object changes (shared-dataset sweeps swap
+    instances of the same named dataset) must never serve a (ctx, enc)
+    built for different data."""
+
+    def test_swapped_dataset_invalidates_cached_context(self):
+        from repro.graph import load_node_dataset
+
+        ds_a = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        ds_b = load_node_dataset("ogbn-arxiv", scale=0.1, seed=99)
+        assert not np.array_equal(ds_a.features, ds_b.features)
+
+        s = Session(node_config(), dataset=ds_a)
+        out_a = s.predict()
+        assert s._infer_cache is not None
+
+        s._dataset = ds_b  # same name/scale, different data
+        out_b = s.predict()
+        # the cache was rebuilt for ds_b, so the result matches a fresh
+        # session over ds_b exactly — not the stale ds_a context
+        fresh = Session(node_config(), dataset=ds_b).predict()
+        np.testing.assert_array_equal(out_b, fresh)
+        assert not np.array_equal(out_a, out_b)
+
+    def test_same_dataset_still_hits_the_cache(self):
+        s = Session(node_config(engine=EngineConfig("torchgt")))
+        s.predict()
+        ds, ctx, enc = s._infer_cache
+        s.predict()
+        assert s._infer_cache[1] is ctx and s._infer_cache[2] is enc
+

@@ -1,0 +1,89 @@
+"""Micro-batching: size/age flush rules, grouping, seq-len bucketing."""
+
+import pytest
+
+from repro.serve import BatchPolicy, MicroBatcher, seq_len_bucket
+
+
+class TestPolicy:
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1.0)
+
+    def test_zero_wait_is_flush_every_step(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_s=0.0))
+        b.add("k", "item", enqueued_at=5.0)
+        assert len(b.ready(now=5.0)) == 1
+
+
+class TestFlushRules:
+    def test_holds_below_size_and_age(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=3, max_wait_s=1.0))
+        b.add("k", 1, enqueued_at=0.0)
+        b.add("k", 2, enqueued_at=0.0)
+        assert b.ready(now=0.5) == []
+        assert len(b) == 2
+
+    def test_flushes_on_size(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=2, max_wait_s=100.0))
+        b.add("k", 1, enqueued_at=0.0)
+        b.add("k", 2, enqueued_at=0.0)
+        (batch,) = b.ready(now=0.0)
+        assert batch.items == [1, 2]
+        assert len(b) == 0
+
+    def test_flushes_on_age(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_s=0.5))
+        b.add("k", 1, enqueued_at=0.0)
+        assert b.ready(now=0.4) == []
+        (batch,) = b.ready(now=0.6)
+        assert batch.items == [1]
+
+    def test_oversize_group_splits_into_full_batches(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=2, max_wait_s=0.0))
+        for i in range(5):
+            b.add("k", i, enqueued_at=0.0)
+        batches = b.ready(now=0.0)
+        assert [batch.items for batch in batches] == [[0, 1], [2, 3], [4]]
+
+    def test_groups_are_independent(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=2, max_wait_s=100.0))
+        b.add("a", 1, enqueued_at=0.0)
+        b.add("a", 2, enqueued_at=0.0)
+        b.add("b", 3, enqueued_at=0.0)
+        (batch,) = b.ready(now=0.0)
+        assert batch.key == "a"
+        assert len(b) == 1  # "b" still pending
+
+    def test_flush_forces_everything_oldest_first(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=10, max_wait_s=100.0))
+        b.add("young", 1, enqueued_at=5.0)
+        b.add("old", 2, enqueued_at=1.0)
+        batches = b.flush()
+        assert [batch.key for batch in batches] == ["old", "young"]
+        assert len(b) == 0
+
+    def test_next_flush_due(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=10, max_wait_s=1.0))
+        assert b.next_flush_due() is None
+        b.add("k", 1, enqueued_at=2.0)
+        assert b.next_flush_due(now=2.25) == pytest.approx(0.75)
+        assert b.next_flush_due(now=10.0) == 0.0
+
+
+class TestSeqLenBucket:
+    def test_powers_of_two_with_floor(self):
+        assert seq_len_bucket(1) == 32
+        assert seq_len_bucket(32) == 32
+        assert seq_len_bucket(33) == 64
+        assert seq_len_bucket(1000) == 1024
+
+    def test_padding_waste_bounded_below_two(self):
+        for n in range(33, 4097, 7):
+            assert seq_len_bucket(n) / n < 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            seq_len_bucket(0)

@@ -1,0 +1,139 @@
+"""SessionPool: LRU eviction, dataset sharing, checkpoint admission."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.serve import SessionPool, config_key
+
+
+def node_config(seed=0, **kw):
+    defaults = dict(
+        data=DataConfig("ogbn-arxiv", scale=0.1),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig("gp-raw"),
+        train=TrainConfig(epochs=2, lr=2e-3),
+        seed=seed,
+    )
+    defaults.update(kw)
+    return RunConfig(**defaults)
+
+
+class TestConfigKey:
+    def test_equal_configs_share_a_key(self):
+        assert config_key(node_config()) == config_key(node_config())
+
+    def test_any_field_separates_keys(self):
+        base = node_config()
+        assert config_key(base) != config_key(node_config(seed=1))
+        assert config_key(base) != config_key(
+            node_config(engine=EngineConfig("gp-sparse")))
+
+
+class TestLRU:
+    def test_hit_returns_same_session(self):
+        pool = SessionPool(max_sessions=2)
+        cfg = node_config()
+        assert pool.acquire(cfg) is pool.acquire(cfg)
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        pool = SessionPool(max_sessions=2)
+        cfgs = [node_config(seed=i) for i in range(3)]
+        s0 = pool.acquire(cfgs[0])
+        pool.acquire(cfgs[1])
+        pool.acquire(cfgs[0])  # touch: cfg1 is now the LRU entry
+        pool.acquire(cfgs[2])  # evicts cfg1
+        assert pool.stats.evictions == 1
+        assert cfgs[1] not in pool
+        assert pool.acquire(cfgs[0]) is s0  # survived as MRU
+
+    def test_put_seeds_a_fitted_session(self):
+        pool = SessionPool(max_sessions=2)
+        session = Session(node_config())
+        pool.put(session)
+        assert pool.acquire(session.config) is session
+        assert pool.stats.misses == 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SessionPool(max_sessions=0)
+
+
+class TestDatasetSharing:
+    def test_same_data_identity_shares_dataset_object(self):
+        pool = SessionPool(max_sessions=4)
+        a = pool.acquire(node_config(seed=0))
+        b = pool.acquire(node_config(seed=0,
+                                     engine=EngineConfig("gp-sparse")))
+        assert a is not b
+        assert a.dataset is b.dataset
+
+    def test_different_scale_gets_its_own_dataset(self):
+        pool = SessionPool(max_sessions=4)
+        a = pool.acquire(node_config())
+        b = pool.acquire(node_config(data=DataConfig("ogbn-arxiv", scale=0.2)))
+        assert a.dataset is not b.dataset
+
+    def test_eviction_prunes_unreferenced_datasets(self):
+        pool = SessionPool(max_sessions=1)
+        pool.acquire(node_config())
+        pool.acquire(node_config(data=DataConfig("ogbn-arxiv", scale=0.2)))
+        pool.acquire(node_config(data=DataConfig("flickr", scale=0.1)))
+        # only the surviving session's dataset is retained
+        assert len(pool._datasets) == 1
+        assert pool.stats.evictions == 2
+
+    def test_data_seed_participates_in_identity(self):
+        pool = SessionPool(max_sessions=4)
+        a = pool.acquire(node_config(
+            data=DataConfig("ogbn-arxiv", scale=0.1, seed=7)))
+        b = pool.acquire(node_config(
+            data=DataConfig("ogbn-arxiv", scale=0.1, seed=8)))
+        assert a.dataset is not b.dataset
+
+
+class TestCheckpointAdmission:
+    def test_admission_loads_registered_weights(self, tmp_path):
+        cfg = node_config()
+        trained = Session(cfg)
+        trained.fit()
+        path = str(tmp_path / "weights.npz")
+        trained.save_checkpoint(path)
+
+        pool = SessionPool(max_sessions=2, checkpoints={config_key(cfg): path})
+        warm = pool.acquire(cfg)
+        assert warm is not trained
+        assert pool.stats.checkpoint_loads == 1
+        for a, b in zip(trained.model.parameters(), warm.model.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_add_checkpoint_accepts_config_object(self, tmp_path):
+        cfg = node_config()
+        session = Session(cfg)
+        path = str(tmp_path / "w.npz")
+        session.save_checkpoint(path)
+        pool = SessionPool()
+        assert pool.add_checkpoint(cfg, path) == config_key(cfg)
+        pool.acquire(cfg)
+        assert pool.stats.checkpoint_loads == 1
+
+    def test_readmission_after_eviction_reloads(self, tmp_path):
+        cfg = node_config()
+        path = str(tmp_path / "w.npz")
+        Session(cfg).save_checkpoint(path)
+        pool = SessionPool(max_sessions=1, checkpoints={config_key(cfg): path})
+        pool.acquire(cfg)
+        pool.acquire(node_config(seed=9))  # evicts cfg
+        pool.acquire(cfg)
+        assert pool.stats.checkpoint_loads == 2

@@ -1,0 +1,100 @@
+"""Request queue: futures, deadlines, bounded-depth backpressure."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    DeadlineExceededError,
+    QueueFullError,
+    Request,
+    RequestQueue,
+    ServeFuture,
+)
+
+
+def make_request(req_id=0, deadline=None):
+    return Request(id=req_id, config=None, config_key="cfg", kind="nodes",
+                   deadline=deadline)
+
+
+class TestServeFuture:
+    def test_result_roundtrip(self):
+        f = ServeFuture()
+        assert not f.done()
+        f.set_result(41)
+        assert f.done()
+        assert f.result() == 41
+        assert f.exception() is None
+
+    def test_exception_raised_on_result(self):
+        f = ServeFuture()
+        f.set_exception(ValueError("boom"))
+        assert isinstance(f.exception(), ValueError)
+        with pytest.raises(ValueError):
+            f.result()
+
+    def test_write_once(self):
+        f = ServeFuture()
+        f.set_result(1)
+        with pytest.raises(Exception):
+            f.set_result(2)
+
+    def test_result_timeout_while_pending(self):
+        with pytest.raises(TimeoutError):
+            ServeFuture().result(timeout=0.001)
+
+    def test_result_unblocks_across_threads(self):
+        f = ServeFuture()
+        threading.Timer(0.01, f.set_result, args=("done",)).start()
+        assert f.result(timeout=5.0) == "done"
+
+
+class TestBackpressure:
+    def test_rejects_when_full_with_reason(self):
+        q = RequestQueue(max_depth=2)
+        q.push(make_request(0), now=0.0)
+        q.push(make_request(1), now=0.0)
+        with pytest.raises(QueueFullError) as exc:
+            q.push(make_request(2), now=0.0)
+        assert "max_depth=2" in str(exc.value)
+        assert exc.value.reason  # rejection always carries a reason
+        assert len(q) == 2
+
+    def test_depth_frees_after_drain(self):
+        q = RequestQueue(max_depth=1)
+        q.push(make_request(0), now=0.0)
+        assert len(q.drain(now=0.0)) == 1
+        q.push(make_request(1), now=0.0)  # accepted again
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_depth=0)
+
+
+class TestDeadlines:
+    def test_expired_requests_resolve_with_error(self):
+        q = RequestQueue()
+        live = make_request(0, deadline=10.0)
+        dead = make_request(1, deadline=0.5)
+        q.push(dead, now=0.0)
+        q.push(live, now=0.0)
+        expired = []
+        out = q.drain(now=1.0, on_expired=expired.append)
+        assert out == [live]
+        assert expired == [dead]
+        assert isinstance(dead.future.exception(), DeadlineExceededError)
+        assert not live.future.done()
+
+    def test_no_deadline_never_expires(self):
+        q = RequestQueue()
+        q.push(make_request(0), now=0.0)
+        assert len(q.drain(now=1e9)) == 1
+
+    def test_drain_respects_max_items_and_order(self):
+        q = RequestQueue()
+        for i in range(5):
+            q.push(make_request(i), now=float(i))
+        first = q.drain(now=10.0, max_items=2)
+        assert [r.id for r in first] == [0, 1]
+        assert [r.id for r in q.drain(now=10.0)] == [2, 3, 4]

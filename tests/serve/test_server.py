@@ -1,0 +1,319 @@
+"""InferenceServer end-to-end: coalescing, fan-out, deadlines, stats,
+threaded mode, and the seeded load generator."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceededError,
+    InferenceServer,
+    QueueFullError,
+    ServerClosedError,
+    SessionPool,
+    compare_with_naive,
+    make_graph_workload,
+    make_node_workload,
+    run_closed_loop,
+    run_open_loop,
+)
+
+MODEL = ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                    num_heads=4, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def node_cfg():
+    return RunConfig(data=DataConfig("ogbn-arxiv", scale=0.1), model=MODEL,
+                     engine=EngineConfig("gp-raw"),
+                     train=TrainConfig(epochs=2, lr=2e-3))
+
+
+@pytest.fixture(scope="module")
+def graph_cfg():
+    return RunConfig(data=DataConfig("zinc", scale=0.05), model=MODEL,
+                     engine=EngineConfig("gp-sparse"),
+                     train=TrainConfig(epochs=1))
+
+
+@pytest.fixture(scope="module")
+def node_session(node_cfg):
+    return Session(node_cfg)
+
+
+@pytest.fixture
+def server():
+    return InferenceServer()
+
+
+class TestNodeServing:
+    def test_full_graph_matches_session_predict(self, server, node_cfg,
+                                                node_session):
+        future = server.submit(node_cfg)
+        server.run_until_idle()
+        np.testing.assert_array_equal(future.result(),
+                                      node_session.predict())
+
+    def test_node_subset_matches_session_predict(self, server, node_cfg,
+                                                 node_session):
+        nodes = np.array([5, 1, 9, 3])
+        future = server.submit(node_cfg, nodes=nodes)
+        server.run_until_idle()
+        np.testing.assert_array_equal(future.result(),
+                                      node_session.predict(nodes=nodes))
+
+    def test_identical_queries_share_one_forward(self, server, node_cfg):
+        nodes = np.array([0, 1, 2, 3])
+        futures = [server.submit(node_cfg, nodes=nodes) for _ in range(4)]
+        server.run_until_idle()
+        results = [f.result() for f in futures]
+        assert server.stats.batches == 1
+        assert server.stats.shared_computes == 3
+        for r in results[1:]:
+            np.testing.assert_array_equal(results[0], r)
+        # fan-out hands each future its own array, not a shared buffer
+        results[0][:] = -1.0
+        assert not np.array_equal(results[0], results[1])
+
+    def test_oversize_group_still_computes_once(self, node_cfg):
+        """A node group split across max_batch_size chunks shares one
+        forward — the chunks carry interchangeable queries."""
+        server = InferenceServer(
+            policy=BatchPolicy(max_batch_size=4, max_wait_s=100.0))
+        nodes = np.array([0, 1, 2])
+        futures = [server.submit(node_cfg, nodes=nodes) for _ in range(10)]
+        server.run_until_idle()
+        assert server.stats.batches == 3  # 4 + 4 + 2
+        assert server.stats.shared_computes == 9  # one compute for all ten
+        results = [f.result() for f in futures]
+        for r in results[1:]:
+            np.testing.assert_array_equal(results[0], r)
+
+    def test_different_node_sets_do_not_coalesce(self, server, node_cfg):
+        server.submit(node_cfg, nodes=np.array([0, 1]))
+        server.submit(node_cfg, nodes=np.array([2, 3]))
+        server.run_until_idle()
+        assert server.stats.batches == 2
+        assert server.stats.shared_computes == 0
+
+    def test_node_order_is_part_of_graph_identity(self, server, node_cfg,
+                                                  node_session):
+        a = server.submit(node_cfg, nodes=np.array([3, 1]))
+        b = server.submit(node_cfg, nodes=np.array([1, 3]))
+        server.run_until_idle()
+        assert server.stats.batches == 2  # answers are not interchangeable
+        np.testing.assert_array_equal(
+            a.result(), node_session.predict(nodes=np.array([3, 1])))
+        np.testing.assert_array_equal(
+            b.result(), node_session.predict(nodes=np.array([1, 3])))
+
+    def test_distinct_configs_get_distinct_sessions(self, server, node_cfg):
+        other = RunConfig(data=node_cfg.data, model=MODEL,
+                          engine=EngineConfig("gp-sparse"),
+                          train=node_cfg.train)
+        f1 = server.submit(node_cfg)
+        f2 = server.submit(other)
+        server.run_until_idle()
+        assert server.stats.batches == 2
+        assert len(server.pool) == 2
+        assert f1.result().shape == f2.result().shape
+
+    def test_kind_mismatch_rejected_at_submit(self, server, node_cfg,
+                                              graph_cfg):
+        with pytest.raises(ValueError):
+            server.submit(node_cfg, indices=np.array([0]))
+        with pytest.raises(ValueError):
+            server.submit(graph_cfg, nodes=np.array([0]))
+
+
+class TestGraphServing:
+    def test_matches_session_predict(self, server, graph_cfg):
+        idx = np.array([0, 3, 5])
+        future = server.submit(graph_cfg, indices=idx)
+        server.run_until_idle()
+        session = Session(graph_cfg,
+                          dataset=server.pool.acquire(graph_cfg).dataset)
+        np.testing.assert_array_equal(future.result(),
+                                      session.predict(indices=idx))
+
+    def test_overlapping_requests_dedup_shared_graphs(self, server,
+                                                      graph_cfg):
+        f1 = server.submit(graph_cfg, indices=np.array([0, 1, 2]))
+        f2 = server.submit(graph_cfg, indices=np.array([1, 2, 3]))
+        server.run_until_idle()
+        assert server.stats.shared_computes >= 2  # graphs 1 and 2 computed once
+        assert f1.result().shape == f2.result().shape
+        # the shared graphs produced identical rows in both answers
+        np.testing.assert_array_equal(f1.result()[1:], f2.result()[:2])
+
+    def test_bad_index_fails_that_request_only(self, server, graph_cfg):
+        bad = server.submit(graph_cfg, indices=np.array([10_000]))
+        good = server.submit(graph_cfg, indices=np.array([0]))
+        server.run_until_idle()
+        assert isinstance(bad.exception(), Exception)
+        assert good.result().shape[0] == 1
+        assert server.stats.failed == 1
+
+
+class TestDeadlinesAndBackpressure:
+    def test_deadline_expires_in_queue(self, node_cfg):
+        server = InferenceServer()
+        future = server.submit(node_cfg, nodes=np.array([0]), timeout=0.5,
+                               now=0.0)
+        server.step(now=1.0, force_flush=True)
+        assert isinstance(future.exception(), DeadlineExceededError)
+        assert server.stats.expired == 1
+        assert server.stats.completed == 0
+
+    def test_queue_full_rejects_with_reason(self, node_cfg):
+        server = InferenceServer(max_queue_depth=2)
+        server.submit(node_cfg, now=0.0)
+        server.submit(node_cfg, now=0.0)
+        with pytest.raises(QueueFullError):
+            server.submit(node_cfg, now=0.0)
+        assert server.stats.rejected == 1
+        server.run_until_idle()
+
+    def test_closed_server_rejects(self, node_cfg):
+        server = InferenceServer()
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(node_cfg)
+
+
+class TestStats:
+    def test_snapshot_fields(self, server, node_cfg):
+        for _ in range(3):
+            server.submit(node_cfg, nodes=np.array([0, 1]))
+        server.run_until_idle()
+        snap = server.stats_snapshot()
+        assert snap["submitted"] == 3
+        assert snap["completed"] == 3
+        assert snap["batches"] == 1
+        assert snap["mean_batch_occupancy"] == 3.0
+        assert snap["latency_p95_s"] >= snap["latency_p50_s"] >= 0.0
+        assert snap["pool_sessions"] == 1
+        assert 0.0 <= snap["pool_hit_rate"] <= 1.0
+
+
+class TestThreadedMode:
+    def test_background_worker_serves_requests(self, node_cfg, node_session):
+        server = InferenceServer(
+            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.001))
+        server.start()
+        try:
+            futures = [server.submit(node_cfg, nodes=np.array([0, 1, 2]))
+                       for _ in range(6)]
+            results = [f.result(timeout=30.0) for f in futures]
+        finally:
+            server.stop()
+        expected = node_session.predict(nodes=np.array([0, 1, 2]))
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+
+    def test_double_start_rejected(self, node_cfg):
+        server = InferenceServer().start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_context_manager_closes(self, node_cfg):
+        with InferenceServer() as server:
+            future = server.submit(node_cfg, nodes=np.array([0]))
+        assert future.done()
+        with pytest.raises(ServerClosedError):
+            server.submit(node_cfg)
+
+
+class TestLoadGenerator:
+    def test_workloads_are_seeded_and_repeated(self, node_session):
+        ds = node_session.dataset
+        a = make_node_workload(ds, 16, distinct=3, seed=5)
+        b = make_node_workload(ds, 16, distinct=3, seed=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        distinct = {arr.tobytes() for arr in a}
+        assert len(distinct) == 3  # repeated-query workload, by construction
+
+    def test_closed_loop_burst_resolves_all_with_correct_shapes(
+            self, node_cfg, node_session):
+        ds = node_session.dataset
+        payloads = make_node_workload(ds, 12, distinct=3,
+                                      nodes_per_request=8, seed=0)
+        server = InferenceServer()
+        report = run_closed_loop(server, node_cfg, payloads, concurrency=6)
+        assert report.completed == 12
+        assert all(r.shape == (8, ds.num_classes) for r in report.results)
+        assert report.throughput_rps > 0
+
+    def test_open_loop_is_deterministic(self, node_cfg, node_session):
+        payloads = make_node_workload(node_session.dataset, 20, distinct=3,
+                                      nodes_per_request=8, seed=1)
+
+        def run():
+            return run_open_loop(InferenceServer(max_queue_depth=16),
+                                 node_cfg, payloads, rate_rps=400.0, seed=2,
+                                 timeout=1.0)
+
+        a, b = run(), run()
+        assert (a.completed, a.rejected, a.expired) == \
+               (b.completed, b.rejected, b.expired)
+        assert a.duration_s == b.duration_s  # virtual clock replays exactly
+        assert all(np.array_equal(x, y) for x, y in zip(a.results, b.results))
+
+    def test_graph_workload_shapes(self, graph_cfg):
+        session = Session(graph_cfg)
+        payloads = make_graph_workload(session.dataset, 6, distinct=2,
+                                       graphs_per_request=3, seed=0)
+        server = InferenceServer()
+        futures = [server.submit(graph_cfg, indices=p) for p in payloads]
+        server.run_until_idle()
+        for f in futures:
+            assert f.result().shape[0] == 3
+
+    def test_loop_runners_accept_graph_configs(self, graph_cfg):
+        session = Session(graph_cfg)
+        payloads = make_graph_workload(session.dataset, 6, distinct=2,
+                                       graphs_per_request=2, seed=0)
+        closed = run_closed_loop(InferenceServer(), graph_cfg, payloads,
+                                 concurrency=3)
+        assert closed.completed == 6
+        open_ = run_open_loop(InferenceServer(), graph_cfg, payloads,
+                              rate_rps=200.0, seed=1)
+        assert open_.completed == 6
+        assert all(r.shape[0] == 2 for r in closed.results + open_.results)
+
+    def test_compare_with_naive_is_bitwise_identical(self, node_cfg,
+                                                     node_session):
+        result = compare_with_naive(node_cfg, num_requests=12, distinct=3,
+                                    nodes_per_request=8, concurrency=6,
+                                    dataset=node_session.dataset)
+        assert result["identical"]
+        assert result["mean_batch_occupancy"] >= 1.0
+        assert result["shared_computes"] > 0
+
+    def test_compare_with_naive_rejects_graph_configs(self, graph_cfg):
+        with pytest.raises(ValueError, match="node-level serving path"):
+            compare_with_naive(graph_cfg, num_requests=4)
+
+    def test_open_loop_separates_failures_from_expiries(self, graph_cfg):
+        """Execution errors (bad graph index) are counted as failed, not
+        mislabeled as deadline expiries."""
+        session = Session(graph_cfg)
+        good = make_graph_workload(session.dataset, 3, distinct=1,
+                                   graphs_per_request=2, seed=0)
+        payloads = good + [np.array([10_000])]  # out-of-range graph id
+        report = run_open_loop(InferenceServer(), graph_cfg, payloads,
+                               rate_rps=200.0, seed=0)
+        assert report.completed == 3
+        assert report.failed == 1
+        assert report.expired == 0

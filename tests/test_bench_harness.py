@@ -86,3 +86,30 @@ class TestSeriesReport:
         s = self.make()
         s.add_note("shape holds")
         assert "note: shape holds" in s.render()
+
+
+class TestServeThroughputTable:
+    RESULT = {
+        "num_requests": 64, "distinct_queries": 4, "concurrency": 16,
+        "naive_s": 0.4, "batched_s": 0.1, "naive_rps": 160.0,
+        "batched_rps": 640.0, "speedup": 4.0, "identical": True,
+        "mean_batch_occupancy": 4.0, "shared_computes": 48,
+    }
+
+    def test_renders_both_paths_and_identity_note(self):
+        from repro.bench import serve_throughput_table
+        out = serve_throughput_table(self.RESULT).render()
+        assert "naive per-request" in out and "batched serving" in out
+        assert "4.00×" in out
+        assert "bitwise-identical per-request results: yes" in out
+        assert "48 of 64 requests" in out
+
+    def test_flags_non_identical_results(self):
+        from repro.bench import serve_throughput_table
+        bad = dict(self.RESULT, identical=False)
+        assert "NO" in serve_throughput_table(bad).render()
+
+    def test_title_override(self):
+        from repro.bench import serve_throughput_table
+        out = serve_throughput_table(self.RESULT, title="custom").render()
+        assert out.startswith("== custom ==")

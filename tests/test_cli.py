@@ -162,3 +162,131 @@ class TestRun:
                    "--scale", "0.1"])
         assert rc == 2
         assert "--pattern only applies" in capsys.readouterr().err
+
+
+class TestTrainCheckpointFlags:
+    """`repro train --checkpoint` / `--resume` round trip."""
+
+    def test_checkpoint_then_resume_continues_training(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "2",
+                   "--scale", "0.1", "--engine", "gp-raw",
+                   "--checkpoint", ck])
+        assert rc == 0
+        assert f"training checkpoint saved to {ck}" in capsys.readouterr().out
+
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "4",
+                   "--scale", "0.1", "--engine", "gp-raw", "--resume", ck])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"resuming from {ck}" in out
+        # resumed run executes epochs 3..4 only
+        assert "epoch   3" in out and "epoch   4" in out
+        assert "epoch   1  loss" not in out
+
+    def test_resume_missing_file_fails_cleanly(self, capsys):
+        rc = main(["train", "--dataset", "ogbn-arxiv", "--epochs", "1",
+                   "--scale", "0.1", "--resume", "/nonexistent/ck.npz"])
+        assert rc != 0
+
+
+def _write_config(tmp_path, **kw):
+    from repro.api import (
+        DataConfig,
+        EngineConfig,
+        ModelConfig,
+        RunConfig,
+        TrainConfig,
+    )
+    cfg = RunConfig(
+        data=DataConfig("ogbn-arxiv", scale=0.1),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig("gp-raw"),
+        train=TrainConfig(epochs=1, lr=2e-3), **kw)
+    path = str(tmp_path / "run.json")
+    cfg.save(path)
+    return path, cfg
+
+
+class TestServe:
+    """`repro serve --config` stdin-driven serving loop."""
+
+    def _serve(self, monkeypatch, path, lines, extra=()):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(
+            l + "\n" for l in lines)))
+        return main(["serve", "--config", path, *extra])
+
+    def test_predict_commands_report_shapes(self, tmp_path, capsys,
+                                            monkeypatch):
+        path, _ = _write_config(tmp_path)
+        rc = self._serve(monkeypatch, path,
+                         ["predict 0 1 2", "predict", "quit"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving ogbn-arxiv (node-level)" in out
+        assert "ok: 3 nodes -> output shape (3, 7)" in out
+        assert "ok: full node set -> output shape" in out
+        assert "server closed" in out
+
+    def test_stats_command_prints_snapshot(self, tmp_path, capsys,
+                                           monkeypatch):
+        path, _ = _write_config(tmp_path)
+        rc = self._serve(monkeypatch, path, ["predict 0", "stats"])
+        assert rc == 0  # EOF closes the loop like `quit`
+        out = capsys.readouterr().out
+        assert "submitted: 1" in out and "completed: 1" in out
+
+    def test_unknown_command_reported_but_not_fatal(self, tmp_path, capsys,
+                                                    monkeypatch):
+        path, _ = _write_config(tmp_path)
+        rc = self._serve(monkeypatch, path, ["frobnicate", "predict 0"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "unknown command" in captured.err
+        assert "ok: 1 nodes" in captured.out
+
+    def test_checkpoint_flag_serves_saved_weights(self, tmp_path, capsys,
+                                                  monkeypatch):
+        from repro.api import RunConfig, Session
+        path, cfg = _write_config(tmp_path)
+        trained = Session(cfg)
+        trained.fit()
+        ck = str(tmp_path / "w.npz")
+        trained.save_checkpoint(ck)
+        rc = self._serve(monkeypatch, path, ["predict", "quit"],
+                         extra=["--checkpoint", ck])
+        assert rc == 0
+        assert "ok: full node set" in capsys.readouterr().out
+
+    def test_missing_config_fails_cleanly(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", "--config", "/nonexistent.json"]) == 2
+        assert "no such config file" in capsys.readouterr().err
+
+
+class TestBenchServe:
+    def test_prints_comparison_table_and_writes_json(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "BENCH_serve.json")
+        rc = main(["bench-serve", "--requests", "12", "--distinct", "3",
+                   "--concurrency", "6", "--nodes-per-request", "8",
+                   "--json", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving throughput" in out
+        assert "naive per-request" in out and "batched serving" in out
+        assert "bitwise-identical per-request results: yes" in out
+        with open(path) as f:
+            payload = json.load(f)
+        assert payload["identical"] is True
+        assert payload["num_requests"] == 12
+        assert payload["batched_rps"] > 0
+
+    def test_graph_dataset_rejected_cleanly(self, capsys):
+        rc = main(["bench-serve", "--dataset", "zinc", "--scale", "0.05",
+                   "--requests", "4"])
+        assert rc == 2
+        assert "node-level serving path" in capsys.readouterr().err

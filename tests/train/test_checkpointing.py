@@ -122,3 +122,69 @@ class TestOptimizerStateValidation:
         small = Sequential(Linear(6, 8, rng=np.random.default_rng(0)))
         with pytest.raises((ValueError, KeyError)):
             load_checkpoint(p, small, AdamW(small.parameters()))
+
+
+class TestStochasticStreams:
+    """Dropout/gumbel noise-stream positions ride in the checkpoint, so a
+    resumed run draws the same noise the uninterrupted run would have."""
+
+    def make_dropout_model(self, seed=0):
+        from repro.tensor import Dropout
+        rng = np.random.default_rng(seed)
+        return Sequential(Linear(6, 8, rng=rng), Dropout(0.5),
+                          Linear(8, 3, rng=rng))
+
+    def test_dropout_stream_position_round_trips(self, tmp_path):
+        from repro.tensor import Dropout
+
+        m = self.make_dropout_model()
+        drop = next(mod for mod in m.modules() if isinstance(mod, Dropout))
+        drop.rng = np.random.default_rng(7)
+        drop.rng.random(123)  # advance mid-stream
+        probe = np.random.default_rng()
+        probe.bit_generator.state = drop.rng.bit_generator.state
+        expected_next = probe.random(5)
+
+        p = tmp_path / "rng.npz"
+        save_checkpoint(p, m)
+        m2 = self.make_dropout_model(seed=1)
+        load_checkpoint(p, m2)
+        drop2 = next(mod for mod in m2.modules() if isinstance(mod, Dropout))
+        np.testing.assert_array_equal(drop2.rng.random(5), expected_next)
+
+    def test_old_archives_without_rng_still_load(self, tmp_path):
+        m = make_model()
+        arrays = {"format": np.str_("repro-train-checkpoint-v1"),
+                  "epoch": np.int64(0)}
+        for key, arr in m.state_dict().items():
+            arrays[f"model/{key}"] = arr
+        p = tmp_path / "old.npz"
+        np.savez_compressed(p, **arrays)
+        info = load_checkpoint(p, make_model(seed=2))
+        assert info["epoch"] == 0
+
+    def test_training_noise_identical_after_resume(self, tmp_path):
+        """Two 4-step runs: one straight through, one checkpointed at
+        step 2 and resumed into a fresh model — identical losses."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((12, 6))
+        y = rng.standard_normal((12, 3))
+
+        def run(model, opt, steps):
+            model.train()
+            return train_steps(model, opt, None, x, y, steps)
+
+        m_ref = self.make_dropout_model()
+        ref = run(m_ref, AdamW(m_ref.parameters(), lr=1e-2), 4)
+
+        m_a = self.make_dropout_model()
+        opt_a = AdamW(m_a.parameters(), lr=1e-2)
+        run(m_a, opt_a, 2)
+        p = tmp_path / "ck.npz"
+        save_checkpoint(p, m_a, opt_a, epoch=2)
+
+        m_b = self.make_dropout_model(seed=5)
+        opt_b = AdamW(m_b.parameters(), lr=1e-2)
+        load_checkpoint(p, m_b, opt_b)
+        resumed = run(m_b, opt_b, 2)
+        np.testing.assert_allclose(resumed, ref[2:], rtol=0, atol=0)
