@@ -253,10 +253,12 @@ class RunConfig:
         )
 
     def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON text (sorted keys — stable for hashing)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "RunConfig":
+        """Rebuild (and re-validate) a config from :meth:`to_json` text."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
@@ -266,6 +268,7 @@ class RunConfig:
 
     @classmethod
     def load(cls, path: str) -> "RunConfig":
+        """Read a config back from a :meth:`save`\\ d JSON file."""
         with open(path) as f:
             return cls.from_json(f.read())
 

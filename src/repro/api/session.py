@@ -89,6 +89,7 @@ class Session:
 
     @property
     def dataset(self):
+        """The loaded dataset (synthesized on first access, then cached)."""
         if self._dataset is None:
             c = self.config
             loader = (load_node_dataset if c.data.task_kind == "node"
@@ -100,6 +101,7 @@ class Session:
 
     @property
     def model(self):
+        """The built model (constructed once from config + dataset dims)."""
         if self._model is None:
             ds, c = self.dataset, self.config
             if c.data.task_kind == "node":
@@ -118,6 +120,7 @@ class Session:
 
     @property
     def engine(self):
+        """The built execution engine (constructed once from the config)."""
         if self._engine is None:
             self._engine = self._build_engine()
         return self._engine

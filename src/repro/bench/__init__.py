@@ -4,6 +4,7 @@ from .harness import (
     SeriesReport,
     TableReport,
     backend_choices,
+    cluster_scaling_table,
     engine_choices,
     fmt_ratio,
     fmt_time,
@@ -26,4 +27,5 @@ __all__ = [
     "model_table",
     "pattern_builder_table",
     "serve_throughput_table",
+    "cluster_scaling_table",
 ]

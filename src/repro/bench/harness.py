@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 
 __all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio",
            "backend_choices", "engine_choices", "kernel_table",
-           "pattern_builder_table", "serve_throughput_table"]
+           "pattern_builder_table", "serve_throughput_table",
+           "cluster_scaling_table"]
 
 
 def fmt_time(seconds: float) -> str:
@@ -153,6 +154,40 @@ def serve_throughput_table(result: dict, title: str | None = None) -> TableRepor
     table.add_note(f"{result['shared_computes']} of "
                    f"{result['num_requests']} requests answered from a "
                    "coalesced forward pass")
+    return table
+
+
+def cluster_scaling_table(result: dict, title: str | None = None) -> TableReport:
+    """A :func:`repro.serve.compare_cluster_scaling` result as a table.
+
+    Shared by ``repro bench-serve --workers N`` and
+    ``benchmarks/bench_serve_cluster.py``.
+    """
+    table = TableReport(
+        title=title or (
+            f"sharded serving scaling — {result['num_requests']} requests "
+            f"over {result['num_configs']} configs, "
+            f"pool {result['pool_size']}/worker"),
+        columns=["path", "total", "req/s", "scaling",
+                 "pool misses", "evictions"])
+    for label, prefix, workers in (
+            ("1 worker", "single_worker", 1),
+            (f"{result['num_workers']} workers", "multi_worker",
+             result["num_workers"])):
+        pool = result[f"{prefix}_stats"]["pool"]
+        scaling = (1.0 if prefix == "single_worker"
+                   else result["scaling"])
+        table.add_row(label, fmt_time(result[f"{prefix}_s"]),
+                      f"{result[f'{prefix}_rps']:.1f}",
+                      f"{scaling:.2f}×",
+                      pool["misses"], pool["evictions"])
+    table.add_note("bitwise-identical per-request logits "
+                   "(vs naive Session and across worker counts): "
+                   + ("yes" if result["identical"] else "NO"))
+    router = result["multi_worker_stats"]["router"]
+    table.add_note(f"routing: {router['sticky']} sticky, "
+                   f"{router['spills']} spilled, "
+                   f"{router['reroutes']} rerouted")
     return table
 
 

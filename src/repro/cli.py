@@ -14,12 +14,15 @@ Eight commands cover the workflows a user reaches for before writing code:
   run's :class:`~repro.api.RunConfig` for exact replay;
 * ``run`` — replay a saved ``run.json`` through the same
   :class:`~repro.api.Session` path (``repro run --config run.json``);
-* ``serve`` — a stdin-driven :class:`~repro.serve.InferenceServer` REPL
-  over a saved run config (``predict …`` / ``stats`` / ``quit``), with
-  the batching, pool and queue knobs exposed as flags;
+* ``serve`` — a stdin-driven serving REPL over a saved run config
+  (``predict …`` / ``stats`` / ``quit``), with the batching, pool and
+  queue knobs exposed as flags; ``--workers N`` serves from an
+  N-process sharded :class:`~repro.serve.ServingCluster` instead of an
+  in-process :class:`~repro.serve.InferenceServer`;
 * ``bench-serve`` — batched serving vs naive per-request prediction on
   a seeded repeated-query workload (throughput/latency table, optional
-  JSON artifact);
+  JSON artifact); ``--workers N`` instead measures sharded-cluster
+  scaling against a single worker on a mixed-config load;
 * ``cost`` — price a paper-scale workload on the analytic hardware model
   (epoch time per engine, max trainable sequence length, OOM boundaries)
   without training anything.
@@ -175,30 +178,67 @@ def cmd_run(args: argparse.Namespace) -> int:
     return _run_session(session, save_config=None)
 
 
+def _print_stats(snapshot: dict, indent: int = 1) -> None:
+    """Pretty-print a (possibly nested) stats snapshot dict."""
+    pad = "  " * indent
+    for key, value in snapshot.items():
+        if isinstance(value, dict):
+            print(f"{pad}{key}:")
+            _print_stats(value, indent + 1)
+        else:
+            print(f"{pad}{key}: {value}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Stdin-driven inference serving loop over a saved run config."""
+    """Stdin-driven inference serving loop over a saved run config.
+
+    ``--workers 0`` (default) serves from one in-process
+    :class:`~repro.serve.InferenceServer`; ``--workers N`` runs a
+    :class:`~repro.serve.ServingCluster` of N worker processes with the
+    config's dataset broadcast at startup.
+    """
     from repro.api import EpochLogger, RunConfig
-    from repro.serve import BatchPolicy, InferenceServer, SessionPool
+    from repro.serve import (
+        BatchPolicy,
+        InferenceServer,
+        ServingCluster,
+        SessionPool,
+    )
 
     try:
         config = RunConfig.load(args.config)
     except FileNotFoundError:
         print(f"error: no such config file: {args.config}", file=sys.stderr)
         return 2
-    pool = SessionPool(max_sessions=args.pool_size)
-    if args.checkpoint:
-        pool.add_checkpoint(config, args.checkpoint)
-    server = InferenceServer(
-        pool=pool,
-        policy=BatchPolicy(max_batch_size=args.max_batch,
-                           max_wait_s=args.max_wait_ms / 1e3),
-        max_queue_depth=args.queue_depth)
-    session = pool.acquire(config)  # warm the pool before taking requests
-    if args.fit:
-        session.fit(callbacks=[EpochLogger()])
+    policy = BatchPolicy(max_batch_size=args.max_batch,
+                         max_wait_s=args.max_wait_ms / 1e3)
+    if args.workers > 0:
+        if args.fit:
+            print("error: --fit does not apply with --workers (weights "
+                  "trained in the router would not reach the worker "
+                  "processes); train first and pass --checkpoint",
+                  file=sys.stderr)
+            return 2
+        backend = ServingCluster(
+            num_workers=args.workers, warm_configs=[config],
+            checkpoints=([(config, args.checkpoint)]
+                         if args.checkpoint else ()),
+            pool_size=args.pool_size, policy=policy,
+            max_queue_depth=args.queue_depth)
+        tier = f"{args.workers} worker processes"
+    else:
+        pool = SessionPool(max_sessions=args.pool_size)
+        if args.checkpoint:
+            pool.add_checkpoint(config, args.checkpoint)
+        backend = InferenceServer(pool=pool, policy=policy,
+                                  max_queue_depth=args.queue_depth)
+        session = pool.acquire(config)  # warm the pool before requests
+        if args.fit:
+            session.fit(callbacks=[EpochLogger()])
+        tier = "in-process server"
     kind = config.data.task_kind
     print(f"serving {config.data.name} ({kind}-level) with "
-          f"{config.model.name} / {config.engine.name} — "
+          f"{config.model.name} / {config.engine.name} on {tier} — "
           f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
           f"queue_depth={args.queue_depth}")
     print("commands: predict [id …] | stats | quit")
@@ -210,8 +250,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if cmd in ("quit", "exit"):
             break
         if cmd == "stats":
-            for key, value in server.stats_snapshot().items():
-                print(f"  {key}: {value}")
+            _print_stats(backend.stats_snapshot())
             continue
         if cmd != "predict":
             print(f"unknown command {cmd!r} (predict/stats/quit)",
@@ -219,9 +258,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             continue
         try:
             subset = np.array([int(i) for i in ids]) if ids else None
-            future = (server.submit(config, nodes=subset) if kind == "node"
-                      else server.submit(config, indices=subset))
-            server.run_until_idle()
+            future = (backend.submit(config, nodes=subset) if kind == "node"
+                      else backend.submit(config, indices=subset))
+            backend.run_until_idle()
             out = future.result(timeout=60.0)
         except Exception as e:
             print(f"request failed: {e}", file=sys.stderr)
@@ -229,35 +268,71 @@ def cmd_serve(args: argparse.Namespace) -> int:
         target = (f"{len(subset)} {'nodes' if kind == 'node' else 'graphs'}"
                   if subset is not None else f"full {kind} set")
         print(f"ok: {target} -> output shape {out.shape}")
-    server.close()
+    backend.close()
     print("server closed")
     return 0
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
-    """Batched serving vs naive per-request predict (seeded workload)."""
+    """Serving benchmarks: batched-vs-naive, or cluster scaling.
+
+    Default: batched serving vs naive per-request predict on one config.
+    ``--workers N``: N-worker sharded cluster vs a single worker on a
+    mixed-config load (``--configs`` model-seed variants of the base
+    config).
+    """
     import json
 
     from repro.api import DataConfig, EngineConfig, ModelConfig, RunConfig, TrainConfig
-    from repro.bench import serve_throughput_table
-    from repro.serve import compare_with_naive
+    from repro.bench import cluster_scaling_table, serve_throughput_table
+    from repro.serve import compare_cluster_scaling, compare_with_naive
 
-    config = RunConfig(
-        data=DataConfig(args.dataset, scale=args.scale),
-        model=ModelConfig(args.model, num_layers=2, hidden_dim=16,
-                          num_heads=4, dropout=0.0),
-        engine=EngineConfig(args.engine),
-        train=TrainConfig(epochs=1),
-        seed=args.seed,
-    )
-    result = compare_with_naive(
-        config, num_requests=args.requests, distinct=args.distinct,
-        nodes_per_request=args.nodes_per_request,
-        concurrency=args.concurrency, seed=args.seed)
-    serve_throughput_table(
-        result, title=f"serving throughput — {args.dataset} "
-                      f"({args.requests} requests, {args.distinct} distinct "
-                      f"queries)").print()
+    def make_config(seed: int, hidden_dim: int = 16) -> RunConfig:
+        return RunConfig(
+            data=DataConfig(args.dataset, scale=args.scale, seed=args.seed),
+            model=ModelConfig(args.model, num_layers=2,
+                              hidden_dim=hidden_dim, num_heads=4,
+                              dropout=0.0),
+            engine=EngineConfig(args.engine),
+            train=TrainConfig(epochs=1),
+            seed=seed,
+        )
+
+    if args.workers > 0:
+        # choose model seeds whose config keys spread across the ring:
+        # with only a handful of configs, consecutive seeds can all hash
+        # to one worker, which would demo routing but not capacity
+        # scaling (many-config deployments balance by law of large
+        # numbers; a 4-config demo needs the spread picked explicitly)
+        from repro.serve import HashRing, config_key
+
+        ring = HashRing([f"w{i}" for i in range(args.workers)])
+        per_worker = -(-args.configs // args.workers)  # ceil
+        configs, owners, seed = [], {}, args.seed
+        while len(configs) < args.configs and seed < args.seed + 10_000:
+            cfg = make_config(seed)
+            owner = ring.lookup(config_key(cfg))
+            if owners.get(owner, 0) < per_worker:
+                configs.append(cfg)
+                owners[owner] = owners.get(owner, 0) + 1
+            seed += 1
+        result = compare_cluster_scaling(
+            configs, num_workers=args.workers, num_requests=args.requests,
+            concurrency=args.concurrency, seed=args.seed)
+        cluster_scaling_table(
+            result, title=f"sharded serving — {args.dataset}, "
+                          f"{args.workers} workers, {args.configs} configs, "
+                          f"{args.requests} requests").print()
+    else:
+        result = compare_with_naive(
+            make_config(args.seed), num_requests=args.requests,
+            distinct=args.distinct,
+            nodes_per_request=args.nodes_per_request,
+            concurrency=args.concurrency, seed=args.seed)
+        serve_throughput_table(
+            result, title=f"serving throughput — {args.dataset} "
+                          f"({args.requests} requests, {args.distinct} "
+                          f"distinct queries)").print()
     if args.json:
         with open(args.json, "w") as f:
             json.dump(dict(result), f, indent=2, sort_keys=True)
@@ -376,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "waited this long")
     s.add_argument("--queue-depth", type=int, default=256, dest="queue_depth",
                    help="bounded request queue depth (backpressure)")
+    s.add_argument("--workers", type=int, default=0,
+                   help="serve from N sharded worker processes "
+                        "(0 = one in-process server)")
 
     b = sub.add_parser("bench-serve",
                        help="batched serving vs naive per-request predict")
@@ -391,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--concurrency", type=int, default=16,
                    help="closed-loop in-flight request window")
     b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--workers", type=int, default=0,
+                   help="benchmark an N-worker sharded cluster against a "
+                        "single worker (0 = batched-vs-naive comparison)")
+    b.add_argument("--configs", type=int, default=4,
+                   help="model-seed variants in the mixed-config cluster "
+                        "load (with --workers)")
     b.add_argument("--json", default=None, metavar="PATH",
                    help="also write the comparison as JSON "
                         "(e.g. BENCH_serve.json)")

@@ -1,6 +1,6 @@
 """Simulated distributed runtime: collectives and graph parallelism."""
 
-from .comm import CommLog, CommRecord, Communicator
+from .comm import CommLog, CommRecord, Communicator, pack_array, unpack_array
 from .graph_parallel import (
     ShardPlan,
     allgather_volume_per_gpu,
@@ -15,6 +15,8 @@ __all__ = [
     "Communicator",
     "CommLog",
     "CommRecord",
+    "pack_array",
+    "unpack_array",
     "ShardPlan",
     "cluster_aware_attention",
     "naive_sequence_parallel_attention",

@@ -10,6 +10,14 @@ model converts them into modeled time.
 Semantics follow MPI (mpi4py tutorial) conventions: ``all_to_all`` takes a
 P×P matrix of chunks (send[i][j] goes from rank i to rank j),
 ``all_gather`` concatenates every rank's buffer everywhere, and so on.
+
+This module also owns the **array wire framing** shared by every layer
+that moves tensors between processes: :func:`pack_array` /
+:func:`unpack_array` frame one ndarray as a self-describing byte string
+(magic, dtype, shape, raw buffer).  The serving cluster
+(:mod:`repro.serve.cluster`) uses it for request payloads and result
+logits so the bytes a worker receives are exactly the bytes the router
+sent — bitwise, with no pickle indirection for the hot arrays.
 """
 
 from __future__ import annotations
@@ -20,7 +28,42 @@ import numpy as np
 
 from ..hardware.device import LinkSpec
 
-__all__ = ["CommRecord", "CommLog", "Communicator"]
+__all__ = ["pack_array", "unpack_array", "CommRecord", "CommLog",
+           "Communicator"]
+
+#: Frame magic: protocol name + framing version.
+_FRAME_MAGIC = b"RGT1"
+
+
+def pack_array(arr: np.ndarray) -> bytes:
+    """Frame one ndarray as ``magic | header-len | dtype,shape | buffer``.
+
+    The inverse of :func:`unpack_array`.  Framing is deterministic (the
+    same array always produces the same bytes) and self-describing, so
+    the receiving side needs no out-of-band dtype/shape agreement.
+    Arrays are made C-contiguous before framing.
+    """
+    arr = np.asarray(arr)
+    if not arr.flags.c_contiguous:  # ascontiguousarray would promote 0-d
+        arr = np.ascontiguousarray(arr)
+    # ';' separator: dtype strings may contain '|' (e.g. '|b1' for bool)
+    header = f"{arr.dtype.str};{','.join(str(d) for d in arr.shape)}".encode()
+    return (_FRAME_MAGIC + len(header).to_bytes(4, "big")
+            + header + arr.tobytes())
+
+
+def unpack_array(buf: bytes) -> np.ndarray:
+    """Decode a :func:`pack_array` frame back into an ndarray (a copy)."""
+    if buf[:4] != _FRAME_MAGIC:
+        raise ValueError(
+            f"bad frame: expected magic {_FRAME_MAGIC!r}, got {buf[:4]!r}")
+    header_len = int.from_bytes(buf[4:8], "big")
+    header = buf[8:8 + header_len].decode()
+    dtype_str, shape_str = header.split(";")
+    shape = tuple(int(d) for d in shape_str.split(",") if d)
+    data = buf[8 + header_len:]
+    arr = np.frombuffer(data, dtype=np.dtype(dtype_str)).reshape(shape)
+    return arr.copy()  # writable, detached from the frame buffer
 
 
 @dataclass

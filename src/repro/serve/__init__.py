@@ -9,18 +9,31 @@ bounded-queue backpressure), coalesces them into micro-batches keyed by
 pattern construction and dataset synthesis once per config instead of
 once per call.  :mod:`repro.serve.loadgen` drives it with seeded
 closed-/open-loop load for benchmarking (``repro bench-serve``).
+
+Above the single server sits the sharded tier
+(:mod:`repro.serve.cluster`): a :class:`ServingCluster` routes requests
+to N worker processes by consistent hash of the config key
+(:mod:`repro.serve.router`), each worker running its own server over a
+warm pool (:mod:`repro.serve.worker`), with heartbeat death detection
+and exactly-once requeue of in-flight work — ``repro serve --workers N``
+and ``repro bench-serve --workers N`` on the CLI.
 """
 
 from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
+from .cluster import ClusterStats, ServingCluster
 from .loadgen import (
     LoadReport,
+    compare_cluster_scaling,
     compare_with_naive,
     make_graph_workload,
+    make_mixed_config_workload,
     make_node_workload,
     run_closed_loop,
+    run_cluster_closed_loop,
     run_open_loop,
 )
-from .pool import PoolStats, SessionPool, config_key
+from .pool import PoolStats, SessionPool, config_key, dataset_identity
+from .router import HashRing, NoWorkersError, Router, RouterStats
 from .queue import (
     DeadlineExceededError,
     QueueFullError,
@@ -30,7 +43,15 @@ from .queue import (
     ServeFuture,
     ServerClosedError,
 )
-from .server import InferenceServer, ServerStats
+from .server import InferenceServer, ServerStats, latency_summary
+from .worker import (
+    InlineWorker,
+    ProcessWorker,
+    WorkerInit,
+    WorkerRuntime,
+    WorkResult,
+    WorkUnit,
+)
 
 __all__ = [
     "BatchPolicy",
@@ -40,6 +61,7 @@ __all__ = [
     "SessionPool",
     "PoolStats",
     "config_key",
+    "dataset_identity",
     "RequestQueue",
     "Request",
     "ServeFuture",
@@ -49,10 +71,26 @@ __all__ = [
     "ServerClosedError",
     "InferenceServer",
     "ServerStats",
+    "latency_summary",
+    "HashRing",
+    "Router",
+    "RouterStats",
+    "NoWorkersError",
+    "ServingCluster",
+    "ClusterStats",
+    "WorkUnit",
+    "WorkResult",
+    "WorkerInit",
+    "WorkerRuntime",
+    "InlineWorker",
+    "ProcessWorker",
     "LoadReport",
     "make_node_workload",
     "make_graph_workload",
+    "make_mixed_config_workload",
     "run_closed_loop",
     "run_open_loop",
+    "run_cluster_closed_loop",
     "compare_with_naive",
+    "compare_cluster_scaling",
 ]

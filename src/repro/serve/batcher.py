@@ -96,10 +96,12 @@ class MicroBatcher:
         return sum(len(g.items) for g in self._groups.values())
 
     def pending_groups(self) -> int:
+        """How many distinct coalescing keys currently hold items."""
         return len(self._groups)
 
     def add(self, key: Hashable, item: Any,
             enqueued_at: float | None = None) -> None:
+        """Append one work item to its key's group (tracking its age)."""
         enqueued_at = time.perf_counter() if enqueued_at is None else enqueued_at
         group = self._groups.setdefault(key, _Group())
         group.items.append(item)

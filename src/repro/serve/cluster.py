@@ -1,0 +1,564 @@
+"""Multi-worker sharded serving: one router, N inference workers.
+
+The scale-out tier above :class:`~repro.serve.InferenceServer`.  A
+:class:`ServingCluster` owns N workers (separate processes by default,
+``backend="inline"`` for deterministic in-process twins), routes every
+request to a worker by **consistent hash of its config key** — so a
+given config's warm sessions stay sticky to one worker and the fleet's
+aggregate warm-session capacity scales with the worker count — and
+spills to the least-loaded worker when the sticky one is overloaded
+(:mod:`repro.serve.router`).
+
+Lifecycle of one request::
+
+    submit(config, nodes=…)           # ServeFuture, same contract as the server
+      └─ RequestQueue                 # bounded; deadline culling *before* dispatch
+           └─ Router                  # consistent-hash sticky, spill on overload
+                └─ WorkerHandle pipe  # WorkUnit out, WorkResult back
+                     └─ worker's InferenceServer (batching, warm pool)
+
+Fault model: workers are expected to die.  Each worker answers
+heartbeat pings and is additionally watched via its process handle;
+when one is declared dead, its in-flight requests are **requeued** to
+surviving workers with the dead worker in their ``excluded`` set, and
+late results that still trickle out of a dead worker's pipe are
+delivered at most once (a request's future resolves exactly once — any
+second copy is counted as ``duplicates_ignored``, never re-delivered).
+
+Determinism: a worker's answer is a pure function of (config, dataset,
+payload) — sessions rebuilt after eviction or on another worker after a
+requeue produce bitwise-identical logits, so cluster placement, spills,
+deaths and retries never change the bytes a client receives (asserted
+end-to-end by ``benchmarks/bench_serve_cluster.py``).
+
+At startup, each **distinct dataset** among ``warm_configs`` is loaded
+and pickled once, and the same bytes are broadcast to every worker's
+init payload — workers install them via
+:meth:`~repro.serve.SessionPool.put_dataset` (pinned, so LRU churn never
+re-synthesizes broadcast data).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .batcher import BatchPolicy
+from .pool import config_key, dataset_identity
+from .queue import (
+    DeadlineExceededError,
+    Request,
+    RequestQueue,
+    ServeError,
+    ServerClosedError,
+)
+from .router import NoWorkersError, Router
+from .server import ServerStats, latency_summary
+from .worker import (
+    InlineWorker,
+    ProcessWorker,
+    WorkerInit,
+    WorkResult,
+    WorkUnit,
+)
+
+__all__ = ["ClusterStats", "ServingCluster"]
+
+
+@dataclass
+class ClusterStats:
+    """Router-side counters + end-to-end latency for one cluster lifetime.
+
+    ``requeued`` counts units re-dispatched after a worker death;
+    ``duplicates_ignored`` counts late results for already-completed
+    requests (the at-most-once delivery guard firing).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    dispatched: int = 0
+    requeued: int = 0
+    worker_deaths: int = 0
+    duplicates_ignored: int = 0
+    latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of the cluster-level counters."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "dispatched": self.dispatched,
+            "requeued": self.requeued,
+            "worker_deaths": self.worker_deaths,
+            "duplicates_ignored": self.duplicates_ignored,
+            **latency_summary(self.latencies),
+        }
+
+
+@dataclass
+class _Dispatch:
+    """Router-side tracking for one in-flight unit."""
+
+    request: Request
+    unit: WorkUnit
+    worker_id: str
+    attempts: int = 1
+    excluded: set = field(default_factory=set)
+
+
+class ServingCluster:
+    """N sharded inference workers behind one submit/step facade.
+
+    ``warm_configs`` declares the configs the cluster expects to serve:
+    their datasets are loaded and serialized once, broadcast to every
+    worker at startup, and their checkpoints (``checkpoints``: a
+    sequence of ``(config, path)`` pairs) registered for pool
+    admission.  ``datasets`` (``(config, dataset)`` pairs) injects
+    already-loaded datasets into the broadcast.  ``pool_size``,
+    ``policy`` and ``worker_queue_depth`` configure each worker's
+    server; ``max_queue_depth`` bounds the router's own intake queue
+    (backpressure happens here, before any dispatch).
+
+    ``backend="process"`` spawns real worker processes;
+    ``backend="inline"`` runs protocol-identical in-process workers
+    (deterministic tests, single-process debugging).  The cluster runs
+    *driven* (call :meth:`step` / :meth:`run_until_idle`) or *threaded*
+    (:meth:`start` / :meth:`stop`), mirroring the single server.
+    """
+
+    def __init__(self, num_workers: int = 2, *,
+                 warm_configs=(),
+                 checkpoints=None,
+                 pool_size: int = 4,
+                 policy: BatchPolicy | None = None,
+                 max_queue_depth: int = 1024,
+                 worker_queue_depth: int = 4096,
+                 backend: str = "process",
+                 start_method: str = "spawn",
+                 spill_threshold: int | None = None,
+                 heartbeat_interval_s: float = 1.0,
+                 heartbeat_timeout_s: float = 10.0,
+                 datasets=None,
+                 auto_inline: bool = True):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if backend not in ("process", "inline"):
+            raise ValueError(f"backend must be 'process' or 'inline', "
+                             f"got {backend!r}")
+        self.policy = policy or BatchPolicy()
+        self.queue = RequestQueue(max_depth=max_queue_depth)
+        self.stats = ClusterStats()
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._inflight: dict[int, _Dispatch] = {}
+        self._config_json: dict[str, str] = {}
+        self._stats_replies: dict[int, dict[str, dict]] = {}
+        self._next_id = 0
+        self._next_seq = 0
+        self._closed = False
+        self._submit_lock = threading.Lock()
+        # serializes pipe reads + _inflight/router mutation between the
+        # start() router thread and direct callers (stats_snapshot, a
+        # driven step from another thread); reentrant because close()
+        # and run_until_idle() nest through step()
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+
+        dataset_blobs = self._broadcast_payload(warm_configs, datasets or ())
+        checkpoint_pairs = tuple(
+            (cfg.to_json(), path) for cfg, path in (checkpoints or ()))
+        worker_ids = [f"w{i}" for i in range(num_workers)]
+        self.workers: dict[str, object] = {}
+        for wid in worker_ids:
+            init = WorkerInit(worker_id=wid, pool_size=pool_size,
+                              max_batch_size=self.policy.max_batch_size,
+                              max_wait_s=self.policy.max_wait_s,
+                              queue_depth=worker_queue_depth,
+                              datasets=dataset_blobs,
+                              checkpoints=checkpoint_pairs)
+            if backend == "process":
+                self.workers[wid] = ProcessWorker(init,
+                                                  start_method=start_method)
+            else:
+                self.workers[wid] = InlineWorker(init, auto=auto_inline)
+        self.router = Router(
+            worker_ids,
+            spill_threshold=(spill_threshold if spill_threshold is not None
+                             else 4 * self.policy.max_batch_size))
+        self._dead: set[str] = set()
+        # heartbeat = outstanding-ping age, never wall-clock idleness: a
+        # driven cluster may legitimately not step for minutes (REPL at
+        # a prompt), and workers must not be declared dead for it
+        self._ping_outstanding: dict[str, float | None] = {
+            wid: None for wid in worker_ids}
+        self._last_ping = time.monotonic()
+
+    @staticmethod
+    def _broadcast_payload(warm_configs, datasets) -> tuple:
+        """Serialize each distinct dataset once: ((config_json, blob), …).
+
+        ``datasets`` is a sequence of ``(config, dataset)`` pairs naming
+        already-loaded dataset objects (skipping the load); any other
+        warm config's dataset is loaded here.  Deduplication is by
+        :func:`~repro.serve.pool.dataset_identity` so a sweep of many
+        configs over one graph broadcasts one blob.
+        """
+        from ..graph import load_graph_dataset, load_node_dataset
+
+        loaded = {dataset_identity(cfg): (cfg, ds)
+                  for cfg, ds in datasets}
+        for cfg in warm_configs:
+            ds_id = dataset_identity(cfg)
+            if ds_id in loaded:
+                continue
+            loader = (load_node_dataset if cfg.data.task_kind == "node"
+                      else load_graph_dataset)
+            loaded[ds_id] = (cfg, loader(cfg.data.name, scale=cfg.data.scale,
+                                         seed=ds_id[2]))
+        return tuple((cfg.to_json(), pickle.dumps(ds))
+                     for cfg, ds in loaded.values())
+
+    # -- intake ----------------------------------------------------------- #
+    def submit(self, config, nodes: np.ndarray | None = None,
+               indices: np.ndarray | None = None,
+               timeout: float | None = None,
+               now: float | None = None):
+        """Enqueue one request; returns its future (server-identical API).
+
+        Deadlines (``timeout`` seconds from submission) are enforced on
+        the router side: an expired request is rejected at dispatch time
+        and never crosses a worker pipe.  Raises
+        :class:`~repro.serve.queue.QueueFullError` (backpressure) or
+        :class:`~repro.serve.queue.ServerClosedError` synchronously.
+        """
+        now = time.perf_counter() if now is None else now
+        kind = "nodes" if config.data.task_kind == "node" else "graphs"
+        if kind == "nodes" and indices is not None:
+            raise ValueError("indices= applies to graph-level configs; "
+                             "use nodes= for node-level configs")
+        if kind == "graphs" and nodes is not None:
+            raise ValueError("nodes= applies to node-level configs; "
+                             "use indices= for graph-level configs")
+        if nodes is not None:
+            nodes = np.asarray(nodes, dtype=np.int64)
+        if indices is not None:
+            indices = np.asarray(indices, dtype=np.int64)
+        key = config_key(config)
+        if key not in self._config_json:
+            self._config_json[key] = config.to_json()
+        with self._submit_lock:
+            if self._closed:
+                raise ServerClosedError(
+                    "cluster is closed; submissions rejected")
+            request = Request(
+                id=self._next_id, config=config, config_key=key,
+                kind=kind, nodes=nodes, indices=indices,
+                deadline=None if timeout is None else now + timeout,
+            )
+            self._next_id += 1
+            try:
+                self.queue.push(request, now=now)
+            except Exception:
+                self.stats.rejected += 1
+                raise
+        self.stats.submitted += 1
+        return request.future
+
+    # -- scheduling ------------------------------------------------------- #
+    def step(self, now: float | None = None) -> int:
+        """One router round: receive results → police workers → dispatch.
+
+        Returns the number of requests completed this round.  ``now``
+        threads a virtual clock into deadline culling (heartbeats always
+        use the wall clock).
+        """
+        with self._lock:
+            done = self._receive(now)
+            self._check_workers()
+            self._dispatch(now)
+        return done
+
+    def run_until_idle(self, now: float | None = None,
+                       timeout_s: float = 300.0) -> int:
+        """Step until nothing is queued or in flight; returns completions."""
+        deadline = time.monotonic() + timeout_s
+        done = 0
+        while len(self.queue) or self._inflight:
+            progressed = self.step(now=now)
+            done += progressed
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"cluster not idle after {timeout_s}s "
+                    f"({len(self._inflight)} in flight, "
+                    f"{len(self.queue)} queued)")
+            if not progressed and self._inflight:
+                time.sleep(0.001)  # waiting on worker pipes
+        return done
+
+    def _dispatch(self, now: float | None) -> None:
+        self._maybe_ping()
+        now = time.perf_counter() if now is None else now
+        for request in self.queue.drain(now=now, on_expired=self._on_expired):
+            unit = WorkUnit(
+                id=request.id,
+                config_json=self._config_json[request.config_key],
+                kind=request.kind,
+                payload=self._pack_payload(request))
+            dispatch = _Dispatch(request=request, unit=unit, worker_id="")
+            if self._send_unit(dispatch):
+                self._inflight[request.id] = dispatch
+                self.stats.dispatched += 1
+
+    @staticmethod
+    def _pack_payload(request: Request) -> bytes | None:
+        from ..distributed.comm import pack_array
+
+        arr = request.nodes if request.kind == "nodes" else request.indices
+        return None if arr is None else pack_array(arr)
+
+    def _send_unit(self, dispatch: _Dispatch) -> bool:
+        """Route + ship one unit, failing over past broken workers.
+
+        Returns False (future failed) when no live worker remains.
+        """
+        while True:
+            try:
+                wid = self.router.route(dispatch.request.config_key,
+                                        excluded=dispatch.excluded)
+            except NoWorkersError as exc:
+                if not dispatch.request.future.done():
+                    dispatch.request.future.set_exception(exc)
+                self.stats.failed += 1
+                return False
+            try:
+                self.workers[wid].send(("work", dispatch.unit))
+            except (BrokenPipeError, OSError):
+                self.router.complete(wid)  # undo the route's assignment
+                self._declare_dead(wid)
+                dispatch.excluded.add(wid)
+                continue
+            dispatch.worker_id = wid
+            return True
+
+    def _on_expired(self, request: Request) -> None:
+        # fired by queue.drain: the deadline passed while still queued,
+        # so the request is rejected before any worker sees it
+        self.stats.expired += 1
+
+    # -- receive side ----------------------------------------------------- #
+    def _receive(self, now: float | None = None) -> int:
+        done = 0
+        for wid, handle in list(self.workers.items()):
+            while handle.poll(0.0):
+                try:
+                    msg = handle.recv()
+                except (EOFError, OSError):
+                    break
+                kind = msg[0]
+                if kind == "result":
+                    done += self._on_result(msg[1], now)
+                elif kind == "pong":
+                    self._ping_outstanding[msg[2]] = None
+                elif kind == "stats":
+                    self._ping_outstanding[msg[2]] = None
+                    # only seqs a live stats_snapshot() registered are
+                    # kept — a reply landing after its caller timed out
+                    # must not accumulate forever
+                    bucket = self._stats_replies.get(msg[1])
+                    if bucket is not None:
+                        bucket[msg[2]] = msg[3]
+                elif kind == "bye":
+                    break
+        return done
+
+    def _on_result(self, result: WorkResult, now: float | None) -> int:
+        dispatch = self._inflight.pop(result.id, None)
+        if dispatch is None:
+            # the request was already answered (e.g. a late result from a
+            # worker declared dead after its requeue completed) — deliver
+            # at most once, count the duplicate
+            self.stats.duplicates_ignored += 1
+            return 0
+        self.router.complete(dispatch.worker_id)
+        request = dispatch.request
+        if request.future.done():
+            return 0
+        now = time.perf_counter() if now is None else now
+        if request.expired(now):
+            request.future.set_exception(DeadlineExceededError(
+                f"request {request.id} completed after its deadline; "
+                "result dropped"))
+            self.stats.expired += 1
+            return 1
+        if not result.ok:
+            request.future.set_exception(
+                ServeError(f"worker {result.worker_id} failed request "
+                           f"{result.id}: {result.error}"))
+            self.stats.failed += 1
+            return 1
+        request.future.set_result(result.value())
+        self.stats.completed += 1
+        self.stats.latencies.append(now - request.enqueued_at)
+        return 1
+
+    # -- worker health ---------------------------------------------------- #
+    def _maybe_ping(self) -> None:
+        wall = time.monotonic()
+        if wall - self._last_ping < self.heartbeat_interval_s:
+            return
+        self._last_ping = wall
+        seq = self._bump_seq()
+        for wid in self.router.workers():
+            try:
+                self.workers[wid].send(("ping", seq))
+            except (BrokenPipeError, OSError):
+                self._declare_dead(wid)
+                continue
+            if self._ping_outstanding.get(wid) is None:
+                self._ping_outstanding[wid] = wall
+
+    def _bump_seq(self) -> int:
+        self._next_seq += 1
+        return self._next_seq
+
+    def _check_workers(self) -> None:
+        wall = time.monotonic()
+        for wid in self.router.workers():
+            handle = self.workers[wid]
+            sent = self._ping_outstanding.get(wid)
+            hung = (sent is not None
+                    and wall - sent > self.heartbeat_timeout_s)
+            if not handle.alive() or hung:
+                self._declare_dead(wid)
+
+    def _declare_dead(self, wid: str) -> None:
+        """Remove a worker from routing and requeue its in-flight units."""
+        if wid in self._dead:
+            return
+        self._dead.add(wid)
+        self.stats.worker_deaths += 1
+        self.router.mark_dead(wid)
+        orphans = [d for d in self._inflight.values() if d.worker_id == wid]
+        for dispatch in orphans:
+            dispatch.excluded.add(wid)
+            dispatch.attempts += 1
+            if self._send_unit(dispatch):
+                self.stats.requeued += 1
+            else:
+                self._inflight.pop(dispatch.request.id, None)
+
+    # -- threaded mode ---------------------------------------------------- #
+    def start(self) -> "ServingCluster":
+        """Run the routing loop on a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("cluster already started")
+        self._stop_event.clear()
+        self._thread = threading.Thread(target=self._router_loop,
+                                        name="repro-serve-router", daemon=True)
+        self._thread.start()
+        return self
+
+    def _router_loop(self) -> None:
+        while not self._stop_event.is_set():
+            self.step()
+            if not len(self.queue) and not self._inflight:
+                self.queue.wait_nonempty(timeout=0.05)
+        self.run_until_idle()
+
+    def stop(self) -> None:
+        """Stop the router thread, draining everything pending."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+
+    # -- stats ------------------------------------------------------------ #
+    def stats_snapshot(self, timeout_s: float = 5.0) -> dict:
+        """Cluster counters + merged per-worker server/pool statistics.
+
+        Round-trips a stats request to every live worker (late workers
+        are reported as missing rather than blocking forever), merges
+        their :meth:`~repro.serve.server.ServerStats.state_dict` via
+        :meth:`~repro.serve.server.ServerStats.merge`, and sums pool
+        counters.  Shape::
+
+            {"cluster": {...}, "router": {...}, "workers": {merged...},
+             "pool": {...}, "per_worker": {wid: {...}}, "workers_alive": N}
+        """
+        with self._lock:
+            seq = self._bump_seq()
+            live = self.router.workers()
+            replies = self._stats_replies.setdefault(seq, {})
+            for wid in live:
+                try:
+                    self.workers[wid].send(("stats", seq))
+                except (BrokenPipeError, OSError):
+                    self._declare_dead(wid)
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                self._receive()
+                self._check_workers()
+                expected = [w for w in live if w in self.router.workers()]
+                if all(w in replies for w in expected):
+                    break
+            time.sleep(0.001)
+        with self._lock:
+            states = self._stats_replies.pop(seq, {})
+        pool_totals = {"sessions": 0, "hits": 0, "misses": 0,
+                       "evictions": 0, "checkpoint_loads": 0}
+        for state in states.values():
+            for key in pool_totals:
+                pool_totals[key] += state["pool"][key]
+        return {
+            "cluster": self.stats.snapshot(),
+            "router": self.router.stats.snapshot(),
+            "workers": ServerStats.merge(
+                [s["server"] for s in states.values()]),
+            "pool": pool_totals,
+            "per_worker": {wid: {"server": s["server"], "pool": s["pool"]}
+                           for wid, s in sorted(states.items())},
+            "workers_alive": len(self.router.workers()),
+        }
+
+    # -- lifecycle -------------------------------------------------------- #
+    def close(self) -> None:
+        """Drain pending work, shut every worker down, reap processes."""
+        with self._submit_lock:
+            self._closed = True
+        if self._thread is not None:
+            self.stop()
+        try:
+            self.run_until_idle(timeout_s=60.0)
+        except TimeoutError:
+            pass  # dead workers already failed their futures
+        for wid, handle in self.workers.items():
+            if wid in self._dead:
+                continue
+            try:
+                handle.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for wid, handle in self.workers.items():
+            handle.join(timeout=5.0)
+            if handle.alive():
+                handle.terminate()
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -39,10 +39,13 @@ from .server import InferenceServer
 __all__ = [
     "make_node_workload",
     "make_graph_workload",
+    "make_mixed_config_workload",
     "LoadReport",
     "run_closed_loop",
     "run_open_loop",
+    "run_cluster_closed_loop",
     "compare_with_naive",
+    "compare_cluster_scaling",
 ]
 
 
@@ -77,6 +80,25 @@ def make_graph_workload(dataset, num_requests: int, distinct: int = 4,
     return [sets[i] for i in picks]
 
 
+def make_mixed_config_workload(num_configs: int, num_requests: int,
+                               seed: int = 0) -> np.ndarray:
+    """A seeded request stream rotating over ``num_configs`` configs.
+
+    Returns the config index of each request (uniform, seeded) — the
+    load profile that stresses warm-session *capacity*: a single worker
+    whose pool is smaller than the config set keeps evicting and
+    re-admitting sessions, while a sharded cluster pins each config to
+    one worker and serves every request warm.
+    """
+    if num_configs < 1:
+        raise ValueError("num_configs must be >= 1")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, num_configs, size=num_requests)
+    # guarantee every config appears so identity checks cover them all
+    picks[:num_configs] = np.arange(num_configs)
+    return picks
+
+
 @dataclass
 class LoadReport:
     """What one load run produced and how fast."""
@@ -92,6 +114,7 @@ class LoadReport:
 
     @property
     def throughput_rps(self) -> float:
+        """Completed requests per (wall or virtual) second."""
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
 
 
@@ -157,6 +180,116 @@ def run_open_loop(server: InferenceServer, config, payloads,
                       duration_s=now, completed=len(results),
                       rejected=rejected, expired=expired, failed=failed,
                       results=results)
+
+
+def run_cluster_closed_loop(cluster, configs, picks,
+                            concurrency: int = 16) -> LoadReport:
+    """Drive a :class:`~repro.serve.ServingCluster` in closed loop.
+
+    ``picks`` (from :func:`make_mixed_config_workload`) names the config
+    of each request; every request asks for full-graph logits, which is
+    the workload where warm-session capacity — the thing sharding
+    scales — dominates.  Wall-clock timed.
+    """
+    results = []
+    t0 = time.perf_counter()
+    for lo in range(0, len(picks), concurrency):
+        futures = [cluster.submit(configs[int(i)])
+                   for i in picks[lo:lo + concurrency]]
+        cluster.run_until_idle()
+        results.extend(f.result(timeout=60.0) for f in futures)
+    duration = time.perf_counter() - t0
+    return LoadReport(mode="cluster-closed", num_requests=len(picks),
+                      duration_s=duration, completed=len(results),
+                      results=results)
+
+
+def compare_cluster_scaling(configs, num_workers: int = 2,
+                            num_requests: int = 48, concurrency: int = 16,
+                            pool_size: int | None = None,
+                            policy: BatchPolicy | None = None,
+                            backend: str = "process", seed: int = 0,
+                            datasets=None) -> dict:
+    """N-worker cluster vs single-worker cluster on mixed-config load.
+
+    The scaling claim of the sharded tier: with more configs in rotation
+    than one worker's pool holds, consistent-hash stickiness lets N
+    workers keep every config warm while the single worker thrashes its
+    LRU pool — so throughput scales even before process parallelism is
+    counted.  Per-worker resources (pool size, batch policy) are held
+    fixed; only the worker count changes.
+
+    Per-request logits are checked **bitwise** three ways: every cluster
+    result against a naive single-``Session`` reference, and the
+    N-worker run against the single-worker run.  Both clusters are
+    warmed (one request per config) before timing so spawn and import
+    costs stay out of the measurement.
+    """
+    from ..api import Session
+    from .cluster import ServingCluster
+    from .pool import dataset_identity
+
+    configs = list(configs)
+    if pool_size is None:
+        # smaller than the config set: the capacity pressure under test
+        pool_size = max(1, len(configs) - 1)
+    policy = policy or BatchPolicy(max_batch_size=concurrency,
+                                   max_wait_s=0.0)
+    picks = make_mixed_config_workload(len(configs), num_requests, seed=seed)
+
+    datasets = list(datasets or ())  # (config, dataset) pairs
+    ds_by_id = {dataset_identity(cfg): ds for cfg, ds in datasets}
+    reference = [Session(cfg,
+                         dataset=ds_by_id.get(dataset_identity(cfg))).predict()
+                 for cfg in configs]
+
+    def timed_run(workers: int):
+        with ServingCluster(num_workers=workers, warm_configs=configs,
+                            datasets=datasets, pool_size=pool_size,
+                            policy=policy, backend=backend) as cluster:
+            warm = [cluster.submit(cfg) for cfg in configs]
+            cluster.run_until_idle()
+            for f in warm:
+                f.result(timeout=60.0)
+            report = run_cluster_closed_loop(cluster, configs, picks,
+                                             concurrency=concurrency)
+            snap = cluster.stats_snapshot()
+        return report, snap
+
+    single_report, single_snap = timed_run(1)
+    multi_report, multi_snap = timed_run(num_workers)
+
+    def matches_reference(report):
+        return all(np.array_equal(out, reference[int(i)])
+                   for out, i in zip(report.results, picks))
+
+    identical_single = (len(single_report.results) == len(picks)
+                        and matches_reference(single_report))
+    identical_multi = (len(multi_report.results) == len(picks)
+                       and matches_reference(multi_report))
+    identical_across = all(
+        np.array_equal(a, b)
+        for a, b in zip(single_report.results, multi_report.results))
+    return {
+        "num_workers": num_workers,
+        "num_configs": len(configs),
+        "num_requests": num_requests,
+        "concurrency": concurrency,
+        "pool_size": pool_size,
+        "single_worker_s": single_report.duration_s,
+        "multi_worker_s": multi_report.duration_s,
+        "single_worker_rps": single_report.throughput_rps,
+        "multi_worker_rps": multi_report.throughput_rps,
+        "scaling": (single_report.duration_s / multi_report.duration_s
+                    if multi_report.duration_s > 0 else float("inf")),
+        "identical_single": identical_single,
+        "identical_multi": identical_multi,
+        "identical_across": identical_across,
+        "identical": (identical_single and identical_multi
+                      and identical_across),
+        "single_worker_stats": single_snap,
+        "multi_worker_stats": multi_snap,
+    }
 
 
 def compare_with_naive(config, num_requests: int = 64, distinct: int = 4,

@@ -25,7 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
-__all__ = ["config_key", "PoolStats", "SessionPool"]
+__all__ = ["config_key", "dataset_identity", "PoolStats", "SessionPool"]
 
 
 def config_key(config) -> str:
@@ -36,6 +36,18 @@ def config_key(config) -> str:
     scale, …) separates them.
     """
     return hashlib.sha256(config.to_json().encode()).hexdigest()[:16]
+
+
+def dataset_identity(config) -> tuple:
+    """What makes two configs share one loaded dataset.
+
+    Name × scale × effective seed (the data seed, falling back to the
+    run seed) — the key the pool's cross-config dataset cache and the
+    cluster's startup broadcast dedupe on.
+    """
+    data = config.data
+    seed = data.seed if data.seed is not None else config.seed
+    return (data.name, data.scale, seed)
 
 
 @dataclass
@@ -49,6 +61,7 @@ class PoolStats:
 
     @property
     def hit_rate(self) -> float:
+        """Warm-session hits over all acquisitions (0.0 before any)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -71,6 +84,7 @@ class SessionPool:
         self.stats = PoolStats()
         self._sessions: OrderedDict[str, object] = OrderedDict()
         self._datasets: dict[tuple, object] = {}
+        self._pinned: set[tuple] = set()
         self._checkpoints: dict[str, str] = {}
         if session_factory is None:
             from ..api import Session as session_factory
@@ -99,9 +113,28 @@ class SessionPool:
         return list(self._sessions)
 
     def _dataset_identity(self, config) -> tuple:
-        data = config.data
-        seed = data.seed if data.seed is not None else config.seed
-        return (data.name, data.scale, seed)
+        return dataset_identity(config)
+
+    def put_dataset(self, config, dataset, pin: bool = True) -> tuple:
+        """Seed the shared-dataset cache with an already-loaded dataset.
+
+        Sessions later admitted for any config with the same dataset
+        identity (name × scale × effective seed) reuse ``dataset``
+        instead of re-synthesizing it — this is how a cluster worker
+        installs the dataset broadcast it received at startup.  ``pin``
+        (default) keeps the dataset cached even while no warm session
+        references it, so LRU churn never forces a re-synthesis of
+        broadcast data.  Returns the identity key.
+        """
+        if dataset.name != config.data.name:
+            raise ValueError(
+                f"dataset {dataset.name!r} does not match config "
+                f"dataset {config.data.name!r}")
+        ds_id = self._dataset_identity(config)
+        self._datasets[ds_id] = dataset
+        if pin:
+            self._pinned.add(ds_id)
+        return ds_id
 
     def acquire(self, config, key: str | None = None):
         """The warm session for ``config`` (building + admitting on miss)."""
@@ -151,9 +184,12 @@ class SessionPool:
             # retains every dataset it ever loaded
             live = {self._dataset_identity(s.config)
                     for s in self._sessions.values()}
+            live |= self._pinned  # broadcast datasets survive LRU churn
             for ds_id in [d for d in self._datasets if d not in live]:
                 del self._datasets[ds_id]
 
     def clear(self) -> None:
+        """Drop every warm session and cached dataset (pinned included)."""
         self._sessions.clear()
         self._datasets.clear()
+        self._pinned.clear()

@@ -79,26 +79,31 @@ class ServeFuture:
         self._exception: BaseException | None = None
 
     def done(self) -> bool:
+        """True once the request has resolved (result or exception)."""
         return self._event.is_set()
 
     def set_result(self, value: Any) -> None:
+        """Resolve with a value (producer side; exactly once)."""
         if self._event.is_set():
             raise ServeError("future already resolved")
         self._value = value
         self._event.set()
 
     def set_exception(self, exc: BaseException) -> None:
+        """Resolve with an exception (producer side; exactly once)."""
         if self._event.is_set():
             raise ServeError("future already resolved")
         self._exception = exc
         self._event.set()
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until resolved; the recorded exception, or ``None``."""
         if not self._event.wait(timeout):
             raise TimeoutError("request still pending")
         return self._exception
 
     def result(self, timeout: float | None = None) -> Any:
+        """Block until resolved; the value, or raise what the server set."""
         if not self._event.wait(timeout):
             raise TimeoutError("request still pending")
         if self._exception is not None:
@@ -136,6 +141,7 @@ class Request:
         return (self.config_key, self.kind, self.graph_key)
 
     def expired(self, now: float) -> bool:
+        """Whether the deadline (if any) has passed at time ``now``."""
         return self.deadline is not None and now > self.deadline
 
 

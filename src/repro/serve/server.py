@@ -45,7 +45,23 @@ from .queue import (
     ServerClosedError,
 )
 
-__all__ = ["ServerStats", "InferenceServer"]
+__all__ = ["latency_summary", "ServerStats", "InferenceServer"]
+
+
+def latency_summary(latencies) -> dict:
+    """Mean/p50/p95 of a latency sample, NaN-safe on empty input.
+
+    Shared by per-server snapshots and the cluster-level merge so both
+    report the same fields from the same math.
+    """
+    lat = np.asarray(latencies, dtype=np.float64)
+    return {
+        "latency_mean_s": float(lat.mean()) if lat.size else float("nan"),
+        "latency_p50_s": (float(np.percentile(lat, 50))
+                          if lat.size else float("nan")),
+        "latency_p95_s": (float(np.percentile(lat, 95))
+                          if lat.size else float("nan")),
+    }
 
 
 @dataclass
@@ -66,22 +82,65 @@ class ServerStats:
     _latency_lock: threading.Lock = field(default_factory=threading.Lock,
                                           repr=False)
 
+    #: Counter fields summed when merging per-worker stats.
+    COUNTER_FIELDS = ("submitted", "completed", "rejected", "expired",
+                      "failed", "batches", "batched_requests",
+                      "shared_computes")
+
     def record_batch(self, occupancy: int) -> None:
+        """Count one executed micro-batch of ``occupancy`` requests."""
         self.batches += 1
         self.batched_requests += occupancy
 
     def record_latency(self, seconds: float) -> None:
+        """Append one request's submit-to-complete latency sample."""
         with self._latency_lock:
             self.latencies.append(seconds)
 
     @property
     def mean_occupancy(self) -> float:
+        """Average requests per executed micro-batch (0.0 before any)."""
         return self.batched_requests / self.batches if self.batches else 0.0
+
+    def state_dict(self) -> dict:
+        """Picklable raw state: counters + latency samples.
+
+        What a cluster worker ships to the router for merging — unlike
+        :meth:`snapshot` it keeps the raw latency list, because
+        percentiles of percentiles are not percentiles.
+        """
+        with self._latency_lock:
+            lat = list(self.latencies)
+        state = {f: getattr(self, f) for f in self.COUNTER_FIELDS}
+        state["latencies"] = lat
+        return state
+
+    @staticmethod
+    def merge(states) -> dict:
+        """Merge per-worker :meth:`state_dict` dicts into one snapshot.
+
+        Counters sum; occupancy is re-derived from the summed totals;
+        latency percentiles are computed over the concatenated samples.
+        Returns the same shape as :meth:`snapshot`.
+        """
+        states = list(states)
+        totals = {f: sum(s.get(f, 0) for s in states)
+                  for f in ServerStats.COUNTER_FIELDS}
+        latencies: list[float] = []
+        for s in states:
+            latencies.extend(s.get("latencies", ()))
+        batches = totals["batches"]
+        merged = {f: totals[f] for f in ServerStats.COUNTER_FIELDS
+                  if f != "batched_requests"}
+        merged["mean_batch_occupancy"] = round(
+            totals["batched_requests"] / batches if batches else 0.0, 3)
+        merged.update(latency_summary(latencies))
+        return merged
 
     def snapshot(self) -> dict:
         """A plain-dict view (what ``repro serve``'s ``stats`` prints)."""
         with self._latency_lock:
-            lat = np.asarray(self.latencies, dtype=np.float64)
+            lat = list(self.latencies)
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -91,9 +150,7 @@ class ServerStats:
             "batches": self.batches,
             "mean_batch_occupancy": round(self.mean_occupancy, 3),
             "shared_computes": self.shared_computes,
-            "latency_mean_s": float(lat.mean()) if lat.size else float("nan"),
-            "latency_p50_s": float(np.percentile(lat, 50)) if lat.size else float("nan"),
-            "latency_p95_s": float(np.percentile(lat, 95)) if lat.size else float("nan"),
+            **latency_summary(lat),
         }
 
 
@@ -106,6 +163,7 @@ class _GraphScatter:
         self.remaining = num_slots
 
     def fill(self, slot: int, value: np.ndarray) -> bool:
+        """Record one per-graph output; True once every slot is filled."""
         self.outputs[slot] = value
         self.remaining -= 1
         return self.remaining == 0
@@ -117,7 +175,10 @@ class InferenceServer:
     def __init__(self, pool: SessionPool | None = None,
                  policy: BatchPolicy | None = None,
                  max_queue_depth: int = 256):
-        self.pool = pool or SessionPool()
+        # explicit None check: an *empty* SessionPool is falsy (len 0),
+        # and replacing an injected-but-empty pool would silently drop
+        # its seeded datasets and checkpoint registrations
+        self.pool = pool if pool is not None else SessionPool()
         self.policy = policy or BatchPolicy()
         self.queue = RequestQueue(max_depth=max_queue_depth)
         self.batcher = MicroBatcher(self.policy)

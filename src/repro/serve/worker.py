@@ -1,0 +1,381 @@
+"""Worker side of the serving cluster: the process that runs inference.
+
+Each cluster worker owns one :class:`~repro.serve.InferenceServer` over a
+warm :class:`~repro.serve.SessionPool` and speaks a small message
+protocol with the router over a duplex pipe:
+
+* ``("work", WorkUnit)`` — one inference request (arrays framed with
+  :func:`repro.distributed.pack_array`, configs as their canonical JSON);
+* ``("ping", seq)`` → ``("pong", seq, worker_id)`` — heartbeat;
+* ``("stats", seq)`` → ``("stats", seq, worker_id, state)`` — raw
+  :meth:`~repro.serve.server.ServerStats.state_dict` + pool counters for
+  cluster-level merging;
+* ``("shutdown",)`` → drain, ``("bye", worker_id)``, exit.
+
+The loop batches naturally: it keeps draining the pipe while messages
+are available and only executes once the pipe goes momentarily quiet,
+so every request that arrived in one burst coalesces inside the
+worker's micro-batcher exactly as it would in a single-process server.
+
+Two :class:`WorkerHandle` implementations wrap the protocol for the
+cluster: :class:`ProcessWorker` runs :func:`worker_main` in a real
+``multiprocessing`` child (spawn-safe: the entry point is a top-level
+function and everything shipped to it is picklable), and
+:class:`InlineWorker` runs the identical :class:`WorkerRuntime` in
+process — deterministic for tests, with explicit failure injection
+(``fail()``) for death/requeue scenarios.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..distributed.comm import pack_array, unpack_array
+from .batcher import BatchPolicy
+from .pool import SessionPool
+from .server import InferenceServer
+
+__all__ = [
+    "WorkUnit",
+    "WorkResult",
+    "WorkerInit",
+    "WorkerRuntime",
+    "worker_main",
+    "ProcessWorker",
+    "InlineWorker",
+]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One routed request, in wire form (picklable, process-agnostic).
+
+    ``config_json`` is the request's canonical
+    :meth:`~repro.api.RunConfig.to_json` string (the worker caches the
+    parse per distinct config); ``payload`` is the node-id / graph-index
+    array framed by :func:`repro.distributed.pack_array`, or ``None``
+    for the full node / graph set.
+    """
+
+    id: int
+    config_json: str
+    kind: str  # "nodes" | "graphs"
+    payload: bytes | None = None
+
+
+@dataclass(frozen=True)
+class WorkResult:
+    """One unit's outcome: framed logits on success, an error otherwise."""
+
+    id: int
+    worker_id: str
+    ok: bool
+    payload: bytes | None = None
+    error: str | None = None
+
+    def value(self):
+        """Decode the framed logits array (success results only)."""
+        if not self.ok:
+            raise ValueError(f"result {self.id} is an error: {self.error}")
+        return unpack_array(self.payload)
+
+
+@dataclass(frozen=True)
+class WorkerInit:
+    """Everything a worker needs at startup, shipped once per worker.
+
+    ``datasets`` holds ``(config_json, pickled_dataset)`` pairs — the
+    cluster serializes each distinct dataset **once** and broadcasts the
+    same bytes to every worker, which installs them into its pool via
+    :meth:`~repro.serve.SessionPool.put_dataset` so admission never
+    re-synthesizes broadcast data.  ``checkpoints`` maps configs (by
+    JSON) to checkpoint paths loaded on admission.
+    """
+
+    worker_id: str
+    pool_size: int = 4
+    max_batch_size: int = 32
+    max_wait_s: float = 0.0
+    queue_depth: int = 4096
+    datasets: tuple = ()      # ((config_json, dataset_blob), ...)
+    checkpoints: tuple = ()   # ((config_json, path), ...)
+
+
+class WorkerRuntime:
+    """The inference state a worker drives: pool + server + config cache.
+
+    Shared verbatim by the process worker loop and the inline handle so
+    both execute requests through exactly the same code path.
+    """
+
+    def __init__(self, init: WorkerInit):
+        from ..api import RunConfig
+
+        self.worker_id = init.worker_id
+        self.pool = SessionPool(max_sessions=init.pool_size)
+        for cfg_json, blob in init.datasets:
+            self.pool.put_dataset(RunConfig.from_json(cfg_json),
+                                  pickle.loads(blob))
+        for cfg_json, path in init.checkpoints:
+            self.pool.add_checkpoint(RunConfig.from_json(cfg_json), path)
+        self.server = InferenceServer(
+            pool=self.pool,
+            policy=BatchPolicy(max_batch_size=init.max_batch_size,
+                               max_wait_s=init.max_wait_s),
+            max_queue_depth=init.queue_depth)
+        self._configs: dict[str, object] = {}  # config_json -> RunConfig
+
+    def submit(self, unit: WorkUnit):
+        """Enqueue one unit; returns ``(unit, future_or_error_result)``.
+
+        Submission errors (bad payloads, unknown configs) resolve to an
+        error :class:`WorkResult` immediately instead of killing the
+        worker loop.
+        """
+        from ..api import RunConfig
+
+        try:
+            config = self._configs.get(unit.config_json)
+            if config is None:
+                config = RunConfig.from_json(unit.config_json)
+                self._configs[unit.config_json] = config
+            payload = (None if unit.payload is None
+                       else unpack_array(unit.payload))
+            kwargs = ({"nodes": payload} if unit.kind == "nodes"
+                      else {"indices": payload})
+            future = self.server.submit(config, **kwargs)
+        except Exception as exc:
+            return unit, WorkResult(id=unit.id, worker_id=self.worker_id,
+                                    ok=False, error=repr(exc))
+        return unit, future
+
+    def execute(self, pending) -> list[WorkResult]:
+        """Run everything submitted so far; one result per pending unit."""
+        self.server.run_until_idle()
+        results = []
+        for unit, fut in pending:
+            if isinstance(fut, WorkResult):  # submission already failed
+                results.append(fut)
+                continue
+            exc = fut.exception(timeout=0)
+            if exc is not None:
+                results.append(WorkResult(id=unit.id,
+                                          worker_id=self.worker_id,
+                                          ok=False, error=repr(exc)))
+            else:
+                results.append(WorkResult(id=unit.id,
+                                          worker_id=self.worker_id, ok=True,
+                                          payload=pack_array(fut.result())))
+        return results
+
+    def state(self) -> dict:
+        """Raw stats for cluster merging: server state_dict + pool view."""
+        return {
+            "worker_id": self.worker_id,
+            "server": self.server.stats.state_dict(),
+            "pool": {
+                "sessions": len(self.pool),
+                "hits": self.pool.stats.hits,
+                "misses": self.pool.stats.misses,
+                "evictions": self.pool.stats.evictions,
+                "checkpoint_loads": self.pool.stats.checkpoint_loads,
+            },
+        }
+
+
+def worker_main(init: WorkerInit, conn) -> None:
+    """Entry point of one worker process (top-level, spawn-safe).
+
+    Drains the pipe while messages are available, executes the batch
+    when it goes quiet, and answers heartbeats/stats in between.  Exits
+    on ``("shutdown",)`` or when the router end of the pipe closes.
+    """
+    runtime = WorkerRuntime(init)
+    pending: list = []
+    running = True
+    while running:
+        try:
+            ready = conn.poll(0.0 if pending else 0.2)
+        except (EOFError, OSError):
+            break
+        if ready:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "work":
+                pending.append(runtime.submit(msg[1]))
+            elif kind == "ping":
+                conn.send(("pong", msg[1], init.worker_id))
+            elif kind == "stats":
+                conn.send(("stats", msg[1], init.worker_id, runtime.state()))
+            elif kind == "shutdown":
+                running = False
+            continue  # keep draining so bursts coalesce into one batch
+        if pending:
+            for result in runtime.execute(pending):
+                conn.send(("result", result))
+            pending = []
+    if pending:  # answer work accepted before the shutdown message
+        for result in runtime.execute(pending):
+            try:
+                conn.send(("result", result))
+            except (BrokenPipeError, OSError):
+                break
+    try:
+        conn.send(("bye", init.worker_id))
+    except (BrokenPipeError, OSError):
+        pass
+    conn.close()
+
+
+class ProcessWorker:
+    """A worker running :func:`worker_main` in a spawned child process."""
+
+    def __init__(self, init: WorkerInit, start_method: str = "spawn"):
+        self.id = init.worker_id
+        ctx = multiprocessing.get_context(start_method)
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=worker_main, args=(init, child),
+                                   name=f"repro-serve-{init.worker_id}",
+                                   daemon=True)
+        self.process.start()
+        child.close()  # our copy; the child owns its end now
+
+    def send(self, msg) -> None:
+        """Ship one protocol message (raises if the pipe is broken)."""
+        self.conn.send(msg)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a message (or EOF) is readable within ``timeout``."""
+        try:
+            return self.conn.poll(timeout)
+        except (EOFError, OSError):
+            return False
+
+    def recv(self):
+        """Read one protocol message (raises EOFError on a closed pipe)."""
+        return self.conn.recv()
+
+    def alive(self) -> bool:
+        """Whether the child process is still running."""
+        return self.process.is_alive()
+
+    def terminate(self) -> None:
+        """Hard-kill the child and reap it."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        self.conn.close()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for a clean exit."""
+        self.process.join(timeout)
+
+
+class InlineWorker:
+    """An in-process worker speaking the same protocol, for determinism.
+
+    ``auto=True`` (the default, what ``backend="inline"`` clusters use)
+    executes buffered work lazily whenever the cluster polls.  With
+    ``auto=False`` a test drives :meth:`step_worker` explicitly, which
+    makes death/requeue interleavings exact: :meth:`fail` simulates a
+    crash, optionally *holding* already-computed results
+    (``hold_results=True``) to model a pipe whose data arrives after the
+    death was detected — the duplicate-delivery scenario.
+    """
+
+    def __init__(self, init: WorkerInit, auto: bool = True):
+        self.id = init.worker_id
+        self.auto = auto
+        self.runtime = WorkerRuntime(init)
+        self._inbox: deque = deque()
+        self._outbox: deque = deque()
+        self._held: deque = deque()
+        self._pending: list = []
+        self._dead = False
+        self._stopped = False
+        self.units_routed: list[WorkUnit] = []  # every unit sent here
+        self.units_seen: list[WorkUnit] = []    # every unit executed here
+
+    def send(self, msg) -> None:
+        """Buffer one protocol message (raises once the worker died)."""
+        if self._dead:
+            raise BrokenPipeError(f"worker {self.id} is dead")
+        if msg[0] == "work":
+            self.units_routed.append(msg[1])
+        self._inbox.append(msg)
+
+    def step_worker(self) -> None:
+        """Process buffered messages, then execute the accumulated batch."""
+        if self._dead:
+            return
+        while self._inbox:
+            msg = self._inbox.popleft()
+            kind = msg[0]
+            if kind == "work":
+                self.units_seen.append(msg[1])
+                self._pending.append(self.runtime.submit(msg[1]))
+            elif kind == "ping":
+                self._outbox.append(("pong", msg[1], self.id))
+            elif kind == "stats":
+                self._outbox.append(("stats", msg[1], self.id,
+                                     self.runtime.state()))
+            elif kind == "shutdown":
+                self._stopped = True
+        if self._pending:
+            for result in self.runtime.execute(self._pending):
+                self._outbox.append(("result", result))
+            self._pending = []
+        if self._stopped:
+            self._outbox.append(("bye", self.id))
+            self._dead = True
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a reply is readable (auto mode executes lazily)."""
+        if self.auto and not self._dead:
+            self.step_worker()
+        return bool(self._outbox)
+
+    def recv(self):
+        """Read one buffered reply."""
+        return self._outbox.popleft()
+
+    def alive(self) -> bool:
+        """False once the worker failed or shut down."""
+        return not self._dead
+
+    def fail(self, deliver_pending: bool = False,
+             hold_results: bool = False) -> None:
+        """Simulate a crash.
+
+        ``deliver_pending`` executes buffered work first (its results sit
+        in the outbox, like pipe data flushed before death);
+        ``hold_results`` additionally hides the outbox until
+        :meth:`release` — the late-arrival duplicate scenario.
+        """
+        if deliver_pending:
+            self.step_worker()
+        else:
+            self._inbox.clear()
+            self._pending = []
+        if hold_results:
+            self._held.extend(self._outbox)
+            self._outbox.clear()
+        self._dead = True
+
+    def release(self) -> None:
+        """Make held results readable (the late pipe flush arriving)."""
+        self._outbox.extend(self._held)
+        self._held.clear()
+
+    def terminate(self) -> None:
+        """Mark the worker dead (protocol parity with ProcessWorker)."""
+        self._dead = True
+
+    def join(self, timeout: float | None = None) -> None:
+        """No-op (inline workers have no process to reap)."""

@@ -49,6 +49,7 @@ class CallbackList(Callback):
         self.callbacks: list[Callback] = list(callbacks or ())
 
     def append(self, cb: Callback) -> None:
+        """Add one callback to the fan-out list."""
         self.callbacks.append(cb)
 
     def on_fit_start(self, record) -> None:

@@ -1,9 +1,9 @@
-"""Simulated collectives: semantics and byte accounting."""
+"""Simulated collectives: semantics, byte accounting, array framing."""
 
 import numpy as np
 import pytest
 
-from repro.distributed import CommLog, Communicator
+from repro.distributed import CommLog, Communicator, pack_array, unpack_array
 from repro.hardware import ETHERNET_1G, PCIE4_X16
 
 
@@ -123,3 +123,37 @@ class TestCommLog:
     def test_world_size_validation(self):
         with pytest.raises(ValueError):
             Communicator(0)
+
+
+class TestArrayFraming:
+    @pytest.mark.parametrize("arr", [
+        np.arange(12, dtype=np.int64).reshape(3, 4),
+        np.linspace(-1, 1, 7, dtype=np.float64),
+        np.full((2, 1, 3), 3.25, dtype=np.float32),
+        np.array(5.0),              # 0-d
+        np.empty((0, 4)),           # empty
+        np.array([True, False]),    # bool
+    ])
+    def test_roundtrip_bitwise(self, arr):
+        out = unpack_array(pack_array(arr))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert out.tobytes() == np.ascontiguousarray(arr).tobytes()
+
+    def test_deterministic_bytes(self, rng):
+        arr = rng.normal(size=(5, 3))
+        assert pack_array(arr) == pack_array(arr.copy())
+
+    def test_unpacked_is_writable_copy(self):
+        arr = np.arange(6).reshape(2, 3)
+        out = unpack_array(pack_array(arr))
+        out[0, 0] = 99  # must not raise (frombuffer views are readonly)
+        assert arr[0, 0] == 0
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_array(b"XXXX" + b"\x00" * 16)
+
+    def test_noncontiguous_input(self):
+        arr = np.arange(20).reshape(4, 5)[:, ::2]
+        assert np.array_equal(unpack_array(pack_array(arr)), arr)

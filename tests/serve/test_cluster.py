@@ -1,0 +1,318 @@
+"""ServingCluster: routing, death/requeue, deadlines, stats, process mode.
+
+Most tests run the ``inline`` backend — protocol-identical in-process
+workers whose execution the test drives explicitly (``auto=False``), so
+death/requeue interleavings are exact.  One end-to-end test spins real
+spawned worker processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.graph import load_node_dataset
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceededError,
+    NoWorkersError,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+    ServingCluster,
+    config_key,
+)
+
+MODEL = ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                    num_heads=4, dropout=0.0)
+SCALE = 0.1
+
+
+def make_config(seed: int) -> RunConfig:
+    return RunConfig(data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),
+                     model=MODEL, engine=EngineConfig("gp-raw"),
+                     train=TrainConfig(epochs=1), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return [make_config(s) for s in range(3)]
+
+
+@pytest.fixture(scope="module")
+def reference(configs, dataset):
+    """Ground-truth logits per config from a plain Session."""
+    return [Session(cfg, dataset=dataset).predict() for cfg in configs]
+
+
+def inline_cluster(configs, dataset, *, num_workers=2, auto=True, **kw):
+    kw.setdefault("policy", BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+    return ServingCluster(num_workers=num_workers, warm_configs=configs,
+                          datasets=[(configs[0], dataset)],
+                          backend="inline", auto_inline=auto, **kw)
+
+
+def owner_of(cluster, config) -> str:
+    return cluster.router.ring.lookup(config_key(config))
+
+
+class TestInlineBasics:
+    def test_bitwise_identity_and_stats(self, configs, dataset, reference):
+        with inline_cluster(configs, dataset) as cluster:
+            futures = [(i, cluster.submit(cfg))
+                       for i, cfg in enumerate(configs) for _ in range(2)]
+            cluster.run_until_idle()
+            for i, fut in futures:
+                assert np.array_equal(fut.result(timeout=5.0), reference[i])
+            snap = cluster.stats_snapshot()
+        assert snap["cluster"]["submitted"] == 6
+        assert snap["cluster"]["completed"] == 6
+        assert snap["cluster"]["worker_deaths"] == 0
+        assert snap["workers"]["completed"] == 6
+        assert snap["workers_alive"] == 2
+        assert snap["router"]["routed"] == 6
+
+    def test_node_subset_requests(self, configs, dataset):
+        nodes = np.array([5, 1, 9, 3])
+        with inline_cluster(configs, dataset) as cluster:
+            fut = cluster.submit(configs[0], nodes=nodes)
+            cluster.run_until_idle()
+            want = Session(configs[0], dataset=dataset).predict(nodes=nodes)
+            assert np.array_equal(fut.result(timeout=5.0), want)
+
+    def test_graph_level_requests(self):
+        cfg = RunConfig(data=DataConfig("zinc", scale=0.05), model=MODEL,
+                        engine=EngineConfig("gp-sparse"),
+                        train=TrainConfig(epochs=1), seed=0)
+        with ServingCluster(num_workers=2, warm_configs=[cfg],
+                            backend="inline") as cluster:
+            idx = np.array([2, 0, 1])
+            fut = cluster.submit(cfg, indices=idx)
+            cluster.run_until_idle()
+            want = Session(cfg).predict(indices=idx)
+            assert np.array_equal(fut.result(timeout=5.0), want)
+
+    def test_argument_validation(self, configs, dataset):
+        with inline_cluster(configs, dataset) as cluster:
+            with pytest.raises(ValueError, match="indices="):
+                cluster.submit(configs[0], indices=np.array([0]))
+
+    def test_backpressure_and_close(self, configs, dataset):
+        cluster = inline_cluster(configs, dataset, max_queue_depth=1)
+        cluster.submit(configs[0])
+        with pytest.raises(QueueFullError):
+            cluster.submit(configs[0])
+        cluster.close()
+        with pytest.raises(ServerClosedError):
+            cluster.submit(configs[0])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ServingCluster(0, backend="inline")
+        with pytest.raises(ValueError, match="backend"):
+            ServingCluster(1, backend="carrier-pigeon")
+
+
+class TestDeadlines:
+    def test_expired_request_rejected_before_dispatch(self, configs,
+                                                      dataset):
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            fut = cluster.submit(configs[0], timeout=0.5, now=0.0)
+            cluster.step(now=1.0)  # deadline long past before any dispatch
+            with pytest.raises(DeadlineExceededError):
+                fut.result(timeout=1.0)
+            # the request never crossed a worker pipe
+            assert all(not h.units_routed for h in cluster.workers.values())
+            assert cluster.stats.expired == 1
+            assert cluster.stats.dispatched == 0
+
+    def test_live_request_still_dispatches(self, configs, dataset,
+                                           reference):
+        with inline_cluster(configs, dataset) as cluster:
+            fut = cluster.submit(configs[0], timeout=60.0)
+            cluster.run_until_idle()
+            assert np.array_equal(fut.result(timeout=5.0), reference[0])
+
+
+class TestWorkerDeath:
+    def test_death_mid_batch_requeues_without_duplicates(
+            self, configs, dataset, reference):
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            cfg = configs[0]
+            victim = owner_of(cluster, cfg)
+            futures = [cluster.submit(cfg) for _ in range(3)]
+            cluster.step()  # dispatch: units now sit in the victim's inbox
+            assert len(cluster.workers[victim].units_seen) == 0
+            cluster.workers[victim].fail()  # crash before executing
+            cluster.step()  # detect death, requeue to the survivor
+            survivor = ({w for w in cluster.workers} - {victim}).pop()
+            assert cluster.stats.worker_deaths == 1
+            assert cluster.stats.requeued == 3
+            cluster.workers[survivor].step_worker()
+            cluster.run_until_idle()
+            for fut in futures:
+                assert np.array_equal(fut.result(timeout=5.0), reference[0])
+            assert len(cluster.workers[survivor].units_seen) == 3
+            assert cluster.stats.duplicates_ignored == 0
+            assert cluster.stats.completed == 3
+
+    def test_late_results_from_dead_worker_delivered_at_most_once(
+            self, configs, dataset, reference):
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            cfg = configs[0]
+            victim = owner_of(cluster, cfg)
+            survivor = ({w for w in cluster.workers} - {victim}).pop()
+            futures = [cluster.submit(cfg) for _ in range(2)]
+            cluster.step()  # dispatch to victim
+            # victim computes the answers, but "dies" before the pipe
+            # flushes; its results arrive later, after the requeue
+            cluster.workers[victim].fail(deliver_pending=True,
+                                         hold_results=True)
+            cluster.step()  # death detected → requeued to survivor
+            assert cluster.stats.requeued == 2
+            cluster.workers[survivor].step_worker()
+            cluster.workers[victim].release()  # the late pipe flush lands
+            cluster.run_until_idle()
+            for fut in futures:
+                assert np.array_equal(fut.result(timeout=5.0), reference[0])
+            # two answers arrived per request; each future resolved once
+            assert cluster.stats.duplicates_ignored == 2
+            assert cluster.stats.completed == 2
+
+    def test_all_workers_dead_fails_requests(self, configs, dataset):
+        with inline_cluster(configs, dataset, num_workers=1,
+                            auto=False) as cluster:
+            fut = cluster.submit(configs[0])
+            cluster.workers["w0"].fail()
+            cluster.step()
+            with pytest.raises((NoWorkersError, ServeError)):
+                fut.result(timeout=1.0)
+            assert cluster.stats.failed == 1
+
+    def test_idle_gap_does_not_kill_live_workers(self, configs, dataset,
+                                                 reference):
+        # a driven cluster can sit idle far longer than the heartbeat
+        # timeout (REPL at a prompt); only an *unanswered ping* or a
+        # dead process handle may declare a worker dead
+        with inline_cluster(configs, dataset,
+                            heartbeat_timeout_s=0.01) as cluster:
+            import time as _time
+            _time.sleep(0.03)  # idle well past the heartbeat timeout
+            cluster.step()
+            assert cluster.stats.worker_deaths == 0
+            assert len(cluster.router.workers()) == 2
+            fut = cluster.submit(configs[0])
+            cluster.run_until_idle()
+            assert np.array_equal(fut.result(timeout=5.0), reference[0])
+
+    def test_hung_worker_detected_by_unanswered_ping(self, configs,
+                                                     dataset):
+        with inline_cluster(configs, dataset, auto=False,
+                            heartbeat_interval_s=0.0,
+                            heartbeat_timeout_s=0.01) as cluster:
+            import time as _time
+            cluster.step()  # sends pings; auto=False workers never answer
+            assert all(h.alive() for h in cluster.workers.values())
+            _time.sleep(0.03)
+            cluster.step()  # outstanding pings older than the timeout
+            assert cluster.stats.worker_deaths == 2
+            assert cluster.router.workers() == []
+            # let close() skip the (synthetically) dead inline workers
+            for handle in cluster.workers.values():
+                handle.terminate()
+
+    def test_requeue_excludes_the_dead_worker(self, configs, dataset):
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            cfg = configs[0]
+            victim = owner_of(cluster, cfg)
+            cluster.submit(cfg)
+            cluster.step()
+            cluster.workers[victim].fail()
+            cluster.step()
+            (dispatch,) = cluster._inflight.values()
+            assert victim in dispatch.excluded
+            assert dispatch.worker_id != victim
+            assert dispatch.attempts == 2
+
+
+class TestStickiness:
+    def test_sticky_under_pool_eviction(self, configs, dataset, reference):
+        # pool of 1 per worker, 3 configs on 2 workers: at least one
+        # worker keeps evicting sessions — routing must not move
+        with inline_cluster(configs, dataset, pool_size=1) as cluster:
+            expected = {config_key(cfg): owner_of(cluster, cfg)
+                        for cfg in configs}
+            for _ in range(3):  # three rotations of the full config set
+                futures = [(i, cluster.submit(cfg))
+                           for i, cfg in enumerate(configs)]
+                cluster.run_until_idle()
+                for i, fut in futures:
+                    assert np.array_equal(fut.result(timeout=5.0),
+                                          reference[i])
+            snap = cluster.stats_snapshot()
+            assert snap["pool"]["evictions"] > 0  # churn really happened
+            assert snap["router"]["spills"] == 0
+        # every unit landed on its config's ring owner
+        for wid, handle in cluster.workers.items():
+            for unit in handle.units_routed:
+                assert expected[config_key_from_json(unit.config_json)] == wid
+
+    def test_spill_on_overload_then_recovers(self, configs, dataset,
+                                             reference):
+        with inline_cluster(configs, dataset, auto=False,
+                            spill_threshold=2) as cluster:
+            cfg = configs[0]
+            owner = owner_of(cluster, cfg)
+            futures = [cluster.submit(cfg) for _ in range(6)]
+            cluster.step()  # one drain dispatches all six
+            assert cluster.router.stats.spills >= 1
+            routed = {wid: len(h.units_routed)
+                      for wid, h in cluster.workers.items()}
+            assert routed[owner] >= 2         # sticky up to the threshold
+            assert min(routed.values()) >= 1  # overflow crossed workers
+            for handle in cluster.workers.values():
+                handle.step_worker()
+            cluster.run_until_idle()
+            for fut in futures:
+                assert np.array_equal(fut.result(timeout=5.0), reference[0])
+
+
+def config_key_from_json(config_json: str) -> str:
+    """Recover the routing key of a wire-format config."""
+    from repro.api import RunConfig
+
+    return config_key(RunConfig.from_json(config_json))
+
+
+class TestProcessBackend:
+    def test_end_to_end_identity_stats_and_shutdown(self, configs, dataset,
+                                                    reference):
+        with ServingCluster(num_workers=2, warm_configs=configs,
+                            datasets=[(configs[0], dataset)],
+                            backend="process",
+                            policy=BatchPolicy(max_batch_size=8,
+                                               max_wait_s=0.0)) as cluster:
+            futures = [(i, cluster.submit(cfg))
+                       for i, cfg in enumerate(configs) for _ in range(2)]
+            cluster.run_until_idle()
+            for i, fut in futures:
+                assert np.array_equal(fut.result(timeout=30.0), reference[i])
+            snap = cluster.stats_snapshot()
+            assert snap["workers_alive"] == 2
+            assert snap["cluster"]["completed"] == 6
+            assert snap["workers"]["completed"] == 6
+            # broadcast datasets admitted sessions without re-synthesis
+            assert snap["pool"]["misses"] == len(configs)
+        # context exit shut the workers down cleanly
+        assert all(not h.alive() for h in cluster.workers.values())

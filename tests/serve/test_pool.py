@@ -102,6 +102,35 @@ class TestDatasetSharing:
             data=DataConfig("ogbn-arxiv", scale=0.1, seed=8)))
         assert a.dataset is not b.dataset
 
+    def test_put_dataset_seeds_admission(self):
+        from repro.graph import load_node_dataset
+        pool = SessionPool(max_sessions=2)
+        cfg = node_config()
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=cfg.seed)
+        pool.put_dataset(cfg, ds)
+        assert pool.acquire(cfg).dataset is ds
+
+    def test_put_dataset_rejects_name_mismatch(self):
+        from repro.graph import load_node_dataset
+        pool = SessionPool()
+        ds = load_node_dataset("flickr", scale=0.1, seed=0)
+        with pytest.raises(ValueError, match="does not match"):
+            pool.put_dataset(node_config(), ds)
+
+    def test_pinned_dataset_survives_lru_churn(self):
+        from repro.graph import load_node_dataset
+        pool = SessionPool(max_sessions=1)
+        cfg = node_config()
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=cfg.seed)
+        pool.put_dataset(cfg, ds)  # pinned broadcast
+        pool.acquire(cfg)
+        # rotate through two other datasets: cfg's session is evicted
+        pool.acquire(node_config(data=DataConfig("ogbn-arxiv", scale=0.2)))
+        pool.acquire(node_config(data=DataConfig("flickr", scale=0.1)))
+        assert cfg not in pool
+        # ...but re-admission still reuses the pinned broadcast object
+        assert pool.acquire(cfg).dataset is ds
+
 
 class TestCheckpointAdmission:
     def test_admission_loads_registered_weights(self, tmp_path):

@@ -1,0 +1,145 @@
+"""Consistent-hash ring and sticky/spill routing semantics."""
+
+import pytest
+
+from repro.serve import HashRing, NoWorkersError, Router
+
+
+def keys(n: int) -> list[str]:
+    return [f"config-{i:04d}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_lookup_deterministic_across_rings(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order must not matter
+        for k in keys(200):
+            assert a.lookup(k) == b.lookup(k)
+
+    def test_all_members_reachable(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        owners = {ring.lookup(k) for k in keys(500)}
+        assert owners == {"w0", "w1", "w2"}
+
+    def test_roughly_balanced(self):
+        ring = HashRing(["w0", "w1"])
+        counts = {"w0": 0, "w1": 0}
+        for k in keys(2000):
+            counts[ring.lookup(k)] += 1
+        # virtual nodes keep the split well away from degenerate
+        assert min(counts.values()) > 2000 * 0.25
+
+    def test_remove_remaps_only_removed_members_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.lookup(k) for k in keys(500)}
+        ring.remove("w1")
+        for k, owner in before.items():
+            if owner != "w1":
+                assert ring.lookup(k) == owner
+            else:
+                assert ring.lookup(k) in ("w0", "w2")
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["w0"])
+        size = len(ring._positions)
+        ring.add("w0")
+        assert len(ring._positions) == size
+
+    def test_excluded_falls_through_to_next_member(self):
+        ring = HashRing(["w0", "w1"])
+        for k in keys(50):
+            owner = ring.lookup(k)
+            other = ring.lookup(k, excluded={owner})
+            assert other is not None and other != owner
+
+    def test_all_excluded_returns_none(self):
+        ring = HashRing(["w0", "w1"])
+        assert ring.lookup("k", excluded={"w0", "w1"}) is None
+        assert HashRing().lookup("k") is None
+
+    def test_membership_protocol(self):
+        ring = HashRing(["w0"])
+        assert "w0" in ring and "w1" not in ring and len(ring) == 1
+
+    def test_replicas_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestRouter:
+    def test_sticky_matches_ring_owner(self):
+        router = Router(["w0", "w1", "w2"])
+        for k in keys(100):
+            wid = router.route(k)
+            assert wid == router.ring.lookup(k)
+            router.complete(wid)
+        assert router.stats.sticky == 100
+        assert router.stats.spills == 0
+
+    def test_in_flight_accounting(self):
+        router = Router(["w0", "w1"])
+        wid = router.route("a")
+        assert router.in_flight[wid] == 1
+        router.complete(wid)
+        assert router.in_flight[wid] == 0
+        router.complete(wid)  # never goes negative
+        assert router.in_flight[wid] == 0
+
+    def test_spill_to_least_loaded_on_overload(self):
+        router = Router(["w0", "w1"], spill_threshold=2)
+        key = "hot-config"
+        owner = router.ring.lookup(key)
+        other = ({"w0", "w1"} - {owner}).pop()
+        chosen = [router.route(key) for _ in range(6)]
+        assert chosen[:2] == [owner, owner]
+        assert other in chosen[2:]  # overflow spilled off the owner
+        assert router.stats.spills >= 1
+        # load stays bounded: nobody holds everything
+        assert max(router.in_flight.values()) < 6
+
+    def test_no_spill_when_everyone_is_loaded(self):
+        router = Router(["w0", "w1"], spill_threshold=1)
+        key = "k"
+        owner = router.ring.lookup(key)
+        other = ({"w0", "w1"} - {owner}).pop()
+        router.in_flight[owner] = 3
+        router.in_flight[other] = 5  # more loaded than the sticky owner
+        assert router.route(key) == owner  # spilling would make it worse
+        assert router.stats.spills == 0
+
+    def test_excluded_reroutes(self):
+        router = Router(["w0", "w1"])
+        key = "k"
+        owner = router.ring.lookup(key)
+        other = ({"w0", "w1"} - {owner}).pop()
+        assert router.route(key, excluded={owner}) == other
+        assert router.stats.reroutes == 1
+
+    def test_mark_dead_removes_from_routing(self):
+        router = Router(["w0", "w1"])
+        router.mark_dead("w0")
+        assert router.workers() == ["w1"]
+        for k in keys(20):
+            assert router.route(k) == "w1"
+
+    def test_no_workers_error(self):
+        router = Router(["w0"])
+        router.mark_dead("w0")
+        with pytest.raises(NoWorkersError):
+            router.route("k")
+        router2 = Router(["w0", "w1"])
+        with pytest.raises(NoWorkersError):
+            router2.route("k", excluded={"w0", "w1"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Router([])
+        with pytest.raises(ValueError):
+            Router(["w0"], spill_threshold=0)
+
+    def test_stats_snapshot_shape(self):
+        router = Router(["w0"])
+        router.route("k")
+        snap = router.stats.snapshot()
+        assert snap == {"routed": 1, "sticky": 1, "spills": 0,
+                        "reroutes": 0}
