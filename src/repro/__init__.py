@@ -29,13 +29,16 @@ Subpackages
 ``repro.serve``
     Batched inference serving: request queue with futures/deadlines,
     dynamic micro-batching, warm ``SessionPool``, seeded load generator.
+``repro.stream``
+    Streaming graph updates: ``GraphDelta``, incremental CSR apply,
+    dataset versioning, online mutation through the serving tier.
 ``repro.bench``
     Table/figure harness used by the ``benchmarks/`` suite.
 """
 
 __version__ = "1.1.0"
 
-from . import api, attention, core, distributed, graph, hardware, models, partition, serve, tensor, train
+from . import api, attention, core, distributed, graph, hardware, models, partition, serve, stream, tensor, train
 from .api import DataConfig, EngineConfig, ModelConfig, RunConfig, Session, TrainConfig
 
 __all__ = [
@@ -50,6 +53,7 @@ __all__ = [
     "train",
     "api",
     "serve",
+    "stream",
     "DataConfig",
     "ModelConfig",
     "EngineConfig",

@@ -66,11 +66,14 @@ class Session:
         self._model = None
         self._engine = None
         self._fitting = False
-        # memoized (dataset, context, encodings) for repeated full-graph
-        # inference; keyed by dataset identity — a session whose dataset
-        # object is swapped (shared-dataset sweeps, pool admission) must
-        # never serve a context built for different data — and dropped
-        # whenever fit() may have moved engine runtime state
+        # memoized (dataset, graph_version, context, encodings) for
+        # repeated full-graph inference; keyed by dataset identity AND
+        # its graph_version — a session whose dataset object is swapped
+        # (shared-dataset sweeps, pool admission) or mutated in place by
+        # a GraphDelta (possibly through *another* session sharing the
+        # dataset) must never serve a context built for different
+        # topology — and dropped whenever fit() may have moved engine
+        # runtime state or a checkpoint load moved the weights
         self._infer_cache = None
 
     @classmethod
@@ -207,6 +210,85 @@ class Session:
             return {"mae": mae(preds.reshape(-1), ds.targets[idx])}
         return {"accuracy": accuracy(preds, ds.targets[idx])}
 
+    # -- streaming updates ------------------------------------------------ #
+    @property
+    def graph_version(self) -> int:
+        """The dataset's monotonic mutation version (0 = as loaded).
+
+        Bumped by every applied :class:`~repro.stream.GraphDelta` —
+        including one applied through *another* session sharing this
+        dataset object.  Serving results are stamped with the version
+        they were computed at, so clients can detect staleness.
+        """
+        return int(getattr(self.dataset, "graph_version", 0))
+
+    def _stream_tag(self) -> tuple:
+        """The workspace-scope tag for this session's dataset object."""
+        return ("dataset", id(self.dataset))
+
+    def _stamp_context(self, ctx) -> None:
+        """Stamp a prepared context's patterns for targeted invalidation.
+
+        Records the dataset tag plus the original node ids each pattern
+        row covers (the cluster-reordering inverse, or the identity for
+        unreordered layouts), so a later delta drops exactly the
+        workspaces it staled and leaves other datasets' warm.
+        """
+        from ..attention.workspace import stamp_workspace_scope
+
+        inv = ctx.node_permutation_inverse()
+        node_ids = inv if inv is not None else None
+        for pattern in (ctx.pattern,
+                        ctx.reformed.pattern if ctx.reformed else None):
+            if pattern is not None:
+                stamp_workspace_scope(pattern, tag=self._stream_tag(),
+                                      node_ids=node_ids)
+
+    def apply_delta(self, delta):
+        """Apply a :class:`~repro.stream.GraphDelta` to the live dataset.
+
+        The topology change goes through the incremental CSR rebuild
+        (only touched rows recomputed), the dataset's ``graph_version``
+        is bumped, this session's inference cache is dropped, and
+        cached pattern workspaces are invalidated **targeted**: only
+        workspaces over this dataset whose rows intersect the delta's
+        touched set are dropped — other datasets' (and disjoint
+        subgraphs') workspaces stay warm.  Prepared contexts and
+        encodings are rebuilt lazily on the next :meth:`predict`.
+
+        Node-level datasets only; raises mid-``fit()`` (the trainer owns
+        the graph then).  Returns the :class:`~repro.stream.DeltaReport`.
+        """
+        from ..attention.workspace import invalidate_touching
+        from ..stream import apply_delta as stream_apply
+
+        if self.config.data.task_kind != "node":
+            raise ValueError(
+                "apply_delta supports node-level datasets; graph-level "
+                "datasets are collections of independent frozen graphs")
+        if self._fitting:
+            raise RuntimeError("cannot apply a delta while fit() is running")
+        report = stream_apply(self.dataset, delta)
+        invalidate_touching(report.touched_rows, tag=self._stream_tag())
+        self._infer_cache = None
+        return report
+
+    # -- weights ---------------------------------------------------------- #
+    def load_weights(self, path: str) -> None:
+        """Load checkpoint weights into the live model, dropping caches.
+
+        The audited mutation point for serving-time weight swaps (pool
+        admission, hot reload): every inference-side cache that could
+        embed model state is invalidated here, so a live session never
+        serves logits computed from the pre-load weights.  (The cached
+        ``(ctx, enc)`` pair is weight-independent today — invalidating
+        it keeps that an implementation detail rather than a trap.)
+        """
+        from ..train.checkpointing import load_checkpoint
+
+        load_checkpoint(path, self.model)
+        self._infer_cache = None
+
     # -- inference ------------------------------------------------------- #
     def predict(self, nodes: np.ndarray | None = None,
                 indices: np.ndarray | None = None,
@@ -245,15 +327,21 @@ class Session:
                 # cluster reordering + pattern + ECR reformation dominate
                 # small-model inference cost and are identical across calls
                 # while the engine is idle (mid-fit, a re-reform can land
-                # between calls, so caching is suspended)
+                # between calls, so caching is suspended) and the topology
+                # is unchanged (an applied GraphDelta bumps graph_version,
+                # which misses here even when another session holding the
+                # same dataset object applied it)
+                version = getattr(ds, "graph_version", 0)
                 if (self._infer_cache is not None
-                        and self._infer_cache[0] is ds):
-                    _, ctx, enc = self._infer_cache
+                        and self._infer_cache[0] is ds
+                        and self._infer_cache[1] == version):
+                    _, _, ctx, enc = self._infer_cache
                 else:
                     ctx = engine.prepare_inference(ds.graph)
                     enc = compute_encodings(ctx.graph, lap_pe_dim=t.lap_pe_dim)
+                    self._stamp_context(ctx)
                     if not self._fitting:
-                        self._infer_cache = (ds, ctx, enc)
+                        self._infer_cache = (ds, version, ctx, enc)
                 feats = ds.features
             else:
                 nodes = np.asarray(nodes)

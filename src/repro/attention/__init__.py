@@ -31,8 +31,11 @@ from .workspace import (
     WorkspaceCacheStats,
     clear_workspace_stats,
     get_workspace,
+    invalidate_touching,
     invalidate_workspace,
+    live_workspace_count,
     set_workspace_caching,
+    stamp_workspace_scope,
     workspace_cache_stats,
     workspace_caching,
     workspace_caching_enabled,
@@ -81,8 +84,11 @@ __all__ = [
     "WorkspaceCacheStats",
     "clear_workspace_stats",
     "get_workspace",
+    "invalidate_touching",
     "invalidate_workspace",
+    "live_workspace_count",
     "set_workspace_caching",
+    "stamp_workspace_scope",
     "workspace_cache_stats",
     "workspace_caching",
     "workspace_caching_enabled",

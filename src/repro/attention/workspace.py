@@ -26,10 +26,22 @@ Caching is process-global and can be toggled (``set_workspace_caching`` /
 the ``workspace_caching`` context manager) — the disabled path builds a
 fresh workspace per call and runs the *identical* code, so outputs are
 bitwise identical with the cache on or off.
+
+**Targeted invalidation** (streaming graph updates): every pattern with
+a cached workspace is tracked in a weak registry, and callers that know
+a pattern's provenance stamp it with :func:`stamp_workspace_scope` — a
+dataset tag plus the original node ids its rows cover.  When a
+:class:`~repro.stream.GraphDelta` lands, :func:`invalidate_touching`
+drops *only* the workspaces whose scope intersects the delta's touched
+rows (same tag, overlapping node set — or unknown provenance, dropped
+conservatively); every other workspace stays warm.  This replaces the
+previous all-or-nothing behavior where any topology change meant a cold
+re-warm of every cached workspace in the process.
 """
 
 from __future__ import annotations
 
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -43,6 +55,9 @@ __all__ = [
     "WorkspaceCacheStats",
     "get_workspace",
     "invalidate_workspace",
+    "stamp_workspace_scope",
+    "invalidate_touching",
+    "live_workspace_count",
     "clear_workspace_stats",
     "workspace_cache_stats",
     "set_workspace_caching",
@@ -51,6 +66,28 @@ __all__ = [
 ]
 
 _WORKSPACE_ATTR = "_cached_workspace"
+_SCOPE_TAG_ATTR = "_workspace_scope_tag"
+_SCOPE_NODES_ATTR = "_workspace_scope_nodes"
+
+#: Weak registry of every pattern currently holding a cached workspace —
+#: what :func:`invalidate_touching` walks.  Keyed by ``id`` (patterns
+#: are eq-dataclasses, hence unhashable) with a weakref finalizer, so a
+#: pattern dropped by its owner (ECR re-reform, session eviction) never
+#: leaks through here.
+_live_patterns: dict[int, "weakref.ref[AttentionPattern]"] = {}
+
+
+def _track_pattern(pattern: AttentionPattern) -> None:
+    key = id(pattern)
+    _live_patterns[key] = weakref.ref(
+        pattern, lambda _ref, _key=key: _live_patterns.pop(_key, None))
+
+
+def _iter_live_patterns():
+    for ref in list(_live_patterns.values()):
+        pattern = ref()
+        if pattern is not None:
+            yield pattern
 
 
 @dataclass
@@ -60,6 +97,8 @@ class WorkspaceCacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    targeted_drops: int = 0   # invalidate_touching: scope intersected
+    targeted_retained: int = 0  # invalidate_touching: stayed warm
 
     @property
     def builds(self) -> int:
@@ -67,6 +106,7 @@ class WorkspaceCacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.invalidations = 0
+        self.targeted_drops = self.targeted_retained = 0
 
 
 _stats = WorkspaceCacheStats()
@@ -203,6 +243,7 @@ def get_workspace(pattern: AttentionPattern) -> PatternWorkspace:
         _stats.misses += 1
         ws = PatternWorkspace(pattern)
         pattern.__dict__[_WORKSPACE_ATTR] = ws
+        _track_pattern(pattern)
     else:
         _stats.hits += 1
     return ws
@@ -211,9 +252,72 @@ def get_workspace(pattern: AttentionPattern) -> PatternWorkspace:
 def invalidate_workspace(pattern: AttentionPattern) -> bool:
     """Drop ``pattern``'s cached workspace; True if one existed."""
     existed = pattern.__dict__.pop(_WORKSPACE_ATTR, None) is not None
+    _live_patterns.pop(id(pattern), None)
     if existed:
         _stats.invalidations += 1
     return existed
+
+
+def stamp_workspace_scope(pattern: AttentionPattern, tag=None,
+                          node_ids: np.ndarray | None = None) -> None:
+    """Record a pattern's provenance for targeted invalidation.
+
+    ``tag`` names the dataset (any hashable — e.g. ``("ds", id(ds))``)
+    the pattern was built over; ``node_ids`` are the **original** node
+    ids its rows cover (the reordering inverse for clustered layouts,
+    the queried node set for subgraphs; ``None`` = the whole graph).
+    :func:`invalidate_touching` keeps differently-tagged workspaces
+    warm and, within a tag, drops only those whose node set intersects
+    a delta's touched rows.
+    """
+    pattern.__dict__[_SCOPE_TAG_ATTR] = tag
+    pattern.__dict__[_SCOPE_NODES_ATTR] = (
+        None if node_ids is None
+        else np.asarray(node_ids, dtype=np.int64))
+
+
+def invalidate_touching(touched: np.ndarray, tag=None) -> dict:
+    """Drop only the cached workspaces a graph delta actually staled.
+
+    Walks every live workspace-holding pattern and drops it when
+
+    * its scope tag matches ``tag`` (or either side has no tag —
+      unknown provenance is dropped conservatively, never served
+      stale), **and**
+    * its scope node set intersects ``touched`` (no recorded node set
+      = covers the whole graph = always intersects).
+
+    Everything else stays warm.  Returns ``{"dropped": …,
+    "retained": …}`` and feeds the ``targeted_drops`` /
+    ``targeted_retained`` counters in :func:`workspace_cache_stats`.
+    """
+    touched = np.asarray(touched, dtype=np.int64)
+    dropped = retained = 0
+    live = list(_iter_live_patterns())
+    if not len(touched):  # feature-only delta: no topology row changed
+        _stats.targeted_retained += len(live)
+        return {"dropped": 0, "retained": len(live)}
+    for pattern in live:
+        p_tag = pattern.__dict__.get(_SCOPE_TAG_ATTR)
+        if tag is not None and p_tag is not None and p_tag != tag:
+            retained += 1
+            continue
+        nodes = pattern.__dict__.get(_SCOPE_NODES_ATTR)
+        if nodes is not None and not np.any(
+                np.isin(nodes, touched, assume_unique=False)):
+            retained += 1
+            continue
+        if invalidate_workspace(pattern):
+            dropped += 1
+    _stats.targeted_drops += dropped
+    _stats.targeted_retained += retained
+    return {"dropped": dropped, "retained": retained}
+
+
+def live_workspace_count() -> int:
+    """How many patterns currently hold a cached workspace."""
+    return sum(1 for p in _iter_live_patterns()
+               if _WORKSPACE_ATTR in p.__dict__)
 
 
 def workspace_cache_stats() -> WorkspaceCacheStats:

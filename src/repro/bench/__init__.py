@@ -13,6 +13,7 @@ from .harness import (
     model_table,
     pattern_builder_table,
     serve_throughput_table,
+    stream_update_table,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "pattern_builder_table",
     "serve_throughput_table",
     "cluster_scaling_table",
+    "stream_update_table",
 ]

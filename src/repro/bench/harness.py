@@ -191,6 +191,32 @@ def cluster_scaling_table(result: dict, title: str | None = None) -> TableReport
     return table
 
 
+def stream_update_table(result: dict, title: str | None = None) -> TableReport:
+    """A streaming-update comparison as a table.
+
+    Renders the ``benchmarks/bench_stream_updates.py`` result dict:
+    incremental CSR apply + targeted workspace invalidation vs a
+    from-scratch edge-set rebuild + all-or-nothing workspace wipe.
+    """
+    table = TableReport(
+        title=title or (
+            f"streaming graph updates — {result['num_deltas']} deltas, "
+            f"~{result['mean_touched_fraction'] * 100:.1f}% rows touched"),
+        columns=["path", "total", "per delta", "speedup"])
+    table.add_row("full rebuild + wipe", fmt_time(result["full_s"]),
+                  fmt_time(result["full_s"] / result["num_deltas"]), "1.0×")
+    table.add_row("incremental + targeted",
+                  fmt_time(result["incremental_s"]),
+                  fmt_time(result["incremental_s"] / result["num_deltas"]),
+                  f"{result['speedup']:.2f}×")
+    table.add_note("post-delta logits bitwise-identical to from-scratch "
+                   "rebuild: " + ("yes" if result["identical"] else "NO"))
+    table.add_note(f"bystander workspaces kept warm: "
+                   f"{result['bystander_retained']} retentions "
+                   f"(full path rebuilt {result['num_deltas']}×)")
+    return table
+
+
 @dataclass
 class SeriesReport:
     """A paper figure: named series over a shared x-axis."""

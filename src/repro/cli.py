@@ -241,7 +241,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{config.model.name} / {config.engine.name} on {tier} — "
           f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
           f"queue_depth={args.queue_depth}")
-    print("commands: predict [id …] | stats | quit")
+    print("commands: predict [id …] | mutate add|remove u v [u v …] | "
+          "mutate churn [edges [seed]] | version | stats | quit")
+    # cluster mode keeps a router-side mirror of the mutated dataset so
+    # `mutate churn` can generate valid deltas against current topology;
+    # single-server mode reads the live pooled dataset directly
+    state = {"mirror": None}
     for line in sys.stdin:
         parts = line.split()
         if not parts:
@@ -252,9 +257,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if cmd == "stats":
             _print_stats(backend.stats_snapshot())
             continue
+        if cmd == "version":
+            print(f"graph_version: {backend.graph_version(config)}")
+            continue
+        if cmd == "mutate":
+            _serve_mutate(backend, config, ids, state,
+                          cluster=args.workers > 0)
+            continue
         if cmd != "predict":
-            print(f"unknown command {cmd!r} (predict/stats/quit)",
-                  file=sys.stderr)
+            print(f"unknown command {cmd!r} "
+                  "(predict/mutate/version/stats/quit)", file=sys.stderr)
             continue
         try:
             subset = np.array([int(i) for i in ids]) if ids else None
@@ -267,10 +279,70 @@ def cmd_serve(args: argparse.Namespace) -> int:
             continue
         target = (f"{len(subset)} {'nodes' if kind == 'node' else 'graphs'}"
                   if subset is not None else f"full {kind} set")
-        print(f"ok: {target} -> output shape {out.shape}")
+        version = ("" if future.graph_version is None
+                   else f"  (graph_version {future.graph_version})")
+        print(f"ok: {target} -> output shape {out.shape}{version}")
     backend.close()
     print("server closed")
     return 0
+
+
+def _serve_mutate(backend, config, ids, state, cluster: bool) -> None:
+    """Handle the serve REPL's ``mutate`` subcommands.
+
+    ``mutate add u v [u v …]`` / ``mutate remove u v [u v …]`` apply
+    explicit undirected edges; ``mutate churn [edges [seed]]`` applies
+    one seeded random delta that removes live edges and adds absent
+    ones.  Cluster mode mirrors every applied delta onto a router-side
+    dataset copy so churn generation always sees current topology.
+    """
+    from repro.stream import GraphDelta, apply_delta, make_churn_deltas
+
+    if config.data.task_kind != "node":
+        print("error: mutate applies to node-level configs only",
+              file=sys.stderr)
+        return
+    if state["mirror"] is None:
+        if cluster:
+            from repro.graph import load_node_dataset
+            from repro.serve import dataset_identity
+
+            # same (name, scale, effective seed) resolution the cluster's
+            # startup broadcast used, so the mirror matches the workers
+            name, scale, seed = dataset_identity(config)
+            state["mirror"] = load_node_dataset(name, scale=scale,
+                                                seed=seed)
+        else:
+            state["mirror"] = backend.pool.acquire(config).dataset
+    dataset = state["mirror"]
+    sub = ids[0].lower() if ids else ""
+    try:
+        if sub in ("add", "remove"):
+            vals = [int(x) for x in ids[1:]]
+            if not vals or len(vals) % 2:
+                print("error: mutate add/remove takes u v endpoint pairs",
+                      file=sys.stderr)
+                return
+            pairs = np.asarray(vals, dtype=np.int64).reshape(-1, 2)
+            delta = (GraphDelta(add_edges=pairs) if sub == "add"
+                     else GraphDelta(remove_edges=pairs))
+        elif sub == "churn":
+            edges = int(ids[1]) if len(ids) > 1 else 4
+            seed = int(ids[2]) if len(ids) > 2 else dataset.graph_version
+            delta = make_churn_deltas(dataset, 1, edges_per_delta=edges,
+                                      seed=seed)[0]
+        else:
+            print("error: mutate takes add/remove/churn", file=sys.stderr)
+            return
+        future = backend.submit_delta(config, delta)
+        backend.run_until_idle()
+        new_version = future.result(timeout=60.0)
+    except Exception as e:
+        print(f"mutation failed: {e}", file=sys.stderr)
+        return
+    if cluster:  # keep the churn mirror aligned with the fleet
+        apply_delta(dataset, delta)
+    print(f"ok: applied {delta} -> graph_version {new_version}")
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:

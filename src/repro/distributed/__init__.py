@@ -1,6 +1,14 @@
 """Simulated distributed runtime: collectives and graph parallelism."""
 
-from .comm import CommLog, CommRecord, Communicator, pack_array, unpack_array
+from .comm import (
+    CommLog,
+    CommRecord,
+    Communicator,
+    pack_array,
+    pack_arrays,
+    unpack_array,
+    unpack_arrays,
+)
 from .graph_parallel import (
     ShardPlan,
     allgather_volume_per_gpu,
@@ -17,6 +25,8 @@ __all__ = [
     "CommRecord",
     "pack_array",
     "unpack_array",
+    "pack_arrays",
+    "unpack_arrays",
     "ShardPlan",
     "cluster_aware_attention",
     "naive_sequence_parallel_attention",

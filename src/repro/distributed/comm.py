@@ -28,8 +28,8 @@ import numpy as np
 
 from ..hardware.device import LinkSpec
 
-__all__ = ["pack_array", "unpack_array", "CommRecord", "CommLog",
-           "Communicator"]
+__all__ = ["pack_array", "unpack_array", "pack_arrays", "unpack_arrays",
+           "CommRecord", "CommLog", "Communicator"]
 
 #: Frame magic: protocol name + framing version.
 _FRAME_MAGIC = b"RGT1"
@@ -64,6 +64,36 @@ def unpack_array(buf: bytes) -> np.ndarray:
     data = buf[8 + header_len:]
     arr = np.frombuffer(data, dtype=np.dtype(dtype_str)).reshape(shape)
     return arr.copy()  # writable, detached from the frame buffer
+
+
+def pack_arrays(arrays) -> bytes:
+    """Frame a sequence of ndarrays as length-prefixed :func:`pack_array` frames.
+
+    The multi-array wire format used by structured payloads (e.g. a
+    serving-cluster :class:`~repro.stream.GraphDelta` broadcast): each
+    array's frame is preceded by its 8-byte big-endian length, so the
+    receiver can split the stream without parsing frame internals.
+    """
+    out = []
+    for arr in arrays:
+        frame = pack_array(arr)
+        out.append(len(frame).to_bytes(8, "big"))
+        out.append(frame)
+    return b"".join(out)
+
+
+def unpack_arrays(buf: bytes) -> list[np.ndarray]:
+    """Decode a :func:`pack_arrays` stream back into its array list."""
+    arrays = []
+    pos = 0
+    while pos < len(buf):
+        frame_len = int.from_bytes(buf[pos:pos + 8], "big")
+        pos += 8
+        if pos + frame_len > len(buf):
+            raise ValueError("truncated pack_arrays stream")
+        arrays.append(unpack_array(buf[pos:pos + frame_len]))
+        pos += frame_len
+    return arrays
 
 
 @dataclass

@@ -67,6 +67,10 @@ class NodeDataset:
     test_mask: np.ndarray
     blocks: np.ndarray = field(default=None)  # planted community labels
     paper: PaperStats = field(default=None)
+    # monotonic topology/feature version: 0 at load, bumped by every
+    # applied :class:`~repro.stream.GraphDelta` — the staleness token
+    # the serving layer stamps on results (see docs/streaming.md)
+    graph_version: int = 0
 
     @property
     def num_nodes(self) -> int:

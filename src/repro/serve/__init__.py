@@ -17,17 +17,30 @@ to N worker processes by consistent hash of the config key
 warm pool (:mod:`repro.serve.worker`), with heartbeat death detection
 and exactly-once requeue of in-flight work — ``repro serve --workers N``
 and ``repro bench-serve --workers N`` on the CLI.
+
+Both tiers accept **online graph mutations** (:mod:`repro.stream`):
+``submit_delta`` serializes a :class:`~repro.stream.GraphDelta` against
+in-flight micro-batches (single server) or broadcasts it version-guarded
+to every worker (cluster), and every result future carries the
+``graph_version`` it was computed at so clients can detect staleness.
+All serve-layer timestamps flow through one injectable clock source
+(:mod:`repro.serve._clock`): deadlines, heartbeat aging and latency
+accounting advance together, on the wall clock or a test's
+:class:`ManualClock`.
 """
 
+from ._clock import ManualClock, clock_override
 from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
 from .cluster import ClusterStats, ServingCluster
 from .loadgen import (
     LoadReport,
     compare_cluster_scaling,
     compare_with_naive,
+    make_churn_workload,
     make_graph_workload,
     make_mixed_config_workload,
     make_node_workload,
+    run_churn_loop,
     run_closed_loop,
     run_cluster_closed_loop,
     run_open_loop,
@@ -54,6 +67,8 @@ from .worker import (
 )
 
 __all__ = [
+    "ManualClock",
+    "clock_override",
     "BatchPolicy",
     "MicroBatch",
     "MicroBatcher",
@@ -88,6 +103,8 @@ __all__ = [
     "make_node_workload",
     "make_graph_workload",
     "make_mixed_config_workload",
+    "make_churn_workload",
+    "run_churn_loop",
     "run_closed_loop",
     "run_open_loop",
     "run_cluster_closed_loop",

@@ -20,9 +20,10 @@ joins the coalescing key, bounding padding waste per batch to <2×
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable
+
+from . import _clock
 
 __all__ = ["BatchPolicy", "MicroBatch", "MicroBatcher", "seq_len_bucket"]
 
@@ -102,7 +103,7 @@ class MicroBatcher:
     def add(self, key: Hashable, item: Any,
             enqueued_at: float | None = None) -> None:
         """Append one work item to its key's group (tracking its age)."""
-        enqueued_at = time.perf_counter() if enqueued_at is None else enqueued_at
+        enqueued_at = _clock.now() if enqueued_at is None else enqueued_at
         group = self._groups.setdefault(key, _Group())
         group.items.append(item)
         group.oldest = min(group.oldest, enqueued_at)
@@ -114,7 +115,7 @@ class MicroBatcher:
         A group over ``max_batch_size`` splits into several full batches;
         the remainder flushes too (its oldest item is what aged out).
         """
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         size, wait = self.policy.max_batch_size, self.policy.max_wait_s
         out: list[MicroBatch] = []
         for key in list(self._groups):
@@ -143,6 +144,6 @@ class MicroBatcher:
         """
         if not self._groups:
             return None
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         oldest = min(g.oldest for g in self._groups.values())
         return max(0.0, self.policy.max_wait_s - (now - oldest))

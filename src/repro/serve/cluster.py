@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import _clock
 from .batcher import BatchPolicy
 from .pool import config_key, dataset_identity
 from .queue import (
@@ -55,6 +56,7 @@ from .queue import (
     Request,
     RequestQueue,
     ServeError,
+    ServeFuture,
     ServerClosedError,
 )
 from .router import NoWorkersError, Router
@@ -88,6 +90,8 @@ class ClusterStats:
     requeued: int = 0
     worker_deaths: int = 0
     duplicates_ignored: int = 0
+    mutations: int = 0           # GraphDelta broadcasts submitted
+    mutations_applied: int = 0   # broadcasts acked by every live worker
     latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
 
     def snapshot(self) -> dict:
@@ -102,6 +106,8 @@ class ClusterStats:
             "requeued": self.requeued,
             "worker_deaths": self.worker_deaths,
             "duplicates_ignored": self.duplicates_ignored,
+            "mutations": self.mutations,
+            "mutations_applied": self.mutations_applied,
             **latency_summary(self.latencies),
         }
 
@@ -115,6 +121,22 @@ class _Dispatch:
     worker_id: str
     attempts: int = 1
     excluded: set = field(default_factory=set)
+
+
+@dataclass
+class _Mutation:
+    """Router-side tracking for one delta broadcast.
+
+    A mutation fans out as one ``"mutate"`` unit per live worker;
+    ``pending`` holds the unit ids still awaiting an ack.  The caller's
+    future resolves with the new ``graph_version`` once every ack
+    lands (or with the first worker error once none are pending).
+    """
+
+    future: "ServeFuture"
+    version: int
+    pending: set = field(default_factory=set)
+    error: BaseException | None = None
 
 
 class ServingCluster:
@@ -162,6 +184,8 @@ class ServingCluster:
         self.heartbeat_interval_s = heartbeat_interval_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self._inflight: dict[int, _Dispatch] = {}
+        self._mutations: dict[int, _Mutation] = {}  # unit id → broadcast
+        self._dataset_versions: dict[tuple, int] = {}  # dataset id → version
         self._config_json: dict[str, str] = {}
         self._stats_replies: dict[int, dict[str, dict]] = {}
         self._next_id = 0
@@ -203,7 +227,7 @@ class ServingCluster:
         # a prompt), and workers must not be declared dead for it
         self._ping_outstanding: dict[str, float | None] = {
             wid: None for wid in worker_ids}
-        self._last_ping = time.monotonic()
+        self._last_ping = _clock.now()
 
     @staticmethod
     def _broadcast_payload(warm_configs, datasets) -> tuple:
@@ -243,7 +267,7 @@ class ServingCluster:
         :class:`~repro.serve.queue.QueueFullError` (backpressure) or
         :class:`~repro.serve.queue.ServerClosedError` synchronously.
         """
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         kind = "nodes" if config.data.task_kind == "node" else "graphs"
         if kind == "nodes" and indices is not None:
             raise ValueError("indices= applies to graph-level configs; "
@@ -276,13 +300,110 @@ class ServingCluster:
         self.stats.submitted += 1
         return request.future
 
+    def submit_delta(self, config, delta):
+        """Broadcast a :class:`~repro.stream.GraphDelta` to the fleet.
+
+        The router is the version authority: it assigns the delta the
+        next ``graph_version`` for the config's dataset and ships one
+        ``"mutate"`` unit to **every** live worker (each worker holds
+        its own replica of the broadcast dataset) over the
+        :func:`repro.distributed.pack_arrays` wire framing.  Everything
+        already queued is dispatched first, so per-pipe FIFO order
+        serializes the mutation after all previously-submitted requests;
+        worker-side, each server force-flushes its in-flight batches at
+        the mutation boundary.
+
+        The returned future resolves with the new version once every
+        live worker acks.  A worker dying with the delta pending has
+        its unit requeued (exactly once, like any in-flight unit) to a
+        survivor, where the ``expected_version`` guard turns the
+        redelivery into a no-op ack — a delta is never applied twice.
+        Mutations carry no deadline (a half-expired broadcast would
+        leave replicas disagreeing); bound the *wait* with
+        ``future.result(timeout=…)`` instead.
+        """
+        if config.data.task_kind != "node":
+            raise ValueError(
+                "submit_delta supports node-level configs; graph-level "
+                "datasets are collections of independent frozen graphs")
+        key = config_key(config)
+        if key not in self._config_json:
+            self._config_json[key] = config.to_json()
+        outer = ServeFuture()
+        payload = delta.to_payload()
+        now = _clock.now()
+        with self._submit_lock:
+            if self._closed:
+                raise ServerClosedError(
+                    "cluster is closed; submissions rejected")
+        with self._lock:
+            # ship the queue first: the mutation must land after every
+            # request submitted before it, on every worker pipe
+            self._dispatch(now)
+            ds_id = dataset_identity(config)
+            version = self._dataset_versions.get(ds_id, 0) + 1
+            self._dataset_versions[ds_id] = version
+            mutation = _Mutation(future=outer, version=version)
+            for wid in list(self.router.workers()):
+                with self._submit_lock:
+                    uid = self._next_id
+                    self._next_id += 1
+                unit = WorkUnit(id=uid, config_json=self._config_json[key],
+                                kind="mutate", payload=payload,
+                                expected_version=version)
+                request = Request(
+                    id=uid, config=config, config_key=key, kind="mutate",
+                    delta=delta, expected_version=version)
+                request.enqueued_at = now
+                try:
+                    self.workers[wid].send(("work", unit))
+                except (BrokenPipeError, OSError):
+                    self._declare_dead(wid)
+                    continue
+                self.router.assign(wid)
+                dispatch = _Dispatch(request=request, unit=unit,
+                                     worker_id=wid)
+                self._inflight[uid] = dispatch
+                self._mutations[uid] = mutation
+                mutation.pending.add(uid)
+            self.stats.mutations += 1
+            if not mutation.pending:
+                outer.set_exception(NoWorkersError(
+                    "no live worker received the delta broadcast"))
+                self.stats.failed += 1
+        return outer
+
+    def graph_version(self, config) -> int:
+        """The router-side version of the config's dataset (0 = as loaded)."""
+        return self._dataset_versions.get(dataset_identity(config), 0)
+
+    def _settle_mutation(self, unit_id: int,
+                         error: BaseException | None = None) -> None:
+        """Record one mutate-unit outcome; resolve the broadcast when done."""
+        mutation = self._mutations.pop(unit_id, None)
+        if mutation is None:
+            return
+        mutation.pending.discard(unit_id)
+        if error is not None and mutation.error is None:
+            mutation.error = error
+        if mutation.pending or mutation.future.done():
+            return
+        if mutation.error is not None:
+            mutation.future.set_exception(mutation.error)
+            self.stats.failed += 1
+        else:
+            mutation.future.set_result(mutation.version,
+                                       graph_version=mutation.version)
+            self.stats.mutations_applied += 1
+
     # -- scheduling ------------------------------------------------------- #
     def step(self, now: float | None = None) -> int:
         """One router round: receive results → police workers → dispatch.
 
         Returns the number of requests completed this round.  ``now``
-        threads a virtual clock into deadline culling (heartbeats always
-        use the wall clock).
+        threads a virtual clock into deadline culling; heartbeat aging
+        reads the same serving clock (:mod:`repro.serve._clock`), so an
+        injected fake clock drives both domains together.
         """
         with self._lock:
             done = self._receive(now)
@@ -292,7 +413,13 @@ class ServingCluster:
 
     def run_until_idle(self, now: float | None = None,
                        timeout_s: float = 300.0) -> int:
-        """Step until nothing is queued or in flight; returns completions."""
+        """Step until nothing is queued or in flight; returns completions.
+
+        The ``timeout_s`` watchdog is a real-time liveness bound, so it
+        stays on the wall clock even when a fake serving clock is
+        injected — a frozen :class:`~repro.serve.ManualClock` must not
+        turn a hung worker into an infinite spin.
+        """
         deadline = time.monotonic() + timeout_s
         done = 0
         while len(self.queue) or self._inflight:
@@ -309,7 +436,7 @@ class ServingCluster:
 
     def _dispatch(self, now: float | None) -> None:
         self._maybe_ping()
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         for request in self.queue.drain(now=now, on_expired=self._on_expired):
             unit = WorkUnit(
                 id=request.id,
@@ -340,7 +467,12 @@ class ServingCluster:
             except NoWorkersError as exc:
                 if not dispatch.request.future.done():
                     dispatch.request.future.set_exception(exc)
-                self.stats.failed += 1
+                if dispatch.request.kind == "mutate":
+                    # the broadcast's failure is counted once, when the
+                    # outer future settles — not once per dead unit
+                    self._settle_mutation(dispatch.request.id, error=exc)
+                else:
+                    self.stats.failed += 1
                 return False
             try:
                 self.workers[wid].send(("work", dispatch.unit))
@@ -393,9 +525,24 @@ class ServingCluster:
             return 0
         self.router.complete(dispatch.worker_id)
         request = dispatch.request
+        if request.kind == "mutate":
+            # one worker's ack (or error) for a delta broadcast: settle
+            # the inner future, advance the broadcast's pending set
+            error = (None if result.ok else ServeError(
+                f"worker {result.worker_id} failed to apply delta "
+                f"{request.id}: {result.error}"))
+            if not request.future.done():
+                if error is None:
+                    request.future.set_result(
+                        int(result.value()),
+                        graph_version=request.expected_version)
+                else:
+                    request.future.set_exception(error)
+            self._settle_mutation(request.id, error=error)
+            return 0
         if request.future.done():
             return 0
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         if request.expired(now):
             request.future.set_exception(DeadlineExceededError(
                 f"request {request.id} completed after its deadline; "
@@ -408,14 +555,15 @@ class ServingCluster:
                            f"{result.id}: {result.error}"))
             self.stats.failed += 1
             return 1
-        request.future.set_result(result.value())
+        request.future.set_result(result.value(),
+                                  graph_version=result.graph_version)
         self.stats.completed += 1
         self.stats.latencies.append(now - request.enqueued_at)
         return 1
 
     # -- worker health ---------------------------------------------------- #
     def _maybe_ping(self) -> None:
-        wall = time.monotonic()
+        wall = _clock.now()
         if wall - self._last_ping < self.heartbeat_interval_s:
             return
         self._last_ping = wall
@@ -434,7 +582,7 @@ class ServingCluster:
         return self._next_seq
 
     def _check_workers(self) -> None:
-        wall = time.monotonic()
+        wall = _clock.now()
         for wid in self.router.workers():
             handle = self.workers[wid]
             sent = self._ping_outstanding.get(wid)
@@ -507,6 +655,8 @@ class ServingCluster:
                     self.workers[wid].send(("stats", seq))
                 except (BrokenPipeError, OSError):
                     self._declare_dead(wid)
+        # real-time liveness bound: stays on the wall clock even under
+        # an injected fake serving clock (see run_until_idle)
         deadline = time.monotonic() + timeout_s
         while time.monotonic() < deadline:
             with self._lock:

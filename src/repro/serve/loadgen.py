@@ -40,10 +40,12 @@ __all__ = [
     "make_node_workload",
     "make_graph_workload",
     "make_mixed_config_workload",
+    "make_churn_workload",
     "LoadReport",
     "run_closed_loop",
     "run_open_loop",
     "run_cluster_closed_loop",
+    "run_churn_loop",
     "compare_with_naive",
     "compare_cluster_scaling",
 ]
@@ -97,6 +99,25 @@ def make_mixed_config_workload(num_configs: int, num_requests: int,
     # guarantee every config appears so identity checks cover them all
     picks[:num_configs] = np.arange(num_configs)
     return picks
+
+
+def make_churn_workload(dataset, num_deltas: int, edges_per_delta: int = 8,
+                        feature_updates_per_delta: int = 0,
+                        add_node_every: int = 0, seed: int = 0):
+    """Seeded topology-churn deltas for online-serving mutation load.
+
+    The serving-shaped face of :func:`repro.stream.make_churn_deltas`:
+    every delta is valid against the graph as mutated by its
+    predecessors (removals name live edges, additions absent ones), so
+    a replayed sequence exercises the full mutation path
+    deterministically.  The caller's ``dataset`` is not mutated.
+    """
+    from ..stream import make_churn_deltas
+
+    return make_churn_deltas(
+        dataset, num_deltas, edges_per_delta=edges_per_delta,
+        feature_updates_per_delta=feature_updates_per_delta,
+        add_node_every=add_node_every, seed=seed)
 
 
 @dataclass
@@ -201,6 +222,42 @@ def run_cluster_closed_loop(cluster, configs, picks,
     duration = time.perf_counter() - t0
     return LoadReport(mode="cluster-closed", num_requests=len(picks),
                       duration_s=duration, completed=len(results),
+                      results=results)
+
+
+def run_churn_loop(backend, config, deltas,
+                   reads_per_delta: int = 1) -> LoadReport:
+    """Interleave full-graph reads with delta applications (driven mode).
+
+    For each delta: ``reads_per_delta`` predicts are submitted, then the
+    delta, then ``reads_per_delta`` more — all before one drain.  The
+    mutation serialization contract means the pre-reads execute against
+    the old topology and the post-reads against the new, and every
+    result future is stamped with the ``graph_version`` it saw.  Works
+    against an :class:`InferenceServer` or a
+    :class:`~repro.serve.cluster.ServingCluster` (identical submit
+    surface).  ``results`` holds ``(graph_version, logits)`` pairs in
+    submission order.
+    """
+    results = []
+    failed = 0
+    t0 = time.perf_counter()
+    for delta in deltas:
+        pre = [backend.submit(config) for _ in range(reads_per_delta)]
+        mutation = backend.submit_delta(config, delta)
+        post = [backend.submit(config) for _ in range(reads_per_delta)]
+        backend.run_until_idle()
+        mutation.result(timeout=60.0)
+        for future in pre + post:
+            exc = future.exception(timeout=60.0)
+            if exc is not None:
+                failed += 1
+            else:
+                results.append((future.graph_version, future.result()))
+    duration = time.perf_counter() - t0
+    return LoadReport(mode="churn", num_requests=2 * reads_per_delta
+                      * len(deltas), duration_s=duration,
+                      completed=len(results), failed=failed,
                       results=results)
 
 

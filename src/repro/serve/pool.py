@@ -154,13 +154,30 @@ class SessionPool:
                                         dataset=self._datasets.get(ds_id))
         path = self._checkpoints.get(key)
         if path is not None:
-            from ..train.checkpointing import load_checkpoint
-            load_checkpoint(path, session.model)  # weights only
+            # weights only, via the session's audited mutation point so
+            # any inference cache built before the load is dropped
+            self._load_weights(session, path)
             self.stats.checkpoint_loads += 1
         self._datasets.setdefault(ds_id, session.dataset)
         self._sessions[key] = session
         self._evict_over_capacity()
         return session
+
+    @staticmethod
+    def _load_weights(session, path: str) -> None:
+        """Load checkpoint weights through the session's invalidation hook.
+
+        Falls back to a raw :func:`~repro.train.checkpointing.load_checkpoint`
+        for injected session doubles that don't expose ``load_weights``
+        (the test seam), so admission semantics stay identical.
+        """
+        loader = getattr(session, "load_weights", None)
+        if loader is not None:
+            loader(path)
+            return
+        from ..train.checkpointing import load_checkpoint
+
+        load_checkpoint(path, session.model)
 
     def put(self, session, key: str | None = None) -> str:
         """Seed the pool with an existing (e.g. freshly fitted) session."""

@@ -9,7 +9,9 @@ are rejected *with a reason* (:class:`QueueFullError` carries the depth and
 the configured bound) instead of growing without limit — callers can shed
 load or retry rather than watch latency climb.
 
-Deadlines are absolute :func:`time.perf_counter` timestamps.  An expired
+Deadlines are absolute timestamps on the serving clock
+(:func:`repro.serve._clock.now` — ``time.perf_counter`` unless a test
+injects a fake).  An expired
 request is never executed: ``drain`` completes its future with
 :class:`DeadlineExceededError` and reports it so the server's stats count
 it.  All operations are thread-safe — the queue is the hand-off point
@@ -19,12 +21,13 @@ between caller threads and the server's worker loop.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
+
+from . import _clock
 
 __all__ = [
     "ServeError",
@@ -77,16 +80,27 @@ class ServeFuture:
         self._event = threading.Event()
         self._value: Any = None
         self._exception: BaseException | None = None
+        #: The dataset ``graph_version`` the result was computed at, or
+        #: ``None`` (unresolved, failed, or a version-less workload).
+        #: Clients compare it against the submit-time version to detect
+        #: results computed against stale topology — the streaming
+        #: staleness contract (docs/streaming.md).
+        self.graph_version: int | None = None
 
     def done(self) -> bool:
         """True once the request has resolved (result or exception)."""
         return self._event.is_set()
 
-    def set_result(self, value: Any) -> None:
-        """Resolve with a value (producer side; exactly once)."""
+    def set_result(self, value: Any, graph_version: int | None = None) -> None:
+        """Resolve with a value (producer side; exactly once).
+
+        ``graph_version`` stamps the result with the dataset version it
+        was computed at (readable as ``future.graph_version``).
+        """
         if self._event.is_set():
             raise ServeError("future already resolved")
         self._value = value
+        self.graph_version = graph_version
         self._event.set()
 
     def set_exception(self, exc: BaseException) -> None:
@@ -119,9 +133,12 @@ class Request:
     request's :class:`~repro.api.RunConfig`; ``graph_key`` identifies the
     graph being queried (the whole dataset graph, or the hash of the
     requested node set) — together they form the micro-batcher's
-    coalescing key.  ``kind`` is ``"nodes"`` (node-level logits) or
-    ``"graphs"`` (per-graph outputs for ``indices``).  ``deadline`` is an
-    absolute ``perf_counter`` timestamp or ``None``.
+    coalescing key.  ``kind`` is ``"nodes"`` (node-level logits),
+    ``"graphs"`` (per-graph outputs for ``indices``), or ``"mutate"``
+    (a :class:`~repro.stream.GraphDelta` application, carried in
+    ``delta``).  ``deadline`` is an absolute serving-clock timestamp
+    (:func:`repro.serve._clock.now`) or ``None``; expiry is inclusive
+    (see :meth:`expired`).
     """
 
     id: int
@@ -134,6 +151,8 @@ class Request:
     enqueued_at: float = 0.0
     deadline: float | None = None
     future: ServeFuture = field(default_factory=ServeFuture)
+    delta: Any = None  # GraphDelta for kind == "mutate"
+    expected_version: int | None = None  # mutate exactly-once guard
 
     @property
     def batch_key(self) -> tuple[str, str, str]:
@@ -141,8 +160,15 @@ class Request:
         return (self.config_key, self.kind, self.graph_key)
 
     def expired(self, now: float) -> bool:
-        """Whether the deadline (if any) has passed at time ``now``."""
-        return self.deadline is not None and now > self.deadline
+        """Whether the deadline (if any) has passed at time ``now``.
+
+        The boundary is **inclusive**: at ``now == deadline`` the
+        request is expired.  A deadline is the first instant the result
+        is no longer useful, and an open-loop virtual clock stepping
+        exactly onto it must agree with a wall clock that sailed past —
+        the strict ``>`` it once used made that one instant disagree.
+        """
+        return self.deadline is not None and now >= self.deadline
 
 
 class RequestQueue:
@@ -161,7 +187,7 @@ class RequestQueue:
 
     def push(self, request: Request, now: float | None = None) -> None:
         """Enqueue or reject-with-reason (:class:`QueueFullError`)."""
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         with self._cond:
             if len(self._items) >= self.max_depth:
                 raise QueueFullError(len(self._items), self.max_depth)
@@ -179,7 +205,7 @@ class RequestQueue:
         future and are handed to ``on_expired`` (for stats) instead of
         being returned.
         """
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         out: list[Request] = []
         with self._cond:
             while self._items and (max_items is None or len(out) < max_items):

@@ -29,12 +29,12 @@ from __future__ import annotations
 
 import hashlib
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import _clock
 from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
 from .pool import SessionPool, config_key
 from .queue import (
@@ -76,6 +76,8 @@ class ServerStats:
     batches: int = 0
     batched_requests: int = 0  # sum of batch occupancies
     shared_computes: int = 0   # requests answered from another's forward
+    mutations: int = 0         # GraphDeltas applied
+    mutations_ignored: int = 0  # version-guarded duplicate deliveries
     latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
     # the deque is written by the worker thread and read by snapshot()
     # callers; iteration during append raises, so both sides lock
@@ -85,7 +87,7 @@ class ServerStats:
     #: Counter fields summed when merging per-worker stats.
     COUNTER_FIELDS = ("submitted", "completed", "rejected", "expired",
                       "failed", "batches", "batched_requests",
-                      "shared_computes")
+                      "shared_computes", "mutations", "mutations_ignored")
 
     def record_batch(self, occupancy: int) -> None:
         """Count one executed micro-batch of ``occupancy`` requests."""
@@ -150,6 +152,8 @@ class ServerStats:
             "batches": self.batches,
             "mean_batch_occupancy": round(self.mean_occupancy, 3),
             "shared_computes": self.shared_computes,
+            "mutations": self.mutations,
+            "mutations_ignored": self.mutations_ignored,
             **latency_summary(lat),
         }
 
@@ -205,7 +209,7 @@ class InferenceServer:
         executing.  Raises :class:`~repro.serve.queue.QueueFullError`
         (backpressure) or :class:`ServerClosedError` synchronously.
         """
-        now = time.perf_counter() if now is None else now
+        now = _clock.now() if now is None else now
         kind = "nodes" if config.data.task_kind == "node" else "graphs"
         if kind == "nodes" and indices is not None:
             raise ValueError("indices= applies to graph-level configs; "
@@ -240,6 +244,58 @@ class InferenceServer:
         self.stats.submitted += 1
         return request.future
 
+    def submit_delta(self, config, delta, timeout: float | None = None,
+                     now: float | None = None,
+                     expected_version: int | None = None) -> ServeFuture:
+        """Enqueue a :class:`~repro.stream.GraphDelta` mutation request.
+
+        The delta shares the request queue with inference submissions,
+        so it is **serialized against in-flight batches**: every batch
+        drained before it executes against the pre-delta graph, every
+        request after it sees the post-delta graph — a mutation never
+        lands inside a half-executed batch.  The returned future
+        resolves with the new ``graph_version`` (also stamped on
+        ``future.graph_version``).
+
+        ``expected_version`` is the exactly-once guard for cluster
+        redelivery: the version this delta is expected to produce.  A
+        worker whose dataset already reached it treats the delivery as
+        a duplicate and acks without re-applying (node additions are
+        not idempotent, so re-application must be impossible).
+        """
+        now = _clock.now() if now is None else now
+        if config.data.task_kind != "node":
+            raise ValueError(
+                "submit_delta supports node-level configs; graph-level "
+                "datasets are collections of independent frozen graphs")
+        with self._submit_lock:
+            if self._closed:
+                raise ServerClosedError(
+                    "server is closed; submissions rejected")
+            request = Request(
+                id=self._next_id, config=config,
+                config_key=config_key(config),
+                kind="mutate", delta=delta,
+                expected_version=expected_version,
+                deadline=None if timeout is None else now + timeout,
+            )
+            self._next_id += 1
+            try:
+                self.queue.push(request, now=now)
+            except Exception:
+                self.stats.rejected += 1
+                raise
+        self.stats.submitted += 1
+        return request.future
+
+    def graph_version(self, config) -> int:
+        """The served dataset's current mutation version for ``config``.
+
+        Acquires (and warms, on a cold pool) the config's session — the
+        version is a property of the live dataset, not of the server.
+        """
+        return self.pool.acquire(config).graph_version
+
     @staticmethod
     def _graph_key(nodes: np.ndarray | None) -> str:
         """Identity of the queried graph: full graph, or this node set.
@@ -257,21 +313,38 @@ class InferenceServer:
 
         Returns the number of requests completed (including failures).
         ``now`` threads a virtual clock through for deterministic
-        open-loop simulation; default is wall-clock.
+        open-loop simulation; default is the serving clock.
+
+        Mutations are serialization points: when the drain hits a
+        ``"mutate"`` request, everything batched so far is force-flushed
+        and executed against the pre-delta graph, then the delta
+        applies, then draining resumes — so no micro-batch ever spans a
+        topology change, and per-round memoized forwards never leak
+        across a mutation.
         """
-        now = time.perf_counter() if now is None else now
-        for request in self.queue.drain(now=now, on_expired=self._on_expired):
-            if request.kind == "nodes":
-                self.batcher.add(request.batch_key, request,
-                                 enqueued_at=request.enqueued_at)
-            else:
-                self._expand_graph_request(request)
+        now = _clock.now() if now is None else now
         done = 0
         # a node group larger than max_batch_size flushes as several
         # chunks, but its items are identical queries by construction —
         # memoize the forward within this round so each key computes once
         node_results: dict = {}
-        for batch in self.batcher.ready(now=now, force=force_flush):
+        for request in self.queue.drain(now=now, on_expired=self._on_expired):
+            if request.kind == "mutate":
+                done += self._run_ready(now, True, node_results)
+                node_results.clear()  # pre-delta forwards are stale now
+                done += self._execute_mutation(request, now)
+            elif request.kind == "nodes":
+                self.batcher.add(request.batch_key, request,
+                                 enqueued_at=request.enqueued_at)
+            else:
+                self._expand_graph_request(request)
+        done += self._run_ready(now, force_flush, node_results)
+        return done
+
+    def _run_ready(self, now: float, force: bool, node_results: dict) -> int:
+        """Execute every batch the batcher considers ready."""
+        done = 0
+        for batch in self.batcher.ready(now=now, force=force):
             done += self._execute(batch, now, node_results)
         return done
 
@@ -325,20 +398,22 @@ class InferenceServer:
         first = requests[0]
         shared = batch.key in node_results
         if shared:
-            logits = node_results[batch.key]
+            logits, version = node_results[batch.key]
         else:
             try:
                 session = self.pool.acquire(first.config,
                                             key=first.config_key)
                 logits = session.predict(nodes=first.nodes)
+                version = session.graph_version
             except Exception as exc:
                 return self._fail_all(requests, exc)
-            node_results[batch.key] = logits
+            node_results[batch.key] = (logits, version)
         done = 0
         for request in requests:
             # fan-out: every future owns its own copy — the pristine
             # original stays in the memo, immune to client mutation
-            done += self._complete(request, logits.copy(), now)
+            done += self._complete(request, logits.copy(), now,
+                                   version=version)
         self.stats.shared_computes += len(requests) - (0 if shared else 1)
         return done
 
@@ -351,6 +426,7 @@ class InferenceServer:
         try:
             session = self.pool.acquire(first.config, key=first.config_key)
             outs = session.predict(indices=np.asarray(unique, dtype=np.int64))
+            version = session.graph_version
         except Exception as exc:
             seen: set[int] = set()
             failed = 0
@@ -369,11 +445,46 @@ class InferenceServer:
         for scatter, slot, i in items:
             if scatter.fill(slot, by_index[i].copy()):
                 done += self._complete(
-                    scatter.request, np.stack(scatter.outputs), now)
+                    scatter.request, np.stack(scatter.outputs), now,
+                    version=version)
         return done
 
-    def _complete(self, request: Request, value: np.ndarray,
-                  now: float) -> int:
+    def _execute_mutation(self, request: Request, now: float) -> int:
+        """Apply one GraphDelta through the config's warm session.
+
+        Every pooled session sharing the dataset object observes the
+        change via the bumped ``graph_version`` (their cached contexts
+        miss lazily).  With ``expected_version`` set, a dataset already
+        at (or past) it means this is a redelivered duplicate — acked
+        with the current version, never re-applied.
+        """
+        try:
+            session = self.pool.acquire(request.config,
+                                        key=request.config_key)
+            expected = request.expected_version
+            if expected is not None and session.graph_version >= expected:
+                self.stats.mutations_ignored += 1
+            else:
+                session.apply_delta(request.delta)
+                if (expected is not None
+                        and session.graph_version < expected):
+                    # a previously failed apply left this replica behind;
+                    # snap to the authority's version so later redelivery
+                    # guards stay aligned (without this, a requeued delta
+                    # could be applied twice — node additions are not
+                    # idempotent)
+                    session.dataset.graph_version = expected
+                self.stats.mutations += 1
+            version = session.graph_version
+        except Exception as exc:
+            if not request.future.done():
+                request.future.set_exception(exc)
+                self.stats.failed += 1
+            return 1
+        return self._complete(request, version, now, version=version)
+
+    def _complete(self, request: Request, value, now: float,
+                  version: int | None = None) -> int:
         if request.future.done():  # e.g. already expired elsewhere
             return 0
         if request.expired(now):
@@ -382,7 +493,7 @@ class InferenceServer:
                 "result dropped"))
             self.stats.expired += 1
             return 1
-        request.future.set_result(value)
+        request.future.set_result(value, graph_version=version)
         self.stats.completed += 1
         self.stats.record_latency(now - request.enqueued_at)
         return 1

@@ -56,25 +56,37 @@ class WorkUnit:
     ``config_json`` is the request's canonical
     :meth:`~repro.api.RunConfig.to_json` string (the worker caches the
     parse per distinct config); ``payload`` is the node-id / graph-index
-    array framed by :func:`repro.distributed.pack_array`, or ``None``
-    for the full node / graph set.
+    array framed by :func:`repro.distributed.pack_array` (``None`` for
+    the full node / graph set) — or, for ``kind == "mutate"``, a
+    :meth:`~repro.stream.GraphDelta.to_payload` byte string.
+    ``expected_version`` is the mutation exactly-once guard: the
+    ``graph_version`` the delta produces; a worker already at (or past)
+    it acks a redelivery without re-applying.
     """
 
     id: int
     config_json: str
-    kind: str  # "nodes" | "graphs"
+    kind: str  # "nodes" | "graphs" | "mutate"
     payload: bytes | None = None
+    expected_version: int | None = None
 
 
 @dataclass(frozen=True)
 class WorkResult:
-    """One unit's outcome: framed logits on success, an error otherwise."""
+    """One unit's outcome: framed logits on success, an error otherwise.
+
+    ``graph_version`` carries the dataset version the result was
+    computed at (stamped by the worker's server) back across the pipe,
+    so the router can re-stamp the caller's future — the cluster end of
+    the streaming staleness contract.
+    """
 
     id: int
     worker_id: str
     ok: bool
     payload: bytes | None = None
     error: str | None = None
+    graph_version: int | None = None
 
     def value(self):
         """Decode the framed logits array (success results only)."""
@@ -142,11 +154,18 @@ class WorkerRuntime:
             if config is None:
                 config = RunConfig.from_json(unit.config_json)
                 self._configs[unit.config_json] = config
-            payload = (None if unit.payload is None
-                       else unpack_array(unit.payload))
-            kwargs = ({"nodes": payload} if unit.kind == "nodes"
-                      else {"indices": payload})
-            future = self.server.submit(config, **kwargs)
+            if unit.kind == "mutate":
+                from ..stream import GraphDelta
+
+                future = self.server.submit_delta(
+                    config, GraphDelta.from_payload(unit.payload),
+                    expected_version=unit.expected_version)
+            else:
+                payload = (None if unit.payload is None
+                           else unpack_array(unit.payload))
+                kwargs = ({"nodes": payload} if unit.kind == "nodes"
+                          else {"indices": payload})
+                future = self.server.submit(config, **kwargs)
         except Exception as exc:
             return unit, WorkResult(id=unit.id, worker_id=self.worker_id,
                                     ok=False, error=repr(exc))
@@ -168,7 +187,8 @@ class WorkerRuntime:
             else:
                 results.append(WorkResult(id=unit.id,
                                           worker_id=self.worker_id, ok=True,
-                                          payload=pack_array(fut.result())))
+                                          payload=pack_array(fut.result()),
+                                          graph_version=fut.graph_version))
         return results
 
     def state(self) -> dict:

@@ -1,0 +1,206 @@
+"""Graph deltas: the unit of streaming topology/feature mutation.
+
+A :class:`GraphDelta` describes one atomic change to a node-level
+dataset: undirected edges to add and remove, fresh nodes to append
+(with their feature rows and optional labels), and in-place feature
+updates for existing nodes.  Deltas are *data*, not actions — they
+validate against a graph, serialize to the :mod:`repro.distributed`
+array wire framing (what the serving cluster broadcasts to workers),
+and apply through :func:`repro.stream.apply_delta`.
+
+Delta semantics (the contract ``docs/streaming.md`` documents):
+
+* additions of existing edges deduplicate, removals of absent edges
+  are ignored — applying the same delta twice is an edge-level no-op
+  (node additions are **not** idempotent, which is why the serving
+  layer guards application with an expected ``graph_version``);
+* an edge both removed and added by one delta ends up present;
+* node ids are assigned densely: a delta adding k nodes to an
+  n-node graph creates ids ``n … n+k-1``, and its ``add_edges`` may
+  reference them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distributed.comm import pack_arrays, unpack_arrays
+
+__all__ = ["GraphDelta"]
+
+
+def _as_edges(edges) -> np.ndarray:
+    arr = (np.empty((0, 2), dtype=np.int64) if edges is None
+           else np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    return arr
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One atomic mutation of a node-level graph dataset.
+
+    Attributes
+    ----------
+    add_edges, remove_edges:
+        ``(E, 2)`` undirected endpoint arrays (symmetrized on apply,
+        like :meth:`~repro.graph.CSRGraph.from_edges`).
+    num_new_nodes:
+        Fresh nodes appended after the existing ones; ``new_features``
+        (``(num_new_nodes, F)``) is required when > 0, ``new_labels``
+        defaults to class 0 and the new nodes join no train/val/test
+        split.
+    update_nodes, update_features:
+        In-place feature replacement: row ``update_features[i]``
+        overwrites the features of node ``update_nodes[i]``.
+    """
+
+    add_edges: np.ndarray = field(default_factory=lambda: _as_edges(None))
+    remove_edges: np.ndarray = field(default_factory=lambda: _as_edges(None))
+    num_new_nodes: int = 0
+    new_features: np.ndarray | None = None
+    new_labels: np.ndarray | None = None
+    update_nodes: np.ndarray | None = None
+    update_features: np.ndarray | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "add_edges", _as_edges(self.add_edges))
+        object.__setattr__(self, "remove_edges", _as_edges(self.remove_edges))
+        object.__setattr__(self, "num_new_nodes", int(self.num_new_nodes))
+        if self.num_new_nodes < 0:
+            raise ValueError(
+                f"num_new_nodes must be >= 0, got {self.num_new_nodes}")
+        for name in ("new_features", "update_features"):
+            val = getattr(self, name)
+            if val is not None:
+                object.__setattr__(self, name,
+                                   np.asarray(val, dtype=np.float64))
+        for name in ("new_labels", "update_nodes"):
+            val = getattr(self, name)
+            if val is not None:
+                object.__setattr__(
+                    self, name, np.asarray(val, dtype=np.int64).reshape(-1))
+        if (self.update_nodes is None) != (self.update_features is None):
+            raise ValueError(
+                "update_nodes and update_features must be given together")
+        if (self.update_nodes is not None
+                and len(self.update_nodes) != len(self.update_features)):
+            raise ValueError(
+                f"{len(self.update_nodes)} update_nodes but "
+                f"{len(self.update_features)} update_features rows")
+        if self.num_new_nodes > 0 and self.new_features is None:
+            raise ValueError(
+                f"adding {self.num_new_nodes} nodes requires new_features")
+        if (self.new_features is not None
+                and len(self.new_features) != self.num_new_nodes):
+            raise ValueError(
+                f"new_features has {len(self.new_features)} rows for "
+                f"{self.num_new_nodes} new nodes")
+        if (self.new_labels is not None
+                and len(self.new_labels) != self.num_new_nodes):
+            raise ValueError(
+                f"new_labels has {len(self.new_labels)} entries for "
+                f"{self.num_new_nodes} new nodes")
+
+    # -- introspection --------------------------------------------------- #
+    @property
+    def is_empty(self) -> bool:
+        """True when applying this delta would change nothing."""
+        return (not len(self.add_edges) and not len(self.remove_edges)
+                and self.num_new_nodes == 0 and self.update_nodes is None)
+
+    def touched_nodes(self, num_nodes: int) -> np.ndarray:
+        """Node ids whose adjacency or features this delta changes.
+
+        Endpoints of added/removed edges, feature-updated nodes, and
+        the fresh node ids a graph of ``num_nodes`` would assign —
+        the row set targeted workspace invalidation intersects against.
+        """
+        parts = [self.add_edges.reshape(-1), self.remove_edges.reshape(-1)]
+        if self.update_nodes is not None:
+            parts.append(self.update_nodes)
+        if self.num_new_nodes:
+            parts.append(np.arange(num_nodes,
+                                   num_nodes + self.num_new_nodes,
+                                   dtype=np.int64))
+        return np.unique(np.concatenate(parts)) if parts else \
+            np.empty(0, dtype=np.int64)
+
+    def validate(self, dataset) -> None:
+        """Raise ``ValueError`` unless the delta fits ``dataset``.
+
+        Checks endpoint ranges against the current node count (added
+        edges may reference the delta's own fresh nodes), feature
+        dimensionality, and update-node ranges.
+        """
+        n = dataset.num_nodes
+        n_total = n + self.num_new_nodes
+        feat_dim = dataset.features.shape[1]
+        if len(self.add_edges) and (self.add_edges.min() < 0
+                                    or self.add_edges.max() >= n_total):
+            raise ValueError(
+                f"add_edges endpoint out of range for {n_total} nodes")
+        if len(self.remove_edges) and (self.remove_edges.min() < 0
+                                       or self.remove_edges.max() >= n):
+            raise ValueError(
+                f"remove_edges endpoint out of range for {n} nodes")
+        if (self.new_features is not None and self.num_new_nodes
+                and self.new_features.shape[1] != feat_dim):
+            raise ValueError(
+                f"new_features has dim {self.new_features.shape[1]}, "
+                f"dataset features have dim {feat_dim}")
+        if self.update_nodes is not None:
+            if len(self.update_nodes) and (
+                    self.update_nodes.min() < 0
+                    or self.update_nodes.max() >= n):
+                raise ValueError(
+                    f"update_nodes out of range for {n} nodes")
+            if self.update_features.shape[1:] != (feat_dim,):
+                raise ValueError(
+                    f"update_features rows have dim "
+                    f"{self.update_features.shape[1:]}, expected {feat_dim}")
+
+    # -- wire format ------------------------------------------------------ #
+    def to_payload(self) -> bytes:
+        """Serialize with the :func:`repro.distributed.pack_arrays` framing.
+
+        This is the byte string a :class:`~repro.serve.ServingCluster`
+        broadcasts to its workers — deterministic (the same delta
+        always frames to the same bytes) and pickle-free.
+        """
+        feat_dim = (self.new_features.shape[1]
+                    if self.new_features is not None else 0)
+        return pack_arrays([
+            np.asarray([self.num_new_nodes], dtype=np.int64),
+            self.add_edges,
+            self.remove_edges,
+            (self.new_features if self.new_features is not None
+             else np.empty((0, feat_dim), dtype=np.float64)),
+            (self.new_labels if self.new_labels is not None
+             else np.empty(0, dtype=np.int64)),
+            (self.update_nodes if self.update_nodes is not None
+             else np.empty(0, dtype=np.int64)),
+            (self.update_features if self.update_features is not None
+             else np.empty((0, 0), dtype=np.float64)),
+        ])
+
+    @classmethod
+    def from_payload(cls, buf: bytes) -> "GraphDelta":
+        """Decode a :meth:`to_payload` byte string back into a delta."""
+        (meta, add, rem, new_feats, new_labels,
+         upd_nodes, upd_feats) = unpack_arrays(buf)
+        num_new = int(meta[0])
+        return cls(
+            add_edges=add, remove_edges=rem, num_new_nodes=num_new,
+            new_features=new_feats if num_new else None,
+            new_labels=(new_labels if num_new and len(new_labels) else None),
+            update_nodes=upd_nodes if len(upd_nodes) else None,
+            update_features=upd_feats if len(upd_nodes) else None,
+        )
+
+    def __repr__(self) -> str:
+        upd = 0 if self.update_nodes is None else len(self.update_nodes)
+        return (f"GraphDelta(+{len(self.add_edges)}e "
+                f"-{len(self.remove_edges)}e +{self.num_new_nodes}n "
+                f"~{upd}f)")

@@ -370,7 +370,7 @@ class TestInferCacheDatasetIdentity:
     def test_same_dataset_still_hits_the_cache(self):
         s = Session(node_config(engine=EngineConfig("torchgt")))
         s.predict()
-        ds, ctx, enc = s._infer_cache
+        ds, version, ctx, enc = s._infer_cache
         s.predict()
-        assert s._infer_cache[1] is ctx and s._infer_cache[2] is enc
+        assert s._infer_cache[2] is ctx and s._infer_cache[3] is enc
 

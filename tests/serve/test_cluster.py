@@ -246,6 +246,91 @@ class TestWorkerDeath:
             assert dispatch.attempts == 2
 
 
+class TestMutationDeath:
+    """A worker dying with a pending GraphDelta: exactly-once semantics."""
+
+    def make_delta(self, dataset, seed=11):
+        from repro.serve import make_churn_workload
+
+        return make_churn_workload(dataset, 1, edges_per_delta=3,
+                                   add_node_every=1, seed=seed)[0]
+
+    def test_delta_requeued_exactly_once_and_applied_once(
+            self, configs, dataset):
+        # the victim dies before applying its copy of the broadcast; its
+        # unit is requeued (once) to the survivor, where the version
+        # guard turns the redelivery into a no-op ack — node additions
+        # are not idempotent, so a double-apply would corrupt the graph
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            cfg = configs[0]
+            delta = self.make_delta(dataset)
+            n_before = dataset.num_nodes
+            mutation = cluster.submit_delta(cfg, delta)
+            cluster.workers["w0"].fail()
+            cluster.step()  # detect death, requeue w0's unit to w1
+            assert cluster.stats.requeued == 1
+            cluster.workers["w1"].step_worker()
+            cluster.step()  # receive both acks
+            assert mutation.result(timeout=5.0) == 1
+            state = cluster.workers["w1"].runtime.state()["server"]
+            assert state["mutations"] == 1
+            assert state["mutations_ignored"] == 1
+            survivor = cluster.workers["w1"].runtime.pool.acquire(cfg)
+            assert survivor.graph_version == 1
+            assert survivor.dataset.num_nodes == n_before + 1  # once!
+            assert cluster.stats.mutations_applied == 1
+
+    def test_delta_never_lands_inside_a_half_applied_batch(
+            self, configs, dataset):
+        # requests and a delta dispatched in one burst to the same
+        # worker: the pre-delta requests must compute at version 0 and
+        # the post-delta ones at version 1 — the worker's server force-
+        # flushes its batch at the mutation boundary
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            cfg = configs[0]
+            pre = [cluster.submit(cfg) for _ in range(2)]
+            mutation = cluster.submit_delta(cfg, self.make_delta(dataset))
+            post = [cluster.submit(cfg) for _ in range(2)]
+            cluster.step()  # dispatch the post-delta requests too
+            for handle in cluster.workers.values():
+                handle.step_worker()
+            cluster.run_until_idle()
+            assert mutation.result(timeout=5.0) == 1
+            assert all(f.graph_version == 0 for f in pre)
+            assert all(f.graph_version == 1 for f in post)
+            assert not np.array_equal(pre[0].result(timeout=5.0),
+                                      post[0].result(timeout=5.0))
+
+    def test_late_mutation_ack_from_dead_worker_ignored(
+            self, configs, dataset):
+        # the victim applies the delta and acks, but "dies" before the
+        # pipe flushes; the requeue no-ops on the survivor and the late
+        # ack must be counted as a duplicate, never double-settled
+        with inline_cluster(configs, dataset, auto=False) as cluster:
+            cfg = configs[0]
+            mutation = cluster.submit_delta(cfg, self.make_delta(dataset))
+            cluster.workers["w0"].fail(deliver_pending=True,
+                                       hold_results=True)
+            cluster.step()  # death detected → requeue to w1
+            assert cluster.stats.requeued == 1
+            cluster.workers["w1"].step_worker()
+            cluster.workers["w0"].release()  # late ack lands
+            cluster.run_until_idle()
+            assert mutation.result(timeout=5.0) == 1
+            assert cluster.stats.duplicates_ignored == 1
+            assert cluster.stats.mutations_applied == 1
+
+    def test_all_workers_dead_fails_the_mutation(self, configs, dataset):
+        with inline_cluster(configs, dataset, num_workers=1,
+                            auto=False) as cluster:
+            mutation = cluster.submit_delta(configs[0],
+                                            self.make_delta(dataset))
+            cluster.workers["w0"].fail()
+            cluster.step()
+            with pytest.raises((NoWorkersError, ServeError)):
+                mutation.result(timeout=1.0)
+
+
 class TestStickiness:
     def test_sticky_under_pool_eviction(self, configs, dataset, reference):
         # pool of 1 per worker, 3 configs on 2 workers: at least one

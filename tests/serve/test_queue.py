@@ -18,6 +18,16 @@ def make_request(req_id=0, deadline=None):
                    deadline=deadline)
 
 
+def _node_config():
+    from repro.api import DataConfig, ModelConfig, RunConfig, TrainConfig
+
+    return RunConfig(
+        data=DataConfig("ogbn-arxiv", scale=0.1, seed=0),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        train=TrainConfig(epochs=1), seed=0)
+
+
 class TestServeFuture:
     def test_result_roundtrip(self):
         f = ServeFuture()
@@ -85,6 +95,35 @@ class TestDeadlines:
         assert expired == [dead]
         assert isinstance(dead.future.exception(), DeadlineExceededError)
         assert not live.future.done()
+
+    def test_deadline_boundary_is_inclusive(self):
+        # a virtual clock stepping exactly onto the deadline: "deadline
+        # passed" means now >= deadline, not strictly after — an open-
+        # loop step landing on the instant must expire the request
+        req = make_request(0, deadline=2.0)
+        assert not req.expired(1.9999)
+        assert req.expired(2.0)
+        assert req.expired(2.0001)
+        q = RequestQueue()
+        q.push(req, now=0.0)
+        expired = []
+        assert q.drain(now=2.0, on_expired=expired.append) == []
+        assert expired == [req]
+        assert isinstance(req.future.exception(), DeadlineExceededError)
+
+    def test_open_loop_step_landing_exactly_on_deadline_expires(self):
+        # the loadgen scenario: submission at t, timeout T, and the next
+        # virtual-clock step lands exactly on t + T
+        from repro.serve import BatchPolicy, InferenceServer
+
+        server = InferenceServer(policy=BatchPolicy(max_batch_size=4,
+                                                    max_wait_s=1e9))
+        config = _node_config()
+        future = server.submit(config, timeout=5.0, now=0.0)
+        server.step(now=5.0)  # exactly t + T
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=1.0)
+        assert server.stats.expired == 1
 
     def test_no_deadline_never_expires(self):
         q = RequestQueue()

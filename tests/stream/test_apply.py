@@ -1,0 +1,114 @@
+"""apply_delta / full_rebuild parity, versioning, and churn generation."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.graph import load_node_dataset
+from repro.stream import (
+    GraphDelta,
+    apply_delta,
+    full_rebuild,
+    make_churn_deltas,
+)
+
+
+@pytest.fixture
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=0.15, seed=0)
+
+
+def assert_datasets_equal(a, b) -> None:
+    np.testing.assert_array_equal(a.graph.indptr, b.graph.indptr)
+    np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+    np.testing.assert_array_equal(a.features, b.features)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_array_equal(a.train_mask, b.train_mask)
+    assert a.graph_version == b.graph_version
+
+
+class TestApplyParity:
+    def test_incremental_matches_full_rebuild_over_churn(self, dataset):
+        deltas = make_churn_deltas(dataset, 12, edges_per_delta=5,
+                                   feature_updates_per_delta=2,
+                                   add_node_every=4, seed=1)
+        inc, full = copy.deepcopy(dataset), copy.deepcopy(dataset)
+        for d in deltas:
+            r_inc = apply_delta(inc, d)
+            r_full = full_rebuild(full, d)
+            assert r_inc.graph_version == r_full.graph_version
+            assert_datasets_equal(inc, full)
+        assert inc.graph_version == 12
+
+    def test_version_starts_at_zero_and_increments(self, dataset):
+        assert dataset.graph_version == 0
+        report = apply_delta(dataset, GraphDelta(add_edges=[[0, 1]]))
+        assert report.graph_version == 1 == dataset.graph_version
+
+    def test_node_addition_extends_every_array(self, dataset):
+        n, feat = dataset.num_nodes, dataset.features.shape[1]
+        d = GraphDelta(num_new_nodes=2,
+                       new_features=np.ones((2, feat)),
+                       new_labels=[1, 0],
+                       add_edges=[[n, 0]])
+        report = apply_delta(dataset, d)
+        assert report.nodes_added == 2
+        assert dataset.num_nodes == n + 2
+        assert len(dataset.features) == n + 2
+        assert dataset.labels[n] == 1 and dataset.labels[n + 1] == 0
+        # fresh nodes join no split
+        assert not dataset.train_mask[n:].any()
+        assert not dataset.val_mask[n:].any()
+        assert not dataset.test_mask[n:].any()
+        assert dataset.blocks[n] == -1
+
+    def test_feature_updates_apply_in_place(self, dataset):
+        feat = dataset.features.shape[1]
+        rows = np.full((2, feat), 3.5)
+        report = apply_delta(dataset, GraphDelta(
+            update_nodes=[4, 9], update_features=rows))
+        assert report.features_updated == 2
+        np.testing.assert_array_equal(dataset.features[[4, 9]], rows)
+        # feature-only deltas still bump the version (results must be
+        # distinguishable) but touch no topology rows
+        assert report.graph_version == 1
+        assert len(report.touched_rows) == 0
+
+    def test_invalid_delta_leaves_dataset_untouched(self, dataset):
+        before = dataset.graph
+        with pytest.raises(ValueError):
+            apply_delta(dataset, GraphDelta(
+                add_edges=[[0, dataset.num_nodes]]))
+        assert dataset.graph is before and dataset.graph_version == 0
+
+    def test_report_touched_fraction(self, dataset):
+        report = apply_delta(dataset, GraphDelta(add_edges=[[0, 1]]))
+        assert 0 < report.touched_fraction <= 2 / dataset.num_nodes + 1e-9
+
+
+class TestChurnGenerator:
+    def test_removals_name_live_edges_and_adds_absent_ones(self, dataset):
+        deltas = make_churn_deltas(dataset, 8, edges_per_delta=6, seed=2)
+        g = dataset.graph
+        for d in deltas:
+            for u, v in d.remove_edges:
+                assert g.has_edge(int(u), int(v))
+            for u, v in d.add_edges:
+                if u < g.num_nodes and v < g.num_nodes:
+                    assert not g.has_edge(int(u), int(v))
+            g, _ = g.apply_edge_delta(d.add_edges, d.remove_edges,
+                                      num_new_nodes=d.num_new_nodes)
+
+    def test_generator_does_not_mutate_the_dataset(self, dataset):
+        before_edges = dataset.graph.num_edges
+        make_churn_deltas(dataset, 5, edges_per_delta=4, seed=3)
+        assert dataset.graph.num_edges == before_edges
+        assert dataset.graph_version == 0
+
+    def test_seeded_determinism(self, dataset):
+        a = make_churn_deltas(dataset, 4, edges_per_delta=4, seed=5)
+        b = make_churn_deltas(dataset, 4, edges_per_delta=4, seed=5)
+        for da, db in zip(a, b):
+            np.testing.assert_array_equal(da.add_edges, db.add_edges)
+            np.testing.assert_array_equal(da.remove_edges, db.remove_edges)

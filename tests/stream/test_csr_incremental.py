@@ -1,0 +1,131 @@
+"""CSRGraph.apply_edge_delta: bitwise parity with from-scratch rebuilds."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+
+
+def reference_rebuild(g: CSRGraph, add, rem, num_new_nodes=0) -> CSRGraph:
+    """From-scratch rebuild over the updated directed edge set."""
+    n = g.num_nodes + num_new_nodes
+    add = np.asarray(add, dtype=np.int64).reshape(-1, 2)
+    rem = np.asarray(rem, dtype=np.int64).reshape(-1, 2)
+    add_d = np.concatenate([add, add[:, ::-1]])
+    rem_d = np.concatenate([rem, rem[:, ::-1]])
+    old = g.edge_array()
+    lin_old = old[:, 0] * n + old[:, 1]
+    lin_rem = rem_d[:, 0] * n + rem_d[:, 1]
+    lin = np.union1d(lin_old[~np.isin(lin_old, lin_rem)],
+                     add_d[:, 0] * n + add_d[:, 1])
+    return CSRGraph.from_edges(
+        n, np.stack([lin // n, lin % n], axis=1), symmetrize=False)
+
+
+def assert_same(a: CSRGraph, b: CSRGraph) -> None:
+    assert a.num_nodes == b.num_nodes
+    np.testing.assert_array_equal(a.indptr, b.indptr)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    assert a.indptr.dtype == np.int64 and a.indices.dtype == np.int64
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    return CSRGraph.from_edges(60, rng.integers(0, 60, size=(200, 2)))
+
+
+class TestBitwiseParity:
+    def test_randomized_deltas_match_full_rebuild(self):
+        rng = np.random.default_rng(1)
+        for trial in range(60):
+            n = int(rng.integers(5, 200))
+            g = CSRGraph.from_edges(
+                n, rng.integers(0, n, size=(int(rng.integers(0, 4 * n)), 2)))
+            nn = int(rng.integers(0, 3))
+            add = rng.integers(0, n + nn, size=(int(rng.integers(0, 15)), 2))
+            ea = g.edge_array()
+            k = min(int(rng.integers(0, 15)), len(ea))
+            rem_live = (ea[rng.choice(len(ea), size=k, replace=False)]
+                        if k else np.empty((0, 2), dtype=np.int64))
+            rem = np.concatenate(
+                [rem_live, rng.integers(0, n, size=(5, 2))])
+            new_g, touched = g.apply_edge_delta(add, rem, num_new_nodes=nn)
+            assert_same(new_g, reference_rebuild(g, add, rem, nn))
+
+    def test_large_touched_set_uses_vectorized_copy(self, graph):
+        # > 512 touched rows exercises the boolean-mask copy branch
+        rng = np.random.default_rng(2)
+        n = 1400
+        g = CSRGraph.from_edges(n, rng.integers(0, n, size=(4 * n, 2)))
+        add = rng.integers(0, n, size=(600, 2))
+        new_g, touched = g.apply_edge_delta(add, None)
+        assert len(touched) > 512
+        assert_same(new_g, reference_rebuild(g, add,
+                                             np.empty((0, 2), np.int64)))
+
+
+class TestSemantics:
+    def test_empty_delta_is_identity(self, graph):
+        new_g, touched = graph.apply_edge_delta(None, None)
+        assert len(touched) == 0
+        assert_same(new_g, graph)
+        assert new_g is not graph  # a fresh object, not an alias
+
+    def test_new_isolated_nodes(self, graph):
+        new_g, touched = graph.apply_edge_delta(num_new_nodes=3)
+        assert new_g.num_nodes == graph.num_nodes + 3
+        assert new_g.num_edges == graph.num_edges
+        assert all(len(new_g.neighbors(graph.num_nodes + i)) == 0
+                   for i in range(3))
+
+    def test_new_node_with_edges(self, graph):
+        n = graph.num_nodes
+        new_g, _ = graph.apply_edge_delta([[n, 0], [n, 5]],
+                                          num_new_nodes=1)
+        assert new_g.has_edge(n, 0) and new_g.has_edge(0, n)
+        assert new_g.has_edge(n, 5) and new_g.has_edge(5, n)
+
+    def test_removal_of_absent_edge_ignored(self, graph):
+        u = 0
+        absent = next(v for v in range(graph.num_nodes)
+                      if v != u and not graph.has_edge(u, v))
+        new_g, _ = graph.apply_edge_delta(None, [[u, absent]])
+        assert_same(new_g, graph)
+
+    def test_duplicate_addition_dedupes(self, graph):
+        new_g, _ = graph.apply_edge_delta([[0, 1], [0, 1], [1, 0]], None)
+        ref, _ = graph.apply_edge_delta([[0, 1]], None)
+        assert_same(new_g, ref)
+
+    def test_add_wins_over_remove(self, graph):
+        new_g, _ = graph.apply_edge_delta([[0, 1]], [[0, 1]])
+        assert new_g.has_edge(0, 1) and new_g.has_edge(1, 0)
+
+    def test_touched_rows_cover_both_endpoints(self, graph):
+        _, touched = graph.apply_edge_delta([[3, 9]], [[1, 2]])
+        assert {1, 2, 3, 9} <= set(touched.tolist())
+
+    def test_untouched_rows_keep_identical_slices(self, graph):
+        new_g, touched = graph.apply_edge_delta([[0, 1]], None)
+        untouched = [v for v in range(graph.num_nodes)
+                     if v not in set(touched.tolist())]
+        for v in untouched[:10]:
+            np.testing.assert_array_equal(new_g.neighbors(v),
+                                          graph.neighbors(v))
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError, match="num_new_nodes"):
+            graph.apply_edge_delta(num_new_nodes=-1)
+        with pytest.raises(ValueError, match="add_edges"):
+            graph.apply_edge_delta([[0, graph.num_nodes]], None)
+        with pytest.raises(ValueError, match="remove_edges"):
+            graph.apply_edge_delta([[0, graph.num_nodes - 1]],
+                                   [[0, graph.num_nodes]],
+                                   num_new_nodes=1)
+
+    def test_asymmetric_delta_with_symmetrize_false(self, graph):
+        new_g, _ = graph.apply_edge_delta([[0, 1]], None, symmetrize=False)
+        assert new_g.has_edge(0, 1)
+        # the reverse direction only exists if it already did
+        assert new_g.has_edge(1, 0) == graph.has_edge(1, 0)

@@ -1,0 +1,120 @@
+"""GraphDelta: validation, wire round-trip, touched sets."""
+
+import numpy as np
+import pytest
+
+from repro.graph import load_node_dataset
+from repro.stream import GraphDelta
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+
+
+class TestConstruction:
+    def test_defaults_are_empty(self):
+        d = GraphDelta()
+        assert d.is_empty
+        assert d.add_edges.shape == (0, 2)
+        assert d.remove_edges.shape == (0, 2)
+
+    def test_edge_arrays_normalized(self):
+        d = GraphDelta(add_edges=[[0, 1], [2, 3]], remove_edges=[[4, 5]])
+        assert d.add_edges.dtype == np.int64
+        assert d.add_edges.shape == (2, 2)
+        assert not d.is_empty
+
+    def test_new_nodes_require_features(self):
+        with pytest.raises(ValueError, match="new_features"):
+            GraphDelta(num_new_nodes=2)
+
+    def test_feature_row_count_must_match(self):
+        with pytest.raises(ValueError, match="rows for"):
+            GraphDelta(num_new_nodes=2, new_features=np.zeros((1, 4)))
+
+    def test_update_fields_must_pair(self):
+        with pytest.raises(ValueError, match="together"):
+            GraphDelta(update_nodes=[1, 2])
+        with pytest.raises(ValueError, match="update_nodes"):
+            GraphDelta(update_nodes=[1, 2],
+                       update_features=np.zeros((3, 4)))
+
+    def test_negative_new_nodes_rejected(self):
+        with pytest.raises(ValueError, match="num_new_nodes"):
+            GraphDelta(num_new_nodes=-1)
+
+
+class TestTouchedNodes:
+    def test_includes_endpoints_updates_and_fresh_nodes(self):
+        d = GraphDelta(add_edges=[[0, 1]], remove_edges=[[2, 3]],
+                       num_new_nodes=1, new_features=np.zeros((1, 4)),
+                       update_nodes=[7], update_features=np.zeros((1, 4)))
+        touched = d.touched_nodes(num_nodes=10)
+        assert set(touched.tolist()) == {0, 1, 2, 3, 7, 10}
+
+    def test_empty_delta_touches_nothing(self):
+        assert len(GraphDelta().touched_nodes(5)) == 0
+
+
+class TestValidate:
+    def test_accepts_fresh_node_endpoints(self, dataset):
+        n = dataset.num_nodes
+        d = GraphDelta(add_edges=[[0, n]], num_new_nodes=1,
+                       new_features=np.zeros((1, dataset.features.shape[1])))
+        d.validate(dataset)  # no raise
+
+    def test_rejects_out_of_range_add(self, dataset):
+        d = GraphDelta(add_edges=[[0, dataset.num_nodes]])
+        with pytest.raises(ValueError, match="add_edges"):
+            d.validate(dataset)
+
+    def test_rejects_removal_of_fresh_node_edges(self, dataset):
+        n = dataset.num_nodes
+        d = GraphDelta(remove_edges=[[0, n]], num_new_nodes=1,
+                       new_features=np.zeros((1, dataset.features.shape[1])))
+        with pytest.raises(ValueError, match="remove_edges"):
+            d.validate(dataset)
+
+    def test_rejects_feature_dim_mismatch(self, dataset):
+        d = GraphDelta(num_new_nodes=1, new_features=np.zeros((1, 3)))
+        with pytest.raises(ValueError, match="dim"):
+            d.validate(dataset)
+
+    def test_rejects_update_nodes_out_of_range(self, dataset):
+        feat = dataset.features.shape[1]
+        d = GraphDelta(update_nodes=[dataset.num_nodes],
+                       update_features=np.zeros((1, feat)))
+        with pytest.raises(ValueError, match="update_nodes"):
+            d.validate(dataset)
+
+
+class TestWireFormat:
+    def test_round_trip_preserves_everything(self):
+        d = GraphDelta(add_edges=[[0, 1], [5, 2]], remove_edges=[[3, 4]],
+                       num_new_nodes=2,
+                       new_features=np.arange(8, dtype=float).reshape(2, 4),
+                       new_labels=[1, 0],
+                       update_nodes=[2, 6],
+                       update_features=np.ones((2, 4)))
+        back = GraphDelta.from_payload(d.to_payload())
+        np.testing.assert_array_equal(back.add_edges, d.add_edges)
+        np.testing.assert_array_equal(back.remove_edges, d.remove_edges)
+        assert back.num_new_nodes == 2
+        np.testing.assert_array_equal(back.new_features, d.new_features)
+        np.testing.assert_array_equal(back.new_labels, d.new_labels)
+        np.testing.assert_array_equal(back.update_nodes, d.update_nodes)
+        np.testing.assert_array_equal(back.update_features,
+                                      d.update_features)
+
+    def test_round_trip_of_minimal_delta(self):
+        back = GraphDelta.from_payload(
+            GraphDelta(add_edges=[[1, 2]]).to_payload())
+        assert back.num_new_nodes == 0
+        assert back.new_features is None
+        assert back.update_nodes is None
+
+    def test_payload_is_deterministic(self):
+        a = GraphDelta(add_edges=[[0, 1]], remove_edges=[[2, 3]])
+        b = GraphDelta(add_edges=[[0, 1]], remove_edges=[[2, 3]])
+        assert a.to_payload() == b.to_payload()

@@ -1,0 +1,113 @@
+"""Targeted workspace invalidation: scopes, tags, conservative drops."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    clear_workspace_stats,
+    get_workspace,
+    invalidate_touching,
+    invalidate_workspace,
+    live_workspace_count,
+    stamp_workspace_scope,
+    workspace_cache_stats,
+)
+from repro.attention.patterns import window_pattern
+
+
+@pytest.fixture(autouse=True)
+def fresh_stats():
+    clear_workspace_stats()
+    yield
+    clear_workspace_stats()
+
+
+def cached(pattern) -> bool:
+    return "_cached_workspace" in pattern.__dict__
+
+
+class TestTargetedInvalidation:
+    def test_drops_only_intersecting_scopes_within_a_tag(self):
+        low, high = window_pattern(40, 2), window_pattern(40, 3)
+        get_workspace(low), get_workspace(high)
+        stamp_workspace_scope(low, tag="ds", node_ids=np.arange(0, 20))
+        stamp_workspace_scope(high, tag="ds", node_ids=np.arange(20, 40))
+        report = invalidate_touching(np.array([3, 5]), tag="ds")
+        assert report == {"dropped": 1, "retained": 1}
+        assert not cached(low) and cached(high)
+
+    def test_other_tags_stay_warm(self):
+        mine, other = window_pattern(30, 2), window_pattern(30, 2)
+        get_workspace(mine), get_workspace(other)
+        stamp_workspace_scope(mine, tag="a")
+        stamp_workspace_scope(other, tag="b")
+        invalidate_touching(np.array([0]), tag="a")
+        assert not cached(mine) and cached(other)
+
+    def test_unknown_provenance_dropped_conservatively(self):
+        unstamped = window_pattern(30, 2)
+        get_workspace(unstamped)
+        report = invalidate_touching(np.array([999]), tag="a")
+        assert report["dropped"] == 1
+        assert not cached(unstamped)
+
+    def test_no_node_scope_means_whole_graph(self):
+        p = window_pattern(30, 2)
+        get_workspace(p)
+        stamp_workspace_scope(p, tag="a", node_ids=None)
+        invalidate_touching(np.array([29]), tag="a")
+        assert not cached(p)
+
+    def test_empty_touched_set_retains_everything(self):
+        p = window_pattern(30, 2)
+        get_workspace(p)
+        report = invalidate_touching(np.array([], dtype=np.int64), tag="a")
+        assert report["dropped"] == 0
+        assert cached(p)
+
+    def test_untagged_invalidation_sweeps_all_intersecting(self):
+        a, b = window_pattern(30, 2), window_pattern(30, 2)
+        get_workspace(a), get_workspace(b)
+        stamp_workspace_scope(a, tag="x", node_ids=np.array([1]))
+        stamp_workspace_scope(b, tag="y", node_ids=np.array([2]))
+        report = invalidate_touching(np.array([1, 2]))  # no tag: global
+        assert report["dropped"] == 2
+
+    def test_stats_counters(self):
+        a, b = window_pattern(30, 2), window_pattern(30, 2)
+        get_workspace(a), get_workspace(b)
+        stamp_workspace_scope(a, tag="x", node_ids=np.array([1]))
+        stamp_workspace_scope(b, tag="x", node_ids=np.array([9]))
+        invalidate_touching(np.array([1]), tag="x")
+        stats = workspace_cache_stats()
+        assert stats.targeted_drops == 1
+        assert stats.targeted_retained == 1
+
+    def test_rebuild_after_drop_is_a_fresh_workspace(self):
+        p = window_pattern(30, 2)
+        ws = get_workspace(p)
+        stamp_workspace_scope(p, tag="x")
+        invalidate_touching(np.array([0]), tag="x")
+        assert get_workspace(p) is not ws
+
+
+class TestRegistryHygiene:
+    def test_registry_is_weak(self):
+        base = live_workspace_count()
+        p = window_pattern(30, 2)
+        get_workspace(p)
+        assert live_workspace_count() == base + 1
+        del p
+        gc.collect()
+        assert live_workspace_count() == base
+
+    def test_explicit_invalidate_untracks(self):
+        p = window_pattern(30, 2)
+        get_workspace(p)
+        base = live_workspace_count()
+        assert invalidate_workspace(p)
+        assert live_workspace_count() == base - 1
+        # a second invalidation is a no-op
+        assert not invalidate_workspace(p)

@@ -3,8 +3,8 @@
 The docs system (`docs/`, `python -m repro.docgen`) renders first
 docstring paragraphs straight into the checked-in API reference, so a
 missing docstring is not a style nit — it is a hole in the generated
-documentation.  This test walks every module under :mod:`repro.api` and
-:mod:`repro.serve` (plus :mod:`repro.docgen` itself) and requires a
+documentation.  This test walks every module under :mod:`repro.api`, :mod:`repro.serve`
+and :mod:`repro.stream` (plus :mod:`repro.docgen` itself) and requires a
 docstring on the module, on every public class and function defined
 there, and on every public method of those classes.
 """
@@ -15,7 +15,7 @@ import pkgutil
 
 import pytest
 
-DOCUMENTED_PACKAGES = ("repro.api", "repro.serve")
+DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.stream")
 EXTRA_MODULES = ("repro.docgen",)
 
 
