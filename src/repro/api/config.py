@@ -113,6 +113,10 @@ class EngineConfig:
     ``precision`` / ``interleave_period`` are threaded to engines whose
     constructor accepts them; ``options`` is a free-form escape hatch for
     engine-specific keywords (e.g. pattern-builder arguments).
+    ``backend`` names a registered compute backend
+    (:mod:`repro.backend`): ``"numpy"`` is the per-op reference path,
+    ``"fused"`` compiles each serving plan into a preallocated-workspace
+    program with a bitwise-verified fallback to the reference.
     """
 
     name: str = "torchgt"
@@ -120,9 +124,11 @@ class EngineConfig:
     precision: str | None = None
     interleave_period: int | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = "numpy"
 
     def __post_init__(self):
         from ..attention import get_pattern_builder
+        from ..backend import get_backend
         from ..core import engine_names
         from ..tensor.precision import Precision
 
@@ -142,6 +148,7 @@ class EngineConfig:
             _require(self.precision in Precision.ALL,
                      f"unknown precision {self.precision!r} "
                      f"(valid: {', '.join(sorted(Precision.ALL))})")
+        get_backend(self.backend)  # raises UnknownBackendError
         object.__setattr__(self, "options", dict(self.options))
 
 

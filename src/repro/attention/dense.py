@@ -15,10 +15,56 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor.functional import workspace_buffer as _buf
 from .registry import register_kernel
 from .stats import AttentionStats, collector
 
-__all__ = ["dense_attention"]
+__all__ = ["dense_attention", "dense_attention_forward"]
+
+
+def dense_attention_forward(
+    qd: np.ndarray,
+    kd: np.ndarray,
+    vd: np.ndarray,
+    bias: np.ndarray | None = None,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+    ws: dict | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-only dense attention over raw ``(H, S, dh)`` arrays.
+
+    Returns ``(out, p)`` where ``p`` is the probability matrix the
+    backward pass needs.  Shared by :func:`dense_attention` and the
+    compiled backend: with a workspace dict the six S×S-sized temporaries
+    collapse into one persistent scores/probability buffer, and every
+    in-place step is bitwise-identical to the composed expression.
+    """
+    H, S, dh = qd.shape
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+    scores = _buf(ws, "att_scores", (H, S, S), np.result_type(qd, kd))
+    np.einsum("hid,hjd->hij", qd, kd, out=scores)
+    np.multiply(scores, scale, out=scores)
+    if bias is not None:
+        if np.result_type(scores.dtype, bias.dtype) == scores.dtype:
+            np.add(scores, bias, out=scores)
+        else:
+            scores = scores + bias
+    if mask is not None:
+        scores = np.where(mask[None, :, :], scores, -1e30)
+    mx = _buf(ws, "att_mx", (H, S, 1), scores.dtype)
+    np.amax(scores, axis=-1, keepdims=True, out=mx)
+    np.subtract(scores, mx, out=scores)
+    np.exp(scores, out=scores)
+    p = scores
+    if mask is not None:
+        p = p * mask[None, :, :]
+    np.sum(p, axis=-1, keepdims=True, out=mx)
+    np.maximum(mx, 1e-30, out=mx)
+    np.divide(p, mx, out=p)
+    out = _buf(ws, "att_out", qd.shape, np.result_type(p.dtype, vd.dtype))
+    np.einsum("hij,hjd->hid", p, vd, out=out)
+    return out, p
 
 
 def dense_attention(
@@ -49,20 +95,12 @@ def dense_attention(
         scale = 1.0 / float(np.sqrt(dh))
 
     parents: list[Tensor] = [q, k, v]
-    scores = np.einsum("hid,hjd->hij", q.data, k.data) * scale
     if bias is not None:
-        scores = scores + bias.data
         parents.append(bias)
-    if mask is not None:
-        scores = np.where(mask[None, :, :], scores, -1e30)
-
-    shifted = scores - scores.max(axis=-1, keepdims=True)
-    p = np.exp(shifted)
-    if mask is not None:
-        p = p * mask[None, :, :]
-    denom = np.maximum(p.sum(axis=-1, keepdims=True), 1e-30)
-    p = p / denom
-    out_data = np.einsum("hij,hjd->hid", p, v.data)
+    out_data, p = dense_attention_forward(
+        q.data, k.data, v.data,
+        bias=bias.data if bias is not None else None,
+        mask=mask, scale=scale)
 
     def backward(g):
         dp = np.einsum("hid,hjd->hij", g, v.data)

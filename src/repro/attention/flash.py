@@ -28,22 +28,25 @@ from ..tensor import Tensor
 from .registry import register_kernel
 from .stats import AttentionStats, collector
 
-__all__ = ["flash_attention"]
+__all__ = ["flash_attention", "flash_forward"]
 
 
-def flash_attention(
-    q: Tensor,
-    k: Tensor,
-    v: Tensor,
+def flash_forward(
+    qd: np.ndarray,
+    kd: np.ndarray,
+    vd: np.ndarray,
     scale: float | None = None,
     tile_size: int = 128,
-) -> Tensor:
-    """Exact attention over ``(H, S, dh)`` inputs in O(S·d) extra memory."""
-    H, S, dh = q.shape
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Forward-only tiled online-softmax attention on raw arrays.
+
+    Returns ``(out, m, safe_l)`` — the (float64) output plus the running
+    row-max and safe denominator the backward recomputation needs.
+    Shared by :func:`flash_attention` and the compiled backend.
+    """
+    H, S, dh = qd.shape
     if scale is None:
         scale = 1.0 / float(np.sqrt(dh))
-
-    qd, kd, vd = q.data, k.data, v.data
     out = np.zeros_like(qd)
     m = np.full((H, S), -np.inf)  # running row max
     l = np.zeros((H, S))  # running softmax denominator
@@ -60,6 +63,23 @@ def flash_attention(
         m = m_new
     safe_l = np.maximum(l, 1e-30)
     out = out / safe_l[:, :, None]
+    return out, m, safe_l
+
+
+def flash_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    scale: float | None = None,
+    tile_size: int = 128,
+) -> Tensor:
+    """Exact attention over ``(H, S, dh)`` inputs in O(S·d) extra memory."""
+    H, S, dh = q.shape
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+
+    qd, kd, vd = q.data, k.data, v.data
+    out, m, safe_l = flash_forward(qd, kd, vd, scale=scale, tile_size=tile_size)
     out_final = out  # captured for backward's dS identity
 
     def backward(g):

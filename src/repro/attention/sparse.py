@@ -26,12 +26,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor.functional import workspace_buffer as _buf
 from .patterns import AttentionPattern
 from .registry import register_kernel
 from .stats import AttentionStats, collector
 from .workspace import PatternWorkspace, get_workspace, segment_reduce_core
 
-__all__ = ["sparse_attention", "segment_softmax"]
+__all__ = ["sparse_attention", "sparse_attention_forward", "segment_softmax"]
 
 
 def _segment_reduce(values: np.ndarray, indptr: np.ndarray, ufunc,
@@ -76,6 +77,52 @@ def segment_softmax(scores: np.ndarray, indptr: np.ndarray,
     return e / np.maximum(denom[..., rows], 1e-30)
 
 
+def sparse_attention_forward(
+    qd: np.ndarray,
+    kd: np.ndarray,
+    vd: np.ndarray,
+    pattern_ws: PatternWorkspace,
+    bias: np.ndarray | None = None,
+    scale: float | None = None,
+    ws: dict | None = None,
+    scores_fn=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-only pattern-restricted attention on raw arrays.
+
+    Returns ``(out, p)``; shared by :func:`sparse_attention` and the
+    compiled backend.  With a workspace dict the gathered Q/K copies and
+    the per-entry score vector become persistent buffers.  ``scores_fn``
+    optionally replaces the gathered-einsum score computation (the numba
+    JIT hook); it receives ``(qg, kg, out)`` and must fill ``out`` with
+    the per-entry dot products.
+    """
+    H, S, dh = qd.shape
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(dh))
+    rows, cols = pattern_ws.rows, pattern_ws.cols
+    E = pattern_ws.num_entries
+    qg = _buf(ws, "sp_qg", (H, E, dh), qd.dtype)
+    kg = _buf(ws, "sp_kg", (H, E, dh), kd.dtype)
+    np.take(qd, rows, axis=1, out=qg)
+    np.take(kd, cols, axis=1, out=kg)
+    scores = _buf(ws, "sp_scores", (H, E), np.result_type(qd, kd))
+    if scores_fn is not None:
+        scores_fn(qg, kg, scores)
+    else:
+        np.einsum("hed,hed->he", qg, kg, out=scores)
+    np.multiply(scores, scale, out=scores)
+    if bias is not None:
+        if np.result_type(scores.dtype, bias.dtype) == scores.dtype:
+            np.add(scores, bias, out=scores)
+        else:
+            scores = scores + bias
+    p = pattern_ws.segment_softmax(scores)  # (H, E)
+    out = _buf(ws, "sp_out", qd.shape, qd.dtype)
+    for h in range(H):
+        out[h] = pattern_ws.matmul(p[h], vd[h])
+    return out, p
+
+
 def sparse_attention(
     q: Tensor,
     k: Tensor,
@@ -105,17 +152,11 @@ def sparse_attention(
     E = ws.num_entries
 
     parents: list[Tensor] = [q, k, v]
-    # gathered score per entry: (H, E)
-    scores = np.einsum("hed,hed->he", q.data[:, rows, :], k.data[:, cols, :]) * scale
     if bias is not None:
-        scores = scores + bias.data
         parents.append(bias)
-    p = ws.segment_softmax(scores)  # (H, E)
-
-    # aggregation out[h] = A_h @ V_h with A_h the S×S CSR of probabilities
-    out_data = np.empty_like(q.data)
-    for h in range(H):
-        out_data[h] = ws.matmul(p[h], v.data[h])
+    out_data, p = sparse_attention_forward(
+        q.data, k.data, v.data, ws,
+        bias=bias.data if bias is not None else None, scale=scale)
 
     def backward(g):
         # dV_h = A_hᵀ dO_h

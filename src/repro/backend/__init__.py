@@ -1,0 +1,68 @@
+"""Pluggable compute backends for the inference hot path.
+
+Two backends ship:
+
+* ``"numpy"`` — the reference path: every forward re-enters per-op Python
+  dispatch through the autograd :class:`~repro.tensor.Tensor`.  Always
+  available; the determinism baseline.
+* ``"fused"`` — traces the serving plan's forward once (see
+  :mod:`repro.backend.trace`), constant-folds everything not derived from
+  the features, and replays the remaining steps against preallocated
+  workspaces (see :mod:`repro.backend.compiled`).  Falls back to the
+  reference path whenever it cannot prove — bitwise, at compile time —
+  that it produces identical logits.  Uses numba JIT kernels when numba
+  is importable (:mod:`repro.backend.jit`); results are identical either
+  way.
+
+Select a backend via ``EngineConfig(backend=...)``, the CLI ``--backend``
+flag, or :func:`resolve_backend` directly.
+"""
+
+from .compiled import CompiledProgram, compile_plan
+from .jit import HAVE_NUMBA
+from .registry import (
+    BackendSpec,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    iter_backends,
+    register_backend,
+    resolve_backend,
+)
+from .trace import TraceRecorder, trace_capture
+
+__all__ = [
+    "BackendSpec",
+    "UnknownBackendError",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "backend_names",
+    "iter_backends",
+    "CompiledProgram",
+    "compile_plan",
+    "TraceRecorder",
+    "trace_capture",
+    "HAVE_NUMBA",
+]
+
+register_backend(BackendSpec(
+    name="numpy",
+    compiled=False,
+    jit=False,
+    deterministic=True,
+    precisions=("fp64", "fp32", "bf16"),
+    description="Reference per-op numpy dispatch through the autograd "
+                "tensor (always available)",
+))
+
+register_backend(BackendSpec(
+    name="fused",
+    compiled=True,
+    jit=HAVE_NUMBA,
+    deterministic=True,
+    precisions=("fp64", "fp32"),
+    description="Per-plan traced forward: constant-folded, replayed with "
+                "preallocated workspaces; bitwise-verified against the "
+                "reference at compile time",
+))

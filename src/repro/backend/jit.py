@@ -1,0 +1,54 @@
+"""Optional numba JIT kernels for the compiled backend.
+
+numba is an *optional* dependency: this module import-guards it and
+exposes :data:`HAVE_NUMBA` so the rest of the backend can degrade to pure
+numpy with identical results.  The only JIT'ed loop is the sparse
+attention per-entry score reduction — the innermost irregular-gather loop
+— because it is the one hot spot where numpy's einsum pays for a
+materialized temporary.  Whether the JIT kernel is actually used is
+decided per compiled program by the bitwise verification pass in
+:mod:`repro.backend.compiled`: if the JIT result ever diverges from the
+reference (it should not, but summation-order guarantees are numba's,
+not ours), the program recompiles without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "gather_scores"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the common local case
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _gather_scores_nb(qg, kg, out):
+        H, E, dh = qg.shape
+        for h in range(H):
+            for e in range(E):
+                acc = qg[h, e, 0] * kg[h, e, 0]
+                for d in range(1, dh):
+                    acc += qg[h, e, d] * kg[h, e, d]
+                out[h, e] = acc
+
+
+def gather_scores(qg: np.ndarray, kg: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Per-entry dot products ``out[h,e] = qg[h,e,:] · kg[h,e,:]``.
+
+    Uses the numba kernel when available, else the einsum the reference
+    path uses.  Inputs are the already-gathered ``(H, E, dh)`` query/key
+    rows; ``out`` is filled in place and returned.
+    """
+    if HAVE_NUMBA and qg.dtype == out.dtype and kg.dtype == out.dtype:
+        _gather_scores_nb(qg, kg, out)
+        return out
+    np.einsum("hed,hed->he", qg, kg, out=out)
+    return out

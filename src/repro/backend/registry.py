@@ -1,0 +1,109 @@
+"""Compute-backend registry — pluggable forward-execution strategies.
+
+Shaped like :mod:`repro.attention.registry`: each backend self-registers a
+:class:`BackendSpec` carrying capability metadata, and callers resolve
+specs by name through :func:`resolve_backend`.  The ``"numpy"`` reference
+backend is always present and is the determinism baseline: every other
+backend must produce bitwise-identical logits or decline to run (the
+compiled backend verifies itself at compile time and falls back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BackendSpec",
+    "UnknownBackendError",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "backend_names",
+    "iter_backends",
+]
+
+_BACKENDS: dict[str, "BackendSpec"] = {}
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Metadata describing one compute backend.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"fused"``).
+    compiled:
+        Whether the backend traces and replays a compiled per-plan program
+        instead of re-entering per-op Python dispatch each forward.
+    jit:
+        Whether numba JIT kernels are active for this backend *in this
+        process* (False when numba is not importable — the capability
+        degrades gracefully, results are identical either way).
+    deterministic:
+        Whether the backend guarantees bitwise-identical logits to the
+        ``"numpy"`` reference.  All shipped backends are deterministic;
+        the flag exists so future approximate backends can declare
+        themselves.
+    precisions:
+        Precisions the backend's fast path accepts; other precisions run
+        on the reference path (bf16 rounds every op output, which a fused
+        replay cannot reproduce cheaply).
+    description:
+        One-line human-readable summary for docs and the CLI listing.
+    """
+
+    name: str
+    compiled: bool = False
+    jit: bool = False
+    deterministic: bool = True
+    precisions: tuple[str, ...] = ("fp64", "fp32", "bf16")
+    description: str = ""
+
+    def supports_precision(self, precision: str) -> bool:
+        """Whether the backend's fast path covers ``precision``."""
+        return precision in self.precisions
+
+
+class UnknownBackendError(ValueError, KeyError):
+    """Raised when a backend name is not in the registry.
+
+    Subclasses both ``ValueError`` and ``KeyError`` so callers that treat
+    registry lookups as either mapping access or argument validation catch
+    it naturally.
+    """
+
+
+def register_backend(spec: BackendSpec, overwrite: bool = False) -> BackendSpec:
+    """Add ``spec`` to the registry; raise on duplicate unless ``overwrite``."""
+    if not overwrite and spec.name in _BACKENDS:
+        raise ValueError(f"backend {spec.name!r} is already registered")
+    _BACKENDS[spec.name] = spec
+    return spec
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up a backend by name, raising :class:`UnknownBackendError`."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise UnknownBackendError(
+            f"unknown compute backend {name!r}; registered: {known}") from None
+
+
+def resolve_backend(backend: "str | BackendSpec") -> BackendSpec:
+    """Coerce a name or an already-resolved spec to a :class:`BackendSpec`."""
+    if isinstance(backend, BackendSpec):
+        return backend
+    return get_backend(backend)
+
+
+def backend_names() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def iter_backends() -> list[BackendSpec]:
+    """All registered specs, sorted by name."""
+    return [_BACKENDS[n] for n in sorted(_BACKENDS)]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio",
            "backend_choices", "engine_choices", "kernel_table",
+           "compute_backend_choices", "compute_backend_table",
            "pattern_builder_table", "serve_throughput_table",
            "cluster_scaling_table"]
 
@@ -80,6 +81,28 @@ def engine_choices() -> list[str]:
     """Registered engine names (for ``--engine`` options)."""
     from ..core.engine import engine_names
     return engine_names()
+
+
+def compute_backend_choices() -> list[str]:
+    """Registered *compute*-backend names (``repro.backend`` registry —
+    distinct from :func:`backend_choices`, which lists attention kernels)."""
+    from ..backend import backend_names
+    return backend_names()
+
+
+def compute_backend_table(specs=None) -> TableReport:
+    """The compute-backend registry rendered as a capability table."""
+    from ..backend import iter_backends
+    table = TableReport(
+        title="compute-backend registry",
+        columns=["backend", "compiled", "jit", "deterministic",
+                 "precisions", "description"])
+    for s in (specs if specs is not None else iter_backends()):
+        table.add_row(s.name, "yes" if s.compiled else "no",
+                      "numba" if s.jit else "—",
+                      "bitwise" if s.deterministic else "approx",
+                      "/".join(s.precisions), s.description)
+    return table
 
 
 def kernel_table(specs=None) -> TableReport:

@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the workflows a user reaches for before writing code:
+Nine commands cover the workflows a user reaches for before writing code:
 
 * ``info`` — version, engines, kernels, modeled devices and datasets;
 * ``kernels`` — the attention-kernel registry with capability metadata
   (which backends support bias, need a pattern, train, and how the
   hardware model prices them);
+* ``backends`` — the compute-backend registry (:mod:`repro.backend`):
+  the per-op ``numpy`` reference path vs the ``fused`` compiled per-plan
+  replay, with JIT availability;
 * ``datasets`` — per-dataset statistics at a chosen scale (what the
   synthetic stand-ins actually generate, next to the paper's Table III
   numbers);
@@ -152,7 +155,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     config = RunConfig(
         data=DataConfig(args.dataset, scale=args.scale),
         model=ModelConfig(args.model),
-        engine=EngineConfig(args.engine, pattern=args.pattern),
+        engine=EngineConfig(args.engine, pattern=args.pattern,
+                            backend=args.backend),
         train=_train_config_from_args(args),
         seed=args.seed,
     )
@@ -365,7 +369,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             model=ModelConfig(args.model, num_layers=2,
                               hidden_dim=hidden_dim, num_heads=4,
                               dropout=0.0),
-            engine=EngineConfig(args.engine),
+            engine=EngineConfig(args.engine, backend=args.backend),
             train=TrainConfig(epochs=1),
             seed=seed,
         )
@@ -454,6 +458,20 @@ def cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    """Print the compute-backend registry with capability metadata."""
+    from repro.backend import HAVE_NUMBA, iter_backends
+    from repro.bench.harness import compute_backend_table
+
+    table = compute_backend_table(iter_backends())
+    table.add_note("numba JIT kernels: "
+                   + ("available" if HAVE_NUMBA else
+                      "not installed (fused backend runs pure numpy — "
+                      "results are identical)"))
+    table.print()
+    return 0
+
+
 # ------------------------------------------------------------------ #
 # parser
 # ------------------------------------------------------------------ #
@@ -466,9 +484,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="TorchGT reproduction — training, datasets and cost model")
     sub = p.add_subparsers(dest="command", required=True)
 
+    from repro.backend import backend_names
+
     sub.add_parser("info", help="versions, engines, devices, datasets")
     sub.add_parser("kernels",
                    help="the attention-kernel registry and its metadata")
+    sub.add_parser("backends",
+                   help="the compute-backend registry and its metadata")
 
     d = sub.add_parser("datasets", help="dataset statistics at a given scale")
     d.add_argument("--scale", type=float, default=0.2,
@@ -483,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="training engine (registered engine names)")
     t.add_argument("--pattern", default=None, choices=pattern_builder_names(),
                    help="pattern builder for --engine fixed-pattern")
+    t.add_argument("--backend", default="numpy", choices=backend_names(),
+                   help="compute backend for inference-side forwards "
+                        "(see `repro backends`)")
     t.add_argument("--epochs", type=int, default=10)
     t.add_argument("--lr", type=float, default=3e-3)
     t.add_argument("--scale", type=float, default=0.2)
@@ -532,6 +557,8 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--dataset", default="ogbn-arxiv")
     b.add_argument("--model", default="graphormer-slim")
     b.add_argument("--engine", default="gp-raw", choices=engine_names())
+    b.add_argument("--backend", default="numpy", choices=backend_names(),
+                   help="compute backend the served sessions predict with")
     b.add_argument("--scale", type=float, default=0.1)
     b.add_argument("--requests", type=int, default=64)
     b.add_argument("--distinct", type=int, default=4,
@@ -567,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "info": cmd_info,
     "kernels": cmd_kernels,
+    "backends": cmd_backends,
     "datasets": cmd_datasets,
     "train": cmd_train,
     "run": cmd_run,

@@ -47,7 +47,13 @@ def laplacian_positional_encoding(
         vals, vecs = np.linalg.eigh(lap.toarray())
     else:
         try:
-            vals, vecs = spla.eigsh(lap, k=want + 1, which="SM", tol=1e-4)
+            # fixed start vector: ARPACK seeds v0 from the global RandomState
+            # by default, which makes eigenvectors (already sign-ambiguous)
+            # differ between calls on the same graph — every serving path
+            # that promises bitwise-reproducible logits needs this pinned
+            v0 = np.random.default_rng(0).standard_normal(n)
+            vals, vecs = spla.eigsh(lap, k=want + 1, which="SM", tol=1e-4,
+                                    v0=v0)
         except Exception:
             vals, vecs = np.linalg.eigh(lap.toarray())
     order = np.argsort(vals)

@@ -14,11 +14,15 @@ import numpy as np
 from .tensor import Tensor
 
 __all__ = [
+    "workspace_buffer",
     "softmax",
+    "softmax_forward",
     "log_softmax",
     "masked_softmax",
     "gelu",
+    "gelu_forward",
     "layer_norm",
+    "layer_norm_forward",
     "dropout",
     "embedding_lookup",
     "cross_entropy",
@@ -28,12 +32,47 @@ __all__ = [
 ]
 
 
+def workspace_buffer(ws: dict | None, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """Fetch (or lazily create) a reusable scratch buffer.
+
+    ``ws`` is a per-call-site dict owned by the caller; ``None`` means "no
+    workspace", which degrades to a fresh ``np.empty`` — the behaviour the
+    plain autograd ops want, since their outputs escape the call.  When a
+    workspace is supplied, the buffer persists across calls and is only
+    reallocated when the requested shape or dtype changes (e.g. a new
+    sequence-length bucket), so steady-state use allocates nothing.
+    """
+    if ws is None:
+        return np.empty(shape, dtype)
+    buf = ws.get(key)
+    if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+        buf = np.empty(shape, dtype)
+        ws[key] = buf
+    return buf
+
+
+_buf = workspace_buffer
+
+
+def softmax_forward(x: np.ndarray, axis: int = -1,
+                    ws: dict | None = None) -> np.ndarray:
+    """Out=-capable softmax forward shared by :func:`softmax` and the
+    compiled backend; bitwise-identical to the composed expression."""
+    red_shape = tuple(1 if i == axis % x.ndim else s for i, s in enumerate(x.shape))
+    mx = _buf(ws, "sm_mx", red_shape, x.dtype)
+    np.amax(x, axis=axis, keepdims=True, out=mx)
+    out = _buf(ws, "sm_out", x.shape, x.dtype)
+    np.subtract(x, mx, out=out)
+    np.exp(out, out=out)
+    np.sum(out, axis=axis, keepdims=True, out=mx)
+    np.divide(out, mx, out=out)
+    return out
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax along ``axis`` with fused backward."""
     a = x
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
+    out_data = softmax_forward(a.data, axis=axis)
 
     def backward(g):
         if a.requires_grad:
@@ -86,12 +125,31 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
 _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 
 
+def gelu_forward(x: np.ndarray, ws: dict | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Out=-capable GELU forward returning ``(out, tanh_term)``.
+
+    Three scratch buffers replace the ~8 intermediates the composed
+    expression allocates; every in-place step is bitwise-identical to the
+    out-of-place original (only commutative operand swaps are used).
+    """
+    u = _buf(ws, "gelu_u", x.shape, x.dtype)
+    t = _buf(ws, "gelu_t", x.shape, x.dtype)
+    out = _buf(ws, "gelu_out", x.shape, x.dtype)
+    np.power(x, 3, out=u)
+    np.multiply(u, 0.044715, out=u)
+    np.add(x, u, out=u)
+    np.multiply(u, _SQRT_2_OVER_PI, out=u)
+    np.tanh(u, out=t)
+    np.add(t, 1.0, out=out)
+    np.multiply(x, 0.5, out=u)
+    np.multiply(u, out, out=out)
+    return out, t
+
+
 def gelu(x: Tensor) -> Tensor:
     """GELU activation (tanh approximation, as used by Graphormer)."""
     a = x
-    u = _SQRT_2_OVER_PI * (a.data + 0.044715 * a.data**3)
-    t = np.tanh(u)
-    out_data = 0.5 * a.data * (1.0 + t)
+    out_data, t = gelu_forward(a.data)
 
     def backward(g):
         if a.requires_grad:
@@ -102,15 +160,38 @@ def gelu(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (a,), backward)
 
 
+def layer_norm_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray,
+                       eps: float = 1e-5, ws: dict | None = None,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Out=-capable layer-norm forward returning ``(out, x_hat, inv_std)``.
+
+    Shared by :func:`layer_norm` and the compiled backend.  Each in-place
+    step reproduces the composed expression bitwise; ``x_hat`` reuses the
+    centred-input buffer and ``inv_std`` the variance buffer.
+    """
+    red_shape = x.shape[:-1] + (1,)
+    mu = _buf(ws, "ln_mu", red_shape, x.dtype)
+    np.mean(x, axis=-1, keepdims=True, out=mu)
+    xc = _buf(ws, "ln_xc", x.shape, x.dtype)
+    np.subtract(x, mu, out=xc)
+    sq = _buf(ws, "ln_sq", x.shape, x.dtype)
+    np.multiply(xc, xc, out=sq)
+    var = _buf(ws, "ln_var", red_shape, x.dtype)
+    np.mean(sq, axis=-1, keepdims=True, out=var)
+    np.add(var, eps, out=var)
+    np.sqrt(var, out=var)
+    np.divide(1.0, var, out=var)  # var buffer now holds inv_std
+    np.multiply(xc, var, out=xc)  # xc buffer now holds x_hat
+    out = _buf(ws, "ln_out", x.shape, np.result_type(x.dtype, w.dtype, b.dtype))
+    np.multiply(xc, w, out=out)
+    np.add(out, b, out=out)
+    return out, xc, var
+
+
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalization over the last axis with affine transform."""
     a, w, b = x, weight, bias
-    mu = a.data.mean(axis=-1, keepdims=True)
-    xc = a.data - mu
-    var = (xc * xc).mean(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = xc * inv_std
-    out_data = x_hat * w.data + b.data
+    out_data, x_hat, inv_std = layer_norm_forward(a.data, w.data, b.data, eps)
 
     def backward(g):
         if w.requires_grad:

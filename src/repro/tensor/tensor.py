@@ -180,8 +180,17 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Wrap an op output, recording the graph if grad is enabled."""
+        # fast path: apply_precision already produced a conforming ndarray,
+        # so skip __init__'s coercion and assign slots directly — this is
+        # the per-op overhead every hot-loop forward pays
         data = apply_precision(data, _PRECISION)
-        out = Tensor(data)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        out.name = ""
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)

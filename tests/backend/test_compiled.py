@@ -1,0 +1,112 @@
+"""Trace → fold → lower → verify pipeline: bitwise fidelity and fallback."""
+
+import numpy as np
+import pytest
+
+from repro.backend import compile_plan
+from repro.core.engine import make_engine
+from repro.graph.generators import barabasi_albert
+from repro.models.encodings import compute_encodings
+from repro.models.graphormer import Graphormer, GraphormerConfig
+from repro.tensor import Tensor, no_grad, precision_scope
+from repro.train import planned_forward
+
+
+def _setup(engine_name: str, n: int = 120, precision: str = "fp32",
+           seed: int = 0):
+    """A prepared (ref_forward, feats, precision) triple for one engine."""
+    g = barabasi_albert(n, 3, np.random.default_rng(seed))
+    eng = make_engine(engine_name, num_layers=2, hidden_dim=32)
+    ctx = eng.prepare_inference(g)
+    enc = compute_encodings(ctx.graph, lap_pe_dim=4)
+    model = Graphormer(GraphormerConfig(2, 32, 4, 16, 5, dropout=0.0), seed=1)
+    model.eval()
+    feats = np.random.default_rng(seed + 1).standard_normal(
+        (g.num_nodes, 16)).astype(np.float32)
+    inv = ctx.node_permutation_inverse()
+    if inv is not None:
+        feats = feats[inv]
+
+    def ref_forward(f):
+        with no_grad():
+            return planned_forward(model, eng, ctx, f, enc, train=False)
+
+    return ref_forward, feats, precision
+
+
+@pytest.mark.parametrize("engine", ["gp-raw", "gp-sparse", "torchgt"])
+def test_compiled_matches_reference_bitwise(engine):
+    ref_forward, feats, precision = _setup(engine)
+    with precision_scope(precision):
+        prog = compile_plan(ref_forward, feats, precision)
+        assert prog is not None, f"{engine}: plan did not compile"
+        for scale in (1.0, -0.5, 3.0):
+            f = feats * scale
+            want = ref_forward(f).data
+            got = prog.run(f)
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want, equal_nan=True)
+
+
+def test_compiled_fp64_matches_reference_bitwise():
+    ref_forward, feats, _ = _setup("gp-sparse", precision="fp64")
+    with precision_scope("fp64"):
+        prog = compile_plan(ref_forward, feats.astype(np.float64), "fp64")
+        assert prog is not None
+        f = feats.astype(np.float64) * 2.0
+        want = ref_forward(f).data
+        got = prog.run(f)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, want)
+
+
+def test_constant_folding_removes_encoding_subgraph():
+    ref_forward, feats, precision = _setup("gp-raw")
+    with precision_scope(precision):
+        prog = compile_plan(ref_forward, feats, precision)
+    assert prog.num_folded > 0  # SPD bias / degree-embedding chains fold away
+    assert prog.num_steps > 0
+
+
+def test_retained_results_survive_later_runs():
+    ref_forward, feats, precision = _setup("gp-sparse")
+    with precision_scope(precision):
+        prog = compile_plan(ref_forward, feats, precision)
+        out1 = prog.run(feats)
+        kept = out1.copy()
+        prog.run(feats * -2.0)  # overwrites every internal workspace
+        assert np.array_equal(out1, kept)  # returned arrays are private copies
+        again = prog.run(feats)
+        assert np.array_equal(again, kept)
+
+
+def test_caller_input_array_never_mutated():
+    ref_forward, feats, precision = _setup("gp-raw")
+    with precision_scope(precision):
+        prog = compile_plan(ref_forward, feats, precision)
+        snapshot = feats.copy()
+        prog.run(feats)
+        assert np.array_equal(feats, snapshot)
+
+
+def test_wrong_input_shape_rejected():
+    ref_forward, feats, precision = _setup("gp-raw")
+    with precision_scope(precision):
+        prog = compile_plan(ref_forward, feats, precision)
+        with pytest.raises(ValueError):
+            prog.run(feats[:-1])
+
+
+def test_bf16_precision_declines_to_compile():
+    ref_forward, feats, _ = _setup("gp-raw")
+    assert compile_plan(ref_forward, feats, "bf16") is None
+
+
+def test_untraced_output_falls_back():
+    # the output is manufactured outside the traced op vocabulary, so the
+    # pipeline must decline rather than emit a wrong program
+    def opaque_forward(f):
+        return Tensor(np.tanh(f))
+
+    feats = np.random.default_rng(0).standard_normal((8, 4)).astype(np.float32)
+    assert compile_plan(opaque_forward, feats, "fp32") is None

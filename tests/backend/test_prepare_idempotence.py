@@ -1,0 +1,75 @@
+"""``Engine.prepare_inference`` idempotence and memo-invalidation rules."""
+
+import numpy as np
+
+from repro.core.autotuner import AutoTuner
+from repro.core.engine import make_engine
+from repro.graph.generators import barabasi_albert
+
+
+def _graph(n=150, seed=0):
+    return barabasi_albert(n, 3, np.random.default_rng(seed))
+
+
+def test_base_engine_prepare_inference_is_idempotent():
+    eng = make_engine("gp-raw")
+    g = _graph()
+    ctx = eng.prepare_inference(g)
+    assert eng.prepare_inference(g) is ctx
+
+
+def test_sparse_engine_reuses_prepared_pattern():
+    eng = make_engine("gp-sparse")
+    g = _graph()
+    ctx = eng.prepare_inference(g)
+    again = eng.prepare_inference(g)
+    assert again is ctx
+    assert again.pattern is ctx.pattern
+
+
+def test_distinct_graphs_get_distinct_contexts():
+    eng = make_engine("gp-sparse")
+    g1, g2 = _graph(seed=0), _graph(seed=1)
+    c1 = eng.prepare_inference(g1)
+    c2 = eng.prepare_inference(g2)
+    assert c1 is not c2
+    # single-slot memo: returning to g1 re-prepares (fresh context, same
+    # deterministic content)
+    c1b = eng.prepare_inference(g1)
+    assert c1b is not c1
+    assert c1b.graph is g1
+
+
+def test_torchgt_prepare_inference_idempotent_and_stateless():
+    eng = make_engine("torchgt", num_layers=2, hidden_dim=16)
+    g = _graph()
+    assert eng.scheduler is None and eng.autotuner is None
+    ctx = eng.prepare_inference(g)
+    assert eng.prepare_inference(g) is ctx
+    # runtime state untouched by inference preprocessing, cached or not
+    assert eng.scheduler is None
+    assert eng.autotuner is None
+    assert eng._beta_in_use is None
+
+
+def test_torchgt_memo_invalidated_by_tuner_move():
+    eng = make_engine("torchgt", num_layers=2, hidden_dim=16)
+    g = _graph()
+    ctx = eng.prepare_inference(g)
+    # a training run's Auto Tuner moving β_thre changes what reformation
+    # an inference preprocessing pass would produce → the memo must miss
+    eng.autotuner = AutoTuner(beta_g=0.1)
+    ctx2 = eng.prepare_inference(g)
+    assert ctx2 is not ctx
+    eng.autotuner.schedule.up()  # the tuner climbs one β_thre rung
+    ctx3 = eng.prepare_inference(g)
+    assert ctx3 is not ctx2
+
+
+def test_training_prepare_does_not_pollute_inference_memo():
+    eng = make_engine("torchgt", num_layers=2, hidden_dim=16)
+    g = _graph(n=200)
+    train_ctx = eng.prepare_graph(g)
+    infer_ctx = eng.prepare_inference(g)
+    assert infer_ctx is not train_ctx
+    assert eng.prepare_inference(g) is infer_ctx

@@ -1,0 +1,71 @@
+"""Compute-backend registry contract: lookup, errors, capability metadata."""
+
+import pytest
+
+from repro.backend import (
+    BackendSpec,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    iter_backends,
+    register_backend,
+    resolve_backend,
+)
+
+
+def test_builtin_backends_registered():
+    names = backend_names()
+    assert "numpy" in names and "fused" in names
+    assert names == sorted(names)
+
+
+def test_numpy_is_the_reference_baseline():
+    spec = get_backend("numpy")
+    assert not spec.compiled
+    assert spec.deterministic
+    assert spec.supports_precision("bf16")
+
+
+def test_fused_capabilities():
+    spec = get_backend("fused")
+    assert spec.compiled
+    assert spec.deterministic
+    assert spec.supports_precision("fp32")
+    assert spec.supports_precision("fp64")
+    assert not spec.supports_precision("bf16")
+
+
+def test_unknown_backend_raises_both_kinds():
+    with pytest.raises(UnknownBackendError):
+        get_backend("no-such-backend")
+    with pytest.raises(ValueError):
+        get_backend("no-such-backend")
+    with pytest.raises(KeyError):
+        get_backend("no-such-backend")
+
+
+def test_resolve_accepts_name_and_spec():
+    spec = get_backend("fused")
+    assert resolve_backend("fused") is spec
+    assert resolve_backend(spec) is spec
+
+
+def test_iter_backends_sorted_specs():
+    specs = iter_backends()
+    assert [s.name for s in specs] == backend_names()
+    assert all(isinstance(s, BackendSpec) for s in specs)
+
+
+def test_duplicate_registration_rejected_unless_overwrite():
+    spec = BackendSpec(name="_test_backend", description="temp")
+    register_backend(spec)
+    try:
+        with pytest.raises(ValueError):
+            register_backend(BackendSpec(name="_test_backend"))
+        replacement = BackendSpec(name="_test_backend", compiled=True)
+        register_backend(replacement, overwrite=True)
+        assert get_backend("_test_backend") is replacement
+    finally:
+        from repro.backend.registry import _BACKENDS
+
+        _BACKENDS.pop("_test_backend", None)

@@ -15,7 +15,8 @@ import pkgutil
 
 import pytest
 
-DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.stream")
+DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.stream",
+                       "repro.backend")
 EXTRA_MODULES = ("repro.docgen",)
 
 
