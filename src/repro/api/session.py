@@ -29,7 +29,7 @@ import numpy as np
 
 from ..backend import compile_plan, resolve_backend
 from ..core import make_engine
-from ..graph import load_graph_dataset, load_node_dataset
+from ..graph import dataset_fingerprint, load_graph_dataset, load_node_dataset
 from ..models import build_model
 from ..models.encodings import compute_encodings
 from ..tensor import no_grad, precision_scope
@@ -375,6 +375,11 @@ class Session:
             fused = (spec.compiled and not self._fitting
                      and spec.supports_precision(engine.precision))
             version = getattr(ds, "graph_version", 0)
+            # cache keys carry the dataset's content fingerprint (stable
+            # across handles onto the same store bytes) rather than the
+            # handle's id(), so store-backed sessions share compiled
+            # programs and prepared contexts across reopens
+            ds_key = dataset_fingerprint(ds)
             entry = None
             if nodes is None:
                 # repeated full-graph inference reuses one prepared context:
@@ -385,9 +390,9 @@ class Session:
                 # is unchanged (an applied GraphDelta bumps graph_version,
                 # which misses here even when another session holding the
                 # same dataset object applied it)
-                key = ("full", id(ds), version)
+                key = ("full", ds_key, version)
                 if (self._infer_cache is not None
-                        and self._infer_cache[0] is ds
+                        and self._infer_cache[0] == ds_key
                         and self._infer_cache[1] == version):
                     _, _, ctx, enc = self._infer_cache
                 else:
@@ -395,12 +400,12 @@ class Session:
                     enc = compute_encodings(ctx.graph, lap_pe_dim=t.lap_pe_dim)
                     self._stamp_context(ctx)
                     if not self._fitting:
-                        self._infer_cache = (ds, version, ctx, enc)
+                        self._infer_cache = (ds_key, version, ctx, enc)
                 feats = ds.features
             else:
                 nodes = np.asarray(nodes)
                 sorted_nodes = np.sort(nodes)
-                key = ("nodes", id(ds), version, sorted_nodes.tobytes())
+                key = ("nodes", ds_key, version, sorted_nodes.tobytes())
                 entry = self._compiled_get(key) if fused else None
                 if entry is not None:
                     # the compiled cache carries the prepared subgraph
@@ -416,7 +421,9 @@ class Session:
                 feats = ds.features[sorted_nodes]
             inv = ctx.node_permutation_inverse()
             model.eval()
-            feats_in = feats[inv] if inv is not None else feats
+            # np.asarray materializes store-backed feature views; in-RAM
+            # arrays pass through untouched
+            feats_in = feats[inv] if inv is not None else np.asarray(feats)
             prog = None
             if fused:
                 if entry is None and nodes is None:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the workflows a user reaches for before writing code:
+Eleven commands cover the workflows a user reaches for before writing code:
 
 * ``info`` — version, engines, kernels, modeled devices and datasets;
 * ``kernels`` — the attention-kernel registry with capability metadata
@@ -21,7 +21,13 @@ Nine commands cover the workflows a user reaches for before writing code:
   (``predict …`` / ``stats`` / ``quit``), with the batching, pool and
   queue knobs exposed as flags; ``--workers N`` serves from an
   N-process sharded :class:`~repro.serve.ServingCluster` instead of an
-  in-process :class:`~repro.serve.InferenceServer`;
+  in-process :class:`~repro.serve.InferenceServer`; ``--store DIR``
+  serves from an on-disk :mod:`repro.store` directory instead of an
+  in-RAM dataset (cluster workers share the store by path);
+* ``convert`` — write a dataset (synthetic stand-in or a
+  ``save_node_dataset`` npz) as a chunked :mod:`repro.store` directory;
+* ``inspect`` — print a store's manifest: layout, versions, chunk
+  table, content fingerprint;
 * ``bench-serve`` — batched serving vs naive per-request prediction on
   a seeded repeated-query workload (throughput/latency table, optional
   JSON artifact); ``--workers N`` instead measures sharded-cluster
@@ -193,6 +199,68 @@ def _print_stats(snapshot: dict, indent: int = 1) -> None:
             print(f"{pad}{key}: {value}")
 
 
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a dataset into a chunked on-disk store directory.
+
+    The source is either a registered synthetic dataset
+    (``--dataset/--scale/--seed``, same resolution the serving tiers
+    use) or a ``save_node_dataset`` archive (``--npz``).
+    """
+    from repro.store import write_store
+
+    if args.npz:
+        from repro.graph import load_node_dataset_npz
+
+        ds = load_node_dataset_npz(args.npz)
+        source = args.npz
+    else:
+        from repro.graph import load_node_dataset
+
+        ds = load_node_dataset(args.dataset, scale=args.scale,
+                               seed=args.seed)
+        source = f"{args.dataset} scale={args.scale} seed={args.seed}"
+    manifest = write_store(args.out, ds, chunk_rows=args.chunk_rows,
+                           align_blocks=args.align_blocks)
+    total = sum(c.nbytes for spec in manifest.arrays.values()
+                for c in spec.chunks)
+    print(f"converted {source} -> {args.out}")
+    print(f"  nodes={manifest.num_nodes} chunks={manifest.num_chunks} "
+          f"(chunk_rows={manifest.chunk_rows}"
+          f"{', block-aligned' if args.align_blocks else ''}) "
+          f"arrays={len(manifest.arrays)} bytes={total}")
+    print(f"  fingerprint: {manifest.fingerprint()}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Print a store directory's manifest: layout, versions, chunks."""
+    from repro.store import load_manifest
+
+    manifest = load_manifest(args.store)
+    print(f"store: {args.store}  (format {manifest.format})")
+    print(f"  name={manifest.name} nodes={manifest.num_nodes} "
+          f"classes={manifest.num_classes} "
+          f"graph_version={manifest.graph_version}")
+    print(f"  chunk_rows={manifest.chunk_rows} "
+          f"chunks={manifest.num_chunks} "
+          f"row_bounds[0..]={list(manifest.row_bounds[:6])}"
+          f"{'…' if manifest.num_chunks > 5 else ''}")
+    print(f"  fingerprint: {manifest.fingerprint()}")
+    print(f"  {'array':<16} {'dtype':>6} {'shape':>16} {'chunks':>7} "
+          f"{'bytes':>12}")
+    for name, spec in sorted(manifest.arrays.items()):
+        nbytes = sum(c.nbytes for c in spec.chunks)
+        print(f"  {name:<16} {spec.dtype:>6} {str(tuple(spec.shape)):>16} "
+              f"{len(spec.chunks):>7} {nbytes:>12}")
+    if args.chunks:
+        print(f"  {'chunk file':<32} {'shape':>16} {'bytes':>12}")
+        for name, spec in sorted(manifest.arrays.items()):
+            for ref in spec.chunks:
+                print(f"  {ref.file:<32} {str(tuple(ref.shape)):>16} "
+                      f"{ref.nbytes:>12}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Stdin-driven inference serving loop over a saved run config.
 
@@ -216,6 +284,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     policy = BatchPolicy(max_batch_size=args.max_batch,
                          max_wait_s=args.max_wait_ms / 1e3)
+    if args.store and config.data.task_kind != "node":
+        print("error: --store applies to node-level configs only",
+              file=sys.stderr)
+        return 2
     if args.workers > 0:
         if args.fit:
             print("error: --fit does not apply with --workers (weights "
@@ -227,11 +299,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             num_workers=args.workers, warm_configs=[config],
             checkpoints=([(config, args.checkpoint)]
                          if args.checkpoint else ()),
+            stores=([(config, args.store)] if args.store else ()),
             pool_size=args.pool_size, policy=policy,
             max_queue_depth=args.queue_depth)
-        tier = f"{args.workers} worker processes"
+        tier = (f"{args.workers} worker processes"
+                + (f" on shared store {args.store}" if args.store else ""))
     else:
         pool = SessionPool(max_sessions=args.pool_size)
+        if args.store:
+            from repro.store import open_store
+
+            pool.put_dataset(config, open_store(args.store))
         if args.checkpoint:
             pool.add_checkpoint(config, args.checkpoint)
         backend = InferenceServer(pool=pool, policy=policy,
@@ -239,7 +317,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         session = pool.acquire(config)  # warm the pool before requests
         if args.fit:
             session.fit(callbacks=[EpochLogger()])
-        tier = "in-process server"
+        tier = ("in-process server"
+                + (f" on store {args.store}" if args.store else ""))
     kind = config.data.task_kind
     print(f"serving {config.data.name} ({kind}-level) with "
           f"{config.model.name} / {config.engine.name} on {tier} — "
@@ -250,7 +329,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # cluster mode keeps a router-side mirror of the mutated dataset so
     # `mutate churn` can generate valid deltas against current topology;
     # single-server mode reads the live pooled dataset directly
-    state = {"mirror": None}
+    state = {"mirror": None, "store": args.store}
     for line in sys.stdin:
         parts = line.split()
         if not parts:
@@ -307,7 +386,13 @@ def _serve_mutate(backend, config, ids, state, cluster: bool) -> None:
               file=sys.stderr)
         return
     if state["mirror"] is None:
-        if cluster:
+        if cluster and state.get("store"):
+            from repro.store import open_store
+
+            # read-only open: mirror deltas overlay in router RAM, the
+            # workers' shared files stay untouched
+            state["mirror"] = open_store(state["store"])
+        elif cluster:
             from repro.graph import load_node_dataset
             from repro.serve import dataset_identity
 
@@ -551,6 +636,34 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workers", type=int, default=0,
                    help="serve from N sharded worker processes "
                         "(0 = one in-process server)")
+    s.add_argument("--store", default=None, metavar="DIR",
+                   help="serve from a chunked on-disk store directory "
+                        "(see `repro convert`); cluster workers open it "
+                        "as a shared store by path")
+
+    cv = sub.add_parser("convert",
+                        help="write a dataset as a chunked on-disk store")
+    cv.add_argument("--out", required=True, metavar="DIR",
+                    help="store directory to create (overwritten in place)")
+    cv.add_argument("--dataset", default="ogbn-arxiv",
+                    help="registered node-level dataset to convert")
+    cv.add_argument("--scale", type=float, default=0.2)
+    cv.add_argument("--seed", type=int, default=0)
+    cv.add_argument("--npz", default=None, metavar="PATH",
+                    help="convert a save_node_dataset archive instead of a "
+                         "registered dataset")
+    cv.add_argument("--chunk-rows", type=int, default=512, dest="chunk_rows",
+                    help="node rows per chunk (default 512)")
+    cv.add_argument("--align-blocks", action="store_true",
+                    dest="align_blocks",
+                    help="cut chunk boundaries at planted block runs so "
+                         "chunks align with partition orderings")
+
+    ins = sub.add_parser("inspect",
+                         help="print a store directory's manifest")
+    ins.add_argument("store", metavar="DIR", help="store directory to read")
+    ins.add_argument("--chunks", action="store_true",
+                     help="also list every chunk file")
 
     b = sub.add_parser("bench-serve",
                        help="batched serving vs naive per-request predict")
@@ -599,6 +712,8 @@ _COMMANDS = {
     "train": cmd_train,
     "run": cmd_run,
     "serve": cmd_serve,
+    "convert": cmd_convert,
+    "inspect": cmd_inspect,
     "bench-serve": cmd_bench_serve,
     "cost": cmd_cost,
 }

@@ -29,7 +29,26 @@ __all__ = [
     "load_node_dataset",
     "load_graph_dataset",
     "available_datasets",
+    "dataset_fingerprint",
 ]
+
+
+def dataset_fingerprint(dataset) -> tuple:
+    """A stable cache-key component identifying a dataset's content.
+
+    Store-backed datasets (anything exposing ``content_fingerprint``,
+    e.g. :class:`repro.store.StoredNodeDataset`) are identified by that
+    content hash, so two handles onto the same store bytes — or the
+    same store reopened across processes — coalesce in
+    :class:`~repro.api.Session`'s inference caches.  Plain in-RAM
+    datasets fall back to object identity, preserving the previous
+    behaviour exactly (mutating an in-RAM dataset in place also bumps
+    its ``graph_version``, which the cache keys carry separately).
+    """
+    fp = getattr(dataset, "content_fingerprint", None)
+    if fp is not None:
+        return ("content", fp)
+    return ("object", id(dataset))
 
 
 @dataclass(frozen=True)

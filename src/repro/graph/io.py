@@ -32,10 +32,69 @@ __all__ = [
     "read_edgelist",
     "save_node_dataset",
     "load_node_dataset_npz",
+    "validate_csr",
+    "validate_splits",
 ]
 
 _GRAPH_FORMAT = "repro-csr-v1"
 _DATASET_FORMAT = "repro-node-dataset-v1"
+
+
+def validate_csr(indptr: np.ndarray, indices: np.ndarray, num_nodes: int,
+                 where: str = "") -> None:
+    """Check CSR invariants on loaded arrays; raise ``ValueError`` if broken.
+
+    A corrupt or hand-edited archive that violates CSR structure would
+    otherwise surface as an opaque ``IndexError`` deep inside a kernel.
+    Checked here: ``indptr`` has ``num_nodes + 1`` entries, starts at 0,
+    ends at ``len(indices)``, is monotonically non-decreasing; every
+    adjacency index lies in ``[0, num_nodes)``.  ``where`` names the
+    source (a file path) in the error message.
+    """
+    src = f" in {where}" if where else ""
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    if indptr.ndim != 1 or len(indptr) != num_nodes + 1:
+        raise ValueError(
+            f"corrupt CSR{src}: indptr has {indptr.shape} entries, "
+            f"expected ({num_nodes + 1},)")
+    if len(indptr) and (indptr[0] != 0 or indptr[-1] != len(indices)):
+        raise ValueError(
+            f"corrupt CSR{src}: indptr spans [{indptr[0]}, {indptr[-1]}], "
+            f"expected [0, {len(indices)}]")
+    if len(indptr) > 1 and (np.diff(indptr) < 0).any():
+        bad = int(np.nonzero(np.diff(indptr) < 0)[0][0])
+        raise ValueError(
+            f"corrupt CSR{src}: indptr decreases at row {bad} "
+            f"({int(indptr[bad])} -> {int(indptr[bad + 1])})")
+    if len(indices) and (indices.min() < 0 or indices.max() >= num_nodes):
+        bad = indices[(indices < 0) | (indices >= num_nodes)][0]
+        raise ValueError(
+            f"corrupt CSR{src}: adjacency index {int(bad)} outside "
+            f"[0, {num_nodes})")
+
+
+def validate_splits(train_mask: np.ndarray, val_mask: np.ndarray,
+                    test_mask: np.ndarray, where: str = "") -> None:
+    """Check that the train/val/test masks are pairwise disjoint.
+
+    Overlapping splits silently corrupt every reported metric (a node
+    trained on leaks into validation accuracy), so a loaded dataset
+    whose masks intersect is rejected with a ``ValueError`` naming the
+    offending pair and the overlap count.
+    """
+    src = f" in {where}" if where else ""
+    masks = {"train": np.asarray(train_mask, dtype=bool),
+             "val": np.asarray(val_mask, dtype=bool),
+             "test": np.asarray(test_mask, dtype=bool)}
+    names = list(masks)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            overlap = int(np.count_nonzero(masks[a] & masks[b]))
+            if overlap:
+                raise ValueError(
+                    f"corrupt dataset{src}: {a} and {b} splits share "
+                    f"{overlap} node(s); splits must be disjoint")
 
 
 def save_graph(path: str | os.PathLike, g: CSRGraph) -> None:
@@ -50,7 +109,10 @@ def load_graph(path: str | os.PathLike) -> CSRGraph:
     with np.load(path, allow_pickle=False) as z:
         if str(z["format"]) != _GRAPH_FORMAT:
             raise ValueError(f"not a {_GRAPH_FORMAT} archive: {path}")
-        return CSRGraph(z["indptr"], z["indices"], int(z["num_nodes"]))
+        num_nodes = int(z["num_nodes"])
+        validate_csr(z["indptr"], z["indices"], num_nodes,
+                     where=os.fspath(path))
+        return CSRGraph(z["indptr"], z["indices"], num_nodes)
 
 
 def write_edgelist(path: str | os.PathLike, g: CSRGraph,
@@ -114,7 +176,12 @@ def load_node_dataset_npz(path: str | os.PathLike) -> NodeDataset:
     with np.load(path, allow_pickle=False) as z:
         if str(z["format"]) != _DATASET_FORMAT:
             raise ValueError(f"not a {_DATASET_FORMAT} archive: {path}")
-        graph = CSRGraph(z["indptr"], z["indices"], int(z["num_nodes"]))
+        num_nodes = int(z["num_nodes"])
+        validate_csr(z["indptr"], z["indices"], num_nodes,
+                     where=os.fspath(path))
+        validate_splits(z["train_mask"], z["val_mask"], z["test_mask"],
+                        where=os.fspath(path))
+        graph = CSRGraph(z["indptr"], z["indices"], num_nodes)
         return NodeDataset(
             name=str(z["name"]), graph=graph,
             features=z["features"], labels=z["labels"],

@@ -147,7 +147,13 @@ class ServingCluster:
     worker at startup, and their checkpoints (``checkpoints``: a
     sequence of ``(config, path)`` pairs) registered for pool
     admission.  ``datasets`` (``(config, dataset)`` pairs) injects
-    already-loaded datasets into the broadcast.  ``pool_size``,
+    already-loaded datasets into the broadcast.  ``stores``
+    (``(config, store_path)`` pairs) switches those configs to
+    shared-store mode: workers receive only the :mod:`repro.store`
+    directory path and mmap-open it themselves, so startup transfers
+    O(manifest) bytes per worker instead of the pickled dataset, and
+    the router's version authority resumes from the store's persisted
+    ``graph_version``.  ``pool_size``,
     ``policy`` and ``worker_queue_depth`` configure each worker's
     server; ``max_queue_depth`` bounds the router's own intake queue
     (backpressure happens here, before any dispatch).
@@ -172,6 +178,7 @@ class ServingCluster:
                  heartbeat_interval_s: float = 1.0,
                  heartbeat_timeout_s: float = 10.0,
                  datasets=None,
+                 stores=None,
                  auto_inline: bool = True):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -200,7 +207,23 @@ class ServingCluster:
         self._thread: threading.Thread | None = None
         self._stop_event = threading.Event()
 
-        dataset_blobs = self._broadcast_payload(warm_configs, datasets or ())
+        # shared-store mode: configs covered by a store ship only the
+        # directory path (O(manifest) bytes per worker); each worker
+        # mmap-opens the store itself.  The router's version authority
+        # resumes from the store's persisted graph_version so the
+        # exactly-once guard keeps working across a store reopen.
+        store_pairs = []
+        store_ids = set()
+        for cfg, store_path in (stores or ()):
+            from ..store import load_manifest
+
+            store_pairs.append((cfg.to_json(), str(store_path)))
+            ds_id = dataset_identity(cfg)
+            store_ids.add(ds_id)
+            self._dataset_versions[ds_id] = int(
+                load_manifest(store_path).graph_version)
+        dataset_blobs = self._broadcast_payload(warm_configs, datasets or (),
+                                                skip=store_ids)
         checkpoint_pairs = tuple(
             (cfg.to_json(), path) for cfg, path in (checkpoints or ()))
         worker_ids = [f"w{i}" for i in range(num_workers)]
@@ -211,6 +234,7 @@ class ServingCluster:
                               max_wait_s=self.policy.max_wait_s,
                               queue_depth=worker_queue_depth,
                               datasets=dataset_blobs,
+                              stores=tuple(store_pairs),
                               checkpoints=checkpoint_pairs)
             if backend == "process":
                 self.workers[wid] = ProcessWorker(init,
@@ -230,22 +254,25 @@ class ServingCluster:
         self._last_ping = _clock.now()
 
     @staticmethod
-    def _broadcast_payload(warm_configs, datasets) -> tuple:
+    def _broadcast_payload(warm_configs, datasets, skip=frozenset()) -> tuple:
         """Serialize each distinct dataset once: ((config_json, blob), …).
 
         ``datasets`` is a sequence of ``(config, dataset)`` pairs naming
         already-loaded dataset objects (skipping the load); any other
         warm config's dataset is loaded here.  Deduplication is by
         :func:`~repro.serve.pool.dataset_identity` so a sweep of many
-        configs over one graph broadcasts one blob.
+        configs over one graph broadcasts one blob.  Identities in
+        ``skip`` (covered by a shared store path) are excluded entirely
+        — their data never crosses the pipe.
         """
         from ..graph import load_graph_dataset, load_node_dataset
 
         loaded = {dataset_identity(cfg): (cfg, ds)
-                  for cfg, ds in datasets}
+                  for cfg, ds in datasets
+                  if dataset_identity(cfg) not in skip}
         for cfg in warm_configs:
             ds_id = dataset_identity(cfg)
-            if ds_id in loaded:
+            if ds_id in loaded or ds_id in skip:
                 continue
             loader = (load_node_dataset if cfg.data.task_kind == "node"
                       else load_graph_dataset)

@@ -103,8 +103,13 @@ class WorkerInit:
     cluster serializes each distinct dataset **once** and broadcasts the
     same bytes to every worker, which installs them into its pool via
     :meth:`~repro.serve.SessionPool.put_dataset` so admission never
-    re-synthesizes broadcast data.  ``checkpoints`` maps configs (by
-    JSON) to checkpoint paths loaded on admission.
+    re-synthesizes broadcast data.  ``stores`` holds
+    ``(config_json, store_path)`` pairs instead of pickled bytes: each
+    worker opens the shared :mod:`repro.store` directory itself
+    (read-only — deltas overlay in worker RAM, the shared files stay
+    pristine), so startup ships O(manifest) bytes per worker no matter
+    how large the dataset is.  ``checkpoints`` maps configs (by JSON)
+    to checkpoint paths loaded on admission.
     """
 
     worker_id: str
@@ -113,6 +118,7 @@ class WorkerInit:
     max_wait_s: float = 0.0
     queue_depth: int = 4096
     datasets: tuple = ()      # ((config_json, dataset_blob), ...)
+    stores: tuple = ()        # ((config_json, store_path), ...)
     checkpoints: tuple = ()   # ((config_json, path), ...)
 
 
@@ -131,6 +137,11 @@ class WorkerRuntime:
         for cfg_json, blob in init.datasets:
             self.pool.put_dataset(RunConfig.from_json(cfg_json),
                                   pickle.loads(blob))
+        for cfg_json, store_path in init.stores:
+            from ..store import open_store
+
+            self.pool.put_dataset(RunConfig.from_json(cfg_json),
+                                  open_store(store_path))
         for cfg_json, path in init.checkpoints:
             self.pool.add_checkpoint(RunConfig.from_json(cfg_json), path)
         self.server = InferenceServer(

@@ -1,0 +1,313 @@
+"""Writing stores: full conversion and touched-chunk delta rewrites.
+
+:func:`write_store` converts an in-RAM :class:`~repro.graph.NodeDataset`
+(or anything exposing its surface) into a ``repro-store-v1`` directory:
+it picks the shared node-axis row boundaries (uniform ``chunk_rows``, or
+aligned to the dataset's planted block runs with ``align_blocks``),
+writes every array's chunk files, and commits the manifest.
+
+:func:`rewrite_store_delta` is the incremental path behind
+:meth:`repro.store.StoredNodeDataset.apply_delta` on writable stores:
+given an already-applied :class:`~repro.stream.GraphDelta` it rewrites
+**only** the chunks whose node rows the delta intersects — updated
+feature rows, appended node rows, and the graph blocks whose adjacency
+changed — then bumps ``graph_version`` and atomically commits the new
+manifest.  Untouched chunk files are never opened for writing, which is
+what keeps delta cost proportional to delta locality rather than store
+size.
+
+Chunk files are written tmp-then-rename, so a crash mid-delta leaves
+the old manifest pointing at intact old bytes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .format import (
+    DEFAULT_CHUNK_ROWS,
+    ArraySpec,
+    ChunkRef,
+    Manifest,
+    dtype_str,
+    write_manifest,
+)
+
+__all__ = ["write_store", "rewrite_store_delta", "block_boundaries"]
+
+#: node arrays persisted besides features (all share the row boundaries)
+_NODE_ARRAYS = ("labels", "train_mask", "val_mask", "test_mask", "blocks")
+
+
+def block_boundaries(blocks: np.ndarray, chunk_rows: int) -> np.ndarray:
+    """Row boundaries aligned to block runs, capped at ``chunk_rows``.
+
+    Splits wherever the per-node block id changes in node order (the
+    layout ``repro.partition`` orderings produce: cluster ids as
+    contiguous node ranges), then splits any run longer than
+    ``chunk_rows`` — so a chunk never spans two partitions and never
+    exceeds the row cap.
+    """
+    blocks = np.asarray(blocks)
+    n = len(blocks)
+    cuts = np.nonzero(blocks[1:] != blocks[:-1])[0] + 1
+    bounds = [0]
+    for cut in list(cuts) + [n]:
+        while cut - bounds[-1] > chunk_rows:
+            bounds.append(bounds[-1] + chunk_rows)
+        if cut > bounds[-1]:
+            bounds.append(int(cut))
+    return np.asarray(bounds, dtype=np.int64)
+
+
+def _uniform_boundaries(num_nodes: int, chunk_rows: int) -> np.ndarray:
+    bounds = np.arange(0, num_nodes, chunk_rows, dtype=np.int64)
+    return np.concatenate([bounds, [num_nodes]])
+
+
+def _chunk_file(name: str, i: int) -> str:
+    return os.path.join("chunks", f"{name}-{i:06d}.bin")
+
+
+def _write_chunk(store_dir: str, relfile: str, arr: np.ndarray,
+                 dtype_s: str) -> ChunkRef:
+    """Write one chunk's raw bytes atomically; returns its table entry."""
+    data = np.ascontiguousarray(arr, dtype=np.dtype(dtype_s))
+    path = os.path.join(store_dir, relfile)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(data.tobytes())
+    os.replace(tmp, path)
+    return ChunkRef(file=relfile, shape=tuple(data.shape),
+                    nbytes=int(data.nbytes))
+
+
+def _chunk_node_array(store_dir: str, name: str, arr: np.ndarray,
+                      bounds: np.ndarray) -> ArraySpec:
+    """Persist one node-indexed array chunked at the shared boundaries."""
+    dtype_s = dtype_str(arr.dtype)
+    chunks = tuple(
+        _write_chunk(store_dir, _chunk_file(name, i),
+                     arr[bounds[i]:bounds[i + 1]], dtype_s)
+        for i in range(len(bounds) - 1))
+    return ArraySpec(dtype=dtype_s, shape=tuple(arr.shape), chunks=chunks)
+
+
+def _graph_chunks(graph, bounds: np.ndarray, store_dir: str) -> dict:
+    """Persist the CSR graph as degree + per-block adjacency chunks."""
+    degrees = np.diff(graph.indptr).astype(np.int64)
+    spec_deg = _chunk_node_array(store_dir, "graph_degrees", degrees, bounds)
+    dtype_s = dtype_str(np.int64)
+    chunks = []
+    for i in range(len(bounds) - 1):
+        lo = int(graph.indptr[bounds[i]])
+        hi = int(graph.indptr[bounds[i + 1]])
+        chunks.append(_write_chunk(store_dir, _chunk_file("graph_indices", i),
+                                   graph.indices[lo:hi], dtype_s))
+    spec_ind = ArraySpec(dtype=dtype_s, shape=(int(graph.num_edges),),
+                         chunks=tuple(chunks))
+    return {"graph_degrees": spec_deg, "graph_indices": spec_ind}
+
+
+def write_store(out_dir: str | os.PathLike, dataset,
+                chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                align_blocks: bool = False) -> Manifest:
+    """Convert a node-level dataset into a store directory.
+
+    ``chunk_rows`` caps the node rows per chunk; ``align_blocks``
+    additionally cuts chunk boundaries at the dataset's planted block
+    runs (see :func:`block_boundaries`) so chunks align with
+    ``repro.partition`` orderings.  Any existing store at ``out_dir``
+    is overwritten chunk-by-chunk.  Returns the committed manifest.
+    """
+    if hasattr(dataset, "graphs"):
+        raise TypeError(
+            "write_store takes a node-level dataset; graph-level datasets "
+            "are collections of independent small graphs and stay in RAM")
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    out_dir = os.fspath(out_dir)
+    os.makedirs(out_dir, exist_ok=True)
+    graph = dataset.graph
+    n = graph.num_nodes
+    blocks = getattr(dataset, "blocks", None)
+    if align_blocks and blocks is not None:
+        bounds = block_boundaries(blocks, chunk_rows)
+    else:
+        bounds = _uniform_boundaries(n, chunk_rows)
+
+    arrays = {"features": _chunk_node_array(
+        out_dir, "features", np.asarray(dataset.features), bounds)}
+    for name in _NODE_ARRAYS:
+        arr = getattr(dataset, name, None)
+        if arr is None:
+            continue
+        arrays[name] = _chunk_node_array(out_dir, name, np.asarray(arr),
+                                         bounds)
+    arrays.update(_graph_chunks(graph, bounds, out_dir))
+
+    paper = getattr(dataset, "paper", None)
+    manifest = Manifest(
+        name=dataset.name, num_nodes=n,
+        num_classes=int(dataset.num_classes),
+        chunk_rows=int(chunk_rows),
+        row_bounds=tuple(int(b) for b in bounds),
+        arrays=arrays,
+        graph_version=int(getattr(dataset, "graph_version", 0)),
+        paper=(None if paper is None else {
+            "num_nodes": paper.num_nodes, "num_edges": paper.num_edges,
+            "feature_dim": paper.feature_dim,
+            "num_classes": paper.num_classes, "task": paper.task}),
+    )
+    write_manifest(out_dir, manifest)
+    return manifest
+
+
+def _extend_bounds(manifest: Manifest, new_n: int) -> tuple:
+    """Grow the row boundaries for appended nodes.
+
+    The last chunk fills up to ``chunk_rows``, then fresh chunks of
+    ``chunk_rows`` are appended.  Returns ``(new_bounds, grown_last)``
+    where ``grown_last`` flags whether the old last chunk's span grew
+    (and therefore must be rewritten).
+    """
+    bounds = list(manifest.row_bounds)
+    old_n = manifest.num_nodes
+    cap = manifest.chunk_rows
+    grown_last = False
+    remaining = new_n - old_n
+    if remaining and len(bounds) > 1:
+        room = cap - (bounds[-1] - bounds[-2])
+        take = min(remaining, max(room, 0))
+        if take:
+            bounds[-1] += take
+            remaining -= take
+            grown_last = True
+    while remaining > 0:
+        take = min(remaining, cap)
+        bounds.append(bounds[-1] + take)
+        remaining -= take
+    return tuple(bounds), grown_last
+
+
+def rewrite_store_delta(store_dir: str, manifest: Manifest, delta,
+                        graph, touched: np.ndarray,
+                        node_arrays: dict,
+                        read_feature_chunk) -> tuple:
+    """Rewrite exactly the chunks a delta intersects; commit the manifest.
+
+    ``graph`` / ``touched`` are the post-delta CSR and its recomputed
+    rows from :meth:`~repro.graph.CSRGraph.apply_edge_delta`;
+    ``node_arrays`` maps each small node array name (labels, masks,
+    blocks) to its **already-extended** post-delta values;
+    ``read_feature_chunk(i)`` returns the pre-delta bytes of feature
+    chunk ``i`` (only called for chunks being rewritten — features are
+    never materialized wholesale).
+
+    Returns ``(new_manifest, rewritten_keys)`` where ``rewritten_keys``
+    is the ``(array_name, chunk_index)`` cache keys the caller must
+    evict.
+    """
+    old_n = manifest.num_nodes
+    new_n = graph.num_nodes
+    old_chunks = manifest.num_chunks
+    bounds, grown_last = _extend_bounds(manifest, new_n)
+    bounds_arr = np.asarray(bounds, dtype=np.int64)
+    num_chunks = len(bounds) - 1
+    rewritten: list[tuple] = []
+
+    append_chunks = set(range(old_chunks, num_chunks))
+    if grown_last:
+        append_chunks.add(old_chunks - 1)
+
+    def chunk_of(rows: np.ndarray) -> np.ndarray:
+        return np.unique(np.searchsorted(bounds_arr, rows,
+                                         side="right") - 1)
+
+    # -- features: chunks holding updated rows, plus appended spans ------ #
+    upd_rows = (np.empty(0, dtype=np.int64) if delta.update_nodes is None
+                else np.asarray(delta.update_nodes, dtype=np.int64))
+    upd_vals = (None if delta.update_features is None
+                else np.asarray(delta.update_features))
+    feat_spec = manifest.arrays["features"]
+    feat_dim = feat_spec.shape[1]
+    feat_chunks = list(feat_spec.chunks)
+    targets = set(int(c) for c in chunk_of(upd_rows)) | append_chunks
+    for i in sorted(targets):
+        r0, r1 = bounds[i], bounds[i + 1]
+        parts = []
+        if i < old_chunks and r0 < old_n:
+            parts.append(np.array(read_feature_chunk(i)))
+        if r1 > old_n and delta.num_new_nodes:
+            parts.append(np.asarray(delta.new_features)
+                         [max(r0, old_n) - old_n:r1 - old_n])
+        data = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if len(upd_rows):
+            sel = (upd_rows >= r0) & (upd_rows < r1)
+            if sel.any():
+                data[upd_rows[sel] - r0] = upd_vals[sel]
+        ref = _write_chunk(store_dir, _chunk_file("features", i), data,
+                           feat_spec.dtype)
+        if i < len(feat_chunks):
+            feat_chunks[i] = ref
+        else:
+            feat_chunks.append(ref)
+        rewritten.append(("features", i))
+    arrays = dict(manifest.arrays)
+    arrays["features"] = ArraySpec(dtype=feat_spec.dtype,
+                                   shape=(new_n, feat_dim),
+                                   chunks=tuple(feat_chunks))
+
+    # -- small node arrays: append-affected chunks only ------------------ #
+    for name, arr in node_arrays.items():
+        spec = arrays.get(name)
+        if spec is None or not append_chunks:
+            continue
+        chunks = list(spec.chunks)
+        for i in sorted(append_chunks):
+            ref = _write_chunk(store_dir, _chunk_file(name, i),
+                               arr[bounds[i]:bounds[i + 1]], spec.dtype)
+            if i < len(chunks):
+                chunks[i] = ref
+            else:
+                chunks.append(ref)
+            rewritten.append((name, i))
+        arrays[name] = ArraySpec(dtype=spec.dtype, shape=(new_n,),
+                                 chunks=tuple(chunks))
+
+    # -- graph: blocks whose adjacency the delta recomputed -------------- #
+    graph_targets = set(int(c) for c in chunk_of(
+        np.asarray(touched, dtype=np.int64))) | append_chunks
+    degrees = np.diff(graph.indptr).astype(np.int64)
+    for name in ("graph_degrees", "graph_indices"):
+        spec = arrays[name]
+        chunks = list(spec.chunks)
+        for i in sorted(graph_targets):
+            r0, r1 = bounds[i], bounds[i + 1]
+            if name == "graph_degrees":
+                data = degrees[r0:r1]
+            else:
+                data = graph.indices[graph.indptr[r0]:graph.indptr[r1]]
+            ref = _write_chunk(store_dir, _chunk_file(name, i), data,
+                               spec.dtype)
+            if i < len(chunks):
+                chunks[i] = ref
+            else:
+                chunks.append(ref)
+            rewritten.append((name, i))
+        shape = (new_n,) if name == "graph_degrees" \
+            else (int(graph.num_edges),)
+        arrays[name] = ArraySpec(dtype=spec.dtype, shape=shape,
+                                 chunks=tuple(chunks))
+
+    new_manifest = Manifest(
+        name=manifest.name, num_nodes=new_n,
+        num_classes=manifest.num_classes,
+        chunk_rows=manifest.chunk_rows, row_bounds=bounds,
+        arrays=arrays, graph_version=manifest.graph_version + 1,
+        paper=manifest.paper)
+    write_manifest(store_dir, new_manifest)
+    return new_manifest, rewritten

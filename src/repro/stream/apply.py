@@ -93,7 +93,15 @@ def apply_delta(dataset, delta: GraphDelta) -> DeltaReport:
     (sessions and pools holding it observe the change through the
     bumped ``graph_version``), and the resulting graph is bitwise
     identical to what :func:`full_rebuild` produces.
+
+    Datasets that manage their own persistence (anything exposing an
+    ``apply_delta`` method, e.g. :class:`repro.store.StoredNodeDataset`)
+    are dispatched to — the store rewrites exactly the chunks the delta
+    intersects and returns the same :class:`DeltaReport`.
     """
+    own_apply = getattr(dataset, "apply_delta", None)
+    if own_apply is not None:
+        return own_apply(delta)
     delta.validate(dataset)
     graph, touched = dataset.graph.apply_edge_delta(
         delta.add_edges, delta.remove_edges,

@@ -12,6 +12,8 @@ from repro.graph import (
     read_edgelist,
     save_graph,
     save_node_dataset,
+    validate_csr,
+    validate_splits,
     write_edgelist,
 )
 from repro.graph.csr import CSRGraph
@@ -79,6 +81,90 @@ class TestEdgelist:
         p = tmp_path / "l.txt"
         write_edgelist(p, g)
         assert read_edgelist(p).has_edge(0, 0)
+
+
+class TestValidateCSR:
+    def indptr(self, *vals):
+        return np.asarray(vals, dtype=np.int64)
+
+    def test_accepts_well_formed(self):
+        validate_csr(self.indptr(0, 2, 2, 3),
+                     np.array([1, 2, 0]), num_nodes=3)
+
+    def test_accepts_empty_graph(self):
+        validate_csr(self.indptr(0), np.zeros(0, dtype=np.int64),
+                     num_nodes=0)
+
+    def test_wrong_indptr_length(self):
+        with pytest.raises(ValueError, match="indptr has"):
+            validate_csr(self.indptr(0, 1), np.array([0]), num_nodes=3)
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="spans"):
+            validate_csr(self.indptr(1, 2, 2), np.array([0, 1]),
+                         num_nodes=2)
+
+    def test_indptr_must_end_at_nnz(self):
+        with pytest.raises(ValueError, match="spans"):
+            validate_csr(self.indptr(0, 1, 5), np.array([0, 1]),
+                         num_nodes=2)
+
+    def test_decreasing_indptr_names_row(self):
+        with pytest.raises(ValueError, match="decreases at row 1"):
+            validate_csr(self.indptr(0, 2, 1, 2), np.array([0, 1]),
+                         num_nodes=3)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_csr(self.indptr(0, 1, 2), np.array([0, 5]),
+                         num_nodes=2)
+        with pytest.raises(ValueError, match="outside"):
+            validate_csr(self.indptr(0, 1, 2), np.array([0, -1]),
+                         num_nodes=2)
+
+    def test_where_names_the_source(self):
+        with pytest.raises(ValueError, match="bad.npz"):
+            validate_csr(self.indptr(0, 9), np.array([0]), num_nodes=1,
+                         where="bad.npz")
+
+    def test_load_graph_rejects_corrupt_archive(self, tmp_path):
+        p = tmp_path / "corrupt.npz"
+        np.savez(p, format="repro-csr-v1",
+                 indptr=np.array([0, 1, 5], dtype=np.int64),
+                 indices=np.array([1, 0], dtype=np.int64),
+                 num_nodes=np.int64(2))
+        with pytest.raises(ValueError, match="corrupt CSR"):
+            load_graph(p)
+
+
+class TestValidateSplits:
+    def test_accepts_disjoint(self):
+        m = np.zeros(6, dtype=bool)
+        train, val, test = m.copy(), m.copy(), m.copy()
+        train[:2], val[2:4], test[4:] = True, True, True
+        validate_splits(train, val, test)
+
+    def test_overlap_names_pair_and_count(self):
+        train = np.array([True, True, False])
+        val = np.array([False, True, False])
+        test = np.array([False, False, True])
+        with pytest.raises(ValueError, match="train and val.*1 node"):
+            validate_splits(train, val, test)
+
+    def test_overlap_with_test_detected(self):
+        train = np.array([True, False])
+        val = np.array([False, False])
+        test = np.array([True, False])
+        with pytest.raises(ValueError, match="train and test"):
+            validate_splits(train, val, test)
+
+    def test_load_dataset_rejects_overlapping_splits(self, tmp_path):
+        ds = load_node_dataset("ogbn-arxiv", scale=0.1, seed=0)
+        ds.val_mask = ds.train_mask.copy()  # every train node leaks
+        p = tmp_path / "leaky.npz"
+        save_node_dataset(p, ds)
+        with pytest.raises(ValueError, match="disjoint"):
+            load_node_dataset_npz(p)
 
 
 class TestDatasetNpz:

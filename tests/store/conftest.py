@@ -1,0 +1,55 @@
+"""Shared fixtures for the store tests: one small dataset + store dir."""
+import numpy as np
+import pytest
+
+from repro.graph import load_node_dataset
+from repro.store import write_store
+
+
+@pytest.fixture
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=0.2, seed=3)
+
+
+@pytest.fixture
+def store_dir(dataset, tmp_path):
+    d = tmp_path / "arxiv.store"
+    write_store(d, dataset, chunk_rows=64)
+    return str(d)
+
+
+@pytest.fixture
+def run_config():
+    from repro.api import (
+        DataConfig,
+        EngineConfig,
+        ModelConfig,
+        RunConfig,
+        TrainConfig,
+    )
+
+    return RunConfig(
+        data=DataConfig("ogbn-arxiv", scale=0.2, seed=3),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig("gp-raw"),
+        train=TrainConfig(epochs=1),
+        seed=0,
+    )
+
+
+def assert_store_matches(stored, ds) -> None:
+    """Bitwise equality of every array a NodeDataset exposes."""
+    assert stored.num_nodes == ds.num_nodes
+    assert stored.num_classes == ds.num_classes
+    np.testing.assert_array_equal(np.asarray(stored.features), ds.features)
+    np.testing.assert_array_equal(stored.labels, ds.labels)
+    np.testing.assert_array_equal(stored.train_mask, ds.train_mask)
+    np.testing.assert_array_equal(stored.val_mask, ds.val_mask)
+    np.testing.assert_array_equal(stored.test_mask, ds.test_mask)
+    if ds.blocks is None:
+        assert stored.blocks is None
+    else:
+        np.testing.assert_array_equal(stored.blocks, ds.blocks)
+    np.testing.assert_array_equal(stored.graph.indptr, ds.graph.indptr)
+    np.testing.assert_array_equal(stored.graph.indices, ds.graph.indices)

@@ -1,0 +1,74 @@
+"""CLI smoke: repro convert / inspect / serve --store."""
+import numpy as np
+
+from repro.cli import main
+from repro.store import load_manifest, open_store
+
+
+class TestConvert:
+    def test_convert_registered_dataset(self, tmp_path, capsys):
+        out = tmp_path / "s"
+        assert main(["convert", "--dataset", "ogbn-arxiv", "--scale", "0.2",
+                     "--seed", "3", "--out", str(out),
+                     "--chunk-rows", "64"]) == 0
+        text = capsys.readouterr().out
+        assert "converted" in text and "fingerprint" in text
+        manifest = load_manifest(out)
+        assert manifest.num_nodes == 240
+        assert manifest.chunk_rows == 64
+
+    def test_convert_npz_archive(self, dataset, tmp_path, capsys):
+        from repro.graph import save_node_dataset
+
+        npz = tmp_path / "ds.npz"
+        save_node_dataset(npz, dataset)
+        out = tmp_path / "s"
+        assert main(["convert", "--npz", str(npz), "--out", str(out)]) == 0
+        st = open_store(out)
+        np.testing.assert_array_equal(np.asarray(st.features),
+                                      dataset.features)
+
+    def test_convert_align_blocks(self, tmp_path, capsys):
+        out = tmp_path / "s"
+        assert main(["convert", "--dataset", "ogbn-arxiv", "--scale", "0.2",
+                     "--seed", "3", "--out", str(out), "--chunk-rows", "64",
+                     "--align-blocks"]) == 0
+        assert "block-aligned" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_renders_manifest(self, store_dir, capsys):
+        assert main(["inspect", store_dir]) == 0
+        text = capsys.readouterr().out
+        assert "repro-store-v1" in text
+        assert "fingerprint" in text
+        assert "features" in text and "graph_indices" in text
+
+    def test_inspect_chunk_table(self, store_dir, capsys):
+        assert main(["inspect", store_dir, "--chunks"]) == 0
+        assert "features-000000.bin" in capsys.readouterr().out
+
+    def test_inspect_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeStore:
+    def test_serve_repl_on_store(self, run_config, store_dir, tmp_path,
+                                 capsys, monkeypatch):
+        import io
+
+        config_path = tmp_path / "run.json"
+        run_config.save(config_path)
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("predict 1 2 3\nmutate add 0 5\nversion\nquit\n"))
+        assert main(["serve", "--config", str(config_path),
+                     "--store", store_dir]) == 0
+        text = capsys.readouterr().out
+        assert "on store" in text
+        assert "output shape (3," in text
+        assert "graph_version 1" in text
+        # the REPL's mutation went through the pooled read-only store:
+        # nothing may have been persisted
+        assert open_store(store_dir).graph_version == 0

@@ -1,0 +1,146 @@
+"""GraphDelta through the store: overlays, chunk rewrites, reopen parity."""
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import open_store
+from repro.stream import GraphDelta, apply_delta, make_churn_deltas
+
+from .conftest import assert_store_matches
+
+
+def churn(dataset, n=4, seed=5):
+    return make_churn_deltas(dataset, n, edges_per_delta=4,
+                             feature_updates_per_delta=2,
+                             add_node_every=2, seed=seed)
+
+
+class TestReadOnlyOverlay:
+    def test_overlay_matches_in_ram_apply(self, dataset, store_dir):
+        st = open_store(store_dir)
+        for d in churn(dataset):
+            r_ram = apply_delta(dataset, d)
+            r_st = apply_delta(st, d)
+            assert r_ram.graph_version == r_st.graph_version
+            np.testing.assert_array_equal(r_ram.touched_rows,
+                                          r_st.touched_rows)
+        assert_store_matches(st, dataset)
+        assert st.features.overlay_rows > 0
+
+    def test_files_stay_untouched(self, dataset, store_dir):
+        before = {f: os.path.getmtime(os.path.join(store_dir, "chunks", f))
+                  for f in os.listdir(os.path.join(store_dir, "chunks"))}
+        st = open_store(store_dir)
+        for d in churn(dataset):
+            apply_delta(st, d)
+        after = {f: os.path.getmtime(os.path.join(store_dir, "chunks", f))
+                 for f in os.listdir(os.path.join(store_dir, "chunks"))}
+        assert before == after
+        assert open_store(store_dir).graph_version == 0
+
+    def test_update_after_append_lands_in_tail(self, dataset, store_dir):
+        st = open_store(store_dir)
+        n, dim = dataset.num_nodes, dataset.features.shape[1]
+        apply_delta(st, GraphDelta(num_new_nodes=1,
+                                   new_features=np.zeros((1, dim)),
+                                   add_edges=[[n, 0]]))
+        apply_delta(st, GraphDelta(update_nodes=[n],
+                                   update_features=np.ones((1, dim))))
+        np.testing.assert_array_equal(st.features[n], np.ones(dim))
+
+
+class TestWritableRewrite:
+    def test_reopen_matches_in_ram_bitwise(self, dataset, store_dir):
+        st = open_store(store_dir, mode="r+")
+        for d in churn(dataset):
+            apply_delta(dataset, d)
+            apply_delta(st, d)
+        assert_store_matches(st, dataset)
+        assert st.features.overlay_rows == 0
+        reopened = open_store(store_dir)
+        assert_store_matches(reopened, dataset)
+        assert reopened.graph_version == dataset.graph_version
+
+    def test_only_intersected_chunks_rewritten(self, dataset, store_dir):
+        st = open_store(store_dir, mode="r+")
+        chunks_dir = os.path.join(store_dir, "chunks")
+        before = {f: os.stat(os.path.join(chunks_dir, f)).st_mtime_ns
+                  for f in os.listdir(chunks_dir)}
+        # a delta local to rows 0..1: only chunk 0 of each graph/feature
+        # array may be rewritten
+        delta = GraphDelta(add_edges=[[0, 1]],
+                           update_nodes=[0],
+                           update_features=np.zeros(
+                               (1, dataset.features.shape[1])))
+        apply_delta(st, delta)
+        after = {f: os.stat(os.path.join(chunks_dir, f)).st_mtime_ns
+                 for f in os.listdir(chunks_dir)}
+        changed = {f for f in before if before[f] != after[f]}
+        assert changed  # something was persisted
+        for f in changed:
+            assert f.split("-")[-1] == "000000.bin", \
+                f"chunk {f} outside the delta's rows was rewritten"
+
+    def test_version_bump_persists(self, dataset, store_dir):
+        st = open_store(store_dir, mode="r+")
+        fp0 = st.content_fingerprint
+        apply_delta(st, GraphDelta(add_edges=[[0, 1]]))
+        assert st.graph_version == 1
+        assert st.content_fingerprint != fp0
+        assert open_store(store_dir).graph_version == 1
+
+    def test_open_mmap_survives_rewrite(self, dataset, store_dir):
+        st = open_store(store_dir, mode="r+")
+        old_chunk = st.features.chunk(0)
+        old_copy = np.array(old_chunk)
+        apply_delta(st, GraphDelta(
+            update_nodes=[0],
+            update_features=np.full((1, dataset.features.shape[1]), 7.0)))
+        # the tmp+rename rewrite left the old inode intact: the stale
+        # view still reads the pre-delta bytes, the store the new ones
+        np.testing.assert_array_equal(np.array(old_chunk), old_copy)
+        np.testing.assert_array_equal(
+            st.features[0], np.full(dataset.features.shape[1], 7.0))
+
+    def test_appends_grow_bounds_by_chunk_rows(self, dataset, tmp_path):
+        from repro.store import write_store
+
+        d = tmp_path / "tiny.store"
+        write_store(d, dataset, chunk_rows=16)
+        st = open_store(d, mode="r+")
+        n, dim = dataset.num_nodes, dataset.features.shape[1]
+        k = 40  # spills past the last partial chunk into fresh ones
+        delta = GraphDelta(num_new_nodes=k,
+                           new_features=np.arange(k * dim,
+                                                  dtype=float).reshape(k, dim),
+                           add_edges=[[n + i, 0] for i in range(k)])
+        apply_delta(st, delta)
+        reopened = open_store(d)
+        assert reopened.num_nodes == n + k
+        bounds = np.asarray(reopened.manifest.row_bounds)
+        assert bounds[-1] == n + k
+        assert (np.diff(bounds) <= 16).all()
+        np.testing.assert_array_equal(
+            np.asarray(reopened.features)[n:],
+            np.arange(k * dim, dtype=float).reshape(k, dim))
+
+
+class TestServingIntegration:
+    def test_server_mutation_on_store_session(self, store_dir, run_config):
+        from repro.serve import InferenceServer, SessionPool
+
+        pool = SessionPool()
+        pool.put_dataset(run_config, open_store(store_dir))
+        server = InferenceServer(pool=pool)
+        before = server.submit(run_config, nodes=np.arange(8))
+        server.run_until_idle()
+        ref = before.result(timeout=30)
+        fut = server.submit_delta(run_config,
+                                  GraphDelta(add_edges=[[0, 2]]))
+        server.run_until_idle()
+        assert fut.result(timeout=30) == 1
+        after = server.submit(run_config, nodes=np.arange(8))
+        server.run_until_idle()
+        assert after.result(timeout=30).tobytes() != ref.tobytes()
+        server.close()

@@ -1,0 +1,138 @@
+"""Manifest round-trip, fingerprint stability, format enforcement."""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    STORE_FORMAT,
+    ArraySpec,
+    ChunkRef,
+    Manifest,
+    block_boundaries,
+    load_manifest,
+    write_manifest,
+    write_store,
+)
+
+
+def tiny_manifest(**overrides):
+    spec = ArraySpec(dtype="<f8", shape=(4, 2), chunks=(
+        ChunkRef(file="chunks/features-000000.bin", shape=(2, 2), nbytes=32),
+        ChunkRef(file="chunks/features-000001.bin", shape=(2, 2), nbytes=32),
+    ))
+    kwargs = dict(name="tiny", num_nodes=4, num_classes=2, chunk_rows=2,
+                  row_bounds=(0, 2, 4), arrays={"features": spec})
+    kwargs.update(overrides)
+    return Manifest(**kwargs)
+
+
+class TestManifestRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        m = tiny_manifest(graph_version=3, paper={"num_nodes": 9})
+        again = Manifest.from_dict(m.to_dict())
+        assert again == m
+
+    def test_write_load_round_trip(self, tmp_path):
+        m = tiny_manifest()
+        write_manifest(tmp_path, m)
+        assert load_manifest(tmp_path) == m
+
+    def test_format_tag_enforced(self):
+        d = tiny_manifest().to_dict()
+        d["format"] = "something-else"
+        with pytest.raises(ValueError, match=STORE_FORMAT):
+            Manifest.from_dict(d)
+
+    def test_missing_store_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_manifest(tmp_path / "nope")
+
+    def test_corrupt_manifest_raises_value_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_manifest(tmp_path)
+
+    def test_num_chunks(self):
+        assert tiny_manifest().num_chunks == 2
+
+
+class TestFingerprint:
+    def test_stable_across_serialization(self, tmp_path):
+        m = tiny_manifest()
+        write_manifest(tmp_path, m)
+        assert load_manifest(tmp_path).fingerprint() == m.fingerprint()
+
+    def test_canonical_json_is_key_sorted(self):
+        text = tiny_manifest().dumps()
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert ": " not in text  # no whitespace — byte-stable
+
+    def test_sensitive_to_version_and_content(self):
+        base = tiny_manifest()
+        assert tiny_manifest(graph_version=1).fingerprint() \
+            != base.fingerprint()
+        assert tiny_manifest(num_nodes=5).fingerprint() != base.fingerprint()
+
+    def test_identical_stores_share_fingerprint(self, dataset, tmp_path):
+        m1 = write_store(tmp_path / "a", dataset, chunk_rows=64)
+        m2 = write_store(tmp_path / "b", dataset, chunk_rows=64)
+        assert m1.fingerprint() == m2.fingerprint()
+        assert m1.fingerprint() \
+            != write_store(tmp_path / "c", dataset, chunk_rows=32).fingerprint()
+
+
+class TestWriteStore:
+    def test_chunk_files_exist_with_manifest_sizes(self, dataset, tmp_path):
+        m = write_store(tmp_path / "s", dataset, chunk_rows=64)
+        for spec in m.arrays.values():
+            for ref in spec.chunks:
+                path = tmp_path / "s" / ref.file
+                assert os.path.getsize(path) == ref.nbytes
+
+    def test_chunk_files_are_raw_little_endian(self, dataset, tmp_path):
+        m = write_store(tmp_path / "s", dataset, chunk_rows=64)
+        ref = m.arrays["features"].chunks[0]
+        raw = np.fromfile(tmp_path / "s" / ref.file, dtype="<f8")
+        np.testing.assert_array_equal(
+            raw.reshape(ref.shape),
+            dataset.features[:m.row_bounds[1]])
+
+    def test_rejects_graph_level_datasets(self, tmp_path):
+        from repro.graph import load_graph_dataset
+
+        ds = load_graph_dataset("zinc", scale=0.02, seed=0)
+        with pytest.raises(TypeError, match="node-level"):
+            write_store(tmp_path / "s", ds)
+
+    def test_rejects_bad_chunk_rows(self, dataset, tmp_path):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            write_store(tmp_path / "s", dataset, chunk_rows=0)
+
+    def test_row_bounds_cover_every_node_once(self, dataset, tmp_path):
+        m = write_store(tmp_path / "s", dataset, chunk_rows=64)
+        bounds = np.asarray(m.row_bounds)
+        assert bounds[0] == 0 and bounds[-1] == dataset.num_nodes
+        assert (np.diff(bounds) > 0).all()
+
+
+class TestBlockBoundaries:
+    def test_cuts_at_block_changes(self):
+        blocks = np.array([0, 0, 0, 1, 1, 2])
+        np.testing.assert_array_equal(block_boundaries(blocks, 100),
+                                      [0, 3, 5, 6])
+
+    def test_long_runs_split_at_chunk_rows(self):
+        blocks = np.array([0] * 7 + [1] * 2)
+        np.testing.assert_array_equal(block_boundaries(blocks, 3),
+                                      [0, 3, 6, 7, 9])
+
+    def test_aligned_store_never_spans_blocks(self, dataset, tmp_path):
+        m = write_store(tmp_path / "s", dataset, chunk_rows=64,
+                        align_blocks=True)
+        bounds = m.row_bounds
+        for i in range(len(bounds) - 1):
+            span = dataset.blocks[bounds[i]:bounds[i + 1]]
+            assert len(np.unique(span)) == 1

@@ -16,7 +16,7 @@ import pkgutil
 import pytest
 
 DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.stream",
-                       "repro.backend")
+                       "repro.store", "repro.backend")
 EXTRA_MODULES = ("repro.docgen",)
 
 
