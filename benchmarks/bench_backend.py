@@ -31,10 +31,10 @@ without numba installed, and the numbers must agree bitwise.
 
 import json
 import os
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.api import (
     DataConfig,
     EngineConfig,
@@ -69,10 +69,10 @@ def backend_config(model: str, engine: str, backend: str) -> RunConfig:
 
 def _time_predict(session, nodes=None, rounds=ROUNDS) -> float:
     session.predict(nodes=nodes)  # warm caches / compile
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for _ in range(rounds):
         session.predict(nodes=nodes)
-    return (time.perf_counter() - t0) / rounds
+    return (_clock.now() - t0) / rounds
 
 
 def _run_one(model: str, engine: str) -> dict:

@@ -13,10 +13,10 @@ asserted against a threshold; the one invariant checked is that each
 op's tensor-path cost is at least its raw-numpy cost.
 """
 
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.bench import TableReport, fmt_time
 from repro.tensor import Tensor, no_grad
 from repro.tensor import functional as F
@@ -27,10 +27,10 @@ ROUNDS = 2000
 
 def _time_call(fn, rounds=ROUNDS) -> float:
     fn()  # warm
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for _ in range(rounds):
         fn()
-    return (time.perf_counter() - t0) / rounds
+    return (_clock.now() - t0) / rounds
 
 
 def _cases():

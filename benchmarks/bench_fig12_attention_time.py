@@ -8,10 +8,10 @@ every d.  Reproduced (a,b) through the roofline model at paper scale and
 (cluster-sparse < sparse < flash) emerges at growing S.
 """
 
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.bench import SeriesReport
 from repro.attention import (
     block_attention_forward,
@@ -64,15 +64,15 @@ def _measured_vs_seq():
         H, dh = 4, 16
         q, k, v = (rng.standard_normal((H, S, dh)).astype(np.float32)
                    for _ in range(3))
-        t0 = time.perf_counter()
+        t0 = _clock.now()
         flash_attention(Tensor(q), Tensor(k), Tensor(v))
-        flash_t.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
+        flash_t.append(_clock.now() - t0)
+        t0 = _clock.now()
         sparse_attention(Tensor(q), Tensor(k), Tensor(v), pat)
-        sparse_t.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
+        sparse_t.append(_clock.now() - t0)
+        t0 = _clock.now()
         block_attention_forward(q, k, v, reformed.layout)
-        cluster_t.append(time.perf_counter() - t0)
+        cluster_t.append(_clock.now() - t0)
     return seqs, flash_t, sparse_t, cluster_t
 
 

@@ -6,10 +6,10 @@ reproduce the breakdown twice: (a) at paper scale through the roofline
 model, (b) measured wall-clock on the numpy kernels at reduced scale.
 """
 
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.bench import TableReport, fmt_time
 from repro.hardware import (
     A100_SERVER,
@@ -42,15 +42,15 @@ def _measured_breakdown(S=512, layers=2):
     layer.eval()
     x = Tensor(rng.standard_normal((S, 64)))
     # attention-only time
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for _ in range(layers):
         layer.attn(layer.ln1(x), backend="flash")
-    t_attn = time.perf_counter() - t0
+    t_attn = _clock.now() - t0
     # full layer time
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for _ in range(layers):
         x = layer(x, backend="flash")
-    t_total = time.perf_counter() - t0
+    t_total = _clock.now() - t0
     return t_attn, t_total
 
 

@@ -8,10 +8,10 @@ mid-range optimum between per-element overhead (small db) and cache
 spill (large db).
 """
 
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.bench import SeriesReport
 from repro.hardware import RTX3090, CacheModel
 
@@ -45,11 +45,11 @@ def _measured_indexing_throughput():
         n_blocks = total // (db * db)
         rs = rng.integers(0, S - db, n_blocks)
         cs = rng.integers(0, S - db, n_blocks)
-        t0 = time.perf_counter()
+        t0 = _clock.now()
         acc = 0.0
         for r, c in zip(rs, cs):
             acc += float((Q[r:r + db] @ K[c:c + db].T).sum())
-        dt = time.perf_counter() - t0
+        dt = _clock.now() - t0
         results.append(total / dt)
     base = results[0]
     return [r / base for r in results]

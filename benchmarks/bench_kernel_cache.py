@@ -20,10 +20,10 @@ The H=4/dh=16 row shows the end-to-end training shape for context (the
 win there is real but smaller, since gather/einsum math dominates).
 """
 
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.attention import (
     invalidate_workspace,
     sparse_attention,
@@ -64,9 +64,9 @@ def _measure(seq_len, deg, heads, dh, rng):
             outputs[label] = _train_iter(q, k, v, pattern)  # warmup + record
             times = []
             for _ in range(ITERS):
-                t0 = time.perf_counter()
+                t0 = _clock.now()
                 _train_iter(q, k, v, pattern)
-                times.append(time.perf_counter() - t0)
+                times.append(_clock.now() - t0)
             # min-of-N: the standard microbenchmark estimator, robust to
             # scheduler noise on shared machines
             results[label] = min(times)

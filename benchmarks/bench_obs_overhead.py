@@ -1,0 +1,273 @@
+"""Observability overhead — metrics + tracing must be almost free.
+
+Not a paper table: this benchmark guards :mod:`repro.obs`.  The same
+seeded closed-loop serving workload runs three ways — observability
+fully disabled, metrics only (the default), metrics + tracing — and a
+store-backed 2-worker **process** cluster serves one traced request to
+produce a complete span dump.
+
+Three claims are asserted:
+
+* per-request logits are **bitwise identical** with tracing on and off
+  (observability never touches numerics);
+* closed-loop throughput with metrics **and** tracing enabled stays
+  within **5 %** of fully disabled (measured as the best of several
+  rounds per mode, so one scheduler hiccup cannot fail the gate);
+* a single traced request through the store-backed process cluster
+  yields **≥ 5 spans** — ``queue_wait``, ``batch``, ``dispatch``,
+  ``compute`` and ``chunk_fetch`` — all nested under one ``trace_id``
+  across the process boundary.
+
+The comparison is written to ``benchmarks/results/BENCH_obs.json`` —
+the observability point of the perf trajectory CI tracks.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro import _clock
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    TrainConfig,
+)
+from repro.bench import StageProfiler, TableReport, stage_breakdown_table
+from repro.graph import load_node_dataset
+from repro.obs import get_tracer, set_metrics_enabled, set_tracing
+from repro.serve import (
+    BatchPolicy,
+    InferenceServer,
+    ServingCluster,
+    SessionPool,
+    make_node_workload,
+)
+from repro.store import write_store
+
+SCALE = 0.2
+DATA_SEED = 0
+NUM_REQUESTS = 48
+DISTINCT = 4
+NODES_PER_QUERY = 256  # large enough that compute, not bookkeeping, dominates
+CONCURRENCY = 16
+ROUNDS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def obs_config(seed: int = 7) -> RunConfig:
+    return RunConfig(
+        data=DataConfig("ogbn-arxiv", scale=SCALE, seed=DATA_SEED),
+        model=ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                          num_heads=4, dropout=0.0),
+        engine=EngineConfig("gp-raw"),
+        train=TrainConfig(epochs=1),
+        seed=seed,
+    )
+
+
+def _make_server(config, dataset) -> InferenceServer:
+    pool = SessionPool(max_sessions=4)
+    pool.put_dataset(config, dataset)
+    return InferenceServer(pool=pool,
+                           policy=BatchPolicy(max_batch_size=32,
+                                              max_wait_s=0.0))
+
+
+def _serve_once(config, dataset, payloads) -> tuple[float, list]:
+    """One closed-loop pass; returns (seconds, per-request logits)."""
+    server = _make_server(config, dataset)
+    results = []
+    t0 = _clock.now()
+    for lo in range(0, len(payloads), CONCURRENCY):
+        futures = [server.submit(config, nodes=p)
+                   for p in payloads[lo:lo + CONCURRENCY]]
+        server.run_until_idle()
+        results.extend(f.result(timeout=60.0) for f in futures)
+    seconds = _clock.now() - t0
+    server.close()
+    return seconds, results
+
+
+MODES = {"disabled": (False, False),
+         "metrics_only": (True, False),
+         "metrics_and_tracing": (True, True)}
+
+
+def _measure_modes(config, dataset, payloads) -> dict:
+    """Best-of-ROUNDS closed-loop timing per observability mode.
+
+    Rounds are interleaved across modes (disabled, metrics, full,
+    disabled, ...) so slow drift — CPU frequency, page cache — lands on
+    every mode equally instead of biasing whichever block ran last.
+    """
+    times = {name: [] for name in MODES}
+    results = {}
+    try:
+        _serve_once(config, dataset, payloads)  # warm-up, untimed
+        for _ in range(ROUNDS):
+            for name, (metrics, tracing) in MODES.items():
+                set_metrics_enabled(metrics)
+                set_tracing(tracing)
+                get_tracer().clear()  # a growing span buffer is not the cost
+                seconds, results[name] = _serve_once(config, dataset,
+                                                     payloads)
+                times[name].append(seconds)
+    finally:
+        set_metrics_enabled(True)
+        set_tracing(False)
+        get_tracer().clear()
+    return {name: {"best_s": min(ts), "times_s": ts,
+                   "rps": len(payloads) / min(ts),
+                   "results": results[name]}
+            for name, ts in times.items()}
+
+
+def _traced_cluster_dump(config, store_dir, num_nodes) -> list[dict]:
+    """One traced request through a store-backed 2-worker process
+    cluster; returns the full cross-process span dump as dicts."""
+    set_tracing(True)
+    try:
+        get_tracer().clear()
+        with ServingCluster(num_workers=2, warm_configs=[config],
+                            stores=[(config, store_dir)],
+                            policy=BatchPolicy(max_batch_size=8,
+                                               max_wait_s=0.0)) as cluster:
+            nodes = np.arange(min(NODES_PER_QUERY, num_nodes))
+            fut = cluster.submit(config, nodes=nodes)
+            cluster.run_until_idle()
+            fut.result(timeout=120.0)
+            return [s.to_dict() for s in cluster.trace_spans()]
+    finally:
+        set_tracing(False)
+        get_tracer().clear()
+
+
+def _span_gate(spans: list[dict]) -> dict:
+    """Validate the acceptance shape of the traced-request dump."""
+    traces = {}
+    for s in spans:
+        traces.setdefault(s["trace_id"], []).append(s)
+    trace_id, members = max(traces.items(), key=lambda kv: len(kv[1]))
+    by_id = {s["span_id"]: s for s in members}
+    dangling = [s["name"] for s in members
+                if s["parent_id"] is not None and s["parent_id"] not in by_id]
+    roots = [s for s in members if s["parent_id"] is None]
+    return {
+        "trace_id": trace_id,
+        "num_spans": len(members),
+        "names": sorted({s["name"] for s in members}),
+        "roots": len(roots),
+        "dangling_parents": dangling,
+    }
+
+
+def _workload():
+    config = obs_config()
+    dataset = load_node_dataset("ogbn-arxiv", scale=SCALE, seed=DATA_SEED)
+    payloads = make_node_workload(dataset, NUM_REQUESTS, distinct=DISTINCT,
+                                  nodes_per_request=NODES_PER_QUERY, seed=1)
+    return config, dataset, payloads
+
+
+def _overhead(config, dataset, payloads, profiler=None) -> dict:
+    """All three observability modes over the same closed-loop workload."""
+    if profiler is not None:
+        with profiler:
+            modes = _measure_modes(config, dataset, payloads)
+    else:
+        modes = _measure_modes(config, dataset, payloads)
+    identical = all(
+        np.array_equal(a, b) for a, b
+        in zip(modes["disabled"]["results"],
+               modes["metrics_and_tracing"]["results"]))
+    disabled_best = modes["disabled"]["best_s"]
+    out = {name: {k: v for k, v in m.items() if k != "results"}
+           for name, m in modes.items()}
+    out["overhead_metrics"] = (modes["metrics_only"]["best_s"]
+                               / disabled_best - 1.0)
+    out["overhead_full"] = (modes["metrics_and_tracing"]["best_s"]
+                            / disabled_best - 1.0)
+    out["identical"] = bool(identical)
+    return out
+
+
+def _run(tmp_dir):
+    config, dataset, payloads = _workload()
+    store_dir = os.path.join(tmp_dir, "arxiv.store")
+    write_store(store_dir, dataset, chunk_rows=64)
+
+    profiler = StageProfiler()
+    result = _overhead(config, dataset, payloads, profiler=profiler)
+    spans = _traced_cluster_dump(config, store_dir, dataset.num_nodes)
+    result.update({
+        "num_requests": NUM_REQUESTS,
+        "nodes_per_request": NODES_PER_QUERY,
+        "rounds": ROUNDS,
+        "trace_gate": _span_gate(spans),
+        "profiler": {"batches": profiler.batches,
+                     "batch_seconds": profiler.batch_seconds},
+    })
+    return result, profiler
+
+
+def test_observability_overhead(benchmark, save_report, results_dir,
+                                tmp_path_factory):
+    tmp_dir = str(tmp_path_factory.mktemp("bench_obs"))
+    r, profiler = benchmark.pedantic(_run, args=(tmp_dir,),
+                                     rounds=1, iterations=1)
+    gate = r["trace_gate"]
+
+    rep = TableReport(
+        title=f"observability overhead — {NUM_REQUESTS} requests, "
+              f"best of {ROUNDS} rounds",
+        columns=["mode", "best", "req/s", "overhead"])
+    rep.add_row("disabled", f"{r['disabled']['best_s']:.3f}s",
+                f"{r['disabled']['rps']:.1f}", "—")
+    rep.add_row("metrics only", f"{r['metrics_only']['best_s']:.3f}s",
+                f"{r['metrics_only']['rps']:.1f}",
+                f"{r['overhead_metrics'] * 100:+.1f}%")
+    rep.add_row("metrics + tracing",
+                f"{r['metrics_and_tracing']['best_s']:.3f}s",
+                f"{r['metrics_and_tracing']['rps']:.1f}",
+                f"{r['overhead_full'] * 100:+.1f}%")
+    rep.add_note("logits bitwise-identical tracing on/off: "
+                 + ("yes" if r["identical"] else "NO"))
+    rep.add_note(f"traced request through the process cluster: "
+                 f"{gate['num_spans']} spans under one trace_id "
+                 f"({', '.join(gate['names'])})")
+    save_report("obs", rep)
+    save_report("obs_stages", stage_breakdown_table(profiler))
+
+    with open(os.path.join(results_dir, "BENCH_obs.json"), "w") as f:
+        json.dump(r, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    # gate (a): numerics — tracing must never change logits
+    assert r["identical"], "logits diverged with tracing enabled"
+    # gate (b): the span tree — >= 5 spans, the five canonical
+    # segments, one root, no dangling parents, one trace_id across the
+    # router/worker process boundary
+    assert gate["num_spans"] >= 5, gate
+    assert {"queue_wait", "batch", "dispatch", "compute",
+            "chunk_fetch"} <= set(gate["names"]), gate
+    assert gate["roots"] == 1, gate
+    assert gate["dangling_parents"] == [], gate
+    # gate (c): throughput — metrics + tracing within the 5% budget of
+    # fully disabled (best-of-rounds on both sides).  Timing on a
+    # loaded shared runner can smear one comparison; re-measure once
+    # before failing (the numeric and span gates above stay
+    # unconditional).
+    overhead = r["overhead_full"]
+    if overhead > OVERHEAD_BUDGET:
+        retry = _overhead(*_workload())
+        r["retry"] = retry
+        with open(os.path.join(results_dir, "BENCH_obs.json"), "w") as f:
+            json.dump(r, f, indent=2, sort_keys=True)
+            f.write("\n")
+        overhead = retry["overhead_full"]
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"metrics+tracing overhead {overhead * 100:.1f}% "
+        f"exceeds the {OVERHEAD_BUDGET * 100:.0f}% budget")

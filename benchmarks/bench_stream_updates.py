@@ -31,10 +31,10 @@ the streaming point of the perf trajectory CI tracks.
 import copy
 import json
 import os
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.api import (
     DataConfig,
     EngineConfig,
@@ -103,22 +103,22 @@ def _run() -> dict:
     stats = workspace_cache_stats()
     retained_before = stats.targeted_retained
     touched_fractions = []
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for delta in deltas:
         report = live.apply_delta(delta)
         touched_fractions.append(report.touched_fraction)
-    incremental_s = time.perf_counter() - t0
+    incremental_s = _clock.now() - t0
     bystander_retained = stats.targeted_retained - retained_before
     bystander_warm = "_cached_workspace" in bystander_pattern.__dict__
 
     # -- full rebuild + all-or-nothing wipe ------------------------------ #
     ds_full = copy.deepcopy(base)
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for delta in deltas:
         full_rebuild(ds_full, delta)
         _wipe_all_workspaces()
         get_workspace(bystander_pattern)  # the wipe forces a cold rebuild
-    full_s = time.perf_counter() - t0
+    full_s = _clock.now() - t0
 
     # -- bitwise gates ---------------------------------------------------- #
     graphs_equal = (np.array_equal(ds_inc.graph.indptr, ds_full.graph.indptr)

@@ -8,10 +8,10 @@ kernels, where per-edge gathers likewise carry a real constant-factor
 penalty over contiguous GEMMs at equal score counts.
 """
 
-import time
 
 import numpy as np
 
+from repro import _clock
 from repro.bench import TableReport, fmt_time
 from repro.attention import dense_attention, sparse_attention, topology_pattern
 from repro.graph import dc_sbm
@@ -51,14 +51,14 @@ def _measured_rows():
                              requires_grad=True) for _ in range(3))
         qs, ks, vs = (Tensor(rng.standard_normal((H, S, dh)),
                              requires_grad=True) for _ in range(3))
-        t0 = time.perf_counter()
+        t0 = _clock.now()
         out = sparse_attention(qs, ks, vs, pat)
         out.backward(np.ones_like(out.data))
-        t_sparse = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        t_sparse = _clock.now() - t0
+        t0 = _clock.now()
         out = dense_attention(qd, kd, vd)
         out.backward(np.ones_like(out.data))
-        t_dense = time.perf_counter() - t0
+        t_dense = _clock.now() - t0
         rows.append((S, t_sparse, t_dense))
     return rows
 

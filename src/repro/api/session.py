@@ -27,8 +27,12 @@ from typing import Sequence
 
 import numpy as np
 
+from .._clock import now as _obs_now
 from ..backend import compile_plan, resolve_backend
 from ..core import make_engine
+from ..obs import hooks as _hooks
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..graph import dataset_fingerprint, load_graph_dataset, load_node_dataset
 from ..models import build_model
 from ..models.encodings import compute_encodings
@@ -437,11 +441,26 @@ class Session:
                         with no_grad():
                             return planned_forward(model, engine, ctx, f, enc,
                                                    train=False)
+                    t0 = _obs_now()
                     prog = compile_plan(ref_forward, feats_in,
                                         engine.precision)
+                    seconds = _obs_now() - t0
+                    outcome = "compiled" if prog is not None else "fallback"
+                    get_registry().counter(
+                        "repro_backend_compile_total",
+                        "compile attempts by outcome (compiled / fallback)",
+                        labels=("outcome",)).inc(outcome=outcome)
+                    _hooks.fire("on_compile", key=key[0], outcome=outcome,
+                                seconds=seconds)
                     self._compiled_put(key, (ctx, enc, prog))
             if prog is not None and prog.input_shape == feats_in.shape:
-                logits = prog.run(feats_in)
+                tracer = get_tracer()
+                if tracer.enabled and tracer.current() is not None:
+                    with tracer.span("compiled_replay",
+                                     attrs={"steps": prog.num_steps}):
+                        logits = prog.run(feats_in)
+                else:
+                    logits = prog.run(feats_in)
             else:
                 with no_grad():
                     out = planned_forward(model, engine, ctx, feats_in, enc,

@@ -113,6 +113,20 @@ _stats = WorkspaceCacheStats()
 _caching_enabled = True
 
 
+def _obs_targeted():
+    """The registry counter twin of the targeted-invalidation counters.
+
+    Fetched per call (not bound at import) so tests that install a
+    fresh registry via :func:`repro.obs.set_registry` see these counts.
+    """
+    from ..obs.metrics import get_registry
+
+    return get_registry().counter(
+        "repro_workspace_targeted_total",
+        "targeted invalidation outcomes (dropped / retained workspaces)",
+        labels=("outcome",))
+
+
 def segment_reduce_core(values: np.ndarray, ufunc, empty_val: float,
                         counts: np.ndarray, nonempty: np.ndarray,
                         starts_ne: np.ndarray) -> np.ndarray:
@@ -296,6 +310,7 @@ def invalidate_touching(touched: np.ndarray, tag=None) -> dict:
     live = list(_iter_live_patterns())
     if not len(touched):  # feature-only delta: no topology row changed
         _stats.targeted_retained += len(live)
+        _obs_targeted().inc(len(live), outcome="retained")
         return {"dropped": 0, "retained": len(live)}
     for pattern in live:
         p_tag = pattern.__dict__.get(_SCOPE_TAG_ATTR)
@@ -311,6 +326,10 @@ def invalidate_touching(touched: np.ndarray, tag=None) -> dict:
             dropped += 1
     _stats.targeted_drops += dropped
     _stats.targeted_retained += retained
+    if dropped:
+        _obs_targeted().inc(dropped, outcome="dropped")
+    if retained:
+        _obs_targeted().inc(retained, outcome="retained")
     return {"dropped": dropped, "retained": retained}
 
 

@@ -33,6 +33,7 @@ from ..attention.dense import dense_attention_forward
 from ..attention.flash import flash_forward
 from ..attention.sparse import sparse_attention_forward
 from ..attention.workspace import get_workspace
+from ..obs.metrics import get_registry
 from ..tensor.functional import gelu_forward, layer_norm_forward, softmax_forward, workspace_buffer as _buf
 from ..tensor.precision import Precision
 from . import jit
@@ -202,6 +203,9 @@ class CompiledProgram:
         self.num_steps = len(steps)
         self.num_folded = num_traced - len(steps)
         self.uses_jit = uses_jit
+        self._obs_replays = get_registry().counter(
+            "repro_backend_replays_total",
+            "compiled-program forward replays served")
 
     @property
     def input_shape(self) -> tuple[int, ...]:
@@ -210,6 +214,7 @@ class CompiledProgram:
 
     def run(self, feats: np.ndarray) -> np.ndarray:
         """Replay the program on ``feats`` and return the logits array."""
+        self._obs_replays.inc()
         feats = np.asarray(feats)
         if feats.shape != self._in_buf.shape:
             raise ValueError(

@@ -2,6 +2,7 @@
 
 from .harness import (
     SeriesReport,
+    StageProfiler,
     TableReport,
     backend_choices,
     cluster_scaling_table,
@@ -13,6 +14,7 @@ from .harness import (
     model_table,
     pattern_builder_table,
     serve_throughput_table,
+    stage_breakdown_table,
     stream_update_table,
 )
 
@@ -30,4 +32,6 @@ __all__ = [
     "serve_throughput_table",
     "cluster_scaling_table",
     "stream_update_table",
+    "StageProfiler",
+    "stage_breakdown_table",
 ]

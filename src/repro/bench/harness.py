@@ -20,7 +20,8 @@ __all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio",
            "backend_choices", "engine_choices", "kernel_table",
            "compute_backend_choices", "compute_backend_table",
            "pattern_builder_table", "serve_throughput_table",
-           "cluster_scaling_table"]
+           "cluster_scaling_table", "StageProfiler",
+           "stage_breakdown_table"]
 
 
 def fmt_time(seconds: float) -> str:
@@ -237,6 +238,90 @@ def stream_update_table(result: dict, title: str | None = None) -> TableReport:
     table.add_note(f"bystander workspaces kept warm: "
                    f"{result['bystander_retained']} retentions "
                    f"(full path rebuilt {result['num_deltas']}×)")
+    return table
+
+
+class StageProfiler:
+    """Stage-level timings collected from the :mod:`repro.obs` hooks.
+
+    While attached (use as a context manager), every
+    ``on_batch_end`` / ``on_compile`` / ``on_chunk_miss`` firing is
+    accumulated into per-stage totals, giving benchmarks a breakdown of
+    where serving time went (batch execution, backend compiles, store
+    chunk loads) without instrumenting the subsystems themselves.
+    """
+
+    def __init__(self):
+        self.batches = 0
+        self.batch_requests = 0
+        self.batch_seconds = 0.0
+        self.compiles: dict[str, int] = {}
+        self.compile_seconds = 0.0
+        self.chunk_misses = 0
+        self.chunk_miss_bytes = 0
+
+    def _on_batch_end(self, key, size, seconds) -> None:
+        self.batches += 1
+        self.batch_requests += size
+        self.batch_seconds += seconds
+
+    def _on_compile(self, key, outcome, seconds) -> None:
+        self.compiles[outcome] = self.compiles.get(outcome, 0) + 1
+        self.compile_seconds += seconds
+
+    def _on_chunk_miss(self, key, nbytes) -> None:
+        self.chunk_misses += 1
+        self.chunk_miss_bytes += nbytes
+
+    def attach(self) -> "StageProfiler":
+        """Register the hook callbacks (idempotent via detach)."""
+        from repro.obs import add_hook
+
+        add_hook("on_batch_end", self._on_batch_end)
+        add_hook("on_compile", self._on_compile)
+        add_hook("on_chunk_miss", self._on_chunk_miss)
+        return self
+
+    def detach(self) -> None:
+        """Unregister the hook callbacks; totals stay readable."""
+        from repro.obs import remove_hook
+
+        remove_hook("on_batch_end", self._on_batch_end)
+        remove_hook("on_compile", self._on_compile)
+        remove_hook("on_chunk_miss", self._on_chunk_miss)
+
+    def __enter__(self) -> "StageProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+
+def stage_breakdown_table(profiler: StageProfiler,
+                          title: str | None = None) -> TableReport:
+    """A :class:`StageProfiler`'s totals as a stage-breakdown table."""
+    table = TableReport(title=title or "serving stage breakdown",
+                        columns=["stage", "events", "total", "per event"])
+    per_batch = (fmt_time(profiler.batch_seconds / profiler.batches)
+                 if profiler.batches else "—")
+    table.add_row("batch execution", str(profiler.batches),
+                  fmt_time(profiler.batch_seconds), per_batch)
+    n_compiles = sum(profiler.compiles.values())
+    per_compile = (fmt_time(profiler.compile_seconds / n_compiles)
+                   if n_compiles else "—")
+    table.add_row("backend compile", str(n_compiles),
+                  fmt_time(profiler.compile_seconds), per_compile)
+    table.add_row("store chunk loads", str(profiler.chunk_misses),
+                  f"{profiler.chunk_miss_bytes} B", "—")
+    if profiler.batches:
+        table.add_note(f"{profiler.batch_requests} requests over "
+                       f"{profiler.batches} batches "
+                       f"(mean occupancy "
+                       f"{profiler.batch_requests / profiler.batches:.1f})")
+    if profiler.compiles:
+        outcomes = ", ".join(f"{k}={v}"
+                             for k, v in sorted(profiler.compiles.items()))
+        table.add_note(f"compile outcomes: {outcomes}")
     return table
 
 

@@ -199,6 +199,58 @@ def _print_stats(snapshot: dict, indent: int = 1) -> None:
             print(f"{pad}{key}: {value}")
 
 
+def _obs_snapshot(backend, cluster: bool) -> dict:
+    """The metrics snapshot for a serving backend, fleet-merged when
+    the backend is a cluster (workers' registries + the router's)."""
+    if cluster:
+        return backend.stats_snapshot()["obs"]
+    from repro.obs import get_registry
+
+    return get_registry().snapshot()
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Drive a seeded sample load and export the metrics registry.
+
+    Serves ``--requests`` full-set predictions through an in-process
+    server (default) or an N-worker cluster (``--workers``), then
+    renders the resulting process-global metrics — fleet-merged across
+    worker processes in cluster mode — in the requested ``--format``:
+    Prometheus text exposition (``prom``), deterministic JSON, or a
+    human-readable table.
+    """
+    from repro.api import RunConfig
+    from repro.obs import metrics_table, to_json, to_prometheus
+    from repro.serve import InferenceServer, ServingCluster, SessionPool
+
+    try:
+        config = RunConfig.load(args.config)
+    except FileNotFoundError:
+        print(f"error: no such config file: {args.config}", file=sys.stderr)
+        return 2
+    cluster = args.workers > 0
+    if cluster:
+        backend = ServingCluster(num_workers=args.workers,
+                                 warm_configs=[config])
+    else:
+        backend = InferenceServer(pool=SessionPool(max_sessions=4))
+    try:
+        futures = [backend.submit(config) for _ in range(args.requests)]
+        backend.run_until_idle()
+        for f in futures:
+            f.result(timeout=60.0)
+        snapshot = _obs_snapshot(backend, cluster)
+    finally:
+        backend.close()
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(snapshot))
+    elif args.format == "json":
+        print(to_json(snapshot))
+    else:
+        metrics_table(snapshot).print()
+    return 0
+
+
 def cmd_convert(args: argparse.Namespace) -> int:
     """Convert a dataset into a chunked on-disk store directory.
 
@@ -325,7 +377,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
           f"queue_depth={args.queue_depth}")
     print("commands: predict [id …] | mutate add|remove u v [u v …] | "
-          "mutate churn [edges [seed]] | version | stats | quit")
+          "mutate churn [edges [seed]] | version | stats [prom|json] | "
+          "trace on|off|dump [path] | quit")
     # cluster mode keeps a router-side mirror of the mutated dataset so
     # `mutate churn` can generate valid deltas against current topology;
     # single-server mode reads the live pooled dataset directly
@@ -338,7 +391,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if cmd in ("quit", "exit"):
             break
         if cmd == "stats":
-            _print_stats(backend.stats_snapshot())
+            fmt = ids[0].lower() if ids else ""
+            if fmt in ("prom", "json"):
+                from repro.obs import to_json, to_prometheus
+
+                snapshot = _obs_snapshot(backend, cluster=args.workers > 0)
+                print(to_prometheus(snapshot) if fmt == "prom"
+                      else to_json(snapshot))
+            else:
+                _print_stats(backend.stats_snapshot())
+            continue
+        if cmd == "trace":
+            _serve_trace(backend, ids, cluster=args.workers > 0)
             continue
         if cmd == "version":
             print(f"graph_version: {backend.graph_version(config)}")
@@ -349,7 +413,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             continue
         if cmd != "predict":
             print(f"unknown command {cmd!r} "
-                  "(predict/mutate/version/stats/quit)", file=sys.stderr)
+                  "(predict/mutate/version/stats/trace/quit)",
+                  file=sys.stderr)
             continue
         try:
             subset = np.array([int(i) for i in ids]) if ids else None
@@ -368,6 +433,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
     backend.close()
     print("server closed")
     return 0
+
+
+def _serve_trace(backend, ids, cluster: bool) -> None:
+    """Handle the serve REPL's ``trace`` subcommands.
+
+    ``trace on`` / ``trace off`` toggle span collection (fleet-wide in
+    cluster mode — the toggle is broadcast to every live worker);
+    ``trace dump [path]`` writes the buffered spans as JSON-lines to
+    ``path`` (or prints them) without clearing the buffer.
+    """
+    from repro.obs import get_tracer, set_tracing, spans_to_jsonl
+
+    sub = ids[0].lower() if ids else ""
+    if sub in ("on", "off"):
+        enabled = sub == "on"
+        if cluster:
+            backend.set_tracing(enabled)
+        else:
+            set_tracing(enabled)
+        print(f"tracing {'enabled' if enabled else 'disabled'}")
+    elif sub == "dump":
+        spans = (backend.trace_spans() if cluster
+                 else get_tracer().spans())
+        text = spans_to_jsonl(spans)
+        if len(ids) > 1:
+            with open(ids[1], "w") as f:
+                f.write(text + ("\n" if text else ""))
+            print(f"wrote {len(spans)} spans to {ids[1]}")
+        else:
+            if text:
+                print(text)
+            print(f"({len(spans)} spans buffered)")
+    else:
+        print("error: trace takes on/off/dump [path]", file=sys.stderr)
 
 
 def _serve_mutate(backend, config, ids, state, cluster: bool) -> None:
@@ -691,6 +790,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the comparison as JSON "
                         "(e.g. BENCH_serve.json)")
 
+    st = sub.add_parser("stats",
+                        help="export serving metrics (prometheus/json/table)")
+    st.add_argument("--config", required=True, metavar="PATH",
+                    help="run.json describing the served model")
+    st.add_argument("--workers", type=int, default=0,
+                    help="drive an N-worker cluster and merge per-worker "
+                         "registries (0 = one in-process server)")
+    st.add_argument("--requests", type=int, default=8,
+                    help="sample predictions to serve before the export")
+    st.add_argument("--format", choices=["prom", "json", "table"],
+                    default="table",
+                    help="prometheus text exposition, JSON, or a table")
+
     c = sub.add_parser("cost", help="price a paper-scale workload (no training)")
     c.add_argument("--seq-len", type=int, default=256_000)
     c.add_argument("--hidden-dim", type=int, default=64)
@@ -715,6 +827,7 @@ _COMMANDS = {
     "convert": cmd_convert,
     "inspect": cmd_inspect,
     "bench-serve": cmd_bench_serve,
+    "stats": cmd_stats,
     "cost": cmd_cost,
 }
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..hardware.device import LinkSpec
+from ..obs.metrics import get_registry
 
 __all__ = ["pack_array", "unpack_array", "pack_arrays", "unpack_arrays",
            "CommRecord", "CommLog", "Communicator"]
@@ -113,6 +114,10 @@ class CommLog:
 
     def add(self, op: str, per_rank: int, total: int) -> None:
         self.records.append(CommRecord(op, per_rank, total))
+        get_registry().counter(
+            "repro_comm_wire_bytes_total",
+            "modeled bytes crossing the interconnect, by collective op",
+            labels=("op",)).inc(total, op=op)
 
     def clear(self) -> None:
         self.records.clear()

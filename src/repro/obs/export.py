@@ -1,0 +1,98 @@
+"""Exporters: registry snapshots as Prometheus text, JSON, or a table.
+
+Every function here takes the *snapshot shape* —
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` for one process, or
+:meth:`~repro.obs.metrics.MetricsRegistry.merge` over per-worker
+``state_dict``\\ s for a cluster — so single-process and fleet-wide
+exports render through exactly the same code.
+
+The Prometheus renderer emits the text exposition format 0.0.4
+(``# HELP`` / ``# TYPE`` headers, ``{label="value"}`` series,
+``_bucket``/``_sum``/``_count`` histogram triples with cumulative
+``le`` buckets), so the output can be scraped verbatim or pushed
+through a gateway without translation.  ``repro stats --format prom``
+(see :mod:`repro.cli`) is the command-line face of this module.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["to_prometheus", "to_json", "metrics_table"]
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_str(labels: dict, extra: dict | None = None) -> str:
+    pairs = dict(labels)
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"'
+                     for k, v in sorted(pairs.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, entry in sorted(snapshot.items()):
+        if entry["description"]:
+            lines.append(f"# HELP {name} {entry['description']}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        for series in entry["series"]:
+            labels = series["labels"]
+            if entry["kind"] == "histogram":
+                for bound, cum in series["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else repr(float(bound))
+                    lines.append(f"{name}_bucket"
+                                 f"{_label_str(labels, {'le': le})} {cum}")
+                lines.append(f"{name}_sum{_label_str(labels)} "
+                             f"{_fmt(series['sum'])}")
+                lines.append(f"{name}_count{_label_str(labels)} "
+                             f"{series['count']}")
+            else:
+                lines.append(f"{name}{_label_str(labels)} "
+                             f"{_fmt(series['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: dict, indent: int | None = 2) -> str:
+    """Render a registry snapshot as deterministic JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def metrics_table(snapshot: dict, title: str = "metrics"):
+    """Render a registry snapshot as a bench-harness
+    :class:`~repro.bench.harness.TableReport` (one row per series;
+    histograms show count / mean)."""
+    from ..bench.harness import TableReport, fmt_time
+
+    table = TableReport(title=title,
+                        columns=["metric", "labels", "kind", "value"])
+    for name, entry in sorted(snapshot.items()):
+        for series in entry["series"]:
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(series["labels"].items()))
+            if entry["kind"] == "histogram":
+                count = series["count"]
+                mean = series["sum"] / count if count else float("nan")
+                shown = (fmt_time(mean) if name.endswith("_seconds")
+                         else f"{mean:.2f}")
+                value = f"n={count} mean={shown}"
+            else:
+                value = _fmt(series["value"])
+            table.add_row(name, labels or "—", entry["kind"], value)
+    return table

@@ -1,0 +1,97 @@
+"""Profiling hooks: named callback points on the serving hot path.
+
+Metrics aggregate and traces sample *per request*; hooks are the third
+surface — synchronous callbacks at well-known points, for tools that
+want the live objects (the bench harness's stage-breakdown tables, an
+ad-hoc profiler, a test asserting cache behaviour) without the
+subsystems growing bespoke callback plumbing each time.
+
+Canonical hook points (see :data:`HOOK_POINTS` for the signatures):
+
+* ``on_batch_start(key, size)`` — a micro-batch is about to execute;
+* ``on_batch_end(key, size, seconds)`` — it finished (timed);
+* ``on_compile(key, outcome, seconds)`` — a backend compile attempt
+  resolved (``outcome`` is ``"compiled"`` / ``"fallback"``);
+* ``on_chunk_miss(key, nbytes)`` — the store chunk cache loaded a chunk.
+
+Cost model: :func:`fire` is one dict lookup + falsy check when nothing
+is registered — the hot paths pay effectively nothing until a profiler
+attaches.  A raising hook is counted (``repro_obs_hook_errors_total``)
+and dropped for the rest of the call, never allowed to fail the serving
+request it observed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .metrics import get_registry
+
+__all__ = ["HOOK_POINTS", "add_hook", "remove_hook", "clear_hooks",
+           "active", "fire"]
+
+#: The canonical hook points and their keyword signatures.
+HOOK_POINTS = {
+    "on_batch_start": ("key", "size"),
+    "on_batch_end": ("key", "size", "seconds"),
+    "on_compile": ("key", "outcome", "seconds"),
+    "on_chunk_miss": ("key", "nbytes"),
+}
+
+_lock = threading.Lock()
+_hooks: dict[str, list] = {}
+
+
+def add_hook(name: str, fn) -> None:
+    """Register ``fn`` to run at hook point ``name`` (kwargs call)."""
+    with _lock:
+        _hooks.setdefault(name, []).append(fn)
+
+
+def remove_hook(name: str, fn) -> bool:
+    """Unregister one previously added hook; returns whether it was set."""
+    with _lock:
+        fns = _hooks.get(name, [])
+        try:
+            fns.remove(fn)
+        except ValueError:
+            return False
+        if not fns:
+            _hooks.pop(name, None)
+        return True
+
+
+def clear_hooks(name: str | None = None) -> None:
+    """Drop every hook at ``name`` (or everywhere with ``None``)."""
+    with _lock:
+        if name is None:
+            _hooks.clear()
+        else:
+            _hooks.pop(name, None)
+
+
+def active(name: str) -> bool:
+    """Whether any hook is registered at ``name`` (cheap pre-check for
+    call sites that would otherwise measure timings just to discard
+    them)."""
+    return bool(_hooks.get(name))
+
+
+def fire(name: str, **kwargs) -> None:
+    """Invoke every hook registered at ``name`` with ``kwargs``.
+
+    Near-zero cost with nothing registered; hook exceptions are counted
+    in ``repro_obs_hook_errors_total`` and suppressed (a profiler must
+    never fail the request it is watching).
+    """
+    fns = _hooks.get(name)
+    if not fns:
+        return
+    for fn in list(fns):
+        try:
+            fn(**kwargs)
+        except Exception:
+            get_registry().counter(
+                "repro_obs_hook_errors_total",
+                "profiling hooks that raised (and were suppressed)",
+                labels=("hook",)).inc(hook=name)

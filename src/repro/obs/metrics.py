@@ -1,0 +1,418 @@
+"""The unified metrics registry: Counter / Gauge / Histogram, one home.
+
+Every runtime layer of the stack (queue → batcher → pool → router →
+worker → compiled backend → chunked store) historically kept its own
+ad-hoc stats dataclass.  Those snapshot dicts remain — they are the
+tested, human-facing views — but the *counting* now also lands here, in
+one process-global :class:`MetricsRegistry`, so a single exporter
+(:mod:`repro.obs.export`) can render the whole fleet's state in
+Prometheus text format or JSON without knowing about any individual
+subsystem.
+
+Design points, in order of importance:
+
+* **Thread-safe**: every series mutation happens under a per-metric
+  lock; serving worker threads, router threads and snapshot readers
+  never race (the bug class the serve stats audit closed).
+* **Near-zero cost when disabled**: each ``inc`` / ``set`` / ``observe``
+  starts with one attribute check on the owning registry and returns
+  immediately when collection is off.  Hot paths pay an ``if``.
+* **Power-of-two histogram buckets**: latency histograms bucket at
+  ``2^k`` seconds (default 1 µs … 32 s) — exponential resolution that
+  matches how tail latency is actually read, and bucket counts from
+  different processes merge by simple elementwise addition.
+* **Cross-process merge**: :meth:`MetricsRegistry.state_dict` /
+  :meth:`MetricsRegistry.merge` mirror the
+  :class:`~repro.serve.server.ServerStats` contract — workers ship raw
+  state, the router merges, and a ``source`` id deduplicates inline
+  workers that share the router's registry (merging N views of one
+  registry must not count it N times).
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import threading
+
+__all__ = [
+    "POW2_BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "metrics_enabled",
+    "set_metrics_enabled",
+]
+
+#: Default histogram bucket upper bounds: powers of two from 2^-20 s
+#: (~1 µs) through 2^5 s (32 s); observations beyond the last bound
+#: land in the implicit +Inf bucket.
+POW2_BUCKET_BOUNDS = tuple(2.0 ** e for e in range(-20, 6))
+
+
+class _Metric:
+    """Common shape of one named metric: labels, lock, series map.
+
+    Not public API — use :meth:`MetricsRegistry.counter` /
+    :meth:`~MetricsRegistry.gauge` / :meth:`~MetricsRegistry.histogram`,
+    which construct (or idempotently return) instances.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 description: str, label_names=()):
+        self._registry = registry
+        self.name = name
+        self.description = description
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def _label_dict(self, key: tuple) -> dict:
+        return dict(zip(self.label_names, key))
+
+    def series_count(self) -> int:
+        """How many distinct label combinations have been observed."""
+        with self._lock:
+            return len(self._series)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events, requests, bytes)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add ``amount`` (>= 0) to the series named by ``labels``."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (amount={amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """The series' current total (0 before any increment)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+    def _snapshot_series(self) -> list[dict]:
+        with self._lock:
+            items = sorted(self._series.items())
+        return [{"labels": self._label_dict(k), "value": v}
+                for k, v in items]
+
+    def _state(self) -> dict:
+        with self._lock:
+            return dict(self._series)
+
+
+class Gauge(_Metric):
+    """A point-in-time level (cache bytes, live sessions, a version)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the series named by ``labels`` to ``value``."""
+        if not self._registry.enabled:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = value
+
+    def add(self, amount: float, **labels) -> None:
+        """Adjust the series by ``amount`` (either sign)."""
+        if not self._registry.enabled:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """The series' current level (0 before any set)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+    _snapshot_series = Counter._snapshot_series
+    _state = Counter._state
+
+
+class Histogram(_Metric):
+    """A distribution over power-of-two exponential buckets.
+
+    Bucket bounds are upper edges (``value <= bound``); everything past
+    the last bound counts in the implicit +Inf bucket.  Per-series state
+    is ``(bucket counts, total count, total sum)`` — merging across
+    processes is elementwise addition, and mean latency falls out of
+    ``sum / count`` exactly (no bucket-midpoint approximation).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 description: str, label_names=(),
+                 bounds=POW2_BUCKET_BOUNDS):
+        super().__init__(registry, name, description, label_names)
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing")
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into its bucket."""
+        if not self._registry.enabled:
+            return
+        key = self._key(labels)
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = [[0] * (len(self.bounds) + 1), 0, 0.0]
+                self._series[key] = state
+            state[0][idx] += 1
+            state[1] += 1
+            state[2] += value
+
+    def count(self, **labels) -> int:
+        """Total observations in the series (0 before any)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            return 0 if state is None else state[1]
+
+    def sum(self, **labels) -> float:
+        """Sum of all observed values in the series (0.0 before any)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            return 0.0 if state is None else state[2]
+
+    def _snapshot_series(self) -> list[dict]:
+        with self._lock:
+            items = [(k, [list(s[0]), s[1], s[2]])
+                     for k, s in sorted(self._series.items())]
+        out = []
+        for key, (counts, count, total) in items:
+            cum, buckets = 0, []
+            for bound, c in zip(self.bounds, counts):
+                cum += c
+                buckets.append([bound, cum])
+            buckets.append(["+Inf", cum + counts[-1]])
+            out.append({"labels": self._label_dict(key), "count": count,
+                        "sum": total, "buckets": buckets})
+        return out
+
+    def _state(self) -> dict:
+        with self._lock:
+            return {k: [list(s[0]), s[1], s[2]]
+                    for k, s in self._series.items()}
+
+
+class MetricsRegistry:
+    """All metrics of one process, keyed by name; snapshot + merge.
+
+    Registration is idempotent: asking for an existing name with the
+    same kind and label set returns the existing metric (so call sites
+    never coordinate), while a conflicting re-registration raises.
+    ``enabled`` gates every mutation — flipping it off makes all
+    ``inc`` / ``set`` / ``observe`` calls single-``if`` no-ops.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name, description, labels, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if type(metric) is not cls or (metric.label_names
+                                               != tuple(labels)):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{metric.kind} with labels {metric.label_names}")
+                return metric
+            metric = cls(self, name, description, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, description: str = "",
+                labels=()) -> Counter:
+        """Get-or-create the :class:`Counter` called ``name``."""
+        return self._register(Counter, name, description, labels)
+
+    def gauge(self, name: str, description: str = "", labels=()) -> Gauge:
+        """Get-or-create the :class:`Gauge` called ``name``."""
+        return self._register(Gauge, name, description, labels)
+
+    def histogram(self, name: str, description: str = "", labels=(),
+                  bounds=POW2_BUCKET_BOUNDS) -> Histogram:
+        """Get-or-create the :class:`Histogram` called ``name``."""
+        return self._register(Histogram, name, description, labels,
+                              bounds=bounds)
+
+    def get(self, name: str) -> _Metric | None:
+        """The registered metric called ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every series (registrations survive; tests use this)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            with metric._lock:
+                metric._series.clear()
+
+    def snapshot(self) -> dict:
+        """Exporter-shaped view: ``{name: {kind, description, series}}``.
+
+        The same shape :meth:`merge` returns, so every exporter in
+        :mod:`repro.obs.export` renders single-process and merged
+        cluster-wide state identically.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: {"kind": m.kind,
+                       "description": m.description,
+                       "label_names": list(m.label_names),
+                       "series": m._snapshot_series()}
+                for name, m in metrics}
+
+    def state_dict(self) -> dict:
+        """Picklable raw state for cross-process merging.
+
+        ``source`` identifies the live registry object (pid × object
+        id): :meth:`merge` deduplicates on it, so a cluster whose
+        inline workers all share the router's process-global registry
+        reports each count once, not once per worker — the same
+        "raw state ships, the merger aggregates" contract as
+        :meth:`repro.serve.server.ServerStats.state_dict`.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        state = {}
+        for name, m in metrics:
+            entry = {"kind": m.kind, "description": m.description,
+                     "label_names": list(m.label_names),
+                     "series": m._state()}
+            if m.kind == "histogram":
+                entry["bounds"] = list(m.bounds)
+            state[name] = entry
+        return {"source": f"{os.getpid()}-{id(self):x}", "metrics": state}
+
+    @staticmethod
+    def merge(states) -> dict:
+        """Merge :meth:`state_dict` dicts into one snapshot-shaped view.
+
+        Counters and gauges sum per (name, label set); histograms add
+        bucket counts elementwise (power-of-two bounds make the buckets
+        align by construction).  States with the same ``source`` are
+        one registry seen twice and are counted once.
+        """
+        seen: dict[str, dict] = {}
+        for i, state in enumerate(states):
+            seen.setdefault(str(state.get("source", f"anon-{i}")), state)
+        merged: dict[str, dict] = {}
+        for state in seen.values():
+            for name, entry in state["metrics"].items():
+                out = merged.setdefault(name, {
+                    "kind": entry["kind"],
+                    "description": entry["description"],
+                    "label_names": list(entry["label_names"]),
+                    "bounds": entry.get("bounds"),
+                    "series": {}})
+                if out["kind"] != entry["kind"]:
+                    raise ValueError(
+                        f"metric {name!r} has conflicting kinds across "
+                        f"processes: {out['kind']} vs {entry['kind']}")
+                for key, value in entry["series"].items():
+                    key = tuple(key)
+                    if entry["kind"] == "histogram":
+                        slot = out["series"].get(key)
+                        if slot is None:
+                            out["series"][key] = [list(value[0]),
+                                                  value[1], value[2]]
+                        else:
+                            for b, c in enumerate(value[0]):
+                                slot[0][b] += c
+                            slot[1] += value[1]
+                            slot[2] += value[2]
+                    else:
+                        out["series"][key] = (out["series"].get(key, 0)
+                                              + value)
+        return {name: MetricsRegistry._merged_entry(entry)
+                for name, entry in sorted(merged.items())}
+
+    @staticmethod
+    def _merged_entry(entry: dict) -> dict:
+        label_names = entry["label_names"]
+        series = []
+        for key, value in sorted(entry["series"].items()):
+            labels = dict(zip(label_names, key))
+            if entry["kind"] == "histogram":
+                counts, count, total = value
+                bounds = entry["bounds"] or POW2_BUCKET_BOUNDS
+                cum, buckets = 0, []
+                for bound, c in zip(bounds, counts):
+                    cum += c
+                    buckets.append([bound, cum])
+                buckets.append(["+Inf", cum + counts[-1]])
+                series.append({"labels": labels, "count": count,
+                               "sum": total, "buckets": buckets})
+            else:
+                series.append({"labels": labels, "value": value})
+        return {"kind": entry["kind"], "description": entry["description"],
+                "label_names": label_names, "series": series}
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every subsystem registers into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one.
+
+    Test isolation seam: a test installs a fresh registry, constructs
+    the servers/caches under test (they bind counters at construction
+    time), and restores the old registry afterwards.
+    """
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def metrics_enabled() -> bool:
+    """Whether the process-global registry is collecting."""
+    return _registry.enabled
+
+
+def set_metrics_enabled(enabled: bool) -> None:
+    """Turn collection on/off globally (off = single-``if`` no-ops)."""
+    _registry.enabled = bool(enabled)

@@ -1,0 +1,307 @@
+"""Per-request tracing: spans, context propagation, Dapper-style.
+
+A *span* is one named, timed segment of work (``queue_wait``,
+``batch``, ``dispatch``, ``compute``, ``chunk_fetch`` …); a *trace* is
+the tree of spans sharing one ``trace_id`` — everything that happened
+to one serving request, across threads and across the router/worker
+process boundary.
+
+Propagation model: the serving layers are asynchronous (a request
+crosses the queue, the batcher and possibly a worker pipe between
+submit and complete), so the request object *carries* its
+:class:`TraceContext` and each layer records its segment explicitly
+with :meth:`Tracer.record` using timestamps it already tracks.  For
+synchronous nested work (a compiled-program replay, a store chunk
+gather) the ambient context — installed for the duration of a batch via
+:meth:`Tracer.activate` — lets deep layers attach child spans with the
+:meth:`Tracer.span` context manager without any parameter threading.
+
+Crossing the process boundary: the router preallocates the dispatch
+span's id, ships ``(trace_id, span_id)`` on the
+:class:`~repro.serve.worker.WorkUnit` wire form, the worker parents its
+request spans under it, and finished worker spans return on the
+:class:`~repro.serve.worker.WorkResult` for the router to
+:meth:`~Tracer.ingest` — one tree, two processes.
+
+All span timestamps read :func:`repro._clock.now` — the same injectable
+clock the serving layer uses — so :class:`~repro._clock.ManualClock`
+tests pin span durations exactly.  Timestamps are process-local
+(``perf_counter`` zeros differ across processes); durations and
+parent/child structure are what cross the boundary, not a shared epoch.
+
+Tracing is **off by default**; every entry point starts with one
+``enabled`` check.  Enable with :func:`set_tracing` (the REPL's
+``trace on``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .._clock import now as _now
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracing",
+    "tracing_enabled",
+    "spans_to_jsonl",
+    "spans_to_chrome",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity one span of work carries: trace, own id, parent."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def to_wire(self) -> tuple:
+        """Picklable wire form for the WorkUnit trace field."""
+        return (self.trace_id, self.span_id)
+
+    @staticmethod
+    def from_wire(wire) -> "TraceContext | None":
+        """Rebuild a (parent) context from :meth:`to_wire` output."""
+        if wire is None:
+            return None
+        return TraceContext(trace_id=wire[0], span_id=wire[1])
+
+
+@dataclass
+class Span:
+    """One finished, named, timed segment of a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (``end - start``)."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-able dict form (the JSON-lines export row)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id, "name": self.name,
+                "start": self.start, "end": self.end,
+                "duration": self.duration, "attrs": self.attrs}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (ingest path)."""
+        return Span(trace_id=d["trace_id"], span_id=d["span_id"],
+                    parent_id=d.get("parent_id"), name=d["name"],
+                    start=d["start"], end=d["end"],
+                    attrs=dict(d.get("attrs") or {}))
+
+
+class Tracer:
+    """Collects finished spans in a bounded buffer; hands out contexts.
+
+    One instance per process (see :func:`get_tracer`); ``enabled``
+    gates every operation.  Ids embed the pid, so spans minted in a
+    spawned worker never collide with router-side ids when ingested
+    into one tree.
+    """
+
+    def __init__(self, max_spans: int = 8192):
+        self.enabled = False
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._ambient = threading.local()
+
+    # -- identity ---------------------------------------------------------- #
+    def _next(self, prefix: str) -> str:
+        return f"{prefix}{os.getpid():x}.{next(self._ids):x}"
+
+    def new_span_id(self) -> str:
+        """A fresh span id (preallocated for spans recorded later)."""
+        return self._next("s")
+
+    def new_context(self, parent: TraceContext | None = None,
+                    ) -> TraceContext:
+        """A context for a new span: child of ``parent``, or a new trace."""
+        if parent is None:
+            return TraceContext(trace_id=self._next("t"),
+                                span_id=self.new_span_id())
+        return TraceContext(trace_id=parent.trace_id,
+                            span_id=self.new_span_id(),
+                            parent_id=parent.span_id)
+
+    # -- recording --------------------------------------------------------- #
+    def record(self, name: str, start: float, end: float, *,
+               ctx: TraceContext | None = None,
+               parent: TraceContext | None = None,
+               attrs: dict | None = None) -> Span | None:
+        """Append one finished span; no-op (returns None) when disabled.
+
+        ``ctx`` records *as* that context (its span id was preallocated
+        — the dispatch-span pattern); ``parent`` mints a fresh child id
+        under it.  With neither, the ambient context (if any) parents
+        the span, else it roots a new trace.
+        """
+        if not self.enabled:
+            return None
+        if ctx is None:
+            ctx = self.new_context(parent if parent is not None
+                                   else self.current())
+        span = Span(trace_id=ctx.trace_id, span_id=ctx.span_id,
+                    parent_id=ctx.parent_id, name=name,
+                    start=start, end=end, attrs=dict(attrs or {}))
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, attrs: dict | None = None):
+        """Time a synchronous block as a child of the ambient context.
+
+        Yields the block's :class:`TraceContext` (or ``None`` when
+        tracing is disabled) and makes it ambient for the duration, so
+        nested :meth:`span` blocks chain into a tree.
+        """
+        if not self.enabled:
+            yield None
+            return
+        ctx = self.new_context(self.current())
+        prev = getattr(self._ambient, "ctx", None)
+        self._ambient.ctx = ctx
+        start = _now()
+        try:
+            yield ctx
+        finally:
+            self._ambient.ctx = prev
+            self.record(name, start, _now(), ctx=ctx, attrs=attrs)
+
+    @contextmanager
+    def activate(self, ctx: TraceContext | None):
+        """Install ``ctx`` as this thread's ambient context for a block.
+
+        The serving layers wrap batch execution in this so deep,
+        trace-agnostic code (chunk gathers, compiled replays) attaches
+        its spans to the right request.  ``None`` deactivates.
+        """
+        prev = getattr(self._ambient, "ctx", None)
+        self._ambient.ctx = ctx
+        try:
+            yield ctx
+        finally:
+            self._ambient.ctx = prev
+
+    def current(self) -> TraceContext | None:
+        """This thread's ambient context, or ``None``."""
+        return getattr(self._ambient, "ctx", None)
+
+    # -- the buffer -------------------------------------------------------- #
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """A copy of buffered spans (optionally one trace's)."""
+        with self._lock:
+            out = list(self._spans)
+        if trace_id is not None:
+            out = [s for s in out if s.trace_id == trace_id]
+        return out
+
+    def clear(self) -> None:
+        """Drop every buffered span."""
+        with self._lock:
+            self._spans.clear()
+
+    def take(self, trace_ids) -> list[dict]:
+        """Remove and return (as dicts) all spans of the given traces.
+
+        The worker side of boundary crossing: after executing a batch
+        of units, the worker takes the spans belonging to those units'
+        traces and ships them back on the results.
+        """
+        wanted = set(trace_ids)
+        taken: list[dict] = []
+        with self._lock:
+            kept = deque(maxlen=self._spans.maxlen)
+            for span in self._spans:
+                if span.trace_id in wanted:
+                    taken.append(span.to_dict())
+                else:
+                    kept.append(span)
+            self._spans = kept
+        return taken
+
+    def ingest(self, span_dicts) -> int:
+        """Append spans shipped from another process; returns how many.
+
+        No-op when disabled (a late result arriving after ``trace
+        off`` must not grow the buffer).
+        """
+        if not self.enabled or not span_dicts:
+            return 0
+        spans = [Span.from_dict(d) for d in span_dicts]
+        with self._lock:
+            self._spans.extend(spans)
+        return len(spans)
+
+
+def spans_to_jsonl(spans) -> str:
+    """Render spans as JSON-lines (one span per line, start-ordered)."""
+    rows = sorted((s.to_dict() if isinstance(s, Span) else dict(s)
+                   for s in spans),
+                  key=lambda d: (d["trace_id"], d["start"], d["span_id"]))
+    return "\n".join(json.dumps(r, sort_keys=True) for r in rows)
+
+
+def spans_to_chrome(spans) -> dict:
+    """Render spans in Chrome ``chrome://tracing`` / Perfetto format.
+
+    Complete ("X") events with microsecond timestamps; each trace maps
+    to its own pid lane so concurrent requests stack side by side.
+    Load the JSON via ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    rows = [s.to_dict() if isinstance(s, Span) else dict(s) for s in spans]
+    rows.sort(key=lambda d: (d["trace_id"], d["start"], d["span_id"]))
+    lanes: dict[str, int] = {}
+    events = []
+    for row in rows:
+        lane = lanes.setdefault(row["trace_id"], len(lanes) + 1)
+        events.append({
+            "name": row["name"], "cat": "repro", "ph": "X",
+            "ts": row["start"] * 1e6,
+            "dur": max(row["end"] - row["start"], 0.0) * 1e6,
+            "pid": lane, "tid": 1,
+            "args": {"trace_id": row["trace_id"],
+                     "span_id": row["span_id"],
+                     "parent_id": row["parent_id"], **row["attrs"]},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every subsystem records into."""
+    return _tracer
+
+
+def set_tracing(enabled: bool) -> None:
+    """Turn span collection on/off for this process's tracer."""
+    _tracer.enabled = bool(enabled)
+
+
+def tracing_enabled() -> bool:
+    """Whether the process-global tracer is collecting."""
+    return _tracer.enabled

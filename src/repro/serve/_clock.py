@@ -1,77 +1,20 @@
-"""The serving layer's single clock source.
+"""Re-export shim: the injectable clock moved to :mod:`repro._clock`.
 
-Before this module, the serve stack mixed clock domains: request
-deadlines were absolute :func:`time.perf_counter` timestamps (the queue
-contract) while the cluster's heartbeat aging and drain watchdogs read
-:func:`time.monotonic`.  Both are monotonic, but they are *different
-counters with different zeros* — a virtual-clock test could freeze one
-domain while the other kept running, and deadline culling could drift
-from heartbeat timeouts in ways no test could pin down.
-
-Every serve-layer timestamp now flows through :func:`now`.  The default
-source is ``time.perf_counter`` (preserving the queue's documented
-deadline domain); tests inject a fake via :func:`set_clock` /
-:func:`clock_override` and both deadline culling *and* worker-health
-policing advance together, deterministically.  Scheduling sleeps
-(``Event.wait`` timeouts) stay on the real clock — only *measurements
-and comparisons* go through here.
+The serving layer grew the clock first, but the observability layer
+(:mod:`repro.obs`) needs the same source without importing
+``repro.serve`` (which would be an import cycle: the server imports the
+tracer).  The implementation therefore lives at the package root; this
+module keeps the historical ``repro.serve._clock`` import path working
+— the function objects are *shared*, so ``set_clock`` through either
+path drives both.
 """
 
-from __future__ import annotations
-
-import time
-from contextlib import contextmanager
-from typing import Callable
+from .._clock import (  # noqa: F401
+    ManualClock,
+    clock_override,
+    get_clock,
+    now,
+    set_clock,
+)
 
 __all__ = ["now", "get_clock", "set_clock", "clock_override", "ManualClock"]
-
-_clock: Callable[[], float] = time.perf_counter
-
-
-def now() -> float:
-    """The serving layer's current time (seconds, monotonic domain)."""
-    return _clock()
-
-
-def get_clock() -> Callable[[], float]:
-    """The active clock source callable."""
-    return _clock
-
-
-def set_clock(clock: Callable[[], float] | None) -> None:
-    """Install a clock source; ``None`` restores ``time.perf_counter``."""
-    global _clock
-    _clock = time.perf_counter if clock is None else clock
-
-
-@contextmanager
-def clock_override(clock: Callable[[], float]):
-    """Temporarily install a clock source (virtual-clock tests)."""
-    prev = _clock
-    set_clock(clock)
-    try:
-        yield clock
-    finally:
-        set_clock(prev)
-
-
-class ManualClock:
-    """A hand-stepped clock for deterministic time-domain tests.
-
-    Call the instance for the current time; :meth:`advance` steps it.
-    Injecting one via :func:`clock_override` drives deadline expiry,
-    heartbeat aging and latency accounting from one number.
-    """
-
-    def __init__(self, start: float = 0.0):
-        self.time = float(start)
-
-    def __call__(self) -> float:
-        return self.time
-
-    def advance(self, seconds: float) -> float:
-        """Move the clock forward (never backward); returns the new time."""
-        if seconds < 0:
-            raise ValueError(f"cannot advance by {seconds} (negative)")
-        self.time += seconds
-        return self.time

@@ -65,11 +65,17 @@ class BatchPolicy:
 
 @dataclass
 class MicroBatch:
-    """One flushed group: the coalescing key and its work items."""
+    """One flushed group: the coalescing key and its work items.
+
+    ``flushed_at`` is the serving-clock instant the batcher released
+    the group — the boundary between a request's ``batch`` (waiting for
+    companions) and ``compute`` trace spans.
+    """
 
     key: Hashable
     items: list[Any]
     oldest_enqueued_at: float
+    flushed_at: float = 0.0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -127,7 +133,8 @@ class MicroBatcher:
             items = group.items
             for lo in range(0, len(items), size):
                 out.append(MicroBatch(key=key, items=items[lo:lo + size],
-                                      oldest_enqueued_at=group.oldest))
+                                      oldest_enqueued_at=group.oldest,
+                                      flushed_at=now))
         # oldest-first across groups: aged-out work executes before fresh
         out.sort(key=lambda b: b.oldest_enqueued_at)
         return out

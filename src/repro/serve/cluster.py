@@ -48,6 +48,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import get_tracer
+from ..obs.trace import set_tracing as _set_process_tracing
 from . import _clock
 from .batcher import BatchPolicy
 from .pool import config_key, dataset_identity
@@ -72,6 +75,22 @@ from .worker import (
 __all__ = ["ClusterStats", "ServingCluster"]
 
 
+#: One-line help strings for the registry-mirrored cluster counters.
+_COUNTER_HELP = {
+    "submitted": "requests accepted into the router queue",
+    "completed": "requests resolved with a worker result",
+    "rejected": "submissions refused (backpressure or closed)",
+    "expired": "requests that missed their deadline router-side",
+    "failed": "requests resolved with an error",
+    "dispatched": "work units shipped to a worker pipe",
+    "requeued": "units re-dispatched after a worker death",
+    "worker_deaths": "workers declared dead",
+    "duplicates_ignored": "late results dropped by at-most-once delivery",
+    "mutations": "GraphDelta broadcasts submitted",
+    "mutations_applied": "broadcasts acked by every live worker",
+}
+
+
 @dataclass
 class ClusterStats:
     """Router-side counters + end-to-end latency for one cluster lifetime.
@@ -79,6 +98,12 @@ class ClusterStats:
     ``requeued`` counts units re-dispatched after a worker death;
     ``duplicates_ignored`` counts late results for already-completed
     requests (the at-most-once delivery guard firing).
+
+    Like :class:`~repro.serve.server.ServerStats`, counting is
+    dual-homed: the fields feed :meth:`snapshot`, and every
+    :meth:`bump` mirrors into the matching ``repro_cluster_*_total``
+    registry counter (latencies into
+    ``repro_cluster_request_latency_seconds``).
     """
 
     submitted: int = 0
@@ -93,9 +118,40 @@ class ClusterStats:
     mutations: int = 0           # GraphDelta broadcasts submitted
     mutations_applied: int = 0   # broadcasts acked by every live worker
     latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    # appended by the router loop, iterated by stats_snapshot() callers
+    # on other threads — same race ServerStats locks against
+    _latency_lock: threading.Lock = field(default_factory=threading.Lock,
+                                          repr=False)
+
+    #: Counter fields mirrored into the metrics registry.
+    COUNTER_FIELDS = ("submitted", "completed", "rejected", "expired",
+                      "failed", "dispatched", "requeued", "worker_deaths",
+                      "duplicates_ignored", "mutations", "mutations_applied")
+
+    def __post_init__(self):
+        registry = get_registry()
+        self._obs_counters = {
+            f: registry.counter(f"repro_cluster_{f}_total", _COUNTER_HELP[f])
+            for f in self.COUNTER_FIELDS}
+        self._obs_latency = registry.histogram(
+            "repro_cluster_request_latency_seconds",
+            "submit-to-complete latency per request, router side")
+
+    def bump(self, field_name: str, n: int = 1) -> None:
+        """Increment one counter field and its registry twin together."""
+        setattr(self, field_name, getattr(self, field_name) + n)
+        self._obs_counters[field_name].inc(n)
+
+    def record_latency(self, seconds: float) -> None:
+        """Append one request's end-to-end latency sample (thread-safe)."""
+        with self._latency_lock:
+            self.latencies.append(seconds)
+        self._obs_latency.observe(seconds)
 
     def snapshot(self) -> dict:
         """Plain-dict view of the cluster-level counters."""
+        with self._latency_lock:
+            lat = list(self.latencies)
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -108,19 +164,26 @@ class ClusterStats:
             "duplicates_ignored": self.duplicates_ignored,
             "mutations": self.mutations,
             "mutations_applied": self.mutations_applied,
-            **latency_summary(self.latencies),
+            **latency_summary(lat),
         }
 
 
 @dataclass
 class _Dispatch:
-    """Router-side tracking for one in-flight unit."""
+    """Router-side tracking for one in-flight unit.
+
+    ``trace`` is the preallocated dispatch-span context (its wire form
+    rides on the unit); ``sent_at`` is when the unit first hit a worker
+    pipe, so the span covers ship-to-result including any requeues.
+    """
 
     request: Request
     unit: WorkUnit
     worker_id: str
     attempts: int = 1
     excluded: set = field(default_factory=set)
+    trace: object = None
+    sent_at: float = 0.0
 
 
 @dataclass
@@ -235,7 +298,8 @@ class ServingCluster:
                               queue_depth=worker_queue_depth,
                               datasets=dataset_blobs,
                               stores=tuple(store_pairs),
-                              checkpoints=checkpoint_pairs)
+                              checkpoints=checkpoint_pairs,
+                              trace_enabled=get_tracer().enabled)
             if backend == "process":
                 self.workers[wid] = ProcessWorker(init,
                                                   start_method=start_method)
@@ -318,13 +382,16 @@ class ServingCluster:
                 kind=kind, nodes=nodes, indices=indices,
                 deadline=None if timeout is None else now + timeout,
             )
+            tracer = get_tracer()
+            if tracer.enabled:
+                request.trace = tracer.new_context()
             self._next_id += 1
             try:
                 self.queue.push(request, now=now)
             except Exception:
-                self.stats.rejected += 1
+                self.stats.bump("rejected")
                 raise
-        self.stats.submitted += 1
+        self.stats.bump("submitted")
         return request.future
 
     def submit_delta(self, config, delta):
@@ -393,11 +460,11 @@ class ServingCluster:
                 self._inflight[uid] = dispatch
                 self._mutations[uid] = mutation
                 mutation.pending.add(uid)
-            self.stats.mutations += 1
+            self.stats.bump("mutations")
             if not mutation.pending:
                 outer.set_exception(NoWorkersError(
                     "no live worker received the delta broadcast"))
-                self.stats.failed += 1
+                self.stats.bump("failed")
         return outer
 
     def graph_version(self, config) -> int:
@@ -417,11 +484,11 @@ class ServingCluster:
             return
         if mutation.error is not None:
             mutation.future.set_exception(mutation.error)
-            self.stats.failed += 1
+            self.stats.bump("failed")
         else:
             mutation.future.set_result(mutation.version,
                                        graph_version=mutation.version)
-            self.stats.mutations_applied += 1
+            self.stats.bump("mutations_applied")
 
     # -- scheduling ------------------------------------------------------- #
     def step(self, now: float | None = None) -> int:
@@ -464,16 +531,26 @@ class ServingCluster:
     def _dispatch(self, now: float | None) -> None:
         self._maybe_ping()
         now = _clock.now() if now is None else now
+        tracer = get_tracer()
         for request in self.queue.drain(now=now, on_expired=self._on_expired):
+            request.drained_at = now
+            dispatch_ctx = None
+            if tracer.enabled and request.trace is not None:
+                # preallocate the dispatch span's id so the worker can
+                # parent its spans under it before the span is recorded
+                dispatch_ctx = tracer.new_context(parent=request.trace)
             unit = WorkUnit(
                 id=request.id,
                 config_json=self._config_json[request.config_key],
                 kind=request.kind,
-                payload=self._pack_payload(request))
-            dispatch = _Dispatch(request=request, unit=unit, worker_id="")
+                payload=self._pack_payload(request),
+                trace=(None if dispatch_ctx is None
+                       else dispatch_ctx.to_wire()))
+            dispatch = _Dispatch(request=request, unit=unit, worker_id="",
+                                 trace=dispatch_ctx, sent_at=now)
             if self._send_unit(dispatch):
                 self._inflight[request.id] = dispatch
-                self.stats.dispatched += 1
+                self.stats.bump("dispatched")
 
     @staticmethod
     def _pack_payload(request: Request) -> bytes | None:
@@ -499,7 +576,7 @@ class ServingCluster:
                     # outer future settles — not once per dead unit
                     self._settle_mutation(dispatch.request.id, error=exc)
                 else:
-                    self.stats.failed += 1
+                    self.stats.bump("failed")
                 return False
             try:
                 self.workers[wid].send(("work", dispatch.unit))
@@ -514,7 +591,7 @@ class ServingCluster:
     def _on_expired(self, request: Request) -> None:
         # fired by queue.drain: the deadline passed while still queued,
         # so the request is rejected before any worker sees it
-        self.stats.expired += 1
+        self.stats.bump("expired")
 
     # -- receive side ----------------------------------------------------- #
     def _receive(self, now: float | None = None) -> int:
@@ -543,12 +620,17 @@ class ServingCluster:
         return done
 
     def _on_result(self, result: WorkResult, now: float | None) -> int:
+        tracer = get_tracer()
+        if result.spans:
+            # worker-side spans for this unit's trace (no-op when
+            # tracing was switched off while the unit was in flight)
+            tracer.ingest(result.spans)
         dispatch = self._inflight.pop(result.id, None)
         if dispatch is None:
             # the request was already answered (e.g. a late result from a
             # worker declared dead after its requeue completed) — deliver
             # at most once, count the duplicate
-            self.stats.duplicates_ignored += 1
+            self.stats.bump("duplicates_ignored")
             return 0
         self.router.complete(dispatch.worker_id)
         request = dispatch.request
@@ -574,18 +656,30 @@ class ServingCluster:
             request.future.set_exception(DeadlineExceededError(
                 f"request {request.id} completed after its deadline; "
                 "result dropped"))
-            self.stats.expired += 1
+            self.stats.bump("expired")
             return 1
         if not result.ok:
             request.future.set_exception(
                 ServeError(f"worker {result.worker_id} failed request "
                            f"{result.id}: {result.error}"))
-            self.stats.failed += 1
+            self.stats.bump("failed")
             return 1
         request.future.set_result(result.value(),
                                   graph_version=result.graph_version)
-        self.stats.completed += 1
-        self.stats.latencies.append(now - request.enqueued_at)
+        self.stats.bump("completed")
+        self.stats.record_latency(now - request.enqueued_at)
+        if tracer.enabled and request.trace is not None:
+            if dispatch.trace is not None:
+                tracer.record("dispatch", dispatch.sent_at, now,
+                              ctx=dispatch.trace,
+                              attrs={"worker": result.worker_id,
+                                     "attempts": dispatch.attempts})
+            tracer.record("queue_wait", request.enqueued_at,
+                          request.drained_at or request.enqueued_at,
+                          parent=request.trace)
+            tracer.record("request", request.enqueued_at, now,
+                          ctx=request.trace,
+                          attrs={"id": request.id, "kind": request.kind})
         return 1
 
     # -- worker health ---------------------------------------------------- #
@@ -623,14 +717,14 @@ class ServingCluster:
         if wid in self._dead:
             return
         self._dead.add(wid)
-        self.stats.worker_deaths += 1
+        self.stats.bump("worker_deaths")
         self.router.mark_dead(wid)
         orphans = [d for d in self._inflight.values() if d.worker_id == wid]
         for dispatch in orphans:
             dispatch.excluded.add(wid)
             dispatch.attempts += 1
             if self._send_unit(dispatch):
-                self.stats.requeued += 1
+                self.stats.bump("requeued")
             else:
                 self._inflight.pop(dispatch.request.id, None)
 
@@ -660,6 +754,27 @@ class ServingCluster:
         self._thread.join()
         self._thread = None
 
+    # -- observability ---------------------------------------------------- #
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle span collection router-side and on every live worker.
+
+        Process workers receive a ``("trace", enabled)`` message over
+        their pipe (FIFO with work, so the toggle lands between
+        batches); inline workers share this process's tracer and are
+        covered by the local switch alone.
+        """
+        _set_process_tracing(enabled)
+        with self._lock:
+            for wid in list(self.router.workers()):
+                try:
+                    self.workers[wid].send(("trace", bool(enabled)))
+                except (BrokenPipeError, OSError):
+                    self._declare_dead(wid)
+
+    def trace_spans(self, trace_id: str | None = None):
+        """Buffered spans router-side (see :meth:`~repro.obs.Tracer.spans`)."""
+        return get_tracer().spans(trace_id)
+
     # -- stats ------------------------------------------------------------ #
     def stats_snapshot(self, timeout_s: float = 5.0) -> dict:
         """Cluster counters + merged per-worker server/pool statistics.
@@ -668,10 +783,15 @@ class ServingCluster:
         are reported as missing rather than blocking forever), merges
         their :meth:`~repro.serve.server.ServerStats.state_dict` via
         :meth:`~repro.serve.server.ServerStats.merge`, and sums pool
-        counters.  Shape::
+        counters.  ``"obs"`` is the fleet-wide
+        :meth:`~repro.obs.MetricsRegistry.merge` of every worker's
+        registry state plus the router's own (inline workers share the
+        router's registry and its merge dedups by source, so they are
+        never double-counted).  Shape::
 
             {"cluster": {...}, "router": {...}, "workers": {merged...},
-             "pool": {...}, "per_worker": {wid: {...}}, "workers_alive": N}
+             "pool": {...}, "per_worker": {wid: {...}},
+             "workers_alive": N, "obs": {merged registry...}}
         """
         with self._lock:
             seq = self._bump_seq()
@@ -700,7 +820,10 @@ class ServingCluster:
         for state in states.values():
             for key in pool_totals:
                 pool_totals[key] += state["pool"][key]
+        obs_states = [s["obs"] for s in states.values() if "obs" in s]
+        obs_states.append(get_registry().state_dict())
         return {
+            "obs": MetricsRegistry.merge(obs_states),
             "cluster": self.stats.snapshot(),
             "router": self.router.stats.snapshot(),
             "workers": ServerStats.merge(

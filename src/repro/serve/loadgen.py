@@ -26,11 +26,11 @@ bitwise identity check on every per-request result.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import _clock
 from .batcher import BatchPolicy
 from .pool import SessionPool
 from .queue import DeadlineExceededError, QueueFullError
@@ -150,13 +150,13 @@ def run_closed_loop(server: InferenceServer, config, payloads,
                     concurrency: int = 8) -> LoadReport:
     """Windows of ``concurrency`` in-flight requests, wall-clock timed."""
     results = []
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for lo in range(0, len(payloads), concurrency):
         futures = [server.submit(config, **_payload_kwargs(config, p))
                    for p in payloads[lo:lo + concurrency]]
         server.run_until_idle()
         results.extend(f.result(timeout=60.0) for f in futures)
-    duration = time.perf_counter() - t0
+    duration = _clock.now() - t0
     return LoadReport(mode="closed", num_requests=len(payloads),
                       duration_s=duration, completed=len(results),
                       results=results)
@@ -213,13 +213,13 @@ def run_cluster_closed_loop(cluster, configs, picks,
     scales — dominates.  Wall-clock timed.
     """
     results = []
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for lo in range(0, len(picks), concurrency):
         futures = [cluster.submit(configs[int(i)])
                    for i in picks[lo:lo + concurrency]]
         cluster.run_until_idle()
         results.extend(f.result(timeout=60.0) for f in futures)
-    duration = time.perf_counter() - t0
+    duration = _clock.now() - t0
     return LoadReport(mode="cluster-closed", num_requests=len(picks),
                       duration_s=duration, completed=len(results),
                       results=results)
@@ -241,7 +241,7 @@ def run_churn_loop(backend, config, deltas,
     """
     results = []
     failed = 0
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     for delta in deltas:
         pre = [backend.submit(config) for _ in range(reads_per_delta)]
         mutation = backend.submit_delta(config, delta)
@@ -254,7 +254,7 @@ def run_churn_loop(backend, config, deltas,
                 failed += 1
             else:
                 results.append((future.graph_version, future.result()))
-    duration = time.perf_counter() - t0
+    duration = _clock.now() - t0
     return LoadReport(mode="churn", num_requests=2 * reads_per_delta
                       * len(deltas), duration_s=duration,
                       completed=len(results), failed=failed,
@@ -376,9 +376,9 @@ def compare_with_naive(config, num_requests: int = 64, distinct: int = 4,
                                   nodes_per_request=nodes_per_request,
                                   seed=seed)
 
-    t0 = time.perf_counter()
+    t0 = _clock.now()
     naive_results = [naive_session.predict(nodes=p) for p in payloads]
-    naive_s = time.perf_counter() - t0
+    naive_s = _clock.now() - t0
 
     pool = SessionPool(max_sessions=2)
     pool.put(Session(config, dataset=ds))

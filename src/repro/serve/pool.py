@@ -25,6 +25,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from ..obs.metrics import get_registry
+
 __all__ = ["config_key", "dataset_identity", "PoolStats", "SessionPool"]
 
 
@@ -52,12 +54,37 @@ def dataset_identity(config) -> tuple:
 
 @dataclass
 class PoolStats:
-    """Admission/eviction counters for one pool lifetime."""
+    """Admission/eviction counters for one pool lifetime.
+
+    Every :meth:`bump` also increments the matching
+    ``repro_pool_*_total`` counter in the process-global metrics
+    registry; the fields remain the snapshot source of truth.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     checkpoint_loads: int = 0
+
+    #: Counter fields mirrored into the metrics registry.
+    COUNTER_FIELDS = ("hits", "misses", "evictions", "checkpoint_loads")
+
+    def __post_init__(self):
+        registry = get_registry()
+        help_text = {
+            "hits": "acquisitions served by a warm pooled session",
+            "misses": "acquisitions that built a fresh session",
+            "evictions": "sessions evicted by the pool LRU",
+            "checkpoint_loads": "checkpoints loaded on pool admission",
+        }
+        self._obs_counters = {
+            f: registry.counter(f"repro_pool_{f}_total", help_text[f])
+            for f in self.COUNTER_FIELDS}
+
+    def bump(self, field_name: str, n: int = 1) -> None:
+        """Increment one counter field and its registry twin together."""
+        setattr(self, field_name, getattr(self, field_name) + n)
+        self._obs_counters[field_name].inc(n)
 
     @property
     def hit_rate(self) -> float:
@@ -142,9 +169,9 @@ class SessionPool:
         session = self._sessions.get(key)
         if session is not None:
             self._sessions.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.bump("hits")
             return session
-        self.stats.misses += 1
+        self.stats.bump("misses")
         session = self._admit(config, key)
         return session
 
@@ -157,7 +184,7 @@ class SessionPool:
             # weights only, via the session's audited mutation point so
             # any inference cache built before the load is dropped
             self._load_weights(session, path)
-            self.stats.checkpoint_loads += 1
+            self.stats.bump("checkpoint_loads")
         self._datasets.setdefault(ds_id, session.dataset)
         self._sessions[key] = session
         self._evict_over_capacity()
@@ -193,7 +220,7 @@ class SessionPool:
         evicted = False
         while len(self._sessions) > self.max_sessions:
             self._sessions.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
             evicted = True
         if evicted:
             # drop shared datasets no warm session references anymore —

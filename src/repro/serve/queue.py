@@ -139,6 +139,11 @@ class Request:
     ``delta``).  ``deadline`` is an absolute serving-clock timestamp
     (:func:`repro.serve._clock.now`) or ``None``; expiry is inclusive
     (see :meth:`expired`).
+
+    ``trace`` is the request's root :class:`~repro.obs.TraceContext`
+    (``None`` unless tracing was on at submit); the pipeline stamps
+    ``drained_at`` when the request leaves the queue so the
+    ``queue_wait`` / ``batch`` span boundary is exact.
     """
 
     id: int
@@ -153,6 +158,8 @@ class Request:
     future: ServeFuture = field(default_factory=ServeFuture)
     delta: Any = None  # GraphDelta for kind == "mutate"
     expected_version: int | None = None  # mutate exactly-once guard
+    trace: Any = None  # TraceContext when tracing is enabled
+    drained_at: float = 0.0  # when the queue handed the request onward
 
     @property
     def batch_key(self) -> tuple[str, str, str]:

@@ -28,6 +28,7 @@ import bisect
 import hashlib
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_registry
 from .queue import ServeError
 
 __all__ = ["NoWorkersError", "HashRing", "RouterStats", "Router"]
@@ -118,12 +119,32 @@ class HashRing:
 
 @dataclass
 class RouterStats:
-    """Routing decisions for one router lifetime."""
+    """Routing decisions for one router lifetime.
+
+    Each decision also increments
+    ``repro_router_decisions_total{decision=sticky|spill|reroute}`` in
+    the process-global metrics registry (the fields stay the snapshot's
+    source of truth).
+    """
 
     routed: int = 0
     sticky: int = 0   # sent to the consistent-hash owner
     spills: int = 0   # diverted to least-loaded on overload
     reroutes: int = 0  # sticky owner excluded (e.g. dead), fell through
+
+    def __post_init__(self):
+        self._obs_decisions = get_registry().counter(
+            "repro_router_decisions_total",
+            "routing decisions by kind (sticky / spill / reroute)",
+            labels=("decision",))
+
+    def count(self, decision: str) -> None:
+        """Record one routing decision (``sticky``/``spill``/``reroute``)."""
+        self.routed += 1
+        field_name = {"sticky": "sticky", "spill": "spills",
+                      "reroute": "reroutes"}[decision]
+        setattr(self, field_name, getattr(self, field_name) + 1)
+        self._obs_decisions.inc(decision=decision)
 
     def snapshot(self) -> dict:
         """Plain-dict view of the routing counters."""
@@ -182,18 +203,20 @@ class Router:
                 f"(excluded: {sorted(excluded) or 'none'})")
         chosen = sticky
         hash_owner = self.ring.lookup(config_key)
+        spilled = False
         if self.in_flight[sticky] >= self.spill_threshold:
             least = self._least_loaded(excluded)
             if least is not None and (self.in_flight[least]
                                       < self.in_flight[sticky]):
                 chosen = least
-                self.stats.spills += 1
-        if chosen == hash_owner:
-            self.stats.sticky += 1
-        elif chosen == sticky:
+                spilled = True
+        if spilled:
+            self.stats.count("spill")
+        elif chosen == hash_owner:
+            self.stats.count("sticky")
+        else:
             # the true owner was excluded; this is a fallback, not a spill
-            self.stats.reroutes += 1
-        self.stats.routed += 1
+            self.stats.count("reroute")
         self.in_flight[chosen] += 1
         return chosen
 

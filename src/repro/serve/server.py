@@ -30,10 +30,14 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import hooks as _hooks
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from . import _clock
 from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
 from .pool import SessionPool, config_key
@@ -64,9 +68,32 @@ def latency_summary(latencies) -> dict:
     }
 
 
+#: One-line help strings for the registry-mirrored server counters.
+_COUNTER_HELP = {
+    "submitted": "requests accepted into the serve queue",
+    "completed": "requests resolved with a result",
+    "rejected": "submissions refused (backpressure or closed)",
+    "expired": "requests that missed their deadline",
+    "failed": "requests resolved with an error",
+    "batches": "micro-batches executed",
+    "batched_requests": "requests executed inside micro-batches",
+    "shared_computes": "requests answered from another request's forward",
+    "mutations": "GraphDeltas applied",
+    "mutations_ignored": "version-guarded duplicate delta deliveries",
+}
+
+
 @dataclass
 class ServerStats:
-    """Counters + sliding latency window for one server lifetime."""
+    """Counters + sliding latency window for one server lifetime.
+
+    Counting is dual-homed: the dataclass fields stay the source the
+    snapshot dicts and tests read, and every :meth:`bump` also
+    increments the matching ``repro_serve_*_total`` counter in the
+    process-global :class:`~repro.obs.MetricsRegistry` (latencies land
+    in the ``repro_serve_request_latency_seconds`` histogram), so the
+    unified exporters see the same numbers without any test churn.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -89,15 +116,35 @@ class ServerStats:
                       "failed", "batches", "batched_requests",
                       "shared_computes", "mutations", "mutations_ignored")
 
+    def __post_init__(self):
+        registry = get_registry()
+        self._obs_counters = {
+            f: registry.counter(f"repro_serve_{f}_total", _COUNTER_HELP[f])
+            for f in self.COUNTER_FIELDS}
+        self._obs_latency = registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "submit-to-complete latency per request")
+        self._obs_occupancy = registry.histogram(
+            "repro_serve_batch_occupancy",
+            "requests per executed micro-batch",
+            bounds=tuple(float(2 ** e) for e in range(0, 11)))
+
+    def bump(self, field_name: str, n: int = 1) -> None:
+        """Increment one counter field and its registry twin together."""
+        setattr(self, field_name, getattr(self, field_name) + n)
+        self._obs_counters[field_name].inc(n)
+
     def record_batch(self, occupancy: int) -> None:
         """Count one executed micro-batch of ``occupancy`` requests."""
-        self.batches += 1
-        self.batched_requests += occupancy
+        self.bump("batches")
+        self.bump("batched_requests", occupancy)
+        self._obs_occupancy.observe(occupancy)
 
     def record_latency(self, seconds: float) -> None:
         """Append one request's submit-to-complete latency sample."""
         with self._latency_lock:
             self.latencies.append(seconds)
+        self._obs_latency.observe(seconds)
 
     @property
     def mean_occupancy(self) -> float:
@@ -197,7 +244,7 @@ class InferenceServer:
     def submit(self, config, nodes: np.ndarray | None = None,
                indices: np.ndarray | None = None,
                timeout: float | None = None,
-               now: float | None = None) -> ServeFuture:
+               now: float | None = None, trace=None) -> ServeFuture:
         """Enqueue one inference request; returns its future immediately.
 
         Node-level configs take ``nodes`` (a node-id array; ``None`` =
@@ -208,6 +255,10 @@ class InferenceServer:
         past it resolves with :class:`DeadlineExceededError` instead of
         executing.  Raises :class:`~repro.serve.queue.QueueFullError`
         (backpressure) or :class:`ServerClosedError` synchronously.
+
+        ``trace`` optionally parents the request's trace under an
+        upstream :class:`~repro.obs.TraceContext` (the cluster router's
+        dispatch span, when the request crossed a process boundary).
         """
         now = _clock.now() if now is None else now
         kind = "nodes" if config.data.task_kind == "node" else "graphs"
@@ -235,18 +286,22 @@ class InferenceServer:
                 graph_key=self._graph_key(nodes),
                 deadline=None if timeout is None else now + timeout,
             )
+            tracer = get_tracer()
+            if tracer.enabled:
+                request.trace = tracer.new_context(parent=trace)
             self._next_id += 1
             try:
                 self.queue.push(request, now=now)
             except Exception:
-                self.stats.rejected += 1
+                self.stats.bump("rejected")
                 raise
-        self.stats.submitted += 1
+        self.stats.bump("submitted")
         return request.future
 
     def submit_delta(self, config, delta, timeout: float | None = None,
                      now: float | None = None,
-                     expected_version: int | None = None) -> ServeFuture:
+                     expected_version: int | None = None,
+                     trace=None) -> ServeFuture:
         """Enqueue a :class:`~repro.stream.GraphDelta` mutation request.
 
         The delta shares the request queue with inference submissions,
@@ -279,13 +334,16 @@ class InferenceServer:
                 expected_version=expected_version,
                 deadline=None if timeout is None else now + timeout,
             )
+            tracer = get_tracer()
+            if tracer.enabled:
+                request.trace = tracer.new_context(parent=trace)
             self._next_id += 1
             try:
                 self.queue.push(request, now=now)
             except Exception:
-                self.stats.rejected += 1
+                self.stats.bump("rejected")
                 raise
-        self.stats.submitted += 1
+        self.stats.bump("submitted")
         return request.future
 
     def graph_version(self, config) -> int:
@@ -329,6 +387,7 @@ class InferenceServer:
         # memoize the forward within this round so each key computes once
         node_results: dict = {}
         for request in self.queue.drain(now=now, on_expired=self._on_expired):
+            request.drained_at = now
             if request.kind == "mutate":
                 done += self._run_ready(now, True, node_results)
                 node_results.clear()  # pre-delta forwards are stale now
@@ -356,7 +415,7 @@ class InferenceServer:
         return done
 
     def _on_expired(self, request: Request) -> None:
-        self.stats.expired += 1
+        self.stats.bump("expired")
 
     def _expand_graph_request(self, request: Request) -> None:
         """Split a graph-level request into bucketed per-graph work units."""
@@ -368,13 +427,13 @@ class InferenceServer:
             sizes = [ds.graphs[int(i)].num_nodes for i in idx]
         except Exception as exc:  # bad indices, dataset mismatch, …
             request.future.set_exception(exc)
-            self.stats.failed += 1
+            self.stats.bump("failed")
             return
         scatter = _GraphScatter(request, num_slots=len(idx))
         if not len(idx):
             request.future.set_result(
                 np.empty((0, 0), dtype=np.float64))
-            self.stats.completed += 1
+            self.stats.bump("completed")
             return
         for slot, (i, size) in enumerate(zip(idx, sizes)):
             key = (request.config_key, "graphs", seq_len_bucket(size))
@@ -396,25 +455,47 @@ class InferenceServer:
         requests: list[Request] = batch.items
         self.stats.record_batch(len(requests))
         first = requests[0]
+        tracer = get_tracer()
+        tracing = tracer.enabled and first.trace is not None
+        timed = tracing or _hooks.active("on_batch_end")
+        _hooks.fire("on_batch_start", key=batch.key, size=len(requests))
         shared = batch.key in node_results
+        t0 = _clock.now() if timed else 0.0
         if shared:
             logits, version = node_results[batch.key]
         else:
             try:
                 session = self.pool.acquire(first.config,
                                             key=first.config_key)
-                logits = session.predict(nodes=first.nodes)
+                # activate the first request's context so spans recorded
+                # deeper in the stack (chunk fetches, compiled replay)
+                # nest under this request's trace
+                with (tracer.activate(first.trace) if tracing
+                      else nullcontext()):
+                    logits = session.predict(nodes=first.nodes)
                 version = session.graph_version
             except Exception as exc:
                 return self._fail_all(requests, exc)
             node_results[batch.key] = (logits, version)
+        t1 = _clock.now() if timed else 0.0
+        _hooks.fire("on_batch_end", key=batch.key, size=len(requests),
+                    seconds=t1 - t0)
+        if tracing:
+            for request in requests:
+                if request.trace is None:
+                    continue
+                tracer.record("batch", request.drained_at, batch.flushed_at,
+                              parent=request.trace,
+                              attrs={"size": len(requests)})
+                tracer.record("compute", t0, t1, parent=request.trace,
+                              attrs={"shared": shared})
         done = 0
         for request in requests:
             # fan-out: every future owns its own copy — the pristine
             # original stays in the memo, immune to client mutation
             done += self._complete(request, logits.copy(), now,
                                    version=version)
-        self.stats.shared_computes += len(requests) - (0 if shared else 1)
+        self.stats.bump("shared_computes", len(requests) - (0 if shared else 1))
         return done
 
     def _execute_graphs(self, batch: MicroBatch, now: float) -> int:
@@ -423,9 +504,26 @@ class InferenceServer:
         self.stats.record_batch(len(items))
         first = items[0][0].request
         unique = sorted({i for _, _, i in items})
+        tracer = get_tracer()
+        roots: list[Request] = []
+        if tracer.enabled:
+            seen_scatters: set[int] = set()
+            for scatter, _, _ in items:
+                if (id(scatter) in seen_scatters
+                        or scatter.request.trace is None):
+                    continue
+                seen_scatters.add(id(scatter))
+                roots.append(scatter.request)
+        tracing = bool(roots)
+        timed = tracing or _hooks.active("on_batch_end")
+        _hooks.fire("on_batch_start", key=batch.key, size=len(items))
+        t0 = _clock.now() if timed else 0.0
         try:
             session = self.pool.acquire(first.config, key=first.config_key)
-            outs = session.predict(indices=np.asarray(unique, dtype=np.int64))
+            with (tracer.activate(first.trace) if tracing
+                  and first.trace is not None else nullcontext()):
+                outs = session.predict(
+                    indices=np.asarray(unique, dtype=np.int64))
             version = session.graph_version
         except Exception as exc:
             seen: set[int] = set()
@@ -436,11 +534,20 @@ class InferenceServer:
                 seen.add(id(scatter))
                 if not scatter.request.future.done():
                     scatter.request.future.set_exception(exc)
-                    self.stats.failed += 1
+                    self.stats.bump("failed")
                     failed += 1
             return failed
+        t1 = _clock.now() if timed else 0.0
+        _hooks.fire("on_batch_end", key=batch.key, size=len(items),
+                    seconds=t1 - t0)
+        for request in roots:
+            tracer.record("batch", request.drained_at, batch.flushed_at,
+                          parent=request.trace,
+                          attrs={"size": len(items)})
+            tracer.record("compute", t0, t1, parent=request.trace,
+                          attrs={"graphs": len(unique)})
         by_index = {i: outs[pos] for pos, i in enumerate(unique)}
-        self.stats.shared_computes += len(items) - len(unique)
+        self.stats.bump("shared_computes", len(items) - len(unique))
         done = 0
         for scatter, slot, i in items:
             if scatter.fill(slot, by_index[i].copy()):
@@ -463,7 +570,7 @@ class InferenceServer:
                                         key=request.config_key)
             expected = request.expected_version
             if expected is not None and session.graph_version >= expected:
-                self.stats.mutations_ignored += 1
+                self.stats.bump("mutations_ignored")
             else:
                 session.apply_delta(request.delta)
                 if (expected is not None
@@ -474,12 +581,12 @@ class InferenceServer:
                     # could be applied twice — node additions are not
                     # idempotent)
                     session.dataset.graph_version = expected
-                self.stats.mutations += 1
+                self.stats.bump("mutations")
             version = session.graph_version
         except Exception as exc:
             if not request.future.done():
                 request.future.set_exception(exc)
-                self.stats.failed += 1
+                self.stats.bump("failed")
             return 1
         return self._complete(request, version, now, version=version)
 
@@ -491,18 +598,26 @@ class InferenceServer:
             request.future.set_exception(DeadlineExceededError(
                 f"request {request.id} completed after its deadline; "
                 "result dropped"))
-            self.stats.expired += 1
+            self.stats.bump("expired")
             return 1
         request.future.set_result(value, graph_version=version)
-        self.stats.completed += 1
+        self.stats.bump("completed")
         self.stats.record_latency(now - request.enqueued_at)
+        tracer = get_tracer()
+        if tracer.enabled and request.trace is not None:
+            drained = request.drained_at or request.enqueued_at
+            tracer.record("queue_wait", request.enqueued_at, drained,
+                          parent=request.trace)
+            tracer.record("request", request.enqueued_at, now,
+                          ctx=request.trace,
+                          attrs={"id": request.id, "kind": request.kind})
         return 1
 
     def _fail_all(self, requests: list[Request], exc: Exception) -> int:
         for request in requests:
             if not request.future.done():
                 request.future.set_exception(exc)
-                self.stats.failed += 1
+                self.stats.bump("failed")
         return len(requests)
 
     # -- threaded mode ---------------------------------------------------- #

@@ -8,9 +8,17 @@ protocol with the router over a duplex pipe:
   :func:`repro.distributed.pack_array`, configs as their canonical JSON);
 * ``("ping", seq)`` → ``("pong", seq, worker_id)`` — heartbeat;
 * ``("stats", seq)`` → ``("stats", seq, worker_id, state)`` — raw
-  :meth:`~repro.serve.server.ServerStats.state_dict` + pool counters for
+  :meth:`~repro.serve.server.ServerStats.state_dict` + pool counters +
+  the worker's :meth:`~repro.obs.MetricsRegistry.state_dict` for
   cluster-level merging;
+* ``("trace", enabled)`` — toggle span collection in the worker (the
+  router broadcasts it so ``trace on`` reaches the whole fleet);
 * ``("shutdown",)`` → drain, ``("bye", worker_id)``, exit.
+
+The wire format is versioned (:data:`WIRE_PROTOCOL_VERSION`): the
+router stamps the version it speaks into each :class:`WorkerInit` and
+the worker refuses to start on a mismatch — a stale worker binary
+silently dropping the trace field would be worse than a loud error.
 
 The loop batches naturally: it keeps draining the pipe while messages
 are available and only executes once the pipe goes momentarily quiet,
@@ -34,11 +42,14 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..distributed.comm import pack_array, unpack_array
+from ..obs.metrics import get_registry
+from ..obs.trace import TraceContext, get_tracer, set_tracing
 from .batcher import BatchPolicy
 from .pool import SessionPool
 from .server import InferenceServer
 
 __all__ = [
+    "WIRE_PROTOCOL_VERSION",
     "WorkUnit",
     "WorkResult",
     "WorkerInit",
@@ -47,6 +58,12 @@ __all__ = [
     "ProcessWorker",
     "InlineWorker",
 ]
+
+#: Version of the router↔worker pipe protocol.  v2 added the optional
+#: ``trace`` field on :class:`WorkUnit`, ``spans`` on
+#: :class:`WorkResult`, the ``("trace", enabled)`` message, and the
+#: ``"obs"`` key in the stats reply.
+WIRE_PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -62,6 +79,11 @@ class WorkUnit:
     ``expected_version`` is the mutation exactly-once guard: the
     ``graph_version`` the delta produces; a worker already at (or past)
     it acks a redelivery without re-applying.
+
+    ``trace`` (protocol v2) is the router's preallocated dispatch-span
+    context in :meth:`~repro.obs.TraceContext.to_wire` form — the
+    worker parents its request spans under it, stitching one span tree
+    across the process boundary.  ``None`` when tracing is off.
     """
 
     id: int
@@ -69,6 +91,7 @@ class WorkUnit:
     kind: str  # "nodes" | "graphs" | "mutate"
     payload: bytes | None = None
     expected_version: int | None = None
+    trace: tuple | None = None  # (trace_id, span_id) wire context
 
 
 @dataclass(frozen=True)
@@ -78,7 +101,10 @@ class WorkResult:
     ``graph_version`` carries the dataset version the result was
     computed at (stamped by the worker's server) back across the pipe,
     so the router can re-stamp the caller's future — the cluster end of
-    the streaming staleness contract.
+    the streaming staleness contract.  ``spans`` (protocol v2) carries
+    the worker-side trace spans of this unit's trace as
+    :meth:`~repro.obs.Span.to_dict` rows, for the router to
+    :meth:`~repro.obs.Tracer.ingest` — empty when tracing is off.
     """
 
     id: int
@@ -87,6 +113,7 @@ class WorkResult:
     payload: bytes | None = None
     error: str | None = None
     graph_version: int | None = None
+    spans: tuple = ()
 
     def value(self):
         """Decode the framed logits array (success results only)."""
@@ -110,6 +137,12 @@ class WorkerInit:
     pristine), so startup ships O(manifest) bytes per worker no matter
     how large the dataset is.  ``checkpoints`` maps configs (by JSON)
     to checkpoint paths loaded on admission.
+
+    ``protocol`` stamps the wire version the router speaks
+    (:data:`WIRE_PROTOCOL_VERSION`); the runtime refuses a mismatch.
+    ``trace_enabled`` makes a worker spawned while tracing is already
+    on start collecting immediately (later toggles arrive as
+    ``("trace", enabled)`` messages).
     """
 
     worker_id: str
@@ -120,6 +153,8 @@ class WorkerInit:
     datasets: tuple = ()      # ((config_json, dataset_blob), ...)
     stores: tuple = ()        # ((config_json, store_path), ...)
     checkpoints: tuple = ()   # ((config_json, path), ...)
+    protocol: int = WIRE_PROTOCOL_VERSION
+    trace_enabled: bool = False
 
 
 class WorkerRuntime:
@@ -132,6 +167,11 @@ class WorkerRuntime:
     def __init__(self, init: WorkerInit):
         from ..api import RunConfig
 
+        if init.protocol != WIRE_PROTOCOL_VERSION:
+            raise ValueError(
+                f"worker {init.worker_id}: wire protocol mismatch — "
+                f"router speaks v{init.protocol}, this worker speaks "
+                f"v{WIRE_PROTOCOL_VERSION}")
         self.worker_id = init.worker_id
         self.pool = SessionPool(max_sessions=init.pool_size)
         for cfg_json, blob in init.datasets:
@@ -165,28 +205,46 @@ class WorkerRuntime:
             if config is None:
                 config = RunConfig.from_json(unit.config_json)
                 self._configs[unit.config_json] = config
+            # the router's preallocated dispatch span parents this
+            # worker's request spans — one tree, two processes
+            parent = TraceContext.from_wire(unit.trace)
             if unit.kind == "mutate":
                 from ..stream import GraphDelta
 
                 future = self.server.submit_delta(
                     config, GraphDelta.from_payload(unit.payload),
-                    expected_version=unit.expected_version)
+                    expected_version=unit.expected_version,
+                    trace=parent)
             else:
                 payload = (None if unit.payload is None
                            else unpack_array(unit.payload))
                 kwargs = ({"nodes": payload} if unit.kind == "nodes"
                           else {"indices": payload})
-                future = self.server.submit(config, **kwargs)
+                future = self.server.submit(config, trace=parent, **kwargs)
         except Exception as exc:
             return unit, WorkResult(id=unit.id, worker_id=self.worker_id,
                                     ok=False, error=repr(exc))
         return unit, future
 
     def execute(self, pending) -> list[WorkResult]:
-        """Run everything submitted so far; one result per pending unit."""
+        """Run everything submitted so far; one result per pending unit.
+
+        With tracing on, the spans each unit's trace produced here are
+        removed from the worker's buffer and shipped back on its
+        result (:attr:`WorkResult.spans`) for the router to ingest.
+        """
         self.server.run_until_idle()
+        tracer = get_tracer()
+        span_map: dict[str, list] = {}
+        if tracer.enabled:
+            wanted = {unit.trace[0] for unit, _ in pending
+                      if unit.trace is not None}
+            for row in tracer.take(wanted):
+                span_map.setdefault(row["trace_id"], []).append(row)
         results = []
         for unit, fut in pending:
+            spans = (() if unit.trace is None
+                     else tuple(span_map.get(unit.trace[0], ())))
             if isinstance(fut, WorkResult):  # submission already failed
                 results.append(fut)
                 continue
@@ -194,19 +252,28 @@ class WorkerRuntime:
             if exc is not None:
                 results.append(WorkResult(id=unit.id,
                                           worker_id=self.worker_id,
-                                          ok=False, error=repr(exc)))
+                                          ok=False, error=repr(exc),
+                                          spans=spans))
             else:
                 results.append(WorkResult(id=unit.id,
                                           worker_id=self.worker_id, ok=True,
                                           payload=pack_array(fut.result()),
-                                          graph_version=fut.graph_version))
+                                          graph_version=fut.graph_version,
+                                          spans=spans))
         return results
 
     def state(self) -> dict:
-        """Raw stats for cluster merging: server state_dict + pool view."""
+        """Raw stats for cluster merging: server state_dict + pool view.
+
+        ``"obs"`` carries this process's whole
+        :meth:`~repro.obs.MetricsRegistry.state_dict`; its ``source``
+        id lets the router's merge count an inline worker (sharing the
+        router's registry) exactly once.
+        """
         return {
             "worker_id": self.worker_id,
             "server": self.server.stats.state_dict(),
+            "obs": get_registry().state_dict(),
             "pool": {
                 "sessions": len(self.pool),
                 "hits": self.pool.stats.hits,
@@ -225,6 +292,8 @@ def worker_main(init: WorkerInit, conn) -> None:
     on ``("shutdown",)`` or when the router end of the pipe closes.
     """
     runtime = WorkerRuntime(init)
+    if init.trace_enabled:
+        set_tracing(True)
     pending: list = []
     running = True
     while running:
@@ -244,6 +313,8 @@ def worker_main(init: WorkerInit, conn) -> None:
                 conn.send(("pong", msg[1], init.worker_id))
             elif kind == "stats":
                 conn.send(("stats", msg[1], init.worker_id, runtime.state()))
+            elif kind == "trace":
+                set_tracing(msg[1])
             elif kind == "shutdown":
                 running = False
             continue  # keep draining so bursts coalesce into one batch
@@ -356,6 +427,8 @@ class InlineWorker:
             elif kind == "stats":
                 self._outbox.append(("stats", msg[1], self.id,
                                      self.runtime.state()))
+            elif kind == "trace":
+                set_tracing(msg[1])  # shares the process-global tracer
             elif kind == "shutdown":
                 self._stopped = True
         if self._pending:

@@ -21,8 +21,11 @@ the touched chunk files instead and never grow an overlay.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 
 import numpy as np
+
+from ..obs.trace import get_tracer
 
 __all__ = ["ChunkedRowArray"]
 
@@ -156,9 +159,19 @@ class ChunkedRowArray:
                                    side="right") - 1
             chunks = np.unique(cidx)
             base_pos = np.nonzero(base)[0]
+            tracer = get_tracer()
+            # a chunk_fetch span only when a request's ambient trace
+            # context is active — idle scans don't mint orphan traces
+            span = (tracer.span("chunk_fetch",
+                                attrs={"array": self._name,
+                                       "chunks": int(len(chunks)),
+                                       "rows": int(len(base_rows))})
+                    if tracer.enabled and tracer.current() is not None
+                    else nullcontext())
             # pin every chunk this gather reads so the copy loop cannot
             # have its own working set evicted under it by a tight budget
-            with self._cache.pinned(self._chunk_key(c) for c in chunks):
+            with self._cache.pinned(
+                    self._chunk_key(c) for c in chunks), span:
                 for c in chunks:
                     sel = cidx == c
                     data = self.chunk(int(c))

@@ -24,6 +24,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from contextlib import contextmanager
 
+from ..obs import hooks as _hooks
+from ..obs.metrics import get_registry
+
 __all__ = ["ChunkCache", "DEFAULT_CACHE_BYTES"]
 
 #: Default chunk-cache byte budget for :func:`repro.store.open_store`.
@@ -48,6 +51,20 @@ class ChunkCache:
         self._entries: OrderedDict = OrderedDict()  # key -> (array, nbytes)
         self._pins: dict = {}                       # key -> pin count
         self._bytes = 0
+        registry = get_registry()
+        self._obs_hits = registry.counter(
+            "repro_store_chunk_hits_total",
+            "chunk-cache reads served from a resident chunk")
+        self._obs_misses = registry.counter(
+            "repro_store_chunk_misses_total",
+            "chunk-cache reads that loaded a chunk from disk")
+        self._obs_evictions = registry.counter(
+            "repro_store_chunk_evictions_total",
+            "chunks evicted by the byte-budget LRU")
+        # delta-tracked so several caches in one process sum correctly
+        self._obs_bytes = registry.gauge(
+            "repro_store_cached_bytes",
+            "logical bytes currently resident in chunk caches")
 
     # -- core ------------------------------------------------------------- #
     def get(self, key, loader):
@@ -56,17 +73,23 @@ class ChunkCache:
         The entry moves to most-recently-used either way; after a miss
         the LRU tier is trimmed back under the byte budget (pinned
         entries and the entry just loaded are never eviction victims).
+        A miss also fires the ``on_chunk_miss`` profiling hook with the
+        loaded chunk's size.
         """
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            self._obs_hits.inc()
             self._entries.move_to_end(key)
             return entry[0]
         self.misses += 1
+        self._obs_misses.inc()
         array = loader()
         nbytes = int(array.nbytes)
+        _hooks.fire("on_chunk_miss", key=key, nbytes=nbytes)
         self._entries[key] = (array, nbytes)
         self._bytes += nbytes
+        self._obs_bytes.add(nbytes)
         self._trim(keep=key)
         return array
 
@@ -82,7 +105,9 @@ class ChunkCache:
                 break
             _, nbytes = self._entries.pop(victim)
             self._bytes -= nbytes
+            self._obs_bytes.add(-nbytes)
             self.evictions += 1
+            self._obs_evictions.inc()
 
     def evict(self, key) -> bool:
         """Drop one entry regardless of recency (not counted as an
@@ -95,6 +120,7 @@ class ChunkCache:
         if entry is None:
             return False
         self._bytes -= entry[1]
+        self._obs_bytes.add(-entry[1])
         return True
 
     def clear(self) -> None:
@@ -102,6 +128,7 @@ class ChunkCache:
         for key in [k for k in self._entries if not self._pins.get(k)]:
             _, nbytes = self._entries.pop(key)
             self._bytes -= nbytes
+            self._obs_bytes.add(-nbytes)
 
     # -- pinning ----------------------------------------------------------- #
     def pin(self, key) -> None:

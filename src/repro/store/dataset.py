@@ -204,7 +204,12 @@ class StoredNodeDataset:
         return self._manifest
 
     def cache_stats(self) -> dict:
-        """Chunk-cache hit/miss/eviction counters and occupancy."""
+        """Chunk-cache hit/miss/eviction counters and occupancy.
+
+        A view over :meth:`~repro.store.ChunkCache.stats`; the same
+        counts stream into the ``repro_store_chunk_*`` metrics of the
+        process-global registry as they happen.
+        """
         return self.cache.stats()
 
     @property

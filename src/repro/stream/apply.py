@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs.metrics import get_registry
 from .delta import GraphDelta
 
 __all__ = ["DeltaReport", "apply_delta", "full_rebuild", "make_churn_deltas"]
@@ -75,6 +76,14 @@ def _finish(dataset, delta: GraphDelta, graph: CSRGraph,
         updated = len(delta.update_nodes)
     dataset.graph = graph
     dataset.graph_version = int(getattr(dataset, "graph_version", 0)) + 1
+    registry = get_registry()
+    registry.counter(
+        "repro_stream_deltas_total",
+        "GraphDeltas applied to a live dataset").inc()
+    registry.gauge(
+        "repro_stream_graph_version",
+        "latest dataset graph_version observed in this process",
+    ).set(dataset.graph_version)
     return DeltaReport(
         graph_version=dataset.graph_version,
         touched_rows=touched,

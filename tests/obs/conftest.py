@@ -1,0 +1,34 @@
+"""Observability test fixtures: isolated registry/tracer per test.
+
+The registry and tracer are process-global by design; every test here
+gets a fresh :class:`~repro.obs.MetricsRegistry` swapped in (and the
+old one restored afterwards), a cleared span buffer, tracing switched
+off, and no profiling hooks — so tests cannot observe each other's
+counters or spans.
+"""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    clear_hooks,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    tracer = get_tracer()
+    tracer.clear()
+    set_tracing(False)
+    clear_hooks()
+    yield
+    clear_hooks()
+    set_tracing(False)
+    tracer.clear()
+    set_registry(previous)

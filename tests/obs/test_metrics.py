@@ -1,0 +1,258 @@
+"""MetricsRegistry: counters, gauges, histograms, merge, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    POW2_BUCKET_BOUNDS,
+    Counter,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    metrics_table,
+    set_metrics_enabled,
+    to_json,
+    to_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("x_total", "a count")
+        assert c.value() == 0
+        c.inc()
+        c.inc(5)
+        assert c.value() == 6
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        c = MetricsRegistry().counter("x_total", labels=("op",))
+        c.inc(op="a")
+        c.inc(3, op="b")
+        assert c.value(op="a") == 1
+        assert c.value(op="b") == 3
+        assert c.series_count() == 2
+
+    def test_wrong_labels_rejected(self):
+        c = MetricsRegistry().counter("x_total", labels=("op",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(kind="a")
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc()
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "first", labels=("op",))
+        b = reg.counter("x_total", "second", labels=("op",))
+        assert a is b
+
+    def test_conflicting_registration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("op",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("x_total", labels=("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total", labels=("op",))
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("level")
+        g.set(10)
+        g.add(-3)
+        assert g.value() == 7
+
+    def test_add_before_set_starts_at_zero(self):
+        g = MetricsRegistry().gauge("level")
+        g.add(4)
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_count_and_sum_are_exact(self):
+        h = MetricsRegistry().histogram("lat_seconds")
+        for v in (0.001, 0.002, 0.004):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(0.007)
+
+    def test_power_of_two_buckets(self):
+        assert POW2_BUCKET_BOUNDS[0] == 2.0 ** -20
+        assert POW2_BUCKET_BOUNDS[-1] == 32.0
+        h = MetricsRegistry().histogram("lat_seconds")
+        h.observe(0.5)     # lands in the 0.5 bucket (upper edge)
+        h.observe(100.0)   # beyond the last bound -> +Inf only
+        series = h._snapshot_series()[0]
+        buckets = dict((str(b), c) for b, c in series["buckets"])
+        assert buckets["0.5"] == 1
+        assert buckets["32.0"] == 1
+        assert buckets["+Inf"] == 2
+
+    def test_custom_bounds_validated(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("bad", bounds=(1.0, 1.0, 2.0))
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total")
+        h = reg.histogram("lat_seconds")
+        c.inc(100)
+        h.observe(1.0)
+        assert c.value() == 0
+        assert h.count() == 0
+
+    def test_global_toggle(self):
+        assert metrics_enabled()  # conftest installs an enabled registry
+        c = get_registry().counter("x_total")
+        set_metrics_enabled(False)
+        c.inc()
+        assert c.value() == 0
+        set_metrics_enabled(True)
+        c.inc()
+        assert c.value() == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_and_snapshots_are_exact(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labels=("t",))
+        h = reg.histogram("lat_seconds")
+        per_thread, n_threads = 500, 8
+        errors = []
+
+        def writer(tid):
+            try:
+                for _ in range(per_thread):
+                    c.inc(t=str(tid % 2))
+                    h.observe(0.001)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(200):
+                    reg.snapshot()
+                    reg.state_dict()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=writer, args=(i,))
+                    for i in range(n_threads)]
+                   + [threading.Thread(target=reader) for _ in range(2)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert c.value(t="0") + c.value(t="1") == per_thread * n_threads
+        assert h.count() == per_thread * n_threads
+
+
+class TestMerge:
+    def test_same_source_counted_once(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc(5)
+        merged = MetricsRegistry.merge([reg.state_dict(),
+                                        reg.state_dict(),
+                                        reg.state_dict()])
+        assert merged["x_total"]["series"] == [{"labels": {}, "value": 5}]
+
+    def test_distinct_sources_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x_total", labels=("op",)).inc(2, op="r")
+        b.counter("x_total", labels=("op",)).inc(3, op="r")
+        b.counter("x_total", labels=("op",)).inc(1, op="w")
+        merged = MetricsRegistry.merge([a.state_dict(), b.state_dict()])
+        series = {tuple(s["labels"].items()): s["value"]
+                  for s in merged["x_total"]["series"]}
+        assert series[(("op", "r"),)] == 5
+        assert series[(("op", "w"),)] == 1
+
+    def test_histograms_merge_elementwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat_seconds").observe(0.001)
+        b.histogram("lat_seconds").observe(0.001)
+        b.histogram("lat_seconds").observe(4.0)
+        merged = MetricsRegistry.merge([a.state_dict(), b.state_dict()])
+        series = merged["lat_seconds"]["series"][0]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(4.002)
+        # cumulative +Inf bucket covers every observation
+        assert series["buckets"][-1] == ["+Inf", 3]
+
+    def test_merge_matches_single_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "desc").inc(2)
+        reg.histogram("lat_seconds").observe(0.5)
+        assert MetricsRegistry.merge([reg.state_dict()]) == reg.snapshot()
+
+    def test_conflicting_kinds_raise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        a.get("x").inc()
+        b.gauge("x").set(1)
+        with pytest.raises(ValueError, match="conflicting kinds"):
+            MetricsRegistry.merge([a.state_dict(), b.state_dict()])
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.inc(3)
+        reg.reset()
+        assert c.value() == 0
+        assert reg.counter("x_total") is c
+
+
+class TestExporters:
+    def make_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests served",
+                    labels=("op",)).inc(7, op="read")
+        reg.gauge("cache_bytes", "resident bytes").set(4096)
+        reg.histogram("lat_seconds", "request latency").observe(0.001)
+        return reg.snapshot()
+
+    def test_prometheus_text_format(self):
+        text = to_prometheus(self.make_snapshot())
+        assert "# HELP req_total requests served" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{op="read"} 7' in text
+        assert "cache_bytes 4096" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert "lat_seconds_sum 0.001" in text
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("k",)).inc(k='a"b\\c')
+        text = to_prometheus(reg.snapshot())
+        assert 'x_total{k="a\\"b\\\\c"} 1' in text
+
+    def test_json_round_trips(self):
+        snapshot = self.make_snapshot()
+        assert json.loads(to_json(snapshot)) == snapshot
+
+    def test_table_renders_every_series(self):
+        table = metrics_table(self.make_snapshot())
+        text = table.render()
+        assert "req_total" in text
+        assert "op=read" in text
+        assert "n=1" in text
+        # non-time histograms must not be rendered with a time unit
+        table2 = metrics_table(
+            {"occupancy": {"kind": "histogram", "description": "",
+                           "label_names": [],
+                           "series": [{"labels": {}, "count": 2, "sum": 8.0,
+                                       "buckets": [["+Inf", 2]]}]}})
+        assert "4.00" in table2.render()
+        assert "4.00s" not in table2.render()

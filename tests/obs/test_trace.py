@@ -1,0 +1,171 @@
+"""Tracer: contexts, span recording, ambient nesting, exports.
+
+Span timestamps read :func:`repro._clock.now`, so every duration here
+is pinned exactly by a :class:`~repro.serve.ManualClock` — no sleeps,
+no tolerance windows.
+"""
+
+import json
+
+from repro.obs import (
+    Span,
+    TraceContext,
+    Tracer,
+    get_tracer,
+    set_tracing,
+    spans_to_chrome,
+    spans_to_jsonl,
+    tracing_enabled,
+)
+from repro.serve import ManualClock, clock_override
+
+
+def enabled_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.enabled = True
+    return tracer
+
+
+class TestContexts:
+    def test_new_trace_root_has_no_parent(self):
+        tracer = enabled_tracer()
+        ctx = tracer.new_context()
+        assert ctx.parent_id is None
+        assert ctx.trace_id.startswith("t")
+        assert ctx.span_id.startswith("s")
+
+    def test_child_context_inherits_trace(self):
+        tracer = enabled_tracer()
+        root = tracer.new_context()
+        child = tracer.new_context(parent=root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_wire_round_trip(self):
+        tracer = enabled_tracer()
+        ctx = tracer.new_context()
+        back = TraceContext.from_wire(ctx.to_wire())
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+        assert TraceContext.from_wire(None) is None
+
+
+class TestRecording:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        assert tracer.record("x", 0.0, 1.0) is None
+        with tracer.span("y"):
+            pass
+        assert tracer.spans() == []
+
+    def test_record_as_preallocated_context(self):
+        tracer = enabled_tracer()
+        ctx = tracer.new_context()
+        span = tracer.record("dispatch", 1.0, 3.0, ctx=ctx)
+        assert span.span_id == ctx.span_id
+        assert span.duration == 2.0
+
+    def test_record_parent_mints_child(self):
+        tracer = enabled_tracer()
+        root = tracer.new_context()
+        span = tracer.record("queue_wait", 0.0, 1.0, parent=root)
+        assert span.parent_id == root.span_id
+        assert span.trace_id == root.trace_id
+
+    def test_span_durations_pinned_by_manual_clock(self):
+        tracer = enabled_tracer()
+        clock = ManualClock(start=100.0)
+        with clock_override(clock):
+            with tracer.span("outer"):
+                clock.advance(2.0)
+                with tracer.span("inner", attrs={"k": 1}):
+                    clock.advance(0.5)
+                clock.advance(1.0)
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["inner"].duration == 0.5
+        assert by_name["outer"].duration == 3.5
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].attrs == {"k": 1}
+
+    def test_activate_parents_nested_spans(self):
+        tracer = enabled_tracer()
+        request = tracer.new_context()
+        with clock_override(ManualClock()):
+            with tracer.activate(request):
+                assert tracer.current() is request
+                with tracer.span("chunk_fetch"):
+                    pass
+            assert tracer.current() is None
+        (span,) = tracer.spans()
+        assert span.trace_id == request.trace_id
+        assert span.parent_id == request.span_id
+
+    def test_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=4)
+        tracer.enabled = True
+        for i in range(10):
+            tracer.record(f"s{i}", 0.0, 1.0)
+        names = [s.name for s in tracer.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+
+class TestTakeIngest:
+    def test_take_removes_only_wanted_traces(self):
+        tracer = enabled_tracer()
+        a, b = tracer.new_context(), tracer.new_context()
+        tracer.record("x", 0.0, 1.0, ctx=a)
+        tracer.record("y", 0.0, 1.0, ctx=b)
+        taken = tracer.take({a.trace_id})
+        assert [d["trace_id"] for d in taken] == [a.trace_id]
+        assert [s.trace_id for s in tracer.spans()] == [b.trace_id]
+
+    def test_ingest_round_trips_span_identity(self):
+        src, dst = enabled_tracer(), enabled_tracer()
+        ctx = src.new_context()
+        src.record("compute", 1.0, 2.0, ctx=ctx, attrs={"shared": True})
+        shipped = src.take({ctx.trace_id})
+        assert dst.ingest(shipped) == 1
+        (span,) = dst.spans()
+        assert span.span_id == ctx.span_id
+        assert span.trace_id == ctx.trace_id
+        assert span.attrs == {"shared": True}
+
+    def test_ingest_noop_when_disabled(self):
+        tracer = Tracer()
+        assert tracer.ingest([{"trace_id": "t", "span_id": "s",
+                               "name": "x", "start": 0.0, "end": 1.0}]) == 0
+        assert tracer.spans() == []
+
+
+class TestExports:
+    def make_spans(self):
+        return [Span("t1", "s2", "s1", "child", 1.0, 2.0, {"k": "v"}),
+                Span("t1", "s1", None, "root", 0.0, 3.0)]
+
+    def test_jsonl_is_sorted_and_parseable(self):
+        rows = [json.loads(line)
+                for line in spans_to_jsonl(self.make_spans()).splitlines()]
+        assert [r["name"] for r in rows] == ["root", "child"]
+        assert rows[1]["duration"] == 1.0
+        assert rows[1]["attrs"] == {"k": "v"}
+
+    def test_chrome_format(self):
+        doc = spans_to_chrome(self.make_spans())
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        root = next(e for e in events if e["name"] == "root")
+        assert root["ts"] == 0.0
+        assert root["dur"] == 3.0e6  # microseconds
+        # both spans of one trace share a pid lane
+        assert len({e["pid"] for e in events}) == 1
+
+
+class TestGlobals:
+    def test_set_tracing_toggles_global_tracer(self):
+        assert not tracing_enabled()  # conftest switches it off
+        set_tracing(True)
+        assert tracing_enabled()
+        assert get_tracer().enabled
+        set_tracing(False)
+        assert not tracing_enabled()

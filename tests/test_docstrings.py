@@ -16,7 +16,7 @@ import pkgutil
 import pytest
 
 DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.stream",
-                       "repro.store", "repro.backend")
+                       "repro.store", "repro.backend", "repro.obs")
 EXTRA_MODULES = ("repro.docgen",)
 
 
