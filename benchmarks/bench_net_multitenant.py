@@ -1,0 +1,225 @@
+"""Network serving benchmark: wire fidelity, multi-tenant admission, elastic.
+
+Three gates on the socket tier, one artifact (``BENCH_net.json``):
+
+* **wire fidelity** — logits served over a real localhost TCP round trip
+  (NetClient → NetServer → InferenceServer) are bitwise-identical to a
+  direct in-process ``Session.predict``;
+* **multi-tenant overload** — a deterministic virtual-clock run where the
+  batch-class tenant offers 2× its admitted quota: the gold class is
+  never starved (every offered request completes, none expire), the
+  metered class is shaped by quota rejections, and per-class latency
+  percentiles are reported;
+* **elastic scaling** — a sustained queue backlog spawns a worker
+  (hysteresis-gated), the drained results stay bitwise-correct, and the
+  idle fleet retires back to its floor.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.bench import net_tenant_table
+from repro.graph import load_node_dataset
+from repro.net import AdmissionController, NetClient, NetServer, TenantPolicy
+from repro.serve import (
+    BatchPolicy,
+    ElasticController,
+    ElasticPolicy,
+    InferenceServer,
+    ServingCluster,
+    SessionPool,
+    TenantSpec,
+    run_multitenant_loop,
+)
+
+SCALE = 0.05
+SEED = 7
+MODEL = ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                    num_heads=4, dropout=0.0)
+
+# wire-fidelity round trips
+WIRE_REQUESTS = 8
+
+# multi-tenant overload: the batch class offers OVERLOAD× its quota
+DURATION_S = 12.0
+OVERLOAD = 2.0
+BATCH_RATE_RPS = 8.0
+TENANTS = [
+    TenantSpec("gold-co", rate_rps=6.0, priority="gold",
+               nodes_per_request=24),
+    TenantSpec("std-co", rate_rps=10.0, priority="standard",
+               nodes_per_request=24),
+    TenantSpec("batch-co", rate_rps=BATCH_RATE_RPS, priority="batch",
+               nodes_per_request=24),
+]
+
+# elastic: burst depth over threshold × workers, then idle
+ELASTIC_BURST = 20
+
+
+def make_config() -> RunConfig:
+    return RunConfig(data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),
+                     model=MODEL, engine=EngineConfig("gp-raw"),
+                     train=TrainConfig(epochs=1), seed=0)
+
+
+def _run_wire(config, dataset) -> dict:
+    """Localhost round trips vs direct prediction, bitwise-checked."""
+    want_full = Session(config, dataset=dataset).predict()
+    want_sub = Session(config, dataset=dataset).predict(nodes=np.arange(6))
+    pool = SessionPool(max_sessions=4)
+    pool.put_dataset(config, dataset)
+    backend = InferenceServer(
+        pool=pool, policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0),
+        max_queue_depth=64)
+    net = NetServer(backend).start()
+    identical = 0
+    try:
+        host, port = net.address
+        with NetClient(host, port, tenant="bench") as client:
+            rtt_s = client.ping()
+            for i in range(WIRE_REQUESTS):
+                if i % 2 == 0:
+                    got, want = client.predict(config), want_full
+                else:
+                    got = client.predict(config, nodes=np.arange(6))
+                    want = want_sub
+                if got.dtype == want.dtype and np.array_equal(got, want):
+                    identical += 1
+    finally:
+        net.close()
+        backend.close()
+    return {"num_requests": WIRE_REQUESTS, "identical": identical,
+            "ping_rtt_s": rtt_s,
+            "wire_bitwise_identical": identical == WIRE_REQUESTS}
+
+
+def _run_multitenant(config, dataset) -> dict:
+    """Virtual-clock overload: gold unmetered, batch at half its offer."""
+    pool = SessionPool(max_sessions=4)
+    pool.put_dataset(config, dataset)
+    server = InferenceServer(
+        pool=pool, policy=BatchPolicy(max_batch_size=16, max_wait_s=0.05),
+        max_queue_depth=256)
+    admission = AdmissionController(policies={
+        "batch-co": TenantPolicy(rate_rps=BATCH_RATE_RPS / OVERLOAD,
+                                 burst=4.0, priority="batch")})
+    try:
+        result = run_multitenant_loop(
+            server, config, TENANTS, duration_s=DURATION_S,
+            dataset=dataset, admission=admission, seed=SEED)
+    finally:
+        server.close()
+    result["overload_factor"] = OVERLOAD
+    return result
+
+
+def _run_elastic(config, dataset) -> dict:
+    """Backlog → spawn → drain (bitwise) → idle → retire."""
+    cluster = ServingCluster(
+        num_workers=2, warm_configs=[config],
+        datasets=[(config, dataset)], backend="inline",
+        policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0),
+        max_queue_depth=128)
+    ctl = ElasticController(cluster, ElasticPolicy(
+        min_workers=2, max_workers=3, scale_up_depth=4,
+        sustain_s=0.5, idle_s=1.0, cooldown_s=0.0))
+    try:
+        futures = [cluster.submit(config, nodes=np.arange(4))
+                   for _ in range(ELASTIC_BURST)]
+        ctl.tick(now=0.0)                      # opens the sustain window
+        spawn_action = ctl.tick(now=0.6)
+        workers_at_peak = len(cluster.router.workers())
+        cluster.run_until_idle()
+        want = Session(config, dataset=dataset).predict(nodes=np.arange(4))
+        identical = sum(
+            1 for f in futures
+            if np.array_equal(f.result(timeout=60.0), want))
+        ctl.tick(now=1.0)                      # opens the idle window
+        retire_action = ctl.tick(now=2.1)
+        workers_at_rest = len(cluster.router.workers())
+        stats = cluster.stats
+        return {"burst": ELASTIC_BURST,
+                "spawn_action": spawn_action,
+                "retire_action": retire_action,
+                "workers_at_peak": workers_at_peak,
+                "workers_at_rest": workers_at_rest,
+                "workers_spawned": stats.workers_spawned,
+                "workers_retired": stats.workers_retired,
+                "identical": identical,
+                "elastic_bitwise_identical": identical == ELASTIC_BURST}
+    finally:
+        cluster.close()
+
+
+def _run() -> dict:
+    config = make_config()
+    dataset = load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+    return {"wire": _run_wire(config, dataset),
+            "multitenant": _run_multitenant(config, dataset),
+            "elastic": _run_elastic(config, dataset)}
+
+
+def test_net_multitenant(benchmark, save_report, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    wire, mt, elastic = result["wire"], result["multitenant"], \
+        result["elastic"]
+    rep = net_tenant_table(mt, title=(
+        f"multi-tenant socket serving — {mt['num_arrivals']} arrivals, "
+        f"batch class offered {OVERLOAD:.0f}× its quota"))
+    rep.add_note("wire logits bitwise-identical to direct Session.predict: "
+                 + ("yes" if wire["wire_bitwise_identical"] else "NO")
+                 + f" ({wire['identical']}/{wire['num_requests']} round "
+                 f"trips, ping {wire['ping_rtt_s'] * 1e3:.2f}ms)")
+    rep.add_note(f"elastic: {elastic['workers_spawned']} spawned under "
+                 f"backlog ({elastic['workers_at_peak']} live at peak), "
+                 f"{elastic['workers_retired']} retired when idle "
+                 f"({elastic['workers_at_rest']} at rest), "
+                 f"{elastic['identical']}/{elastic['burst']} results "
+                 "bitwise-correct")
+    save_report("net_multitenant", rep)
+
+    with open(os.path.join(results_dir, "BENCH_net.json"), "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    # wire fidelity: every over-the-wire result bitwise-equal to direct
+    assert wire["wire_bitwise_identical"]
+
+    # zero starvation of the gold class under overload: everything it
+    # offered completed, nothing expired or was rejected
+    gold = mt["tenants"]["gold-co"]
+    assert gold["completed"] == gold["offered"] > 0
+    assert gold["expired"] == 0
+    assert gold["quota_rejected"] == 0 and gold["shed"] == 0
+    assert np.isfinite(gold["latency_p95_s"])
+    assert gold["latency_p95_s"] <= 1.0
+
+    # the metered batch class is shaped by quota, not starved silently:
+    # rejections are explicit, and what was admitted still completed
+    batch = mt["tenants"]["batch-co"]
+    assert batch["quota_rejected"] > 0
+    assert batch["completed"] > 0
+    assert np.isfinite(batch["latency_p95_s"])
+    assert mt["tenants"]["std-co"]["completed"] > 0
+
+    # elastic: at least one worker spawned under sustained depth, then
+    # retired at idle — with bitwise-correct results throughout
+    assert elastic["spawn_action"] == "spawn"
+    assert elastic["workers_spawned"] >= 1
+    assert elastic["workers_at_peak"] == 3
+    assert elastic["retire_action"] == "retire"
+    assert elastic["workers_retired"] >= 1
+    assert elastic["workers_at_rest"] == 2
+    assert elastic["elastic_bitwise_identical"]

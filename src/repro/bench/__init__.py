@@ -12,6 +12,7 @@ from .harness import (
     kernel_table,
     model_choices,
     model_table,
+    net_tenant_table,
     pattern_builder_table,
     serve_throughput_table,
     stage_breakdown_table,
@@ -31,6 +32,7 @@ __all__ = [
     "pattern_builder_table",
     "serve_throughput_table",
     "cluster_scaling_table",
+    "net_tenant_table",
     "stream_update_table",
     "StageProfiler",
     "stage_breakdown_table",

@@ -20,7 +20,7 @@ __all__ = ["TableReport", "SeriesReport", "fmt_time", "fmt_ratio",
            "backend_choices", "engine_choices", "kernel_table",
            "compute_backend_choices", "compute_backend_table",
            "pattern_builder_table", "serve_throughput_table",
-           "cluster_scaling_table", "StageProfiler",
+           "cluster_scaling_table", "net_tenant_table", "StageProfiler",
            "stage_breakdown_table"]
 
 
@@ -212,6 +212,38 @@ def cluster_scaling_table(result: dict, title: str | None = None) -> TableReport
     table.add_note(f"routing: {router['sticky']} sticky, "
                    f"{router['spills']} spilled, "
                    f"{router['reroutes']} rerouted")
+    return table
+
+
+def net_tenant_table(result: dict, title: str | None = None) -> TableReport:
+    """A :func:`repro.serve.run_multitenant_loop` result as a table.
+
+    One row per tenant (offered load, admission outcome, completion
+    accounting, latency percentiles), plus a totals note — the render
+    behind ``benchmarks/bench_net_multitenant.py``'s BENCH_net.json.
+    """
+    table = TableReport(
+        title=title or (
+            f"multi-tenant admission — {result['num_arrivals']} arrivals "
+            f"over {result['duration_s']:.0f}s (virtual), "
+            f"seed {result['seed']}"),
+        columns=["tenant", "class", "offered", "completed", "quota",
+                 "shed", "expired", "p50", "p95"])
+    def lat(x: float) -> str:
+        return "—" if x != x else fmt_time(x)  # NaN = no completions
+
+    for name, acct in result["tenants"].items():
+        table.add_row(name, acct["priority"], acct["offered"],
+                      acct["completed"], acct["quota_rejected"],
+                      acct["shed"], acct["expired"],
+                      lat(acct["latency_p50_s"]),
+                      lat(acct["latency_p95_s"]))
+    totals = result["total"]
+    table.add_note(f"totals: {totals['completed']} completed of "
+                   f"{totals['offered']} offered "
+                   f"({totals['quota_rejected']} quota-rejected, "
+                   f"{totals['shed']} shed, {totals['expired']} expired, "
+                   f"{totals['failed']} failed)")
     return table
 
 

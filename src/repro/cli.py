@@ -47,6 +47,7 @@ with an argv list.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import Sequence
@@ -376,6 +377,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{config.model.name} / {config.engine.name} on {tier} — "
           f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
           f"queue_depth={args.queue_depth}")
+    if args.listen:
+        return _serve_listen(backend, args.listen)
     print("commands: predict [id …] | mutate add|remove u v [u v …] | "
           "mutate churn [edges [seed]] | version | stats [prom|json] | "
           "trace on|off|dump [path] | quit")
@@ -432,6 +435,99 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"ok: {target} -> output shape {out.shape}{version}")
     backend.close()
     print("server closed")
+    return 0
+
+
+def _serve_listen(backend, listen: str) -> int:
+    """Run the serve backend behind a TCP front-end until interrupted."""
+    from repro.net import AdmissionController, NetServer
+
+    try:
+        host, _, port_str = listen.rpartition(":")
+        port = int(port_str)
+        host = host or "127.0.0.1"
+    except ValueError:
+        print(f"error: --listen wants HOST:PORT, got {listen!r}",
+              file=sys.stderr)
+        backend.close()
+        return 2
+    net = NetServer(backend, host=host, port=port,
+                    admission=AdmissionController())
+    bound_host, bound_port = net.address
+    print(f"listening on {bound_host}:{bound_port}", flush=True)
+    # SIGTERM drains like ^C: backgrounded shells (CI) ignore SIGINT,
+    # so `kill` must also produce a graceful shutdown
+    stop = {"flag": False}
+    previous = signal.signal(signal.SIGTERM,
+                             lambda signum, frame: stop.update(flag=True))
+    try:
+        while not stop["flag"]:
+            net.poll(io_timeout_s=0.05)
+        print("terminated — draining", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("interrupted — draining", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        net.close()
+        backend.close()
+    print("server closed")
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """One-shot network client: ping, predict, or stats over TCP."""
+    import json as _json
+
+    from repro.net import NetClient, NetClientError
+
+    host, _, port_str = args.connect.rpartition(":")
+    try:
+        port = int(port_str)
+    except ValueError:
+        print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    host = host or "127.0.0.1"
+    config_json = None
+    if args.config:
+        from repro.api import RunConfig
+
+        try:
+            config_json = RunConfig.load(args.config).to_json()
+        except FileNotFoundError:
+            print(f"error: no such config file: {args.config}",
+                  file=sys.stderr)
+            return 2
+    client = NetClient(host, port, tenant=args.tenant,
+                       priority=args.priority,
+                       request_timeout_s=args.timeout_s,
+                       connect_retries=args.retries)
+    try:
+        with client:
+            if args.ping:
+                rtt = client.ping()
+                print(f"pong from {host}:{port} in {rtt * 1e3:.2f}ms")
+            if args.stats:
+                print(_json.dumps(client.stats(), indent=2, sort_keys=True,
+                                  default=str))
+            if args.nodes or (config_json and not args.ping
+                              and not args.stats):
+                if config_json is None:
+                    print("error: predict needs --config", file=sys.stderr)
+                    return 2
+                subset = (np.array([int(i) for i in args.nodes])
+                          if args.nodes else None)
+                out = client.predict(config_json, nodes=subset,
+                                     timeout=args.timeout_s)
+                target = (f"{len(subset)} nodes" if subset is not None
+                          else "full node set")
+                version = ("" if client.last_graph_version is None
+                           else f"  (graph_version "
+                                f"{client.last_graph_version})")
+                print(f"ok: {target} -> output shape {out.shape}{version}")
+    except NetClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -739,6 +835,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve from a chunked on-disk store directory "
                         "(see `repro convert`); cluster workers open it "
                         "as a shared store by path")
+    s.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve over TCP instead of the stdin REPL "
+                        "(port 0 picks a free port; the bound address is "
+                        "printed as `listening on HOST:PORT`)")
+
+    nc = sub.add_parser("client",
+                        help="network client for `repro serve --listen`")
+    nc.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="server address to connect to")
+    nc.add_argument("--config", default=None, metavar="PATH",
+                    help="run.json naming the served model (for predict)")
+    nc.add_argument("--tenant", default="default",
+                    help="tenant id stamped on every request")
+    nc.add_argument("--priority", default="standard",
+                    choices=["gold", "standard", "batch"],
+                    help="priority class (maps to a deadline offset)")
+    nc.add_argument("--timeout-s", type=float, default=30.0,
+                    dest="timeout_s", help="per-request timeout")
+    nc.add_argument("--retries", type=int, default=20,
+                    help="connect attempts with exponential backoff "
+                         "(generous default tolerates server warm-up)")
+    nc.add_argument("--ping", action="store_true",
+                    help="round-trip a liveness ping")
+    nc.add_argument("--stats", action="store_true",
+                    help="print the server's stats snapshot as JSON")
+    nc.add_argument("nodes", nargs="*", metavar="ID",
+                    help="node ids to predict (default: full node set)")
 
     cv = sub.add_parser("convert",
                         help="write a dataset as a chunked on-disk store")
@@ -824,6 +947,7 @@ _COMMANDS = {
     "train": cmd_train,
     "run": cmd_run,
     "serve": cmd_serve,
+    "client": cmd_client,
     "convert": cmd_convert,
     "inspect": cmd_inspect,
     "bench-serve": cmd_bench_serve,

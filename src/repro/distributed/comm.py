@@ -54,16 +54,43 @@ def pack_array(arr: np.ndarray) -> bytes:
 
 
 def unpack_array(buf: bytes) -> np.ndarray:
-    """Decode a :func:`pack_array` frame back into an ndarray (a copy)."""
+    """Decode a :func:`pack_array` frame back into an ndarray (a copy).
+
+    Decoding is strict — every malformation (bad magic, lying header
+    length, undecodable dtype, buffer/shape size mismatch) raises
+    ``ValueError`` with a ``bad frame:`` message rather than letting
+    numpy fail arbitrarily.  Network-facing callers
+    (:mod:`repro.net.protocol`) rely on this to map any byte-level
+    corruption to a typed protocol error.
+    """
+    if len(buf) < 8:
+        raise ValueError(f"bad frame: {len(buf)} bytes is shorter than "
+                         "the fixed prelude")
     if buf[:4] != _FRAME_MAGIC:
         raise ValueError(
             f"bad frame: expected magic {_FRAME_MAGIC!r}, got {buf[:4]!r}")
     header_len = int.from_bytes(buf[4:8], "big")
-    header = buf[8:8 + header_len].decode()
-    dtype_str, shape_str = header.split(";")
-    shape = tuple(int(d) for d in shape_str.split(",") if d)
+    if 8 + header_len > len(buf):
+        raise ValueError(f"bad frame: header length {header_len} exceeds "
+                         f"frame ({len(buf)} bytes)")
+    try:
+        header = buf[8:8 + header_len].decode()
+        dtype_str, shape_str = header.split(";")
+        shape = tuple(int(d) for d in shape_str.split(",") if d)
+        dtype = np.dtype(dtype_str)
+    except (UnicodeDecodeError, TypeError, ValueError) as exc:
+        raise ValueError(f"bad frame: undecodable header ({exc})")
+    if any(d < 0 for d in shape):
+        raise ValueError(f"bad frame: negative dimension in shape {shape}")
+    if dtype.hasobject:
+        raise ValueError("bad frame: object dtypes cannot cross the wire")
     data = buf[8 + header_len:]
-    arr = np.frombuffer(data, dtype=np.dtype(dtype_str)).reshape(shape)
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(data) != expected:
+        raise ValueError(
+            f"bad frame: shape {shape} of {dtype} needs {expected} "
+            f"bytes, frame carries {len(data)}")
+    arr = np.frombuffer(data, dtype=dtype).reshape(shape)
     return arr.copy()  # writable, detached from the frame buffer
 
 
@@ -88,6 +115,8 @@ def unpack_arrays(buf: bytes) -> list[np.ndarray]:
     arrays = []
     pos = 0
     while pos < len(buf):
+        if pos + 8 > len(buf):
+            raise ValueError("truncated pack_arrays stream")
         frame_len = int.from_bytes(buf[pos:pos + 8], "big")
         pos += 8
         if pos + frame_len > len(buf):

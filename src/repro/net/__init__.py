@@ -1,0 +1,63 @@
+"""Network-facing serving: wire protocol, TCP front-end, client, admission.
+
+The socket tier over :mod:`repro.serve` (docs/networking.md):
+
+- :mod:`repro.net.protocol` — versioned length-prefixed framing with
+  strict typed decode errors (the fuzz-tested trust boundary);
+- :mod:`repro.net.server` — a ``selectors``-based non-blocking TCP
+  front-end driving an :class:`~repro.serve.InferenceServer` or
+  :class:`~repro.serve.ServingCluster`;
+- :mod:`repro.net.client` — a blocking client session with connect
+  retry/backoff and typed remote errors;
+- :mod:`repro.net.admission` — per-tenant token-bucket quotas and
+  priority classes mapped onto the serving queue's deadlines.
+"""
+
+from .admission import (
+    DEADLINE_BY_CLASS,
+    DEPTH_WATERMARKS,
+    PRIORITY_CLASSES,
+    AdmissionController,
+    AdmissionError,
+    OverloadShedError,
+    QuotaExceededError,
+    TenantPolicy,
+)
+from .client import (
+    NetClient,
+    NetClientError,
+    NetConnectError,
+    NetTimeoutError,
+    RemoteError,
+)
+from .protocol import (
+    MAX_BODY_BYTES,
+    PROTOCOL_VERSION,
+    CorruptFrameError,
+    FrameDecoder,
+    FrameTooLargeError,
+    Message,
+    ProtocolError,
+    TruncatedFrameError,
+    UnknownKindError,
+    UnknownVersionError,
+    decode_message,
+    encode_message,
+)
+from .server import NetServer, NetServerStats
+
+__all__ = [
+    # protocol
+    "PROTOCOL_VERSION", "MAX_BODY_BYTES", "Message", "FrameDecoder",
+    "encode_message", "decode_message", "ProtocolError",
+    "TruncatedFrameError", "FrameTooLargeError", "UnknownVersionError",
+    "UnknownKindError", "CorruptFrameError",
+    # admission
+    "PRIORITY_CLASSES", "DEADLINE_BY_CLASS", "DEPTH_WATERMARKS",
+    "TenantPolicy", "AdmissionController", "AdmissionError",
+    "QuotaExceededError", "OverloadShedError",
+    # server / client
+    "NetServer", "NetServerStats",
+    "NetClient", "NetClientError", "NetConnectError", "NetTimeoutError",
+    "RemoteError",
+]

@@ -1,0 +1,225 @@
+"""Per-tenant admission control: token-bucket quotas + priority classes.
+
+Sits between the socket front-end and the serving queue.  Each tenant
+has a :class:`TenantPolicy` (sustained rate, burst, priority class); a
+request is admitted only when the tenant's token bucket has a token
+*and* the queue is not too congested for the tenant's class.  Rejections
+are typed and carry a reason, so backpressure is visible at the wire
+instead of silently degrading into queue timeouts.
+
+Priority classes map onto the existing deadline/backpressure queue two
+ways:
+
+- **deadline**: a class implies a default absolute deadline offset
+  (:data:`DEADLINE_BY_CLASS`); the batcher flushes earliest-deadline
+  first, so ``gold`` work consistently jumps ahead of ``batch`` work.
+- **shedding**: a class implies a queue-depth watermark
+  (:data:`DEPTH_WATERMARKS`); under congestion low classes are shed
+  first, which is what keeps the high-priority class starvation-free
+  under overload (``benchmarks/bench_net_multitenant.py`` gates this).
+
+The controller is thread-safe: one lock guards every bucket, so
+accounting stays exact when N client threads race
+(``tests/net/test_stress.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from ..obs.metrics import get_registry
+from ..serve.queue import ServeError
+from .. import _clock
+
+__all__ = ["PRIORITY_CLASSES", "DEADLINE_BY_CLASS", "DEPTH_WATERMARKS",
+           "AdmissionError", "QuotaExceededError", "OverloadShedError",
+           "TenantPolicy", "AdmissionController"]
+
+#: Priority classes, best first.
+PRIORITY_CLASSES = ("gold", "standard", "batch")
+
+#: Default deadline offset (seconds from admission) per priority class —
+#: what the EDF batcher orders by when a request carries no explicit
+#: deadline.
+DEADLINE_BY_CLASS = {"gold": 5.0, "standard": 15.0, "batch": 60.0}
+
+#: Queue-depth fraction above which a class is shed.  ``gold`` rides the
+#: queue to the brim; ``batch`` yields half the queue to better classes.
+DEPTH_WATERMARKS = {"gold": 1.0, "standard": 0.85, "batch": 0.5}
+
+
+class AdmissionError(ServeError):
+    """Base for typed admission rejections (reason visible at the wire)."""
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(reason)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant's token bucket is empty; retry after ``retry_after_s``."""
+
+    def __init__(self, tenant: str, retry_after_s: float):
+        super().__init__(
+            tenant,
+            f"tenant {tenant!r} over quota; retry after "
+            f"{retry_after_s:.3f}s")
+        self.retry_after_s = retry_after_s
+
+
+class OverloadShedError(AdmissionError):
+    """The queue is too congested for the tenant's priority class."""
+
+    def __init__(self, tenant: str, priority: str, depth_fraction: float):
+        super().__init__(
+            tenant,
+            f"queue {depth_fraction:.0%} full sheds priority class "
+            f"{priority!r} (tenant {tenant!r})")
+        self.priority = priority
+        self.depth_fraction = depth_fraction
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's contract: sustained rate, burst, priority class.
+
+    ``rate_rps=inf`` disables metering (the bucket never drains).
+    ``deadline_s`` overrides the class default deadline offset.
+    """
+
+    rate_rps: float = float("inf")
+    burst: float = 64.0
+    priority: str = "standard"
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, "
+                f"got {self.priority!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+
+    @property
+    def effective_deadline_s(self) -> float:
+        """The deadline offset this policy implies (explicit or class)."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        return DEADLINE_BY_CLASS[self.priority]
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    refilled_at: float
+
+
+class AdmissionController:
+    """Thread-safe per-tenant token buckets + priority-class shedding.
+
+    Unknown tenants fall back to ``default_policy`` (unmetered by
+    default — quotas are opt-in per tenant).
+    """
+
+    def __init__(self, policies: dict[str, TenantPolicy] | None = None,
+                 default_policy: TenantPolicy | None = None,
+                 watermarks: dict[str, float] | None = None):
+        self._policies = dict(policies or {})
+        self._default = default_policy or TenantPolicy()
+        self._watermarks = dict(DEPTH_WATERMARKS)
+        self._watermarks.update(watermarks or {})
+        self._buckets: dict[str, _Bucket] = {}
+        self._lock = threading.Lock()
+        self._admitted: dict[str, int] = {}
+        self._rejected: dict[str, dict[str, int]] = {}
+        reg = get_registry()
+        self._c_admitted = reg.counter(
+            "repro_net_admitted_total",
+            "requests admitted past admission control, by tenant",
+            labels=("tenant",))
+        self._c_rejected = reg.counter(
+            "repro_net_admission_rejected_total",
+            "requests rejected by admission control, by tenant and reason",
+            labels=("tenant", "reason"))
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The policy governing ``tenant`` (explicit or default)."""
+        return self._policies.get(tenant, self._default)
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        """Install/replace one tenant's policy (resets its bucket)."""
+        with self._lock:
+            self._policies[tenant] = policy
+            self._buckets.pop(tenant, None)
+
+    def admit(self, tenant: str, now: float | None = None,
+              depth_fraction: float = 0.0, cost: float = 1.0,
+              ) -> TenantPolicy:
+        """Admit one request or raise a typed :class:`AdmissionError`.
+
+        ``depth_fraction`` is the serving queue's current fill ratio;
+        classes whose watermark it exceeds are shed before their quota
+        is even consulted (so shed requests don't burn tokens).
+        Returns the tenant's policy on success.
+        """
+        now = _clock.now() if now is None else now
+        policy = self.policy(tenant)
+        with self._lock:
+            watermark = self._watermarks.get(policy.priority, 1.0)
+            if depth_fraction > watermark:
+                self._count_rejection(tenant, "shed")
+                raise OverloadShedError(tenant, policy.priority,
+                                        depth_fraction)
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = _Bucket(tokens=policy.burst, refilled_at=now)
+                self._buckets[tenant] = bucket
+            if math.isfinite(policy.rate_rps):
+                elapsed = max(0.0, now - bucket.refilled_at)
+                bucket.tokens = min(policy.burst,
+                                    bucket.tokens
+                                    + elapsed * policy.rate_rps)
+            else:
+                bucket.tokens = policy.burst
+            bucket.refilled_at = now
+            if bucket.tokens < cost:
+                retry = (cost - bucket.tokens) / policy.rate_rps
+                self._count_rejection(tenant, "quota")
+                raise QuotaExceededError(tenant, retry)
+            bucket.tokens -= cost
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+        self._c_admitted.inc(tenant=tenant)
+        return policy
+
+    def _count_rejection(self, tenant: str, reason: str) -> None:
+        per = self._rejected.setdefault(tenant, {})
+        per[reason] = per.get(reason, 0) + 1
+        self._c_rejected.inc(tenant=tenant, reason=reason)
+
+    def deadline_for(self, tenant: str, now: float,
+                     explicit: float | None = None) -> float:
+        """The absolute deadline a request runs under.
+
+        An explicit wire deadline wins; otherwise the tenant policy's
+        class-default offset is applied to ``now``.
+        """
+        if explicit is not None:
+            return explicit
+        return now + self.policy(tenant).effective_deadline_s
+
+    def snapshot(self) -> dict:
+        """Exact per-tenant accounting: admitted and rejected-by-reason."""
+        with self._lock:
+            return {
+                "admitted": dict(self._admitted),
+                "rejected": {t: dict(r)
+                             for t, r in self._rejected.items()},
+                "tokens": {t: b.tokens for t, b in self._buckets.items()},
+            }

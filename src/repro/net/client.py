@@ -1,0 +1,251 @@
+"""Blocking client library for the network serving protocol.
+
+A :class:`NetClient` is one tenant's session: it opens a TCP connection
+(retrying with exponential backoff — servers are often a beat behind
+their clients at startup), frames requests with
+:mod:`repro.net.protocol`, and blocks for the matching response.  Use it
+as a context manager::
+
+    with NetClient("127.0.0.1", 7431, tenant="acme") as client:
+        logits = client.predict(config, nodes=np.arange(64))
+
+Failure mapping: connect exhaustion raises :class:`NetConnectError`, a
+socket timeout raises :class:`NetTimeoutError`, and a server-side
+rejection raises :class:`RemoteError` whose ``kind`` is the wire's
+machine-readable reason (``quota``, ``shed``, ``backpressure``,
+``deadline``, ``server_closed``, ``bad_request``, ``internal``,
+``protocol``, ``read_timeout``).  Deadlines travel as absolute UNIX
+epoch seconds (``time.time()``), the only clock both ends share.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from ..serve.queue import ServeError
+from .protocol import (
+    FrameDecoder,
+    Message,
+    mutate_request,
+    ping_request,
+    predict_request,
+    stats_request,
+)
+
+__all__ = ["NetClientError", "NetConnectError", "NetTimeoutError",
+           "RemoteError", "NetClient"]
+
+
+class NetClientError(ServeError):
+    """Base for client-side networking failures."""
+
+
+class NetConnectError(NetClientError):
+    """Could not establish (or lost) the server connection."""
+
+
+class NetTimeoutError(NetClientError):
+    """No response within the client's request timeout."""
+
+
+class RemoteError(NetClientError):
+    """The server answered with a typed error frame.
+
+    ``kind`` is the machine-readable reason from the wire — match on it
+    instead of parsing the message.
+    """
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
+class NetClient:
+    """One blocking connection to a :class:`~repro.net.NetServer`.
+
+    Every request this session sends carries ``tenant`` and
+    ``priority`` (admission control meters by them) and an optional
+    absolute deadline derived from the per-call ``timeout``.  The
+    connection is opened lazily on first use (or explicitly via
+    :meth:`connect`) and retried ``connect_retries`` times with
+    exponential backoff.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: str = "default",
+                 priority: str = "standard",
+                 request_timeout_s: float = 60.0,
+                 connect_timeout_s: float = 5.0,
+                 connect_retries: int = 5,
+                 connect_backoff_s: float = 0.1):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.priority = priority
+        self.request_timeout_s = request_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.connect_retries = connect_retries
+        self.connect_backoff_s = connect_backoff_s
+        self._sock: socket.socket | None = None
+        self._decoder = FrameDecoder()
+        self._next_id = 0
+        self._stashed: dict[int, Message] = {}
+        #: ``graph_version`` stamped on the most recent predict result.
+        self.last_graph_version: int | None = None
+
+    # -- connection -------------------------------------------------------- #
+    def connect(self) -> "NetClient":
+        """Open the connection, retrying with exponential backoff."""
+        if self._sock is not None:
+            return self
+        delay = self.connect_backoff_s
+        last: Exception | None = None
+        for _ in range(max(1, self.connect_retries)):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout_s)
+                sock.settimeout(self.request_timeout_s)
+                self._sock = sock
+                self._decoder = FrameDecoder()
+                self._stashed.clear()
+                return self
+            except OSError as exc:
+                last = exc
+                time.sleep(delay)
+                delay *= 2
+        raise NetConnectError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.connect_retries} attempts: {last}")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "NetClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing -------------------------------------------------- #
+    def _allocate_id(self) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        return rid
+
+    def _deadline(self, timeout: float | None) -> float | None:
+        if timeout is None:
+            return None
+        return time.time() + timeout
+
+    def _roundtrip(self, msg: Message) -> Message:
+        """Send one frame and block for its matching response."""
+        from .protocol import encode_message
+
+        self.connect()
+        rid = msg.request_id
+        try:
+            self._sock.sendall(encode_message(msg))
+        except OSError as exc:
+            self.close()
+            raise NetConnectError(f"send failed: {exc}")
+        while True:
+            stashed = self._stashed.pop(rid, None)
+            if stashed is not None:
+                return self._unwrap(stashed)
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                self.close()
+                raise NetTimeoutError(
+                    f"no response to request {rid} within "
+                    f"{self.request_timeout_s}s")
+            except OSError as exc:
+                self.close()
+                raise NetConnectError(f"recv failed: {exc}")
+            if not data:
+                self.close()
+                raise NetConnectError(
+                    "server closed the connection mid-request")
+            for resp in self._decoder.feed(data):
+                if resp.request_id == rid:
+                    return self._unwrap(resp)
+                if resp.kind == "error" and resp.request_id is None:
+                    # connection-scoped error (protocol / read_timeout)
+                    self._unwrap(resp)
+                self._stashed[resp.request_id] = resp
+
+    @staticmethod
+    def _unwrap(resp: Message) -> Message:
+        if resp.kind == "error":
+            raise RemoteError(resp.headers["error_kind"],
+                              resp.headers["error"])
+        return resp
+
+    # -- API --------------------------------------------------------------- #
+    def predict(self, config, nodes=None, indices=None,
+                timeout: float | None = None) -> np.ndarray:
+        """Over-the-wire :meth:`~repro.api.Session.predict`.
+
+        Returns the logits array bitwise-identical to a direct in-process
+        call; the result's dataset version lands in
+        :attr:`last_graph_version`.
+        """
+        msg = predict_request(
+            self._allocate_id(), _config_json(config),
+            tenant=self.tenant, priority=self.priority,
+            deadline=self._deadline(timeout),
+            nodes=None if nodes is None else np.asarray(nodes,
+                                                        dtype=np.int64),
+            indices=None if indices is None else np.asarray(indices,
+                                                            dtype=np.int64))
+        resp = self._roundtrip(msg)
+        self.last_graph_version = resp.headers.get("graph_version")
+        if not resp.arrays:
+            raise NetClientError("predict response carried no array")
+        return resp.arrays[0]
+
+    def mutate(self, config, delta, timeout: float | None = None,
+               expected_version: int | None = None) -> int:
+        """Apply a :class:`~repro.stream.GraphDelta` over the wire.
+
+        Returns the new ``graph_version`` once the backend (every
+        worker, for a cluster) has acked the delta.
+        """
+        msg = mutate_request(
+            self._allocate_id(), _config_json(config), delta.to_payload(),
+            tenant=self.tenant, priority=self.priority,
+            deadline=self._deadline(timeout),
+            expected_version=expected_version)
+        resp = self._roundtrip(msg)
+        return int(resp.headers["graph_version"])
+
+    def stats(self) -> dict:
+        """The server's stats snapshot (net + admission + backend)."""
+        resp = self._roundtrip(stats_request(
+            self._allocate_id(), tenant=self.tenant,
+            priority=self.priority))
+        return resp.headers["stats"]
+
+    def ping(self) -> float:
+        """Round-trip a liveness ping; returns the RTT in seconds."""
+        t0 = time.perf_counter()
+        self._roundtrip(ping_request(self._allocate_id(),
+                                     tenant=self.tenant,
+                                     priority=self.priority))
+        return time.perf_counter() - t0
+
+
+def _config_json(config) -> str:
+    """Accept a RunConfig or a pre-serialized config JSON string."""
+    if isinstance(config, str):
+        return config
+    return config.to_json()

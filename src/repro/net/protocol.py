@@ -1,0 +1,353 @@
+"""Versioned, length-prefixed wire protocol for network serving.
+
+One frame per message::
+
+    magic(4=RNT1) | version(u16 BE) | kind(u8) | flags(u8) | body_len(u32 BE)
+    | body
+
+``body`` is ``header_len(u32 BE) | canonical-JSON header | array blob``
+where the array blob reuses :func:`repro.distributed.pack_arrays` — the
+exact framing the serving cluster already ships tensors with, so logits
+cross the socket bitwise-identical to an in-process call.
+
+Every *request* header carries a tenant id, a priority class and an
+absolute deadline (UNIX epoch seconds, or ``null``), which is what lets
+:mod:`repro.net.admission` meter and the batcher order work without
+looking inside payloads.
+
+Decoding is strict: truncated, oversized, unknown-version, unknown-kind
+or otherwise malformed frames raise a typed :class:`ProtocolError`
+subclass and never partially construct a :class:`Message`.  The fuzz
+suite (``tests/net/test_protocol_fuzz.py``) holds this boundary: any
+byte mutation must yield either a valid message or a ``ProtocolError``,
+never a hang, another exception type, or partial state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..distributed.comm import pack_arrays, unpack_arrays
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAGIC", "FRAME_HEADER_SIZE", "MAX_BODY_BYTES",
+    "MESSAGE_KINDS", "REQUEST_KINDS", "RESPONSE_KINDS",
+    "ProtocolError", "TruncatedFrameError", "FrameTooLargeError",
+    "UnknownVersionError", "UnknownKindError", "CorruptFrameError",
+    "Message", "encode_message", "decode_message", "FrameDecoder",
+    "predict_request", "mutate_request", "stats_request", "ping_request",
+    "result_response", "error_response", "pong_response", "stats_reply",
+]
+
+#: Wire magic for the network protocol (distinct from the ``RGT1`` array
+#: framing magic that appears *inside* frame bodies).
+MAGIC = b"RNT1"
+
+#: Current protocol version; bumped on any incompatible frame change.
+PROTOCOL_VERSION = 1
+
+#: Fixed-size frame prelude: magic + version + kind + flags + body length.
+FRAME_HEADER_SIZE = 12
+
+#: Hard cap on a frame body — decoding refuses larger claims before
+#: buffering, so a lying length prefix cannot balloon memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Request message kinds (client -> server).
+REQUEST_KINDS = ("predict", "mutate", "stats", "ping")
+
+#: Response message kinds (server -> client).
+RESPONSE_KINDS = ("result", "error", "pong", "stats_reply")
+
+#: All message kinds with their on-wire type codes.
+MESSAGE_KINDS = {
+    "predict": 1, "mutate": 2, "stats": 3, "ping": 4,
+    "result": 5, "error": 6, "pong": 7, "stats_reply": 8,
+}
+_CODE_TO_KIND = {code: kind for kind, code in MESSAGE_KINDS.items()}
+
+
+class ProtocolError(ValueError):
+    """Base for every wire-decoding failure.
+
+    Subclasses distinguish *why* a frame was rejected; catching this base
+    is the contract for "the peer sent garbage, drop the connection".
+    """
+
+
+class TruncatedFrameError(ProtocolError):
+    """The buffer ends before the frame it starts is complete."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """The length prefix claims a body larger than :data:`MAX_BODY_BYTES`."""
+
+
+class UnknownVersionError(ProtocolError):
+    """The frame's protocol version is not :data:`PROTOCOL_VERSION`."""
+
+
+class UnknownKindError(ProtocolError):
+    """The frame's message-kind code maps to no known message kind."""
+
+
+class CorruptFrameError(ProtocolError):
+    """The frame is structurally invalid (bad magic, header, or payload)."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded wire message: kind, JSON-able headers, numpy arrays."""
+
+    kind: str
+    headers: dict
+    arrays: tuple = field(default_factory=tuple)
+
+    @property
+    def request_id(self) -> Any:
+        """The correlation id echoed between request and response."""
+        return self.headers.get("request_id")
+
+
+def _require(condition: bool, detail: str) -> None:
+    if not condition:
+        raise CorruptFrameError(f"bad frame: {detail}")
+
+
+def _validate_headers(kind: str, headers: Any) -> dict:
+    """Enforce the per-kind required header fields, strictly."""
+    _require(isinstance(headers, dict), "header is not a JSON object")
+    rid = headers.get("request_id")
+    if kind == "error":
+        _require(rid is None or isinstance(rid, int),
+                 "error request_id must be int or null")
+        _require(isinstance(headers.get("error"), str),
+                 "error message missing")
+        _require(isinstance(headers.get("error_kind"), str),
+                 "error_kind missing")
+    else:
+        _require(isinstance(rid, int) and not isinstance(rid, bool)
+                 and rid >= 0, "request_id must be a non-negative int")
+    if kind in REQUEST_KINDS:
+        _require(isinstance(headers.get("tenant"), str)
+                 and headers["tenant"] != "", "tenant id missing")
+        _require(isinstance(headers.get("priority"), str),
+                 "priority class missing")
+        deadline = headers.get("deadline")
+        _require(deadline is None
+                 or (isinstance(deadline, (int, float))
+                     and not isinstance(deadline, bool)),
+                 "deadline must be a number or null")
+    if kind in ("predict", "mutate"):
+        _require(isinstance(headers.get("config"), str),
+                 "config JSON missing")
+    return headers
+
+
+def encode_message(msg: Message) -> bytes:
+    """Frame a :class:`Message` for the wire (inverse of decoding).
+
+    Raises :class:`UnknownKindError` for unregistered kinds and
+    :class:`FrameTooLargeError` when the body would exceed
+    :data:`MAX_BODY_BYTES`.
+    """
+    code = MESSAGE_KINDS.get(msg.kind)
+    if code is None:
+        raise UnknownKindError(f"unknown message kind {msg.kind!r}")
+    _validate_headers(msg.kind, msg.headers)
+    header = json.dumps(msg.headers, sort_keys=True,
+                        separators=(",", ":"), default=str).encode()
+    body = (len(header).to_bytes(4, "big") + header
+            + pack_arrays([np.asarray(a) for a in msg.arrays]))
+    if len(body) > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame body {len(body)} exceeds cap {MAX_BODY_BYTES}")
+    return (MAGIC + PROTOCOL_VERSION.to_bytes(2, "big")
+            + bytes([code, 0]) + len(body).to_bytes(4, "big") + body)
+
+
+def _decode_body(kind: str, body: bytes) -> Message:
+    """Decode a frame body; every malformation maps to a ProtocolError."""
+    _require(len(body) >= 4, "body shorter than header length prefix")
+    header_len = int.from_bytes(body[:4], "big")
+    _require(4 + header_len <= len(body),
+             f"header length {header_len} exceeds body")
+    try:
+        headers = json.loads(body[4:4 + header_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptFrameError(f"bad frame: undecodable header ({exc})")
+    headers = _validate_headers(kind, headers)
+    try:
+        arrays = tuple(unpack_arrays(body[4 + header_len:]))
+    except ProtocolError:
+        raise
+    except Exception as exc:  # numpy/dtype/shape lies -> typed error
+        raise CorruptFrameError(f"bad frame: undecodable arrays ({exc})")
+    return Message(kind=kind, headers=headers, arrays=arrays)
+
+
+def decode_message(buf: bytes) -> tuple[Message, int]:
+    """Decode one frame from the head of ``buf``.
+
+    Returns ``(message, bytes_consumed)``.  Raises
+    :class:`TruncatedFrameError` when ``buf`` holds a valid prefix of an
+    incomplete frame, and another :class:`ProtocolError` subclass when
+    the bytes can never become a valid frame.
+    """
+    buf = bytes(buf)
+    head = buf[:len(MAGIC)]
+    if head != MAGIC:
+        if len(head) == len(MAGIC) or not MAGIC.startswith(head):
+            raise CorruptFrameError(
+                f"bad frame: expected magic {MAGIC!r}, got {head!r}")
+        raise TruncatedFrameError("incomplete frame magic")
+    if len(buf) < FRAME_HEADER_SIZE:
+        raise TruncatedFrameError("incomplete frame header")
+    version = int.from_bytes(buf[4:6], "big")
+    if version != PROTOCOL_VERSION:
+        raise UnknownVersionError(
+            f"unsupported protocol version {version} "
+            f"(expected {PROTOCOL_VERSION})")
+    kind = _CODE_TO_KIND.get(buf[6])
+    if kind is None:
+        raise UnknownKindError(f"unknown message kind code {buf[6]}")
+    body_len = int.from_bytes(buf[8:12], "big")
+    if body_len > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame body claims {body_len} bytes "
+            f"(cap {MAX_BODY_BYTES})")
+    end = FRAME_HEADER_SIZE + body_len
+    if len(buf) < end:
+        raise TruncatedFrameError(
+            f"frame needs {end} bytes, buffer has {len(buf)}")
+    return _decode_body(kind, buf[FRAME_HEADER_SIZE:end]), end
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream (one per connection).
+
+    ``feed()`` buffers partial frames across calls and returns every
+    complete message.  The first :class:`ProtocolError` poisons the
+    decoder — a stream is unrecoverable after framing corruption, so
+    subsequent feeds re-raise instead of resynchronizing on garbage.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._error: ProtocolError | None = None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[Message]:
+        """Append ``data`` and decode every now-complete frame, in order.
+
+        Messages fully decoded before a corruption are returned by the
+        *previous* calls; the call that hits the corruption raises and
+        applies nothing from the bad frame onward.
+        """
+        if self._error is not None:
+            raise self._error
+        self._buf.extend(data)
+        out: list[Message] = []
+        while self._buf:
+            try:
+                msg, consumed = decode_message(self._buf)
+            except TruncatedFrameError:
+                break
+            except ProtocolError as exc:
+                self._error = exc
+                raise
+            del self._buf[:consumed]
+            out.append(msg)
+        return out
+
+
+def _request_headers(request_id: int, tenant: str, priority: str,
+                     deadline: float | None) -> dict:
+    return {"request_id": int(request_id), "tenant": tenant,
+            "priority": priority, "deadline": deadline}
+
+
+def predict_request(request_id: int, config_json: str, *, tenant: str,
+                    priority: str = "standard", deadline: float | None = None,
+                    nodes: np.ndarray | None = None,
+                    indices: np.ndarray | None = None) -> Message:
+    """Build a ``predict`` request (node subset, graph indices, or full)."""
+    headers = _request_headers(request_id, tenant, priority, deadline)
+    headers["config"] = config_json
+    arrays: tuple = ()
+    if nodes is not None and indices is not None:
+        raise ValueError("pass nodes or indices, not both")
+    if nodes is not None:
+        headers["payload"] = "nodes"
+        arrays = (np.asarray(nodes, dtype=np.int64),)
+    elif indices is not None:
+        headers["payload"] = "indices"
+        arrays = (np.asarray(indices, dtype=np.int64),)
+    else:
+        headers["payload"] = None
+    return Message(kind="predict", headers=headers, arrays=arrays)
+
+
+def mutate_request(request_id: int, config_json: str, delta_payload: bytes,
+                   *, tenant: str, priority: str = "standard",
+                   deadline: float | None = None,
+                   expected_version: int | None = None) -> Message:
+    """Build a ``mutate`` request carrying a framed GraphDelta payload."""
+    headers = _request_headers(request_id, tenant, priority, deadline)
+    headers["config"] = config_json
+    headers["expected_version"] = expected_version
+    arrays = (np.frombuffer(delta_payload, dtype=np.uint8).copy(),)
+    return Message(kind="mutate", headers=headers, arrays=arrays)
+
+
+def stats_request(request_id: int, *, tenant: str,
+                  priority: str = "standard") -> Message:
+    """Build a ``stats`` request (server + admission snapshot)."""
+    return Message(kind="stats",
+                   headers=_request_headers(request_id, tenant, priority,
+                                            None))
+
+
+def ping_request(request_id: int, *, tenant: str,
+                 priority: str = "standard") -> Message:
+    """Build a liveness ``ping`` request."""
+    return Message(kind="ping",
+                   headers=_request_headers(request_id, tenant, priority,
+                                            None))
+
+
+def result_response(request_id: int, logits: np.ndarray | None,
+                    graph_version: int | None = None) -> Message:
+    """Build a ``result`` response (predict logits or mutate ack)."""
+    headers: dict = {"request_id": int(request_id),
+                     "graph_version": graph_version}
+    arrays = () if logits is None else (np.asarray(logits),)
+    return Message(kind="result", headers=headers, arrays=arrays)
+
+
+def error_response(request_id: int | None, error_kind: str,
+                   message: str) -> Message:
+    """Build an ``error`` response carrying a machine-readable kind."""
+    return Message(kind="error",
+                   headers={"request_id": request_id,
+                            "error_kind": error_kind, "error": message})
+
+
+def pong_response(request_id: int) -> Message:
+    """Build the ``pong`` reply to a ping."""
+    return Message(kind="pong", headers={"request_id": int(request_id)})
+
+
+def stats_reply(request_id: int, snapshot: dict) -> Message:
+    """Build the ``stats_reply`` response wrapping a stats snapshot."""
+    return Message(kind="stats_reply",
+                   headers={"request_id": int(request_id),
+                            "stats": snapshot})

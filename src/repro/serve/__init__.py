@@ -32,17 +32,21 @@ accounting advance together, on the wall clock or a test's
 from ._clock import ManualClock, clock_override
 from .batcher import BatchPolicy, MicroBatch, MicroBatcher, seq_len_bucket
 from .cluster import ClusterStats, ServingCluster
+from .elastic import ElasticController, ElasticPolicy, ElasticStats
 from .loadgen import (
     LoadReport,
+    TenantSpec,
     compare_cluster_scaling,
     compare_with_naive,
     make_churn_workload,
     make_graph_workload,
     make_mixed_config_workload,
     make_node_workload,
+    make_tenant_arrivals,
     run_churn_loop,
     run_closed_loop,
     run_cluster_closed_loop,
+    run_multitenant_loop,
     run_open_loop,
 )
 from .pool import PoolStats, SessionPool, config_key, dataset_identity
@@ -93,6 +97,9 @@ __all__ = [
     "NoWorkersError",
     "ServingCluster",
     "ClusterStats",
+    "ElasticPolicy",
+    "ElasticStats",
+    "ElasticController",
     "WorkUnit",
     "WorkResult",
     "WorkerInit",
@@ -100,13 +107,16 @@ __all__ = [
     "InlineWorker",
     "ProcessWorker",
     "LoadReport",
+    "TenantSpec",
     "make_node_workload",
     "make_graph_workload",
     "make_mixed_config_workload",
     "make_churn_workload",
+    "make_tenant_arrivals",
     "run_churn_loop",
     "run_closed_loop",
     "run_open_loop",
+    "run_multitenant_loop",
     "run_cluster_closed_loop",
     "compare_with_naive",
     "compare_cluster_scaling",

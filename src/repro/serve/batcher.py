@@ -76,6 +76,9 @@ class MicroBatch:
     items: list[Any]
     oldest_enqueued_at: float
     flushed_at: float = 0.0
+    #: Earliest absolute deadline among the group's items (``inf`` when
+    #: none carried one) — the EDF flush-ordering key.
+    earliest_deadline: float = float("inf")
 
     def __len__(self) -> int:
         return len(self.items)
@@ -85,6 +88,7 @@ class MicroBatch:
 class _Group:
     items: list[Any] = field(default_factory=list)
     oldest: float = float("inf")
+    deadline: float = float("inf")
 
 
 class MicroBatcher:
@@ -107,12 +111,21 @@ class MicroBatcher:
         return len(self._groups)
 
     def add(self, key: Hashable, item: Any,
-            enqueued_at: float | None = None) -> None:
-        """Append one work item to its key's group (tracking its age)."""
+            enqueued_at: float | None = None,
+            deadline: float | None = None) -> None:
+        """Append one work item to its key's group (tracking its age).
+
+        ``deadline`` (absolute serving-clock seconds, optional) feeds
+        earliest-deadline-first flush ordering: the group remembers the
+        tightest deadline among its items and flushed batches execute in
+        that order.  Deadline-less items sort last (``inf``).
+        """
         enqueued_at = _clock.now() if enqueued_at is None else enqueued_at
         group = self._groups.setdefault(key, _Group())
         group.items.append(item)
         group.oldest = min(group.oldest, enqueued_at)
+        if deadline is not None:
+            group.deadline = min(group.deadline, deadline)
 
     def ready(self, now: float | None = None, force: bool = False,
               ) -> list[MicroBatch]:
@@ -134,9 +147,12 @@ class MicroBatcher:
             for lo in range(0, len(items), size):
                 out.append(MicroBatch(key=key, items=items[lo:lo + size],
                                       oldest_enqueued_at=group.oldest,
-                                      flushed_at=now))
-        # oldest-first across groups: aged-out work executes before fresh
-        out.sort(key=lambda b: b.oldest_enqueued_at)
+                                      flushed_at=now,
+                                      earliest_deadline=group.deadline))
+        # earliest-deadline-first across groups (ties: oldest-first) —
+        # priority classes map to deadline offsets, so gold-class work
+        # executes ahead of batch-class work flushed in the same round
+        out.sort(key=lambda b: (b.earliest_deadline, b.oldest_enqueued_at))
         return out
 
     def flush(self) -> list[MicroBatch]:

@@ -88,6 +88,8 @@ _COUNTER_HELP = {
     "duplicates_ignored": "late results dropped by at-most-once delivery",
     "mutations": "GraphDelta broadcasts submitted",
     "mutations_applied": "broadcasts acked by every live worker",
+    "workers_spawned": "workers added after startup (elastic scale-up)",
+    "workers_retired": "workers drained and removed (elastic scale-down)",
 }
 
 
@@ -117,6 +119,8 @@ class ClusterStats:
     duplicates_ignored: int = 0
     mutations: int = 0           # GraphDelta broadcasts submitted
     mutations_applied: int = 0   # broadcasts acked by every live worker
+    workers_spawned: int = 0     # elastic scale-up events
+    workers_retired: int = 0     # elastic scale-down events
     latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
     # appended by the router loop, iterated by stats_snapshot() callers
     # on other threads — same race ServerStats locks against
@@ -126,7 +130,8 @@ class ClusterStats:
     #: Counter fields mirrored into the metrics registry.
     COUNTER_FIELDS = ("submitted", "completed", "rejected", "expired",
                       "failed", "dispatched", "requeued", "worker_deaths",
-                      "duplicates_ignored", "mutations", "mutations_applied")
+                      "duplicates_ignored", "mutations", "mutations_applied",
+                      "workers_spawned", "workers_retired")
 
     def __post_init__(self):
         registry = get_registry()
@@ -164,6 +169,8 @@ class ClusterStats:
             "duplicates_ignored": self.duplicates_ignored,
             "mutations": self.mutations,
             "mutations_applied": self.mutations_applied,
+            "workers_spawned": self.workers_spawned,
+            "workers_retired": self.workers_retired,
             **latency_summary(lat),
         }
 
@@ -289,22 +296,24 @@ class ServingCluster:
                                                 skip=store_ids)
         checkpoint_pairs = tuple(
             (cfg.to_json(), path) for cfg, path in (checkpoints or ()))
+        # everything a worker needs at birth, kept so spawn_worker() can
+        # mint protocol-identical workers after startup (elastic tier)
+        self._worker_template = dict(
+            pool_size=pool_size,
+            max_batch_size=self.policy.max_batch_size,
+            max_wait_s=self.policy.max_wait_s,
+            queue_depth=worker_queue_depth,
+            datasets=dataset_blobs,
+            stores=tuple(store_pairs),
+            checkpoints=checkpoint_pairs)
+        self._backend = backend
+        self._start_method = start_method
+        self._auto_inline = auto_inline
+        self._next_worker_idx = num_workers
         worker_ids = [f"w{i}" for i in range(num_workers)]
         self.workers: dict[str, object] = {}
         for wid in worker_ids:
-            init = WorkerInit(worker_id=wid, pool_size=pool_size,
-                              max_batch_size=self.policy.max_batch_size,
-                              max_wait_s=self.policy.max_wait_s,
-                              queue_depth=worker_queue_depth,
-                              datasets=dataset_blobs,
-                              stores=tuple(store_pairs),
-                              checkpoints=checkpoint_pairs,
-                              trace_enabled=get_tracer().enabled)
-            if backend == "process":
-                self.workers[wid] = ProcessWorker(init,
-                                                  start_method=start_method)
-            else:
-                self.workers[wid] = InlineWorker(init, auto=auto_inline)
+            self.workers[wid] = self._make_worker(wid)
         self.router = Router(
             worker_ids,
             spill_threshold=(spill_threshold if spill_threshold is not None
@@ -316,6 +325,76 @@ class ServingCluster:
         self._ping_outstanding: dict[str, float | None] = {
             wid: None for wid in worker_ids}
         self._last_ping = _clock.now()
+
+    def _make_worker(self, wid: str):
+        """Build one worker handle from the stored birth template."""
+        init = WorkerInit(worker_id=wid,
+                          trace_enabled=get_tracer().enabled,
+                          **self._worker_template)
+        if self._backend == "process":
+            return ProcessWorker(init, start_method=self._start_method)
+        return InlineWorker(init, auto=self._auto_inline)
+
+    # -- elastic membership ------------------------------------------------ #
+    def spawn_worker(self) -> str:
+        """Add one worker to the fleet after startup; returns its id.
+
+        The newcomer is built from the same init payload as the startup
+        fleet (same datasets/stores/checkpoints, same batch policy), is
+        inserted into the consistent-hash ring, and starts receiving
+        routed work on the next dispatch round.  Used by
+        :class:`~repro.serve.elastic.ElasticController` on sustained
+        queue depth.
+        """
+        if self._closed:
+            raise ServerClosedError("cluster is closed; cannot spawn")
+        with self._lock:
+            wid = f"w{self._next_worker_idx}"
+            self._next_worker_idx += 1
+            self.workers[wid] = self._make_worker(wid)
+            self.router.add_worker(wid)
+            self._ping_outstanding[wid] = None
+            self.stats.bump("workers_spawned")
+        return wid
+
+    def retire_worker(self, wid: str) -> bool:
+        """Gracefully remove one worker from the fleet.
+
+        The worker leaves the routing ring immediately; any unit still
+        in flight on it is requeued to a survivor with the retiree in
+        its ``excluded`` set — the same exactly-once path a worker
+        *death* takes, so a retire racing an in-flight dispatch never
+        drops or double-delivers a request (late results from the
+        retiree hit the at-most-once guard).  Returns ``False`` when
+        ``wid`` is not a live routed worker or is the last one.
+        """
+        with self._lock:
+            if wid in self._dead or wid not in self.router.workers():
+                return False
+            if len(self.router.workers()) <= 1:
+                return False  # never retire the last worker
+            self.router.mark_dead(wid)
+            self.stats.bump("workers_retired")
+            orphans = [d for d in self._inflight.values()
+                       if d.worker_id == wid]
+            for dispatch in orphans:
+                dispatch.excluded.add(wid)
+                dispatch.attempts += 1
+                if self._send_unit(dispatch):
+                    self.stats.bump("requeued")
+                else:
+                    self._inflight.pop(dispatch.request.id, None)
+            self._ping_outstanding.pop(wid, None)
+            try:
+                self.workers[wid].send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        return True
+
+    def pending(self) -> int:
+        """Requests queued or in flight — the elastic tier's depth signal."""
+        with self._lock:
+            return len(self.queue) + len(self._inflight)
 
     @staticmethod
     def _broadcast_payload(warm_configs, datasets, skip=frozenset()) -> tuple:
@@ -349,7 +428,8 @@ class ServingCluster:
     def submit(self, config, nodes: np.ndarray | None = None,
                indices: np.ndarray | None = None,
                timeout: float | None = None,
-               now: float | None = None):
+               now: float | None = None,
+               trace=None):
         """Enqueue one request; returns its future (server-identical API).
 
         Deadlines (``timeout`` seconds from submission) are enforced on
@@ -357,6 +437,8 @@ class ServingCluster:
         and never crosses a worker pipe.  Raises
         :class:`~repro.serve.queue.QueueFullError` (backpressure) or
         :class:`~repro.serve.queue.ServerClosedError` synchronously.
+        ``trace`` parents the request's span under an existing context
+        (e.g. a network front-end's per-request span).
         """
         now = _clock.now() if now is None else now
         kind = "nodes" if config.data.task_kind == "node" else "graphs"
@@ -384,7 +466,7 @@ class ServingCluster:
             )
             tracer = get_tracer()
             if tracer.enabled:
-                request.trace = tracer.new_context()
+                request.trace = tracer.new_context(parent=trace)
             self._next_id += 1
             try:
                 self.queue.push(request, now=now)
@@ -656,16 +738,19 @@ class ServingCluster:
             request.future.set_exception(DeadlineExceededError(
                 f"request {request.id} completed after its deadline; "
                 "result dropped"))
+            request.future.resolved_at = now
             self.stats.bump("expired")
             return 1
         if not result.ok:
             request.future.set_exception(
                 ServeError(f"worker {result.worker_id} failed request "
                            f"{result.id}: {result.error}"))
+            request.future.resolved_at = now
             self.stats.bump("failed")
             return 1
         request.future.set_result(result.value(),
                                   graph_version=result.graph_version)
+        request.future.resolved_at = now
         self.stats.bump("completed")
         self.stats.record_latency(now - request.enqueued_at)
         if tracer.enabled and request.trace is not None:

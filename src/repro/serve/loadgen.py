@@ -34,7 +34,7 @@ from . import _clock
 from .batcher import BatchPolicy
 from .pool import SessionPool
 from .queue import DeadlineExceededError, QueueFullError
-from .server import InferenceServer
+from .server import InferenceServer, latency_summary
 
 __all__ = [
     "make_node_workload",
@@ -42,8 +42,11 @@ __all__ = [
     "make_mixed_config_workload",
     "make_churn_workload",
     "LoadReport",
+    "TenantSpec",
+    "make_tenant_arrivals",
     "run_closed_loop",
     "run_open_loop",
+    "run_multitenant_loop",
     "run_cluster_closed_loop",
     "run_churn_loop",
     "compare_with_naive",
@@ -201,6 +204,159 @@ def run_open_loop(server: InferenceServer, config, payloads,
                       duration_s=now, completed=len(results),
                       rejected=rejected, expired=expired, failed=failed,
                       results=results)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's arrival process in a multi-tenant open-loop run.
+
+    ``rate_rps`` drives a seeded Poisson arrival stream of its own (each
+    tenant gets an independent RNG, so adding a tenant never perturbs
+    another tenant's arrival times — the fix over the old single-stream
+    generator).  ``deadline_s`` is the per-request deadline in virtual
+    seconds (``None`` = the admission controller's class default, or no
+    deadline without a controller).
+    """
+
+    name: str
+    rate_rps: float
+    priority: str = "standard"
+    deadline_s: float | None = None
+    nodes_per_request: int = 32
+    distinct: int = 4
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+
+
+def make_tenant_arrivals(tenants, duration_s: float,
+                         seed: int = 0) -> list[tuple[float, int]]:
+    """Merge per-tenant Poisson streams into one sorted arrival list.
+
+    Returns ``(virtual_time, tenant_index)`` pairs.  Each tenant's
+    stream is seeded by ``(seed, index)``, so a tenant's arrivals are a
+    pure function of (seed, its own rate) — deterministic and
+    composition-independent.  Ties break by tenant index, so the merged
+    order is stable too.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    arrivals: list[tuple[float, int]] = []
+    for idx, spec in enumerate(tenants):
+        rng = np.random.default_rng((seed, idx))
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / spec.rate_rps))
+            if t > duration_s:
+                break
+            arrivals.append((t, idx))
+    arrivals.sort()
+    return arrivals
+
+
+def run_multitenant_loop(server, config, tenants, duration_s: float,
+                         dataset=None, admission=None,
+                         seed: int = 0) -> dict:
+    """Mixed-tenant open-loop load on a virtual clock (deterministic).
+
+    The multi-tenant face of :func:`run_open_loop`: every tenant in
+    ``tenants`` (a sequence of :class:`TenantSpec`) submits on its own
+    seeded Poisson schedule; arrivals are merged, the server is stepped
+    at each arrival instant, and an optional
+    :class:`~repro.net.AdmissionController` meters each submission
+    (quota + priority-class shedding against live queue depth) and
+    assigns class-default deadlines — which the batcher's EDF flush
+    ordering then acts on.
+
+    Returns per-tenant accounting (offered/admitted/completed/
+    rejections/latency percentiles) plus totals.  Replays are stable: a
+    given ``(tenants, duration_s, seed)`` produces identical counters
+    and latencies (the determinism regression in
+    ``tests/net/test_loadgen_multitenant.py``).
+    """
+    tenants = list(tenants)
+    if not tenants:
+        raise ValueError("need at least one TenantSpec")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError("tenant names must be unique")
+    if dataset is None:
+        raise ValueError("pass the loaded dataset (payload source)")
+    arrivals = make_tenant_arrivals(tenants, duration_s, seed=seed)
+    counts = [sum(1 for _, i in arrivals if i == idx)
+              for idx in range(len(tenants))]
+    payloads = [
+        iter(make_node_workload(dataset, counts[idx],
+                                distinct=spec.distinct,
+                                nodes_per_request=spec.nodes_per_request,
+                                seed=(seed, idx)))
+        for idx, spec in enumerate(tenants)]
+
+    per = {spec.name: {"offered": 0, "quota_rejected": 0, "shed": 0,
+                       "queue_rejected": 0, "completed": 0, "expired": 0,
+                       "failed": 0, "priority": spec.priority}
+           for spec in tenants}
+    futures: list[tuple[int, float, object]] = []
+    from ..net.admission import AdmissionError, QuotaExceededError
+
+    for now, idx in arrivals:
+        spec = tenants[idx]
+        acct = per[spec.name]
+        acct["offered"] += 1
+        explicit = (None if spec.deadline_s is None
+                    else now + spec.deadline_s)
+        if admission is not None:
+            depth_fraction = len(server.queue) / server.queue.max_depth
+            try:
+                admission.admit(spec.name, now=now,
+                                depth_fraction=depth_fraction)
+            except QuotaExceededError:
+                acct["quota_rejected"] += 1
+                server.step(now=now)
+                continue
+            except AdmissionError:
+                acct["shed"] += 1
+                server.step(now=now)
+                continue
+            deadline = admission.deadline_for(spec.name, now,
+                                              explicit=explicit)
+            timeout = deadline - now
+        else:
+            timeout = spec.deadline_s
+        try:
+            fut = server.submit(config, timeout=timeout, now=now,
+                                **_payload_kwargs(config, next(payloads[idx])))
+        except QueueFullError:
+            acct["queue_rejected"] += 1
+            server.step(now=now)
+            continue
+        futures.append((idx, now, fut))
+        server.step(now=now)
+    server.run_until_idle(now=duration_s)
+
+    latencies: dict[str, list[float]] = {spec.name: [] for spec in tenants}
+    for idx, submitted_at, fut in futures:
+        spec = tenants[idx]
+        acct = per[spec.name]
+        exc = fut.exception(timeout=60.0)
+        if exc is None:
+            acct["completed"] += 1
+            resolved = fut.resolved_at
+            if resolved is not None:
+                latencies[spec.name].append(resolved - submitted_at)
+        elif isinstance(exc, DeadlineExceededError):
+            acct["expired"] += 1
+        else:
+            acct["failed"] += 1
+    for spec in tenants:
+        per[spec.name].update(latency_summary(latencies[spec.name]))
+    totals = {key: sum(per[n][key] for n in names)
+              for key in ("offered", "quota_rejected", "shed",
+                          "queue_rejected", "completed", "expired",
+                          "failed")}
+    return {"tenants": per, "total": totals, "duration_s": duration_s,
+            "num_arrivals": len(arrivals), "seed": seed}
 
 
 def run_cluster_closed_loop(cluster, configs, picks,

@@ -86,6 +86,10 @@ class ServeFuture:
         #: results computed against stale topology — the streaming
         #: staleness contract (docs/streaming.md).
         self.graph_version: int | None = None
+        #: Serving-clock instant the producer resolved this future, or
+        #: ``None`` while pending (load generators read it to compute
+        #: per-request latency under a virtual clock).
+        self.resolved_at: float | None = None
 
     def done(self) -> bool:
         """True once the request has resolved (result or exception)."""
@@ -221,6 +225,7 @@ class RequestQueue:
                     req.future.set_exception(DeadlineExceededError(
                         f"request {req.id} missed its deadline by "
                         f"{now - req.deadline:.4f}s before execution"))
+                    req.future.resolved_at = now
                     if on_expired is not None:
                         on_expired(req)
                     continue

@@ -179,6 +179,18 @@ class Router:
         """Live worker ids, sorted."""
         return self.ring.members()
 
+    def add_worker(self, worker: str) -> None:
+        """Insert a new live worker into the ring (idempotent).
+
+        The elastic scale-up path: only the keys that consistent-hash
+        onto the newcomer's ring points remap — everything else keeps
+        its sticky worker and warm sessions.
+        """
+        if worker in self.in_flight:
+            return
+        self.ring.add(worker)
+        self.in_flight[worker] = 0
+
     def mark_dead(self, worker: str) -> None:
         """Remove a worker from routing (its keys remap clockwise)."""
         self.ring.remove(worker)

@@ -394,7 +394,8 @@ class InferenceServer:
                 done += self._execute_mutation(request, now)
             elif request.kind == "nodes":
                 self.batcher.add(request.batch_key, request,
-                                 enqueued_at=request.enqueued_at)
+                                 enqueued_at=request.enqueued_at,
+                                 deadline=request.deadline)
             else:
                 self._expand_graph_request(request)
         done += self._run_ready(now, force_flush, node_results)
@@ -438,7 +439,8 @@ class InferenceServer:
         for slot, (i, size) in enumerate(zip(idx, sizes)):
             key = (request.config_key, "graphs", seq_len_bucket(size))
             self.batcher.add(key, (scatter, slot, int(i)),
-                             enqueued_at=request.enqueued_at)
+                             enqueued_at=request.enqueued_at,
+                             deadline=request.deadline)
 
     # -- execution -------------------------------------------------------- #
     def _execute(self, batch: MicroBatch, now: float,
@@ -598,9 +600,11 @@ class InferenceServer:
             request.future.set_exception(DeadlineExceededError(
                 f"request {request.id} completed after its deadline; "
                 "result dropped"))
+            request.future.resolved_at = now
             self.stats.bump("expired")
             return 1
         request.future.set_result(value, graph_version=version)
+        request.future.resolved_at = now
         self.stats.bump("completed")
         self.stats.record_latency(now - request.enqueued_at)
         tracer = get_tracer()

@@ -1,0 +1,1 @@
+"""Network serving tier: protocol fuzz, fault injection, stress, elastic."""

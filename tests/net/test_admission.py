@@ -1,0 +1,175 @@
+"""Admission control: token buckets, watermark shedding, EDF ordering."""
+
+import pytest
+
+from repro.net.admission import (
+    DEADLINE_BY_CLASS,
+    AdmissionController,
+    OverloadShedError,
+    QuotaExceededError,
+    TenantPolicy,
+)
+from repro.serve import BatchPolicy, MicroBatcher
+
+
+class TestTenantPolicy:
+    def test_defaults_are_unmetered(self):
+        policy = TenantPolicy()
+        assert policy.rate_rps == float("inf")
+        assert policy.priority == "standard"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate_rps": 0.0}, {"rate_rps": -1.0}, {"burst": 0.5},
+        {"priority": "platinum"}, {"deadline_s": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantPolicy(**kwargs)
+
+    def test_effective_deadline(self):
+        assert TenantPolicy(priority="gold").effective_deadline_s == \
+            DEADLINE_BY_CLASS["gold"]
+        assert TenantPolicy(priority="batch",
+                            deadline_s=2.5).effective_deadline_s == 2.5
+
+
+class TestTokenBuckets:
+    def controller(self, **policy_kw) -> AdmissionController:
+        return AdmissionController(
+            policies={"acme": TenantPolicy(**policy_kw)})
+
+    def test_burst_then_quota(self):
+        ctl = self.controller(rate_rps=1.0, burst=3.0)
+        for _ in range(3):
+            ctl.admit("acme", now=0.0)
+        with pytest.raises(QuotaExceededError) as exc:
+            ctl.admit("acme", now=0.0)
+        assert exc.value.tenant == "acme"
+        assert exc.value.retry_after_s == pytest.approx(1.0)
+
+    def test_refill_at_rate(self):
+        ctl = self.controller(rate_rps=2.0, burst=1.0)
+        ctl.admit("acme", now=0.0)
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("acme", now=0.1)  # only 0.2 tokens back
+        ctl.admit("acme", now=0.6)  # 1.2 tokens accrued, capped at burst
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("acme", now=0.6)
+
+    def test_refill_never_exceeds_burst(self):
+        ctl = self.controller(rate_rps=100.0, burst=2.0)
+        ctl.admit("acme", now=1000.0)  # a long idle stretch...
+        ctl.admit("acme", now=1000.0)
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("acme", now=1000.0)  # ...still only burst tokens
+
+    def test_infinite_rate_never_drains(self):
+        ctl = AdmissionController()
+        for _ in range(10_000):
+            ctl.admit("anyone", now=0.0)
+        assert ctl.snapshot()["admitted"]["anyone"] == 10_000
+
+    def test_set_policy_resets_bucket(self):
+        ctl = self.controller(rate_rps=1.0, burst=1.0)
+        ctl.admit("acme", now=0.0)
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("acme", now=0.0)
+        ctl.set_policy("acme", TenantPolicy(rate_rps=1.0, burst=2.0))
+        ctl.admit("acme", now=0.0)
+        ctl.admit("acme", now=0.0)
+
+    def test_tenants_are_independent(self):
+        ctl = AdmissionController(
+            policies={"a": TenantPolicy(rate_rps=1.0, burst=1.0),
+                      "b": TenantPolicy(rate_rps=1.0, burst=1.0)})
+        ctl.admit("a", now=0.0)
+        ctl.admit("b", now=0.0)  # a's empty bucket does not starve b
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("a", now=0.0)
+
+
+class TestWatermarkShedding:
+    def test_classes_shed_at_their_watermarks(self):
+        ctl = AdmissionController(policies={
+            "g": TenantPolicy(priority="gold"),
+            "s": TenantPolicy(priority="standard"),
+            "b": TenantPolicy(priority="batch")})
+        # 60% full: batch sheds, standard and gold ride
+        with pytest.raises(OverloadShedError):
+            ctl.admit("b", now=0.0, depth_fraction=0.6)
+        ctl.admit("s", now=0.0, depth_fraction=0.6)
+        ctl.admit("g", now=0.0, depth_fraction=0.6)
+        # 90% full: standard sheds too, gold still rides
+        with pytest.raises(OverloadShedError):
+            ctl.admit("s", now=0.0, depth_fraction=0.9)
+        ctl.admit("g", now=0.0, depth_fraction=0.9)
+        # gold rides to the brim (1.0 is not > 1.0)
+        ctl.admit("g", now=0.0, depth_fraction=1.0)
+
+    def test_shed_requests_do_not_burn_tokens(self):
+        ctl = AdmissionController(policies={
+            "b": TenantPolicy(rate_rps=1.0, burst=1.0, priority="batch")})
+        with pytest.raises(OverloadShedError):
+            ctl.admit("b", now=0.0, depth_fraction=0.9)
+        ctl.admit("b", now=0.0, depth_fraction=0.0)  # the token is intact
+
+    def test_snapshot_accounting_is_exact(self):
+        ctl = AdmissionController(policies={
+            "acme": TenantPolicy(rate_rps=1.0, burst=2.0,
+                                 priority="batch")})
+        ctl.admit("acme", now=0.0)
+        ctl.admit("acme", now=0.0)
+        with pytest.raises(QuotaExceededError):
+            ctl.admit("acme", now=0.0)
+        with pytest.raises(OverloadShedError):
+            ctl.admit("acme", now=0.0, depth_fraction=0.99)
+        snap = ctl.snapshot()
+        assert snap["admitted"] == {"acme": 2}
+        assert snap["rejected"] == {"acme": {"quota": 1, "shed": 1}}
+
+
+class TestDeadlines:
+    def test_class_default_deadline(self):
+        ctl = AdmissionController(
+            policies={"g": TenantPolicy(priority="gold")})
+        assert ctl.deadline_for("g", now=10.0) == \
+            10.0 + DEADLINE_BY_CLASS["gold"]
+        assert ctl.deadline_for("unknown", now=10.0) == \
+            10.0 + DEADLINE_BY_CLASS["standard"]
+
+    def test_explicit_deadline_wins(self):
+        ctl = AdmissionController()
+        assert ctl.deadline_for("t", now=10.0, explicit=11.5) == 11.5
+
+    def test_policy_deadline_overrides_class(self):
+        ctl = AdmissionController(
+            policies={"t": TenantPolicy(priority="batch", deadline_s=3.0)})
+        assert ctl.deadline_for("t", now=0.0) == 3.0
+
+
+class TestEDFBatcherOrdering:
+    """The batcher flushes earliest-deadline-first (what priority maps to)."""
+
+    def test_ready_orders_by_earliest_deadline(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        batcher.add("slow", "r0", enqueued_at=0.0, deadline=60.0)
+        batcher.add("fast", "r1", enqueued_at=0.1, deadline=5.0)
+        batcher.add("mid", "r2", enqueued_at=0.2, deadline=15.0)
+        batches = batcher.ready(now=1.0)
+        assert [b.key for b in batches] == ["fast", "mid", "slow"]
+        assert batches[0].earliest_deadline == 5.0
+
+    def test_group_tracks_min_deadline(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        batcher.add("k", "r0", enqueued_at=0.0, deadline=60.0)
+        batcher.add("k", "r1", enqueued_at=0.1, deadline=2.0)  # gold joins
+        batcher.add("other", "r2", enqueued_at=0.2, deadline=30.0)
+        batches = batcher.ready(now=1.0)
+        assert [b.key for b in batches] == ["k", "other"]
+
+    def test_deadline_less_items_sort_last(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        batcher.add("nodl", "r0", enqueued_at=0.0)
+        batcher.add("gold", "r1", enqueued_at=0.5, deadline=5.0)
+        batches = batcher.ready(now=1.0)
+        assert [b.key for b in batches] == ["gold", "nodl"]

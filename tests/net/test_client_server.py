@@ -1,0 +1,225 @@
+"""End-to-end socket serving: NetClient ↔ NetServer ↔ InferenceServer.
+
+The headline contract: logits served over TCP are bitwise-identical to a
+direct in-process :meth:`~repro.api.Session.predict` — the wire framing
+reuses the cluster's array packing, so no precision is lost crossing the
+socket.  Plus the full request surface (ping, stats, mutate) and the
+typed error mapping (quota, bad_request, protocol).
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.graph import load_node_dataset
+from repro.net import (
+    AdmissionController,
+    NetClient,
+    NetConnectError,
+    NetServer,
+    RemoteError,
+    TenantPolicy,
+)
+from repro.net.protocol import FrameDecoder, encode_message, ping_request
+from repro.serve import BatchPolicy, InferenceServer, SessionPool
+from repro.stream import GraphDelta
+
+SCALE = 0.05
+MODEL = ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                    num_heads=4, dropout=0.0)
+
+
+def make_config(seed: int = 0) -> RunConfig:
+    return RunConfig(data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),
+                     model=MODEL, engine=EngineConfig("gp-raw"),
+                     train=TrainConfig(epochs=1), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return make_config()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+
+
+@pytest.fixture()
+def served(config):
+    """A threaded NetServer over a warm single-process backend.
+
+    The pool gets its own freshly-loaded dataset (not the module
+    fixture's) because wire mutations change it in place.
+    """
+    pool = SessionPool(max_sessions=4)
+    pool.put_dataset(config, load_node_dataset("ogbn-arxiv", scale=SCALE,
+                                               seed=0))
+    backend = InferenceServer(
+        pool=pool, policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0),
+        max_queue_depth=64)
+    admission = AdmissionController(policies={
+        "metered": TenantPolicy(rate_rps=0.001, burst=2.0)})
+    net = NetServer(backend, admission=admission).start()
+    yield net
+    net.close()
+    backend.close()
+
+
+def client_for(net: NetServer, **kw) -> NetClient:
+    host, port = net.address
+    return NetClient(host, port, **kw)
+
+
+class TestPredict:
+    def test_wire_logits_bitwise_identical(self, served, config, dataset):
+        want = Session(config, dataset=dataset).predict()
+        with client_for(served) as client:
+            got = client.predict(config)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)  # bitwise, not allclose
+
+    def test_node_subset(self, served, config, dataset):
+        nodes = np.array([9, 2, 5, 11])
+        want = Session(config, dataset=dataset).predict(nodes=nodes)
+        with client_for(served) as client:
+            got = client.predict(config, nodes=nodes)
+        assert np.array_equal(got, want)
+
+    def test_many_requests_one_connection(self, served, config, dataset):
+        want = Session(config, dataset=dataset).predict(
+            nodes=np.arange(4))
+        with client_for(served) as client:
+            for _ in range(5):
+                got = client.predict(config, nodes=np.arange(4))
+                assert np.array_equal(got, want)
+        snap = served.stats.snapshot()
+        assert snap["responses"] >= 5
+
+    def test_concurrent_connections(self, served, config, dataset):
+        want = Session(config, dataset=dataset).predict(
+            nodes=np.arange(6))
+        clients = [client_for(served).connect() for _ in range(3)]
+        try:
+            for client in clients:
+                assert np.array_equal(
+                    client.predict(config, nodes=np.arange(6)), want)
+        finally:
+            for client in clients:
+                client.close()
+
+
+class TestControlPlane:
+    def test_ping(self, served):
+        with client_for(served) as client:
+            assert client.ping() >= 0.0
+
+    def test_stats_nested_snapshot(self, served, config):
+        with client_for(served) as client:
+            client.predict(config, nodes=np.arange(3))
+            snap = client.stats()
+        assert snap["net"]["requests"] >= 1
+        assert "backend" in snap
+        assert "admitted" in snap["admission"]
+
+    def test_mutate_matches_direct_mutation(self, served, config):
+        from repro.stream import apply_delta
+
+        delta = GraphDelta(add_edges=np.array([[0, 7], [1, 9]]))
+        reference = load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+        apply_delta(reference, delta)
+        want = Session(config, dataset=reference).predict(nodes=np.arange(4))
+        with client_for(served) as client:
+            version = client.mutate(config, delta)
+            assert version == 1
+            after = client.predict(config, nodes=np.arange(4))
+            assert client.last_graph_version == 1
+        # post-mutation wire logits match a directly-mutated session
+        assert np.array_equal(after, want)
+
+
+class TestErrorMapping:
+    def test_quota_rejection_is_typed(self, served, config):
+        with client_for(served, tenant="metered") as client:
+            client.predict(config, nodes=np.arange(2))
+            client.predict(config, nodes=np.arange(2))
+            with pytest.raises(RemoteError) as exc:
+                client.predict(config, nodes=np.arange(2))
+        assert exc.value.kind == "quota"
+        assert served.stats.rejected_quota >= 1
+
+    def test_bad_config_is_bad_request(self, served):
+        with client_for(served) as client:
+            with pytest.raises(RemoteError) as exc:
+                client.predict("this is not json")
+        assert exc.value.kind == "bad_request"
+
+    def test_garbage_bytes_get_protocol_error_then_disconnect(self, served):
+        host, port = served.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            decoder = FrameDecoder()
+            messages = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break  # server hung up after the error frame
+                messages.extend(decoder.feed(data))
+        assert len(messages) == 1
+        assert messages[0].kind == "error"
+        assert messages[0].headers["error_kind"] == "protocol"
+        assert messages[0].request_id is None
+        assert served.stats.protocol_errors >= 1
+
+    def test_response_kind_sent_to_server_is_bad_request(self, served):
+        from repro.net.protocol import pong_response
+
+        host, port = served.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            sock.sendall(encode_message(pong_response(3)))
+            decoder = FrameDecoder()
+            messages = []
+            while not messages:
+                messages.extend(decoder.feed(sock.recv(65536)))
+        assert messages[0].headers["error_kind"] == "bad_request"
+        assert messages[0].request_id == 3
+
+    def test_connect_refused_raises_after_retries(self):
+        # grab a port nothing listens on
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = NetClient("127.0.0.1", port, connect_retries=2,
+                           connect_backoff_s=0.01)
+        with pytest.raises(NetConnectError):
+            client.connect()
+
+
+class TestPartialIO:
+    def test_frame_dribbled_byte_by_byte(self, served):
+        # twenty TCP segments for one request: the server's per-conn
+        # decoder reassembles across poll rounds
+        host, port = served.address
+        wire = encode_message(ping_request(0, tenant="dribble"))
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            for i in range(len(wire)):
+                sock.sendall(wire[i:i + 1])
+            decoder = FrameDecoder()
+            messages = []
+            while not messages:
+                messages.extend(decoder.feed(sock.recv(65536)))
+        assert messages[0].kind == "pong"
+        assert messages[0].request_id == 0

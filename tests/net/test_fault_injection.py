@@ -1,0 +1,310 @@
+"""Fault injection at the socket tier.
+
+Each test arranges one specific failure — client vanishing mid-request,
+worker process dying with futures in flight, the server shutting down
+with work it can never finish, a slow-loris peer, elastic scale-down
+racing a dispatch — and asserts the documented recovery: typed errors on
+the wire, exactly-once requeue accounting in the cluster, no hangs, no
+double delivery.
+
+Everything runs the net server in *driven* mode (explicit ``poll``
+calls, raw client sockets) so interleavings are exact and deterministic.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.graph import load_node_dataset
+from repro.net import NetServer
+from repro.net.protocol import (
+    FrameDecoder,
+    encode_message,
+    ping_request,
+    predict_request,
+)
+from repro.serve import (
+    BatchPolicy,
+    InferenceServer,
+    RequestQueue,
+    ServeFuture,
+    ServingCluster,
+    SessionPool,
+    config_key,
+)
+
+SCALE = 0.05
+MODEL = ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                    num_heads=4, dropout=0.0)
+
+
+def make_config(seed: int = 0) -> RunConfig:
+    return RunConfig(data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),
+                     model=MODEL, engine=EngineConfig("gp-raw"),
+                     train=TrainConfig(epochs=1), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return make_config()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def reference(config, dataset):
+    return Session(config, dataset=dataset).predict(nodes=np.arange(4))
+
+
+def pump(net: NetServer, cond, rounds: int = 500,
+         io_timeout_s: float = 0.005) -> None:
+    """Drive poll() until ``cond()`` holds (bounded, so never a hang)."""
+    for _ in range(rounds):
+        net.poll(io_timeout_s=io_timeout_s)
+        if cond():
+            return
+    raise AssertionError("condition not reached while pumping the server")
+
+
+def recv_messages(sock: socket.socket, n: int, decoder=None) -> list:
+    """Block until ``n`` frames arrive on ``sock`` (its timeout bounds us)."""
+    decoder = decoder or FrameDecoder()
+    messages = []
+    while len(messages) < n:
+        data = sock.recv(65536)
+        if not data:
+            break
+        messages.extend(decoder.feed(data))
+    return messages
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_request_discards_response_cleanly(
+            self, config, dataset):
+        pool = SessionPool(max_sessions=2)
+        pool.put_dataset(config, dataset)
+        backend = InferenceServer(
+            pool=pool, policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0),
+            max_queue_depth=16)
+        net = NetServer(backend)
+        try:
+            host, port = net.address
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.sendall(encode_message(predict_request(
+                0, config.to_json(), tenant="flaky",
+                nodes=np.arange(4))))
+            # the request is decoded and submitted...
+            pump(net, lambda: net.stats.requests >= 1)
+            sock.close()  # ...then the client vanishes
+            # the server notices the hangup and still finishes the
+            # backend work, without crashing (the response, if it beat
+            # the EOF, lands in a dead socket and is simply lost)
+            pump(net, lambda: net.stats.disconnects >= 1
+                 and backend.stats.completed >= 1)
+            assert net.stats.disconnects == 1
+            # a new client is served normally afterwards
+            base = net.stats.responses
+            sock2 = socket.create_connection((host, port), timeout=5.0)
+            sock2.settimeout(5.0)
+            sock2.sendall(encode_message(ping_request(1, tenant="ok")))
+            pump(net, lambda: net.stats.responses >= base + 1)
+            messages = recv_messages(sock2, 1)
+            assert messages[0].kind == "pong"
+            sock2.close()
+        finally:
+            net.close()
+            backend.close()
+
+
+class TestWorkerDeath:
+    def test_worker_death_with_inflight_requeues_exactly_once(
+            self, config, dataset, reference):
+        # inline cluster, auto=False: worker execution is explicit, so
+        # the death/requeue interleaving is exact
+        cluster = ServingCluster(
+            num_workers=2, warm_configs=[config],
+            datasets=[(config, dataset)], backend="inline",
+            auto_inline=False,
+            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        net = NetServer(cluster)
+        try:
+            host, port = net.address
+            victim = cluster.router.ring.lookup(config_key(config))
+            survivor = ({w for w in cluster.workers} - {victim}).pop()
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(10.0)
+            for rid in range(3):
+                sock.sendall(encode_message(predict_request(
+                    rid, config.to_json(), tenant="acme",
+                    nodes=np.arange(4))))
+            # decoded + dispatched into the victim's inbox
+            pump(net, lambda: cluster.stats.dispatched >= 1)
+            assert len(cluster.workers[victim].units_seen) == 0
+            cluster.workers[victim].fail()  # crash before executing
+            # death detected, units requeued to the survivor — once each
+            pump(net, lambda: cluster.stats.requeued >= 3)
+            assert cluster.stats.worker_deaths == 1
+            assert cluster.stats.requeued == 3
+            cluster.workers[survivor].step_worker()
+            pump(net, lambda: net.stats.responses >= 3)
+            messages = recv_messages(sock, 3)
+            assert sorted(m.request_id for m in messages) == [0, 1, 2]
+            for m in messages:
+                assert m.kind == "result"
+                assert np.array_equal(m.arrays[0], reference)
+            assert cluster.stats.duplicates_ignored == 0
+            assert cluster.stats.completed == 3
+            sock.close()
+        finally:
+            net.close()
+            cluster.close()
+
+
+class _StuckBackend:
+    """A backend whose futures never resolve (shutdown-drain fixture)."""
+
+    def __init__(self):
+        self.queue = RequestQueue(max_depth=8)
+        self.stats = None
+
+    def step(self, now=None) -> int:
+        """No-op scheduling round."""
+        return 0
+
+    def submit(self, config, nodes=None, indices=None, timeout=None,
+               now=None, trace=None) -> ServeFuture:
+        """Accept the request and park it forever."""
+        return ServeFuture()
+
+    def stats_snapshot(self) -> dict:
+        """Empty backend snapshot."""
+        return {}
+
+
+class TestServerShutdown:
+    def test_close_fails_unresolvable_pending_with_server_closed(
+            self, config):
+        net = NetServer(_StuckBackend())
+        host, port = net.address
+        sock = socket.create_connection((host, port), timeout=5.0)
+        sock.settimeout(5.0)
+        sock.sendall(encode_message(predict_request(
+            7, config.to_json(), tenant="acme", nodes=np.arange(4))))
+        pump(net, lambda: net.stats.requests >= 1)
+        # shutdown with the future still pending: the drain times out
+        # and the request is failed cleanly on the wire
+        net.close(drain_timeout_s=0.2)
+        messages = recv_messages(sock, 1)
+        assert messages[0].kind == "error"
+        assert messages[0].headers["error_kind"] == "server_closed"
+        assert messages[0].request_id == 7
+        # the socket is then closed server-side
+        assert sock.recv(65536) == b""
+        sock.close()
+
+    def test_close_is_idempotent(self):
+        net = NetServer(_StuckBackend())
+        net.close()
+        net.close()
+        assert net.poll() == 0  # polling a closed server is a no-op
+
+
+class TestSlowLoris:
+    def test_partial_frame_hits_read_deadline(self, config):
+        net = NetServer(_StuckBackend(), read_timeout_s=5.0)
+        try:
+            host, port = net.address
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.settimeout(5.0)
+            wire = encode_message(ping_request(0, tenant="slow"))
+            sock.sendall(wire[:7])  # half a frame, then silence
+            pump(net, lambda: any(c.decoder.buffered
+                                  for c in net._conns.values()))
+            t0 = [c.last_recv for c in net._conns.values()][0]
+            # virtual clock: one tick inside the window keeps the conn
+            net.poll(now=t0 + 4.0)
+            assert net.stats.read_timeouts == 0
+            # past the window: dropped with a typed error frame
+            net.poll(now=t0 + 5.5)
+            assert net.stats.read_timeouts == 1
+            messages = recv_messages(sock, 1)
+            assert messages[0].headers["error_kind"] == "read_timeout"
+            assert sock.recv(65536) == b""
+            sock.close()
+        finally:
+            net.close()
+
+    def test_whole_frames_never_time_out(self, config):
+        # a *complete* frame followed by idleness is a healthy keepalive
+        # pattern, not a slow-loris: only partial frames age out
+        net = NetServer(_StuckBackend(), read_timeout_s=5.0)
+        try:
+            host, port = net.address
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.settimeout(5.0)
+            sock.sendall(encode_message(ping_request(0, tenant="idle")))
+            pump(net, lambda: net.stats.responses >= 1)
+            t0 = [c.last_recv for c in net._conns.values()][0]
+            net.poll(now=t0 + 100.0)  # way past the window, buffer empty
+            assert net.stats.read_timeouts == 0
+            assert len(net._conns) == 1
+            sock.close()
+        finally:
+            net.close()
+
+
+class TestElasticRetireRace:
+    def test_retire_racing_inflight_dispatch_keeps_exactly_once(
+            self, config, dataset, reference):
+        cluster = ServingCluster(
+            num_workers=2, warm_configs=[config],
+            datasets=[(config, dataset)], backend="inline",
+            auto_inline=False,
+            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        try:
+            victim = cluster.router.ring.lookup(config_key(config))
+            survivor = ({w for w in cluster.workers} - {victim}).pop()
+            futures = [cluster.submit(config, nodes=np.arange(4))
+                       for _ in range(2)]
+            cluster.step()  # units now sit unexecuted in victim's inbox
+            # elastic scale-down strikes while the dispatch is in flight
+            assert cluster.retire_worker(victim)
+            assert cluster.stats.requeued == 2
+            assert victim not in cluster.router.workers()
+            cluster.workers[survivor].step_worker()
+            cluster.run_until_idle()
+            for fut in futures:
+                assert np.array_equal(fut.result(timeout=5.0), reference)
+            assert cluster.stats.duplicates_ignored == 0
+            assert cluster.stats.completed == 2
+            # the fleet keeps serving after the scale-down
+            fut = cluster.submit(config, nodes=np.arange(4))
+            cluster.step()
+            cluster.workers[survivor].step_worker()
+            cluster.run_until_idle()
+            assert np.array_equal(fut.result(timeout=5.0), reference)
+        finally:
+            cluster.close()
+
+    def test_last_worker_is_never_retired(self, config, dataset):
+        cluster = ServingCluster(
+            num_workers=1, warm_configs=[config],
+            datasets=[(config, dataset)], backend="inline")
+        try:
+            assert not cluster.retire_worker("w0")
+            assert cluster.router.workers() == ("w0",) \
+                or "w0" in cluster.router.workers()
+        finally:
+            cluster.close()

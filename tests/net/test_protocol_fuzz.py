@@ -1,0 +1,406 @@
+"""Fuzzing the wire protocol's trust boundary.
+
+The contract under test (:mod:`repro.net.protocol`): for *any* byte
+sequence, decoding either yields a valid :class:`Message` or raises a
+typed :class:`ProtocolError` subclass — never another exception type,
+never a hang, never a partially-constructed message.  The corpus covers
+every message kind; mutations cover truncation at every byte offset,
+lying length prefixes, unknown versions/kinds, and hundreds of seeded
+random corruptions.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import (
+    FRAME_HEADER_SIZE,
+    MAGIC,
+    MAX_BODY_BYTES,
+    MESSAGE_KINDS,
+    PROTOCOL_VERSION,
+    CorruptFrameError,
+    FrameDecoder,
+    FrameTooLargeError,
+    Message,
+    ProtocolError,
+    TruncatedFrameError,
+    UnknownKindError,
+    UnknownVersionError,
+    decode_message,
+    encode_message,
+    error_response,
+    mutate_request,
+    ping_request,
+    pong_response,
+    predict_request,
+    result_response,
+    stats_reply,
+    stats_request,
+)
+
+CONFIG_JSON = json.dumps({"model": "stub"})
+
+
+def corpus() -> list[Message]:
+    """One valid message of every kind (plus payload variants)."""
+    return [
+        predict_request(0, CONFIG_JSON, tenant="acme", priority="gold",
+                        deadline=123.5, nodes=np.arange(7)),
+        predict_request(1, CONFIG_JSON, tenant="acme",
+                        indices=np.array([3, 1])),
+        predict_request(2, CONFIG_JSON, tenant="t"),
+        mutate_request(3, CONFIG_JSON, b"\x01\x02\x03", tenant="acme",
+                       expected_version=4),
+        stats_request(4, tenant="acme"),
+        ping_request(5, tenant="acme"),
+        result_response(6, np.ones((2, 3), dtype=np.float64),
+                        graph_version=9),
+        result_response(7, None, graph_version=1),
+        error_response(8, "quota", "over quota"),
+        error_response(None, "protocol", "bad frame"),
+        pong_response(9),
+        stats_reply(10, {"net": {"requests": 4}}),
+    ]
+
+
+def assert_messages_equal(a: Message, b: Message) -> None:
+    assert a.kind == b.kind
+    assert a.headers == b.headers
+    assert len(a.arrays) == len(b.arrays)
+    for x, y in zip(a.arrays, b.arrays):
+        assert x.dtype == y.dtype
+        assert x.shape == y.shape
+        assert np.array_equal(x, y)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("msg", corpus(),
+                             ids=lambda m: f"{m.kind}-{m.request_id}")
+    def test_every_kind_round_trips(self, msg):
+        wire = encode_message(msg)
+        decoded, consumed = decode_message(wire)
+        assert consumed == len(wire)
+        assert_messages_equal(decoded, msg)
+
+    def test_zero_length_array_round_trips(self):
+        msg = result_response(0, np.empty((0, 5), dtype=np.float32))
+        decoded, _ = decode_message(encode_message(msg))
+        assert decoded.arrays[0].shape == (0, 5)
+        assert decoded.arrays[0].dtype == np.float32
+
+    def test_large_payload_round_trips(self):
+        # > 2^16 rows: the body length spans more than two prefix bytes
+        big = np.arange(70_000 * 2, dtype=np.int8).reshape(70_000, 2)
+        msg = result_response(0, big)
+        wire = encode_message(msg)
+        assert len(wire) > 70_000 * 2
+        decoded, consumed = decode_message(wire)
+        assert consumed == len(wire)
+        assert np.array_equal(decoded.arrays[0], big)
+
+    def test_decoded_arrays_are_writable_copies(self):
+        wire = encode_message(result_response(0, np.zeros(4)))
+        decoded, _ = decode_message(wire)
+        decoded.arrays[0][0] = 1.0  # must not raise (frombuffer is RO)
+
+    def test_back_to_back_frames_decode_in_order(self):
+        msgs = corpus()
+        stream = b"".join(encode_message(m) for m in msgs)
+        decoder = FrameDecoder()
+        out = decoder.feed(stream)
+        assert [m.kind for m in out] == [m.kind for m in msgs]
+        assert decoder.buffered == 0
+
+    def test_byte_at_a_time_feed(self):
+        msg = predict_request(0, CONFIG_JSON, tenant="acme",
+                              nodes=np.arange(5))
+        wire = encode_message(msg)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out += decoder.feed(wire[i:i + 1])
+        assert len(out) == 1
+        assert_messages_equal(out[0], msg)
+
+
+class TestTruncation:
+    def test_truncation_at_every_offset(self):
+        # Any strict prefix of a valid frame is recoverable-incomplete:
+        # exactly TruncatedFrameError, at every single cut point.
+        wire = encode_message(
+            predict_request(0, CONFIG_JSON, tenant="acme",
+                            nodes=np.arange(16)))
+        for cut in range(len(wire)):
+            with pytest.raises(TruncatedFrameError):
+                decode_message(wire[:cut])
+
+    def test_truncated_prefix_never_partially_applies(self):
+        # a decoder fed a partial frame emits nothing, holds the bytes,
+        # and completes the message when the rest arrives
+        wire = encode_message(ping_request(1, tenant="t"))
+        for cut in range(1, len(wire)):
+            decoder = FrameDecoder()
+            assert decoder.feed(wire[:cut]) == []
+            assert decoder.buffered == cut
+            out = decoder.feed(wire[cut:])
+            assert len(out) == 1 and out[0].kind == "ping"
+
+    def test_empty_buffer_is_truncated(self):
+        with pytest.raises(TruncatedFrameError):
+            decode_message(b"")
+
+
+class TestLengthPrefixLies:
+    def make_wire(self):
+        return bytearray(encode_message(ping_request(0, tenant="t")))
+
+    def test_body_len_over_cap_rejected_before_buffering(self):
+        wire = self.make_wire()
+        wire[8:12] = (MAX_BODY_BYTES + 1).to_bytes(4, "big")
+        # only the 12-byte prelude present: the lie is caught *without*
+        # waiting for (or allocating) the claimed body
+        with pytest.raises(FrameTooLargeError):
+            decode_message(bytes(wire[:FRAME_HEADER_SIZE]))
+
+    def test_oversized_frame_refused_at_encode(self):
+        big = np.zeros(MAX_BODY_BYTES // 8 + 16, dtype=np.float64)
+        with pytest.raises(FrameTooLargeError):
+            encode_message(result_response(0, big))
+
+    def test_body_len_larger_than_body_is_truncated(self):
+        wire = self.make_wire()
+        real = int.from_bytes(wire[8:12], "big")
+        wire[8:12] = (real + 10).to_bytes(4, "big")
+        with pytest.raises(TruncatedFrameError):
+            decode_message(bytes(wire))
+
+    def test_body_len_smaller_than_body_corrupts_the_stream(self):
+        wire = self.make_wire()
+        real = int.from_bytes(wire[8:12], "big")
+        wire[8:12] = (real - 2).to_bytes(4, "big")
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(bytes(wire))
+
+    def test_header_len_exceeding_body_is_corrupt(self):
+        msg = ping_request(0, tenant="t")
+        wire = bytearray(encode_message(msg))
+        wire[12:16] = (10_000).to_bytes(4, "big")  # body header_len lie
+        with pytest.raises(CorruptFrameError):
+            decode_message(bytes(wire))
+
+
+class TestVersionAndKind:
+    def test_unknown_version(self):
+        for version in (0, 2, 255, 65535):
+            wire = bytearray(encode_message(ping_request(0, tenant="t")))
+            wire[4:6] = version.to_bytes(2, "big")
+            with pytest.raises(UnknownVersionError):
+                decode_message(bytes(wire))
+
+    def test_unknown_kind_code(self):
+        known = set(MESSAGE_KINDS.values())
+        for code in (0, 9, 127, 255):
+            assert code not in known
+            wire = bytearray(encode_message(ping_request(0, tenant="t")))
+            wire[6] = code
+            with pytest.raises(UnknownKindError):
+                decode_message(bytes(wire))
+
+    def test_unknown_kind_at_encode(self):
+        with pytest.raises(UnknownKindError):
+            encode_message(Message(kind="selfdestruct",
+                                   headers={"request_id": 0}))
+
+    def test_bad_magic(self):
+        wire = bytearray(encode_message(ping_request(0, tenant="t")))
+        wire[0:4] = b"HTTP"
+        with pytest.raises(CorruptFrameError):
+            decode_message(bytes(wire))
+
+
+class TestHeaderValidation:
+    def patched(self, msg: Message, **header_patch) -> bytes:
+        headers = dict(msg.headers)
+        headers.update(header_patch)
+        for key, val in list(headers.items()):
+            if val is ...:
+                del headers[key]
+        header = json.dumps(headers, sort_keys=True,
+                            separators=(",", ":")).encode()
+        from repro.distributed.comm import pack_arrays
+
+        body = (len(header).to_bytes(4, "big") + header
+                + pack_arrays(list(msg.arrays)))
+        code = MESSAGE_KINDS[msg.kind]
+        return (MAGIC + PROTOCOL_VERSION.to_bytes(2, "big")
+                + bytes([code, 0]) + len(body).to_bytes(4, "big") + body)
+
+    def test_missing_tenant(self):
+        wire = self.patched(ping_request(0, tenant="t"), tenant=...)
+        with pytest.raises(CorruptFrameError):
+            decode_message(wire)
+
+    def test_empty_tenant(self):
+        wire = self.patched(ping_request(0, tenant="t"), tenant="")
+        with pytest.raises(CorruptFrameError):
+            decode_message(wire)
+
+    def test_bad_request_id(self):
+        for rid in (None, -1, "7", 1.5, True):
+            wire = self.patched(ping_request(0, tenant="t"), request_id=rid)
+            with pytest.raises(CorruptFrameError):
+                decode_message(wire)
+
+    def test_bad_deadline(self):
+        wire = self.patched(ping_request(0, tenant="t"), deadline="soon")
+        with pytest.raises(CorruptFrameError):
+            decode_message(wire)
+
+    def test_predict_without_config(self):
+        msg = predict_request(0, CONFIG_JSON, tenant="t")
+        wire = self.patched(msg, config=...)
+        with pytest.raises(CorruptFrameError):
+            decode_message(wire)
+
+    def test_header_not_an_object(self):
+        header = b"[1,2,3]"
+        body = len(header).to_bytes(4, "big") + header
+        wire = (MAGIC + PROTOCOL_VERSION.to_bytes(2, "big")
+                + bytes([MESSAGE_KINDS["ping"], 0])
+                + len(body).to_bytes(4, "big") + body)
+        with pytest.raises(CorruptFrameError):
+            decode_message(wire)
+
+    def test_header_not_json(self):
+        header = b"{nope"
+        body = len(header).to_bytes(4, "big") + header
+        wire = (MAGIC + PROTOCOL_VERSION.to_bytes(2, "big")
+                + bytes([MESSAGE_KINDS["ping"], 0])
+                + len(body).to_bytes(4, "big") + body)
+        with pytest.raises(CorruptFrameError):
+            decode_message(wire)
+
+    def test_corrupt_array_blob(self):
+        wire = bytearray(encode_message(
+            predict_request(0, CONFIG_JSON, tenant="t",
+                            nodes=np.arange(8))))
+        at = bytes(wire).index(b"RGT1", 4)  # the inner array-frame magic
+        wire[at] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(wire))
+
+    def test_array_blob_dtype_lie(self):
+        wire = bytes(encode_message(
+            predict_request(0, CONFIG_JSON, tenant="t",
+                            nodes=np.arange(8))))
+        at = wire.index(b"<i8;8")  # the inner frame's dtype;shape header
+        patched = wire[:at] + b"<i4;8" + wire[at + 5:]
+        with pytest.raises(ProtocolError):  # 64 data bytes ≠ 8 × int32
+            decode_message(patched)
+
+
+class TestDecoderPoisoning:
+    def test_decoder_poisons_after_corruption(self):
+        good = encode_message(ping_request(0, tenant="t"))
+        decoder = FrameDecoder()
+        assert len(decoder.feed(good)) == 1
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"GARBAGE-NOT-A-FRAME")
+        # the stream is unrecoverable: even a valid frame re-raises
+        with pytest.raises(ProtocolError):
+            decoder.feed(good)
+
+    def test_messages_before_corruption_are_not_lost(self):
+        good = encode_message(ping_request(0, tenant="t"))
+        bad = bytearray(encode_message(ping_request(1, tenant="t")))
+        bad[0:4] = b"XXXX"
+        decoder = FrameDecoder()
+        out = decoder.feed(good)  # complete frame delivered...
+        assert len(out) == 1
+        with pytest.raises(ProtocolError):
+            decoder.feed(bytes(bad))  # ...before the poison hits
+
+
+class TestSeededMutationFuzz:
+    """≥200 random byte-level corruptions: typed errors or valid frames."""
+
+    N_MUTATIONS = 320
+
+    def mutate(self, rng: np.random.Generator, wire: bytes) -> bytes:
+        buf = bytearray(wire)
+        op = rng.integers(0, 6)
+        if op == 0:  # flip random bytes
+            for _ in range(int(rng.integers(1, 8))):
+                buf[int(rng.integers(0, len(buf)))] = int(
+                    rng.integers(0, 256))
+        elif op == 1:  # truncate at a random offset
+            buf = buf[:int(rng.integers(0, len(buf)))]
+        elif op == 2:  # drop a random slice
+            lo = int(rng.integers(0, len(buf)))
+            hi = int(rng.integers(lo, len(buf) + 1))
+            del buf[lo:hi]
+        elif op == 3:  # insert random bytes
+            at = int(rng.integers(0, len(buf) + 1))
+            junk = bytes(rng.integers(0, 256,
+                                      int(rng.integers(1, 16))).tolist())
+            buf[at:at] = junk
+        elif op == 4:  # lie in the length prefix
+            buf[8:12] = int(rng.integers(0, 2**32)).to_bytes(4, "big")
+        else:  # patch version / kind / flags
+            buf[int(rng.integers(4, 8))] = int(rng.integers(0, 256))
+        return bytes(buf)
+
+    def test_mutated_frames_yield_only_typed_errors(self):
+        rng = np.random.default_rng(0xF422)
+        base = [encode_message(m) for m in corpus()]
+        outcomes = {"ok": 0, "error": 0, "truncated": 0}
+        for i in range(self.N_MUTATIONS):
+            wire = self.mutate(rng, base[i % len(base)])
+            try:
+                msg, consumed = decode_message(wire)
+            except TruncatedFrameError:
+                outcomes["truncated"] += 1
+            except ProtocolError:
+                outcomes["error"] += 1
+            else:
+                # mutation landed in a don't-care byte: result must be
+                # a fully-formed message, nothing partial
+                assert isinstance(msg, Message)
+                assert msg.kind in MESSAGE_KINDS
+                assert isinstance(msg.headers, dict)
+                assert 0 < consumed <= len(wire)
+                outcomes["ok"] += 1
+        assert sum(outcomes.values()) == self.N_MUTATIONS
+        assert outcomes["error"] + outcomes["truncated"] > 100
+
+    def test_mutated_streams_through_decoder(self):
+        # same corpus through the stateful decoder: feed in random
+        # chunks; either messages come out or the decoder poisons with a
+        # typed error — never anything else, never an infinite loop
+        rng = np.random.default_rng(0xFEED)
+        base = [encode_message(m) for m in corpus()]
+        for i in range(120):
+            wire = self.mutate(rng, base[i % len(base)])
+            decoder = FrameDecoder()
+            pos = 0
+            try:
+                while pos < len(wire):
+                    step = int(rng.integers(1, 64))
+                    for msg in decoder.feed(wire[pos:pos + step]):
+                        assert msg.kind in MESSAGE_KINDS
+                    pos += step
+            except ProtocolError:
+                pass
+
+    def test_random_garbage_never_decodes(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            junk = bytes(rng.integers(0, 256,
+                                      int(rng.integers(1, 512))).tolist())
+            if junk[:4] == MAGIC:  # pragma: no cover - 2^-32 chance
+                continue
+            with pytest.raises(ProtocolError):
+                decode_message(junk)

@@ -1,0 +1,180 @@
+"""Threaded-client stress: exact accounting under real concurrency.
+
+N client threads hammer one threaded :class:`~repro.net.NetServer` with
+mixed tenants.  The invariants under test are *exact*, not statistical:
+no response is dropped or duplicated (every request id gets exactly one
+matching reply), per-tenant admission accounting sums to the offered
+load, and stats snapshots taken concurrently from a reader thread never
+trip over the serving loop's appends (the lock-guarded-deque
+regression).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EngineConfig,
+    ModelConfig,
+    RunConfig,
+    Session,
+    TrainConfig,
+)
+from repro.graph import load_node_dataset
+from repro.net import (
+    AdmissionController,
+    NetClient,
+    NetServer,
+    RemoteError,
+    TenantPolicy,
+)
+from repro.serve import BatchPolicy, InferenceServer, SessionPool
+
+SCALE = 0.05
+MODEL = ModelConfig("graphormer-slim", num_layers=2, hidden_dim=16,
+                    num_heads=4, dropout=0.0)
+N_THREADS = 6
+REQUESTS_PER_THREAD = 8
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RunConfig(data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),
+                     model=MODEL, engine=EngineConfig("gp-raw"),
+                     train=TrainConfig(epochs=1), seed=0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+
+
+@pytest.fixture()
+def served(config, dataset):
+    pool = SessionPool(max_sessions=4)
+    pool.put_dataset(config, dataset)
+    backend = InferenceServer(
+        pool=pool, policy=BatchPolicy(max_batch_size=16, max_wait_s=0.0),
+        max_queue_depth=256)
+    # "limited" gets a hard budget of exactly 10 requests for the whole
+    # run (burst 10, effectively no refill) — the accounting must come
+    # out exact no matter how the client threads interleave
+    admission = AdmissionController(policies={
+        "limited": TenantPolicy(rate_rps=1e-6, burst=10.0)})
+    backend.pool.acquire(config)  # warm before the storm
+    net = NetServer(backend, admission=admission).start()
+    yield net, admission
+    net.close()
+    backend.close()
+
+
+def hammer(net, config, tenant: str, out: dict, lock: threading.Lock,
+           want: np.ndarray):
+    """One client thread: sequential requests, tallying outcomes."""
+    host, port = net.address
+    ok = quota = 0
+    mismatched = 0
+    with NetClient(host, port, tenant=tenant,
+                   request_timeout_s=30.0) as client:
+        for _ in range(REQUESTS_PER_THREAD):
+            try:
+                got = client.predict(config, nodes=np.arange(4))
+                if np.array_equal(got, want):
+                    ok += 1
+                else:
+                    mismatched += 1
+            except RemoteError as exc:
+                if exc.kind == "quota":
+                    quota += 1
+                else:
+                    raise
+    with lock:
+        out.setdefault(tenant, {"ok": 0, "quota": 0, "mismatched": 0})
+        out[tenant]["ok"] += ok
+        out[tenant]["quota"] += quota
+        out[tenant]["mismatched"] += mismatched
+
+
+class TestThreadedClients:
+    def test_no_drops_no_duplicates_exact_quota(self, served, config,
+                                                dataset):
+        net, admission = served
+        want = Session(config, dataset=dataset).predict(nodes=np.arange(4))
+        out: dict = {}
+        lock = threading.Lock()
+        # 3 threads share the metered tenant; 3 run unmetered tenants
+        plans = (["limited"] * 3
+                 + [f"open{i}" for i in range(N_THREADS - 3)])
+        threads = [threading.Thread(target=hammer,
+                                    args=(net, config, tenant, out, lock,
+                                          want))
+                   for tenant in plans]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads)
+
+        # every response matched its request id and carried the right
+        # payload — nothing dropped, duplicated, or cross-wired
+        total_ok = sum(v["ok"] for v in out.values())
+        total_quota = sum(v["quota"] for v in out.values())
+        assert all(v["mismatched"] == 0 for v in out.values())
+        assert total_ok + total_quota == N_THREADS * REQUESTS_PER_THREAD
+
+        # the metered tenant's budget is exact: 10 admitted, the rest
+        # rejected, however the three threads interleaved
+        limited = out["limited"]
+        assert limited["ok"] == 10
+        assert limited["quota"] == 3 * REQUESTS_PER_THREAD - 10
+        snap = admission.snapshot()
+        assert snap["admitted"]["limited"] == 10
+        assert snap["rejected"]["limited"]["quota"] == limited["quota"]
+        # unmetered tenants never hit quota
+        for i in range(N_THREADS - 3):
+            assert out[f"open{i}"]["ok"] == REQUESTS_PER_THREAD
+        # the wire saw every request and answered every one of them
+        assert net.stats.requests == N_THREADS * REQUESTS_PER_THREAD
+        assert net.stats.responses == N_THREADS * REQUESTS_PER_THREAD
+
+    def test_stats_snapshots_race_free_under_load(self, served, config,
+                                                  dataset):
+        # the lock-guarded-deque regression: a reader thread snapshots
+        # (which iterates the latency deque) while the serving loop
+        # appends to it — without the lock this raises "deque mutated
+        # during iteration"
+        net, _ = served
+        want = Session(config, dataset=dataset).predict(nodes=np.arange(4))
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snap = net.stats.snapshot()
+                    assert snap["requests"] >= 0
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for r in readers:
+            r.start()
+        out: dict = {}
+        lock = threading.Lock()
+        writers = [threading.Thread(target=hammer,
+                                    args=(net, config, f"w{i}", out, lock,
+                                          want))
+                   for i in range(3)]
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join(timeout=120.0)
+        stop.set()
+        for r in readers:
+            r.join(timeout=10.0)
+        assert errors == []
+        assert sum(v["ok"] for v in out.values()) == \
+            3 * REQUESTS_PER_THREAD

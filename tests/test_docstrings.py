@@ -15,8 +15,9 @@ import pkgutil
 
 import pytest
 
-DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.stream",
-                       "repro.store", "repro.backend", "repro.obs")
+DOCUMENTED_PACKAGES = ("repro.api", "repro.serve", "repro.net",
+                       "repro.stream", "repro.store", "repro.backend",
+                       "repro.obs")
 EXTRA_MODULES = ("repro.docgen",)
 
 
