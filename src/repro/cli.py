@@ -50,6 +50,7 @@ import argparse
 import signal
 import sys
 import time
+import traceback
 from typing import Sequence
 
 import numpy as np
@@ -462,7 +463,13 @@ def _serve_listen(backend, listen: str) -> int:
                              lambda signum, frame: stop.update(flag=True))
     try:
         while not stop["flag"]:
-            net.poll(io_timeout_s=0.05)
+            try:
+                net.poll(io_timeout_s=0.05)
+            except Exception:
+                # per-request failures already map to error frames; a
+                # server bug must not take the listener down for every
+                # connected tenant
+                traceback.print_exc()
         print("terminated — draining", file=sys.stderr)
     except KeyboardInterrupt:
         print("interrupted — draining", file=sys.stderr)

@@ -103,7 +103,8 @@ class NetClient:
             return self
         delay = self.connect_backoff_s
         last: Exception | None = None
-        for _ in range(max(1, self.connect_retries)):
+        attempts = max(1, self.connect_retries)
+        for attempt in range(attempts):
             try:
                 sock = socket.create_connection(
                     (self.host, self.port), timeout=self.connect_timeout_s)
@@ -114,8 +115,9 @@ class NetClient:
                 return self
             except OSError as exc:
                 last = exc
-                time.sleep(delay)
-                delay *= 2
+                if attempt + 1 < attempts:  # no pointless final backoff
+                    time.sleep(delay)
+                    delay *= 2
         raise NetConnectError(
             f"could not connect to {self.host}:{self.port} after "
             f"{self.connect_retries} attempts: {last}")
@@ -218,7 +220,11 @@ class NetClient:
         """Apply a :class:`~repro.stream.GraphDelta` over the wire.
 
         Returns the new ``graph_version`` once the backend (every
-        worker, for a cluster) has acked the delta.
+        worker, for a cluster) has acked the delta.  Against a
+        cluster-backed server, mutates are deadline-less broadcasts
+        (``timeout`` only bounds the client-side wait) and the router
+        assigns versions — passing ``expected_version`` is rejected with
+        a ``bad_request`` error.
         """
         msg = mutate_request(
             self._allocate_id(), _config_json(config), delta.to_payload(),

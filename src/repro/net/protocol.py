@@ -190,16 +190,20 @@ def _decode_body(kind: str, body: bytes) -> Message:
     return Message(kind=kind, headers=headers, arrays=arrays)
 
 
-def decode_message(buf: bytes) -> tuple[Message, int]:
+def decode_message(buf: bytes | bytearray) -> tuple[Message, int]:
     """Decode one frame from the head of ``buf``.
 
     Returns ``(message, bytes_consumed)``.  Raises
     :class:`TruncatedFrameError` when ``buf`` holds a valid prefix of an
     incomplete frame, and another :class:`ProtocolError` subclass when
     the bytes can never become a valid frame.
+
+    The prelude is parsed in place — ``buf`` may be a connection's
+    accumulating ``bytearray`` — and bytes are only materialized for a
+    complete frame, so a large frame arriving chunk-by-chunk costs one
+    copy total, not one full-buffer copy per chunk.
     """
-    buf = bytes(buf)
-    head = buf[:len(MAGIC)]
+    head = bytes(buf[:len(MAGIC)])
     if head != MAGIC:
         if len(head) == len(MAGIC) or not MAGIC.startswith(head):
             raise CorruptFrameError(
@@ -224,7 +228,7 @@ def decode_message(buf: bytes) -> tuple[Message, int]:
     if len(buf) < end:
         raise TruncatedFrameError(
             f"frame needs {end} bytes, buffer has {len(buf)}")
-    return _decode_body(kind, buf[FRAME_HEADER_SIZE:end]), end
+    return _decode_body(kind, bytes(buf[FRAME_HEADER_SIZE:end])), end
 
 
 class FrameDecoder:

@@ -35,6 +35,7 @@ import selectors
 import socket
 import threading
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -385,6 +386,13 @@ class NetServer:
                                                str(exc)))
         except (ValueError, KeyError, ServeError) as exc:
             self._respond(conn, error_response(rid, "bad_request", str(exc)))
+        except Exception as exc:
+            # attacker-controlled request contents can raise anything
+            # (TypeError from a config JSON of the wrong shape, IndexError
+            # from a lying delta payload, ...); one request must never
+            # escape the serving loop and take down every tenant
+            self._respond(conn, error_response(
+                rid, "bad_request", f"{type(exc).__name__}: {exc}"))
 
     def _admit(self, msg: Message, now: float):
         """Admission + deadline resolution for one request message.
@@ -465,6 +473,14 @@ class NetServer:
         delta = GraphDelta.from_payload(
             np.asarray(msg.arrays[0], dtype=np.uint8).tobytes())
         if isinstance(self.backend, ServingCluster):
+            # cluster mutates are broadcasts: the router is the version
+            # authority (client expected_version would be silently
+            # ignored — reject instead) and they carry no deadline (a
+            # half-expired broadcast would leave replicas disagreeing)
+            if msg.headers.get("expected_version") is not None:
+                raise ValueError(
+                    "expected_version is not supported for cluster-backed "
+                    "mutates; the router assigns versions")
             future = self.backend.submit_delta(config, delta)
         else:
             ev = msg.headers.get("expected_version")
@@ -550,7 +566,16 @@ class NetServer:
 
     def _loop(self) -> None:
         while not self._stop_event.is_set():
-            self.poll(io_timeout_s=0.005)
+            try:
+                self.poll(io_timeout_s=0.005)
+            except Exception:
+                # belt-and-braces: _handle already maps per-request
+                # failures to error frames, so anything landing here is a
+                # server bug — survive it rather than silently killing
+                # serving for every connected tenant
+                if self._selector is None:
+                    return  # closed under us
+                traceback.print_exc()
 
     def stop(self) -> None:
         """Stop the background poll thread (connections stay open)."""

@@ -683,6 +683,11 @@ class ServingCluster:
                 try:
                     msg = handle.recv()
                 except (EOFError, OSError):
+                    # the pipe is done; a retired (or dead) worker's
+                    # handle must not be polled forever — reap it so a
+                    # long-lived elastic fleet doesn't leak processes
+                    if wid not in self.router.workers():
+                        self._reap_worker(wid)
                     break
                 kind = msg[0]
                 if kind == "result":
@@ -698,8 +703,22 @@ class ServingCluster:
                     if bucket is not None:
                         bucket[msg[2]] = msg[3]
                 elif kind == "bye":
+                    # a clean shutdown goodbye: everything the worker had
+                    # to say came before it, so an unrouted sender can be
+                    # reaped immediately (inline pipes never EOF)
+                    if wid not in self.router.workers():
+                        self._reap_worker(wid)
                     break
         return done
+
+    def _reap_worker(self, wid: str) -> None:
+        """Drop a retired/dead worker's handle once its pipe is exhausted."""
+        handle = self.workers.pop(wid, None)
+        if handle is None:
+            return
+        self._ping_outstanding.pop(wid, None)
+        handle.join(timeout=1.0)
+        handle.terminate()  # no-op on a clean exit; also closes the pipe
 
     def _on_result(self, result: WorkResult, now: float | None) -> int:
         tracer = get_tracer()

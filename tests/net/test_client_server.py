@@ -195,6 +195,39 @@ class TestErrorMapping:
         assert messages[0].headers["error_kind"] == "bad_request"
         assert messages[0].request_id == 3
 
+    def test_wrong_shape_config_json_is_bad_request_not_crash(self, served):
+        # valid JSON of the wrong shape raises TypeError deep inside
+        # config parsing — it must map to a bad_request frame, never
+        # escape poll() and kill the serving loop for every tenant
+        with client_for(served) as client:
+            for payload in ("5", "[1,2]"):
+                with pytest.raises(RemoteError) as exc:
+                    client.predict(payload)
+                assert exc.value.kind == "bad_request"
+            assert client.ping() >= 0.0  # the loop survived
+
+    def test_lying_delta_payload_is_bad_request_not_crash(
+            self, served, config):
+        from repro.distributed import pack_arrays
+        from repro.net.protocol import mutate_request
+
+        # seven empty arrays unpack as a delta whose meta array is empty
+        # (IndexError territory) — bad_request, not a dead serving loop
+        payload = pack_arrays([np.empty(0, dtype=np.int64)] * 7)
+        host, port = served.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            sock.sendall(encode_message(mutate_request(
+                11, config.to_json(), payload, tenant="fuzz")))
+            decoder = FrameDecoder()
+            messages = []
+            while not messages:
+                messages.extend(decoder.feed(sock.recv(65536)))
+        assert messages[0].headers["error_kind"] == "bad_request"
+        assert messages[0].request_id == 11
+        with client_for(served) as client:
+            assert client.ping() >= 0.0  # the loop survived
+
     def test_connect_refused_raises_after_retries(self):
         # grab a port nothing listens on
         probe = socket.socket()
@@ -205,6 +238,22 @@ class TestErrorMapping:
                            connect_backoff_s=0.01)
         with pytest.raises(NetConnectError):
             client.connect()
+
+    def test_no_backoff_sleep_after_final_connect_attempt(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.net.client.time.sleep",
+                            lambda s: sleeps.append(s))
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = NetClient("127.0.0.1", port, connect_retries=3,
+                           connect_backoff_s=0.05)
+        with pytest.raises(NetConnectError):
+            client.connect()
+        # three attempts → two backoff sleeps; exhaustion raises
+        # immediately instead of sleeping the longest delay first
+        assert sleeps == [0.05, 0.1]
 
 
 class TestPartialIO:

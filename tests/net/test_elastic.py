@@ -214,6 +214,38 @@ class TestLiveCluster:
         finally:
             cluster.close()
 
+    def test_retired_worker_handle_is_reaped(self):
+        config = RunConfig(
+            data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),
+            model=MODEL, engine=EngineConfig("gp-raw"),
+            train=TrainConfig(epochs=1), seed=0)
+        dataset = load_node_dataset("ogbn-arxiv", scale=SCALE, seed=0)
+        cluster = ServingCluster(
+            num_workers=1, warm_configs=[config],
+            datasets=[(config, dataset)], backend="inline",
+            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        try:
+            wid = cluster.spawn_worker()
+            assert cluster.retire_worker(wid)
+            # once the retiree says goodbye its handle must leave the
+            # fleet — a long-lived elastic server that scales up and
+            # down repeatedly must not accumulate dead handles (and eat
+            # an EOF per retiree every receive round forever)
+            for _ in range(5):
+                cluster.step()
+                if wid not in cluster.workers:
+                    break
+            assert wid not in cluster.workers
+            assert wid not in cluster.router.workers()
+            # the surviving fleet still serves
+            fut = cluster.submit(config, nodes=np.arange(4))
+            cluster.run_until_idle()
+            want = Session(config, dataset=dataset).predict(
+                nodes=np.arange(4))
+            assert np.array_equal(fut.result(timeout=5.0), want)
+        finally:
+            cluster.close()
+
     def test_spawned_worker_actually_serves(self):
         config = RunConfig(
             data=DataConfig("ogbn-arxiv", scale=SCALE, seed=0),

@@ -308,3 +308,44 @@ class TestElasticRetireRace:
                 or "w0" in cluster.router.workers()
         finally:
             cluster.close()
+
+
+class TestClusterMutateSemantics:
+    def test_expected_version_rejected_for_cluster_backend(
+            self, config, dataset):
+        from repro.net.protocol import mutate_request
+        from repro.stream import GraphDelta
+
+        # cluster mutates are router-versioned broadcasts: a client's
+        # optimistic-concurrency guard cannot be honored, so it must be
+        # rejected loudly rather than silently dropped
+        cluster = ServingCluster(
+            num_workers=2, warm_configs=[config],
+            datasets=[(config, dataset)], backend="inline",
+            policy=BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        net = NetServer(cluster)
+        try:
+            host, port = net.address
+            payload = GraphDelta(
+                add_edges=np.array([[0, 7]])).to_payload()
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(10.0)
+            sock.sendall(encode_message(mutate_request(
+                0, config.to_json(), payload, tenant="acme",
+                expected_version=2)))
+            pump(net, lambda: net.stats.responses >= 1)
+            messages = recv_messages(sock, 1)
+            assert messages[0].kind == "error"
+            assert messages[0].headers["error_kind"] == "bad_request"
+            assert "expected_version" in messages[0].headers["error"]
+            # without the guard the broadcast applies and acks
+            sock.sendall(encode_message(mutate_request(
+                1, config.to_json(), payload, tenant="acme")))
+            pump(net, lambda: net.stats.responses >= 2)
+            messages = recv_messages(sock, 1)
+            assert messages[0].kind == "result"
+            assert messages[0].headers["graph_version"] == 1
+            sock.close()
+        finally:
+            net.close()
+            cluster.close()

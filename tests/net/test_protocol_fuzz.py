@@ -124,6 +124,30 @@ class TestRoundTrips:
         assert len(out) == 1
         assert_messages_equal(out[0], msg)
 
+    def test_decode_from_bytearray_in_place(self):
+        # decode_message parses the prelude without materializing the
+        # buffer — a connection's accumulating bytearray works directly
+        msg = predict_request(0, CONFIG_JSON, tenant="acme",
+                              nodes=np.arange(5))
+        wire = bytearray(encode_message(msg))
+        decoded, consumed = decode_message(wire)
+        assert consumed == len(wire)
+        assert_messages_equal(decoded, msg)
+
+    def test_large_frame_fed_in_chunks(self):
+        # a multi-MB frame arriving in 64 KiB chunks must only
+        # materialize bytes once the frame is complete — re-copying the
+        # whole buffer per chunk was O(n^2) memcpy, a cheap in-cap DoS
+        big = np.arange(1_500_000, dtype=np.int64)  # 12 MB body
+        wire = encode_message(result_response(0, big))
+        decoder = FrameDecoder()
+        out = []
+        for ofs in range(0, len(wire), 65536):
+            out += decoder.feed(wire[ofs:ofs + 65536])
+        assert len(out) == 1
+        assert np.array_equal(out[0].arrays[0], big)
+        assert decoder.buffered == 0
+
 
 class TestTruncation:
     def test_truncation_at_every_offset(self):
