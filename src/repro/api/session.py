@@ -72,6 +72,7 @@ class Session:
         self._model = None
         self._engine = None
         self._fitting = False
+        self._wal = None
         # memoized (dataset, graph_version, context, encodings) for
         # repeated full-graph inference; keyed by dataset identity AND
         # its graph_version — a session whose dataset object is swapped
@@ -291,6 +292,30 @@ class Session:
                 stamp_workspace_scope(pattern, tag=self._stream_tag(),
                                       node_ids=node_ids)
 
+    def attach_wal(self, log) -> int:
+        """Route this session's mutations through a durable WAL.
+
+        Every subsequent :meth:`apply_delta` goes through
+        :func:`repro.stream.log_apply` — append to ``log``, apply,
+        maybe snapshot — so a crashed process replays back to the last
+        acknowledged ``graph_version``.  Records in ``log`` past the
+        dataset's current version are replayed immediately; returns
+        the number replayed.
+        """
+        from ..attention.workspace import invalidate_touching
+
+        self._wal = log
+        applied = log.replay(self.dataset)
+        if applied:
+            # replay bypassed this session's per-delta invalidation, so
+            # drop everything scoped to this dataset conservatively
+            invalidate_touching(
+                np.arange(self.dataset.num_nodes, dtype=np.int64),
+                tag=self._stream_tag())
+            self._infer_cache = None
+            self._compiled.clear()
+        return applied
+
     def apply_delta(self, delta):
         """Apply a :class:`~repro.stream.GraphDelta` to the live dataset.
 
@@ -303,11 +328,15 @@ class Session:
         subgraphs') workspaces stay warm.  Prepared contexts and
         encodings are rebuilt lazily on the next :meth:`predict`.
 
+        With a WAL attached (:meth:`attach_wal`) the delta is appended
+        to the log before it is applied, making the mutation durable.
+
         Node-level datasets only; raises mid-``fit()`` (the trainer owns
         the graph then).  Returns the :class:`~repro.stream.DeltaReport`.
         """
         from ..attention.workspace import invalidate_touching
         from ..stream import apply_delta as stream_apply
+        from ..stream import log_apply
 
         if self.config.data.task_kind != "node":
             raise ValueError(
@@ -315,7 +344,10 @@ class Session:
                 "datasets are collections of independent frozen graphs")
         if self._fitting:
             raise RuntimeError("cannot apply a delta while fit() is running")
-        report = stream_apply(self.dataset, delta)
+        if self._wal is not None:
+            report = log_apply(self._wal, self.dataset, delta)
+        else:
+            report = stream_apply(self.dataset, delta)
         invalidate_touching(report.touched_rows, tag=self._stream_tag())
         self._infer_cache = None
         self._compiled.clear()  # folded encodings reflect the old topology

@@ -242,6 +242,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
         for f in futures:
             f.result(timeout=60.0)
         snapshot = _obs_snapshot(backend, cluster)
+        # durability facts ride on stderr so stdout stays a clean export
+        line = f"graph_version: {backend.graph_version(config)}"
+        if cluster:
+            lag = backend.replica_lag(config)
+            if lag is not None:
+                line += f"  replica_lag: {lag}"
+        print(line, file=sys.stderr)
     finally:
         backend.close()
     if args.format == "prom":
@@ -342,6 +349,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: --store applies to node-level configs only",
               file=sys.stderr)
         return 2
+    if args.replicas and not args.wal:
+        print("error: --replicas requires --wal (replicas tail the log)",
+              file=sys.stderr)
+        return 2
     if args.workers > 0:
         if args.fit:
             print("error: --fit does not apply with --workers (weights "
@@ -355,10 +366,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
                          if args.checkpoint else ()),
             stores=([(config, args.store)] if args.store else ()),
             pool_size=args.pool_size, policy=policy,
-            max_queue_depth=args.queue_depth)
+            max_queue_depth=args.queue_depth,
+            wal_dir=args.wal, replicas=args.replicas,
+            snapshot_every=args.snapshot_every)
         tier = (f"{args.workers} worker processes"
-                + (f" on shared store {args.store}" if args.store else ""))
+                + (f" on shared store {args.store}" if args.store else "")
+                + (f" + WAL {args.wal}" if args.wal else "")
+                + (f" + {args.replicas} read replicas"
+                   if args.replicas else ""))
     else:
+        if args.replicas:
+            print("error: --replicas requires --workers (replicas are "
+                  "extra cluster workers)", file=sys.stderr)
+            return 2
         pool = SessionPool(max_sessions=args.pool_size)
         if args.store:
             from repro.store import open_store
@@ -366,13 +386,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
             pool.put_dataset(config, open_store(args.store))
         if args.checkpoint:
             pool.add_checkpoint(config, args.checkpoint)
+        wal = None
+        if args.wal:
+            from repro.stream import MutationLog
+
+            wal = MutationLog(args.wal, snapshot_every=args.snapshot_every)
         backend = InferenceServer(pool=pool, policy=policy,
-                                  max_queue_depth=args.queue_depth)
+                                  max_queue_depth=args.queue_depth,
+                                  wal=wal)
         session = pool.acquire(config)  # warm the pool before requests
+        if wal is not None and config.data.task_kind == "node":
+            replayed = wal.replay(session.dataset)
+            if replayed:
+                print(f"replayed {replayed} WAL records -> graph_version "
+                      f"{session.graph_version}")
         if args.fit:
             session.fit(callbacks=[EpochLogger()])
         tier = ("in-process server"
-                + (f" on store {args.store}" if args.store else ""))
+                + (f" on store {args.store}" if args.store else "")
+                + (f" + WAL {args.wal}" if args.wal else ""))
     kind = config.data.task_kind
     print(f"serving {config.data.name} ({kind}-level) with "
           f"{config.model.name} / {config.engine.name} on {tier} — "
@@ -380,7 +412,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"queue_depth={args.queue_depth}")
     if args.listen:
         return _serve_listen(backend, args.listen)
-    print("commands: predict [id …] | mutate add|remove u v [u v …] | "
+    print("commands: predict [--at-version N] [id …] | "
+          "mutate add|remove u v [u v …] | "
           "mutate churn [edges [seed]] | version | stats [prom|json] | "
           "trace on|off|dump [path] | quit")
     # cluster mode keeps a router-side mirror of the mutated dataset so
@@ -410,6 +443,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             continue
         if cmd == "version":
             print(f"graph_version: {backend.graph_version(config)}")
+            log = (backend.wal_for(config) if args.workers > 0
+                   else backend.wal)
+            if log is not None:
+                print(f"wal: records={log.record_count} "
+                      f"last_version={log.last_version}")
+            if args.workers > 0:
+                lag = backend.replica_lag(config)
+                if lag is not None:
+                    print(f"replica_lag: {lag}")
             continue
         if cmd == "mutate":
             _serve_mutate(backend, config, ids, state,
@@ -421,8 +463,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             continue
         try:
+            min_version = None
+            if len(ids) >= 2 and ids[0] == "--at-version":
+                min_version = int(ids[1])
+                ids = ids[2:]
             subset = np.array([int(i) for i in ids]) if ids else None
-            future = (backend.submit(config, nodes=subset) if kind == "node"
+            future = (backend.submit(config, nodes=subset,
+                                     min_version=min_version)
+                      if kind == "node"
                       else backend.submit(config, indices=subset))
             backend.run_until_idle()
             out = future.result(timeout=60.0)
@@ -525,7 +573,8 @@ def cmd_client(args: argparse.Namespace) -> int:
                 subset = (np.array([int(i) for i in args.nodes])
                           if args.nodes else None)
                 out = client.predict(config_json, nodes=subset,
-                                     timeout=args.timeout_s)
+                                     timeout=args.timeout_s,
+                                     min_version=args.at_version)
                 target = (f"{len(subset)} nodes" if subset is not None
                           else "full node set")
                 version = ("" if client.last_graph_version is None
@@ -846,6 +895,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve over TCP instead of the stdin REPL "
                         "(port 0 picks a free port; the bound address is "
                         "printed as `listening on HOST:PORT`)")
+    s.add_argument("--wal", default=None, metavar="DIR",
+                   help="append every mutation to a write-ahead delta log "
+                        "in DIR and replay it on startup (crash recovery)")
+    s.add_argument("--replicas", type=int, default=0,
+                   help="spawn N read replicas tailing the WAL; "
+                        "version-pinned reads are steered to them "
+                        "(needs --workers and --wal)")
+    s.add_argument("--snapshot-every", type=int, default=0,
+                   dest="snapshot_every",
+                   help="write a WAL snapshot every N appended records "
+                        "(0 = never; replay starts from the latest "
+                        "snapshot)")
 
     nc = sub.add_parser("client",
                         help="network client for `repro serve --listen`")
@@ -867,6 +928,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="round-trip a liveness ping")
     nc.add_argument("--stats", action="store_true",
                     help="print the server's stats snapshot as JSON")
+    nc.add_argument("--at-version", type=int, default=None,
+                    dest="at_version", metavar="N",
+                    help="pin the predict to graph version >= N "
+                         "(bad_request if the server has not reached it; "
+                         "a cluster may serve it from a read replica)")
     nc.add_argument("nodes", nargs="*", metavar="ID",
                     help="node ids to predict (default: full node set)")
 

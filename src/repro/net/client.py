@@ -194,12 +194,15 @@ class NetClient:
 
     # -- API --------------------------------------------------------------- #
     def predict(self, config, nodes=None, indices=None,
-                timeout: float | None = None) -> np.ndarray:
+                timeout: float | None = None,
+                min_version: int | None = None) -> np.ndarray:
         """Over-the-wire :meth:`~repro.api.Session.predict`.
 
         Returns the logits array bitwise-identical to a direct in-process
         call; the result's dataset version lands in
-        :attr:`last_graph_version`.
+        :attr:`last_graph_version`.  ``min_version`` pins the read to a
+        graph version (``bad_request`` error when the backend has not
+        reached it; a cluster backend may serve it from a read replica).
         """
         msg = predict_request(
             self._allocate_id(), _config_json(config),
@@ -208,7 +211,8 @@ class NetClient:
             nodes=None if nodes is None else np.asarray(nodes,
                                                         dtype=np.int64),
             indices=None if indices is None else np.asarray(indices,
-                                                            dtype=np.int64))
+                                                            dtype=np.int64),
+            min_version=min_version)
         resp = self._roundtrip(msg)
         self.last_graph_version = resp.headers.get("graph_version")
         if not resp.arrays:

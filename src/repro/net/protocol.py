@@ -145,6 +145,13 @@ def _validate_headers(kind: str, headers: Any) -> dict:
     if kind in ("predict", "mutate"):
         _require(isinstance(headers.get("config"), str),
                  "config JSON missing")
+    if kind == "predict":
+        min_version = headers.get("min_version")
+        _require(min_version is None
+                 or (isinstance(min_version, int)
+                     and not isinstance(min_version, bool)
+                     and min_version >= 0),
+                 "min_version must be a non-negative int or null")
     return headers
 
 
@@ -282,10 +289,19 @@ def _request_headers(request_id: int, tenant: str, priority: str,
 def predict_request(request_id: int, config_json: str, *, tenant: str,
                     priority: str = "standard", deadline: float | None = None,
                     nodes: np.ndarray | None = None,
-                    indices: np.ndarray | None = None) -> Message:
-    """Build a ``predict`` request (node subset, graph indices, or full)."""
+                    indices: np.ndarray | None = None,
+                    min_version: int | None = None) -> Message:
+    """Build a ``predict`` request (node subset, graph indices, or full).
+
+    ``min_version`` (optional, additive — absent frames decode as
+    ``None``) pins the read to a graph version: the server rejects it
+    when the served dataset has not reached that version, and a
+    cluster backend may steer the read to a caught-up replica.
+    """
     headers = _request_headers(request_id, tenant, priority, deadline)
     headers["config"] = config_json
+    if min_version is not None:
+        headers["min_version"] = int(min_version)
     arrays: tuple = ()
     if nodes is not None and indices is not None:
         raise ValueError("pass nodes or indices, not both")

@@ -455,6 +455,12 @@ class NetServer:
             kwargs[payload] = np.asarray(msg.arrays[0], dtype=np.int64)
         elif payload is not None:
             raise ValueError(f"unknown payload kind {payload!r}")
+        min_version = msg.headers.get("min_version")
+        if min_version is not None:
+            # version-pinned read: the backend rejects a pin ahead of
+            # its authority synchronously (surfaced as bad_request) and
+            # a cluster may steer the read to a caught-up replica
+            kwargs["min_version"] = int(min_version)
         future = self.backend.submit(config, timeout=timeout, now=now,
                                      trace=ctx, **kwargs)
         conn.pending.append(_Pending(

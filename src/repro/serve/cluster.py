@@ -90,6 +90,7 @@ _COUNTER_HELP = {
     "mutations_applied": "broadcasts acked by every live worker",
     "workers_spawned": "workers added after startup (elastic scale-up)",
     "workers_retired": "workers drained and removed (elastic scale-down)",
+    "replica_reads": "version-pinned reads steered to a read replica",
 }
 
 
@@ -121,6 +122,7 @@ class ClusterStats:
     mutations_applied: int = 0   # broadcasts acked by every live worker
     workers_spawned: int = 0     # elastic scale-up events
     workers_retired: int = 0     # elastic scale-down events
+    replica_reads: int = 0       # version-pinned reads served by replicas
     latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
     # appended by the router loop, iterated by stats_snapshot() callers
     # on other threads — same race ServerStats locks against
@@ -131,7 +133,7 @@ class ClusterStats:
     COUNTER_FIELDS = ("submitted", "completed", "rejected", "expired",
                       "failed", "dispatched", "requeued", "worker_deaths",
                       "duplicates_ignored", "mutations", "mutations_applied",
-                      "workers_spawned", "workers_retired")
+                      "workers_spawned", "workers_retired", "replica_reads")
 
     def __post_init__(self):
         registry = get_registry()
@@ -171,6 +173,7 @@ class ClusterStats:
             "mutations_applied": self.mutations_applied,
             "workers_spawned": self.workers_spawned,
             "workers_retired": self.workers_retired,
+            "replica_reads": self.replica_reads,
             **latency_summary(lat),
         }
 
@@ -233,6 +236,16 @@ class ServingCluster:
     (deterministic tests, single-process debugging).  The cluster runs
     *driven* (call :meth:`step` / :meth:`run_until_idle`) or *threaded*
     (:meth:`start` / :meth:`stop`), mirroring the single server.
+
+    ``wal_dir`` turns on durable streaming: one
+    :class:`~repro.stream.MutationLog` per served node dataset, with
+    the router as the log writer (append-then-broadcast; a restarted
+    router re-broadcasts records past the store's persisted version).
+    ``snapshot_every`` cuts a :mod:`repro.store` snapshot from a
+    router-side mirror every N appended deltas.  ``replicas`` spawns
+    that many **read replicas** outside the routing ring: they tail
+    the WAL at a bounded lag and serve only version-pinned reads
+    (``submit(..., min_version=N)``) the router steers to them.
     """
 
     def __init__(self, num_workers: int = 2, *,
@@ -249,12 +262,18 @@ class ServingCluster:
                  heartbeat_timeout_s: float = 10.0,
                  datasets=None,
                  stores=None,
-                 auto_inline: bool = True):
+                 auto_inline: bool = True,
+                 wal_dir=None,
+                 replicas: int = 0,
+                 snapshot_every: int = 0):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if backend not in ("process", "inline"):
             raise ValueError(f"backend must be 'process' or 'inline', "
                              f"got {backend!r}")
+        if replicas and wal_dir is None:
+            raise ValueError("read replicas tail the WAL; replicas > 0 "
+                             "requires wal_dir")
         self.policy = policy or BatchPolicy()
         self.queue = RequestQueue(max_depth=max_queue_depth)
         self.stats = ClusterStats()
@@ -296,6 +315,51 @@ class ServingCluster:
                                                 skip=store_ids)
         checkpoint_pairs = tuple(
             (cfg.to_json(), path) for cfg, path in (checkpoints or ()))
+
+        # durable streaming: with a wal_dir, the router is the log
+        # writer — every delta broadcast is appended to a per-dataset
+        # MutationLog *before* it ships, so a restarted router replays
+        # unacked deltas and the version authority survives the crash.
+        # With snapshot_every > 0, a router-side mirror dataset tracks
+        # the log head so periodic repro.store snapshots can be cut.
+        self._wals: dict[tuple, object] = {}           # ds_id → MutationLog
+        self._wal_configs: dict[tuple, object] = {}    # ds_id → RunConfig
+        self._wal_mirrors: dict[tuple, object] = {}    # ds_id → dataset
+        self._json_ds_id: dict[str, tuple] = {}        # config_json → ds_id
+        self.replica_ids: list[str] = []
+        self._replica_load: dict[str, int] = {}
+        self._replica_versions: dict[tuple, int] = {}  # (wid, ds_id) → v
+        self.wal_dir = None if wal_dir is None else str(wal_dir)
+        if wal_dir is not None:
+            import os
+
+            from ..stream import MutationLog
+
+            node_cfgs: dict[tuple, object] = {}
+            for cfg, _path in (stores or ()):
+                node_cfgs.setdefault(dataset_identity(cfg), cfg)
+            for cfg, _ds in (datasets or ()):
+                if cfg.data.task_kind == "node":
+                    node_cfgs.setdefault(dataset_identity(cfg), cfg)
+            for cfg in warm_configs:
+                if cfg.data.task_kind == "node":
+                    node_cfgs.setdefault(dataset_identity(cfg), cfg)
+            store_by_id = {dataset_identity(cfg): str(path)
+                           for cfg, path in (stores or ())}
+            blob_by_json = dict(dataset_blobs)
+            for ds_id, cfg in node_cfgs.items():
+                log = MutationLog(
+                    os.path.join(str(wal_dir), self._wal_slug(ds_id)),
+                    snapshot_every=snapshot_every)
+                self._wals[ds_id] = log
+                self._wal_configs[ds_id] = cfg
+                self._json_ds_id[cfg.to_json()] = ds_id
+                if snapshot_every > 0:
+                    mirror = self._open_mirror(ds_id, cfg, store_by_id,
+                                               blob_by_json, log)
+                    if mirror is not None:
+                        log.replay(mirror)  # catch up to the log head
+                        self._wal_mirrors[ds_id] = mirror
         # everything a worker needs at birth, kept so spawn_worker() can
         # mint protocol-identical workers after startup (elastic tier)
         self._worker_template = dict(
@@ -326,10 +390,67 @@ class ServingCluster:
             wid: None for wid in worker_ids}
         self._last_ping = _clock.now()
 
-    def _make_worker(self, wid: str):
+        # read replicas: extra workers OUTSIDE the routing ring that
+        # tail the WAL (follower mode) and serve only version-pinned
+        # reads the router steers to them explicitly
+        if replicas:
+            tails = tuple((cfg.to_json(), self._wals[ds_id].path)
+                          for ds_id, cfg in self._wal_configs.items())
+            for i in range(replicas):
+                rid = f"r{i}"
+                self.workers[rid] = self._make_worker(rid, wal_tails=tails)
+                self.replica_ids.append(rid)
+                self._replica_load[rid] = 0
+                self._ping_outstanding[rid] = None
+
+        # a restarted router replays deltas the previous incarnation
+        # appended but whose broadcast may not have reached the fleet:
+        # workers boot at the store/broadcast base version, so every
+        # record past it is re-broadcast (the expected_version guard
+        # turns any already-applied one into a no-op ack)
+        self._replay_wal_pending()
+
+    def _wal_slug(self, ds_id: tuple) -> str:
+        """Filesystem-safe per-dataset WAL directory name."""
+        return "-".join(str(part) for part in ds_id).replace("/", "_")
+
+    def _open_mirror(self, ds_id, cfg, store_by_id, blob_by_json, log):
+        """Open the router-side mirror dataset backing WAL snapshots."""
+        if ds_id in store_by_id:
+            from ..store import open_store
+
+            return open_store(store_by_id[ds_id])  # read-only; overlays
+        blob = blob_by_json.get(cfg.to_json())
+        if blob is not None:
+            return pickle.loads(blob)
+        base = log.latest_snapshot()
+        if base is not None:
+            return log.recover()
+        return None
+
+    def _replay_wal_pending(self) -> None:
+        """Re-broadcast WAL records past each dataset's base version."""
+        replayed = False
+        for ds_id, log in self._wals.items():
+            base = self._dataset_versions.get(ds_id, 0)
+            pending = log.records(after_version=base)
+            if not pending:
+                self._dataset_versions[ds_id] = max(base, log.last_version)
+                continue
+            config = self._wal_configs[ds_id]
+            with self._lock:
+                for version, delta in pending:
+                    self._broadcast_delta(config, delta, version)
+                    self._dataset_versions[ds_id] = version
+            replayed = True
+        if replayed:
+            self.run_until_idle()
+
+    def _make_worker(self, wid: str, wal_tails: tuple = ()):
         """Build one worker handle from the stored birth template."""
         init = WorkerInit(worker_id=wid,
                           trace_enabled=get_tracer().enabled,
+                          wal_tails=wal_tails,
                           **self._worker_template)
         if self._backend == "process":
             return ProcessWorker(init, start_method=self._start_method)
@@ -429,7 +550,8 @@ class ServingCluster:
                indices: np.ndarray | None = None,
                timeout: float | None = None,
                now: float | None = None,
-               trace=None):
+               trace=None,
+               min_version: int | None = None):
         """Enqueue one request; returns its future (server-identical API).
 
         Deadlines (``timeout`` seconds from submission) are enforced on
@@ -439,9 +561,30 @@ class ServingCluster:
         :class:`~repro.serve.queue.ServerClosedError` synchronously.
         ``trace`` parents the request's span under an existing context
         (e.g. a network front-end's per-request span).
+
+        ``min_version`` pins the read to a graph version: rejected
+        synchronously (``ValueError``) when it is ahead of the version
+        authority, otherwise eligible for **replica steering** — a read
+        replica whose last-reported version satisfies the pin serves
+        it; with no caught-up replica the ring primary (always at the
+        authority version) does.
         """
         now = _clock.now() if now is None else now
         kind = "nodes" if config.data.task_kind == "node" else "graphs"
+        if min_version is not None:
+            min_version = int(min_version)
+            if min_version < 0:
+                raise ValueError(
+                    f"min_version must be non-negative, got {min_version}")
+            if kind != "nodes":
+                raise ValueError(
+                    "min_version applies to node-level configs (graph-"
+                    "level datasets are frozen)")
+            authority = self.graph_version(config)
+            if min_version > authority:
+                raise ValueError(
+                    f"min_version {min_version} is ahead of the version "
+                    f"authority {authority}")
         if kind == "nodes" and indices is not None:
             raise ValueError("indices= applies to graph-level configs; "
                              "use nodes= for node-level configs")
@@ -463,6 +606,7 @@ class ServingCluster:
                 id=self._next_id, config=config, config_key=key,
                 kind=kind, nodes=nodes, indices=indices,
                 deadline=None if timeout is None else now + timeout,
+                min_version=min_version,
             )
             tracer = get_tracer()
             if tracer.enabled:
@@ -497,16 +641,17 @@ class ServingCluster:
         Mutations carry no deadline (a half-expired broadcast would
         leave replicas disagreeing); bound the *wait* with
         ``future.result(timeout=…)`` instead.
+
+        With a ``wal_dir`` configured the router is also the **log
+        writer**: the delta is fsynced into the dataset's
+        :class:`~repro.stream.MutationLog` *before* any worker sees it
+        (append-then-broadcast), so a router crash after the append
+        re-broadcasts the delta on restart instead of losing it.
         """
         if config.data.task_kind != "node":
             raise ValueError(
                 "submit_delta supports node-level configs; graph-level "
                 "datasets are collections of independent frozen graphs")
-        key = config_key(config)
-        if key not in self._config_json:
-            self._config_json[key] = config.to_json()
-        outer = ServeFuture()
-        payload = delta.to_payload()
         now = _clock.now()
         with self._submit_lock:
             if self._closed:
@@ -518,35 +663,58 @@ class ServingCluster:
             self._dispatch(now)
             ds_id = dataset_identity(config)
             version = self._dataset_versions.get(ds_id, 0) + 1
+            # append-then-broadcast: once the record is fsynced, the
+            # delta survives a router crash even if no worker saw it —
+            # the restart replays it from here
+            log = self._wals.get(ds_id)
+            if log is not None:
+                log.append(delta, version)
+                mirror = self._wal_mirrors.get(ds_id)
+                if mirror is not None:
+                    from ..stream.apply import apply_delta as _apply
+
+                    _apply(mirror, delta)
+                    log.maybe_snapshot(mirror)
             self._dataset_versions[ds_id] = version
-            mutation = _Mutation(future=outer, version=version)
-            for wid in list(self.router.workers()):
-                with self._submit_lock:
-                    uid = self._next_id
-                    self._next_id += 1
-                unit = WorkUnit(id=uid, config_json=self._config_json[key],
-                                kind="mutate", payload=payload,
-                                expected_version=version)
-                request = Request(
-                    id=uid, config=config, config_key=key, kind="mutate",
-                    delta=delta, expected_version=version)
-                request.enqueued_at = now
-                try:
-                    self.workers[wid].send(("work", unit))
-                except (BrokenPipeError, OSError):
-                    self._declare_dead(wid)
-                    continue
-                self.router.assign(wid)
-                dispatch = _Dispatch(request=request, unit=unit,
-                                     worker_id=wid)
-                self._inflight[uid] = dispatch
-                self._mutations[uid] = mutation
-                mutation.pending.add(uid)
-            self.stats.bump("mutations")
-            if not mutation.pending:
-                outer.set_exception(NoWorkersError(
-                    "no live worker received the delta broadcast"))
-                self.stats.bump("failed")
+            return self._broadcast_delta(config, delta, version, now=now)
+
+    def _broadcast_delta(self, config, delta, version: int,
+                         now: float | None = None) -> ServeFuture:
+        """Fan one versioned delta out to every ring worker (hold _lock)."""
+        key = config_key(config)
+        if key not in self._config_json:
+            self._config_json[key] = config.to_json()
+        outer = ServeFuture()
+        payload = delta.to_payload()
+        now = _clock.now() if now is None else now
+        mutation = _Mutation(future=outer, version=version)
+        for wid in list(self.router.workers()):
+            with self._submit_lock:
+                uid = self._next_id
+                self._next_id += 1
+            unit = WorkUnit(id=uid, config_json=self._config_json[key],
+                            kind="mutate", payload=payload,
+                            expected_version=version)
+            request = Request(
+                id=uid, config=config, config_key=key, kind="mutate",
+                delta=delta, expected_version=version)
+            request.enqueued_at = now
+            try:
+                self.workers[wid].send(("work", unit))
+            except (BrokenPipeError, OSError):
+                self._declare_dead(wid)
+                continue
+            self.router.assign(wid)
+            dispatch = _Dispatch(request=request, unit=unit,
+                                 worker_id=wid)
+            self._inflight[uid] = dispatch
+            self._mutations[uid] = mutation
+            mutation.pending.add(uid)
+        self.stats.bump("mutations")
+        if not mutation.pending:
+            outer.set_exception(NoWorkersError(
+                "no live worker received the delta broadcast"))
+            self.stats.bump("failed")
         return outer
 
     def graph_version(self, config) -> int:
@@ -630,9 +798,42 @@ class ServingCluster:
                        else dispatch_ctx.to_wire()))
             dispatch = _Dispatch(request=request, unit=unit, worker_id="",
                                  trace=dispatch_ctx, sent_at=now)
-            if self._send_unit(dispatch):
+            if self._steer_to_replica(dispatch) or self._send_unit(dispatch):
                 self._inflight[request.id] = dispatch
                 self.stats.bump("dispatched")
+
+    def _steer_to_replica(self, dispatch: _Dispatch) -> bool:
+        """Ship a version-pinned read to a caught-up read replica.
+
+        Eligible when the request carries ``min_version`` and some live
+        replica's last-reported version satisfies it (versions only
+        grow, so the report can only be stale in the safe direction).
+        Least-loaded caught-up replica wins.  Returns False — fall back
+        to normal ring routing — when no replica qualifies.
+        """
+        request = dispatch.request
+        if request.min_version is None or not self.replica_ids:
+            return False
+        ds_id = dataset_identity(request.config)
+        candidates = [
+            rid for rid in self.replica_ids
+            if rid not in self._dead and rid not in dispatch.excluded
+            and self._replica_versions.get((rid, ds_id), -1)
+            >= request.min_version]
+        while candidates:
+            rid = min(candidates, key=lambda r: self._replica_load.get(r, 0))
+            try:
+                self.workers[rid].send(("work", dispatch.unit))
+            except (BrokenPipeError, OSError):
+                self._declare_dead(rid)
+                dispatch.excluded.add(rid)
+                candidates.remove(rid)
+                continue
+            dispatch.worker_id = rid
+            self._replica_load[rid] = self._replica_load.get(rid, 0) + 1
+            self.stats.bump("replica_reads")
+            return True
+        return False
 
     @staticmethod
     def _pack_payload(request: Request) -> bytes | None:
@@ -694,6 +895,10 @@ class ServingCluster:
                     done += self._on_result(msg[1], now)
                 elif kind == "pong":
                     self._ping_outstanding[msg[2]] = None
+                    if len(msg) > 3 and msg[3]:
+                        # protocol v3: a replica's pong reports the
+                        # graph_version of every config it tails
+                        self._ingest_replica_versions(msg[2], msg[3])
                 elif kind == "stats":
                     self._ping_outstanding[msg[2]] = None
                     # only seqs a live stats_snapshot() registered are
@@ -733,6 +938,9 @@ class ServingCluster:
             # at most once, count the duplicate
             self.stats.bump("duplicates_ignored")
             return 0
+        if dispatch.worker_id in self._replica_load:
+            self._replica_load[dispatch.worker_id] = max(
+                0, self._replica_load[dispatch.worker_id] - 1)
         self.router.complete(dispatch.worker_id)
         request = dispatch.request
         if request.kind == "mutate":
@@ -786,14 +994,56 @@ class ServingCluster:
                           attrs={"id": request.id, "kind": request.kind})
         return 1
 
+    def _ingest_replica_versions(self, wid: str, versions: dict) -> None:
+        """Fold a replica pong's per-config versions into the lag view."""
+        from ..api import RunConfig
+
+        for cfg_json, version in versions.items():
+            ds_id = self._json_ds_id.get(cfg_json)
+            if ds_id is None:
+                ds_id = dataset_identity(RunConfig.from_json(cfg_json))
+                self._json_ds_id[cfg_json] = ds_id
+            self._replica_versions[(wid, ds_id)] = int(version)
+            authority = self._dataset_versions.get(ds_id, 0)
+            lags = [authority - v
+                    for (rid, d), v in self._replica_versions.items()
+                    if d == ds_id and rid not in self._dead]
+            if lags:
+                get_registry().gauge(
+                    "repro_wal_replica_lag",
+                    "versions the slowest caught-up read replica trails "
+                    "the version authority").set(max(0, max(lags)))
+
+    def replica_lag(self, config) -> int | None:
+        """Worst replica lag (versions) for ``config``; None = no reports."""
+        ds_id = dataset_identity(config)
+        authority = self._dataset_versions.get(ds_id, 0)
+        lags = [authority - v
+                for (rid, d), v in self._replica_versions.items()
+                if d == ds_id and rid not in self._dead]
+        return max(0, max(lags)) if lags else None
+
+    def wal_for(self, config):
+        """The :class:`~repro.stream.MutationLog` backing ``config``.
+
+        ``None`` when the cluster has no ``wal_dir`` or the config's
+        dataset is not logged.  The CLI uses it to surface log depth
+        and cut on-demand snapshots.
+        """
+        return self._wals.get(dataset_identity(config))
+
     # -- worker health ---------------------------------------------------- #
+    def _heartbeat_targets(self) -> list:
+        return list(self.router.workers()) + [
+            rid for rid in self.replica_ids if rid not in self._dead]
+
     def _maybe_ping(self) -> None:
         wall = _clock.now()
         if wall - self._last_ping < self.heartbeat_interval_s:
             return
         self._last_ping = wall
         seq = self._bump_seq()
-        for wid in self.router.workers():
+        for wid in self._heartbeat_targets():
             try:
                 self.workers[wid].send(("ping", seq))
             except (BrokenPipeError, OSError):
@@ -808,7 +1058,7 @@ class ServingCluster:
 
     def _check_workers(self) -> None:
         wall = _clock.now()
-        for wid in self.router.workers():
+        for wid in self._heartbeat_targets():
             handle = self.workers[wid]
             sent = self._ping_outstanding.get(wid)
             hung = (sent is not None
@@ -899,7 +1149,7 @@ class ServingCluster:
         """
         with self._lock:
             seq = self._bump_seq()
-            live = self.router.workers()
+            live = self._heartbeat_targets()
             replies = self._stats_replies.setdefault(seq, {})
             for wid in live:
                 try:
@@ -913,7 +1163,10 @@ class ServingCluster:
             with self._lock:
                 self._receive()
                 self._check_workers()
-                expected = [w for w in live if w in self.router.workers()]
+                expected = [w for w in live
+                            if w in self.router.workers()
+                            or (w in self.replica_ids
+                                and w not in self._dead)]
                 if all(w in replies for w in expected):
                     break
             time.sleep(0.001)
@@ -926,7 +1179,7 @@ class ServingCluster:
                 pool_totals[key] += state["pool"][key]
         obs_states = [s["obs"] for s in states.values() if "obs" in s]
         obs_states.append(get_registry().state_dict())
-        return {
+        snap = {
             "obs": MetricsRegistry.merge(obs_states),
             "cluster": self.stats.snapshot(),
             "router": self.router.stats.snapshot(),
@@ -936,7 +1189,26 @@ class ServingCluster:
             "per_worker": {wid: {"server": s["server"], "pool": s["pool"]}
                            for wid, s in sorted(states.items())},
             "workers_alive": len(self.router.workers()),
+            "replicas_alive": len([r for r in self.replica_ids
+                                   if r not in self._dead]),
         }
+        if self._wals:
+            wal = {}
+            for ds_id, log in self._wals.items():
+                cfg = self._wal_configs[ds_id]
+                wal[self._wal_slug(ds_id)] = {
+                    "records": log.record_count,
+                    "last_version": log.last_version,
+                    "graph_version": self._dataset_versions.get(ds_id, 0),
+                    "replica_lag": self.replica_lag(cfg),
+                    "replica_versions": {
+                        rid: v
+                        for (rid, d), v in sorted(
+                            self._replica_versions.items())
+                        if d == ds_id},
+                }
+            snap["wal"] = wal
+        return snap
 
     # -- lifecycle -------------------------------------------------------- #
     def close(self) -> None:
@@ -960,6 +1232,8 @@ class ServingCluster:
             handle.join(timeout=5.0)
             if handle.alive():
                 handle.terminate()
+        for log in self._wals.values():
+            log.close()
 
     def __enter__(self) -> "ServingCluster":
         return self

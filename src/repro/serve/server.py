@@ -225,11 +225,15 @@ class InferenceServer:
 
     def __init__(self, pool: SessionPool | None = None,
                  policy: BatchPolicy | None = None,
-                 max_queue_depth: int = 256):
+                 max_queue_depth: int = 256, wal=None):
         # explicit None check: an *empty* SessionPool is falsy (len 0),
         # and replacing an injected-but-empty pool would silently drop
         # its seeded datasets and checkpoint registrations
         self.pool = pool if pool is not None else SessionPool()
+        # optional MutationLog: every applied delta is appended (write-
+        # ahead) and snapshotted at the log's cadence.  Skipped when the
+        # session or its dataset already self-logs through the same log.
+        self.wal = wal
         self.policy = policy or BatchPolicy()
         self.queue = RequestQueue(max_depth=max_queue_depth)
         self.batcher = MicroBatcher(self.policy)
@@ -244,7 +248,8 @@ class InferenceServer:
     def submit(self, config, nodes: np.ndarray | None = None,
                indices: np.ndarray | None = None,
                timeout: float | None = None,
-               now: float | None = None, trace=None) -> ServeFuture:
+               now: float | None = None, trace=None,
+               min_version: int | None = None) -> ServeFuture:
         """Enqueue one inference request; returns its future immediately.
 
         Node-level configs take ``nodes`` (a node-id array; ``None`` =
@@ -259,9 +264,25 @@ class InferenceServer:
         ``trace`` optionally parents the request's trace under an
         upstream :class:`~repro.obs.TraceContext` (the cluster router's
         dispatch span, when the request crossed a process boundary).
+
+        ``min_version`` pins the read to a graph version: the request
+        is rejected synchronously (``ValueError``) if the served
+        dataset has not reached it — a single server always serves the
+        newest version, so a satisfiable pin is a no-op here; the
+        cluster tier uses the same field to steer reads to replicas.
         """
         now = _clock.now() if now is None else now
         kind = "nodes" if config.data.task_kind == "node" else "graphs"
+        if min_version is not None:
+            min_version = int(min_version)
+            if min_version < 0:
+                raise ValueError(
+                    f"min_version must be non-negative, got {min_version}")
+            current = self.graph_version(config)
+            if min_version > current:
+                raise ValueError(
+                    f"min_version {min_version} is ahead of the served "
+                    f"graph_version {current}")
         if kind == "nodes" and indices is not None:
             raise ValueError("indices= applies to graph-level configs; "
                              "use nodes= for node-level configs")
@@ -285,6 +306,7 @@ class InferenceServer:
                 kind=kind, nodes=nodes, indices=indices,
                 graph_key=self._graph_key(nodes),
                 deadline=None if timeout is None else now + timeout,
+                min_version=min_version,
             )
             tracer = get_tracer()
             if tracer.enabled:
@@ -571,9 +593,18 @@ class InferenceServer:
             session = self.pool.acquire(request.config,
                                         key=request.config_key)
             expected = request.expected_version
+            log = self.wal
+            if log is not None and (
+                    getattr(session, "_wal", None) is log
+                    or getattr(session.dataset, "wal", None) is log):
+                log = None  # the session/dataset self-logs; no double append
             if expected is not None and session.graph_version >= expected:
                 self.stats.bump("mutations_ignored")
             else:
+                if log is not None:
+                    log.append(request.delta,
+                               expected if expected is not None
+                               else int(session.graph_version) + 1)
                 session.apply_delta(request.delta)
                 if (expected is not None
                         and session.graph_version < expected):
@@ -583,6 +614,8 @@ class InferenceServer:
                     # could be applied twice — node additions are not
                     # idempotent)
                     session.dataset.graph_version = expected
+                if log is not None:
+                    log.maybe_snapshot(session.dataset)
                 self.stats.bump("mutations")
             version = session.graph_version
         except Exception as exc:
@@ -677,4 +710,7 @@ class InferenceServer:
         snap["pool_sessions"] = len(self.pool)
         snap["pool_hit_rate"] = round(self.pool.stats.hit_rate, 4)
         snap["pool_evictions"] = self.pool.stats.evictions
+        if self.wal is not None:
+            snap["wal_records"] = self.wal.record_count
+            snap["wal_last_version"] = self.wal.last_version
         return snap

@@ -62,8 +62,12 @@ __all__ = [
 #: Version of the router↔worker pipe protocol.  v2 added the optional
 #: ``trace`` field on :class:`WorkUnit`, ``spans`` on
 #: :class:`WorkResult`, the ``("trace", enabled)`` message, and the
-#: ``"obs"`` key in the stats reply.
-WIRE_PROTOCOL_VERSION = 2
+#: ``"obs"`` key in the stats reply.  v3 added ``wal_tails`` on
+#: :class:`WorkerInit` (read-replica workers tailing a
+#: :class:`~repro.stream.MutationLog`) and a fourth ``versions``
+#: element on pong replies — ``{config_json: graph_version}`` for every
+#: tailed config — which the router folds into its replica-lag view.
+WIRE_PROTOCOL_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -143,6 +147,13 @@ class WorkerInit:
     ``trace_enabled`` makes a worker spawned while tracing is already
     on start collecting immediately (later toggles arrive as
     ``("trace", enabled)`` messages).
+
+    ``wal_tails`` (protocol v3) makes the worker a **read replica**:
+    ``(config_json, wal_path)`` pairs, each opened as a follower-mode
+    :class:`~repro.stream.MutationLog` and polled whenever the worker
+    goes idle — new records are applied through the exact mutate path
+    (version-guarded, exactly once), so the replica converges on the
+    primary's ``graph_version`` at a lag bounded by its poll interval.
     """
 
     worker_id: str
@@ -155,6 +166,7 @@ class WorkerInit:
     checkpoints: tuple = ()   # ((config_json, path), ...)
     protocol: int = WIRE_PROTOCOL_VERSION
     trace_enabled: bool = False
+    wal_tails: tuple = ()     # ((config_json, wal_path), ...)
 
 
 class WorkerRuntime:
@@ -190,6 +202,52 @@ class WorkerRuntime:
                                max_wait_s=init.max_wait_s),
             max_queue_depth=init.queue_depth)
         self._configs: dict[str, object] = {}  # config_json -> RunConfig
+        self._tails: list = []
+        for cfg_json, wal_path in init.wal_tails:
+            from ..stream import MutationLog
+
+            self._tails.append((cfg_json, MutationLog(wal_path, mode="r")))
+        if self._tails:
+            self.poll_wal()  # catch up to the log head before serving
+
+    def _config_for(self, cfg_json: str):
+        from ..api import RunConfig
+
+        config = self._configs.get(cfg_json)
+        if config is None:
+            config = RunConfig.from_json(cfg_json)
+            self._configs[cfg_json] = config
+        return config
+
+    def poll_wal(self) -> int:
+        """Apply any WAL records appended since the last poll (replicas).
+
+        Each new record goes through the server's version-guarded
+        mutate path, so a record the replica somehow already holds is
+        acked without re-application.  Returns the number of records
+        applied; 0 for non-replica workers.
+        """
+        applied = 0
+        for cfg_json, log in self._tails:
+            config = self._config_for(cfg_json)
+            for version, delta in log.tail():
+                self.server.submit_delta(config, delta,
+                                         expected_version=version)
+                applied += 1
+        if applied:
+            self.server.run_until_idle()
+        return applied
+
+    def versions(self) -> dict:
+        """``{config_json: graph_version}`` for every tailed config.
+
+        What a replica's pong carries (protocol v3) so the router can
+        measure replica lag; empty for primary workers — the router
+        already knows the authoritative version it assigned them.
+        """
+        return {cfg_json: self.server.graph_version(
+                    self._config_for(cfg_json))
+                for cfg_json, _ in self._tails}
 
     def submit(self, unit: WorkUnit):
         """Enqueue one unit; returns ``(unit, future_or_error_result)``.
@@ -198,13 +256,8 @@ class WorkerRuntime:
         error :class:`WorkResult` immediately instead of killing the
         worker loop.
         """
-        from ..api import RunConfig
-
         try:
-            config = self._configs.get(unit.config_json)
-            if config is None:
-                config = RunConfig.from_json(unit.config_json)
-                self._configs[unit.config_json] = config
+            config = self._config_for(unit.config_json)
             # the router's preallocated dispatch span parents this
             # worker's request spans — one tree, two processes
             parent = TraceContext.from_wire(unit.trace)
@@ -310,7 +363,8 @@ def worker_main(init: WorkerInit, conn) -> None:
             if kind == "work":
                 pending.append(runtime.submit(msg[1]))
             elif kind == "ping":
-                conn.send(("pong", msg[1], init.worker_id))
+                conn.send(("pong", msg[1], init.worker_id,
+                           runtime.versions()))
             elif kind == "stats":
                 conn.send(("stats", msg[1], init.worker_id, runtime.state()))
             elif kind == "trace":
@@ -322,6 +376,8 @@ def worker_main(init: WorkerInit, conn) -> None:
             for result in runtime.execute(pending):
                 conn.send(("result", result))
             pending = []
+        elif runtime._tails:
+            runtime.poll_wal()  # idle replica: catch up on the log
     if pending:  # answer work accepted before the shutdown message
         for result in runtime.execute(pending):
             try:
@@ -423,7 +479,8 @@ class InlineWorker:
                 self.units_seen.append(msg[1])
                 self._pending.append(self.runtime.submit(msg[1]))
             elif kind == "ping":
-                self._outbox.append(("pong", msg[1], self.id))
+                self._outbox.append(("pong", msg[1], self.id,
+                                     self.runtime.versions()))
             elif kind == "stats":
                 self._outbox.append(("stats", msg[1], self.id,
                                      self.runtime.state()))
@@ -435,6 +492,8 @@ class InlineWorker:
             for result in self.runtime.execute(self._pending):
                 self._outbox.append(("result", result))
             self._pending = []
+        elif self.runtime._tails:
+            self.runtime.poll_wal()  # idle replica: catch up on the log
         if self._stopped:
             self._outbox.append(("bye", self.id))
             self._dead = True

@@ -19,6 +19,16 @@ the delta's rows intersect** (``mode="r+"``, with a manifest
 ``graph_version`` bump — reopening the store resumes the mutation
 history) or holds the changes as an in-RAM overlay (``mode="r"``, the
 cluster-worker case where the shared store on disk must stay pristine).
+
+With a :class:`~repro.stream.MutationLog` attached
+(:meth:`StoredNodeDataset.attach_wal`), chunk rewrites stop being an
+independent persistence path and become **log-driven checkpoints**:
+every delta is appended to the WAL first, applied as an overlay, and
+the touched chunks are rewritten in batches at the checkpoint cadence.
+A crash between checkpoints loses nothing — the manifest's
+``graph_version`` says where the chunk files stand and
+:meth:`~repro.stream.MutationLog.replay` carries the store forward
+from exactly there.
 """
 
 from __future__ import annotations
@@ -44,7 +54,9 @@ class StoredNodeDataset:
     ``mode="r"`` (default) never writes: deltas applied to it live in
     an in-RAM overlay and die with the process.  ``mode="r+"`` persists
     deltas by rewriting exactly the touched chunks and committing a
-    version-bumped manifest.
+    version-bumped manifest.  With a WAL attached
+    (:meth:`attach_wal`), writable stores switch to
+    append-then-overlay with batched chunk rewrites at checkpoints.
     """
 
     def __init__(self, path: str | os.PathLike,
@@ -62,6 +74,10 @@ class StoredNodeDataset:
         self._num_nodes = self._manifest.num_nodes
         self._graph: CSRGraph | None = None
         self._small: dict[str, np.ndarray | None] = {}
+        self.wal = None
+        self._wal_replaying = False
+        self._wal_checkpoint_every = 0
+        self._wal_pending: list = []
 
     def _install_manifest(self, manifest: Manifest) -> None:
         """(Re)build the lazy views from a manifest (open, post-delta)."""
@@ -230,8 +246,14 @@ class StoredNodeDataset:
         held as an in-RAM overlay (patch rows + appended tail) and the
         files stay untouched.  :func:`repro.stream.apply_delta`
         dispatches here, so sessions and servers need no special case.
+
+        With a WAL attached the delta is appended to the log *first*
+        (write-ahead), applied as an overlay, and buffered for the
+        next :meth:`checkpoint`; chunk rewrites happen only there.
         """
         delta.validate(self)
+        if self.wal is not None and not self._wal_replaying:
+            self.wal.append(delta, int(self.graph_version) + 1)
         graph, touched = self.graph.apply_edge_delta(
             delta.add_edges, delta.remove_edges,
             num_new_nodes=delta.num_new_nodes)
@@ -249,7 +271,7 @@ class StoredNodeDataset:
                     [self.blocks, -np.ones(k, dtype=self.blocks.dtype)])
         updated = (0 if delta.update_nodes is None
                    else len(delta.update_nodes))
-        if self.mode == "r+":
+        if self.mode == "r+" and self.wal is None:
             node_arrays = {"labels": self.labels,
                            "train_mask": self.train_mask,
                            "val_mask": self.val_mask,
@@ -271,8 +293,10 @@ class StoredNodeDataset:
                 self.features.apply_updates(delta.update_nodes,
                                             delta.update_features)
             self.graph_version = int(self.graph_version) + 1
+            if self.wal is not None:
+                self._wal_pending.append((delta, graph, touched))
         self.graph = graph
-        return DeltaReport(
+        report = DeltaReport(
             graph_version=int(self.graph_version),
             touched_rows=touched,
             num_nodes=graph.num_nodes,
@@ -280,6 +304,75 @@ class StoredNodeDataset:
             nodes_added=k,
             features_updated=updated,
         )
+        if (self.wal is not None and self._wal_checkpoint_every
+                and len(self._wal_pending) >= self._wal_checkpoint_every):
+            self.checkpoint()
+        return report
+
+    # -- durability ---------------------------------------------------------- #
+    def attach_wal(self, log, checkpoint_every: int = 8) -> int:
+        """Put a :class:`~repro.stream.MutationLog` in front of this store.
+
+        Requires ``mode="r+"`` (checkpoints rewrite chunk files).
+        From here on every delta is appended to ``log`` before it is
+        applied, held as an overlay, and persisted in batches: once
+        ``checkpoint_every`` deltas accumulate (0 = only on explicit
+        :meth:`checkpoint` calls) the touched chunks are rewritten and
+        the manifest committed at the log's version.  Any log records
+        past the manifest's ``graph_version`` are replayed immediately
+        (crash catch-up) and checkpointed; returns the number replayed.
+        """
+        if self.mode != "r+":
+            raise ValueError(
+                "attach_wal requires a writable store (mode='r+'); "
+                f"this store is mode={self.mode!r}")
+        if self.wal is not None:
+            raise ValueError("a MutationLog is already attached")
+        self.wal = log
+        self._wal_checkpoint_every = int(checkpoint_every)
+        applied = log.replay(self)
+        if self._wal_pending:
+            self.checkpoint()
+        return applied
+
+    def checkpoint(self) -> int:
+        """Persist every pending WAL-logged delta by rewriting chunks.
+
+        Replays the buffered ``(delta, graph, touched)`` triples
+        through the same incremental chunk rewrite the non-WAL
+        writable path uses, committing one version-bumped manifest per
+        delta (each commit is atomic: chunks first, manifest last), so
+        a crash mid-checkpoint leaves the store at some intermediate
+        ``graph_version`` from which WAL replay resumes.  Afterwards
+        the manifest matches the live ``graph_version`` and the
+        overlay is empty.  Returns the number of deltas persisted.
+        """
+        if self.wal is None:
+            raise ValueError("no MutationLog attached (see attach_wal)")
+        if not self._wal_pending:
+            return 0
+        manifest = self._manifest
+        for delta, graph, touched in self._wal_pending:
+            # labels/masks/blocks rows never change after creation, so
+            # slicing the final arrays to this step's node count yields
+            # exactly the arrays as of that version
+            n = graph.num_nodes
+            node_arrays = {"labels": self.labels[:n],
+                           "train_mask": self.train_mask[:n],
+                           "val_mask": self.val_mask[:n],
+                           "test_mask": self.test_mask[:n]}
+            if self.blocks is not None:
+                node_arrays["blocks"] = self.blocks[:n]
+            manifest, rewritten = rewrite_store_delta(
+                self.path, manifest, delta, graph, touched,
+                node_arrays,
+                read_feature_chunk=self.features.chunk)
+            for key in rewritten:
+                self.cache.evict(key)
+            self._install_manifest(manifest)
+        count = len(self._wal_pending)
+        self._wal_pending.clear()
+        return count
 
     def __repr__(self) -> str:
         return (f"StoredNodeDataset({self.name!r}, path={self.path!r}, "

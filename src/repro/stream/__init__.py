@@ -21,6 +21,14 @@ The stack above composes with it end to end:
   framing, with version-guarded application so a requeued delta is
   applied exactly once.
 
+Durability lives in :mod:`repro.stream.wal`: a :class:`MutationLog`
+write-ahead log sits in front of ``apply_delta`` at every tier
+(:func:`log_apply` — append, apply, maybe snapshot), snapshots reuse
+the :mod:`repro.store` chunked format, and crash recovery is snapshot
++ replay to the last acknowledged ``graph_version``
+(``benchmarks/bench_wal_recovery.py`` gates it bitwise against an
+uninterrupted run).
+
 ``benchmarks/bench_stream_updates.py`` holds the two gates: post-delta
 logits bitwise identical to a from-scratch rebuild, and ≥3× faster
 incremental apply for deltas touching ≤5% of rows.
@@ -28,6 +36,19 @@ incremental apply for deltas touching ≤5% of rows.
 
 from .apply import DeltaReport, apply_delta, full_rebuild, make_churn_deltas
 from .delta import GraphDelta
+from .wal import (
+    MAX_RECORD_BYTES,
+    RECORD_HEADER_SIZE,
+    WAL_MAGIC,
+    CorruptRecordError,
+    MutationLog,
+    RecordTooLargeError,
+    TruncatedRecordError,
+    WalError,
+    decode_record,
+    encode_record,
+    log_apply,
+)
 
 __all__ = [
     "GraphDelta",
@@ -35,4 +56,15 @@ __all__ = [
     "apply_delta",
     "full_rebuild",
     "make_churn_deltas",
+    "WAL_MAGIC",
+    "RECORD_HEADER_SIZE",
+    "MAX_RECORD_BYTES",
+    "WalError",
+    "TruncatedRecordError",
+    "CorruptRecordError",
+    "RecordTooLargeError",
+    "encode_record",
+    "decode_record",
+    "MutationLog",
+    "log_apply",
 ]

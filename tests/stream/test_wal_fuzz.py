@@ -1,0 +1,259 @@
+"""Fuzzing the WAL record decoder and the log-open scan.
+
+The contract under test (:mod:`repro.stream.wal`): for *any* byte
+sequence, :func:`decode_record` either yields a valid
+``(version, payload, end)`` triple or raises a typed
+:class:`WalError` subclass — never another exception type, never a
+partially-decoded result.  At the file level, an owner open must
+truncate exactly a torn *final* record and refuse (loudly) anything
+that would drop committed history.  Mirrors the net-protocol fuzz
+suite (``tests/net/test_protocol_fuzz.py``): truncation at every
+offset, lying length prefixes, CRC lies, and seeded random
+corruptions.
+"""
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.graph import load_node_dataset
+from repro.stream import (
+    MAX_RECORD_BYTES,
+    RECORD_HEADER_SIZE,
+    WAL_MAGIC,
+    CorruptRecordError,
+    MutationLog,
+    RecordTooLargeError,
+    TruncatedRecordError,
+    WalError,
+    decode_record,
+    encode_record,
+    make_churn_deltas,
+)
+
+
+def corpus() -> list[bytes]:
+    """Valid records spanning payload shapes: edges, nodes, features."""
+    ds = load_node_dataset("flickr", scale=0.02, seed=7)
+    deltas = make_churn_deltas(ds, 3, edges_per_delta=4,
+                               feature_updates_per_delta=2,
+                               add_node_every=2, seed=3)
+    return [encode_record(i, d.to_payload())
+            for i, d in enumerate(deltas, start=1)]
+
+
+class TestTruncation:
+    def test_truncation_at_every_offset(self):
+        # any strict prefix of a valid record is recoverable-incomplete:
+        # exactly TruncatedRecordError, at every single cut point
+        for wire in corpus():
+            for cut in range(len(wire)):
+                with pytest.raises(TruncatedRecordError):
+                    decode_record(wire[:cut])
+
+    def test_empty_buffer_is_truncated(self):
+        with pytest.raises(TruncatedRecordError):
+            decode_record(b"")
+
+    def test_torn_tail_truncated_at_every_offset(self, tmp_path):
+        # a crash can tear the final record at ANY byte: every cut must
+        # reopen to exactly the committed prefix, never corrupt state
+        records = corpus()
+        committed = b"".join(records[:2])
+        for cut in range(1, len(records[2])):
+            wal_dir = tmp_path / f"cut{cut}"
+            os.makedirs(wal_dir)
+            with open(wal_dir / "log.bin", "wb") as f:
+                f.write(committed + records[2][:cut])
+            log = MutationLog(wal_dir)
+            assert log.record_count == 2
+            assert log.last_version == 2
+            assert log.truncated_tail_bytes == cut
+            assert os.path.getsize(wal_dir / "log.bin") == len(committed)
+
+
+class TestLengthPrefixLies:
+    def make_wire(self) -> bytearray:
+        return bytearray(corpus()[0])
+
+    def test_length_over_cap_rejected_before_allocation(self):
+        wire = self.make_wire()
+        wire[4:8] = (MAX_RECORD_BYTES + 1).to_bytes(4, "big")
+        # only the 12-byte envelope present: the lie is caught without
+        # waiting for (or allocating) the claimed body
+        with pytest.raises(RecordTooLargeError):
+            decode_record(bytes(wire[:RECORD_HEADER_SIZE]))
+
+    def test_oversized_body_refused_at_encode(self):
+        with pytest.raises(RecordTooLargeError):
+            encode_record(1, b"\x00" * (MAX_RECORD_BYTES + 1))
+
+    def test_length_larger_than_body_is_truncated(self):
+        wire = self.make_wire()
+        real = int.from_bytes(wire[4:8], "big")
+        wire[4:8] = (real + 10).to_bytes(4, "big")
+        with pytest.raises(TruncatedRecordError):
+            decode_record(bytes(wire))
+
+    def test_length_smaller_than_body_fails_crc(self):
+        wire = self.make_wire()
+        real = int.from_bytes(wire[4:8], "big")
+        wire[4:8] = (real - 2).to_bytes(4, "big")
+        with pytest.raises(CorruptRecordError):
+            decode_record(bytes(wire))
+
+    def test_length_below_version_stamp_is_corrupt(self):
+        wire = self.make_wire()
+        for tiny in (0, 1, 7):
+            wire[4:8] = tiny.to_bytes(4, "big")
+            with pytest.raises(CorruptRecordError):
+                decode_record(bytes(wire))
+
+
+class TestCrcAndMagicLies:
+    def test_crc_lie_is_corrupt(self):
+        wire = bytearray(corpus()[0])
+        wire[8:12] = ((int.from_bytes(wire[8:12], "big") ^ 0xDEADBEEF)
+                      .to_bytes(4, "big"))
+        with pytest.raises(CorruptRecordError):
+            decode_record(bytes(wire))
+
+    def test_every_single_body_bitflip_is_caught(self):
+        # CRC32 guarantees detection of any single-bit error
+        wire = bytearray(corpus()[0])
+        for at in range(RECORD_HEADER_SIZE, len(wire)):
+            flipped = bytearray(wire)
+            flipped[at] ^= 0x01
+            with pytest.raises(CorruptRecordError):
+                decode_record(bytes(flipped))
+
+    def test_bad_magic(self):
+        wire = bytearray(corpus()[0])
+        for magic in (b"RNT1", b"RGT1", b"\x00\x00\x00\x00", b"HTTP"):
+            wire[0:4] = magic
+            with pytest.raises(CorruptRecordError):
+                decode_record(bytes(wire))
+
+    def test_forged_version_zero_is_corrupt(self):
+        # valid CRC over a semantically-impossible version stamp
+        body = struct.pack(">Q", 0) + b"payload"
+        wire = (WAL_MAGIC
+                + struct.pack(">II", len(body),
+                              zlib.crc32(body) & 0xFFFFFFFF) + body)
+        with pytest.raises(CorruptRecordError):
+            decode_record(wire)
+
+
+class TestOwnerOpenIntegrity:
+    def write_log(self, tmp_path, blob: bytes):
+        wal_dir = tmp_path / "wal"
+        os.makedirs(wal_dir, exist_ok=True)
+        with open(wal_dir / "log.bin", "wb") as f:
+            f.write(blob)
+        return wal_dir
+
+    def test_interior_corruption_never_truncated_away(self, tmp_path):
+        # only a TORN TAIL may be dropped; a CRC lie in committed
+        # history must raise, not silently shorten the log
+        records = corpus()
+        blob = bytearray(b"".join(records))
+        blob[RECORD_HEADER_SIZE + 3] ^= 0xFF  # first record's body
+        wal_dir = self.write_log(tmp_path, bytes(blob))
+        with pytest.raises(CorruptRecordError):
+            MutationLog(wal_dir)
+        # the file was left untouched for forensics
+        assert os.path.getsize(wal_dir / "log.bin") == len(blob)
+
+    def test_garbage_between_records_raises(self, tmp_path):
+        records = corpus()
+        blob = records[0] + b"GARBAGE-NOT-A-RECORD" + records[1]
+        wal_dir = self.write_log(tmp_path, blob)
+        with pytest.raises(WalError):
+            MutationLog(wal_dir)
+
+    def test_pure_garbage_file(self, tmp_path):
+        rng = np.random.default_rng(11)
+        junk = bytes(rng.integers(0, 256, 512).tolist())
+        if junk[:4] == WAL_MAGIC:  # pragma: no cover - 2^-32 chance
+            junk = b"\x00" + junk[1:]
+        wal_dir = self.write_log(tmp_path, junk)
+        with pytest.raises(WalError):
+            MutationLog(wal_dir)
+
+
+class TestSeededMutationFuzz:
+    """Hundreds of random byte-level corruptions: typed errors or
+    a fully-decoded record — nothing else, ever."""
+
+    N_MUTATIONS = 400
+
+    def mutate(self, rng: np.random.Generator, wire: bytes) -> bytes:
+        buf = bytearray(wire)
+        op = rng.integers(0, 6)
+        if op == 0:  # flip random bytes
+            for _ in range(int(rng.integers(1, 8))):
+                buf[int(rng.integers(0, len(buf)))] = int(
+                    rng.integers(0, 256))
+        elif op == 1:  # truncate at a random offset
+            buf = buf[:int(rng.integers(0, len(buf)))]
+        elif op == 2:  # drop a random slice
+            lo = int(rng.integers(0, len(buf)))
+            hi = int(rng.integers(lo, len(buf) + 1))
+            del buf[lo:hi]
+        elif op == 3:  # insert random bytes
+            at = int(rng.integers(0, len(buf) + 1))
+            junk = bytes(rng.integers(0, 256,
+                                      int(rng.integers(1, 16))).tolist())
+            buf[at:at] = junk
+        elif op == 4:  # lie in the length prefix
+            buf[4:8] = int(rng.integers(0, 2**32)).to_bytes(4, "big")
+        else:  # lie in the CRC
+            buf[8:12] = int(rng.integers(0, 2**32)).to_bytes(4, "big")
+        return bytes(buf)
+
+    def test_mutated_records_yield_only_typed_errors(self):
+        rng = np.random.default_rng(0x3A17)
+        base = corpus()
+        outcomes = {"ok": 0, "error": 0, "truncated": 0}
+        for i in range(self.N_MUTATIONS):
+            wire = self.mutate(rng, base[i % len(base)])
+            try:
+                version, payload, end = decode_record(wire)
+            except TruncatedRecordError:
+                outcomes["truncated"] += 1
+            except WalError:
+                outcomes["error"] += 1
+            else:
+                # mutation landed in a don't-care region: the result
+                # must be fully formed, nothing partial
+                assert version >= 1
+                assert isinstance(payload, bytes)
+                assert 0 < end <= len(wire)
+                outcomes["ok"] += 1
+        assert sum(outcomes.values()) == self.N_MUTATIONS
+        assert outcomes["error"] + outcomes["truncated"] > 200
+
+    def test_mutated_log_files_never_corrupt_owner_state(self, tmp_path):
+        # a log file mutated anywhere either opens (possibly shorter,
+        # if the damage reads as a torn tail) or raises a typed error —
+        # and an open that succeeds yields only intact records
+        rng = np.random.default_rng(0xBADF)
+        records = corpus()
+        blob = b"".join(records)
+        for i in range(120):
+            mutated = self.mutate(rng, blob)
+            wal_dir = tmp_path / f"m{i}"
+            os.makedirs(wal_dir)
+            with open(wal_dir / "log.bin", "wb") as f:
+                f.write(mutated)
+            try:
+                log = MutationLog(wal_dir)
+            except WalError:
+                continue
+            got = log.records()
+            assert len(got) == log.record_count
+            versions = [v for v, _ in got]
+            assert versions == sorted(versions)
