@@ -663,19 +663,34 @@ class ServingCluster:
             self._dispatch(now)
             ds_id = dataset_identity(config)
             version = self._dataset_versions.get(ds_id, 0) + 1
-            # append-then-broadcast: once the record is fsynced, the
-            # delta survives a router crash even if no worker saw it —
-            # the restart replays it from here
             log = self._wals.get(ds_id)
+            mirror = (self._wal_mirrors.get(ds_id) if log is not None
+                      else None)
+            if mirror is not None:
+                # refuse an unapplyable delta *before* it becomes
+                # durable — a poisoned record would fail on every
+                # worker and on every replay of this log
+                delta.validate(mirror)
             if log is not None:
+                # append-then-broadcast: once the record is fsynced,
+                # the delta survives a router crash even if no worker
+                # saw it — the restart replays it from here
                 log.append(delta, version)
-                mirror = self._wal_mirrors.get(ds_id)
-                if mirror is not None:
-                    from ..stream.apply import apply_delta as _apply
+            # the version authority advances with the append no matter
+            # what happens downstream, so the counter and the log stay
+            # contiguous and later submissions keep flowing
+            self._dataset_versions[ds_id] = version
+            if mirror is not None:
+                from ..stream.apply import apply_delta as _apply
 
+                try:
                     _apply(mirror, delta)
                     log.maybe_snapshot(mirror)
-            self._dataset_versions[ds_id] = version
+                except Exception:
+                    # the record is durable and will re-broadcast on
+                    # restart; a mirror that failed mid-apply can no
+                    # longer cut trustworthy snapshots — retire it
+                    self._wal_mirrors.pop(ds_id, None)
             return self._broadcast_delta(config, delta, version, now=now)
 
     def _broadcast_delta(self, config, delta, version: int,
@@ -1004,15 +1019,16 @@ class ServingCluster:
                 ds_id = dataset_identity(RunConfig.from_json(cfg_json))
                 self._json_ds_id[cfg_json] = ds_id
             self._replica_versions[(wid, ds_id)] = int(version)
-            authority = self._dataset_versions.get(ds_id, 0)
-            lags = [authority - v
-                    for (rid, d), v in self._replica_versions.items()
-                    if d == ds_id and rid not in self._dead]
-            if lags:
-                get_registry().gauge(
-                    "repro_wal_replica_lag",
-                    "versions the slowest caught-up read replica trails "
-                    "the version authority").set(max(0, max(lags)))
+        # one fleet-wide gauge: the worst lag across *every* tracked
+        # dataset, not whichever dataset this pong happened to list last
+        lags = [self._dataset_versions.get(d, 0) - v
+                for (rid, d), v in self._replica_versions.items()
+                if rid not in self._dead]
+        if lags:
+            get_registry().gauge(
+                "repro_wal_replica_lag",
+                "versions the slowest caught-up read replica trails "
+                "the version authority").set(max(0, max(lags)))
 
     def replica_lag(self, config) -> int | None:
         """Worst replica lag (versions) for ``config``; None = no reports."""

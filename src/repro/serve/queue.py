@@ -162,6 +162,7 @@ class Request:
     future: ServeFuture = field(default_factory=ServeFuture)
     delta: Any = None  # GraphDelta for kind == "mutate"
     expected_version: int | None = None  # mutate exactly-once guard
+    strict_version: bool = False  # refuse (not stamp over) version gaps
     min_version: int | None = None  # version-pinned read (replica steering)
     trace: Any = None  # TraceContext when tracing is enabled
     drained_at: float = 0.0  # when the queue handed the request onward

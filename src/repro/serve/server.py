@@ -323,7 +323,7 @@ class InferenceServer:
     def submit_delta(self, config, delta, timeout: float | None = None,
                      now: float | None = None,
                      expected_version: int | None = None,
-                     trace=None) -> ServeFuture:
+                     trace=None, strict_version: bool = False) -> ServeFuture:
         """Enqueue a :class:`~repro.stream.GraphDelta` mutation request.
 
         The delta shares the request queue with inference submissions,
@@ -339,6 +339,12 @@ class InferenceServer:
         worker whose dataset already reached it treats the delivery as
         a duplicate and acks without re-applying (node additions are
         not idempotent, so re-application must be impossible).
+
+        ``strict_version`` tightens the guard for WAL-tailing replicas:
+        a delta whose ``expected_version`` is more than one ahead of
+        the dataset fails instead of being applied and stamped across
+        the gap — a replica missing history must report its true
+        version, never claim the head while serving a partial graph.
         """
         now = _clock.now() if now is None else now
         if config.data.task_kind != "node":
@@ -354,6 +360,7 @@ class InferenceServer:
                 config_key=config_key(config),
                 kind="mutate", delta=delta,
                 expected_version=expected_version,
+                strict_version=strict_version,
                 deadline=None if timeout is None else now + timeout,
             )
             tracer = get_tracer()
@@ -601,7 +608,20 @@ class InferenceServer:
             if expected is not None and session.graph_version >= expected:
                 self.stats.bump("mutations_ignored")
             else:
+                if (request.strict_version and expected is not None
+                        and int(session.graph_version) != expected - 1):
+                    from ..stream.wal import WalError
+
+                    raise WalError(
+                        f"version gap: dataset at "
+                        f"{session.graph_version}, delta produces "
+                        f"{expected} — refusing to apply across "
+                        f"missing versions")
                 if log is not None:
+                    # refuse an unapplyable delta before the durable
+                    # append — a poisoned record would wedge every
+                    # later append and replay of this log
+                    request.delta.validate(session.dataset)
                     log.append(request.delta,
                                expected if expected is not None
                                else int(session.graph_version) + 1)

@@ -206,7 +206,12 @@ class WorkerRuntime:
         for cfg_json, wal_path in init.wal_tails:
             from ..stream import MutationLog
 
-            self._tails.append((cfg_json, MutationLog(wal_path, mode="r")))
+            # prime=False: the cursor starts at byte 0, so the boot
+            # poll below applies the log's entire existing backlog —
+            # a replica joining a long-lived WAL must replay history,
+            # not just watch new records arrive
+            self._tails.append(
+                (cfg_json, MutationLog(wal_path, mode="r", prime=False)))
         if self._tails:
             self.poll_wal()  # catch up to the log head before serving
 
@@ -231,8 +236,13 @@ class WorkerRuntime:
         for cfg_json, log in self._tails:
             config = self._config_for(cfg_json)
             for version, delta in log.tail():
+                # strict: a replica must never be stamped across a
+                # version gap — a record it cannot apply in sequence
+                # fails loudly and the replica's reported version
+                # (and therefore its lag) stays honest
                 self.server.submit_delta(config, delta,
-                                         expected_version=version)
+                                         expected_version=version,
+                                         strict_version=True)
                 applied += 1
         if applied:
             self.server.run_until_idle()

@@ -204,10 +204,18 @@ class MutationLog:
     :meth:`maybe_snapshot` (0 disables automatic snapshots).  Appends
     are write-ahead durable: each record is flushed and fsynced before
     :meth:`append` returns.
+
+    ``prime`` applies only to followers: by default the cursor is
+    primed to the current end of the log, so :meth:`tail` reports only
+    records appended *after* open (a lag observer).  ``prime=False``
+    leaves the cursor at byte 0 — the first :meth:`tail` returns the
+    entire existing backlog, which is what a read replica that must
+    *apply* history (not just watch it grow) needs at boot.
     """
 
     def __init__(self, path: str | os.PathLike, *,
-                 snapshot_every: int = 0, mode: str = "a"):
+                 snapshot_every: int = 0, mode: str = "a",
+                 prime: bool = True):
         if mode not in ("a", "r"):
             raise ValueError(f"mode must be 'a' or 'r', got {mode!r}")
         if snapshot_every < 0:
@@ -237,7 +245,7 @@ class MutationLog:
         if mode == "a":
             os.makedirs(self.path, exist_ok=True)
             self._open_owner()
-        else:
+        elif prime:
             self.tail()  # prime cursor/last_version from what exists
 
     # -- open / scan ------------------------------------------------------- #

@@ -202,6 +202,173 @@ class TestReadReplicas:
             cluster.close()
 
 
+class TestReplicaBacklog:
+    """A replica joining an existing WAL must apply its full backlog."""
+
+    def test_restarted_cluster_replica_serves_backlog_bitwise(self,
+                                                              tmp_path):
+        cfg = node_config()
+        deltas = churn(4)
+        cluster = make_cluster(tmp_path / "wal")
+        try:
+            for delta in deltas[:3]:
+                cluster.submit_delta(cfg, delta)
+            cluster.run_until_idle()
+        finally:
+            cluster.close()  # the "crash" — log survives on disk
+
+        revived = make_cluster(tmp_path / "wal", replicas=1)
+        try:
+            # the replica opened a log already holding records 1..3;
+            # it must have applied them at boot, not skipped past them
+            fut = revived.submit_delta(cfg, deltas[3])
+            revived.run_until_idle()
+            assert fut.result(timeout=10.0) == 4
+            ref_fut = revived.submit(cfg, nodes=np.arange(16))
+            revived.run_until_idle()
+            ref = ref_fut.result(timeout=10.0)
+
+            lag = wait_for_replica(revived, cfg)
+            assert lag == 0
+            before = revived.stats.snapshot()["replica_reads"]
+            pinned = revived.submit(cfg, nodes=np.arange(16), min_version=4)
+            revived.run_until_idle()
+            got = pinned.result(timeout=10.0)
+            assert revived.stats.snapshot()["replica_reads"] == before + 1
+            # served from the full history, not a force-stamped gap
+            assert np.array_equal(got, ref)
+        finally:
+            revived.close()
+
+    def test_follower_unprimed_tail_returns_backlog(self, tmp_path):
+        owner = MutationLog(tmp_path / "wal")
+        deltas = churn(2)
+        owner.append(deltas[0], 1)
+        owner.append(deltas[1], 2)
+        primed = MutationLog(tmp_path / "wal", mode="r")
+        assert primed.tail() == []  # lag observer: backlog is old news
+        follower = MutationLog(tmp_path / "wal", mode="r", prime=False)
+        got = follower.tail()
+        assert [v for v, _ in got] == [1, 2]
+        assert follower.last_version == 2
+        owner.close()
+
+    def test_replica_refuses_version_gap(self, tmp_path):
+        # strict mode: a delta arriving across missing history must
+        # fail, not be applied and stamped to the head version
+        from repro.stream import GraphDelta, WalError
+
+        cfg = node_config()
+        pool = SessionPool()
+        dataset = load_node_dataset("flickr", scale=SCALE, seed=7)
+        n_before = dataset.num_nodes
+        pool.put_dataset(cfg, dataset)
+        server = InferenceServer(pool=pool)
+        try:
+            delta = GraphDelta(num_new_nodes=1, new_features=np.zeros(
+                (1, dataset.features.shape[1])))
+            fut = server.submit_delta(cfg, delta, expected_version=3,
+                                      strict_version=True)
+            server.run_until_idle()
+            with pytest.raises(WalError, match="version gap"):
+                fut.result(timeout=10.0)
+            assert server.graph_version(cfg) == 0  # not stamped ahead
+            assert dataset.num_nodes == n_before   # not applied
+        finally:
+            server.close()
+
+    def test_replica_lag_gauge_tracks_fleet_worst(self, tmp_path):
+        from repro.obs import get_registry
+
+        cluster = make_cluster(tmp_path / "wal")
+        try:
+            a, b = ("ds", "a"), ("ds", "b")
+            cluster._json_ds_id["cfg-a"] = a
+            cluster._json_ds_id["cfg-b"] = b
+            cluster._dataset_versions[a] = 5
+            cluster._dataset_versions[b] = 7
+            # dataset a lags by 2, dataset b (listed last) is caught up:
+            # the gauge must keep the fleet-wide worst, not b's zero
+            cluster._ingest_replica_versions("r9", {"cfg-a": 3, "cfg-b": 7})
+            lag = get_registry().gauge("repro_wal_replica_lag").value()
+            assert lag == 2
+        finally:
+            cluster.close()
+
+
+class TestPoisonedDeltaRefused:
+    """Invalid deltas must never become durable WAL records."""
+
+    def test_cluster_mirror_validates_before_append(self, tmp_path):
+        from repro.stream import GraphDelta
+
+        cfg = node_config()
+        cluster = make_cluster(tmp_path / "wal", snapshot_every=2)
+        try:
+            bad = GraphDelta(add_edges=[[0, 10 ** 7]])
+            with pytest.raises(ValueError, match="out of range"):
+                cluster.submit_delta(cfg, bad)
+            log = cluster.wal_for(cfg)
+            assert log.record_count == 0  # refused before the append
+            assert cluster.graph_version(cfg) == 0
+            # the pipeline is not wedged: the next valid delta flows
+            fut = cluster.submit_delta(cfg, churn(1)[0])
+            cluster.run_until_idle()
+            assert fut.result(timeout=10.0) == 1
+            assert log.last_version == 1
+        finally:
+            cluster.close()
+
+    def test_unmirrored_failure_keeps_versions_contiguous(self, tmp_path):
+        # without a mirror the router cannot pre-validate, but a delta
+        # the workers refuse must not desynchronize the version
+        # authority from the log — later mutations keep flowing
+        from repro.stream import GraphDelta
+
+        cfg = node_config()
+        cluster = make_cluster(tmp_path / "wal")  # snapshot_every=0
+        try:
+            bad = GraphDelta(add_edges=[[0, 10 ** 7]])
+            fut = cluster.submit_delta(cfg, bad)
+            cluster.run_until_idle()
+            with pytest.raises(Exception):
+                fut.result(timeout=10.0)
+            log = cluster.wal_for(cfg)
+            assert cluster.graph_version(cfg) == log.last_version
+            ok = cluster.submit_delta(cfg, churn(1)[0])
+            cluster.run_until_idle()
+            assert ok.result(timeout=10.0) == log.last_version
+        finally:
+            cluster.close()
+
+    def test_server_wal_validates_before_append(self, tmp_path):
+        from repro.stream import GraphDelta
+
+        cfg = node_config()
+        pool = SessionPool()
+        pool.put_dataset(cfg, load_node_dataset("flickr", scale=SCALE,
+                                                seed=7))
+        log = MutationLog(tmp_path / "wal")
+        server = InferenceServer(pool=pool, wal=log)
+        try:
+            bad = GraphDelta(add_edges=[[0, 10 ** 7]])
+            fut = server.submit_delta(cfg, bad)
+            server.run_until_idle()
+            with pytest.raises(ValueError, match="out of range"):
+                fut.result(timeout=10.0)
+            # the bad request failed its future but poisoned nothing:
+            # the log is clean, and append + replay still work
+            assert log.record_count == 0
+            ok = server.submit_delta(cfg, churn(1)[0])
+            server.run_until_idle()
+            assert ok.result(timeout=10.0) == 1
+            assert log.last_version == 1
+            fresh = load_node_dataset("flickr", scale=SCALE, seed=7)
+            assert MutationLog(tmp_path / "wal").replay(fresh) == 1
+        finally:
+            server.close()
+
+
 class TestSnapshotMirror:
     def test_snapshot_cadence_writes_recoverable_snapshots(self, tmp_path):
         cfg = node_config()
